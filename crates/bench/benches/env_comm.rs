@@ -1,0 +1,61 @@
+//! **§5 limitation #1 bench** — DQN↔METADOCK transport cost.
+//!
+//! Rows: direct function call, RAM channel (the paper's proposed fix), and
+//! the paper's actual two-files-on-disk protocol, measured per evaluation
+//! round trip on the scaled complex.
+//!
+//! Expected shape: file ≫ RAM ≈ direct, by orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metadock::ipc::{DirectTransport, FileTransport, RamTransport, Transport};
+use metadock::{DockingEngine, Pose};
+use molkit::SyntheticComplexSpec;
+use std::hint::black_box;
+
+fn transports(c: &mut Criterion) {
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    let pose = Pose::rigid(engine.complex().initial_pose);
+
+    let mut group = c.benchmark_group("env_comm/round_trip");
+
+    let mut direct = DirectTransport::new(engine.clone());
+    group.bench_function("direct_call", |b| {
+        b.iter(|| black_box(direct.evaluate(&pose).unwrap().score))
+    });
+
+    let mut ram = RamTransport::new(engine.clone());
+    group.bench_function("ram_channel", |b| {
+        b.iter(|| black_box(ram.evaluate(&pose).unwrap().score))
+    });
+
+    let mut file = FileTransport::in_temp_dir(engine).unwrap();
+    let dir = file.dir().clone();
+    group.bench_function("file_exchange_paper", |b| {
+        b.iter(|| black_box(file.evaluate(&pose).unwrap().score))
+    });
+    group.finish();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn wire_format(c: &mut Criterion) {
+    // The serialisation cost alone (part of the file path's overhead).
+    let complex = SyntheticComplexSpec::paper_2bsm().generate();
+    let coords = complex.ligand_coords(&complex.crystal_pose);
+    let mut group = c.benchmark_group("env_comm/wire_format");
+    group.bench_function("serialize_45_atom_state", |b| {
+        b.iter(|| black_box(metadock::ipc::serialize_coords(&coords)))
+    });
+    let text = metadock::ipc::serialize_coords(&coords);
+    group.bench_function("parse_45_atom_state", |b| {
+        b.iter(|| black_box(metadock::ipc::parse_coords(&text).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = transports, wire_format
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **Baseline bench** — the METADOCK metaheuristic instantiations at a
+//! fixed small evaluation budget (wall-clock cost of the search loop, and
+//! score quality is covered by the `baseline_comparison` experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metadock::{DockingEngine, Metaheuristic};
+use molkit::SyntheticComplexSpec;
+use std::hint::black_box;
+
+fn instantiations(c: &mut Criterion) {
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    let budget = 1_000;
+
+    let mut group = c.benchmark_group("metaheuristics/budget_1000");
+    for mh in [
+        Metaheuristic::random_search(budget, 1),
+        Metaheuristic::monte_carlo(budget, 1),
+        Metaheuristic::simulated_annealing(budget, 1),
+        Metaheuristic::genetic(budget, 1),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(&mh.name), &mh, |b, m| {
+            b.iter(|| black_box(m.run(&engine).best_score))
+        });
+    }
+    group.finish();
+}
+
+fn flexible_vs_rigid_search(c: &mut Criterion) {
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    let budget = 600;
+    let mut group = c.benchmark_group("metaheuristics/flexibility");
+    group.bench_function("rigid", |b| {
+        let m = Metaheuristic::monte_carlo(budget, 2);
+        b.iter(|| black_box(m.run(&engine).best_score))
+    });
+    group.bench_function("flexible_6_torsions", |b| {
+        let m = Metaheuristic::monte_carlo(budget, 2).flexible();
+        b.iter(|| black_box(m.run(&engine).best_score))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = instantiations, flexible_vs_rigid_search
+}
+criterion_main!(benches);

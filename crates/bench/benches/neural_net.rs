@@ -1,0 +1,70 @@
+//! **Q-network bench** — forward and training throughput of the paper's
+//! exact architecture (16,599 → 135 → 135 → 12, ~2.26 M parameters) and of
+//! the scaled network, at the paper's minibatch size of 32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neural::{Loss, Matrix, Mlp, MlpSpec, OptimizerSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn networks() -> Vec<(&'static str, MlpSpec)> {
+    vec![
+        ("scaled_48x64x64x12", MlpSpec::q_network(48, &[64, 64], 12)),
+        (
+            "paper_16599x135x135x12",
+            MlpSpec::q_network(16_599, &[135, 135], 12),
+        ),
+    ]
+}
+
+fn forward_batch32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neural/forward_b32");
+    for (label, spec) in networks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&spec, &mut rng);
+        let x = Matrix::from_fn(32, spec.input, |r, c| ((r * 31 + c) as f32 * 0.01).sin());
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &x, |b, x| {
+            b.iter(|| black_box(mlp.forward(x)))
+        });
+    }
+    group.finish();
+}
+
+fn train_step_batch32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neural/train_step_b32_rmsprop");
+    for (label, spec) in networks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        let x = Matrix::from_fn(32, spec.input, |r, c| ((r * 31 + c) as f32 * 0.01).sin());
+        let y = Matrix::from_fn(32, spec.output, |r, c| ((r + c) as f32 * 0.1).cos());
+        group.throughput(Throughput::Elements(32));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(mlp.train_step(&x, &y, Loss::Mse, &mut opt)))
+        });
+    }
+    group.finish();
+}
+
+fn single_state_predict(c: &mut Criterion) {
+    // The per-action-selection cost inside the RL loop (batch of 1).
+    let mut group = c.benchmark_group("neural/predict_single");
+    for (label, spec) in networks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&spec, &mut rng);
+        let x: Vec<f32> = (0..spec.input).map(|i| (i as f32 * 0.01).sin()).collect();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(mlp.predict(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = forward_batch32, train_step_batch32, single_state_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! **Algorithm 1 / Equation 1 bench** — the scoring-function kernels.
+//!
+//! Rows: the paper's sequential baseline (Algorithm 1), the rayon-parallel
+//! kernel (the CPU stand-in for METADOCK's GPU path), and the cell-list
+//! kernel with a 12 Å cutoff — on both the scaled (400-atom) and
+//! paper-scale (3,264-atom) receptors, plus the `N_CONFORMATION` batch
+//! sweep of Algorithm 1's outer loop.
+//!
+//! Expected shape: sequential slowest; parallel wins and its advantage
+//! grows with receptor size and batch size; grid wins once the cutoff
+//! discards most pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use metadock::{DockingEngine, Kernel, Pose, ScoringParams};
+use molkit::SyntheticComplexSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use vecmath::Vec3;
+
+fn single_pose_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/single_pose");
+    for (label, spec) in [
+        ("scaled_400", SyntheticComplexSpec::scaled()),
+        ("paper_3264", SyntheticComplexSpec::paper_2bsm()),
+    ] {
+        let complex = spec.generate();
+        let pairs = (complex.receptor.len() * complex.ligand.len()) as u64;
+        let pose = Pose::rigid(complex.crystal_pose);
+        group.throughput(Throughput::Elements(pairs));
+
+        let seq = DockingEngine::new(complex.clone(), ScoringParams::default(), Kernel::Sequential);
+        group.bench_with_input(BenchmarkId::new("sequential", label), &pose, |b, p| {
+            b.iter(|| black_box(seq.score(p)))
+        });
+
+        let par = seq.with_kernel(Kernel::Parallel);
+        group.bench_with_input(BenchmarkId::new("parallel", label), &pose, |b, p| {
+            b.iter(|| black_box(par.score(p)))
+        });
+
+        let grid = DockingEngine::new(complex, ScoringParams::with_cutoff(12.0), Kernel::Grid);
+        group.bench_with_input(BenchmarkId::new("grid_rc12", label), &pose, |b, p| {
+            b.iter(|| black_box(grid.score(p)))
+        });
+    }
+    group.finish();
+}
+
+fn batch_conformations(c: &mut Criterion) {
+    // Algorithm 1's outer loop: score N_CONFORMATION poses.
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("scoring/n_conformation_batch");
+    for n in [8usize, 32, 128] {
+        let poses: Vec<Pose> = (0..n)
+            .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 40.0, 0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &poses, |b, p| {
+            b.iter(|| black_box(engine.score_batch_sequential(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &poses, |b, p| {
+            b.iter(|| black_box(engine.score_batch(p)))
+        });
+    }
+    group.finish();
+}
+
+fn gridmap_vs_exact(c: &mut Criterion) {
+    // AutoDock-style precomputed maps: the amortised fast path the
+    // classical engines use (gridmap_accuracy experiment has the accuracy
+    // side; this has the statistics-grade timing).
+    use metadock::scoring::{GridMapScorer, Scorer};
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let scorer = Scorer::new(&complex, ScoringParams::default());
+    let maps = GridMapScorer::around_crystal(&scorer, &complex, 5.0, 0.5);
+    let coords = complex.ligand_coords(&complex.crystal_pose);
+
+    let mut group = c.benchmark_group("scoring/gridmap");
+    group.bench_function("exact_pairwise", |b| {
+        b.iter(|| black_box(scorer.score(&coords, Kernel::Sequential)))
+    });
+    group.bench_function("gridmap_interpolated", |b| {
+        b.iter(|| black_box(maps.score(&coords)))
+    });
+    group.finish();
+}
+
+fn flexible_pose_overhead(c: &mut Criterion) {
+    // Torsion application cost on top of rigid scoring.
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    let rigid = Pose::rigid(engine.complex().crystal_pose);
+    let flexible = Pose {
+        transform: engine.complex().crystal_pose,
+        torsions: vec![0.3; engine.n_torsions()],
+    };
+    let mut group = c.benchmark_group("scoring/flexible_overhead");
+    group.bench_function("rigid", |b| b.iter(|| black_box(engine.score(&rigid))));
+    group.bench_function("flexible_6_torsions", |b| {
+        b.iter(|| black_box(engine.score(&flexible)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = single_pose_kernels, batch_conformations, gridmap_vs_exact, flexible_pose_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Algorithm 2 bench** — the cost of the DQN-Docking inner loop:
+//! environment steps, minibatch gradient steps, and whole short episodes,
+//! on the scaled configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqn_docking::{trainer, Config, DockingEnv};
+use rl::{Environment, Transition};
+use std::hint::black_box;
+
+fn env_step(c: &mut Criterion) {
+    let config = Config::scaled();
+    let mut env = DockingEnv::from_config(&config);
+    env.reset();
+    let mut i = 0usize;
+    c.bench_function("training/env_step", |b| {
+        b.iter(|| {
+            i = (i + 1) % 12;
+            let out = env.step(black_box(i));
+            if out.terminal {
+                env.reset();
+            }
+            black_box(out.reward)
+        })
+    });
+}
+
+fn minibatch_gradient_step(c: &mut Criterion) {
+    let config = Config::scaled();
+    let mut env = DockingEnv::from_config(&config);
+    let mut agent = trainer::build_agent(&config, &env);
+    // Pre-fill the replay buffer.
+    let mut state = env.reset();
+    for t in 0..512 {
+        let action = t % 12;
+        let out = env.step(action);
+        agent.observe(Transition {
+            state: state.clone(),
+            action,
+            reward: out.reward,
+            next_state: out.state.clone(),
+            terminal: out.terminal,
+        });
+        state = if out.terminal { env.reset() } else { out.state };
+    }
+    c.bench_function("training/minibatch_gradient_step_b32", |b| {
+        b.iter(|| black_box(agent.learn_minibatch()))
+    });
+}
+
+fn short_episode(c: &mut Criterion) {
+    let mut config = Config::tiny();
+    config.episodes = 1;
+    config.max_steps = 25;
+    c.bench_function("training/short_episode_25_steps", |b| {
+        b.iter(|| black_box(trainer::run(&config, |_| {}).episodes.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = env_step, minibatch_gradient_step, short_episode
+}
+criterion_main!(benches);

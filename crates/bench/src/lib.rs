@@ -1,0 +1,32 @@
+//! Shared helpers for the Criterion benches in `benches/`.
+//!
+//! Each bench regenerates one table/figure-shaped measurement from the
+//! paper; see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md`
+//! for recorded results.
+
+use metadock::{DockingEngine, Kernel, ScoringParams};
+use molkit::SyntheticComplexSpec;
+
+/// The standard scaled complex used by benches (400-atom receptor).
+pub fn scaled_engine() -> DockingEngine {
+    DockingEngine::with_defaults(SyntheticComplexSpec::scaled().generate())
+}
+
+/// The paper-parity complex (3,264-atom receptor, 45-atom ligand).
+pub fn paper_engine() -> DockingEngine {
+    DockingEngine::with_defaults(SyntheticComplexSpec::paper_2bsm().generate())
+}
+
+/// Engine with a cutoff so the grid kernel is usable.
+pub fn engine_with_cutoff(paper_scale: bool, cutoff: f64) -> DockingEngine {
+    let spec = if paper_scale {
+        SyntheticComplexSpec::paper_2bsm()
+    } else {
+        SyntheticComplexSpec::scaled()
+    };
+    DockingEngine::new(
+        spec.generate(),
+        ScoringParams::with_cutoff(cutoff),
+        Kernel::Grid,
+    )
+}

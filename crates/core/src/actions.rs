@@ -1,0 +1,285 @@
+//! The agent's discrete action set.
+//!
+//! The paper (§3): *"we consider a set of 12 possible actions to be taken
+//! by the ligand, including shifting and rotating forwards/backwards in the
+//! three spatial axes"* — i.e. ±translate x/y/z and ±rotate x/y/z, with a
+//! shift length of 1 unit and a rotation of 0.5° per step (Table 1).
+//!
+//! Future work #3 adds ligand flexibility: *"the ligand can fold in 6
+//! bonds, so that would make a total of 18 possible actions"* — one extra
+//! action per rotatable bond, advancing that torsion by a fixed increment
+//! (wrapping at ±π keeps the space closed without doubling the action
+//! count, matching the paper's 12 + 6 arithmetic).
+
+use metadock::pose::wrap_angle;
+use metadock::Pose;
+use serde::{Deserialize, Serialize};
+use vecmath::{Quat, Transform, Vec3};
+
+/// One discrete action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Translate along axis 0/1/2 (x/y/z) in the ± direction.
+    Shift {
+        /// Axis index 0..3.
+        axis: usize,
+        /// `true` = positive direction.
+        positive: bool,
+    },
+    /// Rotate about the ligand's centre of mass around axis 0/1/2, ±.
+    Rotate {
+        /// Axis index 0..3.
+        axis: usize,
+        /// `true` = positive direction.
+        positive: bool,
+    },
+    /// Advance torsion `index` by the torsion increment (flexible mode).
+    Twist {
+        /// Torsion index.
+        index: usize,
+    },
+}
+
+impl Action {
+    /// Short display name (e.g. `+Tx`, `-Rz`, `Twist3`).
+    pub fn name(&self) -> String {
+        let axis_name = |a: usize| ["x", "y", "z"][a];
+        match *self {
+            Action::Shift { axis, positive } => {
+                format!("{}T{}", if positive { "+" } else { "-" }, axis_name(axis))
+            }
+            Action::Rotate { axis, positive } => {
+                format!("{}R{}", if positive { "+" } else { "-" }, axis_name(axis))
+            }
+            Action::Twist { index } => format!("Twist{index}"),
+        }
+    }
+}
+
+/// The full action set with its step magnitudes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionSet {
+    actions: Vec<Action>,
+    /// Translation step, in coordinate units (Å in this workspace; the
+    /// paper's Table 1 says "1 nanometer", i.e. one unit of its grid).
+    pub shift_length: f64,
+    /// Rotation step in radians (paper: 0.5°).
+    pub rotation_step: f64,
+    /// Torsion step in radians (flexible mode).
+    pub torsion_step: f64,
+    /// Number of ligand torsions (0 = rigid mode).
+    pub n_torsions: usize,
+}
+
+impl ActionSet {
+    /// The paper's 12-action rigid set.
+    pub fn rigid(shift_length: f64, rotation_step_deg: f64) -> Self {
+        ActionSet::flexible(shift_length, rotation_step_deg, 0, 0.0)
+    }
+
+    /// The extended set: 12 rigid actions + one per torsion (the paper's
+    /// 18-action arithmetic for the 6-torsion 2BSM ligand).
+    pub fn flexible(
+        shift_length: f64,
+        rotation_step_deg: f64,
+        n_torsions: usize,
+        torsion_step_deg: f64,
+    ) -> Self {
+        assert!(shift_length > 0.0, "shift length must be positive");
+        assert!(rotation_step_deg > 0.0, "rotation step must be positive");
+        let mut actions = Vec::with_capacity(12 + n_torsions);
+        for axis in 0..3 {
+            for positive in [true, false] {
+                actions.push(Action::Shift { axis, positive });
+            }
+        }
+        for axis in 0..3 {
+            for positive in [true, false] {
+                actions.push(Action::Rotate { axis, positive });
+            }
+        }
+        for index in 0..n_torsions {
+            actions.push(Action::Twist { index });
+        }
+        ActionSet {
+            actions,
+            shift_length,
+            rotation_step: rotation_step_deg.to_radians(),
+            torsion_step: torsion_step_deg.to_radians(),
+            n_torsions,
+        }
+    }
+
+    /// Number of actions (12, or 12 + torsions).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The actions in index order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Applies action `index` to `pose`, returning the new pose.
+    ///
+    /// Rotations act about the ligand's current centre of mass (the pose
+    /// translation, since the reference ligand is COM-centred), so a rotate
+    /// action spins the ligand in place rather than orbiting the origin.
+    ///
+    /// # Panics
+    /// If `index` is out of range, or a twist action targets a torsion the
+    /// pose does not carry.
+    pub fn apply(&self, index: usize, pose: &Pose) -> Pose {
+        let action = self.actions[index];
+        match action {
+            Action::Shift { axis, positive } => {
+                let sign = if positive { 1.0 } else { -1.0 };
+                let mut delta = Vec3::ZERO;
+                match axis {
+                    0 => delta.x = sign * self.shift_length,
+                    1 => delta.y = sign * self.shift_length,
+                    _ => delta.z = sign * self.shift_length,
+                }
+                Pose {
+                    transform: Transform::new(
+                        pose.transform.rotation,
+                        pose.transform.translation + delta,
+                    ),
+                    torsions: pose.torsions.clone(),
+                }
+            }
+            Action::Rotate { axis, positive } => {
+                let sign = if positive { 1.0 } else { -1.0 };
+                let unit = match axis {
+                    0 => Vec3::X,
+                    1 => Vec3::Y,
+                    _ => Vec3::Z,
+                };
+                let dq = Quat::from_axis_angle(unit, sign * self.rotation_step);
+                Pose {
+                    transform: Transform::new(
+                        (dq * pose.transform.rotation).normalized(),
+                        pose.transform.translation,
+                    ),
+                    torsions: pose.torsions.clone(),
+                }
+            }
+            Action::Twist { index } => {
+                assert!(
+                    index < pose.torsions.len(),
+                    "twist action {index} on a pose with {} torsions",
+                    pose.torsions.len()
+                );
+                let mut torsions = pose.torsions.clone();
+                torsions[index] = wrap_angle(torsions[index] + self.torsion_step);
+                Pose {
+                    transform: pose.transform,
+                    torsions,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_set_has_12_actions_and_flexible_18() {
+        assert_eq!(ActionSet::rigid(1.0, 0.5).len(), 12);
+        // The paper's arithmetic: 6 torsions ⇒ 18 actions.
+        assert_eq!(ActionSet::flexible(1.0, 0.5, 6, 10.0).len(), 18);
+    }
+
+    #[test]
+    fn action_names_are_unique() {
+        let set = ActionSet::flexible(1.0, 0.5, 6, 10.0);
+        let mut names: Vec<String> = set.actions().iter().map(Action::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn shifts_translate_by_exactly_the_step() {
+        let set = ActionSet::rigid(1.0, 0.5);
+        let pose = Pose::identity(0);
+        for (i, action) in set.actions().iter().enumerate().take(6) {
+            let new = set.apply(i, &pose);
+            let d = new.transform.translation;
+            assert!((d.norm() - 1.0).abs() < 1e-12, "{action:?}");
+            // Orientation untouched.
+            assert_eq!(new.transform.rotation, pose.transform.rotation);
+        }
+    }
+
+    #[test]
+    fn opposite_shifts_cancel() {
+        let set = ActionSet::rigid(2.5, 0.5);
+        let pose = Pose::identity(0);
+        // Actions are ordered (+x, −x, +y, −y, +z, −z).
+        for axis_pair in [(0, 1), (2, 3), (4, 5)] {
+            let there = set.apply(axis_pair.0, &pose);
+            let back = set.apply(axis_pair.1, &there);
+            assert!(back.transform.translation.approx_eq(Vec3::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rotations_rotate_by_half_degree_and_cancel() {
+        let set = ActionSet::rigid(1.0, 0.5);
+        let pose = Pose::identity(0);
+        let rotated = set.apply(6, &pose); // +Rx
+        let (_, angle) = rotated.transform.rotation.to_axis_angle();
+        assert!((angle - 0.5f64.to_radians()).abs() < 1e-12);
+        let back = set.apply(7, &rotated); // −Rx
+        assert!(back.transform.rotation.approx_eq_rotation(Quat::IDENTITY, 1e-12));
+    }
+
+    #[test]
+    fn rotation_preserves_translation() {
+        let set = ActionSet::rigid(1.0, 0.5);
+        let pose = Pose {
+            transform: Transform::translate(Vec3::new(5.0, -3.0, 2.0)),
+            torsions: vec![],
+        };
+        let rotated = set.apply(8, &pose); // +Ry
+        assert_eq!(rotated.transform.translation, pose.transform.translation);
+    }
+
+    #[test]
+    fn twist_advances_and_wraps() {
+        let set = ActionSet::flexible(1.0, 0.5, 2, 90.0);
+        let mut pose = Pose::identity(2);
+        for _ in 0..3 {
+            pose = set.apply(12, &pose); // Twist0 three times = 270° → wraps to −90°
+        }
+        assert!((pose.torsions[0] - (-std::f64::consts::FRAC_PI_2)).abs() < 1e-12);
+        assert_eq!(pose.torsions[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "twist action")]
+    fn twist_on_rigid_pose_panics() {
+        let set = ActionSet::flexible(1.0, 0.5, 1, 10.0);
+        let pose = Pose::identity(0);
+        let _ = set.apply(12, &pose);
+    }
+
+    #[test]
+    fn full_rotation_cycle_returns_to_identity() {
+        // 720 × (+Rz by 0.5°) = full turn; Table 1's granularity.
+        let set = ActionSet::rigid(1.0, 0.5);
+        let mut pose = Pose::identity(0);
+        for _ in 0..720 {
+            pose = set.apply(10, &pose); // +Rz
+        }
+        assert!(pose.transform.rotation.approx_eq_rotation(Quat::IDENTITY, 1e-9));
+    }
+}

@@ -1,0 +1,298 @@
+//! `dqn-dock` — the command-line face of the DQN-Docking reproduction.
+//!
+//! ```text
+//! dqn-dock info                         # show the configuration & complex
+//! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
+//!                 [--policy FILE] [--csv FILE]
+//! dqn-dock eval   --policy FILE [--episodes N] [--trace FILE]
+//! dqn-dock dock   [--method mc|sa|ga|random] [--budget N] [--seed S] [--flexible]
+//! dqn-dock blind  [--budget N] [--spot-radius R]
+//! dqn-dock screen [--decoys N] [--budget B]
+//! ```
+//!
+//! Everything runs on the laptop-scale synthetic complex unless `--paper`
+//! selects the 2BSM-sized preset.
+
+use dqn_docking::{policy, trainer, Config, DockingEnv, Policy};
+use metadock::{blind_dock, DockingEngine, Metaheuristic};
+use molkit::LibrarySpec;
+use rl::Environment;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--name value` pairs plus bare switches.
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn new() -> Self {
+        Args {
+            raw: std::env::args().skip(2).collect(),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn base_config(args: &Args) -> Config {
+    let mut config = if args.flag("--paper") {
+        Config::paper_2bsm()
+    } else {
+        Config::scaled()
+    };
+    if args.flag("--flexible") {
+        config.flexible = true;
+    }
+    config.dqn.seed = args.parse("--seed", config.dqn.seed);
+    config
+}
+
+fn main() -> ExitCode {
+    let command = std::env::args().nth(1).unwrap_or_default();
+    let args = Args::new();
+    match command.as_str() {
+        "info" => cmd_info(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "dock" => cmd_dock(&args),
+        "blind" => cmd_blind(&args),
+        "screen" => cmd_screen(&args),
+        _ => {
+            eprintln!(
+                "usage: dqn-dock <info|train|eval|dock|blind|screen> [flags]\n\
+                 see the module docs (`cargo doc`) or README.md for flags"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &Args) {
+    let config = base_config(args);
+    println!("{}", config.table1());
+    let env = DockingEnv::from_config(&config);
+    let complex = env.engine().complex();
+    println!("complex:");
+    println!("  receptor atoms:        {}", complex.receptor.len());
+    println!(
+        "  ligand atoms/torsions: {}/{}",
+        complex.ligand.len(),
+        complex.n_torsions()
+    );
+    println!("  state dimension:       {}", env.state_dim());
+    println!("  actions:               {}", env.n_actions());
+    println!("  initial COM distance:  {:.2} Å", complex.initial_com_separation());
+    println!("  episode boundary:      {:.2} Å", env.boundary());
+    println!("  initial score:         {:.2}", env.engine().initial_score());
+    println!("  crystal score:         {:.2}", env.engine().crystal_score());
+}
+
+fn cmd_train(args: &Args) {
+    let mut config = base_config(args);
+    config.episodes = args.parse("--episodes", config.episodes.min(60));
+    let mut env = DockingEnv::from_config(&config);
+    println!(
+        "training {} episodes on {} actions / state dim {}...",
+        config.episodes,
+        env.n_actions(),
+        env.state_dim()
+    );
+
+    // Train through the library path, then rebuild the same agent to
+    // extract its policy via a manual loop (trainer::run does not expose
+    // the agent; the manual loop matches it exactly).
+    let mut agent = trainer::build_agent(&config, &env);
+    for episode in 0..config.episodes {
+        let mut state = env.reset();
+        let mut reward_sum = 0.0;
+        let mut steps = 0;
+        for _ in 0..config.max_steps {
+            let action = agent.act(&state);
+            let out = env.step(action);
+            reward_sum += out.reward;
+            steps += 1;
+            agent.observe(rl::Transition {
+                state: state.clone(),
+                action,
+                reward: out.reward,
+                next_state: out.state.clone(),
+                terminal: out.terminal,
+            });
+            state = out.state;
+            if out.terminal {
+                break;
+            }
+        }
+        if episode % 10 == 0 || episode + 1 == config.episodes {
+            println!(
+                "episode {episode:>4}: steps {steps:>4}  reward {reward_sum:>7.1}  eps {:.3}",
+                agent.epsilon()
+            );
+        }
+    }
+
+    if let Some(path) = args.value("--policy") {
+        Policy::from_agent(&agent).save(path).expect("save policy");
+        println!("saved policy to {path}");
+    }
+    if let Some(path) = args.value("--csv") {
+        // Re-run deterministically through the trainer for the CSV curve.
+        let run = trainer::run(&config, |_| {});
+        std::fs::write(path, run.to_csv()).expect("write CSV");
+        println!("wrote training curve to {path}");
+    }
+    if let Some(path) = args.value("--report") {
+        let run = trainer::run(&config, |_| {});
+        std::fs::write(path, dqn_docking::training_report(&config, &run)).expect("write report");
+        println!("wrote markdown report to {path}");
+    }
+}
+
+fn cmd_eval(args: &Args) {
+    let config = base_config(args);
+    let Some(path) = args.value("--policy") else {
+        eprintln!("eval requires --policy FILE");
+        return;
+    };
+    let mut env = DockingEnv::from_config(&config);
+    let policy = Policy::load(path, &env).expect("load policy");
+    let episodes = args.parse("--episodes", 1usize);
+    let report = policy::evaluate(&config, &policy, episodes);
+    println!("greedy evaluation over {} episode(s):", report.episodes);
+    println!("  best score:       {:.2}", report.best_score);
+    println!("  mean best score:  {:.2}", report.mean_best_score);
+    println!("  RMSD at best:     {:.2} Å", report.rmsd_at_best);
+    println!("  success rate:     {:.0}% (RMSD ≤ 2 Å)", report.success_rate * 100.0);
+    println!("  mean steps:       {:.1}", report.mean_steps);
+    if let Some(trace_path) = args.value("--trace") {
+        let tr = policy::rollout(&mut env, &policy, config.max_steps);
+        std::fs::write(trace_path, tr.to_csv()).expect("write trace");
+        println!("wrote greedy trajectory to {trace_path}");
+    }
+}
+
+fn cmd_dock(args: &Args) {
+    let config = base_config(args);
+    let budget = args.parse("--budget", 6000usize);
+    let seed = args.parse("--seed", 1u64);
+    let method = args.value("--method").unwrap_or("mc");
+    let complex = config.complex.generate();
+    let engine = DockingEngine::new(complex, config.scoring, config.kernel);
+    let mut mh = match method {
+        "mc" => Metaheuristic::monte_carlo(budget, seed),
+        "sa" => Metaheuristic::simulated_annealing(budget, seed),
+        "ga" => Metaheuristic::genetic(budget, seed),
+        "random" => Metaheuristic::random_search(budget, seed),
+        other => {
+            eprintln!("unknown method {other:?} (mc|sa|ga|random)");
+            return;
+        }
+    };
+    if config.flexible {
+        mh = mh.flexible();
+    }
+    println!("docking with {} ({budget} evaluations)...", mh.name);
+    let mut out = mh.run(&engine);
+    if args.flag("--refine") {
+        let refined = metadock::local_optimize(
+            &engine,
+            &out.best_pose,
+            metadock::RefineParams::default(),
+        );
+        println!(
+            "local refinement: {:.2} -> {:.2} ({} extra evaluations)",
+            out.best_score, refined.score, refined.evaluations
+        );
+        out.best_pose = refined.pose;
+        out.best_score = refined.score;
+        out.evaluations += refined.evaluations;
+    }
+    println!("best score:    {:.2} (crystal pose scores {:.2})", out.best_score, engine.crystal_score());
+    println!("evaluations:   {} ({} to best)", out.evaluations, out.evaluations_to_best);
+    println!(
+        "RMSD:          {:.2} Å",
+        engine.complex().rmsd_to_crystal(&out.best_pose.transform)
+    );
+    println!(
+        "pose: t = ({:.2}, {:.2}, {:.2}), torsions = {:?}",
+        out.best_pose.transform.translation.x,
+        out.best_pose.transform.translation.y,
+        out.best_pose.transform.translation.z,
+        out.best_pose
+            .torsions
+            .iter()
+            .map(|a| (a.to_degrees() * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    let fp = metadock::fingerprint(&engine, &out.best_pose, 4.5);
+    println!("\ninteraction fingerprint:\n{}", fp.render());
+}
+
+fn cmd_blind(args: &Args) {
+    let config = base_config(args);
+    let budget = args.parse("--budget", 400usize);
+    let spot_radius = args.parse("--spot-radius", 8.0f64);
+    let complex = config.complex.generate();
+    let engine = DockingEngine::new(complex, config.scoring, config.kernel);
+    println!("blind docking: spots of {spot_radius} Å, {budget} evaluations each...");
+    let out = blind_dock(&engine, spot_radius, budget, args.parse("--seed", 42u64));
+    for (i, r) in out.per_spot.iter().enumerate() {
+        println!(
+            "  spot {:>2}: {:>3} atoms, best {:>12.2}{}",
+            i,
+            r.spot.atoms.len(),
+            r.outcome.best_score,
+            if i == out.best_spot { "  ◀ best" } else { "" }
+        );
+    }
+    let best = out.best();
+    println!(
+        "winner: spot {} — score {:.2}, RMSD {:.2} Å",
+        out.best_spot,
+        best.outcome.best_score,
+        engine.complex().rmsd_to_crystal(&best.outcome.best_pose.transform)
+    );
+}
+
+fn cmd_screen(args: &Args) {
+    let mut spec = LibrarySpec::default();
+    spec.n_decoys = args.parse("--decoys", spec.n_decoys);
+    let library = spec.generate();
+    let params = metadock::ScreenParams {
+        budget_per_ligand: args.parse("--budget", 3000usize),
+        method: args.value("--method").unwrap_or("ga").to_string(),
+        refine: args.flag("--refine"),
+        seed: args.parse("--seed", 11u64),
+        ..metadock::ScreenParams::default()
+    };
+    println!(
+        "screening {} ligands with {} ({} evaluations each{})...",
+        library.len(),
+        params.method,
+        params.budget_per_ligand,
+        if params.refine { ", + local refinement" } else { "" }
+    );
+    let report = metadock::run_screen(&library, &params);
+    println!("{}", report.render());
+    if let Some(rank) = report.reference_rank() {
+        println!("planted binder rank: #{rank} of {}", report.by_score.len());
+    }
+    println!("total evaluations: {}", report.total_evaluations);
+}

@@ -1,0 +1,381 @@
+//! Configuration — the paper's Table 1, plus the environment definition.
+
+use metadock::{Kernel, ScoringParams};
+use molkit::SyntheticComplexSpec;
+use neural::{Loss, OptimizerSpec};
+use rl::{DqnConfig, EpsilonSchedule, TargetRule};
+use serde::{Deserialize, Serialize};
+
+/// How the METADOCK internal state is presented to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StateLayout {
+    /// The paper's raw layout: receptor coordinates + ligand coordinates +
+    /// bond table, flattened (16,599 reals for 2BSM). Only the ligand block
+    /// changes during an episode — the paper acknowledges this is wasteful
+    /// (§5, limitation #2).
+    PaperFull,
+    /// Compact layout: ligand coordinates only (plus torsion angles in
+    /// flexible mode) — "those elements in the state vector that really
+    /// change over each iteration" (§3). Default for scaled runs.
+    #[default]
+    LigandOnly,
+}
+
+/// The full experiment configuration. `Config::paper_2bsm()` reproduces
+/// Table 1 value-for-value; `Config::scaled()` shrinks the complex and the
+/// run length to laptop scale while keeping every mechanism identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// The synthetic complex standing in for 2BSM.
+    pub complex: SyntheticComplexSpec,
+    /// Scoring-function parameters.
+    pub scoring: ScoringParams,
+    /// Scoring kernel for environment steps.
+    pub kernel: Kernel,
+
+    // --- environment / problem definition (Table 1, top block) ------------
+    /// Episodes M (paper: 1,800).
+    pub episodes: usize,
+    /// Max time-steps per episode T (paper: 1,000).
+    pub max_steps: usize,
+    /// Shift length per step (paper: 1 unit).
+    pub shift_length: f64,
+    /// Rotation angle per step in degrees (paper: 0.5).
+    pub rotation_angle_deg: f64,
+    /// Torsion increment per twist action in degrees (flexible mode).
+    pub torsion_angle_deg: f64,
+    /// Whether to enable the 12 + k flexible action set (§5 future work #3).
+    pub flexible: bool,
+    /// Episode boundary as a multiple of the initial COM separation
+    /// (paper: "an additional third", i.e. 4/3).
+    pub boundary_factor: f64,
+    /// Score threshold of the second termination rule (paper: −100,000).
+    pub score_threshold: f64,
+    /// Consecutive sub-threshold steps that end the episode (paper: 20).
+    pub threshold_patience: usize,
+    /// Enable the movement-boundary termination rule (paper rule #1).
+    /// Disabling reproduces the raw METADOCK environment, which has no
+    /// stop conditions.
+    pub enable_boundary_rule: bool,
+    /// Enable the sustained-catastrophic-score termination rule (paper
+    /// rule #2).
+    pub enable_burrow_rule: bool,
+    /// State featurisation layout.
+    pub state_layout: StateLayout,
+    /// Scale factor applied to coordinates in the state vector (1.0 = raw,
+    /// as the paper; smaller values normalise the network input).
+    pub coord_scale: f64,
+
+    // --- DL hyper-parameters (Table 1, bottom block) -----------------------
+    /// Hidden layer widths (paper: `[135, 135]` = 45 ligand atoms × 3).
+    pub hidden_layers: Vec<usize>,
+    /// Optimizer (paper: RMSprop, lr 2.5e-4).
+    pub optimizer: OptimizerSpec,
+    /// Training loss.
+    pub loss: Loss,
+    /// Optional global-norm gradient clip (None = unclipped, as the paper).
+    pub grad_clip_norm: Option<f32>,
+    /// Run a greedy (ε = 0) evaluation episode every N training episodes,
+    /// recording its best score and RMSD (None = never; the paper reports
+    /// only training-time metrics).
+    pub eval_every: Option<usize>,
+
+    // --- RL hyper-parameters (Table 1, top block) ---------------------------
+    /// DQN agent configuration (γ, minibatch, replay, ε, target period, …).
+    pub dqn: DqnConfig,
+}
+
+impl Config {
+    /// Laptop-scale preset: 400-atom receptor, 16-atom ligand, compact
+    /// state, short runs. Every mechanism of the paper-exact preset is
+    /// exercised; only sizes shrink.
+    pub fn scaled() -> Self {
+        Config {
+            complex: SyntheticComplexSpec::scaled(),
+            scoring: ScoringParams::default(),
+            kernel: Kernel::Parallel,
+            episodes: 60,
+            max_steps: 150,
+            shift_length: 1.0,
+            rotation_angle_deg: 0.5,
+            torsion_angle_deg: 10.0,
+            flexible: false,
+            boundary_factor: 4.0 / 3.0,
+            score_threshold: -100_000.0,
+            threshold_patience: 20,
+            enable_boundary_rule: true,
+            enable_burrow_rule: true,
+            state_layout: StateLayout::LigandOnly,
+            coord_scale: 0.05,
+            hidden_layers: vec![64, 64],
+            optimizer: OptimizerSpec::adam(1e-3),
+            loss: Loss::Huber { delta: 1.0 },
+            grad_clip_norm: Some(10.0),
+            eval_every: None,
+            dqn: DqnConfig {
+                gamma: 0.99,
+                batch_size: 32,
+                replay_capacity: 50_000,
+                learning_start: 500,
+                initial_exploration: 500,
+                target_update_every: 500,
+                epsilon: EpsilonSchedule {
+                    initial: 1.0,
+                    final_value: 0.05,
+                    decay_per_step: 2e-4,
+                },
+                target_rule: TargetRule::Standard,
+                prioritized_alpha: None,
+                boltzmann_temperature: None,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Paper-exact preset: every number from Table 1, on the 2BSM-sized
+    /// synthetic complex (3,264-atom receptor, 45-atom ligand, 6 torsions).
+    /// A full run is 1,800 episodes × up to 1,000 steps — hours of compute;
+    /// the `fig4_training_curve` experiment accepts `--episodes` to trim it.
+    pub fn paper_2bsm() -> Self {
+        Config {
+            complex: SyntheticComplexSpec::paper_2bsm(),
+            scoring: ScoringParams::default(),
+            kernel: Kernel::Parallel,
+            episodes: 1_800,
+            max_steps: 1_000,
+            shift_length: 1.0,
+            rotation_angle_deg: 0.5,
+            torsion_angle_deg: 10.0,
+            flexible: false,
+            boundary_factor: 4.0 / 3.0,
+            score_threshold: -100_000.0,
+            threshold_patience: 20,
+            enable_boundary_rule: true,
+            enable_burrow_rule: true,
+            state_layout: StateLayout::PaperFull,
+            coord_scale: 1.0, // raw coordinates, as the paper fed them
+            hidden_layers: vec![135, 135],
+            optimizer: OptimizerSpec::paper_rmsprop(),
+            loss: Loss::Mse,
+            grad_clip_norm: None, // the paper does not clip gradients
+            eval_every: None,
+            dqn: DqnConfig::paper(),
+        }
+    }
+
+    /// Unit-test preset: tiny complex, tiny net, immediate learning.
+    pub fn tiny() -> Self {
+        let mut c = Config::scaled();
+        c.complex = SyntheticComplexSpec::tiny();
+        c.episodes = 4;
+        c.max_steps = 25;
+        c.hidden_layers = vec![16];
+        c.dqn.learning_start = 40;
+        c.dqn.initial_exploration = 40;
+        c.dqn.batch_size = 8;
+        c.dqn.target_update_every = 50;
+        c
+    }
+
+    /// Sanity-checks the configuration, returning a list of problems
+    /// (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.episodes == 0 {
+            problems.push("episodes must be positive".into());
+        }
+        if self.max_steps == 0 {
+            problems.push("max_steps must be positive".into());
+        }
+        if self.shift_length <= 0.0 {
+            problems.push("shift_length must be positive".into());
+        }
+        if self.rotation_angle_deg <= 0.0 {
+            problems.push("rotation_angle_deg must be positive".into());
+        }
+        if self.boundary_factor <= 1.0 {
+            problems.push("boundary_factor must exceed 1 (the boundary must lie beyond the start)".into());
+        }
+        if self.threshold_patience == 0 {
+            problems.push("threshold_patience must be positive".into());
+        }
+        if self.hidden_layers.is_empty() {
+            problems.push("at least one hidden layer is required".into());
+        }
+        if self.hidden_layers.contains(&0) {
+            problems.push("hidden layer widths must be positive".into());
+        }
+        if self.coord_scale <= 0.0 {
+            problems.push("coord_scale must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.dqn.gamma) {
+            problems.push("gamma must be in [0, 1]".into());
+        }
+        problems
+    }
+
+    /// Number of actions implied by this config (12, or 12 + torsions).
+    pub fn n_actions(&self) -> usize {
+        if self.flexible {
+            12 + self.complex.ligand.n_rotatable
+        } else {
+            12
+        }
+    }
+
+    /// Renders the two-panel hyper-parameter table in the layout of the
+    /// paper's Table 1 (used by the `table1_hyperparameters` experiment).
+    pub fn table1(&self) -> String {
+        let mut out = String::new();
+        out.push_str("RL hyperparameters\n");
+        out.push_str(&format!("{:<38}{:>12}\n", "Hyperparameter", "Value"));
+        let rl_rows: Vec<(&str, String)> = vec![
+            ("Number of episodes M", format!("{}", self.episodes)),
+            ("Maximum time-steps limit T", format!("{}", self.max_steps)),
+            ("Action space", format!("{}", self.n_actions())),
+            ("Shifting length per step", format!("{}", self.shift_length)),
+            ("Rotating angle per step", format!("{}", self.rotation_angle_deg)),
+            (
+                "Initial exploration steps",
+                format!("{}", self.dqn.initial_exploration),
+            ),
+            ("epsilon initial value", format!("{}", self.dqn.epsilon.initial)),
+            ("epsilon final value", format!("{}", self.dqn.epsilon.final_value)),
+            ("epsilon decay", format!("{:e}", self.dqn.epsilon.decay_per_step)),
+            ("gamma discount rate", format!("{}", self.dqn.gamma)),
+            (
+                "Experience replay pool size N",
+                format!("{}", self.dqn.replay_capacity),
+            ),
+            ("Learning start", format!("{}", self.dqn.learning_start)),
+            (
+                "Steps C to update target network",
+                format!("{}", self.dqn.target_update_every),
+            ),
+        ];
+        for (name, value) in rl_rows {
+            out.push_str(&format!("{name:<38}{value:>12}\n"));
+        }
+        out.push('\n');
+        out.push_str("DL hyperparameters\n");
+        out.push_str(&format!("{:<38}{:>12}\n", "Hyperparameter", "Value"));
+        let opt_name = match self.optimizer {
+            OptimizerSpec::Sgd { .. } => "SGD",
+            OptimizerSpec::RmsProp { .. } => "RMSprop",
+            OptimizerSpec::Adam { .. } => "Adam",
+        };
+        let dl_rows: Vec<(&str, String)> = vec![
+            (
+                "Number of hidden layers",
+                format!("{}", self.hidden_layers.len()),
+            ),
+            (
+                "Hidden layer size",
+                format!(
+                    "{}",
+                    self.hidden_layers.first().copied().unwrap_or_default()
+                ),
+            ),
+            ("Activation function", "ReLU".to_string()),
+            ("Update rule", opt_name.to_string()),
+            (
+                "Learning rate",
+                format!("{}", self.optimizer.learning_rate()),
+            ),
+            ("Minibatch size", format!("{}", self.dqn.batch_size)),
+        ];
+        for (name, value) in dl_rows {
+            out.push_str(&format!("{name:<38}{value:>12}\n"));
+        }
+        out
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table1_exactly() {
+        let c = Config::paper_2bsm();
+        assert_eq!(c.episodes, 1_800);
+        assert_eq!(c.max_steps, 1_000);
+        assert_eq!(c.n_actions(), 12);
+        assert_eq!(c.shift_length, 1.0);
+        assert_eq!(c.rotation_angle_deg, 0.5);
+        assert_eq!(c.dqn.initial_exploration, 20_000);
+        assert_eq!(c.dqn.epsilon.initial, 1.0);
+        assert_eq!(c.dqn.epsilon.final_value, 0.05);
+        assert_eq!(c.dqn.epsilon.decay_per_step, 4.5e-5);
+        assert_eq!(c.dqn.gamma, 0.99);
+        assert_eq!(c.dqn.replay_capacity, 400_000);
+        assert_eq!(c.dqn.learning_start, 10_000);
+        assert_eq!(c.dqn.target_update_every, 1_000);
+        assert_eq!(c.hidden_layers, vec![135, 135]);
+        assert_eq!(c.optimizer.learning_rate(), 2.5e-4);
+        assert_eq!(c.dqn.batch_size, 32);
+        // Complex dimensions match the paper's 2BSM description.
+        assert_eq!(c.complex.receptor.n_atoms, 3264);
+        assert_eq!(c.complex.ligand.n_atoms, 45);
+        assert_eq!(c.complex.ligand.n_rotatable, 6);
+    }
+
+    #[test]
+    fn flexible_mode_action_arithmetic() {
+        let mut c = Config::paper_2bsm();
+        assert_eq!(c.n_actions(), 12);
+        c.flexible = true;
+        assert_eq!(c.n_actions(), 18); // the paper's §5 number
+    }
+
+    #[test]
+    fn presets_validate_cleanly() {
+        assert!(Config::scaled().validate().is_empty());
+        assert!(Config::paper_2bsm().validate().is_empty());
+        assert!(Config::tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_each_problem() {
+        type Breaker = Box<dyn Fn(&mut Config)>;
+        let breakers: Vec<(&str, Breaker)> = vec![
+            ("episodes", Box::new(|c| c.episodes = 0)),
+            ("max_steps", Box::new(|c| c.max_steps = 0)),
+            ("shift_length", Box::new(|c| c.shift_length = -1.0)),
+            ("boundary_factor", Box::new(|c| c.boundary_factor = 0.5)),
+            ("threshold_patience", Box::new(|c| c.threshold_patience = 0)),
+            ("hidden", Box::new(|c| c.hidden_layers.clear())),
+            ("hidden width", Box::new(|c| c.hidden_layers = vec![0])),
+            ("coord_scale", Box::new(|c| c.coord_scale = 0.0)),
+            ("gamma", Box::new(|c| c.dqn.gamma = 1.5)),
+        ];
+        for (tag, breaker) in breakers {
+            let mut c = Config::scaled();
+            breaker(&mut c);
+            assert!(!c.validate().is_empty(), "expected {tag} to be rejected");
+        }
+    }
+
+    #[test]
+    fn table1_contains_the_paper_values() {
+        let t = Config::paper_2bsm().table1();
+        for needle in [
+            "1800", "1000", "12", "0.5", "20000", "0.05", "4.5e-5", "0.99", "400000",
+            "10000", "RMSprop", "0.00025", "32", "135", "ReLU",
+        ] {
+            assert!(t.contains(needle), "Table 1 must contain {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn boundary_factor_is_an_additional_third() {
+        let c = Config::paper_2bsm();
+        assert!((c.boundary_factor - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,422 @@
+//! The docking environment — METADOCK wrapped as an [`rl::Environment`].
+//!
+//! Implements the paper's §3 environment contract plus its two bespoke
+//! "game rules":
+//!
+//! 1. **Boundary rule** — the ligand's movement area is restricted to "an
+//!    additional third with respect to the euclidean distance between the
+//!    mass centers of receptor and ligand at the initial state"; crossing
+//!    `(4/3)·d₀` terminates the episode immediately.
+//! 2. **Burrowing rule** — if the score stays below −100,000 for 20
+//!    consecutive time-steps (the ligand is grinding through the
+//!    receptor's interior), the episode terminates.
+//!
+//! Score evaluation goes through a [`metadock::ipc::Transport`], so the
+//! same environment can run on the in-process engine, the RAM server
+//! thread, or the paper's file-exchange protocol (for the IPC ablation).
+
+use crate::actions::ActionSet;
+use crate::config::Config;
+use crate::state::StateFeaturizer;
+use metadock::ipc::Transport;
+use metadock::{DockingEngine, Pose};
+use molkit::measure;
+use rl::{clip_reward, Environment, StepOutcome};
+use vecmath::Vec3;
+
+/// The DQN-Docking environment.
+pub struct DockingEnv {
+    engine: DockingEngine,
+    transport: Option<Box<dyn Transport>>,
+    actions: ActionSet,
+    featurizer: StateFeaturizer,
+    /// Absolute COM-separation limit (`boundary_factor · d₀`).
+    boundary: f64,
+    score_threshold: f64,
+    threshold_patience: usize,
+    enable_boundary_rule: bool,
+    enable_burrow_rule: bool,
+    flexible: bool,
+
+    // --- per-episode state -------------------------------------------------
+    pose: Pose,
+    last_coords: Vec<Vec3>,
+    last_score: f64,
+    below_count: usize,
+    episode_steps: usize,
+    /// Total environment evaluations (for evaluation-budget comparisons
+    /// against the metaheuristics).
+    evaluations: u64,
+}
+
+impl DockingEnv {
+    /// Builds the environment from a config (generating the synthetic
+    /// complex described by `config.complex`).
+    pub fn from_config(config: &Config) -> Self {
+        let complex = config.complex.generate();
+        let engine = DockingEngine::new(complex, config.scoring, config.kernel);
+        DockingEnv::with_engine(engine, config)
+    }
+
+    /// Builds the environment around an existing engine (lets experiments
+    /// share one complex across agents and baselines).
+    pub fn with_engine(engine: DockingEngine, config: &Config) -> Self {
+        let n_torsions = if config.flexible {
+            engine.n_torsions()
+        } else {
+            0
+        };
+        let actions = ActionSet::flexible(
+            config.shift_length,
+            config.rotation_angle_deg,
+            n_torsions,
+            config.torsion_angle_deg,
+        );
+        let featurizer = StateFeaturizer::new(
+            engine.complex(),
+            config.state_layout,
+            config.coord_scale,
+            config.flexible,
+        );
+        let boundary = config.boundary_factor * engine.complex().initial_com_separation();
+        let initial_pose = Pose {
+            transform: engine.complex().initial_pose,
+            torsions: vec![0.0; n_torsions],
+        };
+        let mut env = DockingEnv {
+            engine,
+            transport: None,
+            actions,
+            featurizer,
+            boundary,
+            score_threshold: config.score_threshold,
+            threshold_patience: config.threshold_patience,
+            enable_boundary_rule: config.enable_boundary_rule,
+            enable_burrow_rule: config.enable_burrow_rule,
+            flexible: config.flexible,
+            pose: initial_pose,
+            last_coords: Vec::new(),
+            last_score: 0.0,
+            below_count: 0,
+            episode_steps: 0,
+            evaluations: 0,
+        };
+        let (coords, score) = env.evaluate_current();
+        env.last_coords = coords;
+        env.last_score = score;
+        env
+    }
+
+    /// Routes evaluations through `transport` instead of the in-process
+    /// engine (the IPC ablation). The transport must wrap an engine built
+    /// on the *same* complex or scores will be meaningless.
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    fn evaluate_current(&mut self) -> (Vec<Vec3>, f64) {
+        self.evaluations += 1;
+        match &mut self.transport {
+            Some(t) => {
+                let eval = t
+                    .evaluate(&self.pose)
+                    .expect("environment transport failed");
+                (eval.ligand_coords, eval.score)
+            }
+            None => {
+                let coords = self.engine.ligand_coords(&self.pose);
+                let score = self.engine.scorer().score(&coords, self.engine.kernel());
+                (coords, score)
+            }
+        }
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        self.featurizer.featurize(&self.last_coords, &self.pose.torsions)
+    }
+
+    /// Current docking score.
+    pub fn score(&self) -> f64 {
+        self.last_score
+    }
+
+    /// Current pose.
+    pub fn pose(&self) -> &Pose {
+        &self.pose
+    }
+
+    /// Current COM separation between ligand and receptor.
+    pub fn com_separation(&self) -> f64 {
+        self.engine.complex().com_separation(&self.pose.transform)
+    }
+
+    /// The episode boundary distance (`boundary_factor · d₀`).
+    pub fn boundary(&self) -> f64 {
+        self.boundary
+    }
+
+    /// RMSD of the current ligand coordinates to the crystallographic pose
+    /// (the docking-success metric).
+    pub fn rmsd_to_crystal(&self) -> f64 {
+        let crystal = self
+            .engine
+            .complex()
+            .ligand_coords(&self.engine.complex().crystal_pose);
+        measure::rmsd(&self.last_coords, &crystal)
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &DockingEngine {
+        &self.engine
+    }
+
+    /// The action set.
+    pub fn action_set(&self) -> &ActionSet {
+        &self.actions
+    }
+
+    /// Total score evaluations performed (resets never reset this).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Steps taken in the current episode.
+    pub fn episode_steps(&self) -> usize {
+        self.episode_steps
+    }
+
+    /// Whether the flexible action set is active.
+    pub fn is_flexible(&self) -> bool {
+        self.flexible
+    }
+}
+
+impl Environment for DockingEnv {
+    fn state_dim(&self) -> usize {
+        self.featurizer.dim()
+    }
+
+    fn n_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        let n_torsions = self.pose.torsions.len();
+        self.pose = Pose {
+            transform: self.engine.complex().initial_pose,
+            torsions: vec![0.0; n_torsions],
+        };
+        self.below_count = 0;
+        self.episode_steps = 0;
+        let (coords, score) = self.evaluate_current();
+        self.last_coords = coords;
+        self.last_score = score;
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        assert!(action < self.actions.len(), "action {action} out of range");
+        self.pose = self.actions.apply(action, &self.pose);
+        self.episode_steps += 1;
+
+        let (coords, score) = self.evaluate_current();
+        // Reward: the *change* in score, clipped to {−1, 0, +1} (§3).
+        let reward = clip_reward(score - self.last_score);
+        self.last_coords = coords;
+        self.last_score = score;
+
+        // Rule 1: movement-area boundary.
+        let out_of_bounds =
+            self.enable_boundary_rule && self.com_separation() > self.boundary;
+
+        // Rule 2: sustained catastrophic scores (ligand inside the
+        // receptor bulk).
+        if score < self.score_threshold {
+            self.below_count += 1;
+        } else {
+            self.below_count = 0;
+        }
+        let burrowed =
+            self.enable_burrow_rule && self.below_count >= self.threshold_patience;
+
+        StepOutcome {
+            state: self.observe(),
+            reward,
+            terminal: out_of_bounds || burrowed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StateLayout;
+
+    fn env() -> DockingEnv {
+        DockingEnv::from_config(&Config::tiny())
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let e = env();
+        assert_eq!(e.n_actions(), 12);
+        assert_eq!(e.state_dim(), e.engine().complex().ligand.len() * 3);
+    }
+
+    #[test]
+    fn reset_restores_initial_pose_and_score() {
+        let mut e = env();
+        let s0 = e.reset();
+        let score0 = e.score();
+        for a in [0, 3, 7, 11, 2] {
+            e.step(a);
+        }
+        assert_ne!(e.score(), score0);
+        let s1 = e.reset();
+        assert_eq!(s0, s1);
+        assert_eq!(e.score(), score0);
+        assert_eq!(e.episode_steps(), 0);
+    }
+
+    #[test]
+    fn rewards_are_clipped_ternary() {
+        let mut e = env();
+        e.reset();
+        for a in 0..12 {
+            let out = e.step(a);
+            assert!(
+                out.reward == 1.0 || out.reward == -1.0 || out.reward == 0.0,
+                "clipped reward, got {}",
+                out.reward
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_rule_terminates_episode() {
+        let mut e = env();
+        e.reset();
+        let d0 = e.engine().complex().initial_com_separation();
+        assert!((e.boundary() - d0 * 4.0 / 3.0).abs() < 1e-9);
+        // March straight away from the receptor along the initial-pose
+        // direction: pick the shift whose direction increases separation
+        // fastest by trying each axis each step.
+        let mut terminal = false;
+        for _ in 0..200 {
+            let before = e.com_separation();
+            // Choose the translation action that maximally increases the
+            // separation (greedy escape).
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for a in 0..6 {
+                let candidate = e.action_set().apply(a, e.pose());
+                let sep = e
+                    .engine()
+                    .complex()
+                    .com_separation(&candidate.transform);
+                if sep > best.1 {
+                    best = (a, sep);
+                }
+            }
+            let out = e.step(best.0);
+            assert!(e.com_separation() > before);
+            if out.terminal {
+                terminal = true;
+                break;
+            }
+        }
+        assert!(terminal, "escaping ligand must trip the boundary rule");
+        assert!(e.com_separation() > e.boundary());
+    }
+
+    #[test]
+    fn burrowing_rule_terminates_after_patience() {
+        // Drive the ligand into the receptor core by stepping toward the
+        // receptor COM; once buried, scores crash below the threshold and
+        // after `patience` consecutive steps the episode must end.
+        let mut config = Config::tiny();
+        config.threshold_patience = 3;
+        config.score_threshold = -1_000.0; // easier to trip on the tiny complex
+        let mut e = DockingEnv::from_config(&config);
+        e.reset();
+        let mut terminal = false;
+        for _ in 0..300 {
+            // Greedy approach: pick the shift that minimises separation.
+            let mut best = (0usize, f64::INFINITY);
+            for a in 0..6 {
+                let candidate = e.action_set().apply(a, e.pose());
+                let sep = e
+                    .engine()
+                    .complex()
+                    .com_separation(&candidate.transform);
+                if sep < best.1 {
+                    best = (a, sep);
+                }
+            }
+            let out = e.step(best.0);
+            if out.terminal {
+                terminal = true;
+                break;
+            }
+        }
+        assert!(terminal, "burrowing ligand must trip the score rule");
+        assert!(e.score() < -1_000.0);
+    }
+
+    #[test]
+    fn flexible_mode_exposes_18_actions_and_torsion_state() {
+        let mut config = Config::tiny();
+        config.flexible = true;
+        let mut e = DockingEnv::from_config(&config);
+        let n_torsions = e.engine().n_torsions();
+        assert_eq!(e.n_actions(), 12 + n_torsions);
+        assert_eq!(
+            e.state_dim(),
+            e.engine().complex().ligand.len() * 3 + n_torsions
+        );
+        e.reset();
+        let before = e.pose().torsions.clone();
+        e.step(12); // first twist action
+        assert_ne!(e.pose().torsions, before);
+    }
+
+    #[test]
+    fn paper_full_layout_is_supported() {
+        let mut config = Config::tiny();
+        config.state_layout = StateLayout::PaperFull;
+        let mut e = DockingEnv::from_config(&config);
+        let s = e.reset();
+        assert_eq!(s.len(), e.state_dim());
+        assert!(e.state_dim() > e.engine().complex().receptor.len() * 3);
+    }
+
+    #[test]
+    fn evaluation_counter_advances() {
+        let mut e = env();
+        e.reset();
+        let start = e.evaluations();
+        for a in 0..5 {
+            e.step(a);
+        }
+        assert_eq!(e.evaluations(), start + 5);
+    }
+
+    #[test]
+    fn transport_backed_env_matches_direct_env() {
+        let config = Config::tiny();
+        let mut direct = DockingEnv::from_config(&config);
+        let engine = direct.engine().clone();
+        let mut via_ram = DockingEnv::with_engine(engine.clone(), &config)
+            .with_transport(Box::new(metadock::ipc::RamTransport::new(engine)));
+        let a_state = direct.reset();
+        let b_state = via_ram.reset();
+        assert_eq!(a_state, b_state);
+        for a in [0, 5, 9, 2, 11] {
+            let x = direct.step(a);
+            let y = via_ram.step(a);
+            assert_eq!(x.reward, y.reward);
+            assert_eq!(x.terminal, y.terminal);
+            assert_eq!(x.state, y.state);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **DQN-Docking** — a Rust reproduction of *"Accelerating Drugs Discovery
+//! with Deep Reinforcement Learning: An Early Approach"* (Serrano et al.,
+//! ICPP '18 Companion).
+//!
+//! The paper couples a Deep Q-Network with the METADOCK docking engine: the
+//! ligand is the RL agent, METADOCK is the environment, the 12 actions are
+//! ±translations/±rotations along the three axes, the state is METADOCK's
+//! raw internal geometry, and the reward is the sign of the change in the
+//! docking score. This crate is the paper's system assembled from the
+//! workspace substrates:
+//!
+//! * [`config`] — every hyper-parameter of the paper's **Table 1**, with a
+//!   paper-exact preset and a laptop-scale preset;
+//! * [`actions`] — the discrete action set (12 rigid actions; 12 + k with
+//!   the flexible-ligand extension of §5);
+//! * [`state`] — featurisation of the METADOCK state (receptor + ligand
+//!   coordinates + bond table, the paper's 16,599-real layout, plus a
+//!   compact ligand-only layout);
+//! * [`env`](mod@env) — [`env::DockingEnv`], the [`rl::Environment`] implementation
+//!   with the paper's two bespoke termination rules;
+//! * [`trainer`] — end-to-end training runs producing the **Figure 4**
+//!   series (average max predicted Q per episode) and CSV reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dqn_docking::{trainer, Config};
+//!
+//! // Laptop-scale preset: a small synthetic complex, a small Q-network.
+//! let mut config = Config::scaled();
+//! config.episodes = 3; // demo-sized run
+//! config.max_steps = 40;
+//! let run = trainer::run(&config, |_ep| {});
+//! assert_eq!(run.episodes.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod config;
+pub mod env;
+pub mod policy;
+pub mod report;
+pub mod state;
+pub mod trainer;
+
+pub use actions::{Action, ActionSet};
+pub use config::{Config, StateLayout};
+pub use env::DockingEnv;
+pub use policy::{evaluate, rollout, EvalReport, Policy, Trajectory};
+pub use report::training_report;
+pub use trainer::{run, TrainingRun};

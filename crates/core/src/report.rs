@@ -1,0 +1,172 @@
+//! Markdown run reports.
+//!
+//! Renders a [`TrainingRun`] as a self-contained markdown document — the
+//! artefact you attach to an issue or lab notebook: the configuration
+//! headline, summary metrics, an ASCII rendering of the Figure 4 curve,
+//! and the interleaved greedy-evaluation checkpoints when present.
+
+use crate::config::Config;
+use crate::trainer::TrainingRun;
+use std::fmt::Write as _;
+
+/// Characters used for the curve rendering, in increasing magnitude.
+const SPARK: &[char] = &['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Downsamples `values` into `width` buckets (mean per bucket) and maps
+/// each to a spark character scaled between the series min and max.
+fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets: Vec<f64> = (0..width.min(values.len()))
+        .map(|b| {
+            let lo = b * values.len() / width.min(values.len());
+            let hi = ((b + 1) * values.len() / width.min(values.len())).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let min = buckets.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    buckets
+        .iter()
+        .map(|v| {
+            let t = ((v - min) / span * (SPARK.len() - 1) as f64).round() as usize;
+            SPARK[t.min(SPARK.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders the markdown report.
+pub fn training_report(config: &Config, run: &TrainingRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# DQN-Docking training report\n");
+    let _ = writeln!(out, "## Configuration\n");
+    let _ = writeln!(
+        out,
+        "- complex: {} receptor atoms, {} ligand atoms, seed {}",
+        config.complex.receptor.n_atoms, config.complex.ligand.n_atoms, config.complex.seed
+    );
+    let _ = writeln!(
+        out,
+        "- episodes: {} × ≤{} steps; actions: {}; hidden layers: {:?}",
+        config.episodes,
+        config.max_steps,
+        config.n_actions(),
+        config.hidden_layers
+    );
+    let _ = writeln!(
+        out,
+        "- γ = {}, batch = {}, replay = {}, target C = {}, ε {} → {}",
+        config.dqn.gamma,
+        config.dqn.batch_size,
+        config.dqn.replay_capacity,
+        config.dqn.target_update_every,
+        config.dqn.epsilon.initial,
+        config.dqn.epsilon.final_value
+    );
+
+    let _ = writeln!(out, "\n## Summary\n");
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| best docking score | {:.2} |", run.best_score);
+    let _ = writeln!(out, "| RMSD at best pose | {:.2} Å |", run.best_rmsd);
+    let _ = writeln!(out, "| env evaluations | {} |", run.evaluations);
+    let _ = writeln!(out, "| final ε | {:.3} |", run.final_epsilon);
+    let mean_steps: f64 = run.episodes.iter().map(|e| e.steps as f64).sum::<f64>()
+        / run.episodes.len().max(1) as f64;
+    let _ = writeln!(out, "| mean episode length | {mean_steps:.1} steps |");
+    let terminated = run.episodes.iter().filter(|e| e.terminated).count();
+    let _ = writeln!(
+        out,
+        "| episodes terminated by rules | {terminated} / {} |",
+        run.episodes.len()
+    );
+
+    let q_series: Vec<f64> = run.episodes.iter().map(|e| e.avg_max_q).collect();
+    let r_series: Vec<f64> = run.episodes.iter().map(|e| e.total_reward).collect();
+    let _ = writeln!(out, "\n## Figure 4 curve (avg max predicted Q per episode)\n");
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "Q      |{}|", sparkline(&q_series, 60));
+    let _ = writeln!(out, "reward |{}|", sparkline(&r_series, 60));
+    let _ = writeln!(
+        out,
+        "        episode 0 {:>52}",
+        format!("episode {}", run.episodes.len().saturating_sub(1))
+    );
+    let _ = writeln!(out, "```");
+
+    if !run.eval_points.is_empty() {
+        let _ = writeln!(out, "\n## Greedy-evaluation checkpoints\n");
+        let _ = writeln!(out, "| after episode | greedy best score | RMSD (Å) |");
+        let _ = writeln!(out, "|---|---|---|");
+        for (ep, score, rmsd) in &run.eval_points {
+            let _ = writeln!(out, "| {ep} | {score:.2} | {rmsd:.2} |");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer;
+
+    fn quick_run() -> (Config, TrainingRun) {
+        let mut c = Config::tiny();
+        c.episodes = 4;
+        c.max_steps = 15;
+        c.eval_every = Some(2);
+        let run = trainer::run(&c, |_| {});
+        (c, run)
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let (c, run) = quick_run();
+        let md = training_report(&c, &run);
+        for needle in [
+            "# DQN-Docking training report",
+            "## Configuration",
+            "## Summary",
+            "best docking score",
+            "## Figure 4 curve",
+            "## Greedy-evaluation checkpoints",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?}:\n{md}");
+        }
+    }
+
+    #[test]
+    fn report_numbers_match_the_run() {
+        let (c, run) = quick_run();
+        let md = training_report(&c, &run);
+        assert!(md.contains(&format!("{:.2}", run.best_score)));
+        assert!(md.contains(&format!("{}", run.evaluations)));
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let line = sparkline(&[0.0, 0.0, 10.0, 10.0], 4);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('.'));
+        assert!(line.ends_with('@'));
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_inputs() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        // Constant series: all same glyph, no NaN panic.
+        let flat = sparkline(&[5.0; 8], 4);
+        assert_eq!(flat.chars().count(), 4);
+        let first = flat.chars().next().unwrap();
+        assert!(flat.chars().all(|c| c == first));
+    }
+
+    #[test]
+    fn sparkline_width_caps_at_series_length() {
+        let line = sparkline(&[1.0, 2.0], 60);
+        assert_eq!(line.chars().count(), 2);
+    }
+}

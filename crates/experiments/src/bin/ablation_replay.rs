@@ -1,0 +1,42 @@
+//! **Replay ablation** (extension beyond the paper, in the spirit of its
+//! future-work #4): uniform experience replay (the paper / Nature DQN)
+//! versus proportional prioritized replay.
+//!
+//! Run with: `cargo run --release -p experiments --bin ablation_replay -- [--episodes N]`
+
+use dqn_docking::{trainer, Config};
+
+fn main() {
+    let episodes: usize = std::env::args()
+        .skip_while(|a| a != "--episodes")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    println!("replay-strategy ablation — {episodes} episodes each\n");
+    println!(
+        "{:<22} {:>12} {:>10} {:>14} {:>14}",
+        "replay", "best score", "RMSD(Å)", "late avgMaxQ", "mean ep reward"
+    );
+
+    for (name, alpha) in [
+        ("uniform (paper)", None),
+        ("prioritized α=0.6", Some(0.6)),
+        ("prioritized α=1.0", Some(1.0)),
+    ] {
+        let mut config = Config::scaled();
+        config.episodes = episodes;
+        config.max_steps = 120;
+        config.dqn.prioritized_alpha = alpha;
+        let run = trainer::run(&config, |_| {});
+        let tail = &run.episodes[run.episodes.len() * 3 / 4..];
+        let late_q: f64 =
+            tail.iter().map(|e| e.avg_max_q).sum::<f64>() / tail.len().max(1) as f64;
+        let mean_reward: f64 = run.episodes.iter().map(|e| e.total_reward).sum::<f64>()
+            / run.episodes.len() as f64;
+        println!(
+            "{:<22} {:>12.2} {:>10.2} {:>14.4} {:>14.2}",
+            name, run.best_score, run.best_rmsd, late_q, mean_reward
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! **§3 "game rules" ablation** — METADOCK has no stop conditions, so the
+//! paper added two manually "to accelerate the learning process": the 4/3·d₀
+//! movement boundary and the 20-consecutive-steps-below-−100,000 burrowing
+//! rule. This ablation trains with each rule toggled and measures how much
+//! episode time the rules actually save.
+//!
+//! Run with: `cargo run --release -p experiments --bin ablation_termination -- [--episodes N]`
+
+use dqn_docking::{trainer, Config};
+use std::time::Instant;
+
+fn main() {
+    let episodes: usize = std::env::args()
+        .skip_while(|a| a != "--episodes")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    println!("termination-rule ablation — {episodes} episodes each\n");
+    println!(
+        "{:<28} {:>12} {:>14} {:>12} {:>12}",
+        "rules", "mean steps", "terminated %", "time (s)", "best score"
+    );
+
+    let variants: Vec<(&str, bool, bool)> = vec![
+        ("both (paper)", true, true),
+        ("boundary only", true, false),
+        ("burrow only", false, true),
+        ("none (raw METADOCK)", false, false),
+    ];
+    for (name, boundary, burrow) in variants {
+        let mut config = Config::scaled();
+        config.episodes = episodes;
+        config.max_steps = 200;
+        config.enable_boundary_rule = boundary;
+        config.enable_burrow_rule = burrow;
+        // Make the burrow rule realistically triggerable on the scaled
+        // complex (its clashes reach ~−1e9 but only when deeply buried;
+        // the paper's −100,000 works here too).
+        let t0 = Instant::now();
+        let run = trainer::run(&config, |_| {});
+        let dt = t0.elapsed().as_secs_f64();
+        let mean_steps: f64 = run.episodes.iter().map(|e| e.steps as f64).sum::<f64>()
+            / run.episodes.len() as f64;
+        let terminated = run.episodes.iter().filter(|e| e.terminated).count();
+        println!(
+            "{:<28} {:>12.1} {:>13.0}% {:>12.2} {:>12.2}",
+            name,
+            mean_steps,
+            100.0 * terminated as f64 / run.episodes.len() as f64,
+            dt,
+            run.best_score
+        );
+    }
+
+    println!(
+        "\nexpected shape: with both rules, bad episodes cut short (smaller mean\n\
+         steps, more terminations, less wall time) — the acceleration the paper\n\
+         introduced the rules for. With no rules, every episode runs the full\n\
+         T steps, as raw METADOCK would."
+    );
+}

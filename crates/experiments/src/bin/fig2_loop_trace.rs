@@ -1,0 +1,64 @@
+//! **Figure 2** — "DQN basic operation": the agent observes state `sₜ`,
+//! takes action `aₜ`, receives reward `rₜ` and transitions to `sₜ₊₁`.
+//! The paper's figure is a schematic; this binary reproduces it as an
+//! execution trace of the real agent↔environment loop.
+//!
+//! Run with: `cargo run -p experiments --bin fig2_loop_trace`
+
+use dqn_docking::{trainer, Config, DockingEnv};
+use rl::{Environment, Transition};
+
+fn main() {
+    let config = Config::tiny();
+    let mut env = DockingEnv::from_config(&config);
+    let mut agent = trainer::build_agent(&config, &env);
+
+    println!("Figure 2 reproduction — one pass around the DQN loop");
+    println!("====================================================\n");
+    println!(
+        "state dim {}, {} actions, gamma {}",
+        env.state_dim(),
+        env.n_actions(),
+        config.dqn.gamma
+    );
+
+    let mut state = env.reset();
+    println!(
+        "\nreset → s_0 (first 6 of {} features): {:?}",
+        state.len(),
+        &state[..6.min(state.len())]
+    );
+
+    for t in 0..8 {
+        let action = agent.act(&state);
+        let action_name = env.action_set().actions()[action].name();
+        let out = env.step(action);
+        println!(
+            "t={t}: a_{t} = {:>2} ({:<4})  r_{t} = {:>4.1}  score = {:>10.3}  sep = {:>6.2} Å{}",
+            action,
+            action_name,
+            out.reward,
+            env.score(),
+            env.com_separation(),
+            if out.terminal { "  [terminal]" } else { "" }
+        );
+        agent.observe(Transition {
+            state: state.clone(),
+            action,
+            reward: out.reward,
+            next_state: out.state.clone(),
+            terminal: out.terminal,
+        });
+        state = out.state;
+        if out.terminal {
+            break;
+        }
+    }
+
+    println!("\nreplay buffer now holds {} transitions", agent.replay_len());
+    println!(
+        "max predicted Q at the current state: {:.4}",
+        agent.max_q(&state)
+    );
+    println!("\nloop trace complete — this is the cycle Figure 2 depicts.");
+}

@@ -1,0 +1,93 @@
+//! **Grid-map ablation** — AutoDock-style precomputed affinity maps versus
+//! the exact pairwise kernel: build cost, per-pose speedup, and the
+//! accuracy/ranking trade-off near the pocket.
+//!
+//! Run with: `cargo run --release -p experiments --bin gridmap_accuracy`
+
+use metadock::scoring::GridMapScorer;
+use metadock::{Kernel, Pose, Scorer, ScoringParams};
+use molkit::SyntheticComplexSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let scorer = Scorer::new(&complex, ScoringParams::default());
+
+    println!("grid-map vs exact scoring (400-atom receptor)\n");
+
+    for spacing in [1.0, 0.5, 0.25] {
+        let t0 = Instant::now();
+        let maps = GridMapScorer::around_crystal(&scorer, &complex, 5.0, spacing);
+        let build = t0.elapsed().as_secs_f64();
+
+        // Timing: exact vs interpolated on in-box poses.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let poses: Vec<Vec<vecmath::Vec3>> = (0..64)
+            .map(|_| {
+                let p = Pose::rigid(complex.crystal_pose).perturbed(&mut rng, 0.5, 0.1, 0.0);
+                complex.ligand_coords(&p.transform)
+            })
+            .collect();
+
+        let t_exact = {
+            let t = Instant::now();
+            for c in &poses {
+                std::hint::black_box(scorer.score(c, Kernel::Sequential));
+            }
+            t.elapsed().as_secs_f64() / poses.len() as f64
+        };
+        let t_grid = {
+            let t = Instant::now();
+            for c in &poses {
+                std::hint::black_box(maps.score(c));
+            }
+            t.elapsed().as_secs_f64() / poses.len() as f64
+        };
+
+        // Accuracy: mean absolute error and ranking agreement (Spearman-ish:
+        // fraction of concordant pose pairs).
+        let exact_scores: Vec<f64> = poses
+            .iter()
+            .map(|c| scorer.score(c, Kernel::Sequential))
+            .collect();
+        let grid_scores: Vec<f64> = poses.iter().map(|c| maps.score(c)).collect();
+        let mae: f64 = exact_scores
+            .iter()
+            .zip(&grid_scores)
+            .map(|(e, g)| (e - g).abs())
+            .sum::<f64>()
+            / poses.len() as f64;
+        let mut concordant = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..poses.len() {
+            for j in i + 1..poses.len() {
+                pairs += 1;
+                if (exact_scores[i] - exact_scores[j]).signum()
+                    == (grid_scores[i] - grid_scores[j]).signum()
+                {
+                    concordant += 1;
+                }
+            }
+        }
+
+        println!(
+            "spacing {:>5.2} Å: {:>7} nodes, build {:>6.2}s, exact {:>8.1}µs/pose, grid {:>7.1}µs/pose ({:>5.1}x), MAE {:>7.3}, pair-rank agreement {:>5.1}%",
+            spacing,
+            maps.n_nodes(),
+            build,
+            t_exact * 1e6,
+            t_grid * 1e6,
+            t_exact / t_grid,
+            mae,
+            100.0 * concordant as f64 / pairs as f64
+        );
+    }
+
+    println!(
+        "\nexpected shape: finer grids cost more to build but score poses much\n\
+         faster than the exact kernel at high ranking agreement — the classic\n\
+         AutoDock trade the paper's engines rely on."
+    );
+}

@@ -1,0 +1,174 @@
+//! Pose clustering: collapse a pile of search results into distinct
+//! binding modes.
+//!
+//! Docking reports conventionally list the top *clusters* (binding modes)
+//! rather than raw poses — hundreds of near-duplicates of the best pose
+//! carry no information. This module implements the standard greedy
+//! RMSD-threshold clustering (as in AutoDock): walk poses best-score
+//! first; each pose joins the first existing cluster whose representative
+//! is within the RMSD cutoff, or founds a new cluster.
+
+use crate::engine::DockingEngine;
+use crate::pose::Pose;
+use serde::{Deserialize, Serialize};
+
+/// One binding mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoseCluster {
+    /// The best-scoring pose of the cluster (its representative).
+    pub representative: Pose,
+    /// The representative's score.
+    pub best_score: f64,
+    /// Number of poses merged into this cluster.
+    pub members: usize,
+    /// Mean score over members.
+    pub mean_score: f64,
+}
+
+/// Greedy best-first RMSD clustering of `(pose, score)` pairs.
+///
+/// `rmsd_cutoff` is the ligand-coordinate RMSD below which two poses count
+/// as the same binding mode (2 Å is the conventional value).
+///
+/// # Panics
+/// If `poses` and `scores` differ in length or `rmsd_cutoff` is not
+/// positive.
+pub fn cluster_poses(
+    engine: &DockingEngine,
+    poses: &[Pose],
+    scores: &[f64],
+    rmsd_cutoff: f64,
+) -> Vec<PoseCluster> {
+    assert_eq!(poses.len(), scores.len(), "one score per pose required");
+    assert!(rmsd_cutoff > 0.0, "rmsd cutoff must be positive");
+    if poses.is_empty() {
+        return Vec::new();
+    }
+
+    // Sort indices by score, best first.
+    let mut order: Vec<usize> = (0..poses.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+
+    // Cache representative coordinates as clusters are founded.
+    let mut clusters: Vec<PoseCluster> = Vec::new();
+    let mut rep_coords: Vec<Vec<vecmath::Vec3>> = Vec::new();
+    let mut score_sums: Vec<f64> = Vec::new();
+
+    for &idx in &order {
+        let coords = engine.ligand_coords(&poses[idx]);
+        let mut joined = false;
+        for (c, rc) in rep_coords.iter().enumerate() {
+            if molkit::rmsd(&coords, rc) <= rmsd_cutoff {
+                clusters[c].members += 1;
+                score_sums[c] += scores[idx];
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            clusters.push(PoseCluster {
+                representative: poses[idx].clone(),
+                best_score: scores[idx],
+                members: 1,
+                mean_score: scores[idx],
+            });
+            score_sums.push(scores[idx]);
+            rep_coords.push(coords);
+        }
+    }
+    for (c, cl) in clusters.iter_mut().enumerate() {
+        cl.mean_score = score_sums[c] / cl.members as f64;
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::SyntheticComplexSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vecmath::{Transform, Vec3};
+
+    fn engine() -> DockingEngine {
+        DockingEngine::with_defaults(SyntheticComplexSpec::tiny().generate())
+    }
+
+    #[test]
+    fn identical_poses_form_one_cluster() {
+        let e = engine();
+        let pose = Pose::rigid(e.complex().crystal_pose);
+        let poses = vec![pose.clone(), pose.clone(), pose];
+        let scores = vec![3.0, 1.0, 2.0];
+        let clusters = cluster_poses(&e, &poses, &scores, 2.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, 3);
+        assert_eq!(clusters[0].best_score, 3.0);
+        assert!((clusters[0].mean_score - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distant_poses_form_separate_clusters() {
+        let e = engine();
+        let a = Pose::rigid(Transform::translate(Vec3::new(0.0, 0.0, 0.0)));
+        let b = Pose::rigid(Transform::translate(Vec3::new(30.0, 0.0, 0.0)));
+        let clusters = cluster_poses(&e, &[a, b], &[1.0, 2.0], 2.0);
+        assert_eq!(clusters.len(), 2);
+        // Best-first: the first cluster's representative has the top score.
+        assert_eq!(clusters[0].best_score, 2.0);
+    }
+
+    #[test]
+    fn nearby_jitter_collapses_under_the_cutoff() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = Pose::rigid(e.complex().crystal_pose);
+        let poses: Vec<Pose> = (0..10)
+            .map(|_| base.perturbed(&mut rng, 0.2, 0.02, 0.0))
+            .collect();
+        let scores: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let clusters = cluster_poses(&e, &poses, &scores, 2.0);
+        assert_eq!(clusters.len(), 1, "0.2 Å jitter stays within 2 Å RMSD");
+        assert_eq!(clusters[0].members, 10);
+    }
+
+    #[test]
+    fn cluster_count_shrinks_with_looser_cutoff() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let poses: Vec<Pose> = (0..30)
+            .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 15.0, 0))
+            .collect();
+        let scores: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin()).collect();
+        let tight = cluster_poses(&e, &poses, &scores, 1.0).len();
+        let loose = cluster_poses(&e, &poses, &scores, 20.0).len();
+        assert!(loose < tight, "loose {loose} vs tight {tight}");
+        assert!(loose >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        let e = engine();
+        assert!(cluster_poses(&e, &[], &[], 2.0).is_empty());
+    }
+
+    #[test]
+    fn member_counts_sum_to_input_size() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let poses: Vec<Pose> = (0..25)
+            .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 10.0, 0))
+            .collect();
+        let scores = vec![0.0; 25];
+        let clusters = cluster_poses(&e, &poses, &scores, 3.0);
+        let total: usize = clusters.iter().map(|c| c.members).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per pose")]
+    fn mismatched_lengths_panic() {
+        let e = engine();
+        let _ = cluster_poses(&e, &[Pose::identity(0)], &[], 2.0);
+    }
+}

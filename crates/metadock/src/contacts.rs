@@ -1,0 +1,202 @@
+//! Interaction fingerprints: which receptor atoms a pose actually touches.
+//!
+//! A docking score is one number; medicinal chemists want to know *why* —
+//! which contacts, hydrogen bonds and clashes produce it. This module
+//! derives the standard interaction report from a pose: close contacts
+//! within a cutoff, donor–acceptor pairs inside hydrogen-bonding range,
+//! and steric clashes below van-der-Waals contact distance.
+
+use crate::engine::DockingEngine;
+use crate::pose::Pose;
+use serde::{Deserialize, Serialize};
+
+/// One receptor–ligand atom contact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Receptor atom index.
+    pub receptor_atom: usize,
+    /// Ligand atom index.
+    pub ligand_atom: usize,
+    /// Distance, Å.
+    pub distance: f64,
+    /// Classification of the contact.
+    pub kind: ContactKind,
+}
+
+/// What a contact is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContactKind {
+    /// Donor–acceptor pair within hydrogen-bonding range (2.4–3.6 Å).
+    HydrogenBond,
+    /// Non-bonded pair below 80 % of van-der-Waals contact distance.
+    Clash,
+    /// Any other pair within the report cutoff.
+    VanDerWaals,
+}
+
+/// The interaction fingerprint of one pose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// All contacts within the cutoff, sorted by distance.
+    pub contacts: Vec<Contact>,
+    /// Count of hydrogen-bond contacts.
+    pub n_hbonds: usize,
+    /// Count of steric clashes.
+    pub n_clashes: usize,
+    /// Fraction of ligand atoms with at least one contact (0–1): how much
+    /// of the ligand is engaged with the receptor.
+    pub buried_fraction: f64,
+}
+
+/// Computes the fingerprint of `pose` with the given report `cutoff` (Å).
+///
+/// # Panics
+/// If `cutoff` is not positive.
+pub fn fingerprint(engine: &DockingEngine, pose: &Pose, cutoff: f64) -> Fingerprint {
+    assert!(cutoff > 0.0, "cutoff must be positive");
+    let complex = engine.complex();
+    let coords = engine.ligand_coords(pose);
+    let cutoff_sq = cutoff * cutoff;
+
+    let mut contacts = Vec::new();
+    let mut engaged = vec![false; coords.len()];
+    for (ri, r_atom) in complex.receptor.atoms().iter().enumerate() {
+        for (li, (l_atom, &l_pos)) in complex.ligand.atoms().iter().zip(&coords).enumerate() {
+            let d2 = r_atom.position.distance_sq(l_pos);
+            if d2 > cutoff_sq {
+                continue;
+            }
+            let distance = d2.sqrt();
+            let vdw_contact = r_atom.element.vdw_radius() + l_atom.element.vdw_radius();
+            let kind = if r_atom.hbond.pairs_with(l_atom.hbond)
+                && (2.4..=3.6).contains(&distance)
+            {
+                ContactKind::HydrogenBond
+            } else if distance < 0.8 * vdw_contact {
+                ContactKind::Clash
+            } else {
+                ContactKind::VanDerWaals
+            };
+            engaged[li] = true;
+            contacts.push(Contact {
+                receptor_atom: ri,
+                ligand_atom: li,
+                distance,
+                kind,
+            });
+        }
+    }
+    contacts.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
+    let n_hbonds = contacts
+        .iter()
+        .filter(|c| c.kind == ContactKind::HydrogenBond)
+        .count();
+    let n_clashes = contacts.iter().filter(|c| c.kind == ContactKind::Clash).count();
+    let buried_fraction =
+        engaged.iter().filter(|&&e| e).count() as f64 / engaged.len().max(1) as f64;
+    Fingerprint {
+        contacts,
+        n_hbonds,
+        n_clashes,
+        buried_fraction,
+    }
+}
+
+impl Fingerprint {
+    /// Plain-text summary for CLI/report output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "contacts: {} total, {} H-bonds, {} clashes; {:.0}% of ligand engaged",
+            self.contacts.len(),
+            self.n_hbonds,
+            self.n_clashes,
+            self.buried_fraction * 100.0
+        );
+        for c in self.contacts.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  R{:<5} – L{:<3} {:>5.2} Å  {:?}",
+                c.receptor_atom, c.ligand_atom, c.distance, c.kind
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::SyntheticComplexSpec;
+    use vecmath::{Transform, Vec3};
+
+    fn engine() -> DockingEngine {
+        DockingEngine::with_defaults(SyntheticComplexSpec::scaled().generate())
+    }
+
+    #[test]
+    fn crystal_pose_is_engaged_and_clash_free() {
+        let e = engine();
+        let fp = fingerprint(&e, &Pose::rigid(e.complex().crystal_pose), 4.5);
+        assert!(!fp.contacts.is_empty(), "crystal pose touches the pocket");
+        assert!(fp.buried_fraction > 0.3, "engaged: {}", fp.buried_fraction);
+        assert_eq!(fp.n_clashes, 0, "generator guarantees clearance");
+        assert!(fp.n_hbonds > 0, "imprinted pocket forms H-bonds");
+    }
+
+    #[test]
+    fn distant_pose_has_no_contacts() {
+        let e = engine();
+        let far = Pose::rigid(Transform::translate(Vec3::new(200.0, 0.0, 0.0)));
+        let fp = fingerprint(&e, &far, 4.5);
+        assert!(fp.contacts.is_empty());
+        assert_eq!(fp.buried_fraction, 0.0);
+        assert_eq!(fp.n_hbonds + fp.n_clashes, 0);
+    }
+
+    #[test]
+    fn buried_pose_clashes() {
+        let e = engine();
+        let buried = Pose::rigid(Transform::translate(e.complex().receptor_com()));
+        let fp = fingerprint(&e, &buried, 4.5);
+        assert!(fp.n_clashes > 0, "COM burial must clash");
+        assert!(fp.buried_fraction > 0.9);
+    }
+
+    #[test]
+    fn contacts_are_sorted_and_within_cutoff() {
+        let e = engine();
+        let fp = fingerprint(&e, &Pose::rigid(e.complex().crystal_pose), 5.0);
+        for w in fp.contacts.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert!(fp.contacts.iter().all(|c| c.distance <= 5.0));
+    }
+
+    #[test]
+    fn larger_cutoff_reports_superset() {
+        let e = engine();
+        let pose = Pose::rigid(e.complex().crystal_pose);
+        let small = fingerprint(&e, &pose, 3.5);
+        let large = fingerprint(&e, &pose, 6.0);
+        assert!(large.contacts.len() >= small.contacts.len());
+    }
+
+    #[test]
+    fn render_mentions_the_counts() {
+        let e = engine();
+        let fp = fingerprint(&e, &Pose::rigid(e.complex().crystal_pose), 4.5);
+        let text = fp.render();
+        assert!(text.contains("H-bonds"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cutoff_rejected() {
+        let e = engine();
+        let _ = fingerprint(&e, &Pose::identity(0), 0.0);
+    }
+}

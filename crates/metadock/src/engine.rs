@@ -1,0 +1,219 @@
+//! The docking engine: pose in, coordinates + score out.
+//!
+//! This is the METADOCK surface the RL loop (and the metaheuristics)
+//! consume: *"METADOCK … can apply translations and rotations to the ligand
+//! in the euclidean space, and report the quality of the movement taken by
+//! using a scoring function"* (paper §3).
+
+use crate::pose::Pose;
+use crate::scoring::{EnergyBreakdown, Kernel, Scorer, ScoringParams};
+use molkit::Complex;
+use rayon::prelude::*;
+use std::sync::Arc;
+use vecmath::Vec3;
+
+/// A docking engine bound to one receptor–ligand complex.
+///
+/// The engine is cheap to clone (the complex and scorer are shared via
+/// `Arc`) and safe to use from many threads; all per-evaluation state lives
+/// on the caller's stack.
+///
+/// ```
+/// use metadock::{DockingEngine, Pose};
+/// use molkit::SyntheticComplexSpec;
+///
+/// let engine = DockingEngine::with_defaults(SyntheticComplexSpec::tiny().generate());
+/// // The crystallographic pose scores better than the far-away start.
+/// assert!(engine.crystal_score() > engine.initial_score());
+/// // Score any pose you like:
+/// let pose = Pose::rigid(engine.complex().initial_pose);
+/// assert_eq!(engine.score(&pose), engine.initial_score());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DockingEngine {
+    complex: Arc<Complex>,
+    scorer: Arc<Scorer>,
+    kernel: Kernel,
+}
+
+impl DockingEngine {
+    /// Builds an engine with the given scoring parameters and kernel.
+    pub fn new(complex: Complex, params: ScoringParams, kernel: Kernel) -> Self {
+        let scorer = Scorer::new(&complex, params);
+        DockingEngine {
+            complex: Arc::new(complex),
+            scorer: Arc::new(scorer),
+            kernel,
+        }
+    }
+
+    /// Engine with default scoring parameters and the parallel kernel.
+    pub fn with_defaults(complex: Complex) -> Self {
+        DockingEngine::new(complex, ScoringParams::default(), Kernel::Parallel)
+    }
+
+    /// The underlying complex.
+    pub fn complex(&self) -> &Complex {
+        &self.complex
+    }
+
+    /// The underlying scorer.
+    pub fn scorer(&self) -> &Scorer {
+        &self.scorer
+    }
+
+    /// Which kernel single-pose evaluations use.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Returns a copy configured to use `kernel`.
+    pub fn with_kernel(&self, kernel: Kernel) -> DockingEngine {
+        DockingEngine {
+            complex: Arc::clone(&self.complex),
+            scorer: Arc::clone(&self.scorer),
+            kernel,
+        }
+    }
+
+    /// World-space ligand coordinates under `pose` (torsions applied when
+    /// present).
+    ///
+    /// # Panics
+    /// If the pose's torsion count matches neither the complex's torsion
+    /// count nor zero (a rigid pose is always accepted).
+    pub fn ligand_coords(&self, pose: &Pose) -> Vec<Vec3> {
+        if pose.torsions.is_empty() {
+            self.complex.ligand_coords(&pose.transform)
+        } else {
+            self.complex
+                .ligand_coords_flexible(&pose.transform, &pose.torsions)
+        }
+    }
+
+    /// Energy breakdown of a pose.
+    pub fn energy(&self, pose: &Pose) -> EnergyBreakdown {
+        let coords = self.ligand_coords(pose);
+        self.scorer.energy(&coords, self.kernel)
+    }
+
+    /// Score (−energy, higher is better) of a pose.
+    pub fn score(&self, pose: &Pose) -> f64 {
+        self.energy(pose).score()
+    }
+
+    /// Scores a whole conformation set in parallel — Algorithm 1's
+    /// `N_CONFORMATION` loop, with one rayon task per pose. Single-pose
+    /// evaluation inside each task uses the *sequential* kernel: for batch
+    /// work, pose-level parallelism beats nested atom-level parallelism.
+    pub fn score_batch(&self, poses: &[Pose]) -> Vec<f64> {
+        poses
+            .par_iter()
+            .map(|p| {
+                let coords = self.ligand_coords(p);
+                self.scorer.score(&coords, Kernel::Sequential)
+            })
+            .collect()
+    }
+
+    /// Sequential batch scoring (the true Algorithm 1 baseline, for the
+    /// benchmark's "sequential" row).
+    pub fn score_batch_sequential(&self, poses: &[Pose]) -> Vec<f64> {
+        poses
+            .iter()
+            .map(|p| {
+                let coords = self.ligand_coords(p);
+                self.scorer.score(&coords, Kernel::Sequential)
+            })
+            .collect()
+    }
+
+    /// Number of ligand torsions in the complex.
+    pub fn n_torsions(&self) -> usize {
+        self.complex.n_torsions()
+    }
+
+    /// Convenience: score of the crystallographic pose (rigid reference).
+    pub fn crystal_score(&self) -> f64 {
+        self.score(&Pose::rigid(self.complex.crystal_pose))
+    }
+
+    /// Convenience: score of the initial (episode-start) pose.
+    pub fn initial_score(&self) -> f64 {
+        self.score(&Pose::rigid(self.complex.initial_pose))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::SyntheticComplexSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn engine() -> DockingEngine {
+        DockingEngine::with_defaults(SyntheticComplexSpec::scaled().generate())
+    }
+
+    #[test]
+    fn crystal_beats_initial() {
+        let e = engine();
+        assert!(e.crystal_score() > e.initial_score());
+    }
+
+    #[test]
+    fn batch_matches_single_pose_scores() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let poses: Vec<Pose> = (0..16)
+            .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 30.0, 0))
+            .collect();
+        let batch = e.score_batch(&poses);
+        let seq = e.score_batch_sequential(&poses);
+        for ((p, b), s) in poses.iter().zip(&batch).zip(&seq) {
+            let single = e.score(p);
+            let scale = single.abs().max(1.0);
+            assert!((single - b).abs() / scale < 1e-9);
+            assert!((single - s).abs() / scale < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flexible_pose_changes_score() {
+        let e = engine();
+        assert_eq!(e.n_torsions(), 6);
+        let rigid = Pose {
+            transform: e.complex().crystal_pose,
+            torsions: vec![0.0; 6],
+        };
+        let twisted = Pose {
+            transform: e.complex().crystal_pose,
+            torsions: vec![1.0, -0.5, 0.7, 0.0, 0.3, -1.2],
+        };
+        let s_rigid = e.score(&rigid);
+        let s_twisted = e.score(&twisted);
+        assert_ne!(s_rigid, s_twisted);
+        // Zero torsions must equal the purely rigid path.
+        let purely_rigid = e.score(&Pose::rigid(e.complex().crystal_pose));
+        let scale = purely_rigid.abs().max(1.0);
+        assert!((s_rigid - purely_rigid).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn kernel_switch_preserves_scores() {
+        let c = SyntheticComplexSpec::scaled().generate();
+        let e_par = DockingEngine::new(c.clone(), ScoringParams::default(), Kernel::Parallel);
+        let e_seq = e_par.with_kernel(Kernel::Sequential);
+        let pose = Pose::rigid(c.crystal_pose);
+        let a = e_par.score(&pose);
+        let b = e_seq.score(&pose);
+        assert!((a - b).abs() / a.abs().max(1.0) < 1e-10);
+    }
+
+    #[test]
+    fn clone_shares_complex() {
+        let e = engine();
+        let e2 = e.clone();
+        assert!(std::ptr::eq(e.complex(), e2.complex()));
+    }
+}

@@ -1,0 +1,419 @@
+//! DQN ↔ METADOCK communication transports.
+//!
+//! The paper is explicit about its main implementation bottleneck (§5,
+//! limitation #1): *"the communication between the algorithm and METADOCK
+//! entails to write two separate files in disk with the new state and the
+//! score respectively and then DQN-Docking reads those files"*, and the
+//! authors announce a *"much faster RAM-based communication"* as future
+//! work. This module implements both ends of that story behind one trait:
+//!
+//! * [`DirectTransport`] — a plain in-process function call (the upper
+//!   bound: zero communication cost);
+//! * [`RamTransport`] — the proposed fix: a dedicated engine server thread
+//!   fed through crossbeam channels;
+//! * [`FileTransport`] — the paper's actual protocol: every evaluation
+//!   writes the request to disk, the "server" reads it, evaluates, writes a
+//!   *state file* and a *score file*, and the client parses both back.
+//!
+//! The `env_comm` benchmark measures all three; the expected shape is
+//! Direct ≥ RAM ≫ File by orders of magnitude.
+
+use crate::engine::DockingEngine;
+use crate::pose::Pose;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use vecmath::{Quat, Transform, Vec3};
+
+/// One environment evaluation: the posed ligand coordinates (the raw state
+/// METADOCK reports) and the scoring-function value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// World-space ligand atom coordinates.
+    pub ligand_coords: Vec<Vec3>,
+    /// Docking score (higher is better).
+    pub score: f64,
+}
+
+/// A bidirectional channel to a METADOCK evaluation server.
+pub trait Transport: Send {
+    /// Evaluates a pose, returning the resulting state and score.
+    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation>;
+    /// Short transport name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Direct (function call)
+// ---------------------------------------------------------------------------
+
+/// Zero-overhead transport: the engine lives in the caller's process and is
+/// invoked directly.
+#[derive(Debug, Clone)]
+pub struct DirectTransport {
+    engine: DockingEngine,
+}
+
+impl DirectTransport {
+    /// Wraps an engine.
+    pub fn new(engine: DockingEngine) -> Self {
+        DirectTransport { engine }
+    }
+}
+
+impl Transport for DirectTransport {
+    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
+        let ligand_coords = self.engine.ligand_coords(pose);
+        let score = self
+            .engine
+            .scorer()
+            .score(&ligand_coords, self.engine.kernel());
+        Ok(Evaluation { ligand_coords, score })
+    }
+
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RAM (server thread + channels) — the paper's proposed fix
+// ---------------------------------------------------------------------------
+
+enum ServerMsg {
+    Evaluate(Pose),
+    Shutdown,
+}
+
+/// Channel-based transport: a dedicated server thread owns the engine and
+/// answers evaluation requests over crossbeam channels — the "RAM-based
+/// communication" the paper proposes to replace its file protocol with.
+pub struct RamTransport {
+    tx: Sender<ServerMsg>,
+    rx: Receiver<Evaluation>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RamTransport {
+    /// Spawns the server thread.
+    pub fn new(engine: DockingEngine) -> Self {
+        let (tx, server_rx) = channel::unbounded::<ServerMsg>();
+        let (server_tx, rx) = channel::unbounded::<Evaluation>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(msg) = server_rx.recv() {
+                match msg {
+                    ServerMsg::Evaluate(pose) => {
+                        let ligand_coords = engine.ligand_coords(&pose);
+                        let score =
+                            engine.scorer().score(&ligand_coords, engine.kernel());
+                        if server_tx.send(Evaluation { ligand_coords, score }).is_err() {
+                            break;
+                        }
+                    }
+                    ServerMsg::Shutdown => break,
+                }
+            }
+        });
+        RamTransport {
+            tx,
+            rx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Transport for RamTransport {
+    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
+        self.tx
+            .send(ServerMsg::Evaluate(pose.clone()))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine server gone"))?;
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine server gone"))
+    }
+
+    fn name(&self) -> &'static str {
+        "ram"
+    }
+}
+
+impl Drop for RamTransport {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ServerMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File (two files on disk per step) — the paper's actual protocol
+// ---------------------------------------------------------------------------
+
+/// Disk-file transport reproducing the paper's protocol: per evaluation a
+/// request file is written, then the server writes `state.txt` (one ligand
+/// atom per line) and `score.txt`, and the client reads and parses both.
+///
+/// Every byte genuinely goes through the filesystem; nothing is cached in
+/// memory between the write and the read, so benchmarks measure the real
+/// serialisation + syscall cost the paper complains about.
+pub struct FileTransport {
+    engine: DockingEngine,
+    dir: PathBuf,
+    round_trips: u64,
+}
+
+impl FileTransport {
+    /// Creates the transport, using `dir` as the exchange directory (it is
+    /// created if missing).
+    pub fn new(engine: DockingEngine, dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileTransport {
+            engine,
+            dir,
+            round_trips: 0,
+        })
+    }
+
+    /// Creates the transport in a fresh unique subdirectory of the system
+    /// temp dir.
+    pub fn in_temp_dir(engine: DockingEngine) -> io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "metadock-ipc-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        FileTransport::new(engine, dir)
+    }
+
+    /// Round trips completed so far.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    /// The exchange directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+}
+
+impl Transport for FileTransport {
+    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
+        let request_path = self.dir.join("request.txt");
+        let state_path = self.dir.join("state.txt");
+        let score_path = self.dir.join("score.txt");
+
+        // 1. Client writes the action/pose request.
+        write_all(&request_path, &serialize_pose(pose))?;
+
+        // 2. "Server" reads the request from disk and evaluates it.
+        let request_text = read_all(&request_path)?;
+        let server_pose = parse_pose(&request_text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let coords = self.engine.ligand_coords(&server_pose);
+        let score = self.engine.scorer().score(&coords, self.engine.kernel());
+
+        // 3. Server writes the two files the paper describes.
+        write_all(&state_path, &serialize_coords(&coords))?;
+        write_all(&score_path, &format!("{score:.17e}\n"))?;
+
+        // 4. Client reads them back.
+        let state_text = read_all(&state_path)?;
+        let ligand_coords = parse_coords(&state_text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let score_text = read_all(&score_path)?;
+        let score: f64 = score_text
+            .trim()
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad score: {e}")))?;
+
+        self.round_trips += 1;
+        Ok(Evaluation { ligand_coords, score })
+    }
+
+    fn name(&self) -> &'static str {
+        "file"
+    }
+}
+
+fn write_all(path: &std::path::Path, text: &str) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_data().or(Ok(()))
+}
+
+fn read_all(path: &std::path::Path) -> io::Result<String> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Text wire format
+// ---------------------------------------------------------------------------
+
+/// Serialises a pose as one whitespace-separated line:
+/// `tx ty tz qw qx qy qz torsion…`.
+pub fn serialize_pose(pose: &Pose) -> String {
+    let t = pose.transform.translation;
+    let q = pose.transform.rotation;
+    let mut s = format!(
+        "{:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}",
+        t.x, t.y, t.z, q.w, q.x, q.y, q.z
+    );
+    for a in &pose.torsions {
+        s.push_str(&format!(" {a:.17e}"));
+    }
+    s.push('\n');
+    s
+}
+
+/// Parses the pose wire format.
+pub fn parse_pose(text: &str) -> Result<Pose, String> {
+    let vals: Vec<f64> = text
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad number {t:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if vals.len() < 7 {
+        return Err(format!("pose needs ≥7 numbers, got {}", vals.len()));
+    }
+    Ok(Pose {
+        transform: Transform::new(
+            Quat::new(vals[3], vals[4], vals[5], vals[6]),
+            Vec3::new(vals[0], vals[1], vals[2]),
+        ),
+        torsions: vals[7..].to_vec(),
+    })
+}
+
+/// Serialises coordinates as one `x y z` line per atom.
+pub fn serialize_coords(coords: &[Vec3]) -> String {
+    let mut s = String::with_capacity(coords.len() * 60);
+    for c in coords {
+        s.push_str(&format!("{:.17e} {:.17e} {:.17e}\n", c.x, c.y, c.z));
+    }
+    s
+}
+
+/// Parses the coordinate wire format.
+pub fn parse_coords(text: &str) -> Result<Vec<Vec3>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let nums: Vec<f64> = l
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|e| format!("bad coord {t:?}: {e}")))
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 3 {
+                return Err(format!("expected 3 numbers per line, got {}", nums.len()));
+            }
+            Ok(Vec3::new(nums[0], nums[1], nums[2]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::SyntheticComplexSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn engine() -> DockingEngine {
+        DockingEngine::with_defaults(SyntheticComplexSpec::tiny().generate())
+    }
+
+    fn sample_poses(n: usize) -> Vec<Pose> {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        (0..n)
+            .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 20.0, 2))
+            .collect()
+    }
+
+    #[test]
+    fn pose_wire_format_roundtrip() {
+        for pose in sample_poses(10) {
+            let text = serialize_pose(&pose);
+            let back = parse_pose(&text).unwrap();
+            assert!(back
+                .transform
+                .translation
+                .approx_eq(pose.transform.translation, 1e-12));
+            assert!(back
+                .transform
+                .rotation
+                .approx_eq_rotation(pose.transform.rotation, 1e-9));
+            assert_eq!(back.torsions.len(), pose.torsions.len());
+            for (a, b) in back.torsions.iter().zip(&pose.torsions) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn coords_wire_format_roundtrip() {
+        let coords = vec![Vec3::new(1.5, -2.25, 1e-8), Vec3::ZERO, Vec3::splat(1e6)];
+        let back = parse_coords(&serialize_coords(&coords)).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&coords) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn malformed_wire_data_is_rejected() {
+        assert!(parse_pose("1 2 3").is_err());
+        assert!(parse_pose("a b c d e f g").is_err());
+        assert!(parse_coords("1 2\n").is_err());
+        assert!(parse_coords("x y z\n").is_err());
+        assert!(parse_coords("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_transports_agree() {
+        let e = engine();
+        let mut direct = DirectTransport::new(e.clone());
+        let mut ram = RamTransport::new(e.clone());
+        let mut file = FileTransport::in_temp_dir(e.clone()).unwrap();
+
+        for pose in sample_poses(5) {
+            let a = direct.evaluate(&pose).unwrap();
+            let b = ram.evaluate(&pose).unwrap();
+            let c = file.evaluate(&pose).unwrap();
+            let scale = a.score.abs().max(1.0);
+            assert!((a.score - b.score).abs() / scale < 1e-12);
+            // File transport loses a little precision through text round
+            // trip of coordinates, but the score is printed with 17 digits.
+            assert!((a.score - c.score).abs() / scale < 1e-9);
+            assert_eq!(a.ligand_coords.len(), c.ligand_coords.len());
+            for (x, y) in a.ligand_coords.iter().zip(&c.ligand_coords) {
+                assert!(x.approx_eq(*y, 1e-9));
+            }
+        }
+        assert_eq!(file.round_trips(), 5);
+        std::fs::remove_dir_all(file.dir()).ok();
+    }
+
+    #[test]
+    fn transport_names() {
+        let e = engine();
+        assert_eq!(DirectTransport::new(e.clone()).name(), "direct");
+        assert_eq!(RamTransport::new(e.clone()).name(), "ram");
+        assert_eq!(FileTransport::in_temp_dir(e).unwrap().name(), "file");
+    }
+
+    #[test]
+    fn ram_transport_survives_many_requests() {
+        let e = engine();
+        let mut ram = RamTransport::new(e);
+        let poses = sample_poses(50);
+        for p in &poses {
+            assert!(ram.evaluate(p).unwrap().score.is_finite());
+        }
+    }
+}

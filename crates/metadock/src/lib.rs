@@ -1,0 +1,52 @@
+//! A CPU re-implementation of **METADOCK** — the parallel metaheuristic
+//! virtual-screening engine the DQN-Docking paper uses as its environment.
+//!
+//! METADOCK (Imbernón et al. 2017) evaluates a ligand "in millions of
+//! positions by varying translational and rotational degrees of freedom
+//! around the surface of the receptor", scoring each position with a
+//! three-term function (the paper's Equation 1) and searching pose space
+//! with a *parameterized metaheuristic schema*. The original is closed
+//! GPU/CUDA code; this crate rebuilds the whole contract in safe Rust:
+//!
+//! * [`pose`] — a ligand pose: rigid transform + optional torsion angles.
+//! * [`scoring`] — the Eq. 1 scoring function with three interchangeable
+//!   kernels: the paper's sequential Algorithm 1, a rayon data-parallel
+//!   kernel (standing in for the GPU), and a cell-list kernel with a
+//!   distance cutoff.
+//! * [`engine`] — [`engine::DockingEngine`]: pose → coordinates → score,
+//!   including batched (parallel) evaluation of whole conformation sets.
+//! * [`metaheuristic`] — the parameterized schema (Initialize / Select /
+//!   Combine / Improve / End) with Random-Search, Monte-Carlo,
+//!   Simulated-Annealing and Genetic instantiations. The paper's §1 goal
+//!   ("scores similar to state-of-the-art Monte Carlo optimization
+//!   methods") is benchmarked against these.
+//! * [`ipc`] — the DQN ↔ METADOCK communication layer. The paper's
+//!   implementation exchanged *two files on disk* per step (its admitted
+//!   limitation #1); we provide that file transport, the proposed
+//!   RAM-based replacement (a crossbeam channel to an engine server
+//!   thread), and a direct in-process call, all behind one trait, so the
+//!   limitation and its fix can be measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod contacts;
+pub mod engine;
+pub mod ipc;
+pub mod metaheuristic;
+pub mod pose;
+pub mod refine;
+pub mod scoring;
+pub mod screen;
+pub mod spots;
+
+pub use cluster::{cluster_poses, PoseCluster};
+pub use contacts::{fingerprint, Contact, ContactKind, Fingerprint};
+pub use engine::DockingEngine;
+pub use metaheuristic::{Metaheuristic, MetaheuristicParams, SearchOutcome};
+pub use pose::Pose;
+pub use refine::{local_optimize, RefineOutcome, RefineParams};
+pub use screen::{run_screen, ScreenHit, ScreenParams, ScreenReport};
+pub use scoring::{EnergyBreakdown, GridMapScorer, Kernel, Scorer, ScoringParams};
+pub use spots::{blind_dock, decompose_surface, BlindDockOutcome, Spot};

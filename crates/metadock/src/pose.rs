@@ -1,0 +1,247 @@
+//! Ligand poses: rigid-body placement plus optional torsion angles.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vecmath::{Quat, Transform, Vec3};
+
+/// A candidate placement of the ligand.
+///
+/// `transform` positions the rigid ligand (reference frame: COM at origin);
+/// `torsions` holds one dihedral offset in radians per rotatable bond
+/// (empty in the paper's rigid-ligand setting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Rigid-body part.
+    pub transform: Transform,
+    /// Torsion angles in radians, one per ligand torsion.
+    pub torsions: Vec<f64>,
+}
+
+impl Pose {
+    /// A rigid pose with no torsional change.
+    pub fn rigid(transform: Transform) -> Self {
+        Pose { transform, torsions: Vec::new() }
+    }
+
+    /// The identity pose (ligand at the origin in reference orientation).
+    pub fn identity(n_torsions: usize) -> Self {
+        Pose {
+            transform: Transform::IDENTITY,
+            torsions: vec![0.0; n_torsions],
+        }
+    }
+
+    /// Uniformly random pose: translation inside the sphere of `radius`
+    /// around `center`, uniform orientation, uniform torsions in (−π, π].
+    pub fn random_in_sphere<R: Rng + ?Sized>(
+        rng: &mut R,
+        center: Vec3,
+        radius: f64,
+        n_torsions: usize,
+    ) -> Pose {
+        // Rejection-sample the ball for an exactly uniform distribution.
+        let offset = loop {
+            let v = Vec3::new(
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+            );
+            if v.norm_sq() <= 1.0 {
+                break v * radius;
+            }
+        };
+        let torsions = (0..n_torsions)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * std::f64::consts::PI)
+            .collect();
+        Pose {
+            transform: Transform::new(Quat::random_uniform(rng), center + offset),
+            torsions,
+        }
+    }
+
+    /// A Gaussian-ish local perturbation: translation within
+    /// `±translation_scale` per axis, rotation of up to `rotation_scale`
+    /// radians about a random axis, each torsion nudged within
+    /// `±torsion_scale`. This is the metaheuristics' neighbourhood move.
+    pub fn perturbed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        translation_scale: f64,
+        rotation_scale: f64,
+        torsion_scale: f64,
+    ) -> Pose {
+        let dt = Vec3::new(
+            (rng.gen::<f64>() * 2.0 - 1.0) * translation_scale,
+            (rng.gen::<f64>() * 2.0 - 1.0) * translation_scale,
+            (rng.gen::<f64>() * 2.0 - 1.0) * translation_scale,
+        );
+        let axis = Quat::random_uniform(rng).rotate(Vec3::X);
+        let angle = (rng.gen::<f64>() * 2.0 - 1.0) * rotation_scale;
+        let dq = Quat::from_axis_angle(axis, angle);
+        let torsions = self
+            .torsions
+            .iter()
+            .map(|&t| wrap_angle(t + (rng.gen::<f64>() * 2.0 - 1.0) * torsion_scale))
+            .collect();
+        Pose {
+            transform: Transform::new(
+                (dq * self.transform.rotation).normalized(),
+                self.transform.translation + dt,
+            ),
+            torsions,
+        }
+    }
+
+    /// Blend of two parent poses (the metaheuristic Combine step):
+    /// translation lerped at `t`, orientation stepped `t` of the way from
+    /// `self` to `other` along the geodesic, torsions mixed per-gene.
+    pub fn crossover<R: Rng + ?Sized>(&self, other: &Pose, t: f64, rng: &mut R) -> Pose {
+        assert_eq!(
+            self.torsions.len(),
+            other.torsions.len(),
+            "crossover parents disagree on torsion count"
+        );
+        let translation = self.transform.translation.lerp(other.transform.translation, t);
+        // Geodesic step: rotate by a fraction of the relative rotation.
+        let rel = other.transform.rotation * self.transform.rotation.conjugate();
+        let (axis, angle) = rel.to_axis_angle();
+        let rotation =
+            (Quat::from_axis_angle(axis, angle * t) * self.transform.rotation).normalized();
+        let torsions = self
+            .torsions
+            .iter()
+            .zip(&other.torsions)
+            .map(|(&a, &b)| if rng.gen::<f64>() < t { b } else { a })
+            .collect();
+        Pose {
+            transform: Transform::new(rotation, translation),
+            torsions,
+        }
+    }
+
+    /// Number of degrees of freedom: 3 translational + 3 rotational +
+    /// torsions (the action-space arithmetic of paper §5: 12 rigid actions,
+    /// 18 with the 2BSM ligand's 6 torsions).
+    pub fn dof(&self) -> usize {
+        6 + self.torsions.len()
+    }
+
+    /// Whether all numbers are finite.
+    pub fn is_finite(&self) -> bool {
+        self.transform.is_finite() && self.torsions.iter().all(|t| t.is_finite())
+    }
+}
+
+/// Wraps an angle into (−π, π]. In-range inputs pass through bit-exactly.
+pub fn wrap_angle(a: f64) -> f64 {
+    if a > -std::f64::consts::PI && a <= std::f64::consts::PI {
+        return a;
+    }
+    let mut x = a.rem_euclid(std::f64::consts::TAU);
+    if x > std::f64::consts::PI {
+        x -= std::f64::consts::TAU;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn wrap_angle_range() {
+        for a in [-10.0, -PI, -0.5, 0.0, 0.5, PI, 10.0, 100.0] {
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{a} -> {w}");
+            // Same direction modulo 2π.
+            assert!(((a - w) / std::f64::consts::TAU
+                - ((a - w) / std::f64::consts::TAU).round())
+            .abs()
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_poses_stay_in_sphere() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let center = Vec3::new(5.0, 5.0, 5.0);
+        for _ in 0..200 {
+            let p = Pose::random_in_sphere(&mut rng, center, 10.0, 3);
+            assert!(p.transform.translation.distance(center) <= 10.0 + 1e-12);
+            assert_eq!(p.torsions.len(), 3);
+            for &t in &p.torsions {
+                assert!(t > -PI - 1e-12 && t <= PI + 1e-12);
+            }
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn perturbation_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = Pose::identity(2);
+        for _ in 0..100 {
+            let p = base.perturbed(&mut rng, 0.5, 0.1, 0.2);
+            assert!(p.transform.translation.norm() <= 0.5 * 3f64.sqrt() + 1e-9);
+            let (_, angle) = p.transform.rotation.to_axis_angle();
+            assert!(angle <= 0.1 + 1e-9);
+            for &t in &p.torsions {
+                assert!(t.abs() <= 0.2 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_with_zero_scales_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let base = Pose::random_in_sphere(&mut rng, Vec3::ZERO, 5.0, 4);
+        let p = base.perturbed(&mut rng, 0.0, 0.0, 0.0);
+        assert!(p.transform.translation.approx_eq(base.transform.translation, 1e-12));
+        assert!(p.transform.rotation.approx_eq_rotation(base.transform.rotation, 1e-9));
+        assert_eq!(p.torsions, base.torsions);
+    }
+
+    #[test]
+    fn crossover_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = Pose::random_in_sphere(&mut rng, Vec3::ZERO, 5.0, 3);
+        let b = Pose::random_in_sphere(&mut rng, Vec3::ZERO, 5.0, 3);
+        let c0 = a.crossover(&b, 0.0, &mut rng);
+        assert!(c0.transform.translation.approx_eq(a.transform.translation, 1e-12));
+        assert!(c0.transform.rotation.approx_eq_rotation(a.transform.rotation, 1e-9));
+        assert_eq!(c0.torsions, a.torsions);
+        let c1 = a.crossover(&b, 1.0, &mut rng);
+        assert!(c1.transform.translation.approx_eq(b.transform.translation, 1e-12));
+        assert!(c1.transform.rotation.approx_eq_rotation(b.transform.rotation, 1e-9));
+        assert_eq!(c1.torsions, b.torsions);
+    }
+
+    #[test]
+    fn crossover_midpoint_translation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Pose::rigid(Transform::translate(Vec3::ZERO));
+        let b = Pose::rigid(Transform::translate(Vec3::new(2.0, 4.0, 6.0)));
+        let c = a.crossover(&b, 0.5, &mut rng);
+        assert!(c.transform.translation.approx_eq(Vec3::new(1.0, 2.0, 3.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "torsion count")]
+    fn crossover_mismatched_torsions_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = Pose::identity(2);
+        let b = Pose::identity(3);
+        let _ = a.crossover(&b, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn dof_accounting_matches_paper() {
+        // Rigid: 6 DoF → the paper's 12 (± per DoF) actions.
+        assert_eq!(Pose::identity(0).dof(), 6);
+        // 2BSM flexible: 6 torsions → 18 actions total (paper §5).
+        assert_eq!(Pose::identity(6).dof(), 12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cell-list accelerated kernel.
+//!
+//! When a cutoff `rc` is configured, only receptor atoms within `rc` of a
+//! ligand atom contribute. A uniform grid with cell edge `rc` over the
+//! receptor lets each ligand atom visit at most 27 cells instead of the
+//! whole receptor — the classic O(N) → O(local density) molecular-dynamics
+//! trick, and the third row of the scoring benchmark.
+
+use super::{EnergyBreakdown, Scorer};
+use serde::{Deserialize, Serialize};
+use vecmath::{Aabb, Vec3};
+
+/// A uniform spatial hash over receptor atom indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellGrid {
+    origin: Vec3,
+    cell_size: f64,
+    dims: [usize; 3],
+    /// Flattened `dims[0]×dims[1]×dims[2]` buckets of receptor atom indices.
+    cells: Vec<Vec<u32>>,
+}
+
+impl CellGrid {
+    /// Builds a grid with cell edge `cell_size` (usually the cutoff)
+    /// covering all `points`.
+    ///
+    /// # Panics
+    /// If `cell_size` is not positive or `points` is empty.
+    pub fn build<I: IntoIterator<Item = Vec3>>(points: I, cell_size: f64) -> CellGrid {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let pts: Vec<Vec3> = points.into_iter().collect();
+        assert!(!pts.is_empty(), "cannot build a grid over zero points");
+        let bb = Aabb::from_points(pts.iter().copied()).padded(1e-6);
+        let extent = bb.extent();
+        let dims = [
+            (extent.x / cell_size).floor() as usize + 1,
+            (extent.y / cell_size).floor() as usize + 1,
+            (extent.z / cell_size).floor() as usize + 1,
+        ];
+        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        let origin = bb.min;
+        for (i, p) in pts.iter().enumerate() {
+            let c = Self::cell_of(origin, cell_size, dims, *p);
+            cells[c].push(i as u32);
+        }
+        CellGrid {
+            origin,
+            cell_size,
+            dims,
+            cells,
+        }
+    }
+
+    #[inline]
+    fn cell_of(origin: Vec3, cell: f64, dims: [usize; 3], p: Vec3) -> usize {
+        let ix = (((p.x - origin.x) / cell).floor() as i64).clamp(0, dims[0] as i64 - 1) as usize;
+        let iy = (((p.y - origin.y) / cell).floor() as i64).clamp(0, dims[1] as i64 - 1) as usize;
+        let iz = (((p.z - origin.z) / cell).floor() as i64).clamp(0, dims[2] as i64 - 1) as usize;
+        (ix * dims[1] + iy) * dims[2] + iz
+    }
+
+    /// Calls `f` with every stored index whose cell is within one cell of
+    /// `p`'s cell (the 3×3×3 neighbourhood, clipped at grid edges). With
+    /// cell edge ≥ cutoff, this superset contains every point within the
+    /// cutoff of `p`.
+    #[inline]
+    pub fn for_neighbors<F: FnMut(u32)>(&self, p: Vec3, mut f: F) {
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor() as i64;
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor() as i64;
+        let cz = ((p.z - self.origin.z) / self.cell_size).floor() as i64;
+        for dx in -1..=1i64 {
+            let ix = cx + dx;
+            if ix < 0 || ix >= self.dims[0] as i64 {
+                continue;
+            }
+            for dy in -1..=1i64 {
+                let iy = cy + dy;
+                if iy < 0 || iy >= self.dims[1] as i64 {
+                    continue;
+                }
+                for dz in -1..=1i64 {
+                    let iz = cz + dz;
+                    if iz < 0 || iz >= self.dims[2] as i64 {
+                        continue;
+                    }
+                    let cell =
+                        (ix as usize * self.dims[1] + iy as usize) * self.dims[2] + iz as usize;
+                    for &idx in &self.cells[cell] {
+                        f(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of buckets.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Cutoff-aware traversal: for each ligand atom, only nearby receptor cells
+/// are visited.
+pub(super) fn energy(scorer: &Scorer, coords: &[Vec3], dirs: &[Vec3]) -> EnergyBreakdown {
+    let grid = scorer
+        .grid
+        .as_ref()
+        .expect("Kernel::Grid requires ScoringParams.cutoff to be set");
+    let mut acc = EnergyBreakdown::default();
+    for ((l_atom, &l_pos), &l_dir) in scorer.ligand.iter().zip(coords).zip(dirs) {
+        grid.for_neighbors(l_pos, |r_idx| {
+            let r_atom = &scorer.receptor[r_idx as usize];
+            acc.add(super::pair_energy(&scorer.params, r_atom, l_atom, l_pos, l_dir));
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_neighbors_are_superset_of_cutoff_ball() {
+        let pts: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new((f * 0.7).sin() * 20.0, (f * 1.3).cos() * 20.0, (f * 0.31).sin() * 20.0)
+            })
+            .collect();
+        let cutoff = 5.0;
+        let grid = CellGrid::build(pts.iter().copied(), cutoff);
+        let query = Vec3::new(3.0, -2.0, 1.0);
+        let mut visited = std::collections::HashSet::new();
+        grid.for_neighbors(query, |i| {
+            visited.insert(i as usize);
+        });
+        for (i, p) in pts.iter().enumerate() {
+            if p.distance(query) <= cutoff {
+                assert!(visited.contains(&i), "missed in-range point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_cell() {
+        let pts: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new(i as f64 * 0.9, (i % 7) as f64, (i % 3) as f64 * 2.0))
+            .collect();
+        let grid = CellGrid::build(pts.iter().copied(), 3.0);
+        let total: usize = grid.cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let grid = CellGrid::build([Vec3::ZERO], 4.0);
+        assert_eq!(grid.n_cells(), 1);
+        let mut count = 0;
+        grid.for_neighbors(Vec3::new(0.1, 0.1, 0.1), |_| count += 1);
+        assert_eq!(count, 1);
+        // A faraway query visits no out-of-bounds cells and finds nothing.
+        let mut far = 0;
+        grid.for_neighbors(Vec3::new(100.0, 100.0, 100.0), |_| far += 1);
+        assert_eq!(far, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        let _ = CellGrid::build([Vec3::ZERO], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_grid_rejected() {
+        let _ = CellGrid::build(std::iter::empty::<Vec3>(), 1.0);
+    }
+}

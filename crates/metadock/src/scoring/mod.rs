@@ -1,0 +1,627 @@
+//! The METADOCK scoring function — the paper's Equation 1.
+//!
+//! For every receptor-atom/ligand-atom pair the function sums three terms:
+//!
+//! 1. **Electrostatics**: `k·qᵢqⱼ/rᵢⱼ` (Coulomb; Gilson et al.).
+//! 2. **Lennard-Jones 12-6**: `4εᵢⱼ[(σᵢⱼ/rᵢⱼ)¹² − (σᵢⱼ/rᵢⱼ)⁶]`
+//!    (van der Waals; Halgren's MMFF94 parameters).
+//! 3. **Hydrogen bond** (donor–acceptor pairs only):
+//!    `cosθᵢⱼ(Cᵢⱼ/rᵢⱼ¹² − Dᵢⱼ/rᵢⱼ¹⁰) + sinθᵢⱼ·4εᵢⱼ[(σᵢⱼ/rᵢⱼ)¹² − (σᵢⱼ/rᵢⱼ)⁶]`
+//!    (Fabiola et al. 12-10 potential, angle-interpolated with the plain
+//!    12-6 shape as alignment degrades).
+//!
+//! `θᵢⱼ` is the deviation of the H-bond geometry from ideal: the angle
+//! between the donor atom's outward bonding direction and the
+//! donor→acceptor unit vector, clamped to `[0, π/2]`. A perfectly aligned
+//! bond (`θ = 0`) gets the full 12-10 well; an orthogonal approach decays
+//! to plain van der Waals. Donor/acceptor outward directions are derived
+//! from the molecular graph (away from the mean of bonded neighbours).
+//!
+//! The *score* reported to the RL agent follows the paper's convention:
+//! **score = −energy**, so favourable poses have positive scores in the low
+//! hundreds and steric clashes crash to astronomically negative values
+//! (the r⁻¹² wall; the paper quotes −4.5e21).
+//!
+//! Three kernels compute the identical sum:
+//!
+//! * [`Kernel::Sequential`] — the paper's Algorithm 1 reference loop;
+//! * [`Kernel::Parallel`] — rayon map-reduce over receptor atoms (the
+//!   stand-in for METADOCK's GPU path);
+//! * [`Kernel::Grid`] — cell-list traversal honouring the configured
+//!   cutoff (requires `params.cutoff`).
+
+mod grid;
+pub mod gridmap;
+mod par;
+mod seq;
+
+pub use grid::CellGrid;
+pub use gridmap::GridMapScorer;
+
+use molkit::ff::{self, HBondParams, COULOMB_CONSTANT};
+use molkit::{Complex, HBondRole};
+use serde::{Deserialize, Serialize};
+use vecmath::Vec3;
+
+/// Which implementation evaluates the pairwise sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Kernel {
+    /// The sequential reference double loop (paper Algorithm 1).
+    Sequential,
+    /// Rayon data-parallel reduction over receptor atoms.
+    #[default]
+    Parallel,
+    /// Cell-list accelerated traversal; requires a finite cutoff.
+    Grid,
+}
+
+/// Tunables of the scoring function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoringParams {
+    /// Distances are clamped from below to this value (Å) so the r⁻¹² wall
+    /// stays finite — overlapping atoms score astronomically badly rather
+    /// than producing `inf`/`NaN`.
+    pub r_min: f64,
+    /// Optional interaction cutoff in Å. `None` evaluates every pair
+    /// (what Algorithm 1 does); `Some(rc)` zeroes pairs beyond `rc` and is
+    /// required by the [`Kernel::Grid`] path.
+    pub cutoff: Option<f64>,
+    /// Hydrogen-bond 12-10 coefficients shared by all donor–acceptor pairs.
+    pub hbond: HBondParams,
+}
+
+impl Default for ScoringParams {
+    fn default() -> Self {
+        ScoringParams {
+            r_min: 0.05,
+            cutoff: None,
+            hbond: HBondParams::standard(),
+        }
+    }
+}
+
+impl ScoringParams {
+    /// Params with a finite cutoff (Å), the usual docking configuration.
+    pub fn with_cutoff(cutoff: f64) -> Self {
+        assert!(cutoff > 1.0, "cutoff must exceed 1 Å");
+        ScoringParams {
+            cutoff: Some(cutoff),
+            ..ScoringParams::default()
+        }
+    }
+}
+
+/// Energy decomposed by term, in kcal/mol. Lower is better; the agent-facing
+/// score is `−total`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Coulomb term.
+    pub electrostatic: f64,
+    /// Lennard-Jones 12-6 term.
+    pub lennard_jones: f64,
+    /// Angular-weighted 12-10 hydrogen-bond term.
+    pub hbond: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.electrostatic + self.lennard_jones + self.hbond
+    }
+
+    /// The paper-convention score: `−total`.
+    #[inline]
+    pub fn score(&self) -> f64 {
+        -self.total()
+    }
+
+    /// Componentwise sum (used by the parallel reduction).
+    #[inline]
+    pub fn add(&mut self, other: EnergyBreakdown) {
+        self.electrostatic += other.electrostatic;
+        self.lennard_jones += other.lennard_jones;
+        self.hbond += other.hbond;
+    }
+}
+
+/// Per-atom scoring parameters, precomputed once.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AtomParams {
+    /// Position (receptor: fixed world coords; ligand: unused — coordinates
+    /// come from the pose buffer).
+    pub pos: Vec3,
+    /// Partial charge, e.
+    pub charge: f64,
+    /// LJ σ of the atom, Å.
+    pub sigma: f64,
+    /// √ε so that ε_ij = sqrt_eps_i · sqrt_eps_j without a per-pair sqrt.
+    pub sqrt_eps: f64,
+    /// H-bond role.
+    pub hbond: HBondRole,
+    /// Outward bonding direction (unit, or zero when undefined).
+    pub dir: Vec3,
+}
+
+/// The scoring function bound to one receptor/ligand parameterisation.
+#[derive(Debug, Clone)]
+pub struct Scorer {
+    pub(crate) receptor: Vec<AtomParams>,
+    /// Ligand per-atom parameters; `pos` holds the *reference* coordinates
+    /// (used only to derive fallback directions).
+    pub(crate) ligand: Vec<AtomParams>,
+    /// Ligand adjacency (for per-pose direction recomputation).
+    pub(crate) ligand_neighbors: Vec<Vec<usize>>,
+    /// Parameters.
+    pub params: ScoringParams,
+    pub(crate) grid: Option<CellGrid>,
+}
+
+impl Scorer {
+    /// Builds a scorer for `complex` with the given parameters.
+    ///
+    /// The receptor tables (including the cell grid when a cutoff is set)
+    /// are computed once here; per-pose evaluation then touches no shared
+    /// mutable state, so one `Scorer` can be used from many threads.
+    pub fn new(complex: &Complex, params: ScoringParams) -> Self {
+        let receptor = atom_params(&complex.receptor);
+        let ligand = atom_params(&complex.ligand);
+        let ligand_neighbors = complex.ligand.adjacency();
+        let grid = params
+            .cutoff
+            .map(|rc| CellGrid::build(complex.receptor.atoms().iter().map(|a| a.position), rc));
+        Scorer {
+            receptor,
+            ligand,
+            ligand_neighbors,
+            params,
+            grid,
+        }
+    }
+
+    /// Number of receptor atoms.
+    pub fn receptor_len(&self) -> usize {
+        self.receptor.len()
+    }
+
+    /// Number of ligand atoms.
+    pub fn ligand_len(&self) -> usize {
+        self.ligand.len()
+    }
+
+    /// Evaluates the energy of the ligand conformation `coords` (one
+    /// world-space position per ligand atom) with the chosen kernel.
+    ///
+    /// # Panics
+    /// * If `coords.len()` differs from the ligand atom count.
+    /// * If [`Kernel::Grid`] is requested without a cutoff.
+    pub fn energy(&self, coords: &[Vec3], kernel: Kernel) -> EnergyBreakdown {
+        assert_eq!(
+            coords.len(),
+            self.ligand.len(),
+            "conformation has wrong atom count"
+        );
+        let dirs = self.ligand_dirs(coords);
+        match kernel {
+            Kernel::Sequential => seq::energy(self, coords, &dirs),
+            Kernel::Parallel => par::energy(self, coords, &dirs),
+            Kernel::Grid => grid::energy(self, coords, &dirs),
+        }
+    }
+
+    /// The agent-facing score (`−energy`) of a conformation.
+    pub fn score(&self, coords: &[Vec3], kernel: Kernel) -> f64 {
+        self.energy(coords, kernel).score()
+    }
+
+    /// Outward bonding directions of ligand atoms for the given posed
+    /// coordinates: unit vector from the mean of bonded neighbours to the
+    /// atom (zero for isolated atoms).
+    pub(crate) fn ligand_dirs(&self, coords: &[Vec3]) -> Vec<Vec3> {
+        self.ligand_neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| {
+                if nbrs.is_empty() {
+                    return Vec3::ZERO;
+                }
+                let mean: Vec3 =
+                    nbrs.iter().map(|&j| coords[j]).sum::<Vec3>() / nbrs.len() as f64;
+                (coords[i] - mean).normalized().unwrap_or(Vec3::ZERO)
+            })
+            .collect()
+    }
+}
+
+/// Extracts per-atom parameters from a molecule, including outward bonding
+/// directions from the molecular graph.
+fn atom_params(mol: &molkit::Molecule) -> Vec<AtomParams> {
+    let adjacency = mol.adjacency();
+    mol.atoms()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let lj = ff::lj_params(a.element);
+            let dir = if adjacency[i].is_empty() {
+                Vec3::ZERO
+            } else {
+                let mean: Vec3 = adjacency[i]
+                    .iter()
+                    .map(|&j| mol.atoms()[j].position)
+                    .sum::<Vec3>()
+                    / adjacency[i].len() as f64;
+                (a.position - mean).normalized().unwrap_or(Vec3::ZERO)
+            };
+            AtomParams {
+                pos: a.position,
+                charge: a.charge,
+                sigma: lj.sigma,
+                sqrt_eps: lj.epsilon.sqrt(),
+                hbond: a.hbond,
+                dir,
+            }
+        })
+        .collect()
+}
+
+/// The pairwise interaction — shared verbatim by every kernel so that all
+/// three compute the same mathematical sum.
+///
+/// `(r_atom, r_pos)` is the receptor side, `(l_atom, l_pos, l_dir)` the
+/// ligand side; `l_dir` is the ligand atom's current outward direction.
+#[inline]
+pub(crate) fn pair_energy(
+    params: &ScoringParams,
+    r_atom: &AtomParams,
+    l_atom: &AtomParams,
+    l_pos: Vec3,
+    l_dir: Vec3,
+) -> EnergyBreakdown {
+    let delta = l_pos - r_atom.pos;
+    let mut r2 = delta.norm_sq();
+    if let Some(rc) = params.cutoff {
+        if r2 > rc * rc {
+            return EnergyBreakdown::default();
+        }
+    }
+    let min2 = params.r_min * params.r_min;
+    if r2 < min2 {
+        r2 = min2;
+    }
+    let r = r2.sqrt();
+    let inv_r = 1.0 / r;
+
+    // Term 1: electrostatics.
+    let electrostatic = COULOMB_CONSTANT * r_atom.charge * l_atom.charge * inv_r;
+
+    // Term 2: Lennard-Jones 12-6 with Lorentz–Berthelot mixing.
+    let sigma = 0.5 * (r_atom.sigma + l_atom.sigma);
+    let eps = r_atom.sqrt_eps * l_atom.sqrt_eps;
+    let s2 = (sigma * sigma) / r2;
+    let s6 = s2 * s2 * s2;
+    let lj = 4.0 * eps * (s6 * s6 - s6);
+
+    // Term 3: hydrogen bond, donor–acceptor pairs only.
+    let hbond = if r_atom.hbond.pairs_with(l_atom.hbond) {
+        // Identify the donor side and its outward direction.
+        let (donor_dir, donor_to_acceptor) = if r_atom.hbond == HBondRole::Donor {
+            (r_atom.dir, delta * inv_r)
+        } else {
+            (l_dir, -(delta * inv_r))
+        };
+        // cosθ: 1 = ideally aligned. Zero direction (isolated atom) counts
+        // as ideal; misalignment past 90° counts as fully broken.
+        let cos_theta = if donor_dir == Vec3::ZERO {
+            1.0
+        } else {
+            donor_dir.dot(donor_to_acceptor).clamp(0.0, 1.0)
+        };
+        let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+        let inv2 = inv_r * inv_r;
+        let inv10 = inv2 * inv2 * inv2 * inv2 * inv2;
+        let radial = params.hbond.c12 * inv10 * inv2 - params.hbond.d10 * inv10;
+        cos_theta * radial + sin_theta * lj
+    } else {
+        0.0
+    };
+
+    EnergyBreakdown {
+        electrostatic,
+        lennard_jones: lj,
+        hbond,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::SyntheticComplexSpec;
+    use vecmath::Transform;
+
+    fn scorer(params: ScoringParams) -> (Scorer, Complex) {
+        let complex = SyntheticComplexSpec::scaled().generate();
+        (Scorer::new(&complex, params), complex)
+    }
+
+    #[test]
+    fn kernels_agree_without_cutoff() {
+        let (s, c) = scorer(ScoringParams::default());
+        let coords = c.ligand_coords(&c.crystal_pose);
+        let seq = s.energy(&coords, Kernel::Sequential);
+        let par = s.energy(&coords, Kernel::Parallel);
+        let scale = seq.total().abs().max(1.0);
+        assert!((seq.total() - par.total()).abs() / scale < 1e-10);
+        assert!((seq.electrostatic - par.electrostatic).abs() / scale < 1e-10);
+        assert!((seq.lennard_jones - par.lennard_jones).abs() / scale < 1e-10);
+        assert!((seq.hbond - par.hbond).abs() / scale < 1e-10);
+    }
+
+    #[test]
+    fn grid_matches_sequential_with_same_cutoff() {
+        let (s, c) = scorer(ScoringParams::with_cutoff(10.0));
+        for pose in [&c.crystal_pose, &c.initial_pose] {
+            let coords = c.ligand_coords(pose);
+            let seq = s.energy(&coords, Kernel::Sequential);
+            let grd = s.energy(&coords, Kernel::Grid);
+            let scale = seq.total().abs().max(1.0);
+            assert!(
+                (seq.total() - grd.total()).abs() / scale < 1e-9,
+                "seq {} vs grid {}",
+                seq.total(),
+                grd.total()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn grid_kernel_requires_cutoff() {
+        let (s, c) = scorer(ScoringParams::default());
+        let coords = c.ligand_coords(&c.crystal_pose);
+        let _ = s.energy(&coords, Kernel::Grid);
+    }
+
+    #[test]
+    fn crystal_pose_scores_better_than_distant_pose() {
+        let (s, c) = scorer(ScoringParams::default());
+        let crystal = s.score(&c.ligand_coords(&c.crystal_pose), Kernel::Parallel);
+        let distant = s.score(&c.ligand_coords(&c.initial_pose), Kernel::Parallel);
+        assert!(
+            crystal > distant,
+            "crystal {crystal} should beat distant {distant}"
+        );
+    }
+
+    #[test]
+    fn steric_clash_crashes_the_score() {
+        let (s, c) = scorer(ScoringParams::default());
+        // Bury the ligand at the receptor's centre of mass: massive overlap.
+        let buried = Transform::translate(c.receptor_com());
+        let clash = s.score(&c.ligand_coords(&buried), Kernel::Parallel);
+        assert!(
+            clash < -1e6,
+            "buried pose must score catastrophically, got {clash}"
+        );
+    }
+
+    #[test]
+    fn far_away_ligand_scores_near_zero() {
+        let (s, c) = scorer(ScoringParams::default());
+        let far = Transform::translate(vecmath::Vec3::new(500.0, 0.0, 0.0));
+        let score = s.score(&c.ligand_coords(&far), Kernel::Parallel);
+        assert!(score.abs() < 1.0, "500 Å away: {score}");
+    }
+
+    #[test]
+    fn cutoff_zeroes_distant_pairs_entirely() {
+        let (s, c) = scorer(ScoringParams::with_cutoff(8.0));
+        let far = Transform::translate(vecmath::Vec3::new(500.0, 0.0, 0.0));
+        let e = s.energy(&c.ligand_coords(&far), Kernel::Grid);
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn r_min_keeps_energies_finite_under_total_overlap() {
+        let (s, c) = scorer(ScoringParams::default());
+        // All ligand atoms collapsed onto one receptor atom.
+        let target = c.receptor.atoms()[0].position;
+        let coords = vec![target; s.ligand_len()];
+        let e = s.energy(&coords, Kernel::Sequential);
+        assert!(e.total().is_finite());
+        assert!(e.total() > 1e12, "r_min wall should dominate: {}", e.total());
+    }
+
+    #[test]
+    fn score_is_negated_energy() {
+        let (s, c) = scorer(ScoringParams::default());
+        let coords = c.ligand_coords(&c.crystal_pose);
+        let e = s.energy(&coords, Kernel::Parallel);
+        assert_eq!(s.score(&coords, Kernel::Parallel), -e.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong atom count")]
+    fn wrong_conformation_length_panics() {
+        let (s, _) = scorer(ScoringParams::default());
+        let _ = s.energy(&[Vec3::ZERO], Kernel::Sequential);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let (s, c) = scorer(ScoringParams::default());
+        let e = s.energy(&c.ligand_coords(&c.crystal_pose), Kernel::Sequential);
+        assert!(
+            ((e.electrostatic + e.lennard_jones + e.hbond) - e.total()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn hbond_term_engages_at_crystal_pose() {
+        // The imprinted pocket pairs donors with acceptors, so the H-bond
+        // term must be non-zero (and stabilising) at the crystal pose.
+        let (s, c) = scorer(ScoringParams::default());
+        let e = s.energy(&c.ligand_coords(&c.crystal_pose), Kernel::Parallel);
+        assert!(e.hbond != 0.0, "hbond term should be active");
+    }
+
+    #[test]
+    fn pair_energy_symmetry_between_kernel_paths() {
+        // Directly exercise pair_energy: a +1/−1 charge pair at 3 Å
+        // attracts with k/3 kcal/mol.
+        let p = ScoringParams::default();
+        let a = AtomParams {
+            pos: Vec3::ZERO,
+            charge: 1.0,
+            sigma: 3.0,
+            sqrt_eps: 0.3,
+            hbond: HBondRole::None,
+            dir: Vec3::ZERO,
+        };
+        let b = AtomParams {
+            pos: Vec3::new(3.0, 0.0, 0.0),
+            charge: -1.0,
+            ..a
+        };
+        let e = pair_energy(&p, &a, &b, b.pos, Vec3::ZERO);
+        assert!((e.electrostatic - (-COULOMB_CONSTANT / 3.0)).abs() < 1e-9);
+        // LJ at r = σ: exactly zero.
+        let at_sigma = AtomParams {
+            pos: Vec3::new(3.0, 0.0, 0.0),
+            charge: 0.0,
+            ..a
+        };
+        let a0 = AtomParams { charge: 0.0, ..a };
+        let e2 = pair_energy(&p, &a0, &at_sigma, at_sigma.pos, Vec3::ZERO);
+        assert!(e2.lennard_jones.abs() < 1e-9);
+        assert_eq!(e2.electrostatic, 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use molkit::{Atom, Bond, Element, Molecule};
+        use proptest::prelude::*;
+        use vecmath::Transform;
+
+        /// A minimal fixed complex for invariance probing.
+        fn probe_complex(offset: Vec3) -> Complex {
+            let mut receptor = Molecule::new("R");
+            for k in 0..6 {
+                receptor.add_atom(
+                    Atom::new(
+                        if k % 2 == 0 { Element::C } else { Element::O },
+                        offset + Vec3::new(k as f64 * 2.0, (k % 3) as f64, 0.5 * k as f64),
+                    )
+                    .with_charge(if k % 2 == 0 { 0.2 } else { -0.3 }),
+                );
+            }
+            let mut ligand = Molecule::new("L");
+            ligand.add_atom(Atom::new(Element::N, offset + Vec3::new(1.0, 4.0, 1.0)).with_charge(0.3));
+            ligand.add_atom(Atom::new(Element::C, offset + Vec3::new(2.4, 4.2, 1.1)).with_charge(-0.1));
+            ligand.add_bond(Bond::new(0, 1));
+            Complex::new(
+                receptor,
+                ligand,
+                Transform::IDENTITY,
+                Transform::translate(offset + Vec3::new(0.0, 20.0, 0.0)),
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn energy_is_translation_invariant(
+                dx in -50.0..50.0f64, dy in -50.0..50.0f64, dz in -50.0..50.0f64,
+            ) {
+                // Translating the whole system (receptor + ligand together)
+                // must not change the energy: only relative geometry matters.
+                let offset = Vec3::new(dx, dy, dz);
+                let base = probe_complex(Vec3::ZERO);
+                let moved = probe_complex(offset);
+                let s_base = Scorer::new(&base, ScoringParams::default());
+                let s_moved = Scorer::new(&moved, ScoringParams::default());
+                // Complex::new recentres ligands at their COM, so evaluate at
+                // matching world coordinates.
+                let coords_base = base.ligand_coords(&Transform::translate(Vec3::new(1.7, 4.1, 1.05)));
+                let coords_moved: Vec<Vec3> = coords_base.iter().map(|c| *c + offset).collect();
+                let e1 = s_base.energy(&coords_base, Kernel::Sequential).total();
+                let e2 = s_moved.energy(&coords_moved, Kernel::Sequential).total();
+                let scale = e1.abs().max(1.0);
+                prop_assert!((e1 - e2).abs() / scale < 1e-9, "{e1} vs {e2}");
+            }
+
+            #[test]
+            fn kernels_agree_on_random_poses(
+                tx in -30.0..30.0f64, ty in -30.0..30.0f64, tz in -30.0..30.0f64,
+                angle in -3.0..3.0f64,
+            ) {
+                let complex = molkit::SyntheticComplexSpec::tiny().generate();
+                let s = Scorer::new(&complex, ScoringParams::default());
+                let pose = Transform::new(
+                    vecmath::Quat::from_axis_angle(Vec3::new(1.0, 0.5, -0.2), angle),
+                    Vec3::new(tx, ty, tz),
+                );
+                let coords = complex.ligand_coords(&pose);
+                let seq = s.energy(&coords, Kernel::Sequential).total();
+                let par = s.energy(&coords, Kernel::Parallel).total();
+                let scale = seq.abs().max(1.0);
+                prop_assert!((seq - par).abs() / scale < 1e-9);
+            }
+
+            #[test]
+            fn electrostatics_scales_quadratically_with_charge(
+                factor in 0.1..4.0f64,
+            ) {
+                // Scaling ALL charges by f scales the Coulomb term by f².
+                let base = probe_complex(Vec3::ZERO);
+                let mut scaled = base.clone();
+                for a in scaled.receptor.atoms_mut() {
+                    a.charge *= factor;
+                }
+                for a in scaled.ligand.atoms_mut() {
+                    a.charge *= factor;
+                }
+                let pose = Transform::translate(Vec3::new(1.7, 4.1, 1.05));
+                let coords = base.ligand_coords(&pose);
+                let e1 = Scorer::new(&base, ScoringParams::default())
+                    .energy(&coords, Kernel::Sequential);
+                let e2 = Scorer::new(&scaled, ScoringParams::default())
+                    .energy(&coords, Kernel::Sequential);
+                let expected = e1.electrostatic * factor * factor;
+                let scale = expected.abs().max(1e-6);
+                prop_assert!((e2.electrostatic - expected).abs() / scale < 1e-9);
+                // LJ term is charge-independent.
+                prop_assert!((e1.lennard_jones - e2.lennard_jones).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_hbond_is_deeper_than_misaligned() {
+        let p = ScoringParams::default();
+        let donor = AtomParams {
+            pos: Vec3::ZERO,
+            charge: 0.0,
+            sigma: 3.0,
+            sqrt_eps: 0.3,
+            hbond: HBondRole::Donor,
+            dir: Vec3::X, // pointing straight at the acceptor
+        };
+        let acceptor = AtomParams {
+            pos: Vec3::new(ff::HBOND_EQUILIBRIUM_R, 0.0, 0.0),
+            charge: 0.0,
+            sigma: 3.0,
+            sqrt_eps: 0.3,
+            hbond: HBondRole::Acceptor,
+            dir: Vec3::ZERO,
+        };
+        let aligned = pair_energy(&p, &donor, &acceptor, acceptor.pos, Vec3::ZERO);
+        let donor_side = AtomParams { dir: Vec3::Y, ..donor }; // 90° off
+        let misaligned = pair_energy(&p, &donor_side, &acceptor, acceptor.pos, Vec3::ZERO);
+        assert!(
+            aligned.hbond < misaligned.hbond,
+            "aligned {} vs misaligned {}",
+            aligned.hbond,
+            misaligned.hbond
+        );
+        assert!((aligned.hbond - (-ff::HBOND_WELL_DEPTH)).abs() < 0.5);
+    }
+}

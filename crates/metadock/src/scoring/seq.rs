@@ -1,0 +1,21 @@
+//! The sequential reference kernel — the paper's Algorithm 1.
+//!
+//! A plain nested loop over `N_ATOMS_RECEPTOR × N_ATOMS_LIGAND`, exactly the
+//! "sequential baseline" the paper presents before pointing at GPUs. This is
+//! the slowest kernel and exists (a) as the ground truth the parallel and
+//! grid kernels are validated against, and (b) as the baseline row of the
+//! scoring benchmark.
+
+use super::{EnergyBreakdown, Scorer};
+use vecmath::Vec3;
+
+/// Sums every receptor–ligand pair sequentially.
+pub(super) fn energy(scorer: &Scorer, coords: &[Vec3], dirs: &[Vec3]) -> EnergyBreakdown {
+    let mut acc = EnergyBreakdown::default();
+    for r_atom in &scorer.receptor {
+        for ((l_atom, &l_pos), &l_dir) in scorer.ligand.iter().zip(coords).zip(dirs) {
+            acc.add(super::pair_energy(&scorer.params, r_atom, l_atom, l_pos, l_dir));
+        }
+    }
+    acc
+}

@@ -1,0 +1,268 @@
+//! The virtual-screening pipeline.
+//!
+//! Wires the pieces of a production screen into one call, the workflow the
+//! paper's introduction motivates (§1–2.1): take a ligand library, dock
+//! every entry against the shared receptor with a metaheuristic, optionally
+//! polish each best pose with local refinement, and rank by raw score and
+//! by ligand efficiency (score per heavy atom — raw docking scores reward
+//! sheer molecular size).
+
+use crate::engine::DockingEngine;
+use crate::metaheuristic::Metaheuristic;
+use crate::refine::{local_optimize, RefineParams};
+use crate::scoring::{Kernel, ScoringParams};
+use molkit::LibraryEntry;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreenParams {
+    /// Scoring-evaluation budget per ligand.
+    pub budget_per_ligand: usize,
+    /// Which metaheuristic instantiation docks each ligand
+    /// (`"mc"`, `"sa"`, `"ga"`, `"random"`).
+    pub method: String,
+    /// Whether to locally refine each ligand's best pose.
+    pub refine: bool,
+    /// Scoring parameters shared by all engines.
+    pub scoring: ScoringParams,
+    /// Base RNG seed (each ligand gets `seed + index`).
+    pub seed: u64,
+}
+
+impl Default for ScreenParams {
+    fn default() -> Self {
+        ScreenParams {
+            budget_per_ligand: 4_000,
+            method: "ga".into(),
+            refine: false,
+            scoring: ScoringParams::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// One ranked screening hit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScreenHit {
+    /// Library entry name.
+    pub name: String,
+    /// Best docking score found.
+    pub score: f64,
+    /// Score per heavy atom (size-normalised ranking key).
+    pub ligand_efficiency: f64,
+    /// RMSD of the best pose to the entry's crystallographic reference.
+    pub rmsd: f64,
+    /// Scoring evaluations spent on this ligand.
+    pub evaluations: usize,
+    /// Whether this entry is the library's planted reference binder.
+    pub is_reference: bool,
+}
+
+/// Full screen result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScreenReport {
+    /// Hits sorted by raw score, best first.
+    pub by_score: Vec<ScreenHit>,
+    /// The same hits sorted by ligand efficiency, best first.
+    pub by_efficiency: Vec<ScreenHit>,
+    /// Total evaluations across the library.
+    pub total_evaluations: usize,
+}
+
+impl ScreenReport {
+    /// 1-based rank of the planted reference binder under the raw-score
+    /// ordering (`None` if the library has no reference).
+    pub fn reference_rank(&self) -> Option<usize> {
+        self.by_score
+            .iter()
+            .position(|h| h.is_reference)
+            .map(|i| i + 1)
+    }
+
+    /// A plain-text leaderboard.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4} {:<12} {:>10} {:>8} {:>8}",
+            "#", "ligand", "score", "LE", "RMSD"
+        );
+        for (i, h) in self.by_score.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<12} {:>10.2} {:>8.2} {:>8.2}{}",
+                i + 1,
+                h.name,
+                h.score,
+                h.ligand_efficiency,
+                h.rmsd,
+                if h.is_reference { "  ← reference" } else { "" }
+            );
+        }
+        out
+    }
+}
+
+/// Builds the metaheuristic named by `params.method`.
+fn build_method(params: &ScreenParams, seed: u64) -> Metaheuristic {
+    match params.method.as_str() {
+        "mc" => Metaheuristic::monte_carlo(params.budget_per_ligand, seed),
+        "sa" => Metaheuristic::simulated_annealing(params.budget_per_ligand, seed),
+        "random" => Metaheuristic::random_search(params.budget_per_ligand, seed),
+        _ => Metaheuristic::genetic(params.budget_per_ligand, seed),
+    }
+}
+
+/// Runs the screen over `library`.
+///
+/// # Panics
+/// If the library is empty.
+pub fn run_screen(library: &[LibraryEntry], params: &ScreenParams) -> ScreenReport {
+    assert!(!library.is_empty(), "cannot screen an empty library");
+    let mut hits: Vec<ScreenHit> = library
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let engine = DockingEngine::new(
+                entry.complex.clone(),
+                params.scoring,
+                Kernel::Parallel,
+            );
+            let mh = build_method(params, params.seed + i as u64);
+            let out = mh.run(&engine);
+            let (best_pose, best_score, extra_evals) = if params.refine {
+                let refined = local_optimize(&engine, &out.best_pose, RefineParams::default());
+                (refined.pose, refined.score, refined.evaluations)
+            } else {
+                (out.best_pose, out.best_score, 0)
+            };
+            let rmsd = engine.complex().rmsd_to_crystal(&best_pose.transform);
+            ScreenHit {
+                name: entry.name.clone(),
+                score: best_score,
+                ligand_efficiency: best_score / entry.descriptors.heavy_atoms.max(1) as f64,
+                rmsd,
+                evaluations: out.evaluations + extra_evals,
+                is_reference: entry.is_reference,
+            }
+        })
+        .collect();
+
+    let total_evaluations = hits.iter().map(|h| h.evaluations).sum();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let by_score = hits.clone();
+    hits.sort_by(|a, b| b.ligand_efficiency.partial_cmp(&a.ligand_efficiency).unwrap());
+    ScreenReport {
+        by_score,
+        by_efficiency: hits,
+        total_evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::{LibrarySpec, SyntheticComplexSpec};
+
+    fn tiny_library() -> Vec<LibraryEntry> {
+        LibrarySpec {
+            base: SyntheticComplexSpec::tiny(),
+            n_decoys: 2,
+            decoy_atoms: (5, 7),
+            decoy_rotatable: (1, 2),
+        }
+        .generate()
+    }
+
+    fn quick_params() -> ScreenParams {
+        ScreenParams {
+            budget_per_ligand: 300,
+            ..ScreenParams::default()
+        }
+    }
+
+    #[test]
+    fn screen_ranks_every_entry() {
+        let lib = tiny_library();
+        let report = run_screen(&lib, &quick_params());
+        assert_eq!(report.by_score.len(), lib.len());
+        assert_eq!(report.by_efficiency.len(), lib.len());
+        // Rankings are sorted.
+        for w in report.by_score.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for w in report.by_efficiency.windows(2) {
+            assert!(w[0].ligand_efficiency >= w[1].ligand_efficiency);
+        }
+        assert!(report.reference_rank().is_some());
+        assert!(report.total_evaluations >= 300 * lib.len());
+    }
+
+    #[test]
+    fn refinement_only_improves_scores() {
+        let lib = tiny_library();
+        let plain = run_screen(&lib, &quick_params());
+        let refined = run_screen(
+            &lib,
+            &ScreenParams {
+                refine: true,
+                ..quick_params()
+            },
+        );
+        // Compare per-ligand (order by name).
+        let find = |r: &ScreenReport, n: &str| {
+            r.by_score.iter().find(|h| h.name == n).unwrap().score
+        };
+        for entry in &lib {
+            assert!(
+                find(&refined, &entry.name) >= find(&plain, &entry.name) - 1e-9,
+                "{}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn screening_is_deterministic() {
+        let lib = tiny_library();
+        let a = run_screen(&lib, &quick_params());
+        let b = run_screen(&lib, &quick_params());
+        for (x, y) in a.by_score.iter().zip(&b.by_score) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn render_contains_reference_marker() {
+        let lib = tiny_library();
+        let report = run_screen(&lib, &quick_params());
+        let text = report.render();
+        assert!(text.contains("← reference"));
+        assert!(text.lines().count() > lib.len());
+    }
+
+    #[test]
+    fn every_method_name_resolves() {
+        let lib = tiny_library();
+        for method in ["mc", "sa", "ga", "random", "unknown-falls-back-to-ga"] {
+            let report = run_screen(
+                &lib,
+                &ScreenParams {
+                    method: method.into(),
+                    budget_per_ligand: 200,
+                    ..ScreenParams::default()
+                },
+            );
+            assert_eq!(report.by_score.len(), lib.len(), "{method}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty library")]
+    fn empty_library_rejected() {
+        let _ = run_screen(&[], &quick_params());
+    }
+}

@@ -1,0 +1,121 @@
+//! Atoms: element + position + electrostatic/H-bond attributes.
+
+use crate::Element;
+use serde::{Deserialize, Serialize};
+use vecmath::Vec3;
+
+/// The hydrogen-bonding role an atom can play in the 12-10 term of the
+/// scoring function (paper Eq. 1, third term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum HBondRole {
+    /// Not involved in hydrogen bonding.
+    #[default]
+    None,
+    /// A polar hydrogen (or the heavy atom carrying it) that donates.
+    Donor,
+    /// A lone-pair-bearing heavy atom that accepts.
+    Acceptor,
+}
+
+impl HBondRole {
+    /// Whether a `(self, other)` pair forms a donor–acceptor couple in
+    /// either direction.
+    #[inline]
+    pub fn pairs_with(self, other: HBondRole) -> bool {
+        matches!(
+            (self, other),
+            (HBondRole::Donor, HBondRole::Acceptor) | (HBondRole::Acceptor, HBondRole::Donor)
+        )
+    }
+}
+
+/// A single atom.
+///
+/// Positions are in Å; `charge` is a partial charge in elementary-charge
+/// units (typically in `[-1, 1]` for organic molecules). For receptor atoms
+/// the position is fixed; for ligand atoms it is the *reference* position to
+/// which the current pose transform is applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Chemical element.
+    pub element: Element,
+    /// Position in Å.
+    pub position: Vec3,
+    /// Partial charge in e.
+    pub charge: f64,
+    /// Hydrogen-bond role.
+    pub hbond: HBondRole,
+    /// PDB-style atom name (e.g. `"CA"`, `"OD1"`); free-form.
+    pub name: String,
+}
+
+impl Atom {
+    /// Creates an atom with zero charge and no H-bond role.
+    pub fn new(element: Element, position: Vec3) -> Self {
+        Atom {
+            element,
+            position,
+            charge: 0.0,
+            hbond: HBondRole::None,
+            name: element.symbol().to_string(),
+        }
+    }
+
+    /// Builder-style: sets the partial charge.
+    pub fn with_charge(mut self, q: f64) -> Self {
+        self.charge = q;
+        self
+    }
+
+    /// Builder-style: sets the H-bond role.
+    pub fn with_hbond(mut self, role: HBondRole) -> Self {
+        self.hbond = role;
+        self
+    }
+
+    /// Builder-style: sets the atom name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Atomic mass in Daltons.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.element.mass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let a = Atom::new(Element::O, Vec3::new(1.0, 2.0, 3.0))
+            .with_charge(-0.5)
+            .with_hbond(HBondRole::Acceptor)
+            .with_name("OD1");
+        assert_eq!(a.element, Element::O);
+        assert_eq!(a.charge, -0.5);
+        assert_eq!(a.hbond, HBondRole::Acceptor);
+        assert_eq!(a.name, "OD1");
+        assert_eq!(a.mass(), Element::O.mass());
+    }
+
+    #[test]
+    fn default_name_is_element_symbol() {
+        assert_eq!(Atom::new(Element::Cl, Vec3::ZERO).name, "Cl");
+    }
+
+    #[test]
+    fn hbond_pairing_is_symmetric_and_excludes_like_roles() {
+        use HBondRole::*;
+        assert!(Donor.pairs_with(Acceptor));
+        assert!(Acceptor.pairs_with(Donor));
+        assert!(!Donor.pairs_with(Donor));
+        assert!(!Acceptor.pairs_with(Acceptor));
+        assert!(!None.pairs_with(Acceptor));
+        assert!(!Donor.pairs_with(None));
+    }
+}

@@ -1,0 +1,125 @@
+//! Covalent bonds.
+
+use serde::{Deserialize, Serialize};
+
+/// Bond order. Only single bonds can be rotatable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BondOrder {
+    /// Single bond.
+    #[default]
+    Single,
+    /// Double bond.
+    Double,
+    /// Triple bond.
+    Triple,
+    /// Delocalised/aromatic bond.
+    Aromatic,
+}
+
+/// A covalent bond between atoms `i` and `j` (indices into the owning
+/// molecule's atom list, stored with `i < j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bond {
+    /// Lower atom index.
+    pub i: usize,
+    /// Higher atom index.
+    pub j: usize,
+    /// Bond order.
+    pub order: BondOrder,
+    /// Whether torsional rotation about this bond is allowed (the
+    /// flexible-ligand extension rotates only these).
+    pub rotatable: bool,
+}
+
+impl Bond {
+    /// Creates a single, non-rotatable bond; indices are normalised to
+    /// `i < j`. Panics when `i == j` (self-bonds are always a bug).
+    pub fn new(i: usize, j: usize) -> Self {
+        assert_ne!(i, j, "self-bond {i}-{j}");
+        Bond {
+            i: i.min(j),
+            j: i.max(j),
+            order: BondOrder::Single,
+            rotatable: false,
+        }
+    }
+
+    /// Builder-style: sets the bond order.
+    pub fn with_order(mut self, order: BondOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder-style: marks the bond rotatable. Panics for non-single
+    /// orders — double/triple/aromatic bonds are torsionally rigid.
+    pub fn with_rotatable(mut self, rotatable: bool) -> Self {
+        assert!(
+            !rotatable || self.order == BondOrder::Single,
+            "only single bonds can be rotatable"
+        );
+        self.rotatable = rotatable;
+        self
+    }
+
+    /// The partner of atom `a` across this bond, or `None` if `a` is not an
+    /// endpoint.
+    pub fn other(&self, a: usize) -> Option<usize> {
+        if a == self.i {
+            Some(self.j)
+        } else if a == self.j {
+            Some(self.i)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the bond connects `a` and `b` (order of arguments ignored).
+    pub fn connects(&self, a: usize, b: usize) -> bool {
+        (self.i == a && self.j == b) || (self.i == b && self.j == a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_normalised() {
+        let b = Bond::new(7, 2);
+        assert_eq!((b.i, b.j), (2, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-bond")]
+    fn self_bonds_are_rejected() {
+        let _ = Bond::new(3, 3);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let b = Bond::new(1, 4);
+        assert_eq!(b.other(1), Some(4));
+        assert_eq!(b.other(4), Some(1));
+        assert_eq!(b.other(2), None);
+    }
+
+    #[test]
+    fn connects_ignores_order() {
+        let b = Bond::new(0, 9);
+        assert!(b.connects(9, 0));
+        assert!(b.connects(0, 9));
+        assert!(!b.connects(0, 1));
+    }
+
+    #[test]
+    fn rotatable_builder() {
+        let b = Bond::new(0, 1).with_rotatable(true);
+        assert!(b.rotatable);
+    }
+
+    #[test]
+    #[should_panic(expected = "single bonds")]
+    fn double_bond_cannot_be_rotatable() {
+        let _ = Bond::new(0, 1).with_order(BondOrder::Double).with_rotatable(true);
+    }
+}

@@ -1,0 +1,210 @@
+//! A receptor–ligand complex with its crystallographic and initial poses.
+
+use crate::topology::Torsion;
+use crate::Molecule;
+use serde::{Deserialize, Serialize};
+use vecmath::{Transform, Vec3};
+
+/// A docking problem instance: a rigid receptor, a ligand given in
+/// *reference coordinates* (centre of mass at the origin), and two
+/// distinguished poses.
+///
+/// * `crystal_pose` — the transform placing the ligand at its
+///   crystallographic (solution) position, the paper's Figure 3 pose "B".
+/// * `initial_pose` — the distant starting position the RL episode resets
+///   to, Figure 3 pose "A".
+///
+/// The ligand is stored centred at its centre of mass so pose rotations are
+/// rotations about the COM (which is what the agent's rotate actions mean).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Complex {
+    /// The (rigid) receptor.
+    pub receptor: Molecule,
+    /// The ligand in reference coordinates (COM at origin).
+    pub ligand: Molecule,
+    /// Transform placing the ligand at the crystallographic pose.
+    pub crystal_pose: Transform,
+    /// Transform placing the ligand at the episode-start pose.
+    pub initial_pose: Transform,
+    /// Precomputed ligand torsions (empty for the rigid-ligand setting).
+    pub torsions: Vec<Torsion>,
+}
+
+impl Complex {
+    /// Creates a complex, recentring the ligand if needed.
+    ///
+    /// # Panics
+    /// If receptor or ligand is empty.
+    pub fn new(
+        receptor: Molecule,
+        ligand: Molecule,
+        crystal_pose: Transform,
+        initial_pose: Transform,
+    ) -> Self {
+        assert!(!receptor.is_empty(), "receptor has no atoms");
+        assert!(!ligand.is_empty(), "ligand has no atoms");
+        let ligand = ligand.centered_at_origin();
+        let torsions = crate::topology::all_torsions(&ligand);
+        Complex {
+            receptor,
+            ligand,
+            crystal_pose,
+            initial_pose,
+            torsions,
+        }
+    }
+
+    /// Ligand atom positions under `pose` (rigid-body only).
+    pub fn ligand_coords(&self, pose: &Transform) -> Vec<Vec3> {
+        self.ligand.atoms().iter().map(|a| pose.apply(a.position)).collect()
+    }
+
+    /// Ligand atom positions under `pose` after applying torsion angles
+    /// (radians, one per entry of [`Complex::torsions`]) to the reference
+    /// conformation. Torsions twist the reference geometry first; the rigid
+    /// pose is applied afterwards.
+    ///
+    /// # Panics
+    /// If `angles.len()` differs from the number of torsions.
+    pub fn ligand_coords_flexible(&self, pose: &Transform, angles: &[f64]) -> Vec<Vec3> {
+        assert_eq!(
+            angles.len(),
+            self.torsions.len(),
+            "expected {} torsion angles",
+            self.torsions.len()
+        );
+        let mut coords = self.ligand.positions();
+        for (torsion, &angle) in self.torsions.iter().zip(angles) {
+            if angle != 0.0 {
+                torsion.apply(&mut coords, angle);
+            }
+        }
+        for c in &mut coords {
+            *c = pose.apply(*c);
+        }
+        coords
+    }
+
+    /// Centre of mass of the ligand under `pose`. Because the reference
+    /// ligand is centred at the origin, this is just the pose translation.
+    pub fn ligand_com(&self, pose: &Transform) -> Vec3 {
+        pose.translation
+    }
+
+    /// Receptor centre of mass.
+    pub fn receptor_com(&self) -> Vec3 {
+        self.receptor.center_of_mass()
+    }
+
+    /// Distance between ligand COM (under `pose`) and receptor COM — the
+    /// quantity the paper's first episode-termination rule watches.
+    pub fn com_separation(&self, pose: &Transform) -> f64 {
+        self.ligand_com(pose).distance(self.receptor_com())
+    }
+
+    /// COM separation at the initial pose (the paper's `d₀`; the episode
+    /// boundary sits at `4/3 · d₀`).
+    pub fn initial_com_separation(&self) -> f64 {
+        self.com_separation(&self.initial_pose)
+    }
+
+    /// RMSD between the ligand at `pose` and at the crystallographic pose —
+    /// the standard docking-success metric.
+    pub fn rmsd_to_crystal(&self, pose: &Transform) -> f64 {
+        crate::measure::rmsd(
+            &self.ligand_coords(pose),
+            &self.ligand_coords(&self.crystal_pose),
+        )
+    }
+
+    /// Number of ligand torsions (0 ⇒ rigid docking; the paper's 2BSM
+    /// ligand has 6).
+    pub fn n_torsions(&self) -> usize {
+        self.torsions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, Bond, Element};
+
+    fn tiny_complex() -> Complex {
+        let mut receptor = Molecule::new("R");
+        for k in 0..8 {
+            receptor.add_atom(Atom::new(
+                Element::C,
+                Vec3::new((k % 2) as f64, ((k / 2) % 2) as f64, (k / 4) as f64),
+            ));
+        }
+        let mut ligand = Molecule::new("L");
+        ligand.add_atom(Atom::new(Element::C, Vec3::new(5.0, 0.0, 0.0)));
+        ligand.add_atom(Atom::new(Element::O, Vec3::new(6.5, 0.0, 0.0)));
+        ligand.add_bond(Bond::new(0, 1));
+        Complex::new(
+            receptor,
+            ligand,
+            Transform::translate(Vec3::new(1.0, 1.0, 1.0)),
+            Transform::translate(Vec3::new(20.0, 0.0, 0.0)),
+        )
+    }
+
+    #[test]
+    fn ligand_is_recentred() {
+        let c = tiny_complex();
+        assert!(c.ligand.center_of_mass().norm() < 1e-9);
+    }
+
+    #[test]
+    fn ligand_com_tracks_pose_translation() {
+        let c = tiny_complex();
+        let pose = Transform::translate(Vec3::new(3.0, -2.0, 1.0));
+        assert!(c.ligand_com(&pose).approx_eq(Vec3::new(3.0, -2.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn com_separation_at_initial_pose() {
+        let c = tiny_complex();
+        let d0 = c.initial_com_separation();
+        assert!(d0 > 18.0 && d0 < 22.0, "d0 = {d0}");
+    }
+
+    #[test]
+    fn rmsd_to_crystal_is_zero_at_crystal() {
+        let c = tiny_complex();
+        assert!(c.rmsd_to_crystal(&c.crystal_pose) < 1e-12);
+        assert!(c.rmsd_to_crystal(&c.initial_pose) > 10.0);
+    }
+
+    #[test]
+    fn flexible_coords_with_no_torsions_match_rigid() {
+        let c = tiny_complex();
+        assert_eq!(c.n_torsions(), 0);
+        let pose = Transform::translate(Vec3::new(1.0, 2.0, 3.0));
+        let rigid = c.ligand_coords(&pose);
+        let flex = c.ligand_coords_flexible(&pose, &[]);
+        for (a, b) in rigid.iter().zip(&flex) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "torsion angles")]
+    fn wrong_torsion_angle_count_panics() {
+        let c = tiny_complex();
+        let _ = c.ligand_coords_flexible(&Transform::IDENTITY, &[0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no atoms")]
+    fn empty_ligand_is_rejected() {
+        let mut receptor = Molecule::new("R");
+        receptor.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let _ = Complex::new(
+            receptor,
+            Molecule::new("L"),
+            Transform::IDENTITY,
+            Transform::IDENTITY,
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Conformer ensemble generation.
+//!
+//! The classical alternative to on-the-fly flexible docking (the paper's
+//! future-work #3) is **ensemble docking**: pre-generate a set of low-clash
+//! ligand conformers by sampling torsion angles, then dock each rigidly.
+//! This module produces such ensembles deterministically.
+
+use crate::topology::Torsion;
+use crate::Molecule;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use vecmath::Vec3;
+
+/// One generated conformer: the torsion angles applied and the resulting
+/// reference coordinates (same frame as the input molecule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conformer {
+    /// Torsion angles in radians, one per rotatable bond.
+    pub torsions: Vec<f64>,
+    /// The conformer's coordinates.
+    pub coords: Vec<Vec3>,
+}
+
+/// Generates up to `n` clash-free conformers of `mol` by uniform torsion
+/// sampling (the identity conformer is always first). A candidate is
+/// rejected when any non-bonded atom pair comes closer than `min_sep` Å.
+///
+/// Returns fewer than `n` conformers only if rejection sampling exhausts
+/// `32·n` attempts — tightly-bridged molecules may have few valid states.
+pub fn generate(mol: &Molecule, n: usize, min_sep: f64, seed: u64) -> Vec<Conformer> {
+    assert!(n >= 1, "need at least one conformer");
+    assert!(min_sep > 0.0, "minimum separation must be positive");
+    let torsions: Vec<Torsion> = crate::topology::all_torsions(mol);
+    let base = Conformer {
+        torsions: vec![0.0; torsions.len()],
+        coords: mol.positions(),
+    };
+    if torsions.is_empty() {
+        return vec![base];
+    }
+
+    // Precompute bonded pairs (and 1-3 pairs) excluded from the clash check.
+    let adjacency = mol.adjacency();
+    let excluded = |i: usize, j: usize| -> bool {
+        if adjacency[i].contains(&j) {
+            return true;
+        }
+        adjacency[i].iter().any(|&k| adjacency[k].contains(&j))
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = vec![base];
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < 32 * n {
+        attempts += 1;
+        let angles: Vec<f64> = (0..torsions.len())
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * std::f64::consts::PI)
+            .collect();
+        let mut coords = mol.positions();
+        for (t, &a) in torsions.iter().zip(&angles) {
+            if a != 0.0 {
+                t.apply(&mut coords, a);
+            }
+        }
+        // Clash check over non-bonded, non-geminal pairs.
+        let min_sep_sq = min_sep * min_sep;
+        let clash = (0..coords.len()).any(|i| {
+            ((i + 1)..coords.len()).any(|j| {
+                !excluded(i, j) && coords[i].distance_sq(coords[j]) < min_sep_sq
+            })
+        });
+        if !clash {
+            out.push(Conformer { torsions: angles, coords });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticComplexSpec;
+
+    fn ligand() -> Molecule {
+        SyntheticComplexSpec::scaled().generate().ligand
+    }
+
+    #[test]
+    fn first_conformer_is_the_input_geometry() {
+        let m = ligand();
+        let confs = generate(&m, 5, 1.0, 1);
+        assert_eq!(confs[0].coords, m.positions());
+        assert!(confs[0].torsions.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn requested_count_is_reached_for_reasonable_separation() {
+        let m = ligand();
+        let confs = generate(&m, 8, 1.0, 2);
+        assert_eq!(confs.len(), 8);
+    }
+
+    #[test]
+    fn conformers_preserve_bond_lengths() {
+        let m = ligand();
+        let base = m.positions();
+        for c in generate(&m, 6, 1.0, 3) {
+            for b in m.bonds() {
+                let before = base[b.i].distance(base[b.j]);
+                let after = c.coords[b.i].distance(c.coords[b.j]);
+                assert!(
+                    (before - after).abs() < 1e-9,
+                    "bond {}-{} length drift",
+                    b.i,
+                    b.j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conformers_satisfy_the_separation_constraint() {
+        let m = ligand();
+        let adjacency = m.adjacency();
+        for c in generate(&m, 6, 1.1, 4).into_iter().skip(1) {
+            for i in 0..c.coords.len() {
+                for j in (i + 1)..c.coords.len() {
+                    let bonded = adjacency[i].contains(&j)
+                        || adjacency[i].iter().any(|&k| adjacency[k].contains(&j));
+                    if !bonded {
+                        assert!(
+                            c.coords[i].distance(c.coords[j]) >= 1.1 - 1e-9,
+                            "clash between {i} and {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_molecule_yields_single_conformer() {
+        let mut m = Molecule::new("rigid");
+        m.add_atom(crate::Atom::new(crate::Element::C, Vec3::ZERO));
+        m.add_atom(crate::Atom::new(crate::Element::O, Vec3::X));
+        m.add_bond(crate::Bond::new(0, 1));
+        let confs = generate(&m, 10, 1.0, 5);
+        assert_eq!(confs.len(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = ligand();
+        assert_eq!(generate(&m, 5, 1.0, 7), generate(&m, 5, 1.0, 7));
+        assert_ne!(generate(&m, 5, 1.0, 7), generate(&m, 5, 1.0, 8));
+    }
+
+    #[test]
+    fn conformers_actually_differ() {
+        let m = ligand();
+        let confs = generate(&m, 4, 1.0, 9);
+        let rmsd01 = crate::measure::rmsd(&confs[0].coords, &confs[1].coords);
+        assert!(rmsd01 > 0.1, "distinct conformers expected: rmsd {rmsd01}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Molecular descriptors for ligand-library filtering.
+//!
+//! Virtual-screening pipelines (paper §2.1) pre-filter candidate libraries
+//! by cheap physicochemical descriptors before any docking happens — the
+//! classic filter being Lipinski's rule of five. This module computes the
+//! descriptors our synthetic libraries need; values for synthetic
+//! molecules are exact by construction.
+
+use crate::{BondOrder, HBondRole, Molecule};
+use serde::{Deserialize, Serialize};
+
+/// Descriptor bundle of one molecule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Descriptors {
+    /// Molecular weight, Da.
+    pub molecular_weight: f64,
+    /// Number of heavy (non-hydrogen) atoms.
+    pub heavy_atoms: usize,
+    /// Hydrogen-bond donors.
+    pub hbond_donors: usize,
+    /// Hydrogen-bond acceptors.
+    pub hbond_acceptors: usize,
+    /// Rotatable bonds.
+    pub rotatable_bonds: usize,
+    /// Number of independent rings (cyclomatic number of the molecular
+    /// graph: bonds − atoms + components).
+    pub ring_count: usize,
+    /// Net formal/partial charge, e.
+    pub net_charge: f64,
+    /// Fraction of single bonds among all bonds (a crude saturation/
+    /// flexibility proxy).
+    pub single_bond_fraction: f64,
+}
+
+impl Descriptors {
+    /// Computes the descriptors of `mol`.
+    pub fn of(mol: &Molecule) -> Descriptors {
+        let heavy_atoms = mol
+            .atoms()
+            .iter()
+            .filter(|a| a.element != crate::Element::H)
+            .count();
+        let hbond_donors = mol
+            .atoms()
+            .iter()
+            .filter(|a| a.hbond == HBondRole::Donor)
+            .count();
+        let hbond_acceptors = mol
+            .atoms()
+            .iter()
+            .filter(|a| a.hbond == HBondRole::Acceptor)
+            .count();
+        let rotatable_bonds = mol.rotatable_bonds().len();
+        let n_bonds = mol.bonds().len();
+        let components = mol.connected_components();
+        let ring_count = (n_bonds + components).saturating_sub(mol.len());
+        let single_bonds = mol
+            .bonds()
+            .iter()
+            .filter(|b| b.order == BondOrder::Single)
+            .count();
+        Descriptors {
+            molecular_weight: mol.total_mass(),
+            heavy_atoms,
+            hbond_donors,
+            hbond_acceptors,
+            rotatable_bonds,
+            ring_count,
+            net_charge: mol.total_charge(),
+            single_bond_fraction: if n_bonds == 0 {
+                0.0
+            } else {
+                single_bonds as f64 / n_bonds as f64
+            },
+        }
+    }
+
+    /// Lipinski's rule of five (drug-likeness): MW ≤ 500, donors ≤ 5,
+    /// acceptors ≤ 10. (The logP criterion needs fragment contributions we
+    /// do not model; three of four rules are checked, the common practical
+    /// subset.)
+    pub fn passes_lipinski(&self) -> bool {
+        self.molecular_weight <= 500.0 && self.hbond_donors <= 5 && self.hbond_acceptors <= 10
+    }
+
+    /// Veber's oral-bioavailability criterion on flexibility:
+    /// rotatable bonds ≤ 10.
+    pub fn passes_veber_flexibility(&self) -> bool {
+        self.rotatable_bonds <= 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, Bond, Element};
+    use vecmath::Vec3;
+
+    fn ethanol_like() -> Molecule {
+        // C-C-O with an O-H donor; geometry fake, topology real.
+        let mut m = Molecule::new("EtOH");
+        let c1 = m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let c2 = m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        let o = m.add_atom(
+            Atom::new(Element::O, Vec3::new(2.9, 0.5, 0.0))
+                .with_hbond(crate::HBondRole::Acceptor)
+                .with_charge(-0.4),
+        );
+        let h = m.add_atom(
+            Atom::new(Element::H, Vec3::new(3.5, -0.2, 0.0))
+                .with_hbond(crate::HBondRole::Donor)
+                .with_charge(0.4),
+        );
+        m.add_bond(Bond::new(c1, c2).with_rotatable(true));
+        m.add_bond(Bond::new(c2, o));
+        m.add_bond(Bond::new(o, h));
+        m
+    }
+
+    #[test]
+    fn ethanol_descriptors() {
+        let d = Descriptors::of(&ethanol_like());
+        assert_eq!(d.heavy_atoms, 3);
+        assert_eq!(d.hbond_donors, 1);
+        assert_eq!(d.hbond_acceptors, 1);
+        assert_eq!(d.rotatable_bonds, 1);
+        assert_eq!(d.ring_count, 0);
+        assert!((d.molecular_weight - (2.0 * 12.011 + 15.999 + 1.008)).abs() < 1e-9);
+        assert!(d.net_charge.abs() < 1e-12);
+        assert_eq!(d.single_bond_fraction, 1.0);
+        assert!(d.passes_lipinski());
+        assert!(d.passes_veber_flexibility());
+    }
+
+    #[test]
+    fn ring_counting_via_cyclomatic_number() {
+        // A 4-ring: 4 atoms, 4 bonds, 1 component → 1 ring.
+        let mut m = Molecule::new("ring");
+        for k in 0..4 {
+            m.add_atom(Atom::new(
+                Element::C,
+                Vec3::new((k as f64).cos(), (k as f64).sin(), 0.0),
+            ));
+        }
+        m.add_bond(Bond::new(0, 1));
+        m.add_bond(Bond::new(1, 2));
+        m.add_bond(Bond::new(2, 3));
+        m.add_bond(Bond::new(3, 0));
+        assert_eq!(Descriptors::of(&m).ring_count, 1);
+
+        // Fuse a second ring: add 1 atom, 2 bonds → 2 rings.
+        let extra = m.add_atom(Atom::new(Element::C, Vec3::new(2.0, 0.0, 0.0)));
+        m.add_bond(Bond::new(0, extra));
+        m.add_bond(Bond::new(2, extra));
+        assert_eq!(Descriptors::of(&m).ring_count, 2);
+    }
+
+    #[test]
+    fn trees_have_zero_rings() {
+        let m = ethanol_like();
+        assert_eq!(Descriptors::of(&m).ring_count, 0);
+    }
+
+    #[test]
+    fn lipinski_rejects_heavy_molecules() {
+        let mut m = Molecule::new("heavy");
+        for k in 0..50 {
+            m.add_atom(Atom::new(Element::I, Vec3::new(k as f64 * 2.5, 0.0, 0.0)));
+        }
+        let d = Descriptors::of(&m);
+        assert!(d.molecular_weight > 500.0);
+        assert!(!d.passes_lipinski());
+    }
+
+    #[test]
+    fn synthetic_ligands_report_their_spec() {
+        let c = crate::SyntheticComplexSpec::scaled().generate();
+        let d = Descriptors::of(&c.ligand);
+        assert_eq!(d.rotatable_bonds, 6);
+        assert_eq!(d.ring_count, 0, "tree ligands have no rings");
+        assert!(d.hbond_donors + d.hbond_acceptors > 0);
+    }
+
+    #[test]
+    fn empty_molecule_is_degenerate_but_safe() {
+        let d = Descriptors::of(&Molecule::new("empty"));
+        assert_eq!(d.heavy_atoms, 0);
+        assert_eq!(d.ring_count, 0);
+        assert_eq!(d.single_bond_fraction, 0.0);
+    }
+}

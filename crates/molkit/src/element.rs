@@ -1,0 +1,249 @@
+//! Chemical elements relevant to protein–ligand docking.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The elements that occur in protein receptors and drug-like ligands.
+///
+/// This is deliberately not the full periodic table: virtual-screening
+/// libraries are organic small molecules (< 200 atoms, paper §2.1) and
+/// protein receptors are built from the same handful of elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Sulfur.
+    S,
+    /// Phosphorus.
+    P,
+    /// Fluorine.
+    F,
+    /// Chlorine.
+    Cl,
+    /// Bromine.
+    Br,
+    /// Iodine.
+    I,
+}
+
+impl Element {
+    /// All supported elements, in atomic-number order.
+    pub const ALL: [Element; 10] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::F,
+        Element::P,
+        Element::S,
+        Element::Cl,
+        Element::Br,
+        Element::I,
+    ];
+
+    /// Atomic number.
+    pub fn atomic_number(self) -> u8 {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::P => 15,
+            Element::S => 16,
+            Element::Cl => 17,
+            Element::Br => 35,
+            Element::I => 53,
+        }
+    }
+
+    /// Standard atomic mass in Daltons (used for centres of mass).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::F => 18.998,
+            Element::P => 30.974,
+            Element::S => 32.06,
+            Element::Cl => 35.45,
+            Element::Br => 79.904,
+            Element::I => 126.904,
+        }
+    }
+
+    /// Covalent radius in Å (single-bond values), used by bond perception
+    /// and by the synthetic generator to space atoms realistically.
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.31,
+            Element::C => 0.76,
+            Element::N => 0.71,
+            Element::O => 0.66,
+            Element::F => 0.57,
+            Element::P => 1.07,
+            Element::S => 1.05,
+            Element::Cl => 1.02,
+            Element::Br => 1.20,
+            Element::I => 1.39,
+        }
+    }
+
+    /// Van der Waals radius in Å (Bondi), the basis of the Lennard-Jones σ
+    /// parameters in [`crate::ff`].
+    pub fn vdw_radius(self) -> f64 {
+        match self {
+            Element::H => 1.20,
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::F => 1.47,
+            Element::P => 1.80,
+            Element::S => 1.80,
+            Element::Cl => 1.75,
+            Element::Br => 1.85,
+            Element::I => 1.98,
+        }
+    }
+
+    /// Whether the element can act as a hydrogen-bond acceptor when carrying
+    /// a lone pair (N, O, and marginally S/F in this simplified model).
+    pub fn is_hbond_acceptor_capable(self) -> bool {
+        matches!(self, Element::N | Element::O | Element::S | Element::F)
+    }
+
+    /// One- or two-letter element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::P => "P",
+            Element::S => "S",
+            Element::Cl => "Cl",
+            Element::Br => "Br",
+            Element::I => "I",
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Error returned when parsing an unknown element symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseElementError(pub String);
+
+impl fmt::Display for ParseElementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown element symbol: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseElementError {}
+
+impl FromStr for Element {
+    type Err = ParseElementError;
+
+    /// Parses a symbol case-insensitively (`"CL"`, `"Cl"`, `"cl"` all work —
+    /// PDB files upper-case element columns).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let canonical = match t.len() {
+            1 => t.to_ascii_uppercase(),
+            2 => {
+                let mut c = t[..1].to_ascii_uppercase();
+                c.push_str(&t[1..].to_ascii_lowercase());
+                c
+            }
+            _ => return Err(ParseElementError(s.to_string())),
+        };
+        match canonical.as_str() {
+            "H" => Ok(Element::H),
+            "C" => Ok(Element::C),
+            "N" => Ok(Element::N),
+            "O" => Ok(Element::O),
+            "F" => Ok(Element::F),
+            "P" => Ok(Element::P),
+            "S" => Ok(Element::S),
+            "Cl" => Ok(Element::Cl),
+            "Br" => Ok(Element::Br),
+            "I" => Ok(Element::I),
+            _ => Err(ParseElementError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_roundtrip() {
+        for e in Element::ALL {
+            assert_eq!(e.symbol().parse::<Element>().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive() {
+        assert_eq!("cl".parse::<Element>().unwrap(), Element::Cl);
+        assert_eq!("CL".parse::<Element>().unwrap(), Element::Cl);
+        assert_eq!(" h ".parse::<Element>().unwrap(), Element::H);
+    }
+
+    #[test]
+    fn unknown_symbols_are_rejected() {
+        assert!("Xx".parse::<Element>().is_err());
+        assert!("".parse::<Element>().is_err());
+        assert!("Carbon".parse::<Element>().is_err());
+    }
+
+    #[test]
+    fn atomic_numbers_are_strictly_increasing_in_all_order() {
+        let nums: Vec<u8> = Element::ALL.iter().map(|e| e.atomic_number()).collect();
+        assert!(nums.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn radii_and_masses_are_physical() {
+        for e in Element::ALL {
+            assert!(e.mass() > 0.9, "{e} mass");
+            assert!(e.covalent_radius() > 0.2, "{e} covalent radius");
+            assert!(
+                e.vdw_radius() > e.covalent_radius(),
+                "{e}: vdW radius should exceed covalent radius"
+            );
+        }
+    }
+
+    #[test]
+    fn hydrogen_is_lightest() {
+        for e in Element::ALL {
+            if e != Element::H {
+                assert!(e.mass() > Element::H.mass());
+            }
+        }
+    }
+
+    #[test]
+    fn acceptor_capability() {
+        assert!(Element::O.is_hbond_acceptor_capable());
+        assert!(Element::N.is_hbond_acceptor_capable());
+        assert!(!Element::C.is_hbond_acceptor_capable());
+        assert!(!Element::H.is_hbond_acceptor_capable());
+    }
+}

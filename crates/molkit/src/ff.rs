@@ -1,0 +1,187 @@
+//! Force-field parameters for the Eq. 1 scoring function.
+//!
+//! The paper's scoring function (its Equation 1) has three terms:
+//!
+//! 1. **Electrostatics** — Coulomb's law `k·qᵢqⱼ/rᵢⱼ` (Gilson et al. 1988);
+//! 2. **Lennard-Jones 12-6** — `4εᵢⱼ[(σᵢⱼ/rᵢⱼ)¹² − (σᵢⱼ/rᵢⱼ)⁶]` with MMFF94
+//!    van der Waals parameters (Halgren 1996);
+//! 3. **Hydrogen bonds** — an angular-weighted 12-10 potential
+//!    `cosθ(C/r¹² − D/r¹⁰)` (Fabiola et al. 2002).
+//!
+//! This module holds the per-element parameters and the mixing rules; the
+//! actual pairwise kernels live in `metadock::scoring` where they are
+//! vectorised and parallelised.
+
+use crate::Element;
+use serde::{Deserialize, Serialize};
+
+/// Coulomb's constant in kcal·Å/(mol·e²); multiplying `q₁q₂/r` (charges in
+/// elementary charges, r in Å) by this yields kcal/mol.
+pub const COULOMB_CONSTANT: f64 = 332.0637;
+
+/// Equilibrium hydrogen-bond length in Å used to derive the 12-10
+/// coefficients (N/O···H distances cluster near 1.9 Å; heavy-atom
+/// separations near 2.9 Å).
+pub const HBOND_EQUILIBRIUM_R: f64 = 2.9;
+
+/// Well depth of an ideal hydrogen bond in kcal/mol (medium-resolution
+/// protein-structure value from the Fabiola et al. potential).
+pub const HBOND_WELL_DEPTH: f64 = 5.0;
+
+/// Lennard-Jones parameters for one atom.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LjParams {
+    /// Distance at which the pair potential crosses zero, Å.
+    pub sigma: f64,
+    /// Well depth, kcal/mol.
+    pub epsilon: f64,
+}
+
+/// Returns the Lennard-Jones parameters of an element.
+///
+/// σ is derived from the Bondi van der Waals radius (σ = 2·r_vdw·2^(−1/6),
+/// so the LJ minimum sits at the vdW contact distance); ε values are
+/// MMFF94-flavoured well depths.
+pub fn lj_params(e: Element) -> LjParams {
+    // 2^(1/6) ≈ 1.122462: minimum of 4ε[(σ/r)^12 − (σ/r)^6] is at r = 2^(1/6)σ.
+    const TWO_POW_SIXTH: f64 = 1.122_462_048_309_373;
+    let sigma = 2.0 * e.vdw_radius() / TWO_POW_SIXTH;
+    let epsilon = match e {
+        Element::H => 0.020,
+        Element::C => 0.086,
+        Element::N => 0.170,
+        Element::O => 0.210,
+        Element::F => 0.061,
+        Element::P => 0.200,
+        Element::S => 0.250,
+        Element::Cl => 0.265,
+        Element::Br => 0.320,
+        Element::I => 0.400,
+    };
+    LjParams { sigma, epsilon }
+}
+
+/// Lorentz–Berthelot mixing: arithmetic mean of σ, geometric mean of ε.
+#[inline]
+pub fn mix(a: LjParams, b: LjParams) -> LjParams {
+    LjParams {
+        sigma: 0.5 * (a.sigma + b.sigma),
+        epsilon: (a.epsilon * b.epsilon).sqrt(),
+    }
+}
+
+/// Coefficients of the 12-10 hydrogen-bond potential
+/// `E(r) = C/r¹² − D/r¹⁰` for a donor–acceptor pair.
+///
+/// Chosen so the minimum sits at [`HBOND_EQUILIBRIUM_R`] with depth
+/// [`HBOND_WELL_DEPTH`]: setting `dE/dr = 0` at `r₀` gives
+/// `C = 5·ε·r₀¹²` and `D = 6·ε·r₀¹⁰`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HBondParams {
+    /// r⁻¹² repulsive coefficient, kcal·Å¹²/mol.
+    pub c12: f64,
+    /// r⁻¹⁰ attractive coefficient, kcal·Å¹⁰/mol.
+    pub d10: f64,
+}
+
+impl HBondParams {
+    /// Parameters for a hydrogen bond with minimum at `r0` Å and depth
+    /// `depth` kcal/mol.
+    pub fn from_minimum(r0: f64, depth: f64) -> Self {
+        assert!(r0 > 0.0 && depth > 0.0, "hbond minimum must be positive");
+        HBondParams {
+            c12: 5.0 * depth * r0.powi(12),
+            d10: 6.0 * depth * r0.powi(10),
+        }
+    }
+
+    /// The default donor–acceptor parameters used throughout the workspace.
+    pub fn standard() -> Self {
+        HBondParams::from_minimum(HBOND_EQUILIBRIUM_R, HBOND_WELL_DEPTH)
+    }
+
+    /// Radial part of the potential at distance `r` (kcal/mol).
+    #[inline]
+    pub fn energy(&self, r: f64) -> f64 {
+        let inv2 = 1.0 / (r * r);
+        let inv10 = inv2 * inv2 * inv2 * inv2 * inv2;
+        self.c12 * inv10 * inv2 - self.d10 * inv10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lj_minimum_sits_at_vdw_contact() {
+        // For equal atoms, minimum of the mixed potential is at 2^(1/6)·σ,
+        // which by construction equals 2·r_vdw.
+        for e in Element::ALL {
+            let p = lj_params(e);
+            let r_min = 1.122_462_048_309_373 * p.sigma;
+            assert!(
+                (r_min - 2.0 * e.vdw_radius()).abs() < 1e-9,
+                "{e}: expected minimum at vdW contact"
+            );
+        }
+    }
+
+    #[test]
+    fn lj_well_depth_is_epsilon() {
+        let p = lj_params(Element::C);
+        let r_min = 1.122_462_048_309_373 * p.sigma;
+        let s6 = (p.sigma / r_min).powi(6);
+        let e_min = 4.0 * p.epsilon * (s6 * s6 - s6);
+        assert!((e_min + p.epsilon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixing_rules() {
+        let a = LjParams { sigma: 3.0, epsilon: 0.1 };
+        let b = LjParams { sigma: 4.0, epsilon: 0.4 };
+        let m = mix(a, b);
+        assert_eq!(m.sigma, 3.5);
+        assert!((m.epsilon - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixing_is_idempotent_for_identical_atoms() {
+        let p = lj_params(Element::O);
+        let m = mix(p, p);
+        assert!((m.sigma - p.sigma).abs() < 1e-12);
+        assert!((m.epsilon - p.epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hbond_minimum_location_and_depth() {
+        let h = HBondParams::standard();
+        let e0 = h.energy(HBOND_EQUILIBRIUM_R);
+        assert!(
+            (e0 + HBOND_WELL_DEPTH).abs() < 1e-9,
+            "depth at r0: {e0} vs {}",
+            -HBOND_WELL_DEPTH
+        );
+        // The minimum really is a minimum.
+        assert!(h.energy(HBOND_EQUILIBRIUM_R - 0.05) > e0);
+        assert!(h.energy(HBOND_EQUILIBRIUM_R + 0.05) > e0);
+    }
+
+    #[test]
+    fn hbond_is_repulsive_up_close_and_vanishing_far_away() {
+        let h = HBondParams::standard();
+        assert!(h.energy(1.0) > 1e3);
+        assert!(h.energy(20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn hbond_rejects_nonpositive_minimum() {
+        let _ = HBondParams::from_minimum(0.0, 5.0);
+    }
+
+    #[test]
+    fn coulomb_constant_is_the_chemistry_value() {
+        assert!((COULOMB_CONSTANT - 332.0637).abs() < 1e-6);
+    }
+}

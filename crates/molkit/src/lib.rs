@@ -1,0 +1,57 @@
+//! Molecular toolkit for the DQN-Docking reproduction.
+//!
+//! The original paper drives METADOCK with a real crystallographic complex
+//! (PDB id 2BSM: a 3,264-atom receptor and a 45-atom ligand with 6 rotatable
+//! bonds). This crate supplies everything the docking engine needs to stand
+//! in for that data layer:
+//!
+//! * [`element`] / [`ff`] — chemical elements and MMFF94-flavoured
+//!   force-field parameters (Lennard-Jones σ/ε, hydrogen-bond 12-10
+//!   coefficients, Coulomb constant).
+//! * [`atom`] / [`bond`] / [`molecule`] — the molecular data model, with
+//!   centre-of-mass / bounding-box / connectivity queries.
+//! * [`topology`] — rotatable-bond analysis and torsion groups (which atoms
+//!   move when a given bond is twisted), used by the flexible-ligand
+//!   extension (paper §5, future work #3).
+//! * [`measure`] — RMSD and related geometric comparisons between poses.
+//! * [`pdb`] — a reader/writer for the PDB subset we need (ATOM/HETATM/
+//!   CONECT), so real complexes can be swapped in when available.
+//! * [`sdf`] — a V2000 SDF/molfile reader-writer, the format screening
+//!   libraries (ZINC) ship in.
+//! * [`synth`] — the deterministic synthetic-complex generator that replaces
+//!   2BSM (see `DESIGN.md` §2 for the substitution argument): a globular
+//!   receptor with a charged, H-bond-lined binding pocket, plus a flexible
+//!   ligand whose "crystallographic" pose sits in that pocket.
+//! * [`complex`] — a receptor–ligand pair bundled with its crystallographic
+//!   and initial poses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod bond;
+pub mod complex;
+pub mod conformers;
+pub mod descriptors;
+pub mod element;
+pub mod ff;
+pub mod library;
+pub mod measure;
+pub mod molecule;
+pub mod pdb;
+pub mod sdf;
+pub mod superpose;
+pub mod synth;
+pub mod topology;
+
+pub use atom::{Atom, HBondRole};
+pub use bond::{Bond, BondOrder};
+pub use complex::Complex;
+pub use conformers::{generate as generate_conformers, Conformer};
+pub use descriptors::Descriptors;
+pub use element::Element;
+pub use library::{LibraryEntry, LibrarySpec};
+pub use measure::{centroid_distance, rmsd};
+pub use molecule::Molecule;
+pub use superpose::{superpose, superposed_rmsd, Superposition};
+pub use synth::{SyntheticComplexSpec, SyntheticLigandSpec, SyntheticReceptorSpec};

@@ -1,0 +1,197 @@
+//! Synthetic ligand libraries for virtual screening.
+//!
+//! The paper motivates docking with libraries "that may contain millions
+//! of ligands" (§2.1, citing ZINC). We cannot ship ZINC, so this module
+//! generates deterministic, chemically-varied synthetic libraries against
+//! a fixed receptor: each entry reuses the receptor of a base
+//! [`SyntheticComplexSpec`] but grows a different ligand, re-imprinting
+//! nothing — only the library's *reference* ligand gets the pocket funnel,
+//! making it the planted "true binder" a screen should rank first.
+
+use crate::synth::{SyntheticComplexSpec, SyntheticLigandSpec};
+use crate::{descriptors::Descriptors, Complex};
+use serde::{Deserialize, Serialize};
+
+/// One library entry: a complex sharing the library's receptor, plus
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct LibraryEntry {
+    /// Entry name (`LIG-000` style).
+    pub name: String,
+    /// The docking problem for this ligand.
+    pub complex: Complex,
+    /// Cheap descriptors of the ligand.
+    pub descriptors: Descriptors,
+    /// Whether this is the planted true binder (the ligand the receptor
+    /// pocket was imprinted for).
+    pub is_reference: bool,
+}
+
+/// Specification of a synthetic screening library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibrarySpec {
+    /// Base complex (receptor + the reference ligand the pocket matches).
+    pub base: SyntheticComplexSpec,
+    /// Number of decoy ligands to generate besides the reference.
+    pub n_decoys: usize,
+    /// Atom-count range for decoys (inclusive).
+    pub decoy_atoms: (usize, usize),
+    /// Rotatable-bond range for decoys (inclusive).
+    pub decoy_rotatable: (usize, usize),
+}
+
+impl Default for LibrarySpec {
+    fn default() -> Self {
+        LibrarySpec {
+            base: SyntheticComplexSpec::scaled(),
+            n_decoys: 7,
+            decoy_atoms: (10, 22),
+            decoy_rotatable: (2, 6),
+        }
+    }
+}
+
+impl LibrarySpec {
+    /// Generates the library: entry 0 is the reference (true binder), the
+    /// rest are decoys against the *same receptor*.
+    pub fn generate(&self) -> Vec<LibraryEntry> {
+        assert!(self.decoy_atoms.0 >= 2, "decoys need at least 2 atoms");
+        assert!(
+            self.decoy_atoms.0 <= self.decoy_atoms.1,
+            "decoy atom range inverted"
+        );
+        let reference = self.base.generate();
+        let receptor = reference.receptor.clone();
+        let initial = reference.initial_pose;
+        let crystal = reference.crystal_pose;
+
+        let mut out = Vec::with_capacity(self.n_decoys + 1);
+        out.push(LibraryEntry {
+            name: "LIG-REF".to_string(),
+            descriptors: Descriptors::of(&reference.ligand),
+            complex: reference,
+            is_reference: true,
+        });
+
+        for i in 0..self.n_decoys {
+            // Vary ligand size/flexibility deterministically from the index.
+            let span_atoms = self.decoy_atoms.1 - self.decoy_atoms.0 + 1;
+            let span_rot = self.decoy_rotatable.1 - self.decoy_rotatable.0 + 1;
+            let mut spec = self.base.clone();
+            spec.ligand = SyntheticLigandSpec {
+                n_atoms: self.decoy_atoms.0 + (i * 5) % span_atoms,
+                n_rotatable: self.decoy_rotatable.0 + (i * 3) % span_rot,
+                ..spec.ligand
+            };
+            spec.seed = self.base.seed.wrapping_add(1000 + i as u64);
+            // Generate a throwaway complex just for its ligand, then pair
+            // that ligand with the *shared* receptor (whose pocket was
+            // imprinted for the reference, not for this decoy).
+            let donor = spec.generate();
+            let complex = Complex::new(receptor.clone(), donor.ligand, crystal, initial);
+            out.push(LibraryEntry {
+                name: format!("LIG-{i:03}"),
+                descriptors: Descriptors::of(&complex.ligand),
+                complex,
+                is_reference: false,
+            });
+        }
+        out
+    }
+
+    /// Generates the library and drops entries failing Lipinski/Veber
+    /// filters (the screening pre-filter step).
+    pub fn generate_druglike(&self) -> Vec<LibraryEntry> {
+        self.generate()
+            .into_iter()
+            .filter(|e| e.descriptors.passes_lipinski() && e.descriptors.passes_veber_flexibility())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> LibrarySpec {
+        LibrarySpec {
+            base: SyntheticComplexSpec::tiny(),
+            n_decoys: 4,
+            decoy_atoms: (5, 9),
+            decoy_rotatable: (1, 3),
+        }
+    }
+
+    #[test]
+    fn library_has_reference_plus_decoys() {
+        let lib = small_spec().generate();
+        assert_eq!(lib.len(), 5);
+        assert!(lib[0].is_reference);
+        assert_eq!(lib[0].name, "LIG-REF");
+        assert!(lib[1..].iter().all(|e| !e.is_reference));
+    }
+
+    #[test]
+    fn all_entries_share_the_receptor() {
+        let lib = small_spec().generate();
+        let r0 = &lib[0].complex.receptor;
+        for e in &lib[1..] {
+            assert_eq!(e.complex.receptor.len(), r0.len());
+            assert_eq!(
+                e.complex.receptor.atoms()[0].position,
+                r0.atoms()[0].position
+            );
+        }
+    }
+
+    #[test]
+    fn decoys_differ_from_each_other_and_the_reference() {
+        let lib = small_spec().generate();
+        let sizes: Vec<usize> = lib.iter().map(|e| e.complex.ligand.len()).collect();
+        // Not all identical.
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_spec().generate();
+        let b = small_spec().generate();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.complex.ligand.positions(), y.complex.ligand.positions());
+        }
+    }
+
+    #[test]
+    fn descriptors_are_attached_and_sane() {
+        for e in small_spec().generate() {
+            assert!(e.descriptors.molecular_weight > 0.0);
+            assert_eq!(e.descriptors.ring_count, 0);
+            assert_eq!(
+                e.descriptors.rotatable_bonds,
+                e.complex.n_torsions(),
+                "{}: descriptors agree with torsion analysis",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn druglike_filter_is_a_subset() {
+        let spec = small_spec();
+        let all = spec.generate();
+        let filtered = spec.generate_druglike();
+        assert!(filtered.len() <= all.len());
+        for e in &filtered {
+            assert!(e.descriptors.passes_lipinski());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_decoy_range_rejected() {
+        let mut spec = small_spec();
+        spec.decoy_atoms = (1, 1);
+        let _ = spec.generate();
+    }
+}

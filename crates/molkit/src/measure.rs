@@ -1,0 +1,122 @@
+//! Geometric comparisons between conformations.
+//!
+//! Docking accuracy is conventionally reported as the RMSD between a
+//! predicted ligand pose and the crystallographic one (≤ 2 Å is the standard
+//! success criterion). These helpers operate on coordinate slices so they
+//! work on both `Molecule`s and the docking engine's flat pose buffers.
+
+use vecmath::Vec3;
+
+/// Root-mean-square deviation between two equal-length conformations, in
+/// the same (fixed) atom order — no superposition is performed, because
+/// docking RMSD is measured in the receptor frame.
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmsd: conformations differ in length");
+    assert!(!a.is_empty(), "rmsd of empty conformations");
+    let sum: f64 = a.iter().zip(b).map(|(p, q)| p.distance_sq(*q)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Distance between the unweighted centroids of two conformations.
+///
+/// # Panics
+/// If either slice is empty.
+pub fn centroid_distance(a: &[Vec3], b: &[Vec3]) -> f64 {
+    centroid(a).distance(centroid(b))
+}
+
+/// Unweighted centroid of a conformation.
+///
+/// # Panics
+/// If the slice is empty.
+pub fn centroid(points: &[Vec3]) -> Vec3 {
+    assert!(!points.is_empty(), "centroid of empty conformation");
+    points.iter().copied().sum::<Vec3>() / points.len() as f64
+}
+
+/// Maximum per-atom displacement between two conformations.
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn max_displacement(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_displacement: length mismatch");
+    assert!(!a.is_empty(), "max_displacement of empty conformations");
+    a.iter()
+        .zip(b)
+        .map(|(p, q)| p.distance(*q))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_conformations_have_zero_rmsd() {
+        let a = vec![Vec3::X, Vec3::Y, Vec3::Z];
+        assert_eq!(rmsd(&a, &a), 0.0);
+        assert_eq!(centroid_distance(&a, &a), 0.0);
+        assert_eq!(max_displacement(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn uniform_translation_rmsd_equals_shift() {
+        let a = vec![Vec3::ZERO, Vec3::X, Vec3::new(2.0, 1.0, 0.0)];
+        let shift = Vec3::new(0.0, 3.0, 4.0); // |shift| = 5
+        let b: Vec<Vec3> = a.iter().map(|p| *p + shift).collect();
+        assert!((rmsd(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((centroid_distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((max_displacement(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmsd_of_single_displaced_atom() {
+        let a = vec![Vec3::ZERO; 4];
+        let mut b = a.clone();
+        b[2] = Vec3::new(2.0, 0.0, 0.0);
+        // sqrt(4/4) = 1
+        assert!((rmsd(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(max_displacement(&a, &b), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn rmsd_length_mismatch_panics() {
+        let _ = rmsd(&[Vec3::ZERO], &[Vec3::ZERO, Vec3::X]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rmsd_empty_panics() {
+        let _ = rmsd(&[], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn rmsd_is_symmetric(
+            xs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64), 1..20),
+            ys_seed in 0u64..1000,
+        ) {
+            let a: Vec<Vec3> = xs.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+            let b: Vec<Vec3> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, z))| Vec3::new(x + (i as f64 + ys_seed as f64).sin(), y, z))
+                .collect();
+            prop_assert!((rmsd(&a, &b) - rmsd(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn rmsd_bounded_by_max_displacement(
+            xs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64), 1..20),
+        ) {
+            let a: Vec<Vec3> = xs.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+            let b: Vec<Vec3> = xs.iter().map(|&(x, y, z)| Vec3::new(y, z, x)).collect();
+            prop_assert!(rmsd(&a, &b) <= max_displacement(&a, &b) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The molecule data model: atoms + bonds + derived queries.
+
+use crate::{Atom, Bond};
+use serde::{Deserialize, Serialize};
+use vecmath::{Aabb, Mat3, Transform, Vec3};
+
+/// A molecule: a list of [`Atom`]s and the [`Bond`]s between them.
+///
+/// Molecules are *value types*: the docking engine never mutates the shared
+/// receptor, and ligand poses are expressed as transforms over the ligand's
+/// reference coordinates rather than by rewriting atom positions (the
+/// workhorse-buffer pattern — one flat `Vec<Vec3>` of posed coordinates is
+/// reused across millions of scoring calls).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Molecule {
+    /// Molecule name (PDB id, ligand code, or a synthetic tag).
+    pub name: String,
+    atoms: Vec<Atom>,
+    bonds: Vec<Bond>,
+}
+
+impl Molecule {
+    /// Creates an empty molecule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Molecule {
+            name: name.into(),
+            atoms: Vec::new(),
+            bonds: Vec::new(),
+        }
+    }
+
+    /// Creates a molecule from parts, validating all bond indices.
+    ///
+    /// # Panics
+    /// If any bond references an out-of-range atom or duplicates another.
+    pub fn from_parts(name: impl Into<String>, atoms: Vec<Atom>, bonds: Vec<Bond>) -> Self {
+        let mut m = Molecule {
+            name: name.into(),
+            atoms,
+            bonds: Vec::with_capacity(bonds.len()),
+        };
+        for b in bonds {
+            m.add_bond(b);
+        }
+        m
+    }
+
+    /// Adds an atom, returning its index.
+    pub fn add_atom(&mut self, atom: Atom) -> usize {
+        self.atoms.push(atom);
+        self.atoms.len() - 1
+    }
+
+    /// Adds a bond.
+    ///
+    /// # Panics
+    /// If an endpoint is out of range or the bond duplicates an existing one.
+    pub fn add_bond(&mut self, bond: Bond) {
+        assert!(
+            bond.j < self.atoms.len(),
+            "bond {}–{} references atom beyond {} atoms",
+            bond.i,
+            bond.j,
+            self.atoms.len()
+        );
+        assert!(
+            !self.bonds.iter().any(|b| b.connects(bond.i, bond.j)),
+            "duplicate bond {}–{}",
+            bond.i,
+            bond.j
+        );
+        self.bonds.push(bond);
+    }
+
+    /// The atoms.
+    #[inline]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Mutable access to the atoms (used by generators and file loaders;
+    /// the docking hot path never mutates).
+    #[inline]
+    pub fn atoms_mut(&mut self) -> &mut [Atom] {
+        &mut self.atoms
+    }
+
+    /// The bonds.
+    #[inline]
+    pub fn bonds(&self) -> &[Bond] {
+        &self.bonds
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the molecule has no atoms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Raw positions of all atoms, in order.
+    pub fn positions(&self) -> Vec<Vec3> {
+        self.atoms.iter().map(|a| a.position).collect()
+    }
+
+    /// Total mass in Daltons.
+    pub fn total_mass(&self) -> f64 {
+        self.atoms.iter().map(Atom::mass).sum()
+    }
+
+    /// Total charge in e.
+    pub fn total_charge(&self) -> f64 {
+        self.atoms.iter().map(|a| a.charge).sum()
+    }
+
+    /// Mass-weighted centre of mass. Returns the origin for an empty
+    /// molecule.
+    pub fn center_of_mass(&self) -> Vec3 {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return Vec3::ZERO;
+        }
+        self.atoms
+            .iter()
+            .map(|a| a.position * a.mass())
+            .sum::<Vec3>()
+            / total
+    }
+
+    /// Unweighted centroid. Returns the origin for an empty molecule.
+    pub fn centroid(&self) -> Vec3 {
+        if self.atoms.is_empty() {
+            return Vec3::ZERO;
+        }
+        self.atoms.iter().map(|a| a.position).sum::<Vec3>() / self.atoms.len() as f64
+    }
+
+    /// Mass-weighted radius of gyration in Å (0 for ≤1 atom).
+    pub fn radius_of_gyration(&self) -> f64 {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let com = self.center_of_mass();
+        let sum: f64 = self
+            .atoms
+            .iter()
+            .map(|a| a.mass() * a.position.distance_sq(com))
+            .sum();
+        (sum / total).sqrt()
+    }
+
+    /// Axis-aligned bounding box of the atom positions.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(self.atoms.iter().map(|a| a.position))
+    }
+
+    /// Applies a rigid transform to every atom position in place.
+    pub fn apply_transform(&mut self, t: &Transform) {
+        for a in &mut self.atoms {
+            a.position = t.apply(a.position);
+        }
+    }
+
+    /// Returns a transformed copy.
+    pub fn transformed(&self, t: &Transform) -> Molecule {
+        let mut m = self.clone();
+        m.apply_transform(t);
+        m
+    }
+
+    /// Translates every atom by `delta` in place.
+    pub fn translate(&mut self, delta: Vec3) {
+        for a in &mut self.atoms {
+            a.position += delta;
+        }
+    }
+
+    /// Recentres the molecule so its centre of mass is at the origin.
+    ///
+    /// The docking engine requires ligand reference coordinates in this
+    /// frame: pose rotations are then rotations about the ligand COM.
+    pub fn centered_at_origin(&self) -> Molecule {
+        let mut m = self.clone();
+        m.translate(-self.center_of_mass());
+        m
+    }
+
+    /// Mass-weighted gyration tensor about the centre of mass:
+    /// `S = (1/M) Σ mᵢ (rᵢ−c)(rᵢ−c)ᵀ`. Its trace is the squared radius of
+    /// gyration; its eigenvectors are the molecule's principal axes.
+    pub fn gyration_tensor(&self) -> Mat3 {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return Mat3::ZERO;
+        }
+        let com = self.center_of_mass();
+        let mut s = Mat3::ZERO;
+        for a in &self.atoms {
+            let d = a.position - com;
+            let w = a.mass();
+            let dv = [d.x, d.y, d.z];
+            for (r, &dr) in dv.iter().enumerate() {
+                for (c, &dc) in dv.iter().enumerate() {
+                    s.m[r][c] += w * dr * dc;
+                }
+            }
+        }
+        s * (1.0 / total)
+    }
+
+    /// Principal axes of the molecule, longest first, with the
+    /// corresponding gyration eigenvalues (Å²). Axes are unit vectors;
+    /// their signs are arbitrary.
+    pub fn principal_axes(&self) -> [(Vec3, f64); 3] {
+        let (vals, vecs) = self.gyration_tensor().symmetric_eigen();
+        [
+            (vecs.col(0), vals[0]),
+            (vecs.col(1), vals[1]),
+            (vecs.col(2), vals[2]),
+        ]
+    }
+
+    /// Adjacency list: `neighbors[i]` holds the atoms bonded to atom `i`.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.atoms.len()];
+        for b in &self.bonds {
+            adj[b.i].push(b.j);
+            adj[b.j].push(b.i);
+        }
+        adj
+    }
+
+    /// Number of connected components (an intact molecule has exactly 1;
+    /// the synthetic generator asserts this invariant).
+    pub fn connected_components(&self) -> usize {
+        let n = self.atoms.len();
+        if n == 0 {
+            return 0;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            stack.push(start);
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Indices of rotatable bonds, in bond order.
+    pub fn rotatable_bonds(&self) -> Vec<usize> {
+        self.bonds
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.rotatable)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// `true` when every atom position and charge is finite.
+    pub fn is_finite(&self) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| a.position.is_finite() && a.charge.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+
+    fn water() -> Molecule {
+        // O at origin; two H at ±x-ish. Geometry is fake but topology real.
+        let mut m = Molecule::new("HOH");
+        let o = m.add_atom(Atom::new(Element::O, Vec3::ZERO).with_charge(-0.8));
+        let h1 = m.add_atom(Atom::new(Element::H, Vec3::new(0.96, 0.0, 0.0)).with_charge(0.4));
+        let h2 = m.add_atom(Atom::new(Element::H, Vec3::new(-0.24, 0.93, 0.0)).with_charge(0.4));
+        m.add_bond(Bond::new(o, h1));
+        m.add_bond(Bond::new(o, h2));
+        m
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let w = water();
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert!((w.total_mass() - (15.999 + 2.0 * 1.008)).abs() < 1e-9);
+        assert!(w.total_charge().abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_of_mass_is_near_oxygen() {
+        let w = water();
+        // O is ~16x heavier than H, so COM is close to the origin.
+        assert!(w.center_of_mass().norm() < 0.15);
+        // The unweighted centroid is further out.
+        assert!(w.centroid().norm() > w.center_of_mass().norm());
+    }
+
+    #[test]
+    fn empty_molecule_degenerate_queries() {
+        let m = Molecule::new("EMPTY");
+        assert_eq!(m.center_of_mass(), Vec3::ZERO);
+        assert_eq!(m.centroid(), Vec3::ZERO);
+        assert_eq!(m.radius_of_gyration(), 0.0);
+        assert_eq!(m.connected_components(), 0);
+        assert!(m.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn centered_at_origin_zeroes_com() {
+        let mut w = water();
+        w.translate(Vec3::new(10.0, -5.0, 3.0));
+        let c = w.centered_at_origin();
+        assert!(c.center_of_mass().norm() < 1e-9);
+        // Original untouched.
+        assert!(w.center_of_mass().norm() > 5.0);
+    }
+
+    #[test]
+    fn transform_moves_all_atoms() {
+        let w = water();
+        let t = Transform::translate(Vec3::new(0.0, 0.0, 7.0));
+        let moved = w.transformed(&t);
+        for (a, b) in w.atoms().iter().zip(moved.atoms()) {
+            assert!((b.position - a.position).approx_eq(Vec3::new(0.0, 0.0, 7.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn adjacency_and_components() {
+        let w = water();
+        let adj = w.adjacency();
+        assert_eq!(adj[0], vec![1, 2]);
+        assert_eq!(adj[1], vec![0]);
+        assert_eq!(w.connected_components(), 1);
+
+        // Add a disconnected atom.
+        let mut m = water();
+        m.add_atom(Atom::new(Element::C, Vec3::new(100.0, 0.0, 0.0)));
+        assert_eq!(m.connected_components(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn bond_to_missing_atom_panics() {
+        let mut m = Molecule::new("bad");
+        m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        m.add_bond(Bond::new(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_bond_panics() {
+        let mut m = water();
+        m.add_bond(Bond::new(1, 0));
+    }
+
+    #[test]
+    fn rotatable_bond_listing() {
+        let mut m = Molecule::new("chain");
+        for k in 0..4 {
+            m.add_atom(Atom::new(Element::C, Vec3::new(k as f64 * 1.5, 0.0, 0.0)));
+        }
+        m.add_bond(Bond::new(0, 1));
+        m.add_bond(Bond::new(1, 2).with_rotatable(true));
+        m.add_bond(Bond::new(2, 3).with_rotatable(true));
+        assert_eq!(m.rotatable_bonds(), vec![1, 2]);
+    }
+
+    #[test]
+    fn radius_of_gyration_grows_with_spread() {
+        let mut tight = Molecule::new("tight");
+        let mut wide = Molecule::new("wide");
+        for k in 0..5 {
+            tight.add_atom(Atom::new(Element::C, Vec3::new(k as f64 * 0.5, 0.0, 0.0)));
+            wide.add_atom(Atom::new(Element::C, Vec3::new(k as f64 * 3.0, 0.0, 0.0)));
+        }
+        assert!(wide.radius_of_gyration() > tight.radius_of_gyration() * 3.0);
+    }
+
+    #[test]
+    fn gyration_tensor_trace_is_squared_radius_of_gyration() {
+        let c = crate::SyntheticComplexSpec::tiny().generate();
+        let t = c.ligand.gyration_tensor();
+        let rg = c.ligand.radius_of_gyration();
+        assert!((t.trace() - rg * rg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn principal_axes_of_a_rod_point_along_it() {
+        let mut rod = Molecule::new("rod");
+        for k in 0..8 {
+            rod.add_atom(Atom::new(Element::C, Vec3::new(k as f64 * 1.5, 0.0, 0.0)));
+        }
+        let axes = rod.principal_axes();
+        // Longest axis is ±x and dominates the other two.
+        assert!(axes[0].0.abs().approx_eq(Vec3::X, 1e-9));
+        assert!(axes[0].1 > 10.0 * axes[1].1.max(1e-12));
+        // Eigenvalues sorted descending.
+        assert!(axes[0].1 >= axes[1].1 && axes[1].1 >= axes[2].1);
+    }
+
+    #[test]
+    fn principal_axes_are_orthogonal_unit_vectors() {
+        let c = crate::SyntheticComplexSpec::tiny().generate();
+        let axes = c.ligand.principal_axes();
+        for (v, _) in &axes {
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+        assert!(axes[0].0.dot(axes[1].0).abs() < 1e-9);
+        assert!(axes[0].0.dot(axes[2].0).abs() < 1e-9);
+        assert!(axes[1].0.dot(axes[2].0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_atoms() {
+        let w = water();
+        let bb = w.bounding_box();
+        for a in w.atoms() {
+            assert!(bb.contains(a.position));
+        }
+    }
+}

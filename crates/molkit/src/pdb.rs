@@ -1,0 +1,324 @@
+//! Minimal PDB-format reader/writer.
+//!
+//! Supports the subset the reproduction needs: `ATOM`/`HETATM` coordinate
+//! records and `CONECT` connectivity records. Real complexes (like the
+//! paper's 2BSM) can be loaded from `.pdb` files when available; the
+//! synthetic generator writes its complexes in the same format so poses can
+//! be inspected in any molecular viewer.
+//!
+//! Non-standard convention: the partial charge is stored in the B-factor
+//! column (61–66) on write and read back from there. PDB has no standard
+//! partial-charge column (PDBQT added one); the B-factor slot is the
+//! conventional stash and keeps files viewer-compatible.
+
+use crate::{Atom, Bond, Element, Molecule};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Error from PDB parsing or I/O.
+#[derive(Debug)]
+pub enum PdbError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with the 1-based line number and a message.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbError::Io(e) => write!(f, "PDB I/O error: {e}"),
+            PdbError::Parse { line, message } => write!(f, "PDB parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+impl From<std::io::Error> for PdbError {
+    fn from(e: std::io::Error) -> Self {
+        PdbError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> PdbError {
+    PdbError::Parse { line, message: message.into() }
+}
+
+/// Extracts `text[lo..hi]` (0-based, half-open) padded-tolerantly: columns
+/// past the end of a short line read as empty.
+fn col(text: &str, lo: usize, hi: usize) -> &str {
+    let bytes = text.as_bytes();
+    let lo = lo.min(bytes.len());
+    let hi = hi.min(bytes.len());
+    text.get(lo..hi).unwrap_or("").trim()
+}
+
+/// Parses a molecule from PDB text.
+///
+/// All `ATOM` and `HETATM` records are read into one molecule; `CONECT`
+/// records become bonds (deduplicated); everything else is ignored.
+pub fn parse(name: impl Into<String>, text: &str) -> Result<Molecule, PdbError> {
+    let mut atoms = Vec::new();
+    // PDB serial → index into `atoms`.
+    let mut serial_to_index: BTreeMap<i64, usize> = BTreeMap::new();
+    let mut bonds: Vec<(usize, usize)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let record = col(line, 0, 6);
+        match record {
+            "ATOM" | "HETATM" => {
+                let serial: i64 = col(line, 6, 11)
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad atom serial"))?;
+                let atom_name = col(line, 12, 16).to_string();
+                let x: f64 = col(line, 30, 38)
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad x coordinate"))?;
+                let y: f64 = col(line, 38, 46)
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad y coordinate"))?;
+                let z: f64 = col(line, 46, 54)
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad z coordinate"))?;
+                let charge: f64 = {
+                    let b = col(line, 60, 66);
+                    if b.is_empty() {
+                        0.0
+                    } else {
+                        b.parse().map_err(|_| parse_err(n, "bad B-factor/charge"))?
+                    }
+                };
+                let element_field = col(line, 76, 78);
+                let element: Element = if element_field.is_empty() {
+                    // Fall back to the first letter of the atom name.
+                    atom_name
+                        .chars()
+                        .find(|c| c.is_ascii_alphabetic())
+                        .map(|c| c.to_string())
+                        .unwrap_or_default()
+                        .parse()
+                        .map_err(|_| parse_err(n, format!("cannot infer element from name {atom_name:?}")))?
+                } else {
+                    element_field
+                        .parse()
+                        .map_err(|_| parse_err(n, format!("unknown element {element_field:?}")))?
+                };
+                let mut atom = Atom::new(element, vecmath::Vec3::new(x, y, z)).with_charge(charge);
+                if !atom_name.is_empty() {
+                    atom = atom.with_name(atom_name);
+                }
+                serial_to_index.insert(serial, atoms.len());
+                atoms.push(atom);
+            }
+            "CONECT" => {
+                let base: i64 = col(line, 6, 11)
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad CONECT base serial"))?;
+                let base_idx = *serial_to_index
+                    .get(&base)
+                    .ok_or_else(|| parse_err(n, format!("CONECT references unknown serial {base}")))?;
+                for (lo, hi) in [(11, 16), (16, 21), (21, 26), (26, 31)] {
+                    let f = col(line, lo, hi);
+                    if f.is_empty() {
+                        continue;
+                    }
+                    let other: i64 = f
+                        .parse()
+                        .map_err(|_| parse_err(n, "bad CONECT partner serial"))?;
+                    let other_idx = *serial_to_index.get(&other).ok_or_else(|| {
+                        parse_err(n, format!("CONECT references unknown serial {other}"))
+                    })?;
+                    if base_idx != other_idx {
+                        let pair = (base_idx.min(other_idx), base_idx.max(other_idx));
+                        if !bonds.contains(&pair) {
+                            bonds.push(pair);
+                        }
+                    }
+                }
+            }
+            _ => {} // headers, REMARK, TER, END, ...
+        }
+    }
+
+    let mut mol = Molecule::new(name);
+    for a in atoms {
+        mol.add_atom(a);
+    }
+    for (i, j) in bonds {
+        mol.add_bond(Bond::new(i, j));
+    }
+    Ok(mol)
+}
+
+/// Serialises a molecule to PDB text (HETATM records + CONECT + END).
+pub fn write(mol: &Molecule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "REMARK   1 {}", mol.name);
+    for (idx, a) in mol.atoms().iter().enumerate() {
+        let serial = idx + 1;
+        // Columns (1-based): 1-6 record, 7-11 serial, 13-16 name, 18-20 res,
+        // 22 chain, 23-26 resSeq, 31-38/39-46/47-54 xyz, 55-60 occupancy,
+        // 61-66 B-factor (charge), 77-78 element.
+        let _ = writeln!(
+            out,
+            "HETATM{serial:>5} {name:<4} {res:<3} A{resseq:>4}    {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{charge:>6.2}          {elem:>2}",
+            serial = serial,
+            name = truncate(&a.name, 4),
+            res = "MOL",
+            resseq = 1,
+            x = a.position.x,
+            y = a.position.y,
+            z = a.position.z,
+            occ = 1.0,
+            charge = a.charge,
+            elem = a.element.symbol(),
+        );
+    }
+    // CONECT records, grouped per atom (max 4 partners per record).
+    let adj = mol.adjacency();
+    for (i, partners) in adj.iter().enumerate() {
+        for chunk in partners.chunks(4) {
+            let mut line = format!("CONECT{:>5}", i + 1);
+            for p in chunk {
+                let _ = write!(line, "{:>5}", p + 1);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Reads a molecule from a `.pdb` file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Molecule, PdbError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    parse(name, &text)
+}
+
+/// Writes a molecule to a `.pdb` file.
+pub fn write_file(mol: &Molecule, path: impl AsRef<Path>) -> Result<(), PdbError> {
+    std::fs::write(path, write(mol))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HBondRole;
+    use vecmath::Vec3;
+
+    fn sample_molecule() -> Molecule {
+        let mut m = Molecule::new("SAMPLE");
+        m.add_atom(
+            Atom::new(Element::O, Vec3::new(1.25, -2.5, 3.125))
+                .with_charge(-0.55)
+                .with_hbond(HBondRole::Acceptor)
+                .with_name("OD1"),
+        );
+        m.add_atom(Atom::new(Element::C, Vec3::new(0.0, 0.0, 0.0)).with_charge(0.25));
+        m.add_atom(Atom::new(Element::H, Vec3::new(0.5, 0.5, 0.5)).with_charge(0.3));
+        m.add_bond(Bond::new(0, 1));
+        m.add_bond(Bond::new(1, 2));
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let m = sample_molecule();
+        let text = write(&m);
+        let back = parse("SAMPLE", &text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.bonds().len(), 2);
+        for (a, b) in m.atoms().iter().zip(back.atoms()) {
+            assert_eq!(a.element, b.element);
+            assert!(a.position.approx_eq(b.position, 1e-3), "{:?} vs {:?}", a.position, b.position);
+            assert!((a.charge - b.charge).abs() < 0.01);
+        }
+        assert!(back.bonds().iter().any(|b| b.connects(0, 1)));
+        assert!(back.bonds().iter().any(|b| b.connects(1, 2)));
+    }
+
+    #[test]
+    fn parses_standard_atom_record() {
+        let text = "ATOM      1  CA  ALA A   1      11.104   6.134  -6.504  1.00 20.00           C\n";
+        let m = parse("x", text).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.atoms()[0].element, Element::C);
+        assert_eq!(m.atoms()[0].name, "CA");
+        assert!(m.atoms()[0].position.approx_eq(Vec3::new(11.104, 6.134, -6.504), 1e-9));
+        assert!((m.atoms()[0].charge - 20.0).abs() < 1e-9); // B-factor read as charge
+    }
+
+    #[test]
+    fn infers_element_from_name_when_column_missing() {
+        let text = "HETATM    1  N1  LIG A   1       0.000   0.000   0.000\n";
+        let m = parse("x", text).unwrap();
+        assert_eq!(m.atoms()[0].element, Element::N);
+    }
+
+    #[test]
+    fn ignores_headers_and_ter() {
+        let text = "HEADER    TEST\nREMARK  1\nTER\nEND\n";
+        let m = parse("x", text).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bad_coordinate_is_reported_with_line_number() {
+        let text = "HETATM    1  C1  LIG A   1       xxx     0.000   0.000\n";
+        match parse("x", text) {
+            Err(PdbError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conect_to_unknown_serial_is_an_error() {
+        let text = "HETATM    1  C1  LIG A   1       0.000   0.000   0.000                       C\nCONECT    1    9\n";
+        assert!(parse("x", text).is_err());
+    }
+
+    #[test]
+    fn conect_duplicates_are_merged() {
+        let m = sample_molecule();
+        let text = write(&m);
+        // The writer emits each bond from both endpoints; the parser must
+        // still produce exactly 2 bonds.
+        let back = parse("x", &text).unwrap();
+        assert_eq!(back.bonds().len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("molkit-pdb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.pdb");
+        let m = sample_molecule();
+        write_file(&m, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.name, "sample");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,353 @@
+//! SDF / MDL molfile (V2000) reader & writer.
+//!
+//! Virtual-screening libraries (ZINC, the paper's §2.1 reference 19) are
+//! distributed as multi-record SDF files. This module implements the V2000
+//! subset needed to exchange ligands with standard cheminformatics tools:
+//! the counts line, atom block (coordinates + element), bond block
+//! (indices + order), `M  CHG` formal-charge lines, and the `$$$$` record
+//! separator for multi-molecule files.
+
+use crate::{Atom, Bond, BondOrder, Element, Molecule};
+use std::fmt::Write as _;
+use std::path::Path;
+use vecmath::Vec3;
+
+/// Error from SDF parsing or I/O.
+#[derive(Debug)]
+pub enum SdfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with the 1-based line number within the record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdfError::Io(e) => write!(f, "SDF I/O error: {e}"),
+            SdfError::Parse { line, message } => {
+                write!(f, "SDF parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+impl From<std::io::Error> for SdfError {
+    fn from(e: std::io::Error) -> Self {
+        SdfError::Io(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> SdfError {
+    SdfError::Parse { line, message: message.into() }
+}
+
+/// Parses one molfile record (header + counts + atoms + bonds + `M` lines).
+pub fn parse_molfile(text: &str) -> Result<Molecule, SdfError> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 4 {
+        return Err(err(1, "molfile needs at least 4 lines"));
+    }
+    let name = lines[0].trim().to_string();
+    let counts = lines[3];
+    let n_atoms: usize = counts
+        .get(0..3)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| err(4, "bad atom count"))?;
+    let n_bonds: usize = counts
+        .get(3..6)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| err(4, "bad bond count"))?;
+    if lines.len() < 4 + n_atoms + n_bonds {
+        return Err(err(4, "truncated atom/bond block"));
+    }
+
+    let mut mol = Molecule::new(if name.is_empty() { "unnamed".into() } else { name });
+    for i in 0..n_atoms {
+        let lineno = 5 + i;
+        let l = lines[4 + i];
+        // Fixed columns: x (0..10), y (10..20), z (20..30), element (31..34).
+        let x: f64 = l
+            .get(0..10)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad x"))?;
+        let y: f64 = l
+            .get(10..20)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad y"))?;
+        let z: f64 = l
+            .get(20..30)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad z"))?;
+        let sym = l.get(31..34).map(str::trim).unwrap_or("");
+        let element: Element = sym
+            .parse()
+            .map_err(|_| err(lineno, format!("unknown element {sym:?}")))?;
+        mol.add_atom(Atom::new(element, Vec3::new(x, y, z)));
+    }
+    for i in 0..n_bonds {
+        let lineno = 5 + n_atoms + i;
+        let l = lines[4 + n_atoms + i];
+        let a: usize = l
+            .get(0..3)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad bond atom 1"))?;
+        let b: usize = l
+            .get(3..6)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad bond atom 2"))?;
+        let order_code: u8 = l
+            .get(6..9)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(lineno, "bad bond order"))?;
+        if a == 0 || b == 0 || a > n_atoms || b > n_atoms {
+            return Err(err(lineno, format!("bond indices {a}-{b} out of range")));
+        }
+        let order = match order_code {
+            1 => BondOrder::Single,
+            2 => BondOrder::Double,
+            3 => BondOrder::Triple,
+            4 => BondOrder::Aromatic,
+            other => return Err(err(lineno, format!("unsupported bond order {other}"))),
+        };
+        mol.add_bond(Bond::new(a - 1, b - 1).with_order(order));
+    }
+
+    // Property block: formal charges.
+    for (k, l) in lines.iter().enumerate().skip(4 + n_atoms + n_bonds) {
+        if l.starts_with("M  CHG") {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            // M CHG n (atom chg)*n
+            let n: usize = fields
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(k + 1, "bad M CHG count"))?;
+            for pair in 0..n {
+                let atom_idx: usize = fields
+                    .get(3 + 2 * pair)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(k + 1, "bad M CHG atom index"))?;
+                let charge: f64 = fields
+                    .get(4 + 2 * pair)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(k + 1, "bad M CHG value"))?;
+                if atom_idx == 0 || atom_idx > mol.len() {
+                    return Err(err(k + 1, "M CHG atom index out of range"));
+                }
+                mol.atoms_mut()[atom_idx - 1].charge = charge;
+            }
+        }
+        if l.starts_with("M  END") {
+            break;
+        }
+    }
+
+    Ok(mol)
+}
+
+/// Parses a multi-record SDF file (`$$$$`-separated molfiles).
+pub fn parse_sdf(text: &str) -> Result<Vec<Molecule>, SdfError> {
+    text.split("$$$$")
+        .map(|chunk| chunk.trim_start_matches('\n'))
+        .filter(|chunk| !chunk.trim().is_empty())
+        .map(parse_molfile)
+        .collect()
+}
+
+/// Serialises one molecule as a V2000 molfile (without the `$$$$`).
+pub fn write_molfile(mol: &Molecule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", mol.name);
+    out.push_str("  molkit\n\n"); // program + comment lines
+    let _ = writeln!(
+        out,
+        "{:>3}{:>3}  0  0  0  0  0  0  0  0999 V2000",
+        mol.len(),
+        mol.bonds().len()
+    );
+    for a in mol.atoms() {
+        let _ = writeln!(
+            out,
+            "{:>10.4}{:>10.4}{:>10.4} {:<3} 0  0  0  0  0  0  0  0  0  0  0  0",
+            a.position.x, a.position.y, a.position.z, a.element.symbol()
+        );
+    }
+    for b in mol.bonds() {
+        let code = match b.order {
+            BondOrder::Single => 1,
+            BondOrder::Double => 2,
+            BondOrder::Triple => 3,
+            BondOrder::Aromatic => 4,
+        };
+        let _ = writeln!(out, "{:>3}{:>3}{:>3}  0", b.i + 1, b.j + 1, code);
+    }
+    // Charges (8 per M CHG line max per spec; we emit them in chunks).
+    let charged: Vec<(usize, f64)> = mol
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.charge != 0.0)
+        .map(|(i, a)| (i + 1, a.charge))
+        .collect();
+    for chunk in charged.chunks(8) {
+        let mut line = format!("M  CHG{:>3}", chunk.len());
+        for (idx, q) in chunk {
+            let _ = write!(line, " {idx:>3} {q:>7.3}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out.push_str("M  END\n");
+    out
+}
+
+/// Serialises molecules as a multi-record SDF.
+pub fn write_sdf(mols: &[Molecule]) -> String {
+    let mut out = String::new();
+    for m in mols {
+        out.push_str(&write_molfile(m));
+        out.push_str("$$$$\n");
+    }
+    out
+}
+
+/// Reads an SDF file from disk.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<Molecule>, SdfError> {
+    parse_sdf(&std::fs::read_to_string(path)?)
+}
+
+/// Writes molecules to an SDF file.
+pub fn write_file(mols: &[Molecule], path: impl AsRef<Path>) -> Result<(), SdfError> {
+    std::fs::write(path, write_sdf(mols))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HBondRole;
+
+    fn sample() -> Molecule {
+        let mut m = Molecule::new("sample-ligand");
+        m.add_atom(Atom::new(Element::C, Vec3::new(0.0, 0.0, 0.0)).with_charge(0.1));
+        m.add_atom(Atom::new(Element::O, Vec3::new(1.25, -0.5, 0.75)).with_charge(-0.4));
+        m.add_atom(Atom::new(Element::N, Vec3::new(-1.0, 0.9, 0.1)));
+        m.add_bond(Bond::new(0, 1).with_order(BondOrder::Double));
+        m.add_bond(Bond::new(0, 2));
+        m
+    }
+
+    #[test]
+    fn molfile_roundtrip() {
+        let m = sample();
+        let text = write_molfile(&m);
+        let back = parse_molfile(&text).unwrap();
+        assert_eq!(back.name, "sample-ligand");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.bonds().len(), 2);
+        for (a, b) in m.atoms().iter().zip(back.atoms()) {
+            assert_eq!(a.element, b.element);
+            assert!(a.position.approx_eq(b.position, 1e-3));
+            assert!((a.charge - b.charge).abs() < 1e-3);
+        }
+        assert_eq!(back.bonds()[0].order, BondOrder::Double);
+        assert_eq!(back.bonds()[1].order, BondOrder::Single);
+    }
+
+    #[test]
+    fn multi_record_sdf_roundtrip() {
+        let mols = vec![sample(), {
+            let mut m = Molecule::new("second");
+            m.add_atom(Atom::new(Element::S, Vec3::splat(2.0)));
+            m
+        }];
+        let text = write_sdf(&mols);
+        let back = parse_sdf(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "sample-ligand");
+        assert_eq!(back[1].name, "second");
+        assert_eq!(back[1].atoms()[0].element, Element::S);
+    }
+
+    #[test]
+    fn parses_reference_formatted_molfile() {
+        // Hand-written V2000 snippet with standard column layout.
+        let text = "\
+water
+  test
+
+  3  2  0  0  0  0  0  0  0  0999 V2000
+    0.0000    0.0000    0.0000 O   0  0  0  0  0  0  0  0  0  0  0  0
+    0.9600    0.0000    0.0000 H   0  0  0  0  0  0  0  0  0  0  0  0
+   -0.2400    0.9300    0.0000 H   0  0  0  0  0  0  0  0  0  0  0  0
+  1  2  1  0
+  1  3  1  0
+M  END
+";
+        let m = parse_molfile(text).unwrap();
+        assert_eq!(m.name, "water");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.atoms()[0].element, Element::O);
+        assert_eq!(m.bonds().len(), 2);
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_fail_cleanly() {
+        assert!(parse_molfile("x\n").is_err());
+        assert!(parse_molfile("name\n\n\nbad counts line\n").is_err());
+        let text = "\
+m
+  test
+
+  2  1  0  0  0  0  0  0  0  0999 V2000
+    0.0000    0.0000    0.0000 C   0  0
+";
+        assert!(parse_molfile(text).is_err(), "truncated atom block");
+    }
+
+    #[test]
+    fn out_of_range_bond_is_rejected() {
+        let text = "\
+m
+  t
+
+  1  1  0  0  0  0  0  0  0  0999 V2000
+    0.0000    0.0000    0.0000 C   0  0  0  0  0  0  0  0  0  0  0  0
+  1  5  1  0
+M  END
+";
+        assert!(parse_molfile(text).is_err());
+    }
+
+    #[test]
+    fn synthetic_ligand_survives_sdf_roundtrip() {
+        let c = crate::SyntheticComplexSpec::tiny().generate();
+        let text = write_molfile(&c.ligand);
+        let back = parse_molfile(&text).unwrap();
+        assert_eq!(back.len(), c.ligand.len());
+        assert_eq!(back.bonds().len(), c.ligand.bonds().len());
+        // Charges preserved to the 1e-3 precision the format carries.
+        for (a, b) in c.ligand.atoms().iter().zip(back.atoms()) {
+            assert!((a.charge - b.charge).abs() < 1.5e-3, "{} vs {}", a.charge, b.charge);
+        }
+        // H-bond roles are not part of SDF — documented information loss.
+        assert!(back.atoms().iter().all(|a| a.hbond == HBondRole::None));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("molkit-sdf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.sdf");
+        write_file(&[sample()], &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,258 @@
+//! Optimal rigid superposition of point sets (Horn's quaternion method).
+//!
+//! Docking papers report ligand RMSD both in the receptor frame (no
+//! fitting — see [`crate::measure::rmsd`]) and after optimal superposition
+//! (conformation-only difference). This module computes the rotation +
+//! translation minimising `Σᵢ ‖R·aᵢ + t − bᵢ‖²` via the closed-form
+//! quaternion solution (Horn 1987): the optimal rotation is the dominant
+//! eigenvector of a symmetric 4×4 matrix built from the cross-covariance
+//! of the centred point sets, found here by shifted power iteration.
+
+use crate::measure::centroid;
+use vecmath::{Quat, Transform, Vec3};
+
+/// Result of a superposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Superposition {
+    /// The transform mapping set `a` onto set `b`.
+    pub transform: Transform,
+    /// RMSD after applying the transform.
+    pub rmsd: f64,
+}
+
+/// Computes the optimal rigid superposition of `a` onto `b` (equal-length,
+/// ≥ 1 point, paired by index).
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn superpose(a: &[Vec3], b: &[Vec3]) -> Superposition {
+    assert_eq!(a.len(), b.len(), "superpose: point sets differ in length");
+    assert!(!a.is_empty(), "superpose of empty point sets");
+
+    let ca = centroid(a);
+    let cb = centroid(b);
+
+    // Cross-covariance of the centred sets: S = Σ a'ᵢ b'ᵢᵀ.
+    let mut s = [[0.0f64; 3]; 3];
+    for (pa, pb) in a.iter().zip(b) {
+        let x = *pa - ca;
+        let y = *pb - cb;
+        let xv = [x.x, x.y, x.z];
+        let yv = [y.x, y.y, y.z];
+        for (r, &xr) in xv.iter().enumerate() {
+            for (c, &yc) in yv.iter().enumerate() {
+                s[r][c] += xr * yc;
+            }
+        }
+    }
+
+    // Horn's symmetric 4×4 matrix N (quaternion order w, x, y, z).
+    let n = [
+        [
+            s[0][0] + s[1][1] + s[2][2],
+            s[1][2] - s[2][1],
+            s[2][0] - s[0][2],
+            s[0][1] - s[1][0],
+        ],
+        [
+            s[1][2] - s[2][1],
+            s[0][0] - s[1][1] - s[2][2],
+            s[0][1] + s[1][0],
+            s[2][0] + s[0][2],
+        ],
+        [
+            s[2][0] - s[0][2],
+            s[0][1] + s[1][0],
+            -s[0][0] + s[1][1] - s[2][2],
+            s[1][2] + s[2][1],
+        ],
+        [
+            s[0][1] - s[1][0],
+            s[2][0] + s[0][2],
+            s[1][2] + s[2][1],
+            -s[0][0] - s[1][1] + s[2][2],
+        ],
+    ];
+
+    let q = dominant_eigenvector4(&n);
+    let rotation = Quat::new(q[0], q[1], q[2], q[3]).normalized();
+    // t = cb − R·ca.
+    let translation = cb - rotation.rotate(ca);
+    let transform = Transform::new(rotation, translation);
+
+    let mut sum = 0.0;
+    for (pa, pb) in a.iter().zip(b) {
+        sum += transform.apply(*pa).distance_sq(*pb);
+    }
+    Superposition {
+        transform,
+        rmsd: (sum / a.len() as f64).sqrt(),
+    }
+}
+
+/// RMSD after optimal superposition (ignores the rigid-body part of the
+/// difference between conformations).
+pub fn superposed_rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
+    superpose(a, b).rmsd
+}
+
+/// Dominant eigenvector of a symmetric 4×4 matrix via shifted power
+/// iteration. The shift (a Gershgorin-style bound) makes all eigenvalues
+/// positive so the algebraically largest one dominates.
+fn dominant_eigenvector4(n: &[[f64; 4]; 4]) -> [f64; 4] {
+    // Gershgorin bound on the spectral radius: max over rows of
+    // Σⱼ|nᵢⱼ|. Shifting by it (plus 1) makes every eigenvalue of
+    // `N + shift·I` positive, so the algebraically largest eigenvalue of N
+    // becomes the dominant one under power iteration.
+    let shift: f64 = n
+        .iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0f64, f64::max)
+        + 1.0;
+
+    let mut v = [1.0f64, 0.3, 0.2, 0.1]; // arbitrary non-degenerate start
+    for _ in 0..256 {
+        let mut w = [0.0f64; 4];
+        for (r, wr) in w.iter_mut().enumerate() {
+            let mut acc = shift * v[r];
+            for (c, &vc) in v.iter().enumerate() {
+                acc += n[r][c] * vc;
+            }
+            *wr = acc;
+        }
+        let norm = (w.iter().map(|x| x * x).sum::<f64>()).sqrt();
+        if norm < 1e-300 {
+            return [1.0, 0.0, 0.0, 0.0];
+        }
+        let mut converged = true;
+        for (r, &wr) in w.iter().enumerate() {
+            let next = wr / norm;
+            if (next - v[r]).abs() > 1e-15 {
+                converged = false;
+            }
+            v[r] = next;
+        }
+        if converged {
+            break;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    fn sample_points() -> Vec<Vec3> {
+        vec![
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, 3.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(-2.0, 0.5, 0.7),
+        ]
+    }
+
+    #[test]
+    fn identity_superposition() {
+        let a = sample_points();
+        let sp = superpose(&a, &a);
+        assert!(sp.rmsd < 1e-9);
+        for p in &a {
+            assert!(sp.transform.apply(*p).approx_eq(*p, 1e-7));
+        }
+    }
+
+    #[test]
+    fn recovers_pure_translation() {
+        let a = sample_points();
+        let shift = Vec3::new(3.0, -1.0, 2.0);
+        let b: Vec<Vec3> = a.iter().map(|p| *p + shift).collect();
+        let sp = superpose(&a, &b);
+        assert!(sp.rmsd < 1e-9, "rmsd {}", sp.rmsd);
+        assert!(sp.transform.translation.approx_eq(shift, 1e-7));
+    }
+
+    #[test]
+    fn recovers_known_rotation() {
+        let a = sample_points();
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 0.5), 1.1);
+        let b: Vec<Vec3> = a.iter().map(|p| q.rotate(*p)).collect();
+        let sp = superpose(&a, &b);
+        assert!(sp.rmsd < 1e-8, "rmsd {}", sp.rmsd);
+        assert!(
+            sp.transform.rotation.approx_eq_rotation(q, 1e-6),
+            "recovered {:?}, wanted {:?}",
+            sp.transform.rotation,
+            q
+        );
+    }
+
+    #[test]
+    fn superposed_rmsd_ignores_rigid_motion_but_not_deformation() {
+        let a = sample_points();
+        // Rigid motion: superposed RMSD ~ 0 even though frame RMSD is big.
+        let t = Transform::new(
+            Quat::from_axis_angle(Vec3::Y, 2.0),
+            Vec3::new(10.0, 0.0, 0.0),
+        );
+        let b: Vec<Vec3> = a.iter().map(|p| t.apply(*p)).collect();
+        assert!(crate::measure::rmsd(&a, &b) > 5.0);
+        assert!(superposed_rmsd(&a, &b) < 1e-8);
+
+        // Deformation: stretch one point — superposition cannot hide it.
+        let mut c = a.clone();
+        c[0] *= 3.0;
+        assert!(superposed_rmsd(&a, &c) > 0.1);
+    }
+
+    #[test]
+    fn single_point_superposes_exactly() {
+        let sp = superpose(&[Vec3::ZERO], &[Vec3::new(1.0, 2.0, 3.0)]);
+        assert!(sp.rmsd < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_lengths_panic() {
+        let _ = superpose(&[Vec3::ZERO], &[Vec3::ZERO, Vec3::X]);
+    }
+
+    proptest! {
+        #[test]
+        fn random_rigid_motions_are_recovered(
+            ax in -1.0..1.0f64, ay in -1.0..1.0f64, az in -1.0..1.0f64,
+            angle in -PI..PI,
+            tx in -10.0..10.0f64, ty in -10.0..10.0f64, tz in -10.0..10.0f64,
+        ) {
+            prop_assume!(Vec3::new(ax, ay, az).norm() > 0.1);
+            let a = sample_points();
+            let t = Transform::new(
+                Quat::from_axis_angle(Vec3::new(ax, ay, az), angle),
+                Vec3::new(tx, ty, tz),
+            );
+            let b: Vec<Vec3> = a.iter().map(|p| t.apply(*p)).collect();
+            let sp = superpose(&a, &b);
+            prop_assert!(sp.rmsd < 1e-7, "rmsd {}", sp.rmsd);
+        }
+
+        #[test]
+        fn superposed_rmsd_never_exceeds_frame_rmsd(
+            seed in 0u64..500,
+        ) {
+            // Perturb each point deterministically from the seed.
+            let a = sample_points();
+            let b: Vec<Vec3> = a
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let f = (seed as f64 + i as f64) * 0.7;
+                    *p + Vec3::new(f.sin(), (2.0 * f).cos(), (0.5 * f).sin()) * 0.5
+                })
+                .collect();
+            prop_assert!(superposed_rmsd(&a, &b) <= crate::measure::rmsd(&a, &b) + 1e-9);
+        }
+    }
+}

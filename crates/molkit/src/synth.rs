@@ -1,0 +1,647 @@
+//! Deterministic synthetic receptor–ligand complex generator.
+//!
+//! The paper evaluates on the wwPDB complex **2BSM**: a 3,264-atom receptor
+//! and a 45-atom ligand with 6 rotatable bonds, whose crystallographic pose
+//! sits in a surface recess of the protein. We do not ship PDB data, so this
+//! module builds a *synthetic stand-in* with the same problem structure
+//! (see `DESIGN.md` §2):
+//!
+//! * a globular receptor of the requested atom count, built on a jittered
+//!   cubic lattice inside a sphere — realistic atomic density and a hard
+//!   steric core;
+//! * a hemispherical **binding pocket** carved into the surface;
+//! * a branched, flexible **ligand** grown as a self-avoiding tree;
+//! * a **crystallographic pose** placing the ligand inside the pocket, with
+//!   the pocket lining given *complementary* charges and hydrogen-bond
+//!   roles so the scoring function of Eq. 1 has a genuine funnel there —
+//!   the unique global optimum the DQN agent is supposed to discover;
+//! * an **initial pose** far outside the receptor (Figure 3, pose "A").
+//!
+//! Everything is driven by a single `u64` seed; the same spec + seed yields
+//! the same complex bit-for-bit on every platform.
+
+use crate::topology;
+use crate::{Atom, Bond, Complex, Element, HBondRole, Molecule};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use vecmath::{Quat, Transform, Vec3};
+
+/// Parameters of the synthetic receptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticReceptorSpec {
+    /// Exact number of atoms to generate.
+    pub n_atoms: usize,
+    /// Lattice spacing in Å (≈ typical heavy-atom packing distance).
+    pub lattice_spacing: f64,
+    /// Positional jitter as a fraction of the lattice spacing.
+    pub jitter: f64,
+    /// Radius of the carved binding pocket in Å.
+    pub pocket_radius: f64,
+}
+
+impl Default for SyntheticReceptorSpec {
+    fn default() -> Self {
+        SyntheticReceptorSpec {
+            n_atoms: 400,
+            lattice_spacing: 2.2,
+            jitter: 0.25,
+            pocket_radius: 6.0,
+        }
+    }
+}
+
+/// Parameters of the synthetic ligand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticLigandSpec {
+    /// Number of atoms.
+    pub n_atoms: usize,
+    /// Number of rotatable (torsion) bonds to mark.
+    pub n_rotatable: usize,
+    /// Covalent bond length used while growing the tree, in Å.
+    pub bond_length: f64,
+}
+
+impl Default for SyntheticLigandSpec {
+    fn default() -> Self {
+        SyntheticLigandSpec {
+            n_atoms: 16,
+            n_rotatable: 6,
+            bond_length: 1.5,
+        }
+    }
+}
+
+/// Full specification of a synthetic complex.
+///
+/// ```
+/// use molkit::SyntheticComplexSpec;
+///
+/// let complex = SyntheticComplexSpec::tiny().generate();
+/// assert_eq!(complex.receptor.len(), 60);
+/// // The crystallographic pose sits closer to the receptor than the start.
+/// assert!(complex.com_separation(&complex.crystal_pose)
+///     < complex.initial_com_separation());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticComplexSpec {
+    /// Receptor parameters.
+    pub receptor: SyntheticReceptorSpec,
+    /// Ligand parameters.
+    pub ligand: SyntheticLigandSpec,
+    /// RNG seed; the whole complex is a pure function of the spec + seed.
+    pub seed: u64,
+    /// Distance (Å) from the receptor surface to the ligand's initial COM.
+    pub initial_offset: f64,
+}
+
+impl Default for SyntheticComplexSpec {
+    fn default() -> Self {
+        SyntheticComplexSpec {
+            receptor: SyntheticReceptorSpec::default(),
+            ligand: SyntheticLigandSpec::default(),
+            seed: 0x2B5D,
+            initial_offset: 12.0,
+        }
+    }
+}
+
+impl SyntheticComplexSpec {
+    /// A laptop-scale default: 400-atom receptor, 16-atom ligand, 6
+    /// torsions. Fast enough for tests and CI while exercising every code
+    /// path of the paper-scale problem.
+    pub fn scaled() -> Self {
+        SyntheticComplexSpec::default()
+    }
+
+    /// Paper-parity 2BSM-like dimensions: 3,264-atom receptor, 45-atom
+    /// ligand, 6 rotatable bonds (paper §4 and §5).
+    pub fn paper_2bsm() -> Self {
+        SyntheticComplexSpec {
+            receptor: SyntheticReceptorSpec {
+                n_atoms: 3264,
+                pocket_radius: 8.0,
+                ..SyntheticReceptorSpec::default()
+            },
+            ligand: SyntheticLigandSpec {
+                n_atoms: 45,
+                n_rotatable: 6,
+                ..SyntheticLigandSpec::default()
+            },
+            seed: 0x2B5D,
+            initial_offset: 15.0,
+        }
+    }
+
+    /// A tiny instance for unit tests (60-atom receptor, 6-atom ligand).
+    pub fn tiny() -> Self {
+        SyntheticComplexSpec {
+            receptor: SyntheticReceptorSpec {
+                n_atoms: 60,
+                pocket_radius: 4.0,
+                ..SyntheticReceptorSpec::default()
+            },
+            ligand: SyntheticLigandSpec {
+                n_atoms: 6,
+                n_rotatable: 2,
+                ..SyntheticLigandSpec::default()
+            },
+            seed: 7,
+            initial_offset: 8.0,
+        }
+    }
+
+    /// Minimum distance (Å) kept between receptor atoms and the ligand's
+    /// crystallographic coordinates when carving the pocket — just inside
+    /// the 2.9 Å hydrogen-bond equilibrium so the lining sits in the
+    /// attractive region of every term, never on the r⁻¹² wall.
+    pub const POCKET_CLEARANCE: f64 = 2.8;
+
+    /// Generates the complex.
+    pub fn generate(&self) -> Complex {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let (candidates, pocket_dir) = lattice_candidates(&self.receptor, &mut rng);
+        let ligand = generate_ligand(&self.ligand, &mut rng).centered_at_origin();
+        let crystal_rotation = Quat::random_uniform(&mut rng);
+
+        // Radius estimate for the atom count (refined in the loop below).
+        let s = self.receptor.lattice_spacing;
+        let mut globe_radius =
+            s * (3.0 * self.receptor.n_atoms as f64 / (4.0 * std::f64::consts::PI))
+                .powf(1.0 / 3.0);
+
+        // Fixed-point refinement: the crystal pose depends on the globe
+        // radius, and the carved selection depends on the crystal pose.
+        // Three passes converge comfortably for all tested sizes.
+        let mut chosen: Vec<Vec3> = Vec::new();
+        let mut crystal_pose = Transform::IDENTITY;
+        for _ in 0..3 {
+            let pocket_center = pocket_dir * globe_radius;
+            let crystal_translation =
+                pocket_dir * (globe_radius - 0.25 * self.receptor.pocket_radius);
+            crystal_pose = Transform::new(crystal_rotation, crystal_translation);
+            let crystal_coords: Vec<Vec3> = ligand
+                .atoms()
+                .iter()
+                .map(|a| crystal_pose.apply(a.position))
+                .collect();
+
+            chosen.clear();
+            let clearance_sq = Self::POCKET_CLEARANCE * Self::POCKET_CLEARANCE;
+            for &p in &candidates {
+                if p.distance(pocket_center) < self.receptor.pocket_radius {
+                    continue;
+                }
+                if crystal_coords
+                    .iter()
+                    .any(|c| c.distance_sq(p) < clearance_sq)
+                {
+                    continue;
+                }
+                chosen.push(p);
+                if chosen.len() == self.receptor.n_atoms {
+                    break;
+                }
+            }
+            assert!(
+                chosen.len() == self.receptor.n_atoms,
+                "candidate lattice too small: got {} of {} atoms",
+                chosen.len(),
+                self.receptor.n_atoms
+            );
+            globe_radius = chosen
+                .last()
+                .unwrap()
+                .norm()
+                .max(self.receptor.pocket_radius * 1.2);
+        }
+        let pocket_center = pocket_dir * globe_radius;
+
+        let mut receptor = assemble_receptor(&self.receptor, &chosen, &mut rng);
+
+        // --- complementarity: make the pocket lining "want" the ligand ---
+        let crystal_coords: Vec<Vec3> = ligand
+            .atoms()
+            .iter()
+            .map(|a| crystal_pose.apply(a.position))
+            .collect();
+        imprint_pocket(
+            &mut receptor,
+            &ligand,
+            &crystal_coords,
+            pocket_center,
+            self.receptor.pocket_radius,
+        );
+
+        // --- initial pose: outside the receptor, along the pocket axis ---
+        // Starting on the pocket axis mirrors Figure 3 (ligand hovering
+        // above the recess) and keeps d0 independent of the random pocket
+        // orientation.
+        let initial_translation = pocket_dir * (globe_radius + self.initial_offset);
+        let initial_pose = Transform::new(Quat::IDENTITY, initial_translation);
+
+        Complex::new(receptor, ligand, crystal_pose, initial_pose)
+    }
+}
+
+/// Generates the jittered-lattice candidate positions (sorted by distance
+/// from the origin) and a uniformly random pocket direction.
+fn lattice_candidates(
+    spec: &SyntheticReceptorSpec,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<Vec3>, Vec3) {
+    assert!(spec.n_atoms >= 8, "receptor needs at least 8 atoms");
+    assert!(spec.lattice_spacing > 0.5, "lattice spacing too small");
+    let s = spec.lattice_spacing;
+
+    // Radius so that a cubic lattice of spacing s holds ~n_atoms in the
+    // sphere: n ≈ (4/3)πR³ / s³; generous margin because the pocket and the
+    // crystal-clearance carve both remove atoms.
+    let r_est = s * (3.0 * spec.n_atoms as f64 / (4.0 * std::f64::consts::PI)).powf(1.0 / 3.0);
+    let r_max = r_est * 1.6 + s;
+
+    // Random pocket direction (uniform on the sphere by rejection).
+    let pocket_dir = loop {
+        let v = Vec3::new(
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+        );
+        let n = v.norm();
+        if n > 1e-3 && n <= 1.0 {
+            break v / n;
+        }
+    };
+
+    let half = (r_max / s).ceil() as i64;
+    let mut candidates: Vec<Vec3> = Vec::new();
+    for ix in -half..=half {
+        for iy in -half..=half {
+            for iz in -half..=half {
+                let base = Vec3::new(ix as f64, iy as f64, iz as f64) * s;
+                if base.norm() > r_max {
+                    continue;
+                }
+                let jitter = Vec3::new(
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                ) * (s * spec.jitter);
+                candidates.push(base + jitter);
+            }
+        }
+    }
+    // Deterministic order independent of float ties: sort by norm, then x/y/z.
+    candidates.sort_by(|a, b| {
+        a.norm_sq()
+            .partial_cmp(&b.norm_sq())
+            .unwrap()
+            .then(a.x.partial_cmp(&b.x).unwrap())
+            .then(a.y.partial_cmp(&b.y).unwrap())
+            .then(a.z.partial_cmp(&b.z).unwrap())
+    });
+    (candidates, pocket_dir)
+}
+
+/// Turns the chosen positions into a receptor molecule: element palette,
+/// background charges and sparse connectivity.
+fn assemble_receptor(
+    spec: &SyntheticReceptorSpec,
+    chosen: &[Vec3],
+    rng: &mut ChaCha8Rng,
+) -> Molecule {
+    let s = spec.lattice_spacing;
+    // Element palette loosely following heavy-atom protein composition.
+    let mut mol = Molecule::new("synthetic-receptor");
+    for &p in chosen {
+        let roll: f64 = rng.gen();
+        let element = if roll < 0.62 {
+            Element::C
+        } else if roll < 0.78 {
+            Element::N
+        } else if roll < 0.95 {
+            Element::O
+        } else if roll < 0.97 {
+            Element::S
+        } else {
+            Element::H
+        };
+        // Mild background charge noise; the pocket imprint overwrites the
+        // lining afterwards.
+        let charge = (rng.gen::<f64>() - 0.5) * 0.2;
+        mol.add_atom(Atom::new(element, p).with_charge(charge));
+    }
+
+    // Sparse connectivity (nearest neighbour within 1.25·s): the receptor
+    // bond table only feeds the state vector, not the scoring function.
+    let cutoff_sq = (1.25 * s) * (1.25 * s);
+    let n = mol.len();
+    let positions: Vec<Vec3> = mol.atoms().iter().map(|a| a.position).collect();
+    let mut bonds = Vec::new();
+    for i in 0..n {
+        // Link to the nearest later atom within the cutoff — O(n²) but run
+        // once at generation time.
+        let mut best: Option<(usize, f64)> = None;
+        for (j, pj) in positions.iter().enumerate().skip(i + 1) {
+            let d2 = positions[i].distance_sq(*pj);
+            if d2 < cutoff_sq && best.is_none_or(|(_, bd)| d2 < bd) {
+                best = Some((j, d2));
+            }
+        }
+        if let Some((j, _)) = best {
+            bonds.push(Bond::new(i, j));
+        }
+    }
+    for b in bonds {
+        mol.add_bond(b);
+    }
+
+    mol
+}
+
+/// Grows the ligand as a self-avoiding tree and marks rotatable bonds.
+fn generate_ligand(spec: &SyntheticLigandSpec, rng: &mut ChaCha8Rng) -> Molecule {
+    assert!(spec.n_atoms >= 2, "ligand needs at least 2 atoms");
+    let mut mol = Molecule::new("synthetic-ligand");
+    mol.add_atom(Atom::new(Element::C, Vec3::ZERO));
+
+    let min_sep_sq = (0.8 * spec.bond_length) * (0.8 * spec.bond_length);
+    while mol.len() < spec.n_atoms {
+        // Pick a parent with free valence (< 4 bonds).
+        let adj = mol.adjacency();
+        let open: Vec<usize> = (0..mol.len()).filter(|&i| adj[i].len() < 4).collect();
+        let parent = open[rng.gen_range(0..open.len())];
+        let parent_pos = mol.atoms()[parent].position;
+
+        // Try random directions until self-avoidance holds.
+        let mut placed = None;
+        for _ in 0..64 {
+            let dir = Quat::random_uniform(rng).rotate(Vec3::X);
+            let candidate = parent_pos + dir * spec.bond_length;
+            let clash = mol
+                .atoms()
+                .iter()
+                .enumerate()
+                .any(|(i, a)| i != parent && a.position.distance_sq(candidate) < min_sep_sq);
+            if !clash {
+                placed = Some(candidate);
+                break;
+            }
+        }
+        let Some(pos) = placed else {
+            // Extremely crowded parent — retry with another parent.
+            continue;
+        };
+
+        let roll: f64 = rng.gen();
+        let (element, hbond) = if roll < 0.55 {
+            (Element::C, HBondRole::None)
+        } else if roll < 0.70 {
+            (Element::N, HBondRole::Donor)
+        } else if roll < 0.85 {
+            (Element::O, HBondRole::Acceptor)
+        } else {
+            (Element::H, HBondRole::Donor)
+        };
+        let charge = match hbond {
+            HBondRole::Donor => 0.20 + rng.gen::<f64>() * 0.15,
+            HBondRole::Acceptor => -(0.20 + rng.gen::<f64>() * 0.15),
+            HBondRole::None => (rng.gen::<f64>() - 0.5) * 0.1,
+        };
+        let idx = mol.add_atom(Atom::new(element, pos).with_charge(charge).with_hbond(hbond));
+        mol.add_bond(Bond::new(parent, idx));
+    }
+
+    // Mark rotatable bonds: prefer "inner" tree edges (both sides ≥ 2
+    // atoms) so each torsion actually reshapes the ligand.
+    mark_rotatable_bonds(&mut mol, spec.n_rotatable);
+
+    debug_assert_eq!(mol.connected_components(), 1);
+    mol
+}
+
+/// Marks up to `target` bonds rotatable, preferring those whose smaller
+/// fragment is largest (the most conformation-changing torsions).
+fn mark_rotatable_bonds(mol: &mut Molecule, target: usize) {
+    let n_bonds = mol.bonds().len();
+    let mut scored: Vec<(usize, usize)> = Vec::new(); // (smaller-side size, bond idx)
+    for k in 0..n_bonds {
+        // Temporarily mark rotatable to reuse the torsion machinery.
+        let probe = mol.clone();
+        let b = probe.bonds()[k];
+        if b.order != crate::BondOrder::Single {
+            continue;
+        }
+        let bonds_mut: Vec<Bond> = probe
+            .bonds()
+            .iter()
+            .enumerate()
+            .map(|(i, bb)| {
+                let mut bb = *bb;
+                bb.rotatable = i == k;
+                bb
+            })
+            .collect();
+        let probe = Molecule::from_parts(probe.name.clone(), probe.atoms().to_vec(), bonds_mut);
+        if let Ok(t) = topology::torsion_for_bond(&probe, k) {
+            if t.moving.len() >= 2 && t.moving.len() <= probe.len() - 2 {
+                scored.push((t.moving.len(), k));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let selected: Vec<usize> = scored.iter().take(target).map(|&(_, k)| k).collect();
+
+    let bonds: Vec<Bond> = mol
+        .bonds()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut b = *b;
+            b.rotatable = selected.contains(&i);
+            b
+        })
+        .collect();
+    *mol = Molecule::from_parts(mol.name.clone(), mol.atoms().to_vec(), bonds);
+}
+
+/// Rewrites the pocket lining so the crystallographic ligand pose is a deep
+/// scoring-function optimum: each lining atom takes a charge opposite to
+/// its nearest crystal-pose ligand atom and a complementary H-bond role.
+fn imprint_pocket(
+    receptor: &mut Molecule,
+    ligand: &Molecule,
+    crystal_coords: &[Vec3],
+    pocket_center: Vec3,
+    pocket_radius: f64,
+) {
+    let lining_range = pocket_radius + 3.0;
+    for atom in receptor.atoms_mut() {
+        if atom.position.distance(pocket_center) > lining_range {
+            continue;
+        }
+        // Nearest crystal-pose ligand atom.
+        let Some((k, d)) = crystal_coords
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (k, c.distance(atom.position)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        else {
+            continue;
+        };
+        if d > 6.0 {
+            continue;
+        }
+        let lig_atom = &ligand.atoms()[k];
+        // Complementary charge, scaled up so the funnel dominates the
+        // background noise.
+        atom.charge = -lig_atom.charge * 1.5;
+        // Complementary H-bond role, but only where the geometry supports a
+        // bond: pairs closer than ~2.6 Å would sit on the 12-10 repulsive
+        // wall, pairs beyond ~4.5 Å never reach the well.
+        atom.hbond = if (2.6..=4.5).contains(&d) {
+            match lig_atom.hbond {
+                HBondRole::Donor => HBondRole::Acceptor,
+                HBondRole::Acceptor => HBondRole::Donor,
+                HBondRole::None => HBondRole::None,
+            }
+        } else {
+            HBondRole::None
+        };
+        if atom.hbond == HBondRole::Acceptor && !atom.element.is_hbond_acceptor_capable() {
+            atom.element = Element::O;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticComplexSpec::tiny().generate();
+        let b = SyntheticComplexSpec::tiny().generate();
+        assert_eq!(a.receptor.len(), b.receptor.len());
+        for (x, y) in a.receptor.atoms().iter().zip(b.receptor.atoms()) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.element, y.element);
+            assert_eq!(x.charge, y.charge);
+        }
+        for (x, y) in a.ligand.atoms().iter().zip(b.ligand.atoms()) {
+            assert_eq!(x.position, y.position);
+        }
+        assert_eq!(a.crystal_pose, b.crystal_pose);
+        assert_eq!(a.initial_pose, b.initial_pose);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec_b = SyntheticComplexSpec::tiny();
+        spec_b.seed = 8;
+        let a = SyntheticComplexSpec::tiny().generate();
+        let b = spec_b.generate();
+        let same = a
+            .receptor
+            .atoms()
+            .iter()
+            .zip(b.receptor.atoms())
+            .all(|(x, y)| x.position == y.position);
+        assert!(!same);
+    }
+
+    #[test]
+    fn atom_counts_are_exact() {
+        let c = SyntheticComplexSpec::tiny().generate();
+        assert_eq!(c.receptor.len(), 60);
+        assert_eq!(c.ligand.len(), 6);
+
+        let scaled = SyntheticComplexSpec::scaled().generate();
+        assert_eq!(scaled.receptor.len(), 400);
+        assert_eq!(scaled.ligand.len(), 16);
+    }
+
+    #[test]
+    fn ligand_is_connected_tree_with_requested_torsions() {
+        let c = SyntheticComplexSpec::scaled().generate();
+        assert_eq!(c.ligand.connected_components(), 1);
+        // Tree: n-1 bonds.
+        assert_eq!(c.ligand.bonds().len(), c.ligand.len() - 1);
+        assert_eq!(c.n_torsions(), 6);
+    }
+
+    #[test]
+    fn crystal_pose_is_near_surface_and_initial_pose_is_outside() {
+        let c = SyntheticComplexSpec::scaled().generate();
+        let receptor_bb = c.receptor.bounding_box();
+        let globe_radius = receptor_bb.extent().norm() / (2.0 * 3.0f64.sqrt()); // rough
+        let crystal_dist = c.ligand_com(&c.crystal_pose).norm();
+        let initial_dist = c.ligand_com(&c.initial_pose).norm();
+        assert!(crystal_dist < initial_dist, "crystal inside initial");
+        assert!(initial_dist > globe_radius, "initial pose outside globe");
+        // Episode boundary (4/3 · d0) lies beyond the initial pose.
+        assert!(c.initial_com_separation() * 4.0 / 3.0 > initial_dist * 0.9);
+    }
+
+    #[test]
+    fn pocket_has_complementary_lining() {
+        let c = SyntheticComplexSpec::scaled().generate();
+        let crystal_coords = c.ligand_coords(&c.crystal_pose);
+        // Count receptor atoms close to the crystal ligand with opposite
+        // charge sign — the imprint must have created many.
+        let mut complementary = 0;
+        let mut considered = 0;
+        for r in c.receptor.atoms() {
+            let (k, d) = crystal_coords
+                .iter()
+                .enumerate()
+                .map(|(k, p)| (k, p.distance(r.position)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if d < 5.0 {
+                considered += 1;
+                let lq = c.ligand.atoms()[k].charge;
+                if lq * r.charge < 0.0 {
+                    complementary += 1;
+                }
+            }
+        }
+        assert!(considered > 5, "some lining atoms near crystal pose");
+        assert!(
+            complementary * 2 > considered,
+            "majority complementary: {complementary}/{considered}"
+        );
+    }
+
+    #[test]
+    fn receptor_has_no_atom_inside_pocket_at_crystal_site() {
+        // The carved pocket must leave room: no receptor atom within ~2 Å
+        // of the ligand's crystal COM.
+        let c = SyntheticComplexSpec::scaled().generate();
+        let com = c.ligand_com(&c.crystal_pose);
+        let min_d = c
+            .receptor
+            .atoms()
+            .iter()
+            .map(|a| a.position.distance(com))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_d > 1.0, "crystal COM clearance = {min_d}");
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        // Generation of the full 3,264-atom receptor stays fast enough for
+        // a unit test and hits the paper's exact atom counts.
+        let c = SyntheticComplexSpec::paper_2bsm().generate();
+        assert_eq!(c.receptor.len(), 3264);
+        assert_eq!(c.ligand.len(), 45);
+        assert_eq!(c.n_torsions(), 6);
+    }
+
+    #[test]
+    fn all_positions_and_charges_finite() {
+        let c = SyntheticComplexSpec::scaled().generate();
+        assert!(c.receptor.is_finite());
+        assert!(c.ligand.is_finite());
+    }
+}

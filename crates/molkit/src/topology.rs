@@ -1,0 +1,252 @@
+//! Torsion topology: which atoms move when a rotatable bond is twisted.
+//!
+//! The paper's future-work #3 proposes flexible ligands: "the ligand can
+//! fold in 6 bonds, so that would make a total of 18 possible actions". A
+//! torsion action rotates the *downstream side* of a rotatable bond about
+//! the bond axis. This module computes those downstream atom sets once, at
+//! environment-construction time.
+
+use crate::Molecule;
+use serde::{Deserialize, Serialize};
+use vecmath::{Transform, Vec3};
+
+/// A precomputed torsion: rotating about the `pivot → moving_anchor` bond
+/// axis moves exactly the atoms in `moving`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Torsion {
+    /// Index of the bond in the molecule's bond list.
+    pub bond_index: usize,
+    /// Atom on the fixed side of the bond.
+    pub pivot: usize,
+    /// Atom on the moving side of the bond.
+    pub moving_anchor: usize,
+    /// Every atom (including `moving_anchor`) displaced by this torsion,
+    /// sorted ascending.
+    pub moving: Vec<usize>,
+}
+
+impl Torsion {
+    /// Applies this torsion by `angle` radians to `coords` in place.
+    ///
+    /// `coords` must be the molecule's full coordinate buffer (same indexing
+    /// as its atom list). The rotation axis runs from `pivot` to
+    /// `moving_anchor` at their *current* positions, so torsions compose
+    /// correctly with prior rigid-body moves and other torsions.
+    pub fn apply(&self, coords: &mut [Vec3], angle: f64) {
+        let p = coords[self.pivot];
+        let q = coords[self.moving_anchor];
+        let axis = q - p;
+        let t = Transform::rotate_about(p, axis, angle);
+        for &idx in &self.moving {
+            coords[idx] = t.apply(coords[idx]);
+        }
+    }
+}
+
+/// Error from torsion analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested bond index does not exist.
+    NoSuchBond(usize),
+    /// The bond is not marked rotatable.
+    NotRotatable(usize),
+    /// Twisting the bond would not split the molecule into two sides —
+    /// it sits inside a ring.
+    InRing(usize),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoSuchBond(k) => write!(f, "no bond with index {k}"),
+            TopologyError::NotRotatable(k) => write!(f, "bond {k} is not rotatable"),
+            TopologyError::InRing(k) => write!(f, "bond {k} is part of a ring"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Computes the [`Torsion`] for one rotatable bond.
+///
+/// The moving side is chosen as the *smaller* fragment (fewer atoms), so a
+/// torsion twists a side chain rather than the molecule's bulk — matching
+/// how docking programs parameterise ligand flexibility.
+pub fn torsion_for_bond(mol: &Molecule, bond_index: usize) -> Result<Torsion, TopologyError> {
+    let bond = *mol
+        .bonds()
+        .get(bond_index)
+        .ok_or(TopologyError::NoSuchBond(bond_index))?;
+    if !bond.rotatable {
+        return Err(TopologyError::NotRotatable(bond_index));
+    }
+
+    // Collect the fragment reachable from `bond.j` without crossing the bond.
+    let side_j = fragment_without_bond(mol, bond.j, bond.i, bond.j);
+    if side_j.contains(&bond.i) {
+        return Err(TopologyError::InRing(bond_index));
+    }
+    let side_i = fragment_without_bond(mol, bond.i, bond.i, bond.j);
+
+    let (pivot, moving_anchor, mut moving) = if side_j.len() <= side_i.len() {
+        (bond.i, bond.j, side_j)
+    } else {
+        (bond.j, bond.i, side_i)
+    };
+    moving.sort_unstable();
+    Ok(Torsion {
+        bond_index,
+        pivot,
+        moving_anchor,
+        moving,
+    })
+}
+
+/// Computes torsions for every rotatable bond, skipping ring bonds.
+pub fn all_torsions(mol: &Molecule) -> Vec<Torsion> {
+    mol.rotatable_bonds()
+        .into_iter()
+        .filter_map(|k| torsion_for_bond(mol, k).ok())
+        .collect()
+}
+
+/// DFS from `start`, never traversing the `(block_a, block_b)` edge.
+fn fragment_without_bond(
+    mol: &Molecule,
+    start: usize,
+    block_a: usize,
+    block_b: usize,
+) -> Vec<usize> {
+    let adj = mol.adjacency();
+    let mut seen = vec![false; mol.len()];
+    let mut stack = vec![start];
+    seen[start] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &w in &adj[v] {
+            let crosses =
+                (v == block_a && w == block_b) || (v == block_b && w == block_a);
+            if !crosses && !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, Bond, Element};
+
+    /// Zig-zag chain C0–C1–C2–C3–C4 with the middle bonds rotatable.
+    /// (Zig-zag, not collinear: atoms must sit off each torsion axis so
+    /// twisting actually moves them.)
+    fn pentane_like() -> Molecule {
+        let mut m = Molecule::new("chain5");
+        for k in 0..5 {
+            m.add_atom(Atom::new(
+                Element::C,
+                Vec3::new(k as f64 * 1.3, if k % 2 == 0 { 0.0 } else { 0.8 }, 0.0),
+            ));
+        }
+        m.add_bond(Bond::new(0, 1));
+        m.add_bond(Bond::new(1, 2).with_rotatable(true));
+        m.add_bond(Bond::new(2, 3).with_rotatable(true));
+        m.add_bond(Bond::new(3, 4));
+        m
+    }
+
+    #[test]
+    fn torsion_moves_smaller_fragment() {
+        let m = pentane_like();
+        let t = torsion_for_bond(&m, 1).unwrap();
+        // Bond 1 is C1–C2; sides are {0,1} and {2,3,4}; smaller is {0,1}.
+        assert_eq!(t.moving, vec![0, 1]);
+        assert_eq!(t.pivot, 2);
+        assert_eq!(t.moving_anchor, 1);
+    }
+
+    #[test]
+    fn all_torsions_counts_rotatable_bonds() {
+        let m = pentane_like();
+        assert_eq!(all_torsions(&m).len(), 2);
+    }
+
+    #[test]
+    fn non_rotatable_bond_is_rejected() {
+        let m = pentane_like();
+        assert_eq!(torsion_for_bond(&m, 0), Err(TopologyError::NotRotatable(0)));
+        assert_eq!(torsion_for_bond(&m, 9), Err(TopologyError::NoSuchBond(9)));
+    }
+
+    #[test]
+    fn ring_bond_is_rejected() {
+        let mut m = Molecule::new("ring");
+        for k in 0..4 {
+            m.add_atom(Atom::new(
+                Element::C,
+                Vec3::new((k as f64).cos(), (k as f64).sin(), 0.0),
+            ));
+        }
+        m.add_bond(Bond::new(0, 1).with_rotatable(true));
+        m.add_bond(Bond::new(1, 2));
+        m.add_bond(Bond::new(2, 3));
+        m.add_bond(Bond::new(3, 0));
+        assert_eq!(torsion_for_bond(&m, 0), Err(TopologyError::InRing(0)));
+        assert!(all_torsions(&m).is_empty());
+    }
+
+    #[test]
+    fn torsion_apply_preserves_fixed_side_and_bond_lengths() {
+        let m = pentane_like();
+        let t = torsion_for_bond(&m, 2).unwrap(); // C2–C3, moving {3,4} side? sides: {3,4} vs {0,1,2} → moving {3,4}
+        assert_eq!(t.moving, vec![3, 4]);
+        let mut coords = m.positions();
+        let before = coords.clone();
+        t.apply(&mut coords, std::f64::consts::FRAC_PI_2);
+        // Fixed side untouched.
+        for idx in [0usize, 1, 2] {
+            assert!(coords[idx].approx_eq(before[idx], 1e-12));
+        }
+        // All bond lengths preserved.
+        for b in m.bonds() {
+            let d_before = before[b.i].distance(before[b.j]);
+            let d_after = coords[b.i].distance(coords[b.j]);
+            assert!((d_before - d_after).abs() < 1e-9, "bond {}-{}", b.i, b.j);
+        }
+        // Moving atoms actually moved... atom 3 lies on the axis through
+        // C2→C3 so it stays; atom 4 must move.
+        assert!(!coords[4].approx_eq(before[4], 1e-6));
+    }
+
+    #[test]
+    fn full_turn_restores_coordinates() {
+        let m = pentane_like();
+        let t = torsion_for_bond(&m, 1).unwrap();
+        let mut coords = m.positions();
+        let before = coords.clone();
+        for _ in 0..8 {
+            t.apply(&mut coords, std::f64::consts::FRAC_PI_4);
+        }
+        for (a, b) in coords.iter().zip(&before) {
+            assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn branched_molecule_moves_branch_only() {
+        // C0–C1–C2 with branch C1–C3; rotatable C1–C2.
+        let mut m = Molecule::new("branched");
+        for k in 0..4 {
+            m.add_atom(Atom::new(Element::C, Vec3::new(k as f64, 0.5 * k as f64, 0.0)));
+        }
+        m.add_bond(Bond::new(0, 1));
+        m.add_bond(Bond::new(1, 2).with_rotatable(true));
+        m.add_bond(Bond::new(1, 3));
+        let t = torsion_for_bond(&m, 1).unwrap();
+        assert_eq!(t.moving, vec![2]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Activation functions and their derivatives.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The nonlinearities supported by [`crate::Dense`] layers.
+///
+/// The paper uses ReLU on the hidden layers (Table 1) and an implicit
+/// linear output layer (Q-values are unbounded regression targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity, for regression outputs (Q-values).
+    #[default]
+    Linear,
+    /// `max(0, x)` — the paper's hidden-layer choice.
+    Relu,
+    /// `max(αx, x)` with α = 0.01.
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated output* `y = f(x)`.
+    ///
+    /// Every supported activation admits this form, which lets the backward
+    /// pass reuse the forward cache instead of storing pre-activations.
+    /// (For ReLU at exactly 0 we use subgradient 0, the TF/Keras
+    /// convention.)
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Applies the activation to a whole matrix.
+    pub fn apply_matrix(self, m: &Matrix) -> Matrix {
+        if self == Activation::Linear {
+            return m.clone();
+        }
+        m.map(|v| self.apply(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::LeakyRelu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn leaky_relu_leaks() {
+        assert_eq!(Activation::LeakyRelu.apply(-1.0), -0.01);
+        assert_eq!(Activation::LeakyRelu.apply(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        for x in [0.1f32, 0.7, 2.0] {
+            assert!((Activation::Tanh.apply(x) + Activation::Tanh.apply(-x)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for act in ALL {
+            for x in [-2.0f32, -0.5, 0.3, 1.7] {
+                if act == Activation::Relu && x.abs() < 2.0 * eps {
+                    continue; // kink
+                }
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matrix_elementwise() {
+        let m = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        let out = Activation::Relu.apply_matrix(&m);
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Gradient clipping.
+//!
+//! DQN training on sparse ±1 rewards can still produce exploding TD
+//! targets (the paper's own Figure 4 shows runaway Q estimates); clipping
+//! the gradient's *global norm* — the TensorFlow/Keras idiom the original
+//! stack would have used — bounds the update magnitude without biasing
+//! its direction.
+
+use crate::layer::DenseGrads;
+
+/// Global L2 norm over a set of per-layer gradients.
+pub fn global_norm(grads: &[DenseGrads]) -> f32 {
+    let sum: f32 = grads
+        .iter()
+        .map(|g| {
+            g.d_weights.data().iter().map(|v| v * v).sum::<f32>()
+                + g.d_bias.iter().map(|v| v * v).sum::<f32>()
+        })
+        .sum();
+    sum.sqrt()
+}
+
+/// Scales all gradients so the global norm does not exceed `max_norm`.
+/// Returns the pre-clip norm.
+///
+/// # Panics
+/// If `max_norm` is not positive.
+pub fn clip_by_global_norm(grads: &mut [DenseGrads], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = global_norm(grads);
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.d_weights.data_mut() {
+                *v *= scale;
+            }
+            for v in &mut g.d_bias {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn grads(values: &[f32]) -> Vec<DenseGrads> {
+        vec![DenseGrads {
+            d_weights: Matrix::from_vec(1, values.len(), values.to_vec()),
+            d_bias: vec![0.0],
+        }]
+    }
+
+    #[test]
+    fn norm_of_pythagorean_gradient() {
+        let g = grads(&[3.0, 4.0]);
+        assert_eq!(global_norm(&g), 5.0);
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut g = grads(&[3.0, 4.0]);
+        let pre = clip_by_global_norm(&mut g, 1.0);
+        assert_eq!(pre, 5.0);
+        let d = g[0].d_weights.data();
+        assert!((d[0] - 0.6).abs() < 1e-6);
+        assert!((d[1] - 0.8).abs() < 1e-6);
+        assert!((global_norm(&g) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_gradients_pass_through_unchanged() {
+        let mut g = grads(&[0.1, 0.2]);
+        let before = g[0].d_weights.data().to_vec();
+        clip_by_global_norm(&mut g, 10.0);
+        assert_eq!(g[0].d_weights.data(), &before[..]);
+    }
+
+    #[test]
+    fn norm_spans_multiple_layers_and_biases() {
+        let mut g = vec![
+            DenseGrads {
+                d_weights: Matrix::from_vec(1, 1, vec![2.0]),
+                d_bias: vec![1.0],
+            },
+            DenseGrads {
+                d_weights: Matrix::from_vec(1, 1, vec![2.0]),
+                d_bias: vec![0.0],
+            },
+        ];
+        assert_eq!(global_norm(&g), 3.0);
+        clip_by_global_norm(&mut g, 1.5);
+        assert!((global_norm(&g) - 1.5).abs() < 1e-6);
+        // Bias scaled too.
+        assert!((g[0].d_bias[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_norm_rejected() {
+        let mut g = grads(&[1.0]);
+        clip_by_global_norm(&mut g, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Weight initialisation schemes.
+
+use crate::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Initialisation schemes for dense-layer weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WeightInit {
+    /// He/Kaiming uniform: `U(−√(6/fan_in), +√(6/fan_in))` — the right
+    /// scale for ReLU hidden layers, our default.
+    #[default]
+    HeUniform,
+    /// Xavier/Glorot uniform: `U(±√(6/(fan_in+fan_out)))` — for
+    /// sigmoid/tanh layers.
+    XavierUniform,
+    /// Uniform in a fixed small range (mostly for tests).
+    SmallUniform,
+    /// All zeros (degenerate; for tests of symmetry-breaking).
+    Zeros,
+}
+
+impl WeightInit {
+    /// Samples a `(fan_out, fan_in)` weight matrix.
+    pub fn sample<R: Rng + ?Sized>(self, fan_out: usize, fan_in: usize, rng: &mut R) -> Matrix {
+        let limit = match self {
+            WeightInit::HeUniform => (6.0 / fan_in.max(1) as f64).sqrt(),
+            WeightInit::XavierUniform => (6.0 / (fan_in + fan_out).max(1) as f64).sqrt(),
+            WeightInit::SmallUniform => 0.05,
+            WeightInit::Zeros => 0.0,
+        } as f32;
+        Matrix::from_fn(fan_out, fan_in, |_, _| {
+            if limit == 0.0 {
+                0.0
+            } else {
+                rng.gen_range(-limit..limit)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn he_uniform_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let fan_in = 24;
+        let w = WeightInit::HeUniform.sample(16, fan_in, &mut rng);
+        let limit = (6.0 / fan_in as f64).sqrt() as f32;
+        assert!(w.data().iter().all(|v| v.abs() < limit));
+        // Not all zero, and roughly centred.
+        let mean: f32 = w.data().iter().sum::<f32>() / w.data().len() as f32;
+        assert!(mean.abs() < limit / 4.0);
+        assert!(w.data().iter().any(|v| v.abs() > limit / 10.0));
+    }
+
+    #[test]
+    fn xavier_bound_is_tighter_with_large_fan_out() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = WeightInit::XavierUniform.sample(1000, 10, &mut rng);
+        let limit = (6.0 / 1010.0f64).sqrt() as f32;
+        assert!(w.data().iter().all(|v| v.abs() < limit));
+    }
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = WeightInit::Zeros.sample(4, 4, &mut rng);
+        assert!(w.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = WeightInit::HeUniform.sample(8, 8, &mut ChaCha8Rng::seed_from_u64(5));
+        let b = WeightInit::HeUniform.sample(8, 8, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fully-connected layers with explicit forward/backward passes.
+
+use crate::{Activation, Matrix, WeightInit};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = f(x·Wᵀ + b)` with weights stored `(out, in)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, shape `(out_features, in_features)`.
+    pub weights: Matrix,
+    /// Bias vector, length `out_features`.
+    pub bias: Vec<f32>,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+}
+
+/// Forward cache for one layer: what backward needs.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input `(batch, in)`.
+    pub input: Matrix,
+    /// The activated output `(batch, out)`.
+    pub output: Matrix,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGrads {
+    /// `∂L/∂W`, shape `(out, in)`.
+    pub d_weights: Matrix,
+    /// `∂L/∂b`, length `out`.
+    pub d_bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a layer with the given initialisation; biases start at zero
+    /// (the Keras default the paper's stack would have used).
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        activation: Activation,
+        init: WeightInit,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "degenerate layer shape");
+        Dense {
+            weights: init.sample(out_features, in_features, rng),
+            bias: vec![0.0; out_features],
+            activation,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Trainable parameter count.
+    pub fn n_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Forward pass without cache (inference).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul_transpose_b(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        self.activation.apply_matrix(&z)
+    }
+
+    /// Forward pass keeping the cache needed by [`Dense::backward`].
+    pub fn forward_cached(&self, input: &Matrix) -> DenseCache {
+        let output = self.forward(input);
+        DenseCache {
+            input: input.clone(),
+            output,
+        }
+    }
+
+    /// Backward pass: given `∂L/∂y` (`(batch, out)`), returns the parameter
+    /// gradients and `∂L/∂x` (`(batch, in)`).
+    ///
+    /// Gradients are *sums* over the batch; divide the loss gradient by the
+    /// batch size upstream if mean-reduction semantics are wanted.
+    pub fn backward(&self, cache: &DenseCache, d_output: &Matrix) -> (DenseGrads, Matrix) {
+        // Through the activation: dZ = dY ⊙ f'(y).
+        let act = self.activation;
+        let d_z = d_output.zip_map(&cache.output, |g, y| g * act.derivative_from_output(y));
+        // dW = dZᵀ · X ; db = colsum(dZ) ; dX = dZ · W.
+        let d_weights = d_z.transpose_matmul(&cache.input);
+        let d_bias = d_z.column_sums();
+        let d_input = d_z.matmul(&self.weights);
+        (DenseGrads { d_weights, d_bias }, d_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layer(act: Activation) -> Dense {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        Dense::new(3, 2, act, WeightInit::HeUniform, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer(Activation::Linear);
+        l.weights = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        l.bias = vec![10.0, -10.0];
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (2, 2));
+        assert_eq!(y.data(), &[11.0, -8.0, 14.0, -5.0]);
+    }
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut l = layer(Activation::Relu);
+        l.weights = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, -1.0, 0.0, 0.0]);
+        l.bias = vec![0.0, 0.0];
+        let x = Matrix::row_vector(&[2.0, 0.0, 0.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let l = layer(Activation::Relu);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.1 - 0.5).collect());
+        let cache = l.forward_cached(&x);
+        let d_out = Matrix::from_vec(4, 2, vec![1.0; 8]);
+        let (grads, d_in) = l.backward(&cache, &d_out);
+        assert_eq!((grads.d_weights.rows(), grads.d_weights.cols()), (2, 3));
+        assert_eq!(grads.d_bias.len(), 2);
+        assert_eq!((d_in.rows(), d_in.cols()), (4, 3));
+    }
+
+    #[test]
+    fn linear_layer_gradient_is_exact() {
+        // For y = x·Wᵀ + b and L = Σy, dW = Σ_batch x, db = batch size.
+        let mut l = layer(Activation::Linear);
+        l.weights = Matrix::zeros(2, 3);
+        l.bias = vec![0.0, 0.0];
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let cache = l.forward_cached(&x);
+        let d_out = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let (grads, _) = l.backward(&cache, &d_out);
+        assert_eq!(grads.d_weights.data(), &[5.0, 7.0, 9.0, 5.0, 7.0, 9.0]);
+        assert_eq!(grads.d_bias, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_width_layer_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = Dense::new(0, 2, Activation::Linear, WeightInit::HeUniform, &mut rng);
+    }
+
+    #[test]
+    fn n_params_accounting() {
+        let l = layer(Activation::Relu);
+        assert_eq!(l.n_params(), 3 * 2 + 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! A from-scratch feed-forward neural-network library.
+//!
+//! The paper's Q-network is a plain multilayer perceptron — two hidden
+//! layers of 135 ReLU units trained with RMSprop (lr 2.5e-4) on minibatches
+//! of 32 (Table 1, "DL hyperparameters"). The original used TensorFlow 1.7 /
+//! Keras; mature DL crates are not a given in this environment, so this
+//! crate implements exactly what DQN needs, from the ground up:
+//!
+//! * [`matrix`] — a dense row-major `f32` matrix with the handful of BLAS
+//!   level-3 shapes backprop needs;
+//! * [`activation`] — ReLU / sigmoid / tanh / leaky-ReLU / linear with
+//!   derivatives;
+//! * [`init`] — He and Xavier weight initialisation;
+//! * [`layer`] — fully-connected layers with explicit forward caches and
+//!   backward passes (no autograd: the network is 3 matmuls deep, and
+//!   hand-derived gradients are verified by finite differences in
+//!   [`gradcheck`]);
+//! * [`loss`] — MSE and Huber losses;
+//! * [`optimizer`] — SGD (+momentum), RMSprop (the paper's choice) and Adam;
+//! * [`network`] — the [`network::Mlp`] tying it together, with binary
+//!   save/load for checkpointing trained agents.
+//!
+//! Everything is `f32` (the DL convention; also halves the memory of the
+//! paper-scale 16,599-input network) and deterministic given a seeded RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod clip;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod network;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use clip::{clip_by_global_norm, global_norm};
+pub use init::WeightInit;
+pub use layer::Dense;
+pub use loss::Loss;
+pub use matrix::Matrix;
+pub use network::{Mlp, MlpSpec};
+pub use optimizer::{Optimizer, OptimizerSpec};

@@ -1,0 +1,142 @@
+//! Loss functions for Q-value regression.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Regression losses. DQN's loss (paper §2.2) is the squared TD error
+/// `(y − Q(s,a|θ))²`; Huber is included because the Nature DQN's "reward
+/// clipping" is often implemented as error clipping, which Huber subsumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    #[default]
+    Mse,
+    /// Huber loss with transition point `delta`.
+    Huber {
+        /// Quadratic-to-linear transition point.
+        delta: f32,
+    },
+}
+
+impl Loss {
+    /// Mean loss over all elements of `(prediction, target)`.
+    ///
+    /// # Panics
+    /// On shape mismatch.
+    pub fn value(&self, prediction: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(prediction.rows(), target.rows(), "loss shape mismatch");
+        assert_eq!(prediction.cols(), target.cols(), "loss shape mismatch");
+        let n = (prediction.rows() * prediction.cols()).max(1) as f32;
+        let sum: f32 = prediction
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| self.pointwise(p - t))
+            .sum();
+        sum / n
+    }
+
+    /// Gradient of the *mean* loss with respect to the prediction.
+    pub fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(prediction.rows(), target.rows(), "loss shape mismatch");
+        assert_eq!(prediction.cols(), target.cols(), "loss shape mismatch");
+        let n = (prediction.rows() * prediction.cols()).max(1) as f32;
+        prediction.zip_map(target, |p, t| self.pointwise_grad(p - t) / n)
+    }
+
+    #[inline]
+    fn pointwise(&self, err: f32) -> f32 {
+        match *self {
+            Loss::Mse => err * err,
+            Loss::Huber { delta } => {
+                if err.abs() <= delta {
+                    0.5 * err * err
+                } else {
+                    delta * (err.abs() - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn pointwise_grad(&self, err: f32) -> f32 {
+        match *self {
+            Loss::Mse => 2.0 * err,
+            Loss::Huber { delta } => err.clamp(-delta, delta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f32]) -> Matrix {
+        Matrix::row_vector(v)
+    }
+
+    #[test]
+    fn mse_value_hand_checked() {
+        let loss = Loss::Mse.value(&m(&[1.0, 2.0]), &m(&[0.0, 4.0]));
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mse_gradient_hand_checked() {
+        let g = Loss::Mse.gradient(&m(&[1.0, 2.0]), &m(&[0.0, 4.0]));
+        assert_eq!(g.data(), &[1.0, -2.0]); // 2·err / 2 elements
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let h = Loss::Huber { delta: 1.0 };
+        assert!((h.value(&m(&[0.5]), &m(&[0.0])) - 0.125).abs() < 1e-7);
+        assert!((h.value(&m(&[3.0]), &m(&[0.0])) - 2.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped() {
+        let h = Loss::Huber { delta: 1.0 };
+        let g = h.gradient(&m(&[10.0, -10.0, 0.5]), &m(&[0.0, 0.0, 0.0]));
+        assert!((g.data()[0] - 1.0 / 3.0).abs() < 1e-7);
+        assert!((g.data()[1] + 1.0 / 3.0).abs() < 1e-7);
+        assert!((g.data()[2] - 0.5 / 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_error_zero_loss_zero_grad() {
+        for loss in [Loss::Mse, Loss::Huber { delta: 1.0 }] {
+            let p = m(&[1.0, -2.0, 3.0]);
+            assert_eq!(loss.value(&p, &p), 0.0);
+            assert!(loss.gradient(&p, &p).data().iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        for loss in [Loss::Mse, Loss::Huber { delta: 0.7 }] {
+            let p = m(&[0.3, -1.5, 2.0]);
+            let t = m(&[0.0, 0.0, 0.5]);
+            let g = loss.gradient(&p, &t);
+            let eps = 1e-3;
+            for i in 0..3 {
+                let mut plus = p.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = p.clone();
+                minus.data_mut()[i] -= eps;
+                let numeric = (loss.value(&plus, &t) - loss.value(&minus, &t)) / (2.0 * eps);
+                assert!(
+                    (numeric - g.data()[i]).abs() < 1e-2,
+                    "{loss:?} idx {i}: {numeric} vs {}",
+                    g.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Loss::Mse.value(&m(&[1.0]), &m(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,386 @@
+//! Dense row-major `f32` matrices sized for MLP workloads.
+//!
+//! Shapes follow the batch-major convention: an activation matrix is
+//! `(batch, features)`. Three matmul shapes cover all of backprop:
+//! `A·B`, `A·Bᵀ` (forward through a weight matrix stored `(out, in)`), and
+//! `Aᵀ·B` (weight gradients).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds elementwise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` — shapes `(m,k)·(k,n) → (m,n)`. Uses the cache-friendly
+    /// i-k-j loop order.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue; // common after ReLU
+                }
+                let b_row = other.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — shapes `(m,k)·(n,k)ᵀ → (m,n)`. This is the forward
+    /// pass through a weight matrix stored `(out, in)`, and it reduces to
+    /// dot products of contiguous rows (no strided access).
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — shapes `(k,m)ᵀ·(k,n) → (m,n)`. This is the weight
+    /// gradient `dYᵀ·X` shape.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums (the bias gradient shape).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another same-shaped matrix.
+    ///
+    /// # Panics
+    /// On shape mismatch.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.rows, other.rows, "zip_map shape mismatch");
+        assert_eq!(self.cols, other.cols, "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum element in row `r` (first on ties). The
+    /// Q-greedy action selector.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Maximum element of row `r`.
+    pub fn max_row(&self, r: usize) -> f32 {
+        self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Whether all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 0.0, -1.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 2.0]);
+        let fast = a.matmul_transpose_b(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn bias_broadcast_and_column_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(a.data(), &[1.0, -2.0, 1.0, -2.0, 1.0, -2.0]);
+        assert_eq!(a.column_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = m(1, 3, &[-1.0, 0.0, 2.0]);
+        assert_eq!(a.map(|v| v.max(0.0)).data(), &[0.0, 0.0, 2.0]);
+        let b = m(1, 3, &[2.0, 3.0, 4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x * y).data(), &[-2.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn argmax_and_max_row() {
+        let a = m(2, 4, &[0.0, 5.0, 5.0, -1.0, -3.0, -2.0, -9.0, -2.5]);
+        assert_eq!(a.argmax_row(0), 1); // first of the tie
+        assert_eq!(a.max_row(0), 5.0);
+        assert_eq!(a.argmax_row(1), 1);
+        assert_eq!(a.max_row(1), -2.0);
+    }
+
+    #[test]
+    fn row_vector_shape() {
+        let v = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!((v.rows(), v.cols()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_wrong_length_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_rows() {
+        let a = m(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_is_associative(
+            a in arb_matrix(3, 4),
+            b in arb_matrix(4, 2),
+            c in arb_matrix(2, 5),
+        ) {
+            let lhs = a.matmul(&b).matmul(&c);
+            let rhs = a.matmul(&b.matmul(&c));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn transpose_is_involution(a in arb_matrix(4, 7)) {
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn transpose_reverses_matmul(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+            // (AB)ᵀ = BᵀAᵀ
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The multilayer perceptron: layers + backprop + checkpointing.
+
+use crate::layer::{DenseCache, DenseGrads};
+use crate::{Activation, Dense, Loss, Matrix, Optimizer, OptimizerSpec, WeightInit};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Architecture description of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    /// Input feature count.
+    pub input: usize,
+    /// Hidden layer widths (the paper: `[135, 135]`).
+    pub hidden: Vec<usize>,
+    /// Output feature count (the paper: 12 Q-values).
+    pub output: usize,
+    /// Hidden-layer activation (the paper: ReLU).
+    pub hidden_activation: Activation,
+    /// Output activation (linear for Q-regression).
+    pub output_activation: Activation,
+    /// Weight initialisation scheme.
+    pub init: WeightInit,
+}
+
+impl MlpSpec {
+    /// A Q-network spec: ReLU hidden layers, linear output, He init.
+    pub fn q_network(input: usize, hidden: &[usize], output: usize) -> Self {
+        MlpSpec {
+            input,
+            hidden: hidden.to_vec(),
+            output,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Linear,
+            init: WeightInit::HeUniform,
+        }
+    }
+}
+
+/// A feed-forward network of [`Dense`] layers.
+///
+/// ```
+/// use neural::{Loss, Matrix, Mlp, MlpSpec, OptimizerSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut mlp = Mlp::new(&MlpSpec::q_network(2, &[8], 1), &mut rng);
+/// let mut opt = mlp.optimizer(OptimizerSpec::adam(0.05));
+/// let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+/// let y = Matrix::from_vec(4, 1, vec![0., 1., 1., 2.]); // learn x0 + x1
+/// let first = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
+/// for _ in 0..200 { mlp.train_step(&x, &y, Loss::Mse, &mut opt); }
+/// let last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
+/// assert!(last < first);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds a network from a spec, sampling weights from `rng`.
+    pub fn new<R: Rng + ?Sized>(spec: &MlpSpec, rng: &mut R) -> Self {
+        assert!(spec.input > 0 && spec.output > 0, "degenerate MLP shape");
+        let mut layers = Vec::with_capacity(spec.hidden.len() + 1);
+        let mut in_features = spec.input;
+        for &width in &spec.hidden {
+            layers.push(Dense::new(
+                in_features,
+                width,
+                spec.hidden_activation,
+                spec.init,
+                rng,
+            ));
+            in_features = width;
+        }
+        layers.push(Dense::new(
+            in_features,
+            spec.output,
+            spec.output_activation,
+            spec.init,
+            rng,
+        ));
+        Mlp { layers }
+    }
+
+    /// The layers (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (gradient checking and tests).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map(Dense::in_features).unwrap_or(0)
+    }
+
+    /// Output feature count.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map(Dense::out_features).unwrap_or(0)
+    }
+
+    /// Total trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(Dense::n_params).sum()
+    }
+
+    /// Inference on a batch `(batch, input)` → `(batch, output)`.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference on a single feature vector.
+    pub fn predict(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_size(), "input width mismatch");
+        self.forward(&Matrix::row_vector(input)).data().to_vec()
+    }
+
+    /// Forward keeping per-layer caches — the advanced API used by custom
+    /// heads (e.g. the dueling Q-network) that splice extra computation
+    /// between the trunk and the loss.
+    pub fn forward_cached(&self, input: &Matrix) -> (Matrix, Vec<DenseCache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let cache = layer.forward_cached(&x);
+            x = cache.output.clone();
+            caches.push(cache);
+        }
+        (x, caches)
+    }
+
+    /// Full backward pass from `∂L/∂output` (advanced API; see
+    /// [`Mlp::forward_cached`]).
+    pub fn backward(&self, caches: &[DenseCache], d_output: Matrix) -> Vec<DenseGrads> {
+        let mut grads = Vec::with_capacity(self.layers.len());
+        let mut d = d_output;
+        for (layer, cache) in self.layers.iter().zip(caches).rev() {
+            let (g, d_input) = layer.backward(cache, &d);
+            grads.push(g);
+            d = d_input;
+        }
+        grads.reverse();
+        grads
+    }
+
+    /// Creates an optimizer sized for this network's parameter tensors
+    /// (weights and bias of each layer, in order).
+    pub fn optimizer(&self, spec: OptimizerSpec) -> Optimizer {
+        let mut sizes = Vec::with_capacity(self.layers.len() * 2);
+        for l in &self.layers {
+            sizes.push(l.weights.data().len());
+            sizes.push(l.bias.len());
+        }
+        Optimizer::new(spec, &sizes)
+    }
+
+    /// One supervised training step on a batch: forward, loss, backward,
+    /// optimizer update. Returns the pre-update loss value.
+    ///
+    /// # Panics
+    /// On any shape mismatch between inputs, targets and the architecture.
+    pub fn train_step(
+        &mut self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut Optimizer,
+    ) -> f32 {
+        assert_eq!(inputs.cols(), self.input_size(), "input width mismatch");
+        assert_eq!(targets.cols(), self.output_size(), "target width mismatch");
+        assert_eq!(inputs.rows(), targets.rows(), "batch size mismatch");
+        let (prediction, caches) = self.forward_cached(inputs);
+        let loss_value = loss.value(&prediction, targets);
+        let d_output = loss.gradient(&prediction, targets);
+        let grads = self.backward(&caches, d_output);
+        self.apply_grads(&grads, optimizer);
+        loss_value
+    }
+
+    /// Applies precomputed gradients through `optimizer` (advanced API;
+    /// pairs with [`Mlp::backward`]). Calls `optimizer.begin_step()`.
+    pub fn apply_grads(&mut self, grads: &[DenseGrads], optimizer: &mut Optimizer) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        optimizer.begin_step();
+        for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            optimizer.update(2 * i, layer.weights.data_mut(), g.d_weights.data());
+            optimizer.update(2 * i + 1, &mut layer.bias, &g.d_bias);
+        }
+    }
+
+    /// Computes (loss, gradients) without updating — used by gradient
+    /// checking and by tests.
+    pub fn loss_and_grads(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+    ) -> (f32, Vec<DenseGrads>) {
+        let (prediction, caches) = self.forward_cached(inputs);
+        let loss_value = loss.value(&prediction, targets);
+        let d_output = loss.gradient(&prediction, targets);
+        (loss_value, self.backward(&caches, d_output))
+    }
+
+    /// Copies all parameters from `other` (the DQN target-network sync
+    /// `θ⁻ ← θ`).
+    ///
+    /// # Panics
+    /// If architectures differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(dst.weights.rows(), src.weights.rows(), "architecture mismatch");
+            assert_eq!(dst.weights.cols(), src.weights.cols(), "architecture mismatch");
+            dst.weights = src.weights.clone();
+            dst.bias = src.bias.clone();
+            dst.activation = src.activation;
+        }
+    }
+
+    /// Whether every parameter is finite (watchdog against divergence).
+    pub fn is_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.weights.is_finite() && l.bias.iter().all(|b| b.is_finite()))
+    }
+
+    // --- checkpointing ----------------------------------------------------
+
+    /// Serialises the network to a simple little-endian binary format.
+    pub fn save(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(b"MLP1")?;
+        w.write_all(&(self.layers.len() as u32).to_le_bytes())?;
+        for l in &self.layers {
+            w.write_all(&(l.out_features() as u32).to_le_bytes())?;
+            w.write_all(&(l.in_features() as u32).to_le_bytes())?;
+            w.write_all(&[activation_tag(l.activation)])?;
+            for &v in l.weights.data() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            for &v in &l.bias {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialises a network written by [`Mlp::save`].
+    pub fn load(mut r: impl Read) -> io::Result<Mlp> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"MLP1" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad MLP magic"));
+        }
+        let n_layers = read_u32(&mut r)? as usize;
+        if n_layers == 0 || n_layers > 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let out = read_u32(&mut r)? as usize;
+            let inp = read_u32(&mut r)? as usize;
+            if out == 0 || inp == 0 || out.saturating_mul(inp) > 256 << 20 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer shape"));
+            }
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let activation = activation_from_tag(tag[0])
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad activation tag"))?;
+            let mut wdata = vec![0.0f32; out * inp];
+            for v in &mut wdata {
+                *v = read_f32(&mut r)?;
+            }
+            let mut bias = vec![0.0f32; out];
+            for v in &mut bias {
+                *v = read_f32(&mut r)?;
+            }
+            layers.push(Dense {
+                weights: Matrix::from_vec(out, inp, wdata),
+                bias,
+                activation,
+            });
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Saves to a file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Loads from a file.
+    pub fn load_file(path: impl AsRef<Path>) -> io::Result<Mlp> {
+        Mlp::load(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+fn activation_tag(a: Activation) -> u8 {
+    match a {
+        Activation::Linear => 0,
+        Activation::Relu => 1,
+        Activation::LeakyRelu => 2,
+        Activation::Sigmoid => 3,
+        Activation::Tanh => 4,
+    }
+}
+
+fn activation_from_tag(t: u8) -> Option<Activation> {
+    Some(match t {
+        0 => Activation::Linear,
+        1 => Activation::Relu,
+        2 => Activation::LeakyRelu,
+        3 => Activation::Sigmoid,
+        4 => Activation::Tanh,
+        _ => return None,
+    })
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        (x, y)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&MlpSpec::q_network(10, &[5, 5], 3), &mut rng);
+        assert_eq!(mlp.input_size(), 10);
+        assert_eq!(mlp.output_size(), 3);
+        // 10·5+5 + 5·5+5 + 5·3+3 = 55 + 30 + 18
+        assert_eq!(mlp.n_params(), 103);
+        assert_eq!(mlp.layers().len(), 3);
+    }
+
+    #[test]
+    fn paper_network_parameter_budget() {
+        // The paper's architecture: 16,599 inputs → 135 → 135 → 12.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&MlpSpec::q_network(16_599, &[135, 135], 12), &mut rng);
+        assert_eq!(
+            mlp.n_params(),
+            16_599 * 135 + 135 + 135 * 135 + 135 + 135 * 12 + 12
+        );
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let spec = MlpSpec {
+            input: 2,
+            hidden: vec![8],
+            output: 1,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Linear,
+            init: WeightInit::XavierUniform,
+        };
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        let mut opt = mlp.optimizer(OptimizerSpec::adam(0.05));
+        let (x, y) = xor_data();
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
+        }
+        assert!(last < 0.01, "XOR loss after training: {last}");
+        for (input, expect) in [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)] {
+            let out = mlp.predict(&input)[0];
+            assert!((out - expect).abs() < 0.25, "{input:?} -> {out}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_with_paper_rmsprop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut mlp = Mlp::new(&MlpSpec::q_network(4, &[16, 16], 2), &mut rng);
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        let x = Matrix::from_fn(32, 4, |r, c| ((r * 7 + c * 3) as f32 * 0.37).sin());
+        let y = Matrix::from_fn(32, 2, |r, c| ((r + c) as f32 * 0.11).cos());
+        let first = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
+        }
+        assert!(last < first * 0.5, "first {first}, last {last}");
+        assert!(mlp.is_finite());
+    }
+
+    #[test]
+    fn copy_weights_from_synchronises_networks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let spec = MlpSpec::q_network(6, &[4], 2);
+        let a = Mlp::new(&spec, &mut rng);
+        let mut b = Mlp::new(&spec, &mut rng);
+        assert_ne!(a, b);
+        b.copy_weights_from(&a);
+        assert_eq!(a, b);
+        let probe = [0.5f32, -0.1, 0.3, 0.9, -0.7, 0.0];
+        assert_eq!(a.predict(&probe), b.predict(&probe));
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn copy_weights_architecture_mismatch_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = Mlp::new(&MlpSpec::q_network(6, &[4], 2), &mut rng);
+        let mut b = Mlp::new(&MlpSpec::q_network(6, &[5], 2), &mut rng);
+        b.copy_weights_from(&a);
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mlp = Mlp::new(&MlpSpec::q_network(7, &[5, 3], 4), &mut rng);
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        let back = Mlp::load(&buf[..]).unwrap();
+        assert_eq!(mlp, back);
+        let probe: Vec<f32> = (0..7).map(|i| i as f32 * 0.1).collect();
+        assert_eq!(mlp.predict(&probe), back.predict(&probe));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Mlp::load(&b"NOPE"[..]).is_err());
+        assert!(Mlp::load(&b"MLP1\xff\xff\xff\xff"[..]).is_err());
+        let mut truncated = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        Mlp::new(&MlpSpec::q_network(3, &[2], 1), &mut rng)
+            .save(&mut truncated)
+            .unwrap();
+        truncated.truncate(truncated.len() - 3);
+        assert!(Mlp::load(&truncated[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("neural-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.mlp");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mlp = Mlp::new(&MlpSpec::q_network(3, &[4], 2), &mut rng);
+        mlp.save_file(&path).unwrap();
+        assert_eq!(Mlp::load_file(&path).unwrap(), mlp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn predict_wrong_width_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&MlpSpec::q_network(3, &[2], 1), &mut rng);
+        let _ = mlp.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! First-order optimizers: SGD(+momentum), RMSprop, Adam.
+//!
+//! The paper follows the Nature DQN in using **RMSprop** with learning rate
+//! 2.5e-4 (Table 1) and notes Adam as the obvious alternative; all three
+//! are implemented so the `variants` ablation can compare them.
+
+use serde::{Deserialize, Serialize};
+
+/// Optimizer family + hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 = vanilla SGD).
+        momentum: f32,
+    },
+    /// RMSprop (Tieleman & Hinton) — the paper's update rule.
+    RmsProp {
+        /// Learning rate (paper: 2.5e-4).
+        lr: f32,
+        /// Squared-gradient decay (0.95 in the Nature DQN).
+        decay: f32,
+        /// Numerical floor inside the square root.
+        epsilon: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical floor.
+        epsilon: f32,
+    },
+}
+
+impl OptimizerSpec {
+    /// The paper's RMSprop configuration (Table 1 + Nature DQN defaults).
+    pub fn paper_rmsprop() -> Self {
+        OptimizerSpec::RmsProp {
+            lr: 2.5e-4,
+            decay: 0.95,
+            epsilon: 1e-6,
+        }
+    }
+
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerSpec::Sgd { lr, momentum: 0.0 }
+    }
+
+    /// Adam with the customary defaults.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerSpec::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            OptimizerSpec::Sgd { lr, .. }
+            | OptimizerSpec::RmsProp { lr, .. }
+            | OptimizerSpec::Adam { lr, .. } => lr,
+        }
+    }
+}
+
+/// Per-parameter-tensor optimizer state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Slot {
+    /// Momentum / first moment.
+    m: Vec<f32>,
+    /// Second moment (RMSprop/Adam).
+    v: Vec<f32>,
+}
+
+/// An optimizer instance: the spec plus one state slot per parameter
+/// tensor. Create it once per network via [`Optimizer::new`] and reuse it
+/// across steps — the slots hold the running moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Optimizer {
+    spec: OptimizerSpec,
+    slots: Vec<Slot>,
+    /// Global step count (Adam bias correction).
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for a model with the given parameter-tensor
+    /// sizes (e.g. `[w0.len(), b0.len(), w1.len(), …]`).
+    pub fn new(spec: OptimizerSpec, tensor_sizes: &[usize]) -> Self {
+        let slots = tensor_sizes
+            .iter()
+            .map(|&n| Slot {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+            })
+            .collect();
+        Optimizer { spec, slots, t: 0 }
+    }
+
+    /// The spec this optimizer was built with.
+    pub fn spec(&self) -> OptimizerSpec {
+        self.spec
+    }
+
+    /// Advances the global step counter; call once per training step,
+    /// before the per-tensor [`Optimizer::update`] calls.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one update to parameter tensor `slot` given its gradient.
+    ///
+    /// # Panics
+    /// If `slot` is out of range or sizes mismatch the registration.
+    pub fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let state = &mut self.slots[slot];
+        assert_eq!(params.len(), state.m.len(), "tensor size changed since registration");
+        match self.spec {
+            OptimizerSpec::Sgd { lr, momentum } => {
+                if momentum == 0.0 {
+                    for (p, &g) in params.iter_mut().zip(grads) {
+                        *p -= lr * g;
+                    }
+                } else {
+                    for ((p, &g), m) in params.iter_mut().zip(grads).zip(&mut state.m) {
+                        *m = momentum * *m + g;
+                        *p -= lr * *m;
+                    }
+                }
+            }
+            OptimizerSpec::RmsProp { lr, decay, epsilon } => {
+                for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut state.v) {
+                    *v = decay * *v + (1.0 - decay) * g * g;
+                    *p -= lr * g / (v.sqrt() + epsilon);
+                }
+            }
+            OptimizerSpec::Adam { lr, beta1, beta2, epsilon } => {
+                let t = self.t.max(1) as i32;
+                let bias1 = 1.0 - beta1.powi(t);
+                let bias2 = 1.0 - beta2.powi(t);
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(&mut state.m)
+                    .zip(&mut state.v)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bias1;
+                    let v_hat = *v / bias2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + epsilon);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x − 3)² from x = 0 with each optimizer; all should
+    /// approach 3.
+    fn minimise(spec: OptimizerSpec, steps: usize) -> f32 {
+        let mut x = vec![0.0f32];
+        let mut opt = Optimizer::new(spec, &[1]);
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.update(0, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimise(OptimizerSpec::sgd(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-3, "{x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimise(
+            OptimizerSpec::Sgd { lr: 0.05, momentum: 0.9 },
+            400,
+        );
+        assert!((x - 3.0).abs() < 1e-2, "{x}");
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        let x = minimise(
+            OptimizerSpec::RmsProp { lr: 0.05, decay: 0.9, epsilon: 1e-8 },
+            2000,
+        );
+        assert!((x - 3.0).abs() < 0.05, "{x}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let x = minimise(OptimizerSpec::adam(0.1), 2000);
+        assert!((x - 3.0).abs() < 0.05, "{x}");
+    }
+
+    #[test]
+    fn vanilla_sgd_step_is_exactly_lr_times_grad() {
+        let mut opt = Optimizer::new(OptimizerSpec::sgd(0.5), &[3]);
+        let mut p = vec![1.0f32, 2.0, 3.0];
+        opt.begin_step();
+        opt.update(0, &mut p, &[2.0, 0.0, -2.0]);
+        assert_eq!(p, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn rmsprop_normalises_gradient_scale() {
+        // With equal signs but wildly different magnitudes, RMSprop steps
+        // are nearly equal — that's its point.
+        let mut opt = Optimizer::new(
+            OptimizerSpec::RmsProp { lr: 0.01, decay: 0.0, epsilon: 1e-10 },
+            &[2],
+        );
+        let mut p = vec![0.0f32, 0.0];
+        opt.begin_step();
+        opt.update(0, &mut p, &[1e-3, 1e3]);
+        assert!((p[0] - p[1]).abs() < 1e-6, "{p:?}");
+        assert!(p[0] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_grad_length_panics() {
+        let mut opt = Optimizer::new(OptimizerSpec::sgd(0.1), &[2]);
+        let mut p = vec![0.0f32, 0.0];
+        opt.update(0, &mut p, &[1.0]);
+    }
+
+    #[test]
+    fn paper_rmsprop_learning_rate() {
+        assert!((OptimizerSpec::paper_rmsprop().learning_rate() - 2.5e-4).abs() < 1e-12);
+    }
+}

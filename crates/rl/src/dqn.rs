@@ -1,0 +1,664 @@
+//! The DQN agent — paper Algorithm 2 without the METADOCK specifics.
+//!
+//! Holds the Q-network `Q(·|θ)`, the frozen target network `Q̂(·|θ⁻)`, the
+//! replay buffer and the ε-greedy schedule. `act` implements action
+//! selection; `observe` stores the transition and, past the learning-start
+//! threshold, performs one minibatch gradient step; every `C` observations
+//! the target network is refreshed (`θ⁻ ← θ`).
+//!
+//! [`TargetRule::Double`] switches the TD target to van Hasselt's
+//! double-DQN rule (paper future-work #4): the online network chooses the
+//! argmax action, the target network evaluates it.
+
+use crate::qfunc::QFunction;
+use crate::replay::{PrioritizedReplay, ReplayBuffer, Transition};
+use crate::schedule::EpsilonSchedule;
+use neural::Matrix;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the TD target `y` is computed for non-terminal transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TargetRule {
+    /// Standard DQN: `y = r + γ·max_a' Q̂(s', a'|θ⁻)`.
+    #[default]
+    Standard,
+    /// Double DQN: `y = r + γ·Q̂(s', argmax_a' Q(s', a'|θ)|θ⁻)`.
+    Double,
+}
+
+/// Agent hyper-parameters (the RL half of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor γ (paper: 0.99).
+    pub gamma: f64,
+    /// Minibatch size (paper: 32).
+    pub batch_size: usize,
+    /// Replay capacity N (paper: 400,000).
+    pub replay_capacity: usize,
+    /// Steps before any gradient update (paper "learning start": 10,000).
+    pub learning_start: u64,
+    /// Steps during which actions are forced random regardless of ε
+    /// (paper "initial exploration steps": 20,000).
+    pub initial_exploration: u64,
+    /// Target-network refresh period C in steps (paper: 1,000).
+    pub target_update_every: u64,
+    /// ε-greedy schedule.
+    pub epsilon: EpsilonSchedule,
+    /// TD-target rule (standard or double).
+    pub target_rule: TargetRule,
+    /// `Some(α)` switches the replay memory to proportional prioritized
+    /// replay with exponent α (Schaul et al.; no importance-sampling
+    /// correction). `None` = the paper's uniform replay.
+    pub prioritized_alpha: Option<f64>,
+    /// `Some(T)` replaces ε-greedy with Boltzmann (softmax) exploration at
+    /// temperature `T`: actions are sampled ∝ `exp(Q/T)`. The forced
+    /// initial-exploration phase still applies. `None` = the paper's
+    /// ε-greedy.
+    pub boltzmann_temperature: Option<f64>,
+    /// RNG seed for exploration and sampling.
+    pub seed: u64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            gamma: 0.99,
+            batch_size: 32,
+            replay_capacity: 10_000,
+            learning_start: 500,
+            initial_exploration: 500,
+            target_update_every: 250,
+            epsilon: EpsilonSchedule {
+                initial: 1.0,
+                final_value: 0.05,
+                decay_per_step: 1e-3,
+            },
+            target_rule: TargetRule::Standard,
+            prioritized_alpha: None,
+            boltzmann_temperature: None,
+            seed: 0,
+        }
+    }
+}
+
+impl DqnConfig {
+    /// The paper's exact Table 1 RL hyper-parameters.
+    pub fn paper() -> Self {
+        DqnConfig {
+            gamma: 0.99,
+            batch_size: 32,
+            replay_capacity: 400_000,
+            learning_start: 10_000,
+            initial_exploration: 20_000,
+            target_update_every: 1_000,
+            epsilon: EpsilonSchedule::paper(),
+            target_rule: TargetRule::Standard,
+            prioritized_alpha: None,
+            boltzmann_temperature: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The agent's replay memory: uniform (the paper) or prioritized
+/// (extension).
+#[derive(Debug, Clone)]
+enum Buffer {
+    Uniform(ReplayBuffer),
+    Prioritized(PrioritizedReplay),
+}
+
+impl Buffer {
+    fn push(&mut self, t: Transition) {
+        match self {
+            Buffer::Uniform(b) => b.push(t),
+            Buffer::Prioritized(b) => b.push(t),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Buffer::Uniform(b) => b.len(),
+            Buffer::Prioritized(b) => b.len(),
+        }
+    }
+}
+
+/// The DQN agent, generic over the Q-function approximator (plain MLP or
+/// dueling head).
+///
+/// ```
+/// use neural::{Loss, MlpSpec, OptimizerSpec};
+/// use rl::{train, DqnAgent, DqnConfig, MlpQ, TrainOptions};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let q = MlpQ::new(&MlpSpec::q_network(5, &[16], 2), OptimizerSpec::adam(0.01), Loss::Mse, &mut rng);
+/// let mut agent = DqnAgent::new(q, DqnConfig { learning_start: 50, initial_exploration: 50, batch_size: 8, ..Default::default() });
+/// let mut env = rl::toy::Corridor::new(5);
+/// let stats = train(&mut env, &mut agent, TrainOptions { episodes: 20, max_steps_per_episode: 30 }, |_| {});
+/// assert_eq!(stats.len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DqnAgent<Q: QFunction> {
+    q: Q,
+    target: Q,
+    replay: Buffer,
+    config: DqnConfig,
+    rng: ChaCha8Rng,
+    steps: u64,
+    learn_steps: u64,
+    last_loss: Option<f32>,
+}
+
+impl<Q: QFunction> DqnAgent<Q> {
+    /// Creates an agent; the target network starts as an exact copy of `q`
+    /// (Algorithm 2: "initialize `θ⁻ = θ`").
+    pub fn new(q: Q, config: DqnConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!((0.0..=1.0).contains(&config.gamma), "gamma must be in [0, 1]");
+        let mut target = q.clone();
+        target.sync_from(&q);
+        let replay = match config.prioritized_alpha {
+            Some(alpha) => Buffer::Prioritized(PrioritizedReplay::new(config.replay_capacity, alpha)),
+            None => Buffer::Uniform(ReplayBuffer::new(config.replay_capacity)),
+        };
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        DqnAgent {
+            q,
+            target,
+            replay,
+            config,
+            rng,
+            steps: 0,
+            learn_steps: 0,
+            last_loss: None,
+        }
+    }
+
+    /// The online Q-function.
+    pub fn q_function(&self) -> &Q {
+        &self.q
+    }
+
+    /// The frozen target Q-function.
+    pub fn target_function(&self) -> &Q {
+        &self.target
+    }
+
+    /// Environment steps observed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Gradient steps performed so far.
+    pub fn learn_steps(&self) -> u64 {
+        self.learn_steps
+    }
+
+    /// Loss of the most recent gradient step.
+    pub fn last_loss(&self) -> Option<f32> {
+        self.last_loss
+    }
+
+    /// Current ε.
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon.value(self.steps)
+    }
+
+    /// Replay-buffer occupancy.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// ε-greedy action selection (Algorithm 2, inner loop head). During the
+    /// initial-exploration phase all actions are random.
+    pub fn act(&mut self, state: &[f32]) -> usize {
+        if self.steps < self.config.initial_exploration {
+            return self.rng.gen_range(0..self.q.n_actions());
+        }
+        if let Some(temperature) = self.config.boltzmann_temperature {
+            return self.boltzmann_action(state, temperature);
+        }
+        if self.draw_explore() {
+            self.rng.gen_range(0..self.q.n_actions())
+        } else {
+            self.greedy_action(state)
+        }
+    }
+
+    /// Softmax action sampling at the given temperature.
+    fn boltzmann_action(&mut self, state: &[f32], temperature: f64) -> usize {
+        assert!(temperature > 0.0, "Boltzmann temperature must be positive");
+        let qs = self.q.predict(state);
+        // Numerically-stable softmax.
+        let max = qs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let weights: Vec<f64> = qs
+            .iter()
+            .map(|&q| (f64::from(q - max) / temperature).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut target = self.rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target <= *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Exploration wrapper for batched action selection: returns a random
+    /// action per the current ε (or the forced-exploration phase),
+    /// otherwise the caller-provided greedy action.
+    pub fn explore_or(&mut self, greedy: usize) -> usize {
+        if self.draw_explore() {
+            self.rng.gen_range(0..self.q.n_actions())
+        } else {
+            greedy
+        }
+    }
+
+    /// One exploration coin flip at the current schedule position.
+    fn draw_explore(&mut self) -> bool {
+        self.steps < self.config.initial_exploration || self.rng.gen::<f64>() < self.epsilon()
+    }
+
+    /// Purely greedy action (evaluation mode).
+    pub fn greedy_action(&self, state: &[f32]) -> usize {
+        let qs = self.q.predict(state);
+        argmax(&qs)
+    }
+
+    /// Max predicted Q-value of a state — the paper's Figure 4 metric.
+    pub fn max_q(&self, state: &[f32]) -> f32 {
+        self.q
+            .predict(state)
+            .into_iter()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Stores a transition and advances the step counter; performs one
+    /// learning step once past `learning_start`, and refreshes the target
+    /// network every `target_update_every` steps. Returns the loss if a
+    /// gradient step happened.
+    pub fn observe(&mut self, transition: Transition) -> Option<f32> {
+        self.replay.push(transition);
+        self.steps += 1;
+
+        let mut loss = None;
+        if self.steps >= self.config.learning_start
+            && self.replay.len() >= self.config.batch_size
+        {
+            loss = Some(self.learn_minibatch());
+        }
+        if self.steps.is_multiple_of(self.config.target_update_every) {
+            self.target.sync_from(&self.q);
+        }
+        loss
+    }
+
+    /// One gradient step on a sampled minibatch (Algorithm 2's inner
+    /// update; uniform or prioritized sampling per the config). Public so
+    /// ablations can drive learning manually.
+    pub fn learn_minibatch(&mut self) -> f32 {
+        let k = self.config.batch_size;
+        let dim = self.q.state_dim();
+
+        // Sample (with indices when prioritized, so TD errors can be
+        // reported back).
+        let mut states = Matrix::zeros(k, dim);
+        let mut next_states = Matrix::zeros(k, dim);
+        let mut actions = Vec::with_capacity(k);
+        let mut rewards = Vec::with_capacity(k);
+        let mut terminals = Vec::with_capacity(k);
+        let mut sampled_indices: Vec<usize> = Vec::new();
+        match &self.replay {
+            Buffer::Uniform(b) => {
+                for (i, t) in b.sample(&mut self.rng, k).iter().enumerate() {
+                    states.row_mut(i).copy_from_slice(&t.state);
+                    next_states.row_mut(i).copy_from_slice(&t.next_state);
+                    actions.push(t.action);
+                    rewards.push(t.reward);
+                    terminals.push(t.terminal);
+                }
+            }
+            Buffer::Prioritized(b) => {
+                for (i, (idx, t)) in b.sample(&mut self.rng, k).iter().enumerate() {
+                    states.row_mut(i).copy_from_slice(&t.state);
+                    next_states.row_mut(i).copy_from_slice(&t.next_state);
+                    actions.push(t.action);
+                    rewards.push(t.reward);
+                    terminals.push(t.terminal);
+                    sampled_indices.push(*idx);
+                }
+            }
+        }
+
+        // TD targets.
+        let q_next_target = self.target.predict_batch(&next_states);
+        let q_next_online = match self.config.target_rule {
+            TargetRule::Standard => None,
+            TargetRule::Double => Some(self.q.predict_batch(&next_states)),
+        };
+        let gamma = self.config.gamma as f32;
+        let targets: Vec<f32> = (0..k)
+            .map(|i| {
+                let r = rewards[i] as f32;
+                if terminals[i] {
+                    r
+                } else {
+                    let future = match self.config.target_rule {
+                        TargetRule::Standard => q_next_target.max_row(i),
+                        TargetRule::Double => {
+                            let a_star =
+                                q_next_online.as_ref().expect("double rule").argmax_row(i);
+                            q_next_target.get(i, a_star)
+                        }
+                    };
+                    r + gamma * future
+                }
+            })
+            .collect();
+
+        // Prioritized replay: report fresh TD errors back as priorities
+        // before the gradient step mutates the network.
+        if let Buffer::Prioritized(b) = &mut self.replay {
+            let q_now = self.q.predict_batch(&states);
+            for (row, &idx) in sampled_indices.iter().enumerate() {
+                let td_error = f64::from(targets[row] - q_now.get(row, actions[row]));
+                b.update_priority(idx, td_error);
+            }
+        }
+
+        let loss = self.q.train_td(&states, &actions, &targets);
+        self.learn_steps += 1;
+        self.last_loss = Some(loss);
+        loss
+    }
+
+    /// Forces a target-network sync (tests / checkpoint restore).
+    pub fn sync_target(&mut self) {
+        self.target.sync_from(&self.q);
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qfunc::MlpQ;
+    use neural::{Loss, MlpSpec, OptimizerSpec};
+
+    fn agent(config: DqnConfig) -> DqnAgent<MlpQ> {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let q = MlpQ::new(
+            &MlpSpec::q_network(3, &[16], 2),
+            OptimizerSpec::adam(0.01),
+            Loss::Mse,
+            &mut rng,
+        );
+        DqnAgent::new(q, config)
+    }
+
+    fn transition(r: f64, terminal: bool) -> Transition {
+        Transition {
+            state: vec![0.1, 0.2, 0.3],
+            action: 0,
+            reward: r,
+            next_state: vec![0.2, 0.3, 0.4],
+            terminal,
+        }
+    }
+
+    #[test]
+    fn initial_exploration_is_fully_random_then_epsilon_takes_over() {
+        let mut a = agent(DqnConfig {
+            initial_exploration: 50,
+            learning_start: 1_000_000,
+            epsilon: EpsilonSchedule::constant(0.0),
+            ..DqnConfig::default()
+        });
+        // With ε = 0, randomness can only come from the forced phase.
+        let mut saw_both = [false, false];
+        for _ in 0..50 {
+            saw_both[a.act(&[0.0, 0.0, 0.0])] = true;
+            a.observe(transition(0.0, false));
+        }
+        assert!(saw_both[0] && saw_both[1], "forced phase must explore");
+        // Past the phase, ε = 0 ⇒ always the greedy action.
+        let greedy = a.greedy_action(&[0.0, 0.0, 0.0]);
+        for _ in 0..20 {
+            assert_eq!(a.act(&[0.0, 0.0, 0.0]), greedy);
+            a.observe(transition(0.0, false));
+        }
+    }
+
+    #[test]
+    fn no_learning_before_learning_start() {
+        let mut a = agent(DqnConfig {
+            learning_start: 100,
+            initial_exploration: 0,
+            ..DqnConfig::default()
+        });
+        for i in 0..99 {
+            assert_eq!(a.observe(transition(1.0, false)), None, "step {i}");
+        }
+        assert!(a.observe(transition(1.0, false)).is_some());
+        assert_eq!(a.learn_steps(), 1);
+    }
+
+    #[test]
+    fn terminal_targets_ignore_future_rewards() {
+        // Train only on terminal transitions with reward 1 → Q(s, 0) → 1,
+        // regardless of γ.
+        let mut a = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_update_every: 10,
+            gamma: 0.99,
+            ..DqnConfig::default()
+        });
+        for _ in 0..600 {
+            a.observe(transition(1.0, true));
+        }
+        let q = a.q_function().predict(&[0.1, 0.2, 0.3]);
+        assert!((q[0] - 1.0).abs() < 0.1, "terminal target: {q:?}");
+    }
+
+    #[test]
+    fn target_network_lags_then_syncs() {
+        let mut a = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_update_every: 1000, // effectively never during this test
+            ..DqnConfig::default()
+        });
+        let probe = [0.1f32, 0.2, 0.3];
+        let target_before = a.target_function().predict(&probe);
+        for _ in 0..50 {
+            a.observe(transition(1.0, true));
+        }
+        // Online network moved; frozen target did not.
+        assert_ne!(a.q_function().predict(&probe), target_before);
+        assert_eq!(a.target_function().predict(&probe), target_before);
+        a.sync_target();
+        assert_eq!(
+            a.target_function().predict(&probe),
+            a.q_function().predict(&probe)
+        );
+    }
+
+    #[test]
+    fn target_updates_happen_on_schedule() {
+        let mut a = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_update_every: 25,
+            batch_size: 8, // learning starts once 8 transitions are stored
+            ..DqnConfig::default()
+        });
+        let probe = [0.5f32, -0.5, 0.0];
+        for _ in 0..24 {
+            a.observe(transition(1.0, true));
+        }
+        let before_sync = a.target_function().predict(&probe);
+        a.observe(transition(1.0, true)); // step 25: sync
+        let after_sync = a.target_function().predict(&probe);
+        assert_ne!(before_sync, after_sync);
+        assert_eq!(after_sync, a.q_function().predict(&probe));
+    }
+
+    #[test]
+    fn double_rule_computes_different_targets_than_standard() {
+        // Not a behavioural guarantee in general, but with distinct online
+        // and target networks the two rules almost surely differ.
+        let mut std_agent = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_rule: TargetRule::Standard,
+            seed: 3,
+            ..DqnConfig::default()
+        });
+        let mut dbl_agent = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_rule: TargetRule::Double,
+            seed: 3,
+            ..DqnConfig::default()
+        });
+        // Desynchronise online from target by learning a bit.
+        for _ in 0..100 {
+            std_agent.observe(transition(1.0, false));
+            dbl_agent.observe(transition(1.0, false));
+        }
+        // Both still produce finite losses and Q-values.
+        assert!(std_agent.last_loss().unwrap().is_finite());
+        assert!(dbl_agent.last_loss().unwrap().is_finite());
+        assert!(std_agent.max_q(&[0.1, 0.2, 0.3]).is_finite());
+        assert!(dbl_agent.max_q(&[0.1, 0.2, 0.3]).is_finite());
+    }
+
+    #[test]
+    fn max_q_equals_max_of_prediction() {
+        let a = agent(DqnConfig::default());
+        let s = [0.3f32, -0.1, 0.9];
+        let qs = a.q_function().predict(&s);
+        assert_eq!(a.max_q(&s), qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+    }
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = DqnConfig::paper();
+        assert_eq!(c.gamma, 0.99);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.replay_capacity, 400_000);
+        assert_eq!(c.learning_start, 10_000);
+        assert_eq!(c.initial_exploration, 20_000);
+        assert_eq!(c.target_update_every, 1_000);
+        assert_eq!(c.epsilon.initial, 1.0);
+        assert_eq!(c.epsilon.final_value, 0.05);
+        assert_eq!(c.epsilon.decay_per_step, 4.5e-5);
+    }
+
+    #[test]
+    fn boltzmann_exploration_samples_all_actions_but_prefers_better_ones() {
+        let mut a = agent(DqnConfig {
+            initial_exploration: 0,
+            learning_start: 1_000_000,
+            boltzmann_temperature: Some(0.5),
+            ..DqnConfig::default()
+        });
+        let state = [0.3f32, -0.2, 0.1];
+        let qs = a.q_function().predict(&state);
+        let better = if qs[0] > qs[1] { 0 } else { 1 };
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[a.act(&state)] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "both actions sampled: {counts:?}");
+        assert!(
+            counts[better] > counts[1 - better],
+            "higher-Q action preferred: {counts:?} (better = {better})"
+        );
+    }
+
+    #[test]
+    fn boltzmann_low_temperature_approaches_greedy() {
+        let mut a = agent(DqnConfig {
+            initial_exploration: 0,
+            learning_start: 1_000_000,
+            boltzmann_temperature: Some(1e-6),
+            ..DqnConfig::default()
+        });
+        let state = [0.3f32, -0.2, 0.1];
+        let greedy = a.greedy_action(&state);
+        for _ in 0..100 {
+            assert_eq!(a.act(&state), greedy);
+        }
+    }
+
+    #[test]
+    fn prioritized_agent_learns_terminal_targets_too() {
+        let mut a = agent(DqnConfig {
+            learning_start: 1,
+            initial_exploration: 0,
+            target_update_every: 10,
+            prioritized_alpha: Some(0.6),
+            ..DqnConfig::default()
+        });
+        for _ in 0..600 {
+            a.observe(transition(1.0, true));
+        }
+        let q = a.q_function().predict(&[0.1, 0.2, 0.3]);
+        assert!((q[0] - 1.0).abs() < 0.1, "PER terminal target: {q:?}");
+        assert!(a.last_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn prioritized_and_uniform_agents_diverge_but_both_run() {
+        let mk = |alpha| {
+            agent(DqnConfig {
+                learning_start: 1,
+                initial_exploration: 0,
+                prioritized_alpha: alpha,
+                ..DqnConfig::default()
+            })
+        };
+        let mut uni = mk(None);
+        let mut per = mk(Some(1.0));
+        for i in 0..200 {
+            let r = if i % 3 == 0 { 1.0 } else { -1.0 };
+            uni.observe(transition(r, i % 7 == 0));
+            per.observe(transition(r, i % 7 == 0));
+        }
+        assert!(uni.last_loss().unwrap().is_finite());
+        assert!(per.last_loss().unwrap().is_finite());
+        assert_eq!(uni.replay_len(), per.replay_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = agent(DqnConfig {
+            batch_size: 0,
+            ..DqnConfig::default()
+        });
+    }
+}

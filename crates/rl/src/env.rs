@@ -1,0 +1,65 @@
+//! The environment interface and the paper's reward-clipping rule.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The next state observation.
+    pub state: Vec<f32>,
+    /// The (already shaped/clipped, if applicable) reward.
+    pub reward: f64,
+    /// Whether the episode ended with this step.
+    pub terminal: bool,
+}
+
+/// A Markov decision process with a discrete action set and a flat `f32`
+/// state vector — exactly the interface the paper's Figure 2 sketches
+/// between DQN and METADOCK.
+pub trait Environment {
+    /// Dimension of the state vector.
+    fn state_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn n_actions(&self) -> usize;
+    /// Starts a new episode and returns the initial state.
+    fn reset(&mut self) -> Vec<f32>;
+    /// Applies action `a` (must be `< n_actions()`).
+    fn step(&mut self, action: usize) -> StepOutcome;
+}
+
+/// The paper's reward shaping (§3): the raw signal is the *change* in the
+/// METADOCK score, and "we keep fixed all the positive rewards to be 1 and
+/// all the negative rewards to be −1, while unchanged rewards are set to 0".
+///
+/// `delta_score` is `score(sₜ₊₁) − score(sₜ)`.
+#[inline]
+pub fn clip_reward(delta_score: f64) -> f64 {
+    if delta_score > 0.0 {
+        1.0
+    } else if delta_score < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clipping_matches_paper_rule() {
+        assert_eq!(clip_reward(1e-12), 1.0);
+        assert_eq!(clip_reward(4.5e21), 1.0);
+        assert_eq!(clip_reward(-1e-12), -1.0);
+        assert_eq!(clip_reward(-4.5e21), -1.0);
+        assert_eq!(clip_reward(0.0), 0.0);
+    }
+
+    #[test]
+    fn clipping_is_sign_preserving_and_bounded() {
+        for v in [-1e30, -5.0, -0.1, 0.0, 0.1, 5.0, 1e30] {
+            let r = clip_reward(v);
+            assert!((-1.0..=1.0).contains(&r));
+            assert_eq!(r.signum() * v.abs().min(1.0).ceil(), r.signum() * if v == 0.0 { 0.0 } else { 1.0 });
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Reinforcement-learning library for the DQN-Docking reproduction.
+//!
+//! Implements the paper's §2.2 machinery — and its §5 future-work variants —
+//! independently of the docking domain:
+//!
+//! * [`env`](mod@env) — the `Environment` trait (observe state, take action, receive
+//!   reward) plus reward clipping to `{−1, 0, +1}` exactly as the paper
+//!   prescribes for the METADOCK score signal.
+//! * [`replay`] — the experience-replay dataset of `(sₜ, aₜ, rₜ, sₜ₊₁,
+//!   terminal)` tuples with uniform minibatch sampling (Lin 1993; Mnih et
+//!   al. 2015).
+//! * [`schedule`] — the ε-greedy exploration schedule (Table 1: ε from 1.0
+//!   to 0.05 at 4.5e-5 per step).
+//! * [`qfunc`] — Q-value function approximators: a plain MLP head and the
+//!   **dueling** value/advantage head (future work #4).
+//! * [`dqn`] — the DQN agent: Q-network, frozen target network updated
+//!   every C steps, TD-target computation, and the **double-DQN** target
+//!   rule as a switch (future work #4).
+//! * [`training`] — a generic episode loop emitting per-episode statistics,
+//!   including the paper's Figure 4 metric (average max predicted Q).
+//! * [`toy`] — small deterministic MDPs used to validate learning
+//!   end-to-end in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqn;
+pub mod env;
+pub mod nstep;
+pub mod qfunc;
+pub mod replay;
+pub mod schedule;
+pub mod tabular;
+pub mod toy;
+pub mod training;
+pub mod vecenv;
+
+pub use dqn::{DqnAgent, DqnConfig, TargetRule};
+pub use env::{clip_reward, Environment, StepOutcome};
+pub use nstep::NStepAccumulator;
+pub use qfunc::{DuelingQ, MlpQ, QFunction};
+pub use replay::{PrioritizedReplay, ReplayBuffer, Transition};
+pub use schedule::EpsilonSchedule;
+pub use tabular::TabularQ;
+pub use training::{train, EpisodeStats, TrainOptions};
+pub use vecenv::{act_batch, collect_vectorized, VecEnv, VecTrainReport};

@@ -1,0 +1,195 @@
+//! n-step return accumulation.
+//!
+//! One-step TD targets (`r + γ·max Q(s')`) propagate reward information a
+//! single state per update — slow for the docking task's long corridors of
+//! zero/±1 rewards. An n-step transition aggregates
+//! `rₜ + γ·rₜ₊₁ + … + γⁿ⁻¹·rₜ₊ₙ₋₁` with next-state `sₜ₊ₙ`, accelerating
+//! credit assignment (a standard DQN extension, part of the Rainbow suite
+//! the paper's future work cites).
+//!
+//! [`NStepAccumulator`] sits between the environment loop and
+//! `DqnAgent::observe`: feed raw one-step transitions in, pull n-step
+//! transitions out.
+
+use crate::replay::Transition;
+use std::collections::VecDeque;
+
+/// Converts a stream of 1-step transitions into n-step transitions.
+#[derive(Debug, Clone)]
+pub struct NStepAccumulator {
+    n: usize,
+    gamma: f64,
+    window: VecDeque<Transition>,
+}
+
+impl NStepAccumulator {
+    /// Creates an accumulator for `n ≥ 1` steps with discount `gamma`.
+    ///
+    /// # Panics
+    /// If `n` is zero or `gamma` outside `[0, 1]`.
+    pub fn new(n: usize, gamma: f64) -> Self {
+        assert!(n >= 1, "n must be at least 1");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        NStepAccumulator {
+            n,
+            gamma,
+            window: VecDeque::with_capacity(n),
+        }
+    }
+
+    /// Feeds one raw transition; returns the completed n-step transitions
+    /// this step releases (usually 0 or 1; up to `n` when the episode
+    /// terminates).
+    pub fn push(&mut self, t: Transition) -> Vec<Transition> {
+        let terminal = t.terminal;
+        self.window.push_back(t);
+        let mut out = Vec::new();
+        if terminal {
+            // Flush: every pending prefix becomes an n-step (or shorter)
+            // terminal transition.
+            while !self.window.is_empty() {
+                out.push(self.merge());
+                self.window.pop_front();
+            }
+        } else if self.window.len() == self.n {
+            out.push(self.merge());
+            self.window.pop_front();
+        }
+        out
+    }
+
+    /// Pending transitions not yet released (call at episode truncation to
+    /// avoid losing the tail; they keep their natural horizon).
+    pub fn flush(&mut self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        while !self.window.is_empty() {
+            out.push(self.merge());
+            self.window.pop_front();
+        }
+        out
+    }
+
+    /// Number of buffered raw transitions.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Merges the current window into one n-step transition starting at
+    /// the window's front.
+    fn merge(&self) -> Transition {
+        let first = self.window.front().expect("merge on empty window");
+        let last = self.window.back().expect("merge on empty window");
+        let mut reward = 0.0;
+        let mut discount = 1.0;
+        for t in &self.window {
+            reward += discount * t.reward;
+            discount *= self.gamma;
+            if t.terminal {
+                break;
+            }
+        }
+        Transition {
+            state: first.state.clone(),
+            action: first.action,
+            reward,
+            next_state: last.next_state.clone(),
+            terminal: last.terminal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(tag: f32, reward: f64, terminal: bool) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: tag as usize,
+            reward,
+            next_state: vec![tag + 1.0],
+            terminal,
+        }
+    }
+
+    #[test]
+    fn one_step_accumulator_is_passthrough() {
+        let mut acc = NStepAccumulator::new(1, 0.9);
+        let out = acc.push(t(0.0, 1.0, false));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], t(0.0, 1.0, false));
+    }
+
+    #[test]
+    fn three_step_returns_are_discounted_sums() {
+        let mut acc = NStepAccumulator::new(3, 0.5);
+        assert!(acc.push(t(0.0, 1.0, false)).is_empty());
+        assert!(acc.push(t(1.0, 2.0, false)).is_empty());
+        let out = acc.push(t(2.0, 4.0, false));
+        assert_eq!(out.len(), 1);
+        // r = 1 + 0.5·2 + 0.25·4 = 3
+        assert_eq!(out[0].reward, 3.0);
+        assert_eq!(out[0].state, vec![0.0]);
+        assert_eq!(out[0].next_state, vec![3.0]); // s after the last step
+        assert!(!out[0].terminal);
+        assert_eq!(acc.pending(), 2);
+    }
+
+    #[test]
+    fn stream_emits_one_per_step_once_warm() {
+        let mut acc = NStepAccumulator::new(2, 1.0);
+        assert!(acc.push(t(0.0, 1.0, false)).is_empty());
+        for k in 1..5 {
+            let out = acc.push(t(k as f32, 1.0, false));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].reward, 2.0); // two undiscounted 1s
+            assert_eq!(out[0].state, vec![(k - 1) as f32]);
+        }
+    }
+
+    #[test]
+    fn terminal_flushes_all_prefixes() {
+        let mut acc = NStepAccumulator::new(3, 0.5);
+        acc.push(t(0.0, 1.0, false));
+        let out = acc.push(t(1.0, 2.0, true));
+        // Two transitions: from s0 (r = 1 + 0.5·2 = 2) and from s1 (r = 2),
+        // both terminal with next_state after the terminal step.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].reward, 2.0);
+        assert!(out[0].terminal);
+        assert_eq!(out[0].state, vec![0.0]);
+        assert_eq!(out[1].reward, 2.0);
+        assert_eq!(out[1].state, vec![1.0]);
+        assert_eq!(acc.pending(), 0);
+    }
+
+    #[test]
+    fn flush_drains_a_truncated_episode() {
+        let mut acc = NStepAccumulator::new(4, 1.0);
+        acc.push(t(0.0, 1.0, false));
+        acc.push(t(1.0, 1.0, false));
+        let out = acc.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].reward, 2.0);
+        assert_eq!(out[1].reward, 1.0);
+        assert_eq!(acc.pending(), 0);
+    }
+
+    #[test]
+    fn gamma_zero_keeps_only_immediate_reward() {
+        let mut acc = NStepAccumulator::new(3, 0.0);
+        acc.push(t(0.0, 5.0, false));
+        acc.push(t(1.0, 7.0, false));
+        let out = acc.push(t(2.0, 9.0, false));
+        assert_eq!(out[0].reward, 5.0);
+        // But the next_state is still 3 steps ahead — bootstrap horizon
+        // and reward discounting are independent.
+        assert_eq!(out[0].next_state, vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_n_rejected() {
+        let _ = NStepAccumulator::new(0, 0.9);
+    }
+}

@@ -1,0 +1,419 @@
+//! The experience-replay dataset.
+//!
+//! A fixed-capacity ring buffer of transition tuples, sampled uniformly in
+//! minibatches — the first of the three key DQN ingredients the paper
+//! recounts in §2.2 (replay breaks the correlation between subsequent
+//! time-steps). The paper sizes it at 400,000 memories (Table 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One stored memory: `(sₜ, aₜ, rₜ, sₜ₊₁, terminal)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f32>,
+    /// Action index taken.
+    pub action: usize,
+    /// Clipped reward received.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f32>,
+    /// Whether `next_state` ended the episode.
+    pub terminal: bool,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    /// Next write position once the buffer is full.
+    head: usize,
+    /// Total pushes ever (for diagnostics).
+    pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            items: Vec::new(),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        self.pushed += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total transitions ever pushed (≥ `len()`).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Samples `k` transitions uniformly at random *with replacement* —
+    /// the standard DQN i.i.d. minibatch.
+    ///
+    /// # Panics
+    /// If the buffer is empty.
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> Vec<&'a Transition> {
+        assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+        (0..k)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+
+    /// Read-only view of the stored transitions (test support).
+    pub fn items(&self) -> &[Transition] {
+        &self.items
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prioritized experience replay (proportional variant, Schaul et al.)
+// ---------------------------------------------------------------------------
+
+/// Proportional prioritized replay: transitions are sampled with
+/// probability ∝ `(|TD error| + ε)^α`, maintained in a sum tree for O(log n)
+/// sampling and updates.
+///
+/// This is the *early* proportional scheme without importance-sampling
+/// weight correction (β = 0) — adequate for the ablation experiments here
+/// and documented as such.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrioritizedReplay {
+    capacity: usize,
+    /// Priority exponent α (0 = uniform, 1 = fully proportional).
+    alpha: f64,
+    /// Small constant keeping zero-error transitions sampleable.
+    epsilon: f64,
+    items: Vec<Transition>,
+    head: usize,
+    /// Binary sum tree over `capacity` leaves (1-indexed, size 2·cap).
+    tree: Vec<f64>,
+    /// Running maximum priority, assigned to fresh transitions so every
+    /// memory is replayed at least plausibly once.
+    max_priority: f64,
+}
+
+impl PrioritizedReplay {
+    /// Creates a buffer with the given capacity and priority exponent.
+    ///
+    /// # Panics
+    /// If `capacity` is zero or `alpha` is not in `[0, 1]`.
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        let cap_pow2 = capacity.next_power_of_two();
+        PrioritizedReplay {
+            capacity,
+            alpha,
+            epsilon: 1e-3,
+            items: Vec::new(),
+            head: 0,
+            tree: vec![0.0; 2 * cap_pow2],
+            max_priority: 1.0,
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        self.tree.len() / 2
+    }
+
+    fn set_leaf(&mut self, leaf: usize, value: f64) {
+        let mut node = self.leaves() + leaf;
+        let delta = value - self.tree[node];
+        while node >= 1 {
+            self.tree[node] += delta;
+            node /= 2;
+        }
+    }
+
+    /// Total priority mass.
+    fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Finds the leaf whose cumulative-priority interval contains `target`.
+    fn find_leaf(&self, mut target: f64) -> usize {
+        let mut node = 1usize;
+        while node < self.leaves() {
+            let left = 2 * node;
+            if target <= self.tree[left] || self.tree[left + 1] <= 0.0 {
+                node = left;
+            } else {
+                target -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        (node - self.leaves()).min(self.items.len().saturating_sub(1))
+    }
+
+    /// Stores a transition at maximum priority.
+    pub fn push(&mut self, t: Transition) {
+        let slot = if self.items.len() < self.capacity {
+            self.items.push(t);
+            self.items.len() - 1
+        } else {
+            let s = self.head;
+            self.items[s] = t;
+            self.head = (self.head + 1) % self.capacity;
+            s
+        };
+        let p = self.max_priority.powf(self.alpha);
+        self.set_leaf(slot, p);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples `k` transitions ∝ priority; returns `(index, transition)`
+    /// pairs so the caller can report TD errors back via
+    /// [`PrioritizedReplay::update_priority`].
+    ///
+    /// # Panics
+    /// If the buffer is empty.
+    pub fn sample<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        k: usize,
+    ) -> Vec<(usize, &'a Transition)> {
+        assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+        let total = self.total();
+        (0..k)
+            .map(|_| {
+                let target = rng.gen::<f64>() * total;
+                let idx = self.find_leaf(target);
+                (idx, &self.items[idx])
+            })
+            .collect()
+    }
+
+    /// Updates a transition's priority from its (fresh) TD error.
+    pub fn update_priority(&mut self, index: usize, td_error: f64) {
+        assert!(index < self.items.len(), "priority index out of range");
+        let p = td_error.abs() + self.epsilon;
+        if p > self.max_priority {
+            self.max_priority = p;
+        }
+        self.set_leaf(index, p.powf(self.alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: tag as usize,
+            reward: 1.0,
+            next_state: vec![tag + 0.5],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..5 {
+            rb.push(t(i as f32));
+        }
+        assert_eq!(rb.len(), 3);
+        assert_eq!(rb.total_pushed(), 5);
+        // Items 3 and 4 overwrote 0 and 1; 2 survives.
+        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        assert!(tags.contains(&2.0) && tags.contains(&3.0) && tags.contains(&4.0));
+        assert!(!tags.contains(&0.0));
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut rb = ReplayBuffer::new(2);
+        rb.push(t(0.0));
+        rb.push(t(1.0));
+        rb.push(t(2.0)); // evicts 0
+        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        assert!(!tags.contains(&0.0));
+        rb.push(t(3.0)); // evicts 1
+        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        assert!(!tags.contains(&1.0));
+        assert!(tags.contains(&2.0) && tags.contains(&3.0));
+    }
+
+    #[test]
+    fn sample_has_requested_size_and_valid_members() {
+        let mut rb = ReplayBuffer::new(16);
+        for i in 0..10 {
+            rb.push(t(i as f32));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let batch = rb.sample(&mut rng, 32);
+        assert_eq!(batch.len(), 32);
+        for item in batch {
+            assert!(item.state[0] >= 0.0 && item.state[0] < 10.0);
+        }
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..4 {
+            rb.push(t(i as f32));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for item in rb.sample(&mut rng, 4000) {
+            counts[item.state[0] as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..1200).contains(&c),
+                "uniform sampling expected, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sampling_empty_panics() {
+        let rb = ReplayBuffer::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = rb.sample(&mut rng, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+
+    // --- prioritized replay -------------------------------------------------
+
+    #[test]
+    fn per_fills_and_wraps_like_the_uniform_buffer() {
+        let mut rb = PrioritizedReplay::new(3, 0.6);
+        for i in 0..5 {
+            rb.push(t(i as f32));
+        }
+        assert_eq!(rb.len(), 3);
+    }
+
+    #[test]
+    fn per_sampling_prefers_high_priority() {
+        let mut rb = PrioritizedReplay::new(4, 1.0);
+        for i in 0..4 {
+            rb.push(t(i as f32));
+        }
+        // Give item 2 overwhelming priority.
+        rb.update_priority(0, 0.0);
+        rb.update_priority(1, 0.0);
+        rb.update_priority(2, 100.0);
+        rb.update_priority(3, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let samples = rb.sample(&mut rng, 1000);
+        let hot = samples.iter().filter(|(i, _)| *i == 2).count();
+        assert!(hot > 900, "hot item sampled {hot}/1000");
+    }
+
+    #[test]
+    fn per_alpha_zero_is_uniform() {
+        let mut rb = PrioritizedReplay::new(4, 0.0);
+        for i in 0..4 {
+            rb.push(t(i as f32));
+        }
+        rb.update_priority(0, 1000.0); // with α = 0 this must not matter
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for (i, _) in rb.sample(&mut rng, 4000) {
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn per_fresh_items_are_sampleable() {
+        let mut rb = PrioritizedReplay::new(8, 0.6);
+        rb.push(t(0.0));
+        rb.update_priority(0, 0.0); // near-zero priority via epsilon floor
+        rb.push(t(1.0)); // fresh: max priority
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples = rb.sample(&mut rng, 200);
+        assert!(samples.iter().any(|(i, _)| *i == 1));
+    }
+
+    #[test]
+    fn per_indices_point_at_the_right_transitions() {
+        let mut rb = PrioritizedReplay::new(16, 0.5);
+        for i in 0..10 {
+            rb.push(t(i as f32));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for (i, tr) in rb.sample(&mut rng, 64) {
+            assert_eq!(tr.state[0] as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn per_sampling_empty_panics() {
+        let rb = PrioritizedReplay::new(4, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = rb.sample(&mut rng, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn per_alpha_out_of_range_rejected() {
+        let _ = PrioritizedReplay::new(4, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn per_priority_index_out_of_range_panics() {
+        let mut rb = PrioritizedReplay::new(4, 0.5);
+        rb.push(t(0.0));
+        rb.update_priority(3, 1.0);
+    }
+}

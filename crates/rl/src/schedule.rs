@@ -1,0 +1,106 @@
+//! Exploration schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A linearly-decaying ε-greedy schedule, exactly the paper's Table 1
+/// parameterisation: initial value, final value, and a *decrement per
+/// time-step*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// ε at step 0.
+    pub initial: f64,
+    /// Floor value after decay.
+    pub final_value: f64,
+    /// Amount subtracted from ε each step.
+    pub decay_per_step: f64,
+}
+
+impl EpsilonSchedule {
+    /// The paper's schedule: 1.0 → 0.05, decaying 4.5e-5 per step
+    /// (reaches the floor after ~21,000 steps).
+    pub fn paper() -> Self {
+        EpsilonSchedule {
+            initial: 1.0,
+            final_value: 0.05,
+            decay_per_step: 4.5e-5,
+        }
+    }
+
+    /// A schedule that always returns `value` (for evaluation runs).
+    pub fn constant(value: f64) -> Self {
+        EpsilonSchedule {
+            initial: value,
+            final_value: value,
+            decay_per_step: 0.0,
+        }
+    }
+
+    /// ε at time-step `step`.
+    pub fn value(&self, step: u64) -> f64 {
+        (self.initial - self.decay_per_step * step as f64).max(self.final_value)
+    }
+
+    /// First step at which the floor is reached (`None` if never).
+    pub fn steps_to_floor(&self) -> Option<u64> {
+        if self.decay_per_step <= 0.0 {
+            return if self.initial <= self.final_value {
+                Some(0)
+            } else {
+                None
+            };
+        }
+        Some(((self.initial - self.final_value) / self.decay_per_step).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_endpoints() {
+        let s = EpsilonSchedule::paper();
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(10_000_000), 0.05);
+    }
+
+    #[test]
+    fn paper_schedule_reaches_floor_near_21k_steps() {
+        let s = EpsilonSchedule::paper();
+        let floor_at = s.steps_to_floor().unwrap();
+        assert!((21_000..21_200).contains(&floor_at), "{floor_at}");
+        assert!(s.value(floor_at - 10) > 0.05);
+        assert_eq!(s.value(floor_at + 1), 0.05);
+    }
+
+    #[test]
+    fn decay_is_monotone_nonincreasing() {
+        let s = EpsilonSchedule::paper();
+        let mut prev = f64::INFINITY;
+        for step in (0..50_000).step_by(500) {
+            let v = s.value(step);
+            assert!(v <= prev);
+            assert!(v >= s.final_value);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn constant_schedule_never_moves() {
+        let s = EpsilonSchedule::constant(0.1);
+        assert_eq!(s.value(0), 0.1);
+        assert_eq!(s.value(1_000_000), 0.1);
+        assert_eq!(s.steps_to_floor(), Some(0));
+    }
+
+    #[test]
+    fn zero_decay_above_floor_never_reaches_it() {
+        let s = EpsilonSchedule {
+            initial: 0.5,
+            final_value: 0.1,
+            decay_per_step: 0.0,
+        };
+        assert_eq!(s.steps_to_floor(), None);
+        assert_eq!(s.value(u64::MAX / 2), 0.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Tabular Q-learning — the Watkins & Dayan (1992) algorithm the paper's
+//! §2.2 derivation starts from.
+//!
+//! Before the DQN approximates `Q(s, a|θ)` with a network, the update rule
+//! `Q(s,a) ← Q(s,a) + α(r + γ·max_a' Q(s',a') − Q(s,a))` is exact on a
+//! table. This module implements that exact form for environments with
+//! hashable (discretised) states. It serves two roles here:
+//!
+//! * a *validation oracle*: on small MDPs the table provably converges, so
+//!   the DQN stack can be checked against it;
+//! * the conceptual baseline the paper's Bellman-equation exposition
+//!   describes verbatim.
+
+use crate::env::Environment;
+use crate::schedule::EpsilonSchedule;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Discretises an `f32` state vector into a hashable key. States that are
+/// already one-hot/integer-valued (like the toy environments) map
+/// losslessly; continuous states share a bin at `resolution` granularity.
+fn discretise(state: &[f32], resolution: f32) -> Vec<i32> {
+    state.iter().map(|&v| (v / resolution).round() as i32).collect()
+}
+
+/// Tabular Q-learning agent.
+#[derive(Debug, Clone)]
+pub struct TabularQ {
+    table: HashMap<Vec<i32>, Vec<f64>>,
+    n_actions: usize,
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount γ.
+    pub gamma: f64,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// State discretisation resolution.
+    pub resolution: f32,
+    rng: ChaCha8Rng,
+    steps: u64,
+}
+
+impl TabularQ {
+    /// Creates an agent for an environment with `n_actions` actions.
+    ///
+    /// # Panics
+    /// If `n_actions` is zero or hyper-parameters are out of range.
+    pub fn new(n_actions: usize, alpha: f64, gamma: f64, seed: u64) -> Self {
+        assert!(n_actions > 0, "need at least one action");
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0, 1]");
+        assert!((0.0..=1.0).contains(&gamma), "gamma in [0, 1]");
+        TabularQ {
+            table: HashMap::new(),
+            n_actions,
+            alpha,
+            gamma,
+            epsilon: EpsilonSchedule {
+                initial: 1.0,
+                final_value: 0.05,
+                decay_per_step: 1e-3,
+            },
+            resolution: 0.5,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            steps: 0,
+        }
+    }
+
+    /// Q-values of a state (zeros if unvisited).
+    pub fn q_values(&self, state: &[f32]) -> Vec<f64> {
+        self.table
+            .get(&discretise(state, self.resolution))
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.n_actions])
+    }
+
+    /// Greedy action for a state.
+    pub fn greedy_action(&self, state: &[f32]) -> usize {
+        let qs = self.q_values(state);
+        qs.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Number of distinct states visited.
+    pub fn n_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// ε-greedy action selection.
+    pub fn act(&mut self, state: &[f32]) -> usize {
+        let eps = self.epsilon.value(self.steps);
+        if self.rng.gen::<f64>() < eps {
+            self.rng.gen_range(0..self.n_actions)
+        } else {
+            self.greedy_action(state)
+        }
+    }
+
+    /// The Watkins update for one observed transition.
+    pub fn update(&mut self, state: &[f32], action: usize, reward: f64, next: &[f32], terminal: bool) {
+        assert!(action < self.n_actions, "action out of range");
+        self.steps += 1;
+        let future = if terminal {
+            0.0
+        } else {
+            self.q_values(next)
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let key = discretise(state, self.resolution);
+        let entry = self
+            .table
+            .entry(key)
+            .or_insert_with(|| vec![0.0; self.n_actions]);
+        let target = reward + self.gamma * future;
+        entry[action] += self.alpha * (target - entry[action]);
+    }
+
+    /// Trains for `episodes` episodes of at most `max_steps`; returns the
+    /// per-episode total rewards.
+    pub fn train<E: Environment>(
+        &mut self,
+        env: &mut E,
+        episodes: usize,
+        max_steps: usize,
+    ) -> Vec<f64> {
+        assert_eq!(env.n_actions(), self.n_actions, "action-count mismatch");
+        let mut rewards = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            let mut state = env.reset();
+            let mut total = 0.0;
+            for _ in 0..max_steps {
+                let action = self.act(&state);
+                let out = env.step(action);
+                total += out.reward;
+                self.update(&state, action, out.reward, &out.state, out.terminal);
+                state = out.state;
+                if out.terminal {
+                    break;
+                }
+            }
+            rewards.push(total);
+        }
+        rewards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{Bandit, Corridor};
+
+    #[test]
+    fn solves_the_bandit_exactly() {
+        let mut env = Bandit;
+        let mut agent = TabularQ::new(2, 0.2, 0.9, 0);
+        agent.train(&mut env, 300, 1);
+        assert_eq!(agent.greedy_action(&[1.0]), 1);
+        let qs = agent.q_values(&[1.0]);
+        // Terminal one-step episodes: Q converges to the raw rewards.
+        assert!((qs[1] - 1.0).abs() < 0.05, "{qs:?}");
+        assert!((qs[0] + 1.0).abs() < 0.2, "{qs:?}");
+    }
+
+    #[test]
+    fn solves_the_corridor_with_correct_value_propagation() {
+        let mut env = Corridor::new(7);
+        let mut agent = TabularQ::new(2, 0.3, 0.9, 1);
+        agent.train(&mut env, 500, 70);
+        // Optimal everywhere reachable: go right.
+        for pos in 1..6 {
+            let mut s = vec![0.0f32; 7];
+            s[pos] = 1.0;
+            assert_eq!(agent.greedy_action(&s), 1, "position {pos}");
+        }
+        // Value at the pre-goal state ≈ 1 (γ⁰·1), one back ≈ γ, etc.
+        let mut s5 = vec![0.0f32; 7];
+        s5[5] = 1.0;
+        assert!((agent.q_values(&s5)[1] - 1.0).abs() < 0.05);
+        let mut s4 = vec![0.0f32; 7];
+        s4[4] = 1.0;
+        assert!((agent.q_values(&s4)[1] - 0.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn table_growth_is_bounded_by_the_state_space() {
+        let mut env = Corridor::new(5);
+        let mut agent = TabularQ::new(2, 0.3, 0.9, 2);
+        agent.train(&mut env, 200, 50);
+        // 5 one-hot states at most (terminal states may be unseen as keys).
+        assert!(agent.n_states() <= 5);
+        assert!(agent.n_states() >= 3);
+    }
+
+    #[test]
+    fn unvisited_states_have_zero_values() {
+        let agent = TabularQ::new(3, 0.1, 0.9, 0);
+        assert_eq!(agent.q_values(&[9.0, 9.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut env = Corridor::new(5);
+            let mut agent = TabularQ::new(2, 0.3, 0.9, seed);
+            agent.train(&mut env, 100, 30)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_action_panics() {
+        let mut agent = TabularQ::new(2, 0.1, 0.9, 0);
+        agent.update(&[0.0], 5, 1.0, &[0.0], true);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tiny deterministic MDPs for validating the learning stack end-to-end.
+
+use crate::env::{Environment, StepOutcome};
+
+/// A 1-D corridor: positions `0..length`, start in the middle, actions
+/// {left, right}. Reaching position `length − 1` pays +1 and terminates;
+/// falling off the left edge pays −1 and terminates; every other step pays
+/// 0. The optimal policy is "always right", and tabular Q-learning solves
+/// it in a few hundred episodes — a good canary for the whole DQN stack.
+///
+/// States are one-hot encoded, so linear function approximation is exact.
+#[derive(Debug, Clone)]
+pub struct Corridor {
+    length: usize,
+    position: usize,
+    max_steps: usize,
+    steps: usize,
+}
+
+impl Corridor {
+    /// Creates a corridor of the given length (≥ 3).
+    pub fn new(length: usize) -> Self {
+        assert!(length >= 3, "corridor needs at least 3 cells");
+        Corridor {
+            length,
+            position: length / 2,
+            max_steps: length * 10,
+            steps: 0,
+        }
+    }
+
+    fn encode(&self) -> Vec<f32> {
+        let mut s = vec![0.0; self.length];
+        s[self.position] = 1.0;
+        s
+    }
+
+    /// Current position (test support).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl Environment for Corridor {
+    fn state_dim(&self) -> usize {
+        self.length
+    }
+
+    fn n_actions(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.position = self.length / 2;
+        self.steps = 0;
+        self.encode()
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        assert!(action < 2, "corridor has 2 actions");
+        self.steps += 1;
+        let (reward, terminal) = if action == 1 {
+            // Right.
+            self.position += 1;
+            if self.position == self.length - 1 {
+                (1.0, true)
+            } else {
+                (0.0, false)
+            }
+        } else {
+            // Left.
+            if self.position == 0 {
+                (-1.0, true)
+            } else {
+                self.position -= 1;
+                if self.position == 0 {
+                    (-1.0, true)
+                } else {
+                    (0.0, false)
+                }
+            }
+        };
+        let terminal = terminal || self.steps >= self.max_steps;
+        StepOutcome {
+            state: self.encode(),
+            reward,
+            terminal,
+        }
+    }
+}
+
+/// A two-armed bandit: single state, action 1 pays +1, action 0 pays −1,
+/// every episode is one step. The simplest possible sanity check of the
+/// TD-target plumbing.
+#[derive(Debug, Clone, Default)]
+pub struct Bandit;
+
+impl Environment for Bandit {
+    fn state_dim(&self) -> usize {
+        1
+    }
+
+    fn n_actions(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        vec![1.0]
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        StepOutcome {
+            state: vec![1.0],
+            reward: if action == 1 { 1.0 } else { -1.0 },
+            terminal: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corridor_rewards_and_termination() {
+        let mut c = Corridor::new(5);
+        let s0 = c.reset();
+        assert_eq!(s0, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        // Right twice reaches the goal.
+        let s1 = c.step(1);
+        assert_eq!(s1.reward, 0.0);
+        assert!(!s1.terminal);
+        let s2 = c.step(1);
+        assert_eq!(s2.reward, 1.0);
+        assert!(s2.terminal);
+    }
+
+    #[test]
+    fn corridor_left_edge_penalises() {
+        let mut c = Corridor::new(5);
+        c.reset();
+        c.step(0);
+        let out = c.step(0);
+        assert_eq!(out.reward, -1.0);
+        assert!(out.terminal);
+    }
+
+    #[test]
+    fn corridor_times_out() {
+        let mut c = Corridor::new(3);
+        c.reset();
+        let mut terminal = false;
+        // Oscillate without reaching anything... on length 3 any move ends
+        // the episode, so use the step cap only as an upper bound.
+        for _ in 0..100 {
+            let out = c.step(1);
+            terminal = out.terminal;
+            if terminal {
+                break;
+            }
+        }
+        assert!(terminal);
+    }
+
+    #[test]
+    fn bandit_pays_by_action() {
+        let mut b = Bandit;
+        b.reset();
+        assert_eq!(b.step(1).reward, 1.0);
+        assert_eq!(b.step(0).reward, -1.0);
+        assert!(b.step(1).terminal);
+    }
+}

@@ -1,0 +1,290 @@
+//! The generic episode loop and per-episode metrics.
+//!
+//! `train` runs Algorithm 2's outer structure against any
+//! [`Environment`], recording per episode the statistics the paper
+//! reports — in particular the **average max predicted Q** across the
+//! episode's time-steps, which is exactly the quantity plotted in the
+//! paper's Figure 4 ("track the average maximum predicted Q for each
+//! time-step").
+
+use crate::dqn::DqnAgent;
+use crate::env::Environment;
+use crate::qfunc::QFunction;
+use crate::replay::Transition;
+use serde::{Deserialize, Serialize};
+
+/// Per-episode statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Episode index (0-based).
+    pub episode: usize,
+    /// Steps taken before termination or truncation.
+    pub steps: usize,
+    /// Sum of (clipped) rewards.
+    pub total_reward: f64,
+    /// Mean over the episode's steps of `max_a Q(sₜ, a)` — Figure 4's
+    /// y-axis.
+    pub avg_max_q: f64,
+    /// Mean training loss over the episode's gradient steps (`None` before
+    /// learning starts).
+    pub mean_loss: Option<f64>,
+    /// ε at the episode's final step.
+    pub epsilon: f64,
+    /// Whether the episode ended by a terminal signal (vs. the step cap).
+    pub terminated: bool,
+}
+
+/// Options of the training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Number of episodes M (paper: 1,800).
+    pub episodes: usize,
+    /// Maximum time-steps per episode T (paper: 1,000).
+    pub max_steps_per_episode: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            episodes: 100,
+            max_steps_per_episode: 200,
+        }
+    }
+}
+
+/// Runs the DQN training loop, returning one [`EpisodeStats`] per episode.
+///
+/// An optional `on_episode` callback observes each episode's stats as they
+/// are produced (progress reporting, early stopping by panic is not
+/// supported — run fewer episodes instead).
+pub fn train<E: Environment, Q: QFunction>(
+    env: &mut E,
+    agent: &mut DqnAgent<Q>,
+    options: TrainOptions,
+    mut on_episode: impl FnMut(&EpisodeStats),
+) -> Vec<EpisodeStats> {
+    assert_eq!(
+        env.state_dim(),
+        agent.q_function().state_dim(),
+        "environment/agent state-dim mismatch"
+    );
+    assert_eq!(
+        env.n_actions(),
+        agent.q_function().n_actions(),
+        "environment/agent action-count mismatch"
+    );
+
+    let mut all = Vec::with_capacity(options.episodes);
+    for episode in 0..options.episodes {
+        let mut state = env.reset();
+        let mut total_reward = 0.0;
+        let mut q_sum = 0.0f64;
+        let mut loss_sum = 0.0f64;
+        let mut loss_count = 0usize;
+        let mut steps = 0usize;
+        let mut terminated = false;
+
+        for _ in 0..options.max_steps_per_episode {
+            q_sum += f64::from(agent.max_q(&state));
+            let action = agent.act(&state);
+            let outcome = env.step(action);
+            total_reward += outcome.reward;
+            steps += 1;
+            let transition = Transition {
+                state: std::mem::take(&mut state),
+                action,
+                reward: outcome.reward,
+                next_state: outcome.state.clone(),
+                terminal: outcome.terminal,
+            };
+            if let Some(loss) = agent.observe(transition) {
+                loss_sum += f64::from(loss);
+                loss_count += 1;
+            }
+            state = outcome.state;
+            if outcome.terminal {
+                terminated = true;
+                break;
+            }
+        }
+
+        let stats = EpisodeStats {
+            episode,
+            steps,
+            total_reward,
+            avg_max_q: if steps > 0 { q_sum / steps as f64 } else { 0.0 },
+            mean_loss: if loss_count > 0 {
+                Some(loss_sum / loss_count as f64)
+            } else {
+                None
+            },
+            epsilon: agent.epsilon(),
+            terminated,
+        };
+        on_episode(&stats);
+        all.push(stats);
+    }
+    all
+}
+
+/// Greedy evaluation: runs one episode with ε forced to 0 (no learning, no
+/// replay writes) and returns `(total_reward, steps, terminated)`.
+pub fn evaluate_greedy<E: Environment, Q: QFunction>(
+    env: &mut E,
+    agent: &DqnAgent<Q>,
+    max_steps: usize,
+) -> (f64, usize, bool) {
+    let mut state = env.reset();
+    let mut total = 0.0;
+    for step in 1..=max_steps {
+        let action = agent.greedy_action(&state);
+        let outcome = env.step(action);
+        total += outcome.reward;
+        state = outcome.state;
+        if outcome.terminal {
+            return (total, step, true);
+        }
+    }
+    (total, max_steps, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dqn::DqnConfig;
+    use crate::qfunc::MlpQ;
+    use crate::schedule::EpsilonSchedule;
+    use crate::toy::{Bandit, Corridor};
+    use neural::{Loss, MlpSpec, OptimizerSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn corridor_agent(seed: u64) -> DqnAgent<MlpQ> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let q = MlpQ::new(
+            &MlpSpec::q_network(7, &[24], 2),
+            OptimizerSpec::adam(0.005),
+            Loss::Mse,
+            &mut rng,
+        );
+        DqnAgent::new(
+            q,
+            DqnConfig {
+                gamma: 0.95,
+                batch_size: 16,
+                replay_capacity: 4_000,
+                learning_start: 200,
+                initial_exploration: 200,
+                target_update_every: 100,
+                epsilon: EpsilonSchedule {
+                    initial: 1.0,
+                    final_value: 0.05,
+                    decay_per_step: 5e-4,
+                },
+                target_rule: Default::default(),
+                prioritized_alpha: None,
+                boltzmann_temperature: None,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn dqn_solves_the_corridor() {
+        let mut env = Corridor::new(7);
+        let mut agent = corridor_agent(42);
+        let stats = train(
+            &mut env,
+            &mut agent,
+            TrainOptions {
+                episodes: 250,
+                max_steps_per_episode: 70,
+            },
+            |_| {},
+        );
+        assert_eq!(stats.len(), 250);
+        // Greedy policy must walk straight to the goal: 3 steps, reward +1.
+        let (reward, steps, terminated) = evaluate_greedy(&mut env, &agent, 70);
+        assert!(terminated, "greedy policy must terminate");
+        assert_eq!(reward, 1.0, "greedy policy must reach the goal");
+        assert_eq!(steps, 3, "optimal path from the middle of 7 cells");
+    }
+
+    #[test]
+    fn dqn_solves_the_bandit_fast() {
+        let mut env = Bandit;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let q = MlpQ::new(
+            &MlpSpec::q_network(1, &[8], 2),
+            OptimizerSpec::adam(0.02),
+            Loss::Mse,
+            &mut rng,
+        );
+        let mut agent = DqnAgent::new(
+            q,
+            DqnConfig {
+                learning_start: 20,
+                initial_exploration: 20,
+                batch_size: 8,
+                target_update_every: 20,
+                epsilon: EpsilonSchedule {
+                    initial: 1.0,
+                    final_value: 0.0,
+                    decay_per_step: 5e-3,
+                },
+                ..DqnConfig::default()
+            },
+        );
+        train(
+            &mut env,
+            &mut agent,
+            TrainOptions {
+                episodes: 300,
+                max_steps_per_episode: 1,
+            },
+            |_| {},
+        );
+        assert_eq!(agent.greedy_action(&[1.0]), 1);
+        // Q-values should approach the true returns (+1 / −1).
+        let qs = agent.q_function().predict(&[1.0]);
+        assert!((qs[1] - 1.0).abs() < 0.3, "{qs:?}");
+        assert!((qs[0] + 1.0).abs() < 0.5, "{qs:?}");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let mut env = Corridor::new(7);
+        let mut agent = corridor_agent(7);
+        let stats = train(
+            &mut env,
+            &mut agent,
+            TrainOptions {
+                episodes: 30,
+                max_steps_per_episode: 50,
+            },
+            |_| {},
+        );
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.episode, i);
+            assert!(s.steps >= 1 && s.steps <= 50);
+            assert!(s.avg_max_q.is_finite());
+            assert!((0.0..=1.0).contains(&s.epsilon));
+            if let Some(l) = s.mean_loss {
+                assert!(l.is_finite() && l >= 0.0);
+            }
+        }
+        // ε decays across training.
+        assert!(stats.last().unwrap().epsilon < stats[0].epsilon);
+    }
+
+    #[test]
+    fn callback_sees_every_episode() {
+        let mut env = Bandit;
+        let mut agent = corridor_agent(1);
+        // Mismatch: bandit has state_dim 1, agent expects 7.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train(&mut env, &mut agent, TrainOptions::default(), |_| {})
+        }));
+        assert!(result.is_err(), "dim mismatch must panic");
+    }
+}

@@ -1,0 +1,230 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box, used to bound molecules and to size the
+/// cell-list grid that accelerates the scoring function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty box: `min = +∞`, `max = −∞`. Growing an empty box by a point
+    /// yields the degenerate box containing only that point.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f64::INFINITY),
+        max: Vec3::splat(f64::NEG_INFINITY),
+    };
+
+    /// Creates a box from explicit corners. Panics if `min > max` on any
+    /// axis (use [`Aabb::from_points`] for unordered input).
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "Aabb corners out of order: min {min:?}, max {max:?}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing all `points` (the empty box for no points).
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        let mut b = Aabb::EMPTY;
+        for p in points {
+            b.grow(p);
+        }
+        b
+    }
+
+    /// Whether the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Expands the box to contain `p`.
+    pub fn grow(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns the box expanded by `margin` on every side.
+    pub fn padded(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// Edge lengths (zero vector for the empty box).
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Geometric centre. Panics on the empty box.
+    pub fn center(&self) -> Vec3 {
+        assert!(!self.is_empty(), "center() of an empty Aabb");
+        (self.min + self.max) * 0.5
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Whether two boxes overlap (boundary contact counts).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Squared distance from `p` to the box (0 inside). Cell-list pruning
+    /// uses this to skip whole cells that cannot be within the cutoff.
+    pub fn distance_sq_to_point(&self, p: Vec3) -> f64 {
+        let clamped = Vec3::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+            p.z.clamp(self.min.z, self.max.z),
+        );
+        clamped.distance_sq(p)
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_properties() {
+        let b = Aabb::EMPTY;
+        assert!(b.is_empty());
+        assert_eq!(b.extent(), Vec3::ZERO);
+        assert!(!b.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.0, 0.0, 10.0),
+        ];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 10.0));
+    }
+
+    #[test]
+    fn center_and_extent() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn new_rejects_inverted_corners() {
+        let _ = Aabb::new(Vec3::X, Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn center_of_empty_panics() {
+        let _ = Aabb::EMPTY.center();
+    }
+
+    #[test]
+    fn padding_expands_symmetrically() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0)).padded(0.5);
+        assert_eq!(b.min, Vec3::splat(-0.5));
+        assert_eq!(b.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let touching = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        let apart = Aabb::new(Vec3::splat(1.5), Vec3::splat(2.0));
+        assert!(a.intersects(&touching));
+        assert!(!a.intersects(&apart));
+        assert!(!a.intersects(&Aabb::EMPTY));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Vec3::ZERO) && u.contains(Vec3::splat(3.0)));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert_eq!(b.distance_sq_to_point(Vec3::splat(0.5)), 0.0);
+        assert_eq!(b.distance_sq_to_point(Vec3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance_sq_to_point(Vec3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn grown_box_contains_point(
+            xs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64), 1..50)
+        ) {
+            let pts: Vec<Vec3> = xs.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect();
+            let b = Aabb::from_points(pts.iter().copied());
+            for p in &pts {
+                prop_assert!(b.contains(*p));
+            }
+        }
+
+        #[test]
+        fn union_is_commutative_and_contains_operands(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, bz in -10.0..10.0f64,
+        ) {
+            let a = Aabb::from_points([Vec3::new(ax, ay, 0.0), Vec3::new(0.0, 0.0, 1.0)]);
+            let b = Aabb::from_points([Vec3::new(bx, 0.0, bz), Vec3::new(1.0, 1.0, 0.0)]);
+            let u1 = a.union(&b);
+            let u2 = b.union(&a);
+            prop_assert_eq!(u1, u2);
+            prop_assert!(u1.contains(a.min) && u1.contains(b.max));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Small, dependency-light 3D math library underpinning the DQN-Docking
+//! reproduction.
+//!
+//! Everything geometric in the workspace — atom coordinates, rigid-body
+//! ligand poses, binding-site bounding boxes — is built on the types in this
+//! crate:
+//!
+//! * [`Vec3`] — a 3-component `f64` vector with the usual algebra.
+//! * [`Mat3`] — a 3×3 matrix, used for rotation matrices and inertia tensors.
+//! * [`Quat`] — unit quaternions for composable, drift-free 3D rotations.
+//! * [`Transform`] — a rigid-body transform (rotation + translation), the
+//!   mathematical core of a ligand *pose*.
+//! * [`Aabb`] — axis-aligned bounding boxes for spatial acceleration
+//!   structures (cell lists in the `metadock` crate).
+//! * [`stats`] — tiny online statistics helpers used by benchmark harnesses
+//!   and training-curve recorders.
+//!
+//! The crate is deliberately `f64`-only: docking scores blow through twelve
+//! orders of magnitude at steric-clash distances (the r⁻¹² Lennard-Jones
+//! wall), so single precision is not an option on the scoring path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod mat3;
+pub mod quat;
+pub mod stats;
+pub mod transform;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use mat3::Mat3;
+pub use quat::Quat;
+pub use transform::Transform;
+pub use vec3::Vec3;
+
+/// Numeric tolerance used by approximate comparisons throughout the
+/// workspace's geometry code.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in absolute terms
+/// or by `tol` relative to the larger magnitude.
+///
+/// Used by tests and by geometry code that needs to treat nearly-identical
+/// floating point values as equal (e.g. detecting degenerate rotation axes).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let largest = a.abs().max(b.abs());
+    diff <= largest * tol
+}
+
+/// Degrees → radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * std::f64::consts::PI / 180.0
+}
+
+/// Radians → degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-9));
+    }
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        for deg in [-720.0, -90.0, 0.0, 0.5, 45.0, 180.0, 359.0] {
+            assert!(approx_eq(rad_to_deg(deg_to_rad(deg)), deg, 1e-12));
+        }
+    }
+
+    #[test]
+    fn half_turn_is_pi() {
+        assert!(approx_eq(deg_to_rad(180.0), std::f64::consts::PI, 1e-15));
+    }
+}

@@ -1,0 +1,394 @@
+//! 3×3 matrices (row-major).
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A 3×3 matrix of `f64`, stored row-major.
+///
+/// Used for rotation matrices (conversions from [`crate::Quat`]) and for the
+/// inertia-like tensors that the synthetic-molecule generator uses to orient
+/// pocket axes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major elements: `m[r][c]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Builds a matrix from rows.
+    #[inline]
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// Builds a diagonal matrix.
+    #[inline]
+    pub const fn diag(d0: f64, d1: f64, d2: f64) -> Self {
+        Mat3::from_rows([d0, 0.0, 0.0], [0.0, d1, 0.0], [0.0, 0.0, d2])
+    }
+
+    /// Row `r` as a [`Vec3`].
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::from_array(self.m[r])
+    }
+
+    /// Column `c` as a [`Vec3`].
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Matrix transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3::from_rows(
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        )
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Trace (sum of diagonal elements).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Inverse, or `None` when the determinant is (nearly) zero.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < crate::EPSILON {
+            return None;
+        }
+        let m = &self.m;
+        let inv_d = 1.0 / d;
+        // Adjugate / determinant.
+        Some(Mat3::from_rows(
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_d,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_d,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_d,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_d,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d,
+            ],
+        ))
+    }
+
+    /// Rotation matrix around an arbitrary (normalized internally) axis by
+    /// `angle` radians, using Rodrigues' formula.
+    pub fn rotation_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
+        let a = axis.normalized_or_x();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3::from_rows(
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        )
+    }
+
+    /// Eigen-decomposition of a **symmetric** matrix by cyclic Jacobi
+    /// rotations. Returns `(eigenvalues, eigenvectors)` with eigenvalues
+    /// sorted descending and `eigenvectors.col(k)` the unit eigenvector of
+    /// `eigenvalues[k]`.
+    ///
+    /// Used for gyration/inertia tensors (principal molecular axes).
+    /// Results are meaningless for non-symmetric input; the method
+    /// symmetrises implicitly by only reading the upper triangle.
+    pub fn symmetric_eigen(&self) -> ([f64; 3], Mat3) {
+        let mut a = *self;
+        // Enforce symmetry from the upper triangle.
+        a.m[1][0] = a.m[0][1];
+        a.m[2][0] = a.m[0][2];
+        a.m[2][1] = a.m[1][2];
+        let mut v = Mat3::IDENTITY;
+        for _sweep in 0..64 {
+            let off = a.m[0][1].abs() + a.m[0][2].abs() + a.m[1][2].abs();
+            if off < 1e-14 {
+                break;
+            }
+            for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
+                let apq = a.m[p][q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a.m[q][q] - a.m[p][p]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // A ← Jᵀ A J and V ← V J for the (p,q) rotation J.
+                for k in 0..3 {
+                    let akp = a.m[k][p];
+                    let akq = a.m[k][q];
+                    a.m[k][p] = c * akp - s * akq;
+                    a.m[k][q] = s * akp + c * akq;
+                }
+                for k in 0..3 {
+                    let apk = a.m[p][k];
+                    let aqk = a.m[q][k];
+                    a.m[p][k] = c * apk - s * aqk;
+                    a.m[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..3 {
+                    let vkp = v.m[k][p];
+                    let vkq = v.m[k][q];
+                    v.m[k][p] = c * vkp - s * vkq;
+                    v.m[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+        // Sort eigenpairs descending.
+        let mut pairs: [(f64, usize); 3] =
+            [(a.m[0][0], 0), (a.m[1][1], 1), (a.m[2][2], 2)];
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        let values = [pairs[0].0, pairs[1].0, pairs[2].0];
+        let mut vectors = Mat3::ZERO;
+        for (dst, &(_, src)) in pairs.iter().enumerate() {
+            for r in 0..3 {
+                vectors.m[r][dst] = v.m[r][src];
+            }
+        }
+        (values, vectors)
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.m.iter().flatten().all(|v| v.is_finite())
+    }
+
+    /// Elementwise approximate comparison.
+    pub fn approx_eq(&self, other: &Mat3, tol: f64) -> bool {
+        self.m
+            .iter()
+            .flatten()
+            .zip(other.m.iter().flatten())
+            .all(|(a, b)| crate::approx_eq(*a, *b, tol))
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.row(r).dot(rhs.col(c));
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for row in &mut out.m {
+            for v in row {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] - rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_times_vector_is_vector() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+    }
+
+    #[test]
+    fn rotation_quarter_turn_about_z() {
+        let r = Mat3::rotation_axis_angle(Vec3::Z, FRAC_PI_2);
+        let v = r * Vec3::X;
+        assert!(v.approx_eq(Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn rotation_half_turn_about_y() {
+        let r = Mat3::rotation_axis_angle(Vec3::Y, PI);
+        assert!((r * Vec3::X).approx_eq(-Vec3::X, 1e-12));
+        assert!((r * Vec3::Z).approx_eq(-Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_rotation_is_one() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.7);
+        assert!(crate::approx_eq(r.det(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_of_rotation_is_transpose() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 1.0, 0.0), 1.1);
+        let inv = r.inverse().unwrap();
+        assert!(inv.approx_eq(&r.transpose(), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let singular = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]);
+        assert!(singular.inverse().is_none());
+    }
+
+    #[test]
+    fn diag_and_trace() {
+        let d = Mat3::diag(1.0, 2.0, 3.0);
+        assert_eq!(d.trace(), 6.0);
+        assert_eq!(d * Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn matrix_product_against_hand_computed() {
+        let a = Mat3::from_rows([1.0, 2.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]);
+        let b = Mat3::from_rows([1.0, 0.0, 0.0], [3.0, 1.0, 0.0], [0.0, 0.0, 1.0]);
+        let ab = a * b;
+        assert_eq!(ab.m[0], [7.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let (vals, vecs) = Mat3::diag(3.0, 1.0, 2.0).symmetric_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 1.0).abs() < 1e-12);
+        // Top eigenvector is ±x.
+        assert!(vecs.col(0).abs().approx_eq(Vec3::X, 1e-9));
+    }
+
+    #[test]
+    fn eigen_reconstructs_the_matrix() {
+        let m = Mat3::from_rows([4.0, 1.0, 0.5], [1.0, 3.0, -0.25], [0.5, -0.25, 2.0]);
+        let (vals, vecs) = m.symmetric_eigen();
+        // A ≈ V diag(λ) Vᵀ
+        let rebuilt = vecs * Mat3::diag(vals[0], vals[1], vals[2]) * vecs.transpose();
+        assert!(rebuilt.approx_eq(&m, 1e-9), "{rebuilt:?}");
+        // Trace and determinant invariants.
+        assert!((vals.iter().sum::<f64>() - m.trace()).abs() < 1e-9);
+        assert!((vals[0] * vals[1] * vals[2] - m.det()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Mat3::from_rows([2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]);
+        let (_, vecs) = m.symmetric_eigen();
+        let id = vecs.transpose() * vecs;
+        assert!(id.approx_eq(&Mat3::IDENTITY, 1e-9));
+    }
+
+    #[test]
+    fn eigen_satisfies_av_equals_lambda_v() {
+        let m = Mat3::from_rows([5.0, 2.0, 1.0], [2.0, 4.0, 0.0], [1.0, 0.0, 3.0]);
+        let (vals, vecs) = m.symmetric_eigen();
+        for (k, &lambda) in vals.iter().enumerate() {
+            let v = vecs.col(k);
+            let av = m * v;
+            assert!(av.approx_eq(v * lambda, 1e-8), "pair {k}");
+        }
+    }
+
+    fn arb_rotation() -> impl Strategy<Value = Mat3> {
+        (
+            (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
+            -PI..PI,
+        )
+            .prop_filter("non-zero axis", |((x, y, z), _)| {
+                Vec3::new(*x, *y, *z).norm() > 1e-3
+            })
+            .prop_map(|((x, y, z), ang)| Mat3::rotation_axis_angle(Vec3::new(x, y, z), ang))
+    }
+
+    proptest! {
+        #[test]
+        fn rotations_preserve_norm(r in arb_rotation(), x in -10.0..10.0f64, y in -10.0..10.0f64, z in -10.0..10.0f64) {
+            let v = Vec3::new(x, y, z);
+            prop_assert!(crate::approx_eq((r * v).norm(), v.norm(), 1e-9));
+        }
+
+        #[test]
+        fn rotation_composition_is_associative(a in arb_rotation(), b in arb_rotation(), c in arb_rotation()) {
+            let lhs = (a * b) * c;
+            let rhs = a * (b * c);
+            prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+
+        #[test]
+        fn det_of_product_is_product_of_dets(a in arb_rotation(), b in arb_rotation()) {
+            prop_assert!(crate::approx_eq((a * b).det(), a.det() * b.det(), 1e-9));
+        }
+    }
+}

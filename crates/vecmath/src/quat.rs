@@ -1,0 +1,306 @@
+//! Unit quaternions for 3D rotation.
+//!
+//! Ligand poses in the docking engine are `(translation, orientation)` pairs
+//! where orientation is a unit quaternion: the agent's ±0.5° rotation actions
+//! compose hundreds of times per episode, and quaternions stay numerically
+//! well-conditioned where accumulated rotation matrices drift.
+
+use crate::{Mat3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`. All public constructors of rotations
+/// return *unit* quaternions; use [`Quat::normalized`] after long chains of
+/// composition to shed floating-point drift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// i component.
+    pub x: f64,
+    /// j component.
+    pub y: f64,
+    /// k component.
+    pub z: f64,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Builds a quaternion from raw components (not necessarily unit).
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis` (normalized internally;
+    /// degenerate axes yield the identity-like rotation about +x).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        let a = axis.normalized_or_x();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Quat::new(c, a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Recovers `(axis, angle)` with `angle ∈ [0, π]`.
+    ///
+    /// For the identity rotation the axis is reported as +x.
+    pub fn to_axis_angle(self) -> (Vec3, f64) {
+        let q = self.normalized();
+        // Clamp for safety: |w| can exceed 1 by floating point noise.
+        let w = q.w.clamp(-1.0, 1.0);
+        let angle = 2.0 * w.acos();
+        let s = (1.0 - w * w).sqrt();
+        if s < crate::EPSILON {
+            (Vec3::X, 0.0)
+        } else {
+            let axis = Vec3::new(q.x / s, q.y / s, q.z / s);
+            if angle > std::f64::consts::PI {
+                (-axis, 2.0 * std::f64::consts::PI - angle)
+            } else {
+                (axis, angle)
+            }
+        }
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns a unit-length copy (identity when degenerate).
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < crate::EPSILON {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// The conjugate; for unit quaternions this is the inverse rotation.
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotates a vector by this (assumed unit) quaternion.
+    ///
+    /// Uses the expanded `v' = v + 2w(u×v) + 2(u×(u×v))` form, which avoids
+    /// constructing intermediate quaternions on the hot path.
+    #[inline]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let u = Vec3::new(self.x, self.y, self.z);
+        let t = u.cross(v) * 2.0;
+        v + t * self.w + u.cross(t)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Angular distance to `other` in radians, in `[0, π]`.
+    ///
+    /// This is the magnitude of the rotation taking `self` to `other`, a
+    /// natural metric for "how far has the ligand's orientation moved".
+    pub fn angle_to(self, other: Quat) -> f64 {
+        let d = (self.normalized() * other.normalized().conjugate()).normalized();
+        let w = d.w.abs().clamp(0.0, 1.0);
+        2.0 * w.acos()
+    }
+
+    /// Uniformly random unit quaternion (Shoemake's subgroup algorithm).
+    ///
+    /// Used by the metaheuristic initializers to seed unbiased ligand
+    /// orientations.
+    pub fn random_uniform<R: Rng + ?Sized>(rng: &mut R) -> Quat {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let u3: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let a = (1.0 - u1).sqrt();
+        let b = u1.sqrt();
+        Quat::new(a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos()).normalized()
+    }
+
+    /// Whether every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Approximate equality *as rotations*: `q` and `−q` encode the same
+    /// rotation and compare equal here.
+    pub fn approx_eq_rotation(self, other: Quat, tol: f64) -> bool {
+        self.angle_to(other) <= tol
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    /// Hamilton product; `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    fn mul(self, r: Quat) -> Quat {
+        Quat::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(Quat::IDENTITY.rotate(v).approx_eq(v, 1e-12));
+    }
+
+    #[test]
+    fn quarter_turn_about_z_maps_x_to_y() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(q.rotate(Vec3::X).approx_eq(Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_is_inverse() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -1.0), 0.8);
+        let v = Vec3::new(0.3, -0.7, 2.0);
+        assert!(q.conjugate().rotate(q.rotate(v)).approx_eq(v, 1e-12));
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.3);
+        let b = Quat::from_axis_angle(Vec3::Y, 1.1);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((a * b).rotate(v).approx_eq(a.rotate(b.rotate(v)), 1e-12));
+    }
+
+    #[test]
+    fn axis_angle_roundtrip() {
+        let axis = Vec3::new(1.0, -2.0, 0.5).normalized().unwrap();
+        let q = Quat::from_axis_angle(axis, 1.3);
+        let (ax, ang) = q.to_axis_angle();
+        assert!(ax.approx_eq(axis, 1e-9));
+        assert!(crate::approx_eq(ang, 1.3, 1e-9));
+    }
+
+    #[test]
+    fn axis_angle_of_identity() {
+        let (_, ang) = Quat::IDENTITY.to_axis_angle();
+        assert_eq!(ang, 0.0);
+    }
+
+    #[test]
+    fn to_mat3_matches_rotate() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, 0.9, -0.4), 2.1);
+        let m = q.to_mat3();
+        let v = Vec3::new(-1.0, 0.5, 2.0);
+        assert!((m * v).approx_eq(q.rotate(v), 1e-10));
+    }
+
+    #[test]
+    fn negated_quaternion_is_same_rotation() {
+        let q = Quat::from_axis_angle(Vec3::Y, 0.7);
+        let neg = Quat::new(-q.w, -q.x, -q.y, -q.z);
+        assert!(q.approx_eq_rotation(neg, 1e-9));
+    }
+
+    #[test]
+    fn angle_to_self_is_zero_and_half_turn_is_pi() {
+        let q = Quat::from_axis_angle(Vec3::Z, 0.4);
+        assert!(q.angle_to(q) < 1e-9);
+        let r = q * Quat::from_axis_angle(Vec3::X, PI);
+        assert!(crate::approx_eq(q.angle_to(r), PI, 1e-9));
+    }
+
+    #[test]
+    fn many_small_rotations_accumulate_correctly() {
+        // 720 steps of 0.5° about z = full turn; this is exactly the agent's
+        // rotation action granularity from the paper (Table 1).
+        let step = Quat::from_axis_angle(Vec3::Z, crate::deg_to_rad(0.5));
+        let mut q = Quat::IDENTITY;
+        for _ in 0..720 {
+            q = (step * q).normalized();
+        }
+        assert!(q.rotate(Vec3::X).approx_eq(Vec3::X, 1e-9));
+    }
+
+    #[test]
+    fn random_quaternions_are_unit_and_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = Quat::random_uniform(&mut rng);
+        assert!(crate::approx_eq(a.norm(), 1.0, 1e-12));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let b = Quat::random_uniform(&mut rng2);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn rotation_preserves_norm(
+            ax in -1.0..1.0f64, ay in -1.0..1.0f64, az in -1.0..1.0f64,
+            ang in -PI..PI,
+            vx in -10.0..10.0f64, vy in -10.0..10.0f64, vz in -10.0..10.0f64,
+        ) {
+            prop_assume!(Vec3::new(ax, ay, az).norm() > 1e-3);
+            let q = Quat::from_axis_angle(Vec3::new(ax, ay, az), ang);
+            let v = Vec3::new(vx, vy, vz);
+            prop_assert!(crate::approx_eq(q.rotate(v).norm(), v.norm(), 1e-9));
+        }
+
+        #[test]
+        fn hamilton_product_preserves_unit_norm(
+            a1 in -PI..PI, a2 in -PI..PI,
+        ) {
+            let p = Quat::from_axis_angle(Vec3::X, a1);
+            let q = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 1.0), a2);
+            prop_assert!(crate::approx_eq((p * q).norm(), 1.0, 1e-9));
+        }
+
+        #[test]
+        fn rotate_distributes_over_addition(
+            ang in -PI..PI,
+            vx in -5.0..5.0f64, vy in -5.0..5.0f64, vz in -5.0..5.0f64,
+            wx in -5.0..5.0f64, wy in -5.0..5.0f64, wz in -5.0..5.0f64,
+        ) {
+            let q = Quat::from_axis_angle(Vec3::new(1.0, 0.3, -0.2), ang);
+            let v = Vec3::new(vx, vy, vz);
+            let w = Vec3::new(wx, wy, wz);
+            prop_assert!(q.rotate(v + w).approx_eq(q.rotate(v) + q.rotate(w), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Rigid-body transforms (rotation followed by translation).
+
+use crate::{Quat, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A rigid-body transform `x ↦ R·x + t`.
+///
+/// A ligand *pose* in the docking engine is a `Transform` applied to the
+/// ligand's reference coordinates (plus torsion angles when the flexible
+/// extension is enabled). Transforms compose left-to-right with
+/// [`Transform::then`]: `a.then(b)` applies `a` first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Transform {
+    /// Rotation applied about the origin.
+    pub rotation: Quat,
+    /// Translation applied after the rotation.
+    pub translation: Vec3,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        rotation: Quat::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Creates a transform from rotation and translation.
+    pub fn new(rotation: Quat, translation: Vec3) -> Self {
+        Transform { rotation, translation }
+    }
+
+    /// Pure translation.
+    pub fn translate(t: Vec3) -> Self {
+        Transform::new(Quat::IDENTITY, t)
+    }
+
+    /// Pure rotation about the origin.
+    pub fn rotate(q: Quat) -> Self {
+        Transform::new(q, Vec3::ZERO)
+    }
+
+    /// Rotation of `angle` radians about an axis through `pivot`.
+    ///
+    /// This is how the agent's rotate actions are realised: the ligand spins
+    /// about its own centre of mass, not about the world origin.
+    pub fn rotate_about(pivot: Vec3, axis: Vec3, angle: f64) -> Self {
+        let q = Quat::from_axis_angle(axis, angle);
+        // R·(x − p) + p  =  R·x + (p − R·p)
+        Transform::new(q, pivot - q.rotate(pivot))
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Applies the transform to every point of a slice, writing into `out`.
+    ///
+    /// `out.len()` must equal `points.len()`; the loop form (rather than an
+    /// iterator chain with `collect`) lets callers reuse a workhorse buffer
+    /// across the millions of pose evaluations a docking run performs.
+    pub fn apply_slice(&self, points: &[Vec3], out: &mut [Vec3]) {
+        assert_eq!(points.len(), out.len(), "apply_slice buffer length mismatch");
+        for (dst, src) in out.iter_mut().zip(points) {
+            *dst = self.apply(*src);
+        }
+    }
+
+    /// Composition: the transform that applies `self` first, then `next`.
+    pub fn then(&self, next: &Transform) -> Transform {
+        Transform {
+            rotation: (next.rotation * self.rotation).normalized(),
+            translation: next.rotation.rotate(self.translation) + next.translation,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Transform {
+        let inv_rot = self.rotation.conjugate();
+        Transform {
+            rotation: inv_rot,
+            translation: -inv_rot.rotate(self.translation),
+        }
+    }
+
+    /// Renormalizes the rotation component; call after long action chains.
+    pub fn renormalized(&self) -> Transform {
+        Transform {
+            rotation: self.rotation.normalized(),
+            translation: self.translation,
+        }
+    }
+
+    /// Whether all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.rotation.is_finite() && self.translation.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Transform::IDENTITY.apply(p), p);
+    }
+
+    #[test]
+    fn translation_only() {
+        let t = Transform::translate(Vec3::new(1.0, 0.0, -1.0));
+        assert_eq!(t.apply(Vec3::ZERO), Vec3::new(1.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn rotate_about_pivot_fixes_pivot() {
+        let pivot = Vec3::new(3.0, -2.0, 5.0);
+        let t = Transform::rotate_about(pivot, Vec3::Z, 1.234);
+        assert!(t.apply(pivot).approx_eq(pivot, 1e-10));
+    }
+
+    #[test]
+    fn rotate_about_pivot_quarter_turn() {
+        let pivot = Vec3::new(1.0, 1.0, 0.0);
+        let t = Transform::rotate_about(pivot, Vec3::Z, FRAC_PI_2);
+        // Point one unit +x of the pivot should end one unit +y of the pivot.
+        let p = pivot + Vec3::X;
+        assert!(t.apply(p).approx_eq(pivot + Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn composition_order() {
+        let a = Transform::translate(Vec3::X);
+        let b = Transform::rotate(Quat::from_axis_angle(Vec3::Z, FRAC_PI_2));
+        // a then b: translate to (1,0,0), then rotate to (0,1,0).
+        let p = a.then(&b).apply(Vec3::ZERO);
+        assert!(p.approx_eq(Vec3::Y, 1e-12));
+        // b then a: rotate (noop at origin), then translate.
+        let q = b.then(&a).apply(Vec3::ZERO);
+        assert!(q.approx_eq(Vec3::X, 1e-12));
+    }
+
+    #[test]
+    fn inverse_undoes_transform() {
+        let t = Transform::new(
+            Quat::from_axis_angle(Vec3::new(1.0, 1.0, 1.0), 0.9),
+            Vec3::new(4.0, -1.0, 2.0),
+        );
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        assert!(t.inverse().apply(t.apply(p)).approx_eq(p, 1e-10));
+    }
+
+    #[test]
+    fn apply_slice_matches_apply() {
+        let t = Transform::rotate_about(Vec3::ZERO, Vec3::Y, PI / 3.0);
+        let pts = [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, 3.0)];
+        let mut out = [Vec3::ZERO; 4];
+        t.apply_slice(&pts, &mut out);
+        for (o, p) in out.iter().zip(&pts) {
+            assert!(o.approx_eq(t.apply(*p), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_slice_length_mismatch_panics() {
+        let mut out = [Vec3::ZERO; 1];
+        Transform::IDENTITY.apply_slice(&[Vec3::X, Vec3::Y], &mut out);
+    }
+
+    proptest! {
+        #[test]
+        fn then_matches_sequential_application(
+            ang1 in -PI..PI, ang2 in -PI..PI,
+            tx in -5.0..5.0f64, ty in -5.0..5.0f64,
+            px in -5.0..5.0f64, py in -5.0..5.0f64, pz in -5.0..5.0f64,
+        ) {
+            let a = Transform::new(Quat::from_axis_angle(Vec3::X, ang1), Vec3::new(tx, ty, 0.0));
+            let b = Transform::new(Quat::from_axis_angle(Vec3::Z, ang2), Vec3::new(0.0, ty, tx));
+            let p = Vec3::new(px, py, pz);
+            prop_assert!(a.then(&b).apply(p).approx_eq(b.apply(a.apply(p)), 1e-9));
+        }
+
+        #[test]
+        fn rigid_transform_preserves_distances(
+            ang in -PI..PI,
+            tx in -5.0..5.0f64,
+            px in -5.0..5.0f64, py in -5.0..5.0f64,
+            qx in -5.0..5.0f64, qz in -5.0..5.0f64,
+        ) {
+            let t = Transform::new(
+                Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.5), ang),
+                Vec3::new(tx, -tx, 2.0 * tx),
+            );
+            let p = Vec3::new(px, py, 0.0);
+            let q = Vec3::new(qx, 0.0, qz);
+            prop_assert!(crate::approx_eq(
+                t.apply(p).distance(t.apply(q)),
+                p.distance(q),
+                1e-9,
+            ));
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Three-component `f64` vector.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3D vector of `f64` components.
+///
+/// The workhorse of the workspace: atom positions, translation steps,
+/// centre-of-mass offsets and bounding-box corners are all `Vec3`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Creates a vector from a `[x, y, z]` array.
+    #[inline]
+    pub const fn from_array(a: [f64; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// Returns the components as a `[x, y, z]` array.
+    #[inline]
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Vec3::norm`]; preferred on the
+    /// scoring hot path where only distance *comparisons* are needed.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to `other`.
+    #[inline]
+    pub fn distance_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Returns a unit-length copy, or `None` if the norm is (nearly) zero.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < crate::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Like [`Vec3::normalized`] but falls back to +x for degenerate input.
+    ///
+    /// Convenient for rotation-axis construction where a zero axis means
+    /// "no rotation" and any axis will do.
+    #[inline]
+    pub fn normalized_or_x(self) -> Vec3 {
+        self.normalized().unwrap_or(Vec3::X)
+    }
+
+    /// Componentwise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Componentwise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Componentwise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Angle between `self` and `other` in radians, in `[0, π]`.
+    ///
+    /// Returns 0 if either vector is degenerate. Used for hydrogen-bond
+    /// directionality in the scoring function.
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom < crate::EPSILON {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Projection of `self` onto `other` (zero if `other` is degenerate).
+    pub fn project_onto(self, other: Vec3) -> Vec3 {
+        let d = other.norm_sq();
+        if d < crate::EPSILON * crate::EPSILON {
+            return Vec3::ZERO;
+        }
+        other * (self.dot(other) / d)
+    }
+
+    /// `true` if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Returns `true` when `self` and `other` agree componentwise within
+    /// `tol` (absolute-or-relative, see [`crate::approx_eq`]).
+    pub fn approx_eq(self, other: Vec3, tol: f64) -> bool {
+        crate::approx_eq(self.x, other.x, tol)
+            && crate::approx_eq(self.y, other.y, tol)
+            && crate::approx_eq(self.z, other.z, tol)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3::new(x, y, z)
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let a = v(1.0, 2.0, 3.0);
+        let b = v(4.0, 5.0, 6.0);
+        assert_eq!(a + b, v(5.0, 7.0, 9.0));
+        assert_eq!(b - a, v(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, v(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, v(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, v(0.5, 1.0, 1.5));
+        assert_eq!(-a, v(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut a = v(1.0, 1.0, 1.0);
+        a += v(1.0, 2.0, 3.0);
+        a -= v(0.5, 0.5, 0.5);
+        a *= 2.0;
+        a /= 4.0;
+        assert!(a.approx_eq(v(0.75, 1.25, 1.75), 1e-12));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = v(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.distance(Vec3::ZERO), 5.0);
+        assert_eq!(a.distance_sq(v(3.0, 4.0, 12.0)), 144.0);
+    }
+
+    #[test]
+    fn normalization() {
+        assert!(v(0.0, 3.0, 0.0).normalized().unwrap().approx_eq(Vec3::Y, 1e-12));
+        assert!(Vec3::ZERO.normalized().is_none());
+        assert_eq!(Vec3::ZERO.normalized_or_x(), Vec3::X);
+    }
+
+    #[test]
+    fn angle_between_orthogonal_axes_is_right_angle() {
+        assert!(crate::approx_eq(
+            Vec3::X.angle_to(Vec3::Y),
+            std::f64::consts::FRAC_PI_2,
+            1e-12
+        ));
+        assert!(crate::approx_eq(Vec3::X.angle_to(Vec3::X), 0.0, 1e-12));
+        assert!(crate::approx_eq(
+            Vec3::X.angle_to(-Vec3::X),
+            std::f64::consts::PI,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn angle_to_degenerate_vector_is_zero() {
+        assert_eq!(Vec3::X.angle_to(Vec3::ZERO), 0.0);
+    }
+
+    #[test]
+    fn projection() {
+        let p = v(3.0, 4.0, 0.0).project_onto(Vec3::X);
+        assert!(p.approx_eq(v(3.0, 0.0, 0.0), 1e-12));
+        assert_eq!(v(1.0, 1.0, 1.0).project_onto(Vec3::ZERO), Vec3::ZERO);
+    }
+
+    #[test]
+    fn indexing() {
+        let a = v(7.0, 8.0, 9.0);
+        assert_eq!(a[0], 7.0);
+        assert_eq!(a[1], 8.0);
+        assert_eq!(a[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = v(0.0, 0.0, 0.0)[3];
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = v(0.0, 0.0, 0.0);
+        let b = v(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), v(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let total: Vec3 = [v(1.0, 0.0, 0.0), v(0.0, 2.0, 0.0), v(0.0, 0.0, 3.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, v(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn array_conversions() {
+        let a = Vec3::from([1.0, 2.0, 3.0]);
+        let arr: [f64; 3] = a.into();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = v(-1.0, 5.0, 2.0);
+        let b = v(0.0, 4.0, 3.0);
+        assert_eq!(a.min(b), v(-1.0, 4.0, 2.0));
+        assert_eq!(a.max(b), v(0.0, 5.0, 3.0));
+        assert_eq!(a.abs(), v(1.0, 5.0, 2.0));
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn cross_is_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+            let c = a.cross(b);
+            // a·(a×b) = 0 up to floating point noise proportional to magnitudes.
+            let scale = (a.norm() * b.norm()).max(1.0);
+            prop_assert!(c.dot(a).abs() <= 1e-6 * scale * a.norm().max(1.0));
+            prop_assert!(c.dot(b).abs() <= 1e-6 * scale * b.norm().max(1.0));
+        }
+
+        #[test]
+        fn triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        }
+
+        #[test]
+        fn normalized_has_unit_norm(a in arb_vec3()) {
+            if let Some(n) = a.normalized() {
+                prop_assert!(crate::approx_eq(n.norm(), 1.0, 1e-9));
+            }
+        }
+
+        #[test]
+        fn dot_is_commutative(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert_eq!(a.dot(b), b.dot(a));
+        }
+
+        #[test]
+        fn cross_is_anticommutative(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!(a.cross(b).approx_eq(-(b.cross(a)), 1e-9));
+        }
+
+        #[test]
+        fn lagrange_identity(a in arb_vec3(), b in arb_vec3()) {
+            // |a×b|² = |a|²|b|² − (a·b)²
+            let lhs = a.cross(b).norm_sq();
+            let rhs = a.norm_sq() * b.norm_sq() - a.dot(b).powi(2);
+            let scale = (a.norm_sq() * b.norm_sq()).max(1.0);
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * scale);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The full classical docking toolchain on one complex: blind surface-spot
+//! search → binding-mode clustering → local refinement of the top mode →
+//! comparison with the known crystallographic pose.
+//!
+//! Run with: `cargo run --release --example blind_and_refine`
+
+use metadock::{blind_dock, cluster_poses, local_optimize, DockingEngine, RefineParams};
+use molkit::SyntheticComplexSpec;
+
+fn main() {
+    let complex = SyntheticComplexSpec::scaled().generate();
+    let engine = DockingEngine::with_defaults(complex);
+    println!(
+        "complex: {} receptor atoms / {} ligand atoms; crystal score {:.2}\n",
+        engine.complex().receptor.len(),
+        engine.complex().ligand.len(),
+        engine.crystal_score()
+    );
+
+    // 1. Blind docking: no knowledge of the binding site.
+    println!("1. blind surface-spot search...");
+    let blind = blind_dock(&engine, 8.0, 400, 42);
+    println!(
+        "   {} spots searched, best spot score {:.2}",
+        blind.per_spot.len(),
+        blind.best().outcome.best_score
+    );
+
+    // 2. Cluster spot winners into distinct binding modes.
+    let poses: Vec<metadock::Pose> = blind
+        .per_spot
+        .iter()
+        .map(|r| r.outcome.best_pose.clone())
+        .collect();
+    let scores: Vec<f64> = blind
+        .per_spot
+        .iter()
+        .map(|r| r.outcome.best_score)
+        .collect();
+    let modes = cluster_poses(&engine, &poses, &scores, 4.0);
+    println!("2. {} distinct binding modes after clustering", modes.len());
+
+    // 3. Refine the top mode's representative pose.
+    println!("3. local refinement of the top mode...");
+    let top = &modes[0];
+    let refined = local_optimize(&engine, &top.representative, RefineParams::default());
+    println!(
+        "   {:.2} -> {:.2} in {} evaluations",
+        top.best_score, refined.score, refined.evaluations
+    );
+
+    // 4. Compare with the crystallographic truth.
+    let rmsd = engine
+        .complex()
+        .rmsd_to_crystal(&refined.pose.transform);
+    println!("\nfinal pose: score {:.2}, RMSD to crystal {:.2} Å", refined.score, rmsd);
+    println!(
+        "crystal pose scores {:.2}; blind pipeline {} it without being told the site.",
+        engine.crystal_score(),
+        if refined.score >= engine.crystal_score() {
+            "matched or beat"
+        } else {
+            "approached"
+        }
+    );
+}

@@ -1,0 +1,91 @@
+//! Virtual screening: dock a library of ligands against ONE receptor with
+//! the METADOCK metaheuristic engine and rank them — the application
+//! workflow the paper's introduction motivates (§2.1: filter libraries of
+//! compounds, find the binders).
+//!
+//! The synthetic library plants a known true binder (`LIG-REF`, the ligand
+//! the receptor pocket was imprinted for) among decoys; a good screen
+//! should rank it first.
+//!
+//! Run with: `cargo run --release --example virtual_screening`
+
+use metadock::{DockingEngine, Metaheuristic};
+use molkit::LibrarySpec;
+
+fn main() {
+    let budget = 4_000;
+    let spec = LibrarySpec::default(); // 1 reference + 7 decoys, shared receptor
+    let library = spec.generate();
+
+    println!(
+        "virtual screen: {} ligands against one {}-atom receptor, {budget} evaluations each\n",
+        library.len(),
+        library[0].complex.receptor.len()
+    );
+    println!(
+        "{:<10} {:>7} {:>8} {:>6} {:>6} {:>10} {:>12} {:>9}",
+        "ligand", "atoms", "MW(Da)", "HBD", "HBA", "rot.bonds", "best score", "RMSD(Å)"
+    );
+
+    // (name, raw score, ligand efficiency, is_reference)
+    let mut ranked: Vec<(String, f64, f64, bool)> = Vec::new();
+    for (i, entry) in library.iter().enumerate() {
+        let engine = DockingEngine::with_defaults(entry.complex.clone());
+        let outcome = Metaheuristic::genetic(budget, 7 + i as u64).run(&engine);
+        let rmsd = engine
+            .complex()
+            .rmsd_to_crystal(&outcome.best_pose.transform);
+        let d = &entry.descriptors;
+        println!(
+            "{:<10} {:>7} {:>8.1} {:>6} {:>6} {:>10} {:>12.2} {:>9.2}",
+            entry.name,
+            entry.complex.ligand.len(),
+            d.molecular_weight,
+            d.hbond_donors,
+            d.hbond_acceptors,
+            d.rotatable_bonds,
+            outcome.best_score,
+            rmsd
+        );
+        // Ligand efficiency: bigger molecules accrue more contacts, so raw
+        // docking scores favour sheer size; score-per-heavy-atom is the
+        // standard normalisation.
+        let le = outcome.best_score / d.heavy_atoms.max(1) as f64;
+        ranked.push((entry.name.clone(), outcome.best_score, le, entry.is_reference));
+    }
+
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nranking by raw score:");
+    for (rank, (name, score, _, is_ref)) in ranked.iter().enumerate() {
+        println!(
+            "  #{:<2} {:<10} {:>9.2}{}",
+            rank + 1,
+            name,
+            score,
+            if *is_ref { "   ← planted true binder" } else { "" }
+        );
+    }
+
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    println!("\nranking by ligand efficiency (score / heavy atom):");
+    for (rank, (name, _, le, is_ref)) in ranked.iter().enumerate() {
+        println!(
+            "  #{:<2} {:<10} {:>9.2}{}",
+            rank + 1,
+            name,
+            le,
+            if *is_ref { "   ← planted true binder" } else { "" }
+        );
+    }
+
+    let ref_rank = ranked.iter().position(|(_, _, _, r)| *r).unwrap() + 1;
+    println!(
+        "\nthe planted binder ranks #{ref_rank} of {} by ligand efficiency. Note the\n\
+         modest enrichment: the pocket funnel is electrostatic/H-bond\n\
+         complementarity, which chemically-similar decoys also exploit — the\n\
+         well-known specificity limit of empirical scoring functions (one\n\
+         reason the paper's intro calls VS accuracy 'constrained by the\n\
+         theory level used in their scoring functions').",
+        ranked.len()
+    );
+}

@@ -1,0 +1,121 @@
+//! Integration test of the paper's Algorithm 2: the full DQN-Docking loop
+//! with replay memory, ε-greedy action selection, TD learning and periodic
+//! target-network synchronisation, against the real docking environment.
+
+use dqn_docking::{trainer, Config, DockingEnv};
+use rl::{Environment, QFunction, Transition};
+
+fn tiny_config() -> Config {
+    let mut c = Config::tiny();
+    c.episodes = 6;
+    c.max_steps = 40;
+    c.dqn.learning_start = 30;
+    c.dqn.initial_exploration = 30;
+    c.dqn.target_update_every = 60;
+    c
+}
+
+#[test]
+fn the_full_loop_learns_something_and_stays_finite() {
+    let config = tiny_config();
+    let run = trainer::run(&config, |_| {});
+    assert_eq!(run.episodes.len(), 6);
+    // Learning must have started (episodes × steps > learning_start).
+    let learned_episodes = run
+        .episodes
+        .iter()
+        .filter(|e| e.mean_loss.is_some())
+        .count();
+    assert!(learned_episodes >= 1, "some episodes must have gradient steps");
+    for e in &run.episodes {
+        assert!(e.avg_max_q.is_finite());
+        if let Some(l) = e.mean_loss {
+            assert!(l.is_finite() && l >= 0.0, "loss {l}");
+        }
+    }
+    assert!(run.best_score.is_finite());
+}
+
+#[test]
+fn epsilon_decays_across_the_run_as_scheduled() {
+    let config = tiny_config();
+    let run = trainer::run(&config, |_| {});
+    let first = run.episodes.first().unwrap().epsilon;
+    let last = run.episodes.last().unwrap().epsilon;
+    assert!(last < first, "ε must decay: {first} → {last}");
+    assert!(last >= config.dqn.epsilon.final_value);
+}
+
+#[test]
+fn agent_environment_contract_is_satisfied() {
+    let config = tiny_config();
+    let mut env = DockingEnv::from_config(&config);
+    let mut agent = trainer::build_agent(&config, &env);
+    assert_eq!(agent.q_function().state_dim(), env.state_dim());
+    assert_eq!(agent.q_function().n_actions(), env.n_actions());
+
+    // Drive Algorithm 2's inner loop manually for one episode.
+    let mut state = env.reset();
+    for _ in 0..config.max_steps {
+        let action = agent.act(&state);
+        assert!(action < env.n_actions());
+        let out = env.step(action);
+        assert_eq!(out.state.len(), env.state_dim());
+        agent.observe(Transition {
+            state: state.clone(),
+            action,
+            reward: out.reward,
+            next_state: out.state.clone(),
+            terminal: out.terminal,
+        });
+        state = out.state;
+        if out.terminal {
+            break;
+        }
+    }
+    assert!(agent.steps() > 0);
+    assert_eq!(agent.replay_len() as u64, agent.steps());
+}
+
+#[test]
+fn target_network_stays_behind_online_network_between_syncs() {
+    let config = tiny_config();
+    let mut env = DockingEnv::from_config(&config);
+    let mut agent = trainer::build_agent(&config, &env);
+    let mut state = env.reset();
+    let probe = state.clone();
+
+    // Run exactly learning_start + 10 steps: learning active, but fewer
+    // than target_update_every steps so no sync has happened yet.
+    let steps = (config.dqn.learning_start + 10) as usize;
+    for _ in 0..steps {
+        let action = agent.act(&state);
+        let out = env.step(action);
+        agent.observe(Transition {
+            state: state.clone(),
+            action,
+            reward: out.reward,
+            next_state: out.state.clone(),
+            terminal: out.terminal,
+        });
+        state = if out.terminal { env.reset() } else { out.state };
+    }
+    assert!(agent.learn_steps() > 0, "learning must have happened");
+    let online = agent.q_function().predict(&probe);
+    let target = agent.target_function().predict(&probe);
+    assert_ne!(online, target, "target must lag the online network");
+    agent.sync_target();
+    assert_eq!(
+        agent.q_function().predict(&probe),
+        agent.target_function().predict(&probe)
+    );
+}
+
+#[test]
+fn double_dqn_variant_runs_the_same_loop() {
+    let mut config = tiny_config();
+    config.dqn.target_rule = rl::TargetRule::Double;
+    let run = trainer::run(&config, |_| {});
+    assert_eq!(run.episodes.len(), 6);
+    assert!(run.episodes.iter().all(|e| e.avg_max_q.is_finite()));
+}

@@ -1,0 +1,45 @@
+//! Integration: surface-spot blind docking against the same complex the
+//! DQN environment uses — the two search paradigms must agree on the score
+//! surface and the blind search must land on the pocket side.
+
+use dqn_docking::Config;
+use metadock::{blind_dock, decompose_surface, DockingEngine};
+
+#[test]
+fn blind_dock_and_dqn_env_share_one_score_surface() {
+    let config = Config::tiny();
+    let env = dqn_docking::DockingEnv::from_config(&config);
+    let engine = env.engine().clone();
+
+    let out = blind_dock(&engine, 6.0, 150, 3);
+    // Re-score the winner through the engine the environment uses.
+    let rescored = engine.score(&out.best().outcome.best_pose);
+    let claimed = out.best().outcome.best_score;
+    let scale = claimed.abs().max(1.0);
+    assert!(
+        (rescored - claimed).abs() / scale < 1e-9,
+        "blind-dock claim {claimed} vs env engine {rescored}"
+    );
+}
+
+#[test]
+fn decomposition_scales_with_receptor_size() {
+    let small = DockingEngine::with_defaults(molkit::SyntheticComplexSpec::tiny().generate());
+    let large = DockingEngine::with_defaults(molkit::SyntheticComplexSpec::scaled().generate());
+    let spots_small = decompose_surface(&small.complex().receptor, 6.0).len();
+    let spots_large = decompose_surface(&large.complex().receptor, 6.0).len();
+    assert!(
+        spots_large > spots_small,
+        "larger surface needs more spots: {spots_large} vs {spots_small}"
+    );
+}
+
+#[test]
+fn blind_winner_beats_every_other_spot() {
+    let engine = DockingEngine::with_defaults(molkit::SyntheticComplexSpec::tiny().generate());
+    let out = blind_dock(&engine, 6.0, 120, 9);
+    let best = out.best().outcome.best_score;
+    for r in &out.per_spot {
+        assert!(r.outcome.best_score <= best + 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! The three DQN↔METADOCK transports (direct call, RAM server thread,
+//! disk-file exchange — paper §5 limitation #1 and its proposed fix) must
+//! induce *identical* environment behaviour.
+
+use dqn_docking::{Config, DockingEnv};
+use metadock::ipc::{FileTransport, RamTransport};
+use rl::Environment;
+
+fn action_script() -> Vec<usize> {
+    vec![0, 5, 9, 2, 7, 11, 1, 4, 6, 10, 3, 8, 0, 0, 5]
+}
+
+#[test]
+fn all_three_transports_produce_identical_trajectories() {
+    let config = Config::tiny();
+    let mut direct = DockingEnv::from_config(&config);
+    let engine = direct.engine().clone();
+
+    let mut ram = DockingEnv::with_engine(engine.clone(), &config)
+        .with_transport(Box::new(RamTransport::new(engine.clone())));
+    let file_transport = FileTransport::in_temp_dir(engine.clone()).unwrap();
+    let file_dir = file_transport.dir().clone();
+    let mut file = DockingEnv::with_engine(engine, &config)
+        .with_transport(Box::new(file_transport));
+
+    let s_d = direct.reset();
+    let s_r = ram.reset();
+    let s_f = file.reset();
+    assert_eq!(s_d, s_r);
+    assert_eq!(s_d.len(), s_f.len());
+    for (a, b) in s_d.iter().zip(&s_f) {
+        assert!((a - b).abs() < 1e-5, "file transport state drift");
+    }
+
+    for action in action_script() {
+        let d = direct.step(action);
+        let r = ram.step(action);
+        let f = file.step(action);
+        assert_eq!(d.reward, r.reward);
+        assert_eq!(d.reward, f.reward, "file transport reward must match");
+        assert_eq!(d.terminal, r.terminal);
+        assert_eq!(d.terminal, f.terminal);
+        if d.terminal {
+            break;
+        }
+    }
+    let scale = direct.score().abs().max(1.0);
+    assert!((direct.score() - ram.score()).abs() / scale < 1e-12);
+    assert!((direct.score() - file.score()).abs() / scale < 1e-9);
+
+    std::fs::remove_dir_all(file_dir).ok();
+}
+
+#[test]
+fn file_transport_really_touches_the_filesystem() {
+    let config = Config::tiny();
+    let env = DockingEnv::from_config(&config);
+    let engine = env.engine().clone();
+    let transport = FileTransport::in_temp_dir(engine.clone()).unwrap();
+    let dir = transport.dir().clone();
+
+    let mut env = DockingEnv::with_engine(engine, &config).with_transport(Box::new(transport));
+    env.reset();
+    env.step(0);
+
+    // The paper's two files (plus our request file) must exist on disk.
+    assert!(dir.join("state.txt").exists(), "state file written");
+    assert!(dir.join("score.txt").exists(), "score file written");
+    assert!(dir.join("request.txt").exists(), "request file written");
+
+    let score_text = std::fs::read_to_string(dir.join("score.txt")).unwrap();
+    let parsed: f64 = score_text.trim().parse().unwrap();
+    let scale = env.score().abs().max(1.0);
+    assert!((parsed - env.score()).abs() / scale < 1e-12);
+
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,65 @@
+//! Paper-scale (2BSM-sized) integration tests.
+//!
+//! These exercise the full 3,264-atom configuration end-to-end. The quick
+//! ones run in the normal suite; the expensive ones are `#[ignore]`d and
+//! run with `cargo test --release -- --ignored` (minutes on one core).
+
+use dqn_docking::{trainer, Config, DockingEnv};
+use molkit::SyntheticComplexSpec;
+use rl::Environment;
+
+#[test]
+fn paper_scale_environment_constructs_and_steps() {
+    let mut config = Config::paper_2bsm();
+    config.hidden_layers = vec![16]; // keep the probe cheap
+    let mut env = DockingEnv::from_config(&config);
+    assert_eq!(env.n_actions(), 12);
+    assert!(env.state_dim() > 10_000, "paper layout is ~16k reals");
+    let s0 = env.reset();
+    assert_eq!(s0.len(), env.state_dim());
+    for a in [0, 6, 11] {
+        let out = env.step(a);
+        assert!(out.reward == 1.0 || out.reward == 0.0 || out.reward == -1.0);
+        assert!(env.score().is_finite());
+    }
+}
+
+#[test]
+fn paper_scale_generation_is_deterministic() {
+    let a = SyntheticComplexSpec::paper_2bsm().generate();
+    let b = SyntheticComplexSpec::paper_2bsm().generate();
+    assert_eq!(a.receptor.len(), b.receptor.len());
+    assert_eq!(
+        a.receptor.atoms()[1234].position,
+        b.receptor.atoms()[1234].position
+    );
+    assert_eq!(a.crystal_pose, b.crystal_pose);
+}
+
+#[test]
+#[ignore = "minutes of CPU: one full paper-scale training episode with the 135x135 network"]
+fn paper_scale_full_episode_trains() {
+    let mut config = Config::paper_2bsm();
+    config.episodes = 1;
+    config.max_steps = 50; // one truncated episode is enough to prove the path
+    config.dqn.learning_start = 10;
+    config.dqn.initial_exploration = 10;
+    let run = trainer::run(&config, |_| {});
+    assert_eq!(run.episodes.len(), 1);
+    assert!(run.episodes[0].mean_loss.is_some(), "learning must engage");
+    assert!(run.best_score.is_finite());
+}
+
+#[test]
+#[ignore = "minutes of CPU: paper-scale metaheuristic docking run"]
+fn paper_scale_monte_carlo_beats_the_initial_pose() {
+    let complex = SyntheticComplexSpec::paper_2bsm().generate();
+    let engine = metadock::DockingEngine::with_defaults(complex);
+    let initial = engine.initial_score();
+    let out = metadock::Metaheuristic::monte_carlo(2_000, 1).run(&engine);
+    assert!(
+        out.best_score > initial,
+        "search must improve on the start: {} vs {initial}",
+        out.best_score
+    );
+}

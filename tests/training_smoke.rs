@@ -1,0 +1,79 @@
+//! Smoke tests: every configuration axis of the trainer runs end-to-end
+//! and produces sane statistics.
+
+use dqn_docking::{trainer, Config, StateLayout};
+
+fn base() -> Config {
+    let mut c = Config::tiny();
+    c.episodes = 3;
+    c.max_steps = 25;
+    c
+}
+
+#[test]
+fn scaled_default_runs() {
+    let run = trainer::run(&base(), |_| {});
+    assert_eq!(run.episodes.len(), 3);
+}
+
+#[test]
+fn flexible_action_set_runs() {
+    let mut c = base();
+    c.flexible = true;
+    let run = trainer::run(&c, |_| {});
+    assert_eq!(run.episodes.len(), 3);
+    assert!(run.best_score.is_finite());
+}
+
+#[test]
+fn paper_full_state_layout_runs() {
+    let mut c = base();
+    c.state_layout = StateLayout::PaperFull;
+    c.hidden_layers = vec![16]; // keep the big-input network small
+    let run = trainer::run(&c, |_| {});
+    assert_eq!(run.episodes.len(), 3);
+}
+
+#[test]
+fn double_dqn_and_rmsprop_run() {
+    let mut c = base();
+    c.dqn.target_rule = rl::TargetRule::Double;
+    c.optimizer = neural::OptimizerSpec::paper_rmsprop();
+    c.loss = neural::Loss::Mse;
+    let run = trainer::run(&c, |_| {});
+    assert_eq!(run.episodes.len(), 3);
+}
+
+#[test]
+fn grid_kernel_runs() {
+    let mut c = base();
+    c.scoring = metadock::ScoringParams::with_cutoff(10.0);
+    c.kernel = metadock::Kernel::Grid;
+    let run = trainer::run(&c, |_| {});
+    assert_eq!(run.episodes.len(), 3);
+}
+
+#[test]
+fn figure4_series_and_csv_are_consistent() {
+    let run = trainer::run(&base(), |_| {});
+    let series = run.figure4_series();
+    let csv = run.to_csv();
+    assert_eq!(series.len(), run.episodes.len());
+    assert_eq!(csv.lines().count(), run.episodes.len() + 1);
+    for (ep, q) in &series {
+        assert_eq!(run.episodes[*ep].avg_max_q, *q);
+    }
+}
+
+#[test]
+fn best_rmsd_is_no_worse_than_initial_rmsd() {
+    // The best-scoring pose seen during training should not be *further*
+    // from the crystal than never moving at all... actually a random walk
+    // can score best near the start, so just check it is finite and
+    // non-negative, and that best_score ≥ the initial score (the initial
+    // pose is itself visited at every reset).
+    let run = trainer::run(&base(), |_| {});
+    let env = dqn_docking::DockingEnv::from_config(&base());
+    assert!(run.best_rmsd >= 0.0);
+    assert!(run.best_score >= env.engine().initial_score() - 1e-9);
+}
