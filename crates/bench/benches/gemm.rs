@@ -1,0 +1,92 @@
+//! **GEMM backend bench** — Naive vs. Blocked kernels on the paper-scale
+//! shapes that dominate `train_step` (Sec. 3 / Fig. 4: 16,599-dim METADOCK
+//! state, 135-unit hidden layers, minibatch 32, 12 actions).
+//!
+//! Three shapes cover the hot path:
+//! * forward `A·Bᵀ`: `(32×16,599)·(135×16,599)ᵀ` — `Dense::forward` of the
+//!   input layer at minibatch 32;
+//! * backward `A·B`: `(32×16,599)·(16,599×135)` — the `dX = dZ·W` shape
+//!   (run transposed, with the same operand sizes);
+//! * backward `Aᵀ·B`: `(32×135)ᵀ·(32×16,599)` — the `dW = dZᵀ·X` gradient;
+//! * batched predict `A·Bᵀ`: `(12×16,599)·(135×16,599)ᵀ` — one forward for
+//!   a whole action batch.
+//!
+//! Results are recorded in `BENCH_gemm.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neural::{Matrix, MatmulKernel};
+use std::hint::black_box;
+
+const STATE: usize = 16_599;
+const HIDDEN: usize = 135;
+const BATCH: usize = 32;
+const ACTIONS: usize = 12;
+
+fn filled(rows: usize, cols: usize, phase: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c) as f32 * 0.01 + phase).sin())
+}
+
+fn kernels() -> [MatmulKernel; 2] {
+    [MatmulKernel::Naive, MatmulKernel::Blocked]
+}
+
+fn forward_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/forward_32x16599_x_135x16599T");
+    group.sample_size(10);
+    let x = filled(BATCH, STATE, 0.0);
+    let w = filled(HIDDEN, STATE, 0.5);
+    for kernel in kernels() {
+        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+            b.iter(|| black_box(x.matmul_transpose_b_with(&w, kernel)))
+        });
+    }
+    group.finish();
+}
+
+fn backward_dx_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/backward_dx_32x135_x_135x16599");
+    group.sample_size(10);
+    let dz = filled(BATCH, HIDDEN, 0.0);
+    let w = filled(HIDDEN, STATE, 0.5);
+    for kernel in kernels() {
+        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+            b.iter(|| black_box(dz.matmul_with(&w, kernel)))
+        });
+    }
+    group.finish();
+}
+
+fn backward_dw_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/backward_dw_32x135T_x_32x16599");
+    group.sample_size(10);
+    let dz = filled(BATCH, HIDDEN, 0.0);
+    let x = filled(BATCH, STATE, 0.5);
+    for kernel in kernels() {
+        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+            b.iter(|| black_box(dz.transpose_matmul_with(&x, kernel)))
+        });
+    }
+    group.finish();
+}
+
+fn batched_predict_shape(c: &mut Criterion) {
+    // The 12-action batched predict: one forward scores a whole action
+    // batch instead of 12 row-vector calls.
+    let mut group = c.benchmark_group("gemm/predict12_12x16599_x_135x16599T");
+    group.sample_size(10);
+    let x = filled(ACTIONS, STATE, 0.0);
+    let w = filled(HIDDEN, STATE, 0.5);
+    for kernel in kernels() {
+        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+            b.iter(|| black_box(x.matmul_transpose_b_with(&w, kernel)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = forward_shape, backward_dx_shape, backward_dw_shape, batched_predict_shape
+}
+criterion_main!(benches);

@@ -38,20 +38,28 @@ impl Policy {
     /// # Panics
     /// If the state width does not match the network input.
     pub fn action(&self, state: &[f32]) -> usize {
-        let qs = self.mlp.predict(state);
-        qs.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .expect("network has at least one output")
+        self.action_and_max_q(state).0
     }
 
     /// Max predicted Q for a state.
     pub fn max_q(&self, state: &[f32]) -> f32 {
-        self.mlp
-            .predict(state)
-            .into_iter()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.action_and_max_q(state).1
+    }
+
+    /// The greedy action and its Q-value from one forward pass — callers
+    /// that log max-Q alongside the rollout should use this instead of
+    /// separate [`Policy::action`] + [`Policy::max_q`] calls (which would
+    /// each run the network).
+    ///
+    /// # Panics
+    /// If the state width does not match the network input.
+    pub fn action_and_max_q(&self, state: &[f32]) -> (usize, f32) {
+        let qs = self.mlp.predict(state);
+        qs.iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("network has at least one output")
     }
 
     /// The underlying network.

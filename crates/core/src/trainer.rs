@@ -124,8 +124,12 @@ pub fn run_with_env(
         let mut terminated = false;
 
         for _ in 0..options.max_steps_per_episode {
-            q_sum += f64::from(agent.max_q(&state));
-            let action = agent.act(&state);
+            // One forward pass per step: the same Q-row feeds the Figure-4
+            // max-Q metric and ε-greedy selection (identical policy and RNG
+            // draws to `max_q` + `act`, at half the matmul cost).
+            let qs = agent.q_values(&state);
+            q_sum += f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            let action = agent.act_from_q(&qs);
             let outcome = env.step(action);
             if env.score() > best_score {
                 best_score = env.score();

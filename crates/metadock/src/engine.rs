@@ -106,12 +106,15 @@ impl DockingEngine {
     /// `N_CONFORMATION` loop, with one rayon task per pose. Single-pose
     /// evaluation inside each task uses the *sequential* kernel: for batch
     /// work, pose-level parallelism beats nested atom-level parallelism.
+    /// Each worker reuses one direction scratch buffer across its poses
+    /// instead of allocating per evaluation.
     pub fn score_batch(&self, poses: &[Pose]) -> Vec<f64> {
         poses
             .par_iter()
-            .map(|p| {
+            .map_init(Vec::new, |dirs, p| {
                 let coords = self.ligand_coords(p);
-                self.scorer.score(&coords, Kernel::Sequential)
+                self.scorer
+                    .score_buffered(&coords, Kernel::Sequential, dirs)
             })
             .collect()
     }
@@ -119,11 +122,13 @@ impl DockingEngine {
     /// Sequential batch scoring (the true Algorithm 1 baseline, for the
     /// benchmark's "sequential" row).
     pub fn score_batch_sequential(&self, poses: &[Pose]) -> Vec<f64> {
+        let mut dirs = Vec::new();
         poses
             .iter()
             .map(|p| {
                 let coords = self.ligand_coords(p);
-                self.scorer.score(&coords, Kernel::Sequential)
+                self.scorer
+                    .score_buffered(&coords, Kernel::Sequential, &mut dirs)
             })
             .collect()
     }

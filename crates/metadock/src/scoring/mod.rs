@@ -196,16 +196,30 @@ impl Scorer {
     /// * If `coords.len()` differs from the ligand atom count.
     /// * If [`Kernel::Grid`] is requested without a cutoff.
     pub fn energy(&self, coords: &[Vec3], kernel: Kernel) -> EnergyBreakdown {
+        let mut dirs = Vec::with_capacity(self.ligand.len());
+        self.energy_buffered(coords, kernel, &mut dirs)
+    }
+
+    /// Like [`Scorer::energy`] but reusing a caller-owned scratch buffer
+    /// for the per-pose ligand directions, so batch scoring loops avoid one
+    /// heap allocation per evaluated pose. The buffer is cleared and
+    /// refilled; its capacity is retained across calls.
+    pub fn energy_buffered(
+        &self,
+        coords: &[Vec3],
+        kernel: Kernel,
+        dirs: &mut Vec<Vec3>,
+    ) -> EnergyBreakdown {
         assert_eq!(
             coords.len(),
             self.ligand.len(),
             "conformation has wrong atom count"
         );
-        let dirs = self.ligand_dirs(coords);
+        self.ligand_dirs_into(coords, dirs);
         match kernel {
-            Kernel::Sequential => seq::energy(self, coords, &dirs),
-            Kernel::Parallel => par::energy(self, coords, &dirs),
-            Kernel::Grid => grid::energy(self, coords, &dirs),
+            Kernel::Sequential => seq::energy(self, coords, dirs),
+            Kernel::Parallel => par::energy(self, coords, dirs),
+            Kernel::Grid => grid::energy(self, coords, dirs),
         }
     }
 
@@ -214,22 +228,31 @@ impl Scorer {
         self.energy(coords, kernel).score()
     }
 
+    /// Like [`Scorer::score`] but with a reusable direction buffer (see
+    /// [`Scorer::energy_buffered`]).
+    pub fn score_buffered(&self, coords: &[Vec3], kernel: Kernel, dirs: &mut Vec<Vec3>) -> f64 {
+        self.energy_buffered(coords, kernel, dirs).score()
+    }
+
     /// Outward bonding directions of ligand atoms for the given posed
     /// coordinates: unit vector from the mean of bonded neighbours to the
     /// atom (zero for isolated atoms).
     pub(crate) fn ligand_dirs(&self, coords: &[Vec3]) -> Vec<Vec3> {
-        self.ligand_neighbors
-            .iter()
-            .enumerate()
-            .map(|(i, nbrs)| {
-                if nbrs.is_empty() {
-                    return Vec3::ZERO;
-                }
-                let mean: Vec3 =
-                    nbrs.iter().map(|&j| coords[j]).sum::<Vec3>() / nbrs.len() as f64;
-                (coords[i] - mean).normalized().unwrap_or(Vec3::ZERO)
-            })
-            .collect()
+        let mut dirs = Vec::with_capacity(self.ligand.len());
+        self.ligand_dirs_into(coords, &mut dirs);
+        dirs
+    }
+
+    /// [`Scorer::ligand_dirs`] into a reusable buffer (cleared first).
+    pub(crate) fn ligand_dirs_into(&self, coords: &[Vec3], dirs: &mut Vec<Vec3>) {
+        dirs.clear();
+        dirs.extend(self.ligand_neighbors.iter().enumerate().map(|(i, nbrs)| {
+            if nbrs.is_empty() {
+                return Vec3::ZERO;
+            }
+            let mean: Vec3 = nbrs.iter().map(|&j| coords[j]).sum::<Vec3>() / nbrs.len() as f64;
+            (coords[i] - mean).normalized().unwrap_or(Vec3::ZERO)
+        }));
     }
 }
 

@@ -1,0 +1,209 @@
+//! The matmul backend: kernel selection and parallel dispatch.
+//!
+//! Mirroring `metadock`'s scoring [`Kernel`](../../metadock) enum, the
+//! neural crate exposes a [`MatmulKernel`] choice for the three BLAS-3
+//! shapes backprop needs:
+//!
+//! * [`MatmulKernel::Naive`] — the original scalar reference loops, kept
+//!   bit-exact as the parity baseline;
+//! * [`MatmulKernel::Blocked`] — cache-blocked, register-tiled,
+//!   autovectorizer-friendly kernels (see [`core`]) parallelised over row
+//!   blocks with rayon.
+//!
+//! The default is `Blocked`; it can be changed process-wide with
+//! [`set_default_kernel`] or the `NEURAL_GEMM_KERNEL` environment variable
+//! (`naive` / `blocked`), and per call with the `*_with` methods on
+//! [`Matrix`](crate::Matrix).
+//!
+//! # Threading
+//!
+//! The blocked kernels run on the **global rayon pool** — the same pool
+//! `metadock`'s scoring kernels use — so `RAYON_NUM_THREADS` bounds the
+//! whole process and DQN training never oversubscribes cores while the
+//! docking environment is scoring. Small multiplies (under
+//! [`PAR_FLOP_THRESHOLD`] floating-point operations) stay on the calling
+//! thread: rayon task overhead would dominate the toy-problem shapes the
+//! test-suite and the tabular baselines use. Results are bitwise identical
+//! either way (each output row is accumulated in a fixed order by exactly
+//! one task).
+
+pub(crate) mod core;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which implementation computes the matrix products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MatmulKernel {
+    /// The scalar reference triple loop (with the sparse-input skip; see
+    /// `Matrix::matmul`'s naive path for why it lives only here).
+    Naive,
+    /// Cache-blocked, register-tiled kernels, rayon-parallel over row
+    /// blocks.
+    #[default]
+    Blocked,
+}
+
+impl MatmulKernel {
+    /// Parses a kernel name (`"naive"` / `"blocked"`, case-insensitive).
+    pub fn from_name(name: &str) -> Option<MatmulKernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "naive" => Some(MatmulKernel::Naive),
+            "blocked" => Some(MatmulKernel::Blocked),
+            _ => None,
+        }
+    }
+
+    /// The kernel's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatmulKernel::Naive => "naive",
+            MatmulKernel::Blocked => "blocked",
+        }
+    }
+}
+
+/// Below this many floating-point operations (`2·m·k·n`) a multiply is not
+/// worth a trip through the rayon pool and runs on the calling thread.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 20;
+
+/// Process-wide override set by [`set_default_kernel`]:
+/// 0 = unset (fall back to the environment), 1 = naive, 2 = blocked.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Kernel resolved from `NEURAL_GEMM_KERNEL` once, on first use.
+static ENV_KERNEL: OnceLock<MatmulKernel> = OnceLock::new();
+
+/// The kernel used by the plain `Matrix::matmul*` methods.
+///
+/// Resolution order: [`set_default_kernel`] override, then the
+/// `NEURAL_GEMM_KERNEL` environment variable (read once), then
+/// [`MatmulKernel::Blocked`].
+pub fn default_kernel() -> MatmulKernel {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => MatmulKernel::Naive,
+        2 => MatmulKernel::Blocked,
+        _ => *ENV_KERNEL.get_or_init(|| {
+            std::env::var("NEURAL_GEMM_KERNEL")
+                .ok()
+                .and_then(|v| MatmulKernel::from_name(&v))
+                .unwrap_or_default()
+        }),
+    }
+}
+
+/// Overrides the process-wide default kernel (A/B experiments, tests).
+pub fn set_default_kernel(kernel: MatmulKernel) {
+    let tag = match kernel {
+        MatmulKernel::Naive => 1,
+        MatmulKernel::Blocked => 2,
+    };
+    KERNEL_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// Whether a `(m, k, n)` multiply is large enough to fan out.
+#[inline]
+fn parallel_worthwhile(m: usize, k: usize, n: usize, rows_per_chunk: usize) -> bool {
+    let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+    m > rows_per_chunk && flops >= PAR_FLOP_THRESHOLD
+}
+
+/// Blocked `A·B`: `(m,k)·(k,n) → (m,n)`.
+pub(crate) fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    if parallel_worthwhile(m, k, n, core::MC) {
+        out.par_chunks_mut(core::MC * n)
+            .enumerate()
+            .for_each_init(Vec::new, |pack, (c, rows)| {
+                core::matmul_block(a, k, n, b, c * core::MC, rows, pack);
+            });
+    } else {
+        let mut pack = Vec::new();
+        for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
+            core::matmul_block(a, k, n, b, c * core::MC, rows, &mut pack);
+        }
+    }
+    out
+}
+
+/// Blocked `A·Bᵀ`: `(m,k)·(n,k)ᵀ → (m,n)`. Four rows per parallel chunk:
+/// each output row is a full sweep of A's row against n B rows, so the
+/// work unit is already large.
+pub(crate) fn matmul_tb_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    const ROWS: usize = 4;
+    if parallel_worthwhile(m, k, n, ROWS) {
+        out.par_chunks_mut(ROWS * n)
+            .enumerate()
+            .for_each(|(c, rows)| core::matmul_tb_block(a, k, b, n, c * ROWS, rows));
+    } else {
+        for (c, rows) in out.chunks_mut(ROWS * n).enumerate() {
+            core::matmul_tb_block(a, k, b, n, c * ROWS, rows);
+        }
+    }
+    out
+}
+
+/// Blocked `Aᵀ·B`: `(k,m)ᵀ·(k,n) → (m,n)`.
+pub(crate) fn transpose_matmul_blocked(
+    a: &[f32],
+    b: &[f32],
+    kdim: usize,
+    m: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || kdim == 0 {
+        return out;
+    }
+    if parallel_worthwhile(m, kdim, n, core::MC) {
+        out.par_chunks_mut(core::MC * n)
+            .enumerate()
+            .for_each(|(c, rows)| {
+                core::transpose_matmul_block(a, kdim, m, b, n, c * core::MC, rows);
+            });
+    } else {
+        for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
+            core::transpose_matmul_block(a, kdim, m, b, n, c * core::MC, rows);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            assert_eq!(MatmulKernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(
+            MatmulKernel::from_name("BLOCKED"),
+            Some(MatmulKernel::Blocked)
+        );
+        assert_eq!(MatmulKernel::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn default_is_blocked() {
+        assert_eq!(MatmulKernel::default(), MatmulKernel::Blocked);
+    }
+
+    #[test]
+    fn degenerate_shapes_produce_zero_filled_outputs() {
+        assert!(matmul_blocked(&[], &[], 0, 3, 4).is_empty());
+        assert_eq!(matmul_blocked(&[], &[], 2, 0, 2), vec![0.0; 4]);
+        assert!(matmul_tb_blocked(&[], &[], 0, 5, 3).is_empty());
+        assert_eq!(transpose_matmul_blocked(&[], &[], 0, 2, 2), vec![0.0; 4]);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod activation;
 pub mod clip;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
@@ -38,6 +39,7 @@ pub mod optimizer;
 
 pub use activation::Activation;
 pub use clip::{clip_by_global_norm, global_norm};
+pub use gemm::{default_kernel, set_default_kernel, MatmulKernel};
 pub use init::WeightInit;
 pub use layer::Dense;
 pub use loss::Loss;

@@ -5,6 +5,7 @@
 //! `A·B`, `A·Bᵀ` (forward through a weight matrix stored `(out, in)`), and
 //! `Aᵀ·B` (weight gradients).
 
+use crate::gemm::{self, MatmulKernel};
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32`.
@@ -100,10 +101,35 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` — shapes `(m,k)·(k,n) → (m,n)`. Uses the cache-friendly
-    /// i-k-j loop order.
+    /// `self · other` — shapes `(m,k)·(k,n) → (m,n)`, computed with the
+    /// process-default [`MatmulKernel`] (see [`gemm::default_kernel`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(other, gemm::default_kernel())
+    }
+
+    /// [`Matrix::matmul`] with an explicit kernel choice.
+    pub fn matmul_with(&self, other: &Matrix, kernel: MatmulKernel) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        match kernel {
+            MatmulKernel::Naive => self.matmul_naive(other),
+            MatmulKernel::Blocked => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::matmul_blocked(&self.data, &other.data, m, k, n),
+            },
+        }
+    }
+
+    /// The scalar reference `A·B`: cache-friendly i-k-j loop order with a
+    /// zero-skip on the A element.
+    ///
+    /// The skip pays off when A is an activation matrix fresh out of ReLU
+    /// (often >50% zeros) but is a branch-misprediction pessimization on
+    /// dense inputs — raw states, gradients, non-ReLU activations — so it
+    /// lives only here in the naive kernel; the blocked kernel is
+    /// branchless.
+    fn matmul_naive(&self, other: &Matrix) -> Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
@@ -111,7 +137,7 @@ impl Matrix {
             let out_row = out.row_mut(i);
             for (p, &a) in a_row.iter().enumerate().take(k) {
                 if a == 0.0 {
-                    continue; // common after ReLU
+                    continue; // common after ReLU; see the doc comment
                 }
                 let b_row = other.row(p);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
@@ -122,11 +148,30 @@ impl Matrix {
         out
     }
 
-    /// `self · otherᵀ` — shapes `(m,k)·(n,k)ᵀ → (m,n)`. This is the forward
-    /// pass through a weight matrix stored `(out, in)`, and it reduces to
-    /// dot products of contiguous rows (no strided access).
+    /// `self · otherᵀ` — shapes `(m,k)·(n,k)ᵀ → (m,n)`, computed with the
+    /// process-default [`MatmulKernel`]. This is the forward pass through a
+    /// weight matrix stored `(out, in)`, and it reduces to dot products of
+    /// contiguous rows (no strided access).
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        self.matmul_transpose_b_with(other, gemm::default_kernel())
+    }
+
+    /// [`Matrix::matmul_transpose_b`] with an explicit kernel choice.
+    pub fn matmul_transpose_b_with(&self, other: &Matrix, kernel: MatmulKernel) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        match kernel {
+            MatmulKernel::Naive => self.matmul_transpose_b_naive(other),
+            MatmulKernel::Blocked => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::matmul_tb_blocked(&self.data, &other.data, m, k, n),
+            },
+        }
+    }
+
+    /// The scalar reference `A·Bᵀ`: strict in-order dot products.
+    fn matmul_transpose_b_naive(&self, other: &Matrix) -> Matrix {
         let (m, n) = (self.rows, other.rows);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
@@ -144,10 +189,30 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · other` — shapes `(k,m)ᵀ·(k,n) → (m,n)`. This is the weight
-    /// gradient `dYᵀ·X` shape.
+    /// `selfᵀ · other` — shapes `(k,m)ᵀ·(k,n) → (m,n)`, computed with the
+    /// process-default [`MatmulKernel`]. This is the weight gradient
+    /// `dYᵀ·X` shape.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        self.transpose_matmul_with(other, gemm::default_kernel())
+    }
+
+    /// [`Matrix::transpose_matmul`] with an explicit kernel choice.
+    pub fn transpose_matmul_with(&self, other: &Matrix, kernel: MatmulKernel) -> Matrix {
         assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        match kernel {
+            MatmulKernel::Naive => self.transpose_matmul_naive(other),
+            MatmulKernel::Blocked => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::transpose_matmul_blocked(&self.data, &other.data, k, m, n),
+            },
+        }
+    }
+
+    /// The scalar reference `Aᵀ·B` with the same ReLU zero-skip as
+    /// [`Matrix::matmul_naive`] (and the same dense-input caveat).
+    fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         for p in 0..k {
@@ -270,6 +335,26 @@ mod tests {
         let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn explicit_kernels_agree_on_hand_checked_case() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let expected = &[58.0, 64.0, 139.0, 154.0];
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            assert_eq!(a.matmul_with(&b, kernel).data(), expected, "{kernel:?}");
+            assert_eq!(
+                a.matmul_transpose_b_with(&b.transpose(), kernel).data(),
+                expected,
+                "{kernel:?}"
+            );
+            assert_eq!(
+                a.transpose().transpose_matmul_with(&b, kernel).data(),
+                expected,
+                "{kernel:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Kernel parity: the Blocked GEMM backend must agree with the Naive
+//! reference within 1e-4 relative tolerance on every shape — including the
+//! degenerate and block-boundary shapes where tiled kernels typically go
+//! wrong (0 rows, 1×1, k = 1, sizes that are not multiples of the block
+//! sizes).
+//!
+//! Only the explicit `*_with` kernel selectors are used here, so this suite
+//! is independent of the process-wide default and safe to run in parallel
+//! with other tests.
+
+use neural::{Matrix, MatmulKernel};
+use proptest::prelude::*;
+
+const REL_TOL: f32 = 1e-4;
+
+fn assert_close(fast: &Matrix, reference: &Matrix, what: &str) {
+    assert_eq!(fast.rows(), reference.rows(), "{what}: row mismatch");
+    assert_eq!(fast.cols(), reference.cols(), "{what}: col mismatch");
+    for (i, (&x, &y)) in fast.data().iter().zip(reference.data()).enumerate() {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() / denom < REL_TOL,
+            "{what}: element {i} diverged: blocked {x} vs naive {y}"
+        );
+    }
+}
+
+fn check_all_shapes(a: &Matrix, b: &Matrix, bt: &Matrix, at: &Matrix) {
+    assert_close(
+        &a.matmul_with(b, MatmulKernel::Blocked),
+        &a.matmul_with(b, MatmulKernel::Naive),
+        "matmul",
+    );
+    assert_close(
+        &a.matmul_transpose_b_with(bt, MatmulKernel::Blocked),
+        &a.matmul_transpose_b_with(bt, MatmulKernel::Naive),
+        "matmul_transpose_b",
+    );
+    assert_close(
+        &at.transpose_matmul_with(b, MatmulKernel::Blocked),
+        &at.transpose_matmul_with(b, MatmulKernel::Naive),
+        "transpose_matmul",
+    );
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Matrices with exact zeros sprinkled in, so the naive kernel's zero-skip
+/// branch is exercised against the branchless blocked kernel.
+fn sparse_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        prop_oneof![2 => Just(0.0f32), 3 => -10.0f32..10.0],
+        rows * cols,
+    )
+    .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_agree_on_random_shapes(
+        (m, k, n) in (0usize..24, 0usize..300, 0usize..80),
+        seed in any::<u64>(),
+    ) {
+        // Derive deterministic contents from the seed without nesting
+        // strategies over runtime-dependent sizes.
+        let fill = |rows: usize, cols: usize, salt: u64| {
+            Matrix::from_fn(rows, cols, |r, c| {
+                let h = (r as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(c as u64)
+                    .wrapping_mul(1442695040888963407)
+                    .wrapping_add(seed ^ salt);
+                ((h >> 40) as f32 / (1u64 << 24) as f32) * 20.0 - 10.0
+            })
+        };
+        let a = fill(m, k, 1);
+        let b = fill(k, n, 2);
+        let bt = fill(n, k, 3);
+        let at = fill(k, m, 4);
+        check_all_shapes(&a, &b, &bt, &at);
+    }
+
+    #[test]
+    fn kernels_agree_on_sparse_inputs(
+        a in sparse_matrix(7, 33),
+        b in matrix(33, 13),
+        bt in matrix(13, 33),
+        at in sparse_matrix(33, 7),
+    ) {
+        check_all_shapes(&a, &b, &bt, &at);
+    }
+}
+
+#[test]
+fn kernels_agree_on_degenerate_shapes() {
+    // (m, k, n) triples from the issue spec: 0-row, 1×1, k = 1.
+    for (m, k, n) in [(0, 3, 4), (1, 1, 1), (3, 1, 5), (2, 0, 3), (1, 7, 1)] {
+        let a = Matrix::from_fn(m, k, |r, c| (r + 2 * c) as f32 - 1.5);
+        let b = Matrix::from_fn(k, n, |r, c| (2 * r + c) as f32 - 2.0);
+        let bt = Matrix::from_fn(n, k, |r, c| (r * c) as f32 - 0.5);
+        let at = Matrix::from_fn(k, m, |r, c| (r + c) as f32 - 1.0);
+        check_all_shapes(&a, &b, &bt, &at);
+    }
+}
+
+#[test]
+fn kernels_agree_across_block_boundaries() {
+    // One short of / exactly at / one past the (MC, KC, NC) = (16, 256,
+    // 512) block sizes, where tiling edge cases live.
+    for (m, k, n) in [(15, 255, 511), (16, 256, 512), (17, 257, 513)] {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 37 + c) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(k, n, |r, c| ((r + 41 * c) as f32 * 0.007).cos());
+        let bt = Matrix::from_fn(n, k, |r, c| ((r * 13 + c) as f32 * 0.013).sin());
+        let at = Matrix::from_fn(k, m, |r, c| ((r + 7 * c) as f32 * 0.017).cos());
+        check_all_shapes(&a, &b, &bt, &at);
+    }
+}
+
+#[test]
+fn blocked_results_are_bitwise_reproducible() {
+    // Same inputs twice → bit-identical outputs (the fixed-accumulation-
+    // order guarantee that makes training curves deterministic per kernel).
+    let a = Matrix::from_fn(33, 700, |r, c| ((r * 31 + c) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(700, 90, |r, c| ((r + 17 * c) as f32 * 0.003).cos());
+    for _ in 0..2 {
+        let x = a.matmul_with(&b, MatmulKernel::Blocked);
+        let y = a.matmul_with(&b, MatmulKernel::Blocked);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end `train_step` determinism per kernel: for a fixed seed, a
+//! training run must produce bit-identical losses and weights run-to-run
+//! under each [`MatmulKernel`].
+//!
+//! This file holds exactly one test because it flips the process-wide
+//! default kernel (`set_default_kernel`); integration-test binaries run
+//! their tests on parallel threads, so the flip must not race a sibling.
+
+use neural::{set_default_kernel, Loss, MatmulKernel, Matrix, Mlp, MlpSpec, OptimizerSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn training_run() -> (Vec<u32>, Mlp) {
+    let spec = MlpSpec::q_network(48, &[32, 32], 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut mlp = Mlp::new(&spec, &mut rng);
+    let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+    let x = Matrix::from_fn(16, spec.input, |r, c| ((r * 31 + c) as f32 * 0.01).sin());
+    let y = Matrix::from_fn(16, spec.output, |r, c| ((r + c) as f32 * 0.1).cos());
+    let losses = (0..25)
+        .map(|_| mlp.train_step(&x, &y, Loss::Mse, &mut opt).to_bits())
+        .collect();
+    (losses, mlp)
+}
+
+#[test]
+fn train_step_is_bitwise_deterministic_per_kernel() {
+    for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+        set_default_kernel(kernel);
+        let (losses_a, mlp_a) = training_run();
+        let (losses_b, mlp_b) = training_run();
+        assert_eq!(losses_a, losses_b, "{kernel:?}: losses diverged");
+        assert_eq!(mlp_a, mlp_b, "{kernel:?}: weights diverged");
+        // The run must actually learn something, not just repeat itself.
+        assert_ne!(losses_a.first(), losses_a.last(), "{kernel:?}: loss froze");
+    }
+    // Cross-kernel: both converge to close (not necessarily bitwise equal —
+    // the A·Bᵀ lane reduction re-associates) losses.
+    set_default_kernel(MatmulKernel::Naive);
+    let (losses_n, _) = training_run();
+    set_default_kernel(MatmulKernel::Blocked);
+    let (losses_bk, _) = training_run();
+    let ln = f32::from_bits(*losses_n.last().unwrap());
+    let lb = f32::from_bits(*losses_bk.last().unwrap());
+    assert!(
+        (ln - lb).abs() <= 1e-3 * ln.abs().max(lb.abs()).max(1e-6),
+        "kernels converged to different losses: naive {ln} vs blocked {lb}"
+    );
+}

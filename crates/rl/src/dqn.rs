@@ -224,20 +224,41 @@ impl<Q: QFunction> DqnAgent<Q> {
         if self.steps < self.config.initial_exploration {
             return self.rng.gen_range(0..self.q.n_actions());
         }
+        let qs = self.q.predict(state);
+        self.act_from_q(&qs)
+    }
+
+    /// Online-network Q-values of a state — one forward pass whose result
+    /// can feed both [`DqnAgent::act_from_q`] and a max-Q metric, instead
+    /// of the two separate forwards `act` + `max_q` would cost.
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.q.predict(state)
+    }
+
+    /// Action selection from precomputed Q-values ([`DqnAgent::q_values`]).
+    ///
+    /// Implements exactly the same policy — and consumes exactly the same
+    /// RNG draw sequence — as [`DqnAgent::act`] on the state the Q-values
+    /// came from, so swapping `act` for `q_values` + `act_from_q` leaves
+    /// training trajectories bitwise identical.
+    pub fn act_from_q(&mut self, qs: &[f32]) -> usize {
+        if self.steps < self.config.initial_exploration {
+            return self.rng.gen_range(0..self.q.n_actions());
+        }
         if let Some(temperature) = self.config.boltzmann_temperature {
-            return self.boltzmann_action(state, temperature);
+            return self.boltzmann_from(qs, temperature);
         }
         if self.draw_explore() {
             self.rng.gen_range(0..self.q.n_actions())
         } else {
-            self.greedy_action(state)
+            argmax(qs)
         }
     }
 
-    /// Softmax action sampling at the given temperature.
-    fn boltzmann_action(&mut self, state: &[f32], temperature: f64) -> usize {
+    /// Softmax action sampling at the given temperature from precomputed
+    /// Q-values.
+    fn boltzmann_from(&mut self, qs: &[f32], temperature: f64) -> usize {
         assert!(temperature > 0.0, "Boltzmann temperature must be positive");
-        let qs = self.q.predict(state);
         // Numerically-stable softmax.
         let max = qs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let weights: Vec<f64> = qs
@@ -278,6 +299,9 @@ impl<Q: QFunction> DqnAgent<Q> {
     }
 
     /// Max predicted Q-value of a state — the paper's Figure 4 metric.
+    /// Training loops that also need an action should prefer one
+    /// [`DqnAgent::q_values`] call feeding both this fold and
+    /// [`DqnAgent::act_from_q`].
     pub fn max_q(&self, state: &[f32]) -> f32 {
         self.q
             .predict(state)
@@ -553,6 +577,32 @@ mod tests {
         assert!(dbl_agent.last_loss().unwrap().is_finite());
         assert!(std_agent.max_q(&[0.1, 0.2, 0.3]).is_finite());
         assert!(dbl_agent.max_q(&[0.1, 0.2, 0.3]).is_finite());
+    }
+
+    #[test]
+    fn act_from_q_matches_act_draw_for_draw() {
+        for boltzmann in [None, Some(0.7)] {
+            let config = DqnConfig {
+                initial_exploration: 10,
+                learning_start: 1_000_000,
+                epsilon: EpsilonSchedule::constant(0.3),
+                boltzmann_temperature: boltzmann,
+                seed: 42,
+                ..DqnConfig::default()
+            };
+            let mut via_act = agent(config);
+            let mut via_q = agent(config);
+            // Cover the forced-exploration phase boundary and beyond.
+            for i in 0..60 {
+                let state = [0.1 * i as f32, -0.05 * i as f32, 0.3];
+                let expected = via_act.act(&state);
+                let qs = via_q.q_values(&state);
+                let got = via_q.act_from_q(&qs);
+                assert_eq!(got, expected, "step {i} boltzmann={boltzmann:?}");
+                via_act.observe(transition(0.0, false));
+                via_q.observe(transition(0.0, false));
+            }
+        }
     }
 
     #[test]

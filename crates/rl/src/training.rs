@@ -85,8 +85,11 @@ pub fn train<E: Environment, Q: QFunction>(
         let mut terminated = false;
 
         for _ in 0..options.max_steps_per_episode {
-            q_sum += f64::from(agent.max_q(&state));
-            let action = agent.act(&state);
+            // One forward pass feeds both the Figure-4 max-Q metric and
+            // action selection (same policy and RNG draws as `act`).
+            let qs = agent.q_values(&state);
+            q_sum += f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            let action = agent.act_from_q(&qs);
             let outcome = env.step(action);
             total_reward += outcome.reward;
             steps += 1;
