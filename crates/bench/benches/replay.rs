@@ -1,0 +1,201 @@
+//! **Replay-memory bench** — the seed `Vec<Transition>` buffers
+//! ([`rl::replay::legacy`]) vs. the frame-deduplicated store, at the
+//! paper's full state shape (d = 16,599 = 9,792-float receptor prefix +
+//! 135-float ligand block + 6,672-float bond suffix, minibatch 32).
+//!
+//! Three measurements cover the replay half of `train_step`:
+//! * `push`: storing one transition (the seed clones both 16,599-float
+//!   vectors; the frame store interns one 135-float dynamic block);
+//! * `sample32_assemble`: drawing a 32-row minibatch and materialising the
+//!   `states`/`next_states` matrices (the seed path clones rows; the frame
+//!   store's `sample_into` writes into preallocated matrices);
+//! * `per_sample32`: the same for prioritized replay.
+//!
+//! Bytes-per-transition (the other half of the acceptance criterion) is a
+//! property, not a timing — it is asserted in
+//! `crates/rl/tests/replay_equivalence.rs` and recorded in
+//! `BENCH_replay.json` at the repo root alongside these timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neural::Matrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rl::replay::legacy;
+use rl::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
+use std::hint::black_box;
+
+const PREFIX: usize = 9_792;
+const DYNAMIC: usize = 135;
+const SUFFIX: usize = 6_672;
+const DIM: usize = PREFIX + DYNAMIC + SUFFIX;
+const CAPACITY: usize = 512;
+const BATCH: usize = 32;
+
+/// A chained transition stream at the paper's state shape:
+/// `next_state(t) == state(t+1)`, constant prefix/suffix blocks.
+fn stream(n: usize) -> Vec<Transition> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut state: Vec<f32> = Vec::with_capacity(DIM);
+    state.extend((0..PREFIX).map(|_| rng.gen_range(-1.0f32..1.0)));
+    state.extend((0..DYNAMIC).map(|_| rng.gen_range(-1.0f32..1.0)));
+    state.extend((0..SUFFIX).map(|_| rng.gen_range(0.0f32..9.0)));
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut next = state.clone();
+        for v in &mut next[PREFIX..PREFIX + DYNAMIC] {
+            *v += rng.gen_range(-0.1f32..0.1);
+        }
+        out.push(Transition {
+            state: state.clone(),
+            action: i % 12,
+            reward: -1.0,
+            next_state: next.clone(),
+            terminal: i % 50 == 49,
+        });
+        state = next;
+    }
+    out
+}
+
+fn filled_legacy(items: &[Transition]) -> legacy::ReplayBuffer {
+    let mut b = legacy::ReplayBuffer::new(CAPACITY);
+    for t in items {
+        b.push(t.clone());
+    }
+    b
+}
+
+fn filled_framed(items: &[Transition]) -> ReplayBuffer {
+    let mut b = ReplayBuffer::with_layout(CAPACITY, FrameLayout::new(PREFIX, SUFFIX));
+    for t in items {
+        b.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+    }
+    b
+}
+
+fn push_paper_shape(c: &mut Criterion) {
+    let items = stream(CAPACITY + 8);
+    let mut group = c.benchmark_group("replay/push_16599d");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("legacy"), |b| {
+        let mut buf = filled_legacy(&items);
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &items[i % items.len()];
+            buf.push(t.clone());
+            i += 1;
+            black_box(buf.len())
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("framed"), |b| {
+        let mut buf = filled_framed(&items);
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &items[i % items.len()];
+            buf.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+            i += 1;
+            black_box(buf.len())
+        });
+    });
+    group.finish();
+}
+
+fn sample_batch_assemble(c: &mut Criterion) {
+    let items = stream(CAPACITY);
+    let mut group = c.benchmark_group("replay/sample32_assemble_16599d");
+    group.sample_size(10);
+
+    let seed_buf = filled_legacy(&items);
+    group.bench_function(BenchmarkId::from_parameter("legacy_clone_rows"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            // The seed's learn_minibatch assembly: sample refs, then copy
+            // each 16,599-float row into freshly allocated matrices.
+            let sampled = seed_buf.sample(&mut rng, BATCH);
+            let mut states = Matrix::zeros(BATCH, DIM);
+            let mut next_states = Matrix::zeros(BATCH, DIM);
+            for (i, t) in sampled.iter().enumerate() {
+                states.row_mut(i).copy_from_slice(&t.state);
+                next_states.row_mut(i).copy_from_slice(&t.next_state);
+            }
+            black_box((states, next_states))
+        });
+    });
+
+    let framed = filled_framed(&items);
+    group.bench_function(BenchmarkId::from_parameter("framed_sample_into"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut states = Matrix::zeros(BATCH, DIM);
+        let mut next_states = Matrix::zeros(BATCH, DIM);
+        let (mut actions, mut rewards, mut terminals) = (Vec::new(), Vec::new(), Vec::new());
+        b.iter(|| {
+            framed.sample_into(
+                &mut rng,
+                BATCH,
+                &mut states,
+                &mut next_states,
+                &mut actions,
+                &mut rewards,
+                &mut terminals,
+            );
+            black_box(states.get(0, 0))
+        });
+    });
+    group.finish();
+}
+
+fn per_sample_batch(c: &mut Criterion) {
+    let items = stream(CAPACITY);
+    let mut group = c.benchmark_group("replay/per_sample32_16599d");
+    group.sample_size(10);
+
+    let mut seed_buf = legacy::PrioritizedReplay::new(CAPACITY, 0.6);
+    let mut framed = PrioritizedReplay::with_layout(CAPACITY, 0.6, FrameLayout::new(PREFIX, SUFFIX));
+    for t in &items {
+        seed_buf.push(t.clone());
+        framed.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("legacy_clone_rows"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            let sampled = seed_buf.sample(&mut rng, BATCH);
+            let mut states = Matrix::zeros(BATCH, DIM);
+            let mut next_states = Matrix::zeros(BATCH, DIM);
+            for (i, (_, t)) in sampled.iter().enumerate() {
+                states.row_mut(i).copy_from_slice(&t.state);
+                next_states.row_mut(i).copy_from_slice(&t.next_state);
+            }
+            black_box((states, next_states))
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("framed_sample_into"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut states = Matrix::zeros(BATCH, DIM);
+        let mut next_states = Matrix::zeros(BATCH, DIM);
+        let (mut actions, mut rewards, mut terminals, mut indices) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        b.iter(|| {
+            framed.sample_into(
+                &mut rng,
+                BATCH,
+                &mut states,
+                &mut next_states,
+                &mut actions,
+                &mut rewards,
+                &mut terminals,
+                &mut indices,
+            );
+            black_box(states.get(0, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = push_paper_shape, sample_batch_assemble, per_sample_batch
+}
+criterion_main!(benches);

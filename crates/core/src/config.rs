@@ -128,6 +128,9 @@ impl Config {
                 prioritized_alpha: None,
                 boltzmann_temperature: None,
                 seed: 0,
+                // Overwritten with the featurizer's actual constant-block
+                // widths by `trainer::build_agent`.
+                frame_layout: Default::default(),
             },
         }
     }

@@ -47,6 +47,10 @@ pub struct DockingEnv {
     /// Total environment evaluations (for evaluation-budget comparisons
     /// against the metaheuristics).
     evaluations: u64,
+    /// Retired state buffer awaiting reuse: `observe` hands it out (filled
+    /// in place) and [`DockingEnv::recycle_state_buffer`] takes it back, so
+    /// the training loop's state vectors cycle through one allocation.
+    obs_scratch: Vec<f32>,
 }
 
 impl DockingEnv {
@@ -100,6 +104,7 @@ impl DockingEnv {
             below_count: 0,
             episode_steps: 0,
             evaluations: 0,
+            obs_scratch: Vec::new(),
         };
         let (coords, score) = env.evaluate_current();
         env.last_coords = coords;
@@ -132,8 +137,34 @@ impl DockingEnv {
         }
     }
 
-    fn observe(&self) -> Vec<f32> {
-        self.featurizer.featurize(&self.last_coords, &self.pose.torsions)
+    fn observe(&mut self) -> Vec<f32> {
+        // Fill the recycled buffer in place (capacity survives the
+        // clear), then hand it out; callers return it through
+        // `recycle_state_buffer` once the replay memory has interned it.
+        let mut out = std::mem::take(&mut self.obs_scratch);
+        self.featurizer
+            .featurize_into(&self.last_coords, &self.pose.torsions, &mut out);
+        out
+    }
+
+    /// Returns a retired state vector for reuse by the next observation.
+    /// Purely an allocation-recycling hint: correctness never depends on
+    /// it, and buffers from other sources are accepted (largest capacity
+    /// wins).
+    pub fn recycle_state_buffer(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > self.obs_scratch.capacity() {
+            self.obs_scratch = buf;
+        }
+    }
+
+    /// The replay-memory frame layout implied by the featurizer: the
+    /// receptor block is a constant prefix and the bond table a constant
+    /// suffix of every state vector, so the buffer stores each only once.
+    pub fn frame_layout(&self) -> rl::FrameLayout {
+        rl::FrameLayout::new(
+            self.featurizer.constant_prefix_len(),
+            self.featurizer.constant_suffix_len(),
+        )
     }
 
     /// Current docking score.
@@ -388,6 +419,31 @@ mod tests {
         let s = e.reset();
         assert_eq!(s.len(), e.state_dim());
         assert!(e.state_dim() > e.engine().complex().receptor.len() * 3);
+    }
+
+    #[test]
+    fn frame_layout_matches_featurizer_blocks() {
+        let mut config = Config::tiny();
+        config.state_layout = StateLayout::PaperFull;
+        let e = DockingEnv::from_config(&config);
+        let fl = e.frame_layout();
+        assert_eq!(fl.prefix_len, e.engine().complex().receptor.len() * 3);
+        assert!(fl.suffix_len > 0, "bond table must form a constant suffix");
+        assert!(fl.prefix_len + fl.suffix_len < e.state_dim());
+        // The compact layout has no constant blocks at all.
+        assert_eq!(env().frame_layout(), rl::FrameLayout::default());
+    }
+
+    #[test]
+    fn recycled_buffers_do_not_change_observations() {
+        let mut e = env();
+        let s0 = e.reset();
+        let stepped = e.step(3).state;
+        // Hand both vectors back (stale contents, arbitrary order) and
+        // check observations stay value-identical.
+        e.recycle_state_buffer(stepped);
+        e.recycle_state_buffer(vec![5.0; 2]);
+        assert_eq!(e.reset(), s0);
     }
 
     #[test]

@@ -167,7 +167,8 @@ pub fn rollout(env: &mut DockingEnv, policy: &Policy, max_steps: usize) -> Traje
             com_separation: env.com_separation(),
             reward: out.reward,
         });
-        state = out.state;
+        let retired = std::mem::replace(&mut state, out.state);
+        env.recycle_state_buffer(retired);
         if out.terminal {
             terminated = true;
             break;
@@ -343,13 +344,7 @@ mod tests {
             for _ in 0..config.max_steps {
                 let a = agent.act(&state);
                 let out = env2.step(a);
-                agent.observe(rl::Transition {
-                    state: state.clone(),
-                    action: a,
-                    reward: out.reward,
-                    next_state: out.state.clone(),
-                    terminal: out.terminal,
-                });
+                agent.observe_parts(&state, a, out.reward, &out.state, out.terminal);
                 state = out.state;
                 if out.terminal {
                     break;

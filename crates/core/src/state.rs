@@ -81,19 +81,47 @@ impl StateFeaturizer {
         self.layout
     }
 
+    /// Length of the constant prefix of each state vector (the receptor
+    /// coordinate block; zero in the [`StateLayout::LigandOnly`] layout).
+    /// Together with [`StateFeaturizer::constant_suffix_len`] this defines
+    /// the replay memory's deduplicated frame layout.
+    pub fn constant_prefix_len(&self) -> usize {
+        self.receptor_block.len()
+    }
+
+    /// Length of the constant suffix of each state vector (the flattened
+    /// bond table; zero in the [`StateLayout::LigandOnly`] layout).
+    pub fn constant_suffix_len(&self) -> usize {
+        self.constant_suffix.len()
+    }
+
     /// Builds the state vector for the given posed ligand coordinates (and
     /// torsion angles in flexible mode; pass `&[]` when rigid).
     ///
     /// # Panics
     /// If the coordinate count or torsion count disagrees with the complex.
     pub fn featurize(&self, ligand_coords: &[Vec3], torsions: &[f64]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.featurize_into(ligand_coords, torsions, &mut out);
+        out
+    }
+
+    /// [`StateFeaturizer::featurize`] writing into a caller-owned buffer
+    /// (cleared first, capacity reused) — the environment's observation
+    /// path uses this so steady-state stepping performs no state-vector
+    /// allocation.
+    ///
+    /// # Panics
+    /// If the coordinate count or torsion count disagrees with the complex.
+    pub fn featurize_into(&self, ligand_coords: &[Vec3], torsions: &[f64], out: &mut Vec<f32>) {
         assert_eq!(
             ligand_coords.len(),
             self.n_ligand_atoms,
             "ligand coordinate count mismatch"
         );
         assert_eq!(torsions.len(), self.n_torsions, "torsion count mismatch");
-        let mut out = Vec::with_capacity(self.dim());
+        out.clear();
+        out.reserve(self.dim());
         out.extend_from_slice(&self.receptor_block);
         for c in ligand_coords {
             out.push(c.x as f32 * self.coord_scale);
@@ -104,7 +132,6 @@ impl StateFeaturizer {
             out.push(t as f32);
         }
         out.extend_from_slice(&self.constant_suffix);
-        out
     }
 }
 
@@ -169,6 +196,39 @@ mod tests {
         assert_eq!(&a[..r], &b[..r], "receptor block must be constant");
         assert_ne!(&a[r..r + l], &b[r..r + l], "ligand block must change");
         assert_eq!(&a[r + l..], &b[r + l..], "bond table must be constant");
+    }
+
+    #[test]
+    fn featurize_into_reuses_buffer_and_matches_featurize() {
+        let c = complex();
+        let f = StateFeaturizer::new(&c, StateLayout::PaperFull, 1.0, false);
+        let coords = c.ligand_coords(&c.crystal_pose);
+        let fresh = f.featurize(&coords, &[]);
+        let mut buf = vec![99.0f32; 3]; // stale contents must be discarded
+        f.featurize_into(&coords, &[], &mut buf);
+        assert_eq!(buf, fresh);
+        let ptr = buf.as_ptr();
+        f.featurize_into(&coords, &[], &mut buf);
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.as_ptr(), ptr, "warm buffer must be reused in place");
+    }
+
+    #[test]
+    fn constant_block_lengths_match_layout() {
+        let c = complex();
+        let full = StateFeaturizer::new(&c, StateLayout::PaperFull, 1.0, false);
+        assert_eq!(full.constant_prefix_len(), c.receptor.len() * 3);
+        assert_eq!(
+            full.constant_suffix_len(),
+            2 * (c.receptor.bonds().len() + c.ligand.bonds().len())
+        );
+        assert_eq!(
+            full.constant_prefix_len() + c.ligand.len() * 3 + full.constant_suffix_len(),
+            full.dim()
+        );
+        let compact = StateFeaturizer::new(&c, StateLayout::LigandOnly, 1.0, false);
+        assert_eq!(compact.constant_prefix_len(), 0);
+        assert_eq!(compact.constant_suffix_len(), 0);
     }
 
     #[test]

@@ -60,6 +60,10 @@ impl TrainingRun {
 }
 
 /// Builds the Q-network agent specified by `config` for `env`.
+///
+/// The agent's replay memory is told the environment's frame layout, so the
+/// buffer stores the constant receptor/bond blocks once instead of twice
+/// per transition (sampled values are unaffected).
 pub fn build_agent(config: &Config, env: &DockingEnv) -> DqnAgent<MlpQ> {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.dqn.seed ^ 0xD0C4);
@@ -68,7 +72,9 @@ pub fn build_agent(config: &Config, env: &DockingEnv) -> DqnAgent<MlpQ> {
     if let Some(max_norm) = config.grad_clip_norm {
         q = q.with_grad_clip(max_norm);
     }
-    DqnAgent::new(q, config.dqn)
+    let mut dqn = config.dqn;
+    dqn.frame_layout = env.frame_layout();
+    DqnAgent::new(q, dqn)
 }
 
 /// Runs Algorithm 2 end-to-end per `config`, invoking `on_episode` after
@@ -137,18 +143,21 @@ pub fn run_with_env(
             }
             total_reward += outcome.reward;
             steps += 1;
-            let transition = rl::Transition {
-                state: std::mem::take(&mut state),
+            // Borrowed handover: the replay memory interns both states
+            // without this loop cloning either vector; the retired state
+            // buffer goes back to the env for the next observation.
+            if let Some(loss) = agent.observe_parts(
+                &state,
                 action,
-                reward: outcome.reward,
-                next_state: outcome.state.clone(),
-                terminal: outcome.terminal,
-            };
-            if let Some(loss) = agent.observe(transition) {
+                outcome.reward,
+                &outcome.state,
+                outcome.terminal,
+            ) {
                 loss_sum += f64::from(loss);
                 loss_count += 1;
             }
-            state = outcome.state;
+            let retired = std::mem::replace(&mut state, outcome.state);
+            env.recycle_state_buffer(retired);
             if outcome.terminal {
                 terminated = true;
                 break;
@@ -186,7 +195,8 @@ pub fn run_with_env(
                         eval_best = env.score();
                         eval_rmsd = env.rmsd_to_crystal();
                     }
-                    state = out.state;
+                    let retired = std::mem::replace(&mut state, out.state);
+                    env.recycle_state_buffer(retired);
                     if out.terminal {
                         break;
                     }

@@ -77,6 +77,17 @@ impl Activation {
         }
         m.map(|v| self.apply(v))
     }
+
+    /// Applies the activation elementwise in place (the zero-allocation
+    /// sibling of [`Activation::apply_matrix`]; bitwise-identical values).
+    pub fn apply_matrix_in_place(self, m: &mut Matrix) {
+        if self == Activation::Linear {
+            return;
+        }
+        for v in m.data_mut() {
+            *v = self.apply(*v);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -135,9 +135,26 @@ pub(crate) fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize)
 /// each output row is a full sweep of A's row against n B rows, so the
 /// work unit is already large.
 pub(crate) fn matmul_tb_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
+    let mut out = Vec::new();
+    matmul_tb_blocked_into(a, b, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_tb_blocked`] writing into a caller-owned buffer (resized to
+/// `m·n`), so steady-state forward passes reuse one allocation. Bitwise
+/// identical to the allocating form.
+pub(crate) fn matmul_tb_blocked_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.resize(m * n, 0.0);
     if m == 0 || n == 0 {
-        return out;
+        return;
     }
     const ROWS: usize = 4;
     if parallel_worthwhile(m, k, n, ROWS) {
@@ -149,7 +166,6 @@ pub(crate) fn matmul_tb_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usi
             core::matmul_tb_block(a, k, b, n, c * ROWS, rows);
         }
     }
-    out
 }
 
 /// Blocked `Aᵀ·B`: `(k,m)ᵀ·(k,n) → (m,n)`.

@@ -70,7 +70,18 @@ impl Dense {
     pub fn forward(&self, input: &Matrix) -> Matrix {
         let mut z = input.matmul_transpose_b(&self.weights);
         z.add_row_broadcast(&self.bias);
-        self.activation.apply_matrix(&z)
+        self.activation.apply_matrix_in_place(&mut z);
+        z
+    }
+
+    /// Forward pass into a caller-owned output matrix (reshaped to
+    /// `(batch, out)`, heap buffer reused). Bitwise identical to
+    /// [`Dense::forward`]; DQN's per-step forward passes use this with
+    /// persistent scratch to avoid allocating activations.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_transpose_b_into(&self.weights, out);
+        out.add_row_broadcast(&self.bias);
+        self.activation.apply_matrix_in_place(out);
     }
 
     /// Forward pass keeping the cache needed by [`Dense::backward`].

@@ -174,7 +174,16 @@ impl Matrix {
     fn matmul_transpose_b_naive(&self, other: &Matrix) -> Matrix {
         let (m, n) = (self.rows, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        self.matmul_transpose_b_naive_into(other, &mut out);
+        out
+    }
+
+    /// The naive `A·Bᵀ` loop writing into a pre-shaped `out` — the shared
+    /// body of the allocating and buffer-reusing entry points, so both are
+    /// bitwise identical by construction.
+    fn matmul_transpose_b_naive_into(&self, other: &Matrix, out: &mut Matrix) {
+        let n = other.rows;
+        for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (j, o) in out_row.iter_mut().enumerate().take(n) {
@@ -186,7 +195,40 @@ impl Matrix {
                 *o = acc;
             }
         }
-        out
+    }
+
+    /// [`Matrix::matmul_transpose_b`] writing into a caller-owned matrix,
+    /// which is reshaped to `(m, n)` reusing its heap buffer. The repeated
+    /// forward passes of DQN training call this with persistent scratch so
+    /// no activation matrix is allocated per step. Results are bitwise
+    /// identical to the allocating form for both kernels.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transpose_b_into_with(other, out, gemm::default_kernel());
+    }
+
+    /// [`Matrix::matmul_transpose_b_into`] with an explicit kernel choice.
+    pub fn matmul_transpose_b_into_with(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        kernel: MatmulKernel,
+    ) {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        match kernel {
+            MatmulKernel::Naive => {
+                out.rows = m;
+                out.cols = n;
+                out.data.clear();
+                out.data.resize(m * n, 0.0);
+                self.matmul_transpose_b_naive_into(other, out);
+            }
+            MatmulKernel::Blocked => {
+                out.rows = m;
+                out.cols = n;
+                gemm::matmul_tb_blocked_into(&self.data, &other.data, m, k, n, &mut out.data);
+            }
+        }
     }
 
     /// `selfᵀ · other` — shapes `(k,m)ᵀ·(k,n) → (m,n)`, computed with the
@@ -364,6 +406,19 @@ mod tests {
         let fast = a.matmul_transpose_b(&b);
         let slow = a.matmul(&b.transpose());
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_transpose_b_into_matches_allocating_for_both_kernels() {
+        let a = m(3, 5, &(0..15).map(|i| (i as f32 * 0.7).sin()).collect::<Vec<_>>());
+        let b = m(4, 5, &(0..20).map(|i| (i as f32 * 0.3).cos()).collect::<Vec<_>>());
+        // Deliberately mis-shaped scratch: `_into` must reshape it.
+        let mut out = Matrix::zeros(1, 1);
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            a.matmul_transpose_b_into_with(&b, &mut out, kernel);
+            let expected = a.matmul_transpose_b_with(&b, kernel);
+            assert_eq!(out, expected, "{kernel:?}");
+        }
     }
 
     #[test]

@@ -112,11 +112,39 @@ impl Mlp {
 
     /// Inference on a batch `(batch, input)` → `(batch, output)`.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("MLP has at least one layer");
+        let mut x = first.forward(input);
+        for layer in rest {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Inference reusing two caller-owned scratch matrices for the hidden
+    /// activations (ping-pong), allocating only the final `(batch, output)`
+    /// result. Bitwise identical to [`Mlp::forward`]; the Q-functions hold
+    /// the scratch pair per network so the training hot loop performs no
+    /// activation allocations.
+    pub fn forward_reusing(&self, input: &Matrix, ping: &mut Matrix, pong: &mut Matrix) -> Matrix {
+        let (last, hidden) = self.layers.split_last().expect("MLP has at least one layer");
+        if hidden.is_empty() {
+            return last.forward(input);
+        }
+        hidden[0].forward_into(input, ping);
+        let mut in_ping = true;
+        for layer in &hidden[1..] {
+            if in_ping {
+                layer.forward_into(&*ping, pong);
+            } else {
+                layer.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            last.forward(&*ping)
+        } else {
+            last.forward(&*pong)
+        }
     }
 
     /// Inference on a single feature vector.
@@ -129,14 +157,23 @@ impl Mlp {
     /// heads (e.g. the dueling Q-network) that splice extra computation
     /// between the trunk and the loss.
     pub fn forward_cached(&self, input: &Matrix) -> (Matrix, Vec<DenseCache>) {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut x = input.clone();
-        for layer in &self.layers {
-            let cache = layer.forward_cached(&x);
-            x = cache.output.clone();
+        let mut caches: Vec<DenseCache> = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Feed each layer from the previous cache's output in place —
+            // only the final prediction is cloned out (the per-layer input
+            // clone lives inside `forward_cached`; backward needs it).
+            let cache = match i {
+                0 => layer.forward_cached(input),
+                _ => layer.forward_cached(&caches[i - 1].output),
+            };
             caches.push(cache);
         }
-        (x, caches)
+        let prediction = caches
+            .last()
+            .expect("MLP has at least one layer")
+            .output
+            .clone();
+        (prediction, caches)
     }
 
     /// Full backward pass from `∂L/∂output` (advanced API; see
@@ -411,6 +448,21 @@ mod tests {
         }
         assert!(last < first * 0.5, "first {first}, last {last}");
         assert!(mlp.is_finite());
+    }
+
+    #[test]
+    fn forward_reusing_matches_forward_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for hidden in [&[][..], &[9][..], &[9, 6][..], &[9, 6, 5][..]] {
+            let mlp = Mlp::new(&MlpSpec::q_network(4, hidden, 3), &mut rng);
+            let x = Matrix::from_fn(6, 4, |r, c| ((r * 5 + c) as f32 * 0.41).sin());
+            let mut ping = Matrix::zeros(0, 0);
+            let mut pong = Matrix::zeros(0, 0);
+            let reused = mlp.forward_reusing(&x, &mut ping, &mut pong);
+            assert_eq!(reused, mlp.forward(&x), "hidden = {hidden:?}");
+            // Second call with warm scratch stays identical.
+            assert_eq!(mlp.forward_reusing(&x, &mut ping, &mut pong), reused);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! argmax action, the target network evaluates it.
 
 use crate::qfunc::QFunction;
-use crate::replay::{PrioritizedReplay, ReplayBuffer, Transition};
+use crate::replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
 use crate::schedule::EpsilonSchedule;
 use neural::Matrix;
 use rand::prelude::*;
@@ -59,6 +59,14 @@ pub struct DqnConfig {
     pub boltzmann_temperature: Option<f64>,
     /// RNG seed for exploration and sampling.
     pub seed: u64,
+    /// Constant-block layout of the states pushed into the replay memory
+    /// ([`FrameLayout::default`] = no shared blocks). The environment side
+    /// knows which slice of the feature vector is constant (receptor block
+    /// + bond table for the paper's full layout), so trainers set this from
+    /// the featurizer; it only affects storage compactness, never sampled
+    /// values.
+    #[serde(default)]
+    pub frame_layout: FrameLayout,
 }
 
 impl Default for DqnConfig {
@@ -79,6 +87,7 @@ impl Default for DqnConfig {
             prioritized_alpha: None,
             boltzmann_temperature: None,
             seed: 0,
+            frame_layout: FrameLayout::default(),
         }
     }
 }
@@ -98,6 +107,7 @@ impl DqnConfig {
             prioritized_alpha: None,
             boltzmann_temperature: None,
             seed: 0,
+            frame_layout: FrameLayout::default(),
         }
     }
 }
@@ -111,10 +121,17 @@ enum Buffer {
 }
 
 impl Buffer {
-    fn push(&mut self, t: Transition) {
+    fn push_parts(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f64,
+        next_state: &[f32],
+        terminal: bool,
+    ) {
         match self {
-            Buffer::Uniform(b) => b.push(t),
-            Buffer::Prioritized(b) => b.push(t),
+            Buffer::Uniform(b) => b.push_parts(state, action, reward, next_state, terminal),
+            Buffer::Prioritized(b) => b.push_parts(state, action, reward, next_state, terminal),
         }
     }
 
@@ -122,6 +139,34 @@ impl Buffer {
         match self {
             Buffer::Uniform(b) => b.len(),
             Buffer::Prioritized(b) => b.len(),
+        }
+    }
+}
+
+/// Preallocated minibatch storage: the two state matrices `train_td`
+/// consumes plus the scalar columns, reused across every learning step so
+/// sampling performs zero state-vector heap allocations.
+#[derive(Debug, Clone)]
+struct BatchScratch {
+    states: Matrix,
+    next_states: Matrix,
+    actions: Vec<usize>,
+    rewards: Vec<f64>,
+    terminals: Vec<bool>,
+    indices: Vec<usize>,
+    targets: Vec<f32>,
+}
+
+impl BatchScratch {
+    fn new(k: usize, dim: usize) -> Self {
+        BatchScratch {
+            states: Matrix::zeros(k, dim),
+            next_states: Matrix::zeros(k, dim),
+            actions: Vec::with_capacity(k),
+            rewards: Vec::with_capacity(k),
+            terminals: Vec::with_capacity(k),
+            indices: Vec::with_capacity(k),
+            targets: Vec::with_capacity(k),
         }
     }
 }
@@ -151,6 +196,7 @@ pub struct DqnAgent<Q: QFunction> {
     steps: u64,
     learn_steps: u64,
     last_loss: Option<f32>,
+    scratch: BatchScratch,
 }
 
 impl<Q: QFunction> DqnAgent<Q> {
@@ -162,10 +208,18 @@ impl<Q: QFunction> DqnAgent<Q> {
         let mut target = q.clone();
         target.sync_from(&q);
         let replay = match config.prioritized_alpha {
-            Some(alpha) => Buffer::Prioritized(PrioritizedReplay::new(config.replay_capacity, alpha)),
-            None => Buffer::Uniform(ReplayBuffer::new(config.replay_capacity)),
+            Some(alpha) => Buffer::Prioritized(PrioritizedReplay::with_layout(
+                config.replay_capacity,
+                alpha,
+                config.frame_layout,
+            )),
+            None => Buffer::Uniform(ReplayBuffer::with_layout(
+                config.replay_capacity,
+                config.frame_layout,
+            )),
         };
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let scratch = BatchScratch::new(config.batch_size, q.state_dim());
         DqnAgent {
             q,
             target,
@@ -175,6 +229,7 @@ impl<Q: QFunction> DqnAgent<Q> {
             steps: 0,
             learn_steps: 0,
             last_loss: None,
+            scratch,
         }
     }
 
@@ -313,8 +368,31 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// learning step once past `learning_start`, and refreshes the target
     /// network every `target_update_every` steps. Returns the loss if a
     /// gradient step happened.
+    ///
+    /// Thin wrapper over [`DqnAgent::observe_parts`] for callers that
+    /// already own a [`Transition`].
     pub fn observe(&mut self, transition: Transition) -> Option<f32> {
-        self.replay.push(transition);
+        self.observe_parts(
+            &transition.state,
+            transition.action,
+            transition.reward,
+            &transition.next_state,
+            transition.terminal,
+        )
+    }
+
+    /// [`DqnAgent::observe`] from borrowed state slices — the hot path:
+    /// the frame store interns the states directly, so the caller never
+    /// clones a state vector to hand it over.
+    pub fn observe_parts(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f64,
+        next_state: &[f32],
+        terminal: bool,
+    ) -> Option<f32> {
+        self.replay.push_parts(state, action, reward, next_state, terminal);
         self.steps += 1;
 
         let mut loss = None;
@@ -334,75 +412,72 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// ablations can drive learning manually.
     pub fn learn_minibatch(&mut self) -> f32 {
         let k = self.config.batch_size;
-        let dim = self.q.state_dim();
 
-        // Sample (with indices when prioritized, so TD errors can be
-        // reported back).
-        let mut states = Matrix::zeros(k, dim);
-        let mut next_states = Matrix::zeros(k, dim);
-        let mut actions = Vec::with_capacity(k);
-        let mut rewards = Vec::with_capacity(k);
-        let mut terminals = Vec::with_capacity(k);
-        let mut sampled_indices: Vec<usize> = Vec::new();
+        // Sample straight into the preallocated scratch (with indices when
+        // prioritized, so TD errors can be reported back) — no per-row
+        // state allocations.
+        let scratch = &mut self.scratch;
         match &self.replay {
-            Buffer::Uniform(b) => {
-                for (i, t) in b.sample(&mut self.rng, k).iter().enumerate() {
-                    states.row_mut(i).copy_from_slice(&t.state);
-                    next_states.row_mut(i).copy_from_slice(&t.next_state);
-                    actions.push(t.action);
-                    rewards.push(t.reward);
-                    terminals.push(t.terminal);
-                }
-            }
-            Buffer::Prioritized(b) => {
-                for (i, (idx, t)) in b.sample(&mut self.rng, k).iter().enumerate() {
-                    states.row_mut(i).copy_from_slice(&t.state);
-                    next_states.row_mut(i).copy_from_slice(&t.next_state);
-                    actions.push(t.action);
-                    rewards.push(t.reward);
-                    terminals.push(t.terminal);
-                    sampled_indices.push(*idx);
-                }
-            }
+            Buffer::Uniform(b) => b.sample_into(
+                &mut self.rng,
+                k,
+                &mut scratch.states,
+                &mut scratch.next_states,
+                &mut scratch.actions,
+                &mut scratch.rewards,
+                &mut scratch.terminals,
+            ),
+            Buffer::Prioritized(b) => b.sample_into(
+                &mut self.rng,
+                k,
+                &mut scratch.states,
+                &mut scratch.next_states,
+                &mut scratch.actions,
+                &mut scratch.rewards,
+                &mut scratch.terminals,
+                &mut scratch.indices,
+            ),
         }
 
         // TD targets.
-        let q_next_target = self.target.predict_batch(&next_states);
+        let q_next_target = self.target.predict_batch(&scratch.next_states);
         let q_next_online = match self.config.target_rule {
             TargetRule::Standard => None,
-            TargetRule::Double => Some(self.q.predict_batch(&next_states)),
+            TargetRule::Double => Some(self.q.predict_batch(&scratch.next_states)),
         };
         let gamma = self.config.gamma as f32;
-        let targets: Vec<f32> = (0..k)
-            .map(|i| {
-                let r = rewards[i] as f32;
-                if terminals[i] {
-                    r
-                } else {
-                    let future = match self.config.target_rule {
-                        TargetRule::Standard => q_next_target.max_row(i),
-                        TargetRule::Double => {
-                            let a_star =
-                                q_next_online.as_ref().expect("double rule").argmax_row(i);
-                            q_next_target.get(i, a_star)
-                        }
-                    };
-                    r + gamma * future
-                }
-            })
-            .collect();
+        scratch.targets.clear();
+        for i in 0..k {
+            let r = scratch.rewards[i] as f32;
+            let y = if scratch.terminals[i] {
+                r
+            } else {
+                let future = match self.config.target_rule {
+                    TargetRule::Standard => q_next_target.max_row(i),
+                    TargetRule::Double => {
+                        let a_star = q_next_online.as_ref().expect("double rule").argmax_row(i);
+                        q_next_target.get(i, a_star)
+                    }
+                };
+                r + gamma * future
+            };
+            scratch.targets.push(y);
+        }
 
         // Prioritized replay: report fresh TD errors back as priorities
         // before the gradient step mutates the network.
         if let Buffer::Prioritized(b) = &mut self.replay {
-            let q_now = self.q.predict_batch(&states);
-            for (row, &idx) in sampled_indices.iter().enumerate() {
-                let td_error = f64::from(targets[row] - q_now.get(row, actions[row]));
+            let q_now = self.q.predict_batch(&scratch.states);
+            for (row, &idx) in scratch.indices.iter().enumerate() {
+                let td_error =
+                    f64::from(scratch.targets[row] - q_now.get(row, scratch.actions[row]));
                 b.update_priority(idx, td_error);
             }
         }
 
-        let loss = self.q.train_td(&states, &actions, &targets);
+        let loss = self
+            .q
+            .train_td(&scratch.states, &scratch.actions, &scratch.targets);
         self.learn_steps += 1;
         self.last_loss = Some(loss);
         loss

@@ -39,7 +39,7 @@ pub use dqn::{DqnAgent, DqnConfig, TargetRule};
 pub use env::{clip_reward, Environment, StepOutcome};
 pub use nstep::NStepAccumulator;
 pub use qfunc::{DuelingQ, MlpQ, QFunction};
-pub use replay::{PrioritizedReplay, ReplayBuffer, Transition};
+pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
 pub use tabular::TabularQ;
 pub use training::{train, EpisodeStats, TrainOptions};

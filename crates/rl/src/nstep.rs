@@ -48,12 +48,10 @@ impl NStepAccumulator {
             // Flush: every pending prefix becomes an n-step (or shorter)
             // terminal transition.
             while !self.window.is_empty() {
-                out.push(self.merge());
-                self.window.pop_front();
+                out.push(self.merge_pop());
             }
         } else if self.window.len() == self.n {
-            out.push(self.merge());
-            self.window.pop_front();
+            out.push(self.merge_pop());
         }
         out
     }
@@ -63,8 +61,7 @@ impl NStepAccumulator {
     pub fn flush(&mut self) -> Vec<Transition> {
         let mut out = Vec::new();
         while !self.window.is_empty() {
-            out.push(self.merge());
-            self.window.pop_front();
+            out.push(self.merge_pop());
         }
         out
     }
@@ -75,10 +72,10 @@ impl NStepAccumulator {
     }
 
     /// Merges the current window into one n-step transition starting at
-    /// the window's front.
-    fn merge(&self) -> Transition {
-        let first = self.window.front().expect("merge on empty window");
-        let last = self.window.back().expect("merge on empty window");
+    /// the window's front, popping the front. The popped transition's state
+    /// is moved, not cloned; a single-entry window passes both its vectors
+    /// through untouched.
+    fn merge_pop(&mut self) -> Transition {
         let mut reward = 0.0;
         let mut discount = 1.0;
         for t in &self.window {
@@ -88,12 +85,24 @@ impl NStepAccumulator {
                 break;
             }
         }
+        if self.window.len() == 1 {
+            // The window's only transition is both `first` and `last`:
+            // both its vectors pass through without a clone.
+            let mut only = self.window.pop_front().expect("merge on empty window");
+            only.reward = reward;
+            return only;
+        }
+        let (next_state, terminal) = {
+            let last = self.window.back().expect("merge on empty window");
+            (last.next_state.clone(), last.terminal)
+        };
+        let first = self.window.pop_front().expect("merge on empty window");
         Transition {
-            state: first.state.clone(),
+            state: first.state,
             action: first.action,
             reward,
-            next_state: last.next_state.clone(),
-            terminal: last.terminal,
+            next_state,
+            terminal,
         }
     }
 }

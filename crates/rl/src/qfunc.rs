@@ -8,10 +8,11 @@
 //! al.): a shared trunk feeding separate state-value `V(s)` and advantage
 //! `A(s, a)` heads, recombined as `Q = V + A − mean(A)`.
 
-use neural::layer::DenseGrads;
+use neural::layer::{DenseCache, DenseGrads};
 use neural::{Activation, Dense, Loss, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec, WeightInit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A trainable action-value function `Q(s, ·)`.
 pub trait QFunction: Clone + Send {
@@ -33,6 +34,30 @@ pub trait QFunction: Clone + Send {
     fn sync_from(&mut self, other: &Self);
     /// Trainable parameter count.
     fn n_params(&self) -> usize;
+}
+
+/// Per-network forward-pass scratch: the hidden-activation ping-pong
+/// buffers [`neural::Mlp::forward_reusing`] writes into, kept alive across
+/// calls so the training hot loop allocates no activation matrices.
+///
+/// Interior mutability: `predict_batch` takes `&self`, so the scratch sits
+/// in a `RefCell`. [`QFunction`] requires `Clone + Send` but not `Sync` —
+/// a Q-function is owned by one agent and never shared across threads —
+/// so the borrow is never contended. The buffers are pure caches: they are
+/// skipped by serde and excluded from comparisons.
+#[derive(Debug, Clone)]
+struct ActScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl Default for ActScratch {
+    fn default() -> Self {
+        ActScratch {
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 /// Builds the masked output gradient for TD regression: zero everywhere
@@ -78,6 +103,8 @@ pub struct MlpQ {
     loss: Loss,
     /// Optional global-norm gradient clip applied before each update.
     grad_clip_norm: Option<f32>,
+    #[serde(skip)]
+    scratch: RefCell<ActScratch>,
 }
 
 impl MlpQ {
@@ -95,6 +122,7 @@ impl MlpQ {
             optimizer: opt,
             loss,
             grad_clip_norm: None,
+            scratch: RefCell::new(ActScratch::default()),
         }
     }
 
@@ -124,7 +152,9 @@ impl QFunction for MlpQ {
     }
 
     fn predict_batch(&self, states: &Matrix) -> Matrix {
-        self.mlp.forward(states)
+        let mut scratch = self.scratch.borrow_mut();
+        let ActScratch { ping, pong } = &mut *scratch;
+        self.mlp.forward_reusing(states, ping, pong)
     }
 
     fn train_td(&mut self, states: &Matrix, actions: &[usize], targets: &[f32]) -> f32 {
@@ -162,6 +192,8 @@ pub struct DuelingQ {
     optimizer: Optimizer,
     loss: Loss,
     state_dim: usize,
+    #[serde(skip)]
+    scratch: RefCell<ActScratch>,
 }
 
 impl DuelingQ {
@@ -204,16 +236,35 @@ impl DuelingQ {
             optimizer: Optimizer::new(optimizer, &sizes),
             loss,
             state_dim,
+            scratch: RefCell::new(ActScratch::default()),
         }
     }
 
-    /// Forward through the trunk only.
-    fn trunk_forward(&self, states: &Matrix) -> Matrix {
-        let mut x = states.clone();
-        for l in &self.trunk {
-            x = l.forward(&x);
+    /// Forward through the trunk only, ping-ponging between the two
+    /// caller-owned buffers; returns a borrow of whichever holds the final
+    /// trunk activation. Bitwise identical to chaining [`Dense::forward`].
+    fn trunk_forward_into<'a>(
+        &self,
+        states: &Matrix,
+        ping: &'a mut Matrix,
+        pong: &'a mut Matrix,
+    ) -> &'a Matrix {
+        let (first, rest) = self.trunk.split_first().expect("dueling trunk is non-empty");
+        first.forward_into(states, ping);
+        let mut in_ping = true;
+        for l in rest {
+            if in_ping {
+                l.forward_into(&*ping, pong);
+            } else {
+                l.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
         }
-        x
+        if in_ping {
+            ping
+        } else {
+            pong
+        }
     }
 
     /// Combines head outputs into Q-values.
@@ -236,23 +287,28 @@ impl QFunction for DuelingQ {
     }
 
     fn predict_batch(&self, states: &Matrix) -> Matrix {
-        let h = self.trunk_forward(states);
-        let v = self.value_head.forward(&h);
-        let a = self.advantage_head.forward(&h);
+        let mut scratch = self.scratch.borrow_mut();
+        let ActScratch { ping, pong } = &mut *scratch;
+        let h = self.trunk_forward_into(states, ping, pong);
+        let v = self.value_head.forward(h);
+        let a = self.advantage_head.forward(h);
         Self::combine(&v, &a)
     }
 
     fn train_td(&mut self, states: &Matrix, actions: &[usize], targets: &[f32]) -> f32 {
-        // Forward with caches.
-        let mut trunk_caches = Vec::with_capacity(self.trunk.len());
-        let mut x = states.clone();
-        for l in &self.trunk {
-            let c = l.forward_cached(&x);
-            x = c.output.clone();
+        // Forward with caches, feeding each layer from the previous cache's
+        // output in place (no per-layer clones).
+        let mut trunk_caches: Vec<DenseCache> = Vec::with_capacity(self.trunk.len());
+        for (i, l) in self.trunk.iter().enumerate() {
+            let c = match i {
+                0 => l.forward_cached(states),
+                _ => l.forward_cached(&trunk_caches[i - 1].output),
+            };
             trunk_caches.push(c);
         }
-        let v_cache = self.value_head.forward_cached(&x);
-        let a_cache = self.advantage_head.forward_cached(&x);
+        let h = &trunk_caches.last().expect("dueling trunk is non-empty").output;
+        let v_cache = self.value_head.forward_cached(h);
+        let a_cache = self.advantage_head.forward_cached(h);
         let q = Self::combine(&v_cache.output, &a_cache.output);
 
         let (loss_value, d_q) = masked_loss_and_grad(&q, actions, targets, self.loss);
@@ -406,15 +462,33 @@ mod tests {
     fn dueling_combination_is_mean_centred() {
         let q = dueling_q(6);
         let states = batch(7);
-        let h = q.trunk_forward(&states);
-        let v = q.value_head.forward(&h);
-        let a = q.advantage_head.forward(&h);
+        let mut ping = Matrix::zeros(0, 0);
+        let mut pong = Matrix::zeros(0, 0);
+        let h = q.trunk_forward_into(&states, &mut ping, &mut pong);
+        let v = q.value_head.forward(h);
+        let a = q.advantage_head.forward(h);
         let qv = DuelingQ::combine(&v, &a);
         // mean_c Q(s, c) == V(s) by construction.
         for r in 0..qv.rows() {
             let mean_q: f32 = qv.row(r).iter().sum::<f32>() / qv.cols() as f32;
             assert!((mean_q - v.get(r, 0)).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn predict_batch_is_stable_across_scratch_reuse() {
+        // Repeated calls share the interior scratch; values must not drift,
+        // including across differently-shaped batches in between.
+        let q = mlp_q(14);
+        let d = dueling_q(15);
+        let big = batch(16);
+        let small = Matrix::from_fn(2, 4, |r, c| ((r * 3 + c) as f32 * 0.29).sin());
+        let q_first = q.predict_batch(&big);
+        let d_first = d.predict_batch(&big);
+        let _ = q.predict_batch(&small);
+        let _ = d.predict_batch(&small);
+        assert_eq!(q.predict_batch(&big), q_first);
+        assert_eq!(d.predict_batch(&big), d_first);
     }
 
     #[test]

@@ -4,7 +4,36 @@
 //! minibatches — the first of the three key DQN ingredients the paper
 //! recounts in §2.2 (replay breaks the correlation between subsequent
 //! time-steps). The paper sizes it at 400,000 memories (Table 1).
+//!
+//! # Storage layout
+//!
+//! The seed implementation stored two full `Vec<f32>` states per
+//! [`Transition`] — ~53 GB at the paper's 400,000 × 16,599-real scale
+//! (Table 1), almost all of it redundant: the receptor block and the bond
+//! table never change within a run, and `next_state(t)` is byte-identical
+//! to `state(t+1)` within an episode.
+//!
+//! This module instead keeps a **frame store + transition index**:
+//!
+//! * a [`FrameLayout`] splits each state into `constant prefix | dynamic
+//!   frame | constant suffix`; the constant blocks are stored **once** for
+//!   the whole buffer (latched from the first push),
+//! * the dynamic frames live in one contiguous arena of fixed-width slots
+//!   with reference counts and a free list (no per-state `Vec`),
+//! * consecutive pushes deduplicate `next_state(t) == state(t+1)` by
+//!   bitwise comparison against the previous transition's frames, so an
+//!   L-step episode stores ~L+1 frames instead of 2·L states,
+//! * a stored transition is a few words: `(frame_idx, action, reward,
+//!   next_frame_idx, terminal)`.
+//!
+//! Sampling is **bitwise-identical** to the seed buffer: the ring
+//! (`len`/`head`) evolution, the RNG draw order (`gen_range(0..len)` per
+//! uniform draw, `gen::<f64>() * total` per prioritized draw) and the
+//! reassembled f32 states all match the `Vec`-based implementation, which
+//! is retained verbatim in [`legacy`] as the equivalence baseline and as
+//! the definition of the V1 checkpoint format.
 
+use neural::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -23,11 +52,236 @@ pub struct Transition {
     pub terminal: bool,
 }
 
-/// Fixed-capacity ring buffer with uniform sampling.
+/// How a state vector splits into `constant prefix | dynamic frame |
+/// constant suffix`.
+///
+/// For the paper's full layout the prefix is the receptor coordinate block
+/// and the suffix is the bond table — both constant for a given complex —
+/// leaving only the ligand coordinates + torsions (135–~180 reals) as the
+/// per-step frame. The default layout treats the whole state as dynamic,
+/// which is always correct (just less compact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameLayout {
+    /// Leading reals identical across every state pushed into the buffer.
+    pub prefix_len: usize,
+    /// Trailing reals identical across every state pushed into the buffer.
+    pub suffix_len: usize,
+}
+
+impl FrameLayout {
+    /// A layout with the given constant block widths.
+    pub fn new(prefix_len: usize, suffix_len: usize) -> Self {
+        FrameLayout {
+            prefix_len,
+            suffix_len,
+        }
+    }
+}
+
+/// Bitwise f32-slice equality (`to_bits`, not `==`): `NaN` payloads and
+/// signed zeros must round-trip exactly for the reassembled states to stay
+/// identical to what was pushed.
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Refcounted arena of fixed-width dynamic frames plus the buffer-wide
+/// constant blocks.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+struct FrameStore {
+    layout: FrameLayout,
+    /// Full state width; 0 until the first push binds it.
+    dim: usize,
+    /// The shared constant prefix, latched from the first push.
+    prefix: Vec<f32>,
+    /// The shared constant suffix, latched from the first push.
+    suffix: Vec<f32>,
+    /// Slot-major frame storage: slot `i` occupies
+    /// `arena[i*frame_len .. (i+1)*frame_len]`.
+    arena: Vec<f32>,
+    /// Per-slot reference count (how many transition endpoints use it).
+    refs: Vec<u32>,
+    /// Slots whose refcount dropped to zero, reused before growing.
+    free: Vec<u32>,
+    /// Dedup candidates: the previous push's state / next-state frames.
+    #[serde(skip)]
+    recent_state: Option<u32>,
+    #[serde(skip)]
+    recent_next: Option<u32>,
+    /// Interns answered by a candidate hit instead of a new slot.
+    #[serde(skip)]
+    dedup_hits: u64,
+}
+
+impl FrameStore {
+    fn new(layout: FrameLayout) -> Self {
+        FrameStore {
+            layout,
+            dim: 0,
+            prefix: Vec::new(),
+            suffix: Vec::new(),
+            arena: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+            recent_state: None,
+            recent_next: None,
+            dedup_hits: 0,
+        }
+    }
+
+    fn frame_len(&self) -> usize {
+        self.dim - self.layout.prefix_len - self.layout.suffix_len
+    }
+
+    fn frame(&self, idx: u32) -> &[f32] {
+        let fl = self.frame_len();
+        let start = idx as usize * fl;
+        &self.arena[start..start + fl]
+    }
+
+    /// Binds the state width and constant blocks on first use; verifies
+    /// every later push against them (bitwise).
+    fn bind(&mut self, state: &[f32]) {
+        if self.dim == 0 {
+            assert!(!state.is_empty(), "replay states must be non-empty");
+            assert!(
+                state.len() >= self.layout.prefix_len + self.layout.suffix_len,
+                "state width {} is narrower than the configured constant blocks \
+                 ({} prefix + {} suffix)",
+                state.len(),
+                self.layout.prefix_len,
+                self.layout.suffix_len
+            );
+            self.dim = state.len();
+            self.prefix = state[..self.layout.prefix_len].to_vec();
+            self.suffix = state[state.len() - self.layout.suffix_len..].to_vec();
+        } else {
+            assert_eq!(
+                state.len(),
+                self.dim,
+                "state width changed mid-stream; the replay buffer holds one layout"
+            );
+        }
+    }
+
+    /// Interns a state's dynamic frame, returning its slot. `extra` is an
+    /// additional dedup candidate (the just-interned `state` frame when
+    /// interning `next_state`, covering no-op steps).
+    fn intern(&mut self, state: &[f32], extra: Option<u32>) -> u32 {
+        self.bind(state);
+        let p = self.layout.prefix_len;
+        let dynamic = &state[p..state.len() - self.layout.suffix_len];
+        assert!(
+            bits_eq(&state[..p], &self.prefix),
+            "state prefix differs from the buffer's constant block; \
+             the frame layout does not fit this state stream"
+        );
+        assert!(
+            bits_eq(&state[state.len() - self.layout.suffix_len..], &self.suffix),
+            "state suffix differs from the buffer's constant block; \
+             the frame layout does not fit this state stream"
+        );
+        for cand in [extra, self.recent_next, self.recent_state].into_iter().flatten() {
+            if self.refs[cand as usize] > 0 && bits_eq(self.frame(cand), dynamic) {
+                self.refs[cand as usize] += 1;
+                self.dedup_hits += 1;
+                return cand;
+            }
+        }
+        match self.free.pop() {
+            Some(slot) => {
+                let fl = self.frame_len();
+                let start = slot as usize * fl;
+                self.arena[start..start + fl].copy_from_slice(dynamic);
+                self.refs[slot as usize] = 1;
+                slot
+            }
+            None => {
+                self.arena.extend_from_slice(dynamic);
+                self.refs.push(1);
+                (self.refs.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Interns a transition's two states, maintaining the dedup candidates.
+    fn intern_pair(&mut self, state: &[f32], next_state: &[f32]) -> (u32, u32) {
+        let s = self.intern(state, None);
+        let ns = self.intern(next_state, Some(s));
+        self.recent_state = Some(s);
+        self.recent_next = Some(ns);
+        (s, ns)
+    }
+
+    /// Drops one reference; frees the slot (and invalidates any dedup
+    /// candidate pointing at it) when the count reaches zero.
+    fn release(&mut self, idx: u32) {
+        let i = idx as usize;
+        assert!(self.refs[i] > 0, "releasing a frame that is not live");
+        self.refs[i] -= 1;
+        if self.refs[i] == 0 {
+            self.free.push(idx);
+            if self.recent_state == Some(idx) {
+                self.recent_state = None;
+            }
+            if self.recent_next == Some(idx) {
+                self.recent_next = None;
+            }
+        }
+    }
+
+    /// Reassembles the full state for a frame into `out` (prefix + frame +
+    /// suffix). `out` must be exactly `dim` wide.
+    fn copy_state_into(&self, idx: u32, out: &mut [f32]) {
+        let p = self.layout.prefix_len;
+        let fl = self.frame_len();
+        assert_eq!(out.len(), self.dim, "output row width must match the state width");
+        out[..p].copy_from_slice(&self.prefix);
+        out[p..p + fl].copy_from_slice(self.frame(idx));
+        out[p + fl..].copy_from_slice(&self.suffix);
+    }
+
+    fn state_vec(&self, idx: u32) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        self.copy_state_into(idx, &mut out);
+        out
+    }
+
+    fn live(&self) -> usize {
+        self.refs.len() - self.free.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (self.arena.capacity()
+            + self.refs.capacity()
+            + self.free.capacity()
+            + self.prefix.capacity()
+            + self.suffix.capacity())
+            * 4
+    }
+}
+
+/// A stored transition: two frame slots plus the scalar payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IndexEntry {
+    state: u32,
+    action: u32,
+    reward: f64,
+    next_state: u32,
+    terminal: bool,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling, backed by the
+/// deduplicated frame store.
+///
+/// Sampling behaviour (RNG draw order and reassembled f32 values) is
+/// bitwise-identical to [`legacy::ReplayBuffer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "ReplaySerde", into = "ReplaySerde")]
 pub struct ReplayBuffer {
     capacity: usize,
-    items: Vec<Transition>,
+    frames: FrameStore,
+    entries: Vec<IndexEntry>,
     /// Next write position once the buffer is full.
     head: usize,
     /// Total pushes ever (for diagnostics).
@@ -35,39 +289,108 @@ pub struct ReplayBuffer {
 }
 
 impl ReplayBuffer {
-    /// Creates a buffer holding at most `capacity` transitions.
+    /// Creates a buffer holding at most `capacity` transitions, with the
+    /// whole state treated as dynamic (no shared constant blocks).
     ///
     /// # Panics
     /// If `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_layout(capacity, FrameLayout::default())
+    }
+
+    /// Creates a buffer whose states share the given constant blocks.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn with_layout(capacity: usize, layout: FrameLayout) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
         ReplayBuffer {
             capacity,
-            items: Vec::new(),
+            frames: FrameStore::new(layout),
+            entries: Vec::new(),
             head: 0,
             pushed: 0,
         }
     }
 
+    /// Rebuilds a buffer from the seed (`Vec<Transition>`) representation —
+    /// the V1 checkpoint fallback. The whole state is treated as dynamic;
+    /// consecutive ring positions still deduplicate.
+    ///
+    /// # Panics
+    /// If `capacity` is zero, `items` overflows it, or `head` is out of
+    /// range.
+    pub fn from_legacy_parts(
+        capacity: usize,
+        items: Vec<Transition>,
+        head: usize,
+        pushed: u64,
+    ) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert!(head < capacity, "head out of range");
+        let mut rb = Self::new(capacity);
+        for t in &items {
+            let (s, ns) = rb.frames.intern_pair(&t.state, &t.next_state);
+            rb.entries.push(IndexEntry {
+                state: s,
+                action: t.action as u32,
+                reward: t.reward,
+                next_state: ns,
+                terminal: t.terminal,
+            });
+        }
+        rb.head = head;
+        rb.pushed = pushed;
+        rb
+    }
+
     /// Stores a transition, evicting the oldest when full.
     pub fn push(&mut self, t: Transition) {
+        self.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+    }
+
+    /// Stores a transition from borrowed state slices — the allocation-free
+    /// path ([`ReplayBuffer::push`] is a thin wrapper).
+    pub fn push_parts(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f64,
+        next_state: &[f32],
+        terminal: bool,
+    ) {
         self.pushed += 1;
-        if self.items.len() < self.capacity {
-            self.items.push(t);
-        } else {
-            self.items[self.head] = t;
+        let full = self.entries.len() >= self.capacity;
+        if full {
+            let old = self.entries[self.head];
+            self.frames.release(old.state);
+            self.frames.release(old.next_state);
+        }
+        let (s, ns) = self.frames.intern_pair(state, next_state);
+        let entry = IndexEntry {
+            state: s,
+            action: action as u32,
+            reward,
+            next_state: ns,
+            terminal,
+        };
+        if full {
+            self.entries[self.head] = entry;
             self.head = (self.head + 1) % self.capacity;
+        } else {
+            self.entries.push(entry);
         }
     }
 
     /// Current number of stored transitions.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.entries.len()
     }
 
     /// Whether nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.entries.is_empty()
     }
 
     /// Configured capacity.
@@ -80,21 +403,98 @@ impl ReplayBuffer {
         self.pushed
     }
 
+    /// Width of the stored states; `None` until the first push.
+    pub fn state_dim(&self) -> Option<usize> {
+        (self.frames.dim > 0).then_some(self.frames.dim)
+    }
+
+    /// Reassembles the transition at a ring position (test/diagnostic
+    /// support; position order matches the seed buffer's `items()`).
+    pub fn transition(&self, index: usize) -> Transition {
+        let e = self.entries[index];
+        Transition {
+            state: self.frames.state_vec(e.state),
+            action: e.action as usize,
+            reward: e.reward,
+            next_state: self.frames.state_vec(e.next_state),
+            terminal: e.terminal,
+        }
+    }
+
+    /// Reassembles every stored transition in ring-position order.
+    pub fn iter_transitions(&self) -> impl Iterator<Item = Transition> + '_ {
+        (0..self.entries.len()).map(|i| self.transition(i))
+    }
+
     /// Samples `k` transitions uniformly at random *with replacement* —
-    /// the standard DQN i.i.d. minibatch.
+    /// the standard DQN i.i.d. minibatch. Draw order matches the seed
+    /// buffer: one `gen_range(0..len)` per sample.
     ///
     /// # Panics
     /// If the buffer is empty.
-    pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> Vec<&'a Transition> {
-        assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<Transition> {
+        assert!(!self.entries.is_empty(), "sampling from an empty replay buffer");
         (0..k)
-            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .map(|_| self.transition(rng.gen_range(0..self.entries.len())))
             .collect()
     }
 
-    /// Read-only view of the stored transitions (test support).
-    pub fn items(&self) -> &[Transition] {
-        &self.items
+    /// Samples `k` transitions directly into caller-owned storage: state
+    /// rows are reassembled into the two preallocated matrices and the
+    /// scalar payloads into the cleared vectors. Zero heap allocations.
+    ///
+    /// RNG draws are identical to [`ReplayBuffer::sample`].
+    ///
+    /// # Panics
+    /// If the buffer is empty or the matrices are not `k ×` state-width.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        states: &mut Matrix,
+        next_states: &mut Matrix,
+        actions: &mut Vec<usize>,
+        rewards: &mut Vec<f64>,
+        terminals: &mut Vec<bool>,
+    ) {
+        assert!(!self.entries.is_empty(), "sampling from an empty replay buffer");
+        assert_eq!(states.rows(), k, "states matrix must have k rows");
+        assert_eq!(next_states.rows(), k, "next_states matrix must have k rows");
+        actions.clear();
+        rewards.clear();
+        terminals.clear();
+        for i in 0..k {
+            let e = self.entries[rng.gen_range(0..self.entries.len())];
+            self.frames.copy_state_into(e.state, states.row_mut(i));
+            self.frames.copy_state_into(e.next_state, next_states.row_mut(i));
+            actions.push(e.action as usize);
+            rewards.push(e.reward);
+            terminals.push(e.terminal);
+        }
+    }
+
+    /// Live (referenced) frames in the store.
+    pub fn frames_live(&self) -> usize {
+        self.frames.live()
+    }
+
+    /// Interns answered by deduplication instead of a new frame slot.
+    pub fn dedup_hits(&self) -> u64 {
+        self.frames.dedup_hits
+    }
+
+    /// Approximate resident bytes (arena + index + shared blocks).
+    pub fn approx_bytes(&self) -> usize {
+        self.frames.approx_bytes() + self.entries.capacity() * std::mem::size_of::<IndexEntry>()
+    }
+
+    /// Approximate resident bytes per stored transition (0 when empty).
+    pub fn approx_bytes_per_transition(&self) -> usize {
+        if self.entries.is_empty() {
+            0
+        } else {
+            self.approx_bytes() / self.entries.len()
+        }
     }
 }
 
@@ -108,15 +508,19 @@ impl ReplayBuffer {
 ///
 /// This is the *early* proportional scheme without importance-sampling
 /// weight correction (β = 0) — adequate for the ablation experiments here
-/// and documented as such.
+/// and documented as such. Storage rides the same deduplicated
+/// [`FrameStore`] as [`ReplayBuffer`]; the sum tree and its draw sequence
+/// are unchanged from [`legacy::PrioritizedReplay`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "PrioritizedSerde", into = "PrioritizedSerde")]
 pub struct PrioritizedReplay {
     capacity: usize,
     /// Priority exponent α (0 = uniform, 1 = fully proportional).
     alpha: f64,
     /// Small constant keeping zero-error transitions sampleable.
     epsilon: f64,
-    items: Vec<Transition>,
+    frames: FrameStore,
+    entries: Vec<IndexEntry>,
     head: usize,
     /// Binary sum tree over `capacity` leaves (1-indexed, size 2·cap).
     tree: Vec<f64>,
@@ -126,11 +530,20 @@ pub struct PrioritizedReplay {
 }
 
 impl PrioritizedReplay {
-    /// Creates a buffer with the given capacity and priority exponent.
+    /// Creates a buffer with the given capacity and priority exponent,
+    /// with the whole state treated as dynamic.
     ///
     /// # Panics
     /// If `capacity` is zero or `alpha` is not in `[0, 1]`.
     pub fn new(capacity: usize, alpha: f64) -> Self {
+        Self::with_layout(capacity, alpha, FrameLayout::default())
+    }
+
+    /// Creates a buffer whose states share the given constant blocks.
+    ///
+    /// # Panics
+    /// If `capacity` is zero or `alpha` is not in `[0, 1]`.
+    pub fn with_layout(capacity: usize, alpha: f64, layout: FrameLayout) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
         let cap_pow2 = capacity.next_power_of_two();
@@ -138,7 +551,8 @@ impl PrioritizedReplay {
             capacity,
             alpha,
             epsilon: 1e-3,
-            items: Vec::new(),
+            frames: FrameStore::new(layout),
+            entries: Vec::new(),
             head: 0,
             tree: vec![0.0; 2 * cap_pow2],
             max_priority: 1.0,
@@ -175,19 +589,45 @@ impl PrioritizedReplay {
                 node = left + 1;
             }
         }
-        (node - self.leaves()).min(self.items.len().saturating_sub(1))
+        (node - self.leaves()).min(self.entries.len().saturating_sub(1))
     }
 
     /// Stores a transition at maximum priority.
     pub fn push(&mut self, t: Transition) {
-        let slot = if self.items.len() < self.capacity {
-            self.items.push(t);
-            self.items.len() - 1
-        } else {
-            let s = self.head;
-            self.items[s] = t;
+        self.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+    }
+
+    /// Stores a transition from borrowed state slices at maximum priority.
+    pub fn push_parts(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f64,
+        next_state: &[f32],
+        terminal: bool,
+    ) {
+        let full = self.entries.len() >= self.capacity;
+        if full {
+            let old = self.entries[self.head];
+            self.frames.release(old.state);
+            self.frames.release(old.next_state);
+        }
+        let (s, ns) = self.frames.intern_pair(state, next_state);
+        let entry = IndexEntry {
+            state: s,
+            action: action as u32,
+            reward,
+            next_state: ns,
+            terminal,
+        };
+        let slot = if full {
+            let slot = self.head;
+            self.entries[slot] = entry;
             self.head = (self.head + 1) % self.capacity;
-            s
+            slot
+        } else {
+            self.entries.push(entry);
+            self.entries.len() - 1
         };
         let p = self.max_priority.powf(self.alpha);
         self.set_leaf(slot, p);
@@ -195,44 +635,778 @@ impl PrioritizedReplay {
 
     /// Number of stored transitions.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.entries.len()
     }
 
     /// Whether nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.entries.is_empty()
+    }
+
+    /// Width of the stored states; `None` until the first push.
+    pub fn state_dim(&self) -> Option<usize> {
+        (self.frames.dim > 0).then_some(self.frames.dim)
+    }
+
+    /// Reassembles the transition at a ring position.
+    pub fn transition(&self, index: usize) -> Transition {
+        let e = self.entries[index];
+        Transition {
+            state: self.frames.state_vec(e.state),
+            action: e.action as usize,
+            reward: e.reward,
+            next_state: self.frames.state_vec(e.next_state),
+            terminal: e.terminal,
+        }
     }
 
     /// Samples `k` transitions ∝ priority; returns `(index, transition)`
     /// pairs so the caller can report TD errors back via
-    /// [`PrioritizedReplay::update_priority`].
+    /// [`PrioritizedReplay::update_priority`]. Draw order matches the seed
+    /// buffer: one `gen::<f64>()` per sample.
     ///
     /// # Panics
     /// If the buffer is empty.
-    pub fn sample<'a, R: Rng + ?Sized>(
-        &'a self,
-        rng: &mut R,
-        k: usize,
-    ) -> Vec<(usize, &'a Transition)> {
-        assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<(usize, Transition)> {
+        assert!(!self.entries.is_empty(), "sampling from an empty replay buffer");
         let total = self.total();
         (0..k)
             .map(|_| {
                 let target = rng.gen::<f64>() * total;
                 let idx = self.find_leaf(target);
-                (idx, &self.items[idx])
+                (idx, self.transition(idx))
             })
             .collect()
     }
 
+    /// Samples `k` transitions ∝ priority directly into caller-owned
+    /// storage; `indices` receives the ring positions for
+    /// [`PrioritizedReplay::update_priority`]. Zero heap allocations.
+    ///
+    /// # Panics
+    /// If the buffer is empty or the matrices are not `k ×` state-width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        states: &mut Matrix,
+        next_states: &mut Matrix,
+        actions: &mut Vec<usize>,
+        rewards: &mut Vec<f64>,
+        terminals: &mut Vec<bool>,
+        indices: &mut Vec<usize>,
+    ) {
+        assert!(!self.entries.is_empty(), "sampling from an empty replay buffer");
+        assert_eq!(states.rows(), k, "states matrix must have k rows");
+        assert_eq!(next_states.rows(), k, "next_states matrix must have k rows");
+        actions.clear();
+        rewards.clear();
+        terminals.clear();
+        indices.clear();
+        let total = self.total();
+        for i in 0..k {
+            let target = rng.gen::<f64>() * total;
+            let idx = self.find_leaf(target);
+            let e = self.entries[idx];
+            self.frames.copy_state_into(e.state, states.row_mut(i));
+            self.frames.copy_state_into(e.next_state, next_states.row_mut(i));
+            actions.push(e.action as usize);
+            rewards.push(e.reward);
+            terminals.push(e.terminal);
+            indices.push(idx);
+        }
+    }
+
     /// Updates a transition's priority from its (fresh) TD error.
     pub fn update_priority(&mut self, index: usize, td_error: f64) {
-        assert!(index < self.items.len(), "priority index out of range");
+        assert!(index < self.entries.len(), "priority index out of range");
         let p = td_error.abs() + self.epsilon;
         if p > self.max_priority {
             self.max_priority = p;
         }
         self.set_leaf(index, p.powf(self.alpha));
+    }
+
+    /// Live (referenced) frames in the store.
+    pub fn frames_live(&self) -> usize {
+        self.frames.live()
+    }
+
+    /// Approximate resident bytes (arena + index + tree + shared blocks).
+    pub fn approx_bytes(&self) -> usize {
+        self.frames.approx_bytes()
+            + self.entries.capacity() * std::mem::size_of::<IndexEntry>()
+            + self.tree.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint formats
+// ---------------------------------------------------------------------------
+
+/// On-disk format version for the compact (frame-store) representation.
+pub const COMPACT_FORMAT_VERSION: u32 = 2;
+
+/// Serialized form of [`ReplayBuffer`]: the compact V2 layout, or the seed
+/// V1 `Vec<Transition>` layout as a load-only fallback.
+///
+/// The fallback relies on `serde(untagged)`, so deserializing V1
+/// checkpoints requires a self-describing format (JSON, CBOR, …);
+/// serialization always emits V2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ReplaySerde {
+    /// The compact frame-store layout.
+    Compact(CompactReplay),
+    /// The seed `Vec<Transition>` layout (load-only).
+    Legacy(legacy::ReplayBuffer),
+}
+
+/// Struct-of-arrays snapshot of a [`ReplayBuffer`]: the frame arena and
+/// index tables instead of per-transition float vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompactReplay {
+    /// Must equal [`COMPACT_FORMAT_VERSION`].
+    pub version: u32,
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Next overwrite position.
+    pub head: usize,
+    /// Total pushes ever.
+    pub pushed: u64,
+    /// Constant-block widths.
+    pub prefix_len: usize,
+    /// Constant-block widths.
+    pub suffix_len: usize,
+    /// Full state width (0 = no push yet).
+    pub dim: usize,
+    /// The shared constant prefix.
+    pub prefix: Vec<f32>,
+    /// The shared constant suffix.
+    pub suffix: Vec<f32>,
+    /// Slot-major dynamic frames.
+    pub arena: Vec<f32>,
+    /// Per-slot reference counts.
+    pub refs: Vec<u32>,
+    /// Free slot list.
+    pub free: Vec<u32>,
+    /// Per-entry state frame slots.
+    pub state_idx: Vec<u32>,
+    /// Per-entry actions.
+    pub actions: Vec<u32>,
+    /// Per-entry rewards.
+    pub rewards: Vec<f64>,
+    /// Per-entry next-state frame slots.
+    pub next_idx: Vec<u32>,
+    /// Per-entry terminal flags.
+    pub terminals: Vec<bool>,
+}
+
+impl From<ReplayBuffer> for CompactReplay {
+    fn from(rb: ReplayBuffer) -> Self {
+        CompactReplay {
+            version: COMPACT_FORMAT_VERSION,
+            capacity: rb.capacity,
+            head: rb.head,
+            pushed: rb.pushed,
+            prefix_len: rb.frames.layout.prefix_len,
+            suffix_len: rb.frames.layout.suffix_len,
+            dim: rb.frames.dim,
+            prefix: rb.frames.prefix,
+            suffix: rb.frames.suffix,
+            arena: rb.frames.arena,
+            refs: rb.frames.refs,
+            free: rb.frames.free,
+            state_idx: rb.entries.iter().map(|e| e.state).collect(),
+            actions: rb.entries.iter().map(|e| e.action).collect(),
+            rewards: rb.entries.iter().map(|e| e.reward).collect(),
+            next_idx: rb.entries.iter().map(|e| e.next_state).collect(),
+            terminals: rb.entries.iter().map(|e| e.terminal).collect(),
+        }
+    }
+}
+
+impl From<ReplayBuffer> for ReplaySerde {
+    fn from(rb: ReplayBuffer) -> Self {
+        ReplaySerde::Compact(rb.into())
+    }
+}
+
+/// Validates the compact snapshot's internal consistency and rebuilds the
+/// frame store from it.
+fn frame_store_from_compact(
+    layout: FrameLayout,
+    dim: usize,
+    prefix: Vec<f32>,
+    suffix: Vec<f32>,
+    arena: Vec<f32>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
+) -> Result<FrameStore, String> {
+    if dim == 0 {
+        if !(prefix.is_empty() && suffix.is_empty() && arena.is_empty() && refs.is_empty()) {
+            return Err("empty-buffer snapshot carries frame data".into());
+        }
+    } else {
+        if dim < layout.prefix_len + layout.suffix_len {
+            return Err("state width narrower than the constant blocks".into());
+        }
+        if prefix.len() != layout.prefix_len || suffix.len() != layout.suffix_len {
+            return Err("constant block widths disagree with the layout".into());
+        }
+        let frame_len = dim - layout.prefix_len - layout.suffix_len;
+        if arena.len() != refs.len() * frame_len {
+            return Err("arena size disagrees with the slot count".into());
+        }
+    }
+    if free.iter().any(|&f| f as usize >= refs.len()) {
+        return Err("free-list slot out of range".into());
+    }
+    Ok(FrameStore {
+        layout,
+        dim,
+        prefix,
+        suffix,
+        arena,
+        refs,
+        free,
+        recent_state: None,
+        recent_next: None,
+        dedup_hits: 0,
+    })
+}
+
+fn entries_from_columns(
+    n_slots: usize,
+    state_idx: Vec<u32>,
+    actions: Vec<u32>,
+    rewards: Vec<f64>,
+    next_idx: Vec<u32>,
+    terminals: Vec<bool>,
+) -> Result<Vec<IndexEntry>, String> {
+    let n = state_idx.len();
+    if actions.len() != n || rewards.len() != n || next_idx.len() != n || terminals.len() != n {
+        return Err("index columns have mismatched lengths".into());
+    }
+    if state_idx
+        .iter()
+        .chain(next_idx.iter())
+        .any(|&i| i as usize >= n_slots)
+    {
+        return Err("frame slot index out of range".into());
+    }
+    Ok((0..n)
+        .map(|i| IndexEntry {
+            state: state_idx[i],
+            action: actions[i],
+            reward: rewards[i],
+            next_state: next_idx[i],
+            terminal: terminals[i],
+        })
+        .collect())
+}
+
+impl TryFrom<CompactReplay> for ReplayBuffer {
+    type Error = String;
+
+    fn try_from(c: CompactReplay) -> Result<Self, String> {
+        if c.version != COMPACT_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported replay checkpoint version {} (expected {})",
+                c.version, COMPACT_FORMAT_VERSION
+            ));
+        }
+        if c.capacity == 0 {
+            return Err("replay capacity must be positive".into());
+        }
+        if c.head >= c.capacity {
+            return Err("head out of range".into());
+        }
+        let frames = frame_store_from_compact(
+            FrameLayout::new(c.prefix_len, c.suffix_len),
+            c.dim,
+            c.prefix,
+            c.suffix,
+            c.arena,
+            c.refs,
+            c.free,
+        )?;
+        let entries = entries_from_columns(
+            frames.refs.len(),
+            c.state_idx,
+            c.actions,
+            c.rewards,
+            c.next_idx,
+            c.terminals,
+        )?;
+        if entries.len() > c.capacity {
+            return Err("more entries than capacity".into());
+        }
+        Ok(ReplayBuffer {
+            capacity: c.capacity,
+            frames,
+            entries,
+            head: c.head,
+            pushed: c.pushed,
+        })
+    }
+}
+
+impl TryFrom<ReplaySerde> for ReplayBuffer {
+    type Error = String;
+
+    fn try_from(s: ReplaySerde) -> Result<Self, String> {
+        match s {
+            ReplaySerde::Compact(c) => c.try_into(),
+            ReplaySerde::Legacy(l) => {
+                let (capacity, items, head, pushed) = l.into_parts();
+                if head >= capacity || items.len() > capacity {
+                    return Err("legacy replay snapshot is inconsistent".into());
+                }
+                Ok(ReplayBuffer::from_legacy_parts(capacity, items, head, pushed))
+            }
+        }
+    }
+}
+
+/// Serialized form of [`PrioritizedReplay`] — compact V2 or the seed V1
+/// layout as a load-only fallback (same `untagged` caveat as
+/// [`ReplaySerde`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PrioritizedSerde {
+    /// The compact frame-store layout.
+    Compact(CompactPrioritized),
+    /// The seed `Vec<Transition>` layout (load-only).
+    Legacy(legacy::PrioritizedReplay),
+}
+
+/// Struct-of-arrays snapshot of a [`PrioritizedReplay`]. The sum tree is
+/// stored verbatim so resumed sampling draws the exact same sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompactPrioritized {
+    /// Must equal [`COMPACT_FORMAT_VERSION`].
+    pub version: u32,
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Priority exponent.
+    pub alpha: f64,
+    /// Priority floor.
+    pub epsilon: f64,
+    /// Next overwrite position.
+    pub head: usize,
+    /// Running maximum priority.
+    pub max_priority: f64,
+    /// The full sum tree (1-indexed, size 2·cap_pow2).
+    pub tree: Vec<f64>,
+    /// Constant-block widths.
+    pub prefix_len: usize,
+    /// Constant-block widths.
+    pub suffix_len: usize,
+    /// Full state width (0 = no push yet).
+    pub dim: usize,
+    /// The shared constant prefix.
+    pub prefix: Vec<f32>,
+    /// The shared constant suffix.
+    pub suffix: Vec<f32>,
+    /// Slot-major dynamic frames.
+    pub arena: Vec<f32>,
+    /// Per-slot reference counts.
+    pub refs: Vec<u32>,
+    /// Free slot list.
+    pub free: Vec<u32>,
+    /// Per-entry state frame slots.
+    pub state_idx: Vec<u32>,
+    /// Per-entry actions.
+    pub actions: Vec<u32>,
+    /// Per-entry rewards.
+    pub rewards: Vec<f64>,
+    /// Per-entry next-state frame slots.
+    pub next_idx: Vec<u32>,
+    /// Per-entry terminal flags.
+    pub terminals: Vec<bool>,
+}
+
+impl From<PrioritizedReplay> for CompactPrioritized {
+    fn from(rb: PrioritizedReplay) -> Self {
+        CompactPrioritized {
+            version: COMPACT_FORMAT_VERSION,
+            capacity: rb.capacity,
+            alpha: rb.alpha,
+            epsilon: rb.epsilon,
+            head: rb.head,
+            max_priority: rb.max_priority,
+            tree: rb.tree,
+            prefix_len: rb.frames.layout.prefix_len,
+            suffix_len: rb.frames.layout.suffix_len,
+            dim: rb.frames.dim,
+            prefix: rb.frames.prefix,
+            suffix: rb.frames.suffix,
+            arena: rb.frames.arena,
+            refs: rb.frames.refs,
+            free: rb.frames.free,
+            state_idx: rb.entries.iter().map(|e| e.state).collect(),
+            actions: rb.entries.iter().map(|e| e.action).collect(),
+            rewards: rb.entries.iter().map(|e| e.reward).collect(),
+            next_idx: rb.entries.iter().map(|e| e.next_state).collect(),
+            terminals: rb.entries.iter().map(|e| e.terminal).collect(),
+        }
+    }
+}
+
+impl From<PrioritizedReplay> for PrioritizedSerde {
+    fn from(rb: PrioritizedReplay) -> Self {
+        PrioritizedSerde::Compact(rb.into())
+    }
+}
+
+impl TryFrom<CompactPrioritized> for PrioritizedReplay {
+    type Error = String;
+
+    fn try_from(c: CompactPrioritized) -> Result<Self, String> {
+        if c.version != COMPACT_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported replay checkpoint version {} (expected {})",
+                c.version, COMPACT_FORMAT_VERSION
+            ));
+        }
+        if c.capacity == 0 {
+            return Err("replay capacity must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&c.alpha) {
+            return Err("alpha must be in [0, 1]".into());
+        }
+        if c.head >= c.capacity {
+            return Err("head out of range".into());
+        }
+        if c.tree.len() != 2 * c.capacity.next_power_of_two() {
+            return Err("sum tree size disagrees with the capacity".into());
+        }
+        let frames = frame_store_from_compact(
+            FrameLayout::new(c.prefix_len, c.suffix_len),
+            c.dim,
+            c.prefix,
+            c.suffix,
+            c.arena,
+            c.refs,
+            c.free,
+        )?;
+        let entries = entries_from_columns(
+            frames.refs.len(),
+            c.state_idx,
+            c.actions,
+            c.rewards,
+            c.next_idx,
+            c.terminals,
+        )?;
+        if entries.len() > c.capacity {
+            return Err("more entries than capacity".into());
+        }
+        Ok(PrioritizedReplay {
+            capacity: c.capacity,
+            alpha: c.alpha,
+            epsilon: c.epsilon,
+            frames,
+            entries,
+            head: c.head,
+            tree: c.tree,
+            max_priority: c.max_priority,
+        })
+    }
+}
+
+impl TryFrom<PrioritizedSerde> for PrioritizedReplay {
+    type Error = String;
+
+    fn try_from(s: PrioritizedSerde) -> Result<Self, String> {
+        match s {
+            PrioritizedSerde::Compact(c) => c.try_into(),
+            PrioritizedSerde::Legacy(l) => {
+                let (capacity, alpha, epsilon, items, head, tree, max_priority) = l.into_parts();
+                if head >= capacity
+                    || items.len() > capacity
+                    || tree.len() != 2 * capacity.next_power_of_two()
+                    || !(0.0..=1.0).contains(&alpha)
+                {
+                    return Err("legacy replay snapshot is inconsistent".into());
+                }
+                let mut rb = PrioritizedReplay::new(capacity, alpha);
+                rb.epsilon = epsilon;
+                rb.max_priority = max_priority;
+                // The tree is positional over ring slots, which the compact
+                // buffer preserves — reuse it verbatim.
+                rb.tree = tree;
+                for t in &items {
+                    let (s, ns) = rb.frames.intern_pair(&t.state, &t.next_state);
+                    rb.entries.push(IndexEntry {
+                        state: s,
+                        action: t.action as u32,
+                        reward: t.reward,
+                        next_state: ns,
+                        terminal: t.terminal,
+                    });
+                }
+                rb.head = head;
+                Ok(rb)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The seed implementation, retained verbatim
+// ---------------------------------------------------------------------------
+
+/// The seed `Vec<Transition>` replay implementations, retained as (a) the
+/// bitwise-equivalence baseline for the frame-store buffers, (b) the
+/// before-side of `benches/replay.rs`, and (c) the definition of the V1
+/// checkpoint format that [`ReplaySerde`]/[`PrioritizedSerde`] still load.
+///
+/// Do not grow these types; they exist to stay identical to the seed.
+pub mod legacy {
+    use super::Transition;
+    use rand::Rng;
+    use serde::{Deserialize, Serialize};
+
+    /// Fixed-capacity ring buffer with uniform sampling (seed layout: one
+    /// owned [`Transition`] per memory).
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct ReplayBuffer {
+        capacity: usize,
+        items: Vec<Transition>,
+        /// Next write position once the buffer is full.
+        head: usize,
+        /// Total pushes ever (for diagnostics).
+        pushed: u64,
+    }
+
+    impl ReplayBuffer {
+        /// Creates a buffer holding at most `capacity` transitions.
+        ///
+        /// # Panics
+        /// If `capacity` is zero.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "replay capacity must be positive");
+            ReplayBuffer {
+                capacity,
+                items: Vec::new(),
+                head: 0,
+                pushed: 0,
+            }
+        }
+
+        /// Stores a transition, evicting the oldest when full.
+        pub fn push(&mut self, t: Transition) {
+            self.pushed += 1;
+            if self.items.len() < self.capacity {
+                self.items.push(t);
+            } else {
+                self.items[self.head] = t;
+                self.head = (self.head + 1) % self.capacity;
+            }
+        }
+
+        /// Current number of stored transitions.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Whether nothing is stored.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+
+        /// Configured capacity.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Total transitions ever pushed (≥ `len()`).
+        pub fn total_pushed(&self) -> u64 {
+            self.pushed
+        }
+
+        /// Samples `k` transitions uniformly at random *with replacement* —
+        /// the standard DQN i.i.d. minibatch.
+        ///
+        /// # Panics
+        /// If the buffer is empty.
+        pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> Vec<&'a Transition> {
+            assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+            (0..k)
+                .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+                .collect()
+        }
+
+        /// Read-only view of the stored transitions (test support).
+        pub fn items(&self) -> &[Transition] {
+            &self.items
+        }
+
+        /// Decomposes into `(capacity, items, head, pushed)` — the V1
+        /// checkpoint fields (added for the frame-store migration; not part
+        /// of the seed API).
+        pub fn into_parts(self) -> (usize, Vec<Transition>, usize, u64) {
+            (self.capacity, self.items, self.head, self.pushed)
+        }
+
+        /// Approximate resident bytes (added for the replay benchmark; not
+        /// part of the seed API).
+        pub fn approx_bytes(&self) -> usize {
+            let heap: usize = self
+                .items
+                .iter()
+                .map(|t| (t.state.capacity() + t.next_state.capacity()) * 4)
+                .sum();
+            heap + self.items.capacity() * std::mem::size_of::<Transition>()
+        }
+    }
+
+    /// Proportional prioritized replay over owned [`Transition`]s (seed
+    /// layout); see [`super::PrioritizedReplay`] for semantics.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct PrioritizedReplay {
+        capacity: usize,
+        /// Priority exponent α (0 = uniform, 1 = fully proportional).
+        alpha: f64,
+        /// Small constant keeping zero-error transitions sampleable.
+        epsilon: f64,
+        items: Vec<Transition>,
+        head: usize,
+        /// Binary sum tree over `capacity` leaves (1-indexed, size 2·cap).
+        tree: Vec<f64>,
+        /// Running maximum priority, assigned to fresh transitions so every
+        /// memory is replayed at least plausibly once.
+        max_priority: f64,
+    }
+
+    impl PrioritizedReplay {
+        /// Creates a buffer with the given capacity and priority exponent.
+        ///
+        /// # Panics
+        /// If `capacity` is zero or `alpha` is not in `[0, 1]`.
+        pub fn new(capacity: usize, alpha: f64) -> Self {
+            assert!(capacity > 0, "replay capacity must be positive");
+            assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+            let cap_pow2 = capacity.next_power_of_two();
+            PrioritizedReplay {
+                capacity,
+                alpha,
+                epsilon: 1e-3,
+                items: Vec::new(),
+                head: 0,
+                tree: vec![0.0; 2 * cap_pow2],
+                max_priority: 1.0,
+            }
+        }
+
+        fn leaves(&self) -> usize {
+            self.tree.len() / 2
+        }
+
+        fn set_leaf(&mut self, leaf: usize, value: f64) {
+            let mut node = self.leaves() + leaf;
+            let delta = value - self.tree[node];
+            while node >= 1 {
+                self.tree[node] += delta;
+                node /= 2;
+            }
+        }
+
+        /// Total priority mass.
+        fn total(&self) -> f64 {
+            self.tree[1]
+        }
+
+        /// Finds the leaf whose cumulative-priority interval contains
+        /// `target`.
+        fn find_leaf(&self, mut target: f64) -> usize {
+            let mut node = 1usize;
+            while node < self.leaves() {
+                let left = 2 * node;
+                if target <= self.tree[left] || self.tree[left + 1] <= 0.0 {
+                    node = left;
+                } else {
+                    target -= self.tree[left];
+                    node = left + 1;
+                }
+            }
+            (node - self.leaves()).min(self.items.len().saturating_sub(1))
+        }
+
+        /// Stores a transition at maximum priority.
+        pub fn push(&mut self, t: Transition) {
+            let slot = if self.items.len() < self.capacity {
+                self.items.push(t);
+                self.items.len() - 1
+            } else {
+                let s = self.head;
+                self.items[s] = t;
+                self.head = (self.head + 1) % self.capacity;
+                s
+            };
+            let p = self.max_priority.powf(self.alpha);
+            self.set_leaf(slot, p);
+        }
+
+        /// Number of stored transitions.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Whether nothing is stored.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+
+        /// Samples `k` transitions ∝ priority; returns `(index, transition)`
+        /// pairs so the caller can report TD errors back via
+        /// [`PrioritizedReplay::update_priority`].
+        ///
+        /// # Panics
+        /// If the buffer is empty.
+        pub fn sample<'a, R: Rng + ?Sized>(
+            &'a self,
+            rng: &mut R,
+            k: usize,
+        ) -> Vec<(usize, &'a Transition)> {
+            assert!(!self.items.is_empty(), "sampling from an empty replay buffer");
+            let total = self.total();
+            (0..k)
+                .map(|_| {
+                    let target = rng.gen::<f64>() * total;
+                    let idx = self.find_leaf(target);
+                    (idx, &self.items[idx])
+                })
+                .collect()
+        }
+
+        /// Updates a transition's priority from its (fresh) TD error.
+        pub fn update_priority(&mut self, index: usize, td_error: f64) {
+            assert!(index < self.items.len(), "priority index out of range");
+            let p = td_error.abs() + self.epsilon;
+            if p > self.max_priority {
+                self.max_priority = p;
+            }
+            self.set_leaf(index, p.powf(self.alpha));
+        }
+
+        /// Decomposes into `(capacity, alpha, epsilon, items, head, tree,
+        /// max_priority)` — the V1 checkpoint fields (added for the
+        /// frame-store migration; not part of the seed API).
+        #[allow(clippy::type_complexity)]
+        pub fn into_parts(self) -> (usize, f64, f64, Vec<Transition>, usize, Vec<f64>, f64) {
+            (
+                self.capacity,
+                self.alpha,
+                self.epsilon,
+                self.items,
+                self.head,
+                self.tree,
+                self.max_priority,
+            )
+        }
     }
 }
 
@@ -261,7 +1435,7 @@ mod tests {
         assert_eq!(rb.len(), 3);
         assert_eq!(rb.total_pushed(), 5);
         // Items 3 and 4 overwrote 0 and 1; 2 survives.
-        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        let tags: Vec<f32> = rb.iter_transitions().map(|x| x.state[0]).collect();
         assert!(tags.contains(&2.0) && tags.contains(&3.0) && tags.contains(&4.0));
         assert!(!tags.contains(&0.0));
     }
@@ -272,10 +1446,10 @@ mod tests {
         rb.push(t(0.0));
         rb.push(t(1.0));
         rb.push(t(2.0)); // evicts 0
-        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        let tags: Vec<f32> = rb.iter_transitions().map(|x| x.state[0]).collect();
         assert!(!tags.contains(&0.0));
         rb.push(t(3.0)); // evicts 1
-        let tags: Vec<f32> = rb.items().iter().map(|x| x.state[0]).collect();
+        let tags: Vec<f32> = rb.iter_transitions().map(|x| x.state[0]).collect();
         assert!(!tags.contains(&1.0));
         assert!(tags.contains(&2.0) && tags.contains(&3.0));
     }
@@ -325,6 +1499,214 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    // --- frame store --------------------------------------------------------
+
+    /// A transition whose states carry a constant prefix/suffix around a
+    /// one-real dynamic block, chained so `next_state(t) == state(t+1)`.
+    fn framed(tag: f32) -> Transition {
+        let state = vec![7.0, 8.0, tag, 9.0];
+        let next_state = vec![7.0, 8.0, tag + 1.0, 9.0];
+        Transition {
+            state,
+            action: 0,
+            reward: 0.0,
+            next_state,
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn chained_episode_dedups_shared_frames() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = ReplayBuffer::with_layout(16, layout);
+        for i in 0..10 {
+            rb.push(framed(i as f32));
+        }
+        // 10 transitions → 11 distinct frames, not 20.
+        assert_eq!(rb.len(), 10);
+        assert_eq!(rb.frames_live(), 11);
+        assert_eq!(rb.dedup_hits(), 9);
+        // Reassembled states match what was pushed exactly.
+        for (i, tr) in rb.iter_transitions().enumerate() {
+            assert_eq!(tr, framed(i as f32));
+        }
+    }
+
+    #[test]
+    fn no_op_step_dedups_state_against_next_state() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.push(Transition {
+            state: vec![1.0, 2.0],
+            action: 0,
+            reward: 0.0,
+            next_state: vec![1.0, 2.0],
+            terminal: false,
+        });
+        assert_eq!(rb.frames_live(), 1);
+        assert_eq!(rb.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_slots_for_reuse() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = ReplayBuffer::with_layout(4, layout);
+        for i in 0..100 {
+            rb.push(framed(i as f32));
+        }
+        assert_eq!(rb.len(), 4);
+        // A full chained window of 4 transitions uses 5 frames; the arena
+        // must not have grown past a small constant despite 100 pushes.
+        assert!(
+            rb.frames_live() <= 5,
+            "live frames grew to {}",
+            rb.frames_live()
+        );
+        assert!(
+            rb.frames.refs.len() <= 8,
+            "arena leaked slots: {} allocated",
+            rb.frames.refs.len()
+        );
+        for (i, tr) in rb.iter_transitions().enumerate() {
+            // Ring position order after 100 pushes over capacity 4.
+            let expected = (96 + (i + 4 - rb.head) % 4) as f32;
+            assert_eq!(tr.state[2], expected);
+        }
+    }
+
+    #[test]
+    fn refcounts_match_entry_references() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = ReplayBuffer::with_layout(8, layout);
+        for i in 0..20 {
+            rb.push(framed(i as f32));
+        }
+        let mut counts = vec![0u32; rb.frames.refs.len()];
+        for e in &rb.entries {
+            counts[e.state as usize] += 1;
+            counts[e.next_state as usize] += 1;
+        }
+        assert_eq!(counts, rb.frames.refs);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix differs")]
+    fn mismatched_constant_prefix_panics() {
+        let mut rb = ReplayBuffer::with_layout(4, FrameLayout::new(1, 0));
+        rb.push(Transition {
+            state: vec![1.0, 2.0],
+            action: 0,
+            reward: 0.0,
+            next_state: vec![1.0, 3.0],
+            terminal: false,
+        });
+        rb.push(Transition {
+            state: vec![9.0, 4.0], // prefix changed
+            action: 0,
+            reward: 0.0,
+            next_state: vec![9.0, 5.0],
+            terminal: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "width changed")]
+    fn mismatched_state_width_panics() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.push(t(0.0));
+        rb.push(Transition {
+            state: vec![0.0, 1.0],
+            action: 0,
+            reward: 0.0,
+            next_state: vec![0.0, 2.0],
+            terminal: false,
+        });
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = ReplayBuffer::with_layout(16, layout);
+        for i in 0..12 {
+            rb.push(framed(i as f32));
+        }
+        let k = 8;
+        let dim = rb.state_dim().unwrap();
+        let batch = rb.sample(&mut ChaCha8Rng::seed_from_u64(42), k);
+        let mut states = Matrix::zeros(k, dim);
+        let mut next_states = Matrix::zeros(k, dim);
+        let (mut actions, mut rewards, mut terminals) = (Vec::new(), Vec::new(), Vec::new());
+        rb.sample_into(
+            &mut ChaCha8Rng::seed_from_u64(42),
+            k,
+            &mut states,
+            &mut next_states,
+            &mut actions,
+            &mut rewards,
+            &mut terminals,
+        );
+        for (i, tr) in batch.iter().enumerate() {
+            assert_eq!(states.row(i), tr.state.as_slice());
+            assert_eq!(next_states.row(i), tr.next_state.as_slice());
+            assert_eq!(actions[i], tr.action);
+            assert_eq!(rewards[i], tr.reward);
+            assert_eq!(terminals[i], tr.terminal);
+        }
+    }
+
+    #[test]
+    fn compact_snapshot_roundtrips() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = ReplayBuffer::with_layout(4, layout);
+        for i in 0..9 {
+            rb.push(framed(i as f32));
+        }
+        let snapshot = CompactReplay::from(rb.clone());
+        assert_eq!(snapshot.version, COMPACT_FORMAT_VERSION);
+        let back = ReplayBuffer::try_from(snapshot).unwrap();
+        assert_eq!(back.len(), rb.len());
+        assert_eq!(back.capacity(), rb.capacity());
+        assert_eq!(back.total_pushed(), rb.total_pushed());
+        let a: Vec<Transition> = rb.iter_transitions().collect();
+        let b: Vec<Transition> = back.iter_transitions().collect();
+        assert_eq!(a, b);
+        // Sampling after the roundtrip draws identically.
+        let s1 = rb.sample(&mut ChaCha8Rng::seed_from_u64(5), 16);
+        let s2 = back.sample(&mut ChaCha8Rng::seed_from_u64(5), 16);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn legacy_fallback_reconstructs_identically() {
+        let mut old = legacy::ReplayBuffer::new(4);
+        for i in 0..9 {
+            old.push(framed(i as f32));
+        }
+        let expected: Vec<Transition> = old.items().to_vec();
+        let (capacity, items, head, pushed) = old.into_parts();
+        let rb = ReplayBuffer::from_legacy_parts(capacity, items, head, pushed);
+        assert_eq!(rb.total_pushed(), pushed);
+        let got: Vec<Transition> = rb.iter_transitions().collect();
+        assert_eq!(got, expected);
+        // Continued pushes keep evicting in the same FIFO order.
+        let mut rb2 = rb.clone();
+        rb2.push(framed(100.0));
+        assert_eq!(rb2.len(), 4);
+    }
+
+    #[test]
+    fn corrupt_compact_snapshot_is_rejected() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.push(t(0.0));
+        let mut snapshot = CompactReplay::from(rb);
+        snapshot.state_idx[0] = 99; // dangling frame reference
+        assert!(ReplayBuffer::try_from(snapshot).is_err());
+        let bad_version = CompactReplay {
+            version: 77,
+            ..CompactReplay::from(ReplayBuffer::new(1))
+        };
+        assert!(ReplayBuffer::try_from(bad_version).is_err());
     }
 
     // --- prioritized replay -------------------------------------------------
@@ -393,6 +1775,72 @@ mod tests {
         for (i, tr) in rb.sample(&mut rng, 64) {
             assert_eq!(tr.state[0] as usize, i);
         }
+    }
+
+    #[test]
+    fn per_sample_into_matches_sample() {
+        let layout = FrameLayout::new(2, 1);
+        let mut rb = PrioritizedReplay::with_layout(16, 0.7, layout);
+        for i in 0..12 {
+            rb.push(framed(i as f32));
+        }
+        rb.update_priority(3, 2.5);
+        rb.update_priority(7, 0.1);
+        let k = 8;
+        let dim = rb.state_dim().unwrap();
+        let batch = rb.sample(&mut ChaCha8Rng::seed_from_u64(9), k);
+        let mut states = Matrix::zeros(k, dim);
+        let mut next_states = Matrix::zeros(k, dim);
+        let (mut actions, mut rewards, mut terminals, mut indices) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        rb.sample_into(
+            &mut ChaCha8Rng::seed_from_u64(9),
+            k,
+            &mut states,
+            &mut next_states,
+            &mut actions,
+            &mut rewards,
+            &mut terminals,
+            &mut indices,
+        );
+        for (i, (idx, tr)) in batch.iter().enumerate() {
+            assert_eq!(indices[i], *idx);
+            assert_eq!(states.row(i), tr.state.as_slice());
+            assert_eq!(next_states.row(i), tr.next_state.as_slice());
+            assert_eq!(actions[i], tr.action);
+        }
+    }
+
+    #[test]
+    fn per_compact_snapshot_roundtrips() {
+        let mut rb = PrioritizedReplay::new(4, 0.8);
+        for i in 0..7 {
+            rb.push(t(i as f32));
+        }
+        rb.update_priority(1, 3.0);
+        let back = PrioritizedReplay::try_from(CompactPrioritized::from(rb.clone())).unwrap();
+        assert_eq!(back.len(), rb.len());
+        assert_eq!(back.tree, rb.tree);
+        let s1 = rb.sample(&mut ChaCha8Rng::seed_from_u64(11), 32);
+        let s2 = back.sample(&mut ChaCha8Rng::seed_from_u64(11), 32);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn per_legacy_fallback_preserves_tree_and_items() {
+        let mut old = legacy::PrioritizedReplay::new(4, 0.9);
+        for i in 0..6 {
+            old.push(t(i as f32));
+        }
+        old.update_priority(2, 5.0);
+        let expected: Vec<(usize, Transition)> = old
+            .sample(&mut ChaCha8Rng::seed_from_u64(4), 32)
+            .into_iter()
+            .map(|(i, tr)| (i, tr.clone()))
+            .collect();
+        let rb = PrioritizedReplay::try_from(PrioritizedSerde::Legacy(old)).unwrap();
+        let got = rb.sample(&mut ChaCha8Rng::seed_from_u64(4), 32);
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -10,7 +10,6 @@
 use crate::dqn::DqnAgent;
 use crate::env::Environment;
 use crate::qfunc::QFunction;
-use crate::replay::Transition;
 use serde::{Deserialize, Serialize};
 
 /// Per-episode statistics.
@@ -93,14 +92,11 @@ pub fn train<E: Environment, Q: QFunction>(
             let outcome = env.step(action);
             total_reward += outcome.reward;
             steps += 1;
-            let transition = Transition {
-                state: std::mem::take(&mut state),
-                action,
-                reward: outcome.reward,
-                next_state: outcome.state.clone(),
-                terminal: outcome.terminal,
-            };
-            if let Some(loss) = agent.observe(transition) {
+            // Borrowed handover: the replay memory interns both states
+            // without the loop cloning either vector.
+            if let Some(loss) =
+                agent.observe_parts(&state, action, outcome.reward, &outcome.state, outcome.terminal)
+            {
                 loss_sum += f64::from(loss);
                 loss_count += 1;
             }
@@ -188,6 +184,7 @@ mod tests {
                 prioritized_alpha: None,
                 boltzmann_temperature: None,
                 seed,
+                frame_layout: Default::default(),
             },
         )
     }

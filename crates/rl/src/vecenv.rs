@@ -14,7 +14,6 @@
 use crate::dqn::DqnAgent;
 use crate::env::{Environment, StepOutcome};
 use crate::qfunc::QFunction;
-use crate::replay::Transition;
 use neural::Matrix;
 use rayon::prelude::*;
 
@@ -131,20 +130,18 @@ pub fn collect_vectorized<E: Environment + Send, Q: QFunction>(
     let mut total_reward = 0.0;
     let mut transitions = 0usize;
 
+    // Double-buffered slot states: swapping instead of `to_vec` keeps the
+    // pre-step states without cloning k vectors per iteration (`step`
+    // rewrites every slot, so the stale contents are never read).
+    let mut prev_states: Vec<Vec<f32>> = vec_env.states().to_vec();
     for _ in 0..steps {
         let actions = act_batch(agent, vec_env.states());
-        let prev_states: Vec<Vec<f32>> = vec_env.states().to_vec();
+        std::mem::swap(&mut prev_states, &mut vec_env.states);
         let outcomes = vec_env.step(&actions);
-        for ((state, action), outcome) in prev_states.into_iter().zip(actions).zip(outcomes) {
+        for ((state, &action), outcome) in prev_states.iter().zip(&actions).zip(&outcomes) {
             total_reward += outcome.reward;
             transitions += 1;
-            agent.observe(Transition {
-                state,
-                action,
-                reward: outcome.reward,
-                next_state: outcome.state,
-                terminal: outcome.terminal,
-            });
+            agent.observe_parts(state, action, outcome.reward, &outcome.state, outcome.terminal);
         }
     }
 

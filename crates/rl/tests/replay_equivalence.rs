@@ -1,0 +1,430 @@
+//! Bitwise-equivalence suite: the frame-store replay buffers must be
+//! observationally identical to the seed `Vec<Transition>` implementations
+//! (retained as [`rl::replay::legacy`]) — same RNG draw order, same f32
+//! values, across eviction wraparound, episode boundaries and n-step
+//! merges — while using a small fraction of the memory.
+
+use neural::{Loss, Matrix, MlpSpec, OptimizerSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rl::replay::legacy;
+use rl::{
+    DqnAgent, DqnConfig, FrameLayout, NStepAccumulator, PrioritizedReplay, QFunction,
+    ReplayBuffer, Transition,
+};
+
+/// Structured-state dimensions for the fast tests: a constant prefix
+/// (stand-in for the receptor block), a per-step dynamic block (ligand
+/// coordinates) and a constant suffix (bond table).
+const PREFIX: usize = 6;
+const DYNAMIC: usize = 4;
+const SUFFIX: usize = 5;
+const DIM: usize = PREFIX + DYNAMIC + SUFFIX;
+
+/// Builds an episodic transition stream with the invariants the real
+/// environment produces: `next_state(t) == state(t+1)` within an episode
+/// (bitwise), constant prefix/suffix blocks buffer-wide, a terminal every
+/// `episode_len` steps followed by a fresh reset state.
+fn episodic_stream(n: usize, episode_len: usize, seed: u64) -> Vec<Transition> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let prefix: Vec<f32> = (0..PREFIX).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let suffix: Vec<f32> = (0..SUFFIX).map(|_| rng.gen_range(0.0..9.0)).collect();
+    let fresh = |rng: &mut ChaCha8Rng| -> Vec<f32> {
+        let mut s = prefix.clone();
+        s.extend((0..DYNAMIC).map(|_| rng.gen_range(-2.0f32..2.0)));
+        s.extend_from_slice(&suffix);
+        s
+    };
+    let mut state = fresh(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let terminal = (i + 1) % episode_len == 0;
+        let mut next = state.clone();
+        for v in &mut next[PREFIX..PREFIX + DYNAMIC] {
+            *v += rng.gen_range(-0.25f32..0.25);
+        }
+        out.push(Transition {
+            state: state.clone(),
+            action: rng.gen_range(0..4),
+            reward: f64::from(rng.gen_range(-1i32..=1)),
+            next_state: next.clone(),
+            terminal,
+        });
+        state = if terminal { fresh(&mut rng) } else { next };
+    }
+    out
+}
+
+fn layout() -> FrameLayout {
+    FrameLayout::new(PREFIX, SUFFIX)
+}
+
+/// Bitwise transition equality: exact f32/f64 bit patterns, not approx.
+fn assert_transition_bits(a: &Transition, b: &Transition, ctx: &str) {
+    assert_eq!(a.action, b.action, "{ctx}: action");
+    assert_eq!(a.terminal, b.terminal, "{ctx}: terminal");
+    assert_eq!(a.reward.to_bits(), b.reward.to_bits(), "{ctx}: reward");
+    assert_bits(&a.state, &b.state, &format!("{ctx}: state"));
+    assert_bits(&a.next_state, &b.next_state, &format!("{ctx}: next_state"));
+}
+
+fn assert_bits(a: &[f32], b: &[f32], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}");
+    }
+}
+
+#[test]
+fn uniform_sampling_is_bitwise_identical_to_seed_across_wraparound() {
+    let stream = episodic_stream(500, 13, 7);
+    let mut seed_buf = legacy::ReplayBuffer::new(64);
+    let mut flat = ReplayBuffer::new(64); // whole state dynamic
+    let mut framed = ReplayBuffer::with_layout(64, layout());
+
+    for (i, t) in stream.iter().enumerate() {
+        seed_buf.push(t.clone());
+        flat.push(t.clone());
+        framed.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+
+        // Compare at pre-fill, exact-fill, and deep-wraparound points.
+        if [40, 63, 64, 65, 130, 499].contains(&i) {
+            assert_eq!(seed_buf.len(), framed.len(), "len at push {i}");
+            for (pos, want) in seed_buf.items().iter().enumerate() {
+                assert_transition_bits(want, &flat.transition(pos), &format!("flat pos {pos} push {i}"));
+                assert_transition_bits(want, &framed.transition(pos), &format!("framed pos {pos} push {i}"));
+            }
+            let mut rng_a = ChaCha8Rng::seed_from_u64(0xFEED ^ i as u64);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(0xFEED ^ i as u64);
+            let mut rng_c = ChaCha8Rng::seed_from_u64(0xFEED ^ i as u64);
+            let want = seed_buf.sample(&mut rng_a, 37);
+            let got_flat = flat.sample(&mut rng_b, 37);
+            let got_framed = framed.sample(&mut rng_c, 37);
+            for (j, &w) in want.iter().enumerate() {
+                assert_transition_bits(w, &got_flat[j], &format!("flat sample {j} push {i}"));
+                assert_transition_bits(w, &got_framed[j], &format!("framed sample {j} push {i}"));
+            }
+        }
+    }
+
+    assert_eq!(seed_buf.total_pushed(), framed.total_pushed());
+    assert_eq!(framed.state_dim(), Some(DIM));
+    // The dedup + shared-block machinery must actually be engaged, not
+    // silently storing full pairs.
+    assert!(framed.dedup_hits() > 0, "chained states must dedup");
+    assert!(
+        framed.frames_live() < 2 * framed.len(),
+        "dedup must keep live frames below the 2-per-transition naive count"
+    );
+    // iter_transitions parity with the seed's items().
+    for (pos, (want, got)) in seed_buf.items().iter().zip(framed.iter_transitions()).enumerate() {
+        assert_transition_bits(want, &got, &format!("iter pos {pos}"));
+    }
+}
+
+#[test]
+fn uniform_sample_into_matches_sample_bitwise() {
+    let stream = episodic_stream(150, 11, 21);
+    let mut framed = ReplayBuffer::with_layout(48, layout());
+    for t in &stream {
+        framed.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+    }
+
+    let k = 32;
+    let mut rng_a = ChaCha8Rng::seed_from_u64(99);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(99);
+    let want = framed.sample(&mut rng_a, k);
+
+    let mut states = Matrix::zeros(k, DIM);
+    let mut next_states = Matrix::zeros(k, DIM);
+    let (mut actions, mut rewards, mut terminals) = (Vec::new(), Vec::new(), Vec::new());
+    // Poison the scratch to prove it is fully overwritten.
+    states.data_mut().fill(f32::NAN);
+    next_states.data_mut().fill(f32::NAN);
+    framed.sample_into(
+        &mut rng_b,
+        k,
+        &mut states,
+        &mut next_states,
+        &mut actions,
+        &mut rewards,
+        &mut terminals,
+    );
+
+    for (i, w) in want.iter().enumerate() {
+        assert_bits(&w.state, states.row(i), &format!("row {i} state"));
+        assert_bits(&w.next_state, next_states.row(i), &format!("row {i} next_state"));
+        assert_eq!(w.action, actions[i]);
+        assert_eq!(w.reward.to_bits(), rewards[i].to_bits());
+        assert_eq!(w.terminal, terminals[i]);
+    }
+}
+
+#[test]
+fn prioritized_sampling_is_bitwise_identical_to_seed() {
+    let stream = episodic_stream(400, 17, 3);
+    let mut seed_buf = legacy::PrioritizedReplay::new(64, 0.6);
+    let mut framed = PrioritizedReplay::with_layout(64, 0.6, layout());
+
+    let mut prio_rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    for (i, t) in stream.iter().enumerate() {
+        seed_buf.push(t.clone());
+        framed.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+
+        // Interleave identical priority updates so the sum trees evolve
+        // through non-uniform mass, including max-priority bumps.
+        if i % 5 == 0 && !seed_buf.is_empty() {
+            let idx = prio_rng.gen_range(0..seed_buf.len());
+            let td = prio_rng.gen_range(-3.0..3.0);
+            seed_buf.update_priority(idx, td);
+            framed.update_priority(idx, td);
+        }
+
+        if [40, 64, 65, 200, 399].contains(&i) {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(0xABBA ^ i as u64);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(0xABBA ^ i as u64);
+            let want = seed_buf.sample(&mut rng_a, 37);
+            let got = framed.sample(&mut rng_b, 37);
+            for (j, &(wi, wt)) in want.iter().enumerate() {
+                let (gi, gt) = &got[j];
+                assert_eq!(wi, *gi, "PER index {j} push {i}");
+                assert_transition_bits(wt, gt, &format!("PER sample {j} push {i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn prioritized_sample_into_matches_sample_bitwise() {
+    let stream = episodic_stream(120, 9, 31);
+    let mut framed = PrioritizedReplay::with_layout(32, 0.7, layout());
+    for (i, t) in stream.iter().enumerate() {
+        framed.push_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+        if i % 4 == 1 {
+            framed.update_priority(i % framed.len(), (i as f64) * 0.1 - 2.0);
+        }
+    }
+
+    let k = 16;
+    let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+    let want = framed.sample(&mut rng_a, k);
+
+    let mut states = Matrix::zeros(k, DIM);
+    let mut next_states = Matrix::zeros(k, DIM);
+    let (mut actions, mut rewards, mut terminals, mut indices) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    framed.sample_into(
+        &mut rng_b,
+        k,
+        &mut states,
+        &mut next_states,
+        &mut actions,
+        &mut rewards,
+        &mut terminals,
+        &mut indices,
+    );
+
+    for (i, (wi, wt)) in want.iter().enumerate() {
+        assert_eq!(*wi, indices[i], "row {i} index");
+        assert_bits(&wt.state, states.row(i), &format!("row {i} state"));
+        assert_bits(&wt.next_state, next_states.row(i), &format!("row {i} next_state"));
+        assert_eq!(wt.action, actions[i]);
+        assert_eq!(wt.reward.to_bits(), rewards[i].to_bits());
+        assert_eq!(wt.terminal, terminals[i]);
+    }
+}
+
+#[test]
+fn nstep_merged_transitions_flow_identically_through_both_buffers() {
+    // n-step merges break the next_state(t) == state(t+1) chain (merged
+    // transitions skip n-1 intermediate states), exercising the frame
+    // store's non-dedup path.
+    let stream = episodic_stream(300, 13, 11);
+    let mut acc = NStepAccumulator::new(3, 0.99);
+    let mut seed_buf = legacy::ReplayBuffer::new(48);
+    let mut framed = ReplayBuffer::with_layout(48, layout());
+
+    for t in &stream {
+        for merged in acc.push(t.clone()) {
+            framed.push_parts(
+                &merged.state,
+                merged.action,
+                merged.reward,
+                &merged.next_state,
+                merged.terminal,
+            );
+            seed_buf.push(merged);
+        }
+    }
+    for merged in acc.flush() {
+        framed.push_parts(
+            &merged.state,
+            merged.action,
+            merged.reward,
+            &merged.next_state,
+            merged.terminal,
+        );
+        seed_buf.push(merged);
+    }
+
+    assert_eq!(seed_buf.len(), framed.len());
+    let mut rng_a = ChaCha8Rng::seed_from_u64(77);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(77);
+    let want = seed_buf.sample(&mut rng_a, 64);
+    let got = framed.sample(&mut rng_b, 64);
+    for (j, &w) in want.iter().enumerate() {
+        assert_transition_bits(w, &got[j], &format!("n-step sample {j}"));
+    }
+}
+
+/// Drives a [`DqnAgent`] (frame-store replay) and a hand-rolled replica of
+/// the seed's observe/learn loop (legacy replay) through the same
+/// transition stream; every loss and the final network must agree bitwise.
+#[test]
+fn train_step_losses_match_seed_replica_bitwise() {
+    let config = DqnConfig {
+        batch_size: 8,
+        replay_capacity: 32, // wraps several times within the stream
+        learning_start: 20,
+        initial_exploration: 0,
+        target_update_every: 16,
+        frame_layout: layout(),
+        seed: 1234,
+        ..DqnConfig::default()
+    };
+    let mut init_rng = ChaCha8Rng::seed_from_u64(9);
+    let q0 = rl::MlpQ::new(
+        &MlpSpec::q_network(DIM, &[16], 4),
+        OptimizerSpec::adam(0.01),
+        Loss::Mse,
+        &mut init_rng,
+    );
+
+    let mut agent = DqnAgent::new(q0.clone(), config);
+
+    // Seed replica: same network clone, legacy buffer, same RNG stream.
+    let mut q = q0.clone();
+    let mut target = q0.clone();
+    target.sync_from(&q);
+    let mut replay = legacy::ReplayBuffer::new(config.replay_capacity);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut steps = 0u64;
+
+    let stream = episodic_stream(120, 13, 55);
+    for (i, t) in stream.iter().enumerate() {
+        let agent_loss =
+            agent.observe_parts(&t.state, t.action, t.reward, &t.next_state, t.terminal);
+
+        // Replica of the seed's observe(): push, count, learn, sync.
+        replay.push(t.clone());
+        steps += 1;
+        let mut replica_loss = None;
+        if steps >= config.learning_start && replay.len() >= config.batch_size {
+            let k = config.batch_size;
+            let sampled = replay.sample(&mut rng, k);
+            let mut states = Matrix::zeros(k, DIM);
+            let mut next_states = Matrix::zeros(k, DIM);
+            for (row, s) in sampled.iter().enumerate() {
+                states.row_mut(row).copy_from_slice(&s.state);
+                next_states.row_mut(row).copy_from_slice(&s.next_state);
+            }
+            let q_next = target.predict_batch(&next_states);
+            let gamma = config.gamma as f32;
+            let targets: Vec<f32> = sampled
+                .iter()
+                .enumerate()
+                .map(|(row, s)| {
+                    let r = s.reward as f32;
+                    if s.terminal {
+                        r
+                    } else {
+                        r + gamma * q_next.max_row(row)
+                    }
+                })
+                .collect();
+            let actions: Vec<usize> = sampled.iter().map(|s| s.action).collect();
+            replica_loss = Some(q.train_td(&states, &actions, &targets));
+        }
+        if steps % config.target_update_every == 0 {
+            target.sync_from(&q);
+        }
+
+        match (agent_loss, replica_loss) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "loss diverged at step {i}")
+            }
+            (None, None) => {}
+            (a, b) => panic!("learn schedule diverged at step {i}: {a:?} vs {b:?}"),
+        }
+    }
+
+    assert!(agent.learn_steps() > 0, "the stream must trigger learning");
+    // The networks must have taken bitwise-identical update trajectories.
+    let probe: Vec<f32> = (0..DIM).map(|j| (j as f32).sin()).collect();
+    assert_bits(
+        &agent.q_function().predict(&probe),
+        &q.predict(&probe),
+        "final online prediction",
+    );
+    assert_bits(
+        &agent.target_function().predict(&probe),
+        &target.predict(&probe),
+        "final target prediction",
+    );
+}
+
+/// The acceptance bound: at the paper's full state shape (d = 16,599 with
+/// a 9,792-float receptor prefix and 6,672-float bond suffix), resident
+/// bytes per transition must drop by at least 50× vs the seed layout.
+#[test]
+fn paper_shape_bytes_per_transition_drops_at_least_50x() {
+    const P: usize = 9_792;
+    const D: usize = 135;
+    const S: usize = 6_672;
+    const CAP: usize = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+
+    let mut state: Vec<f32> = Vec::with_capacity(P + D + S);
+    state.extend((0..P).map(|_| rng.gen_range(-1.0f32..1.0)));
+    state.extend((0..D).map(|_| rng.gen_range(-1.0f32..1.0)));
+    state.extend((0..S).map(|_| rng.gen_range(0.0f32..9.0)));
+
+    let mut seed_buf = legacy::ReplayBuffer::new(CAP);
+    let mut framed = ReplayBuffer::with_layout(CAP, FrameLayout::new(P, S));
+    let mut next = state.clone();
+    for i in 0..600 {
+        for v in &mut next[P..P + D] {
+            *v += rng.gen_range(-0.1f32..0.1);
+        }
+        let terminal = i % 50 == 49;
+        framed.push_parts(&state, i % 12, -1.0, &next, terminal);
+        seed_buf.push(Transition {
+            state: state.clone(),
+            action: i % 12,
+            reward: -1.0,
+            next_state: next.clone(),
+            terminal,
+        });
+        std::mem::swap(&mut state, &mut next);
+        next.copy_from_slice(&state);
+    }
+
+    assert_eq!(seed_buf.len(), CAP);
+    assert_eq!(framed.len(), CAP);
+    // Storage shrank; contents did not change.
+    let mut rng_a = ChaCha8Rng::seed_from_u64(8);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(8);
+    for (&w, g) in seed_buf.sample(&mut rng_a, 8).iter().zip(framed.sample(&mut rng_b, 8)) {
+        assert_transition_bits(w, &g, "paper-shape sample");
+    }
+
+    let seed_bpt = seed_buf.approx_bytes() / seed_buf.len();
+    let framed_bpt = framed.approx_bytes_per_transition();
+    assert!(framed_bpt > 0);
+    assert!(
+        seed_bpt >= 50 * framed_bpt,
+        "need ≥50× reduction, got {seed_bpt} B vs {framed_bpt} B ({}×)",
+        seed_bpt / framed_bpt.max(1)
+    );
+}
