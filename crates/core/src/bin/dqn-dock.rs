@@ -3,7 +3,9 @@
 //! ```text
 //! dqn-dock info                         # show the configuration & complex
 //! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
-//!                 [--policy FILE] [--csv FILE]
+//!                 [--policy FILE] [--csv FILE] [--report FILE]
+//!                 [--checkpoint-dir DIR] [--checkpoint-every N]
+//!                 [--keep-last K] [--resume]
 //! dqn-dock eval   --policy FILE [--episodes N] [--trace FILE]
 //! dqn-dock dock   [--method mc|sa|ga|random] [--budget N] [--seed S] [--flexible]
 //! dqn-dock blind  [--budget N] [--spot-radius R]
@@ -13,7 +15,7 @@
 //! Everything runs on the laptop-scale synthetic complex unless `--paper`
 //! selects the 2BSM-sized preset.
 
-use dqn_docking::{policy, trainer, Config, DockingEnv, Policy};
+use dqn_docking::{policy, trainer, CheckpointOptions, Config, DockingEnv, Policy};
 use metadock::{blind_dock, DockingEngine, Metaheuristic};
 use molkit::LibrarySpec;
 use rl::Environment;
@@ -115,53 +117,65 @@ fn cmd_train(args: &Args) {
         env.state_dim()
     );
 
-    // Train through the library path, then rebuild the same agent to
-    // extract its policy via a manual loop (trainer::run does not expose
-    // the agent; the manual loop matches it exactly).
-    let mut agent = trainer::build_agent(&config, &env);
-    for episode in 0..config.episodes {
-        let mut state = env.reset();
-        let mut reward_sum = 0.0;
-        let mut steps = 0;
-        for _ in 0..config.max_steps {
-            let action = agent.act(&state);
-            let out = env.step(action);
-            reward_sum += out.reward;
-            steps += 1;
-            agent.observe(rl::Transition {
-                state: state.clone(),
-                action,
-                reward: out.reward,
-                next_state: out.state.clone(),
-                terminal: out.terminal,
-            });
-            state = out.state;
-            if out.terminal {
-                break;
-            }
-        }
-        if episode % 10 == 0 || episode + 1 == config.episodes {
-            println!(
-                "episode {episode:>4}: steps {steps:>4}  reward {reward_sum:>7.1}  eps {:.3}",
-                agent.epsilon()
-            );
-        }
+    let mut ckpt = match args.value("--checkpoint-dir") {
+        Some(dir) => CheckpointOptions::in_dir(dir),
+        None => CheckpointOptions::disabled(),
+    };
+    let (default_every, default_keep) = (ckpt.every, ckpt.keep_last);
+    ckpt = ckpt
+        .every(args.parse("--checkpoint-every", default_every))
+        .keep_last(args.parse("--keep-last", default_keep))
+        .resume(args.flag("--resume"));
+    if ckpt.resume && ckpt.dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir DIR");
+        std::process::exit(1);
     }
 
+    // One checkpointed run produces everything: progress lines, the curve
+    // for --csv/--report, and the trained agent for --policy.
+    let episodes = config.episodes;
+    let outcome = trainer::run_checkpointed(&config, &mut env, &ckpt, |ep| {
+        if ep.episode % 10 == 0 || ep.episode + 1 == episodes {
+            println!(
+                "episode {:>4}: steps {:>4}  reward {:>7.1}  eps {:.3}",
+                ep.episode, ep.steps, ep.total_reward, ep.epsilon
+            );
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("training failed: {e}");
+        std::process::exit(1);
+    });
+    let run = &outcome.run;
+
+    for ev in &run.watchdog_events {
+        let action = if ev.rolled_back { "rolled back" } else { "halted" };
+        eprintln!("watchdog: episode {} {action}: {}", ev.episode, ev.reason);
+    }
+    if run.halted {
+        eprintln!("run halted by the divergence watchdog");
+    }
+    println!(
+        "done: best score {:.2} (RMSD {:.2} Å), {} env evaluations",
+        run.best_score, run.best_rmsd, run.evaluations
+    );
+
     if let Some(path) = args.value("--policy") {
-        Policy::from_agent(&agent).save(path).expect("save policy");
+        Policy::from_agent(&outcome.agent)
+            .save(path)
+            .expect("save policy");
         println!("saved policy to {path}");
     }
     if let Some(path) = args.value("--csv") {
-        // Re-run deterministically through the trainer for the CSV curve.
-        let run = trainer::run(&config, |_| {});
         std::fs::write(path, run.to_csv()).expect("write CSV");
         println!("wrote training curve to {path}");
     }
     if let Some(path) = args.value("--report") {
-        let run = trainer::run(&config, |_| {});
-        std::fs::write(path, dqn_docking::training_report(&config, &run)).expect("write report");
+        std::fs::write(path, dqn_docking::training_report(&config, run)).expect("write report");
         println!("wrote markdown report to {path}");
+    }
+    if run.halted {
+        std::process::exit(2);
     }
 }
 

@@ -1,0 +1,242 @@
+//! Whole-training-run checkpoints for [`crate::trainer`].
+//!
+//! The rl crate's [`rl::checkpoint`] module provides the container,
+//! atomicity, and agent codecs; this module adds the trainer-level state
+//! that sits above the agent — episode statistics, best score/RMSD,
+//! interleaved-evaluation points, the environment's evaluation counter,
+//! and the watchdog ledger — so a resumed run reassembles the *entire*
+//! [`crate::trainer::TrainingRun`] bitwise, not just the network.
+
+use crate::trainer::WatchdogEvent;
+use rl::checkpoint as wire;
+use rl::{DqnAgent, DqnConfig, EpisodeStats, MlpQ};
+use std::io;
+use std::path::PathBuf;
+
+/// Checkpointing options for a training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Checkpoint directory; `None` disables checkpointing entirely.
+    pub dir: Option<PathBuf>,
+    /// Snapshot cadence in episodes (a snapshot lands after every
+    /// `every`-th episode). `0` = only the final snapshot.
+    pub every: usize,
+    /// How many snapshots to retain (at least 1; older ones are pruned).
+    pub keep_last: usize,
+    /// Resume from the newest valid snapshot in `dir` if one exists.
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// No checkpointing: the trainer runs exactly as it would have without
+    /// this subsystem.
+    pub fn disabled() -> Self {
+        CheckpointOptions {
+            dir: None,
+            every: 1,
+            keep_last: 3,
+            resume: false,
+        }
+    }
+
+    /// Checkpoint into `dir` after every episode, keeping the last 3.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: Some(dir.into()),
+            every: 1,
+            keep_last: 3,
+            resume: false,
+        }
+    }
+
+    /// Builder-style: snapshot cadence in episodes.
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Builder-style: retention window.
+    pub fn keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last;
+        self
+    }
+
+    /// Builder-style: resume from the newest valid snapshot.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        CheckpointOptions::disabled()
+    }
+}
+
+/// The trainer-level state carried by a checkpoint, above the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// First episode index the resumed loop should run.
+    pub next_episode: usize,
+    /// Best docking score observed so far.
+    pub best_score: f64,
+    /// RMSD at the best-scoring step.
+    pub best_rmsd: f64,
+    /// Environment evaluation counter at snapshot time.
+    pub evaluations: u64,
+    /// Watchdog rollbacks consumed so far.
+    pub rollbacks_used: u32,
+    /// Interleaved greedy-evaluation checkpoints recorded so far.
+    pub eval_points: Vec<(usize, f64, f64)>,
+    /// Per-episode statistics recorded so far.
+    pub episodes: Vec<EpisodeStats>,
+    /// Watchdog trips recorded so far.
+    pub watchdog_events: Vec<WatchdogEvent>,
+}
+
+impl TrainerState {
+    /// The state of a run that has not started.
+    pub fn fresh() -> Self {
+        TrainerState {
+            next_episode: 0,
+            best_score: f64::NEG_INFINITY,
+            best_rmsd: f64::INFINITY,
+            evaluations: 0,
+            rollbacks_used: 0,
+            eval_points: Vec::new(),
+            episodes: Vec::new(),
+            watchdog_events: Vec::new(),
+        }
+    }
+}
+
+/// Trainer payload magic (the agent blob follows it inside the outer
+/// `DQCK` container, which owns versioning and the checksum).
+const TRAINER_MAGIC: [u8; 4] = *b"TRN1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn encode_episode(out: &mut Vec<u8>, e: &EpisodeStats) {
+    wire::put_usize(out, e.episode);
+    wire::put_usize(out, e.steps);
+    wire::put_f64(out, e.total_reward);
+    wire::put_f64(out, e.avg_max_q);
+    match e.mean_loss {
+        None => wire::put_u8(out, 0),
+        Some(l) => {
+            wire::put_u8(out, 1);
+            wire::put_f64(out, l);
+        }
+    }
+    wire::put_f64(out, e.epsilon);
+    wire::put_bool(out, e.terminated);
+}
+
+fn decode_episode(r: &mut &[u8]) -> io::Result<EpisodeStats> {
+    Ok(EpisodeStats {
+        episode: wire::get_usize(r)?,
+        steps: wire::get_usize(r)?,
+        total_reward: wire::get_f64(r)?,
+        avg_max_q: wire::get_f64(r)?,
+        mean_loss: match wire::get_u8(r)? {
+            0 => None,
+            1 => Some(wire::get_f64(r)?),
+            t => return Err(bad(format!("unknown mean-loss tag {t}"))),
+        },
+        epsilon: wire::get_f64(r)?,
+        terminated: wire::get_bool(r)?,
+    })
+}
+
+/// Serialises the full run state — trainer ledger plus the complete agent
+/// — into a checkpoint payload (the caller wraps it in the checksummed
+/// container via [`rl::checkpoint::CheckpointManager::save`]).
+pub fn encode_run_state(state: &TrainerState, agent: &DqnAgent<MlpQ>) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&TRAINER_MAGIC);
+    wire::put_usize(&mut out, state.next_episode);
+    wire::put_f64(&mut out, state.best_score);
+    wire::put_f64(&mut out, state.best_rmsd);
+    wire::put_u64(&mut out, state.evaluations);
+    wire::put_u32(&mut out, state.rollbacks_used);
+    wire::put_usize(&mut out, state.eval_points.len());
+    for &(episode, score, rmsd) in &state.eval_points {
+        wire::put_usize(&mut out, episode);
+        wire::put_f64(&mut out, score);
+        wire::put_f64(&mut out, rmsd);
+    }
+    wire::put_usize(&mut out, state.episodes.len());
+    for e in &state.episodes {
+        encode_episode(&mut out, e);
+    }
+    wire::put_usize(&mut out, state.watchdog_events.len());
+    for ev in &state.watchdog_events {
+        wire::put_usize(&mut out, ev.episode);
+        wire::put_str(&mut out, &ev.reason);
+        wire::put_bool(&mut out, ev.rolled_back);
+    }
+    agent.write_checkpoint(&mut out)?;
+    Ok(out)
+}
+
+/// Reads a payload written by [`encode_run_state`], rebuilding the trainer
+/// ledger and the agent (under the caller's `dqn` configuration).
+pub fn decode_run_state(
+    payload: &[u8],
+    dqn: DqnConfig,
+) -> io::Result<(TrainerState, DqnAgent<MlpQ>)> {
+    let mut r = payload;
+    let mut magic = [0u8; 4];
+    io::Read::read_exact(&mut r, &mut magic)?;
+    if magic != TRAINER_MAGIC {
+        return Err(bad("not a trainer checkpoint payload (bad magic)"));
+    }
+    let next_episode = wire::get_usize(&mut r)?;
+    let best_score = wire::get_f64(&mut r)?;
+    let best_rmsd = wire::get_f64(&mut r)?;
+    let evaluations = wire::get_u64(&mut r)?;
+    let rollbacks_used = wire::get_u32(&mut r)?;
+    let n_eval = wire::get_usize(&mut r)?;
+    let mut eval_points = Vec::with_capacity(n_eval.min(1 << 20));
+    for _ in 0..n_eval {
+        let episode = wire::get_usize(&mut r)?;
+        let score = wire::get_f64(&mut r)?;
+        let rmsd = wire::get_f64(&mut r)?;
+        eval_points.push((episode, score, rmsd));
+    }
+    let n_episodes = wire::get_usize(&mut r)?;
+    let mut episodes = Vec::with_capacity(n_episodes.min(1 << 20));
+    for _ in 0..n_episodes {
+        episodes.push(decode_episode(&mut r)?);
+    }
+    let n_events = wire::get_usize(&mut r)?;
+    let mut watchdog_events = Vec::with_capacity(n_events.min(1 << 20));
+    for _ in 0..n_events {
+        watchdog_events.push(WatchdogEvent {
+            episode: wire::get_usize(&mut r)?,
+            reason: wire::get_str(&mut r)?,
+            rolled_back: wire::get_bool(&mut r)?,
+        });
+    }
+    let agent = DqnAgent::read_checkpoint(&mut r, dqn)?;
+    if !r.is_empty() {
+        return Err(bad(format!(
+            "{} trailing bytes after the agent blob",
+            r.len()
+        )));
+    }
+    let state = TrainerState {
+        next_episode,
+        best_score,
+        best_rmsd,
+        evaluations,
+        rollbacks_used,
+        eval_points,
+        episodes,
+        watchdog_events,
+    };
+    Ok((state, agent))
+}

@@ -21,6 +21,39 @@ pub enum StateLayout {
     LigandOnly,
 }
 
+/// Divergence-watchdog settings for the training loop.
+///
+/// The paper's own Figure 4 run visibly diverges after episode ~500; on a
+/// long run that regime can push Q-values (and then the loss) to
+/// non-finite values, silently poisoning every metric that follows. The
+/// watchdog checks each step's max-Q and loss; on a trip it either halts
+/// the run (recording the event) or, when checkpointing is active and
+/// `max_rollbacks` allows, rolls back to the last good checkpoint with a
+/// reseeded exploration stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled, the trainer behaves exactly as before.
+    pub enabled: bool,
+    /// Trip when `|max_a Q(s, a)|` exceeds this bound (non-finite values
+    /// always trip). The default is far above any legitimate clipped-reward
+    /// Q-value yet small enough to catch a runaway network.
+    pub max_abs_q: f64,
+    /// Rollback budget: how many times a run may rewind to its last good
+    /// checkpoint before the watchdog halts instead. Rollback requires an
+    /// active checkpoint directory; with 0 (the default) a trip halts.
+    pub max_rollbacks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            max_abs_q: 1e12,
+            max_rollbacks: 0,
+        }
+    }
+}
+
 /// The full experiment configuration. `Config::paper_2bsm()` reproduces
 /// Table 1 value-for-value; `Config::scaled()` shrinks the complex and the
 /// run length to laptop scale while keeping every mechanism identical.
@@ -79,6 +112,9 @@ pub struct Config {
     /// recording its best score and RMSD (None = never; the paper reports
     /// only training-time metrics).
     pub eval_every: Option<usize>,
+    /// Divergence watchdog (defaults on; absent in old serialized configs).
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
 
     // --- RL hyper-parameters (Table 1, top block) ---------------------------
     /// DQN agent configuration (γ, minibatch, replay, ε, target period, …).
@@ -112,6 +148,7 @@ impl Config {
             loss: Loss::Huber { delta: 1.0 },
             grad_clip_norm: Some(10.0),
             eval_every: None,
+            watchdog: WatchdogConfig::default(),
             dqn: DqnConfig {
                 gamma: 0.99,
                 batch_size: 32,
@@ -162,6 +199,7 @@ impl Config {
             loss: Loss::Mse,
             grad_clip_norm: None, // the paper does not clip gradients
             eval_every: None,
+            watchdog: WatchdogConfig::default(),
             dqn: DqnConfig::paper(),
         }
     }
@@ -213,6 +251,9 @@ impl Config {
         }
         if !(0.0..=1.0).contains(&self.dqn.gamma) {
             problems.push("gamma must be in [0, 1]".into());
+        }
+        if self.watchdog.max_abs_q.is_nan() || self.watchdog.max_abs_q <= 0.0 {
+            problems.push("watchdog max_abs_q must be positive".into());
         }
         problems
     }
@@ -357,6 +398,7 @@ mod tests {
             ("hidden width", Box::new(|c| c.hidden_layers = vec![0])),
             ("coord_scale", Box::new(|c| c.coord_scale = 0.0)),
             ("gamma", Box::new(|c| c.dqn.gamma = 1.5)),
+            ("watchdog", Box::new(|c| c.watchdog.max_abs_q = -1.0)),
         ];
         for (tag, breaker) in breakers {
             let mut c = Config::scaled();

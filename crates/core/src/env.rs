@@ -212,6 +212,15 @@ impl DockingEnv {
         self.evaluations
     }
 
+    /// Restores the evaluation counter from a training checkpoint. The
+    /// environment's dynamics are fully reset by [`DockingEnv::reset`];
+    /// this counter is the only state that accumulates across episodes, so
+    /// restoring it makes a resumed run's `TrainingRun::evaluations`
+    /// identical to an uninterrupted run's.
+    pub fn set_evaluations(&mut self, evaluations: u64) {
+        self.evaluations = evaluations;
+    }
+
     /// Steps taken in the current episode.
     pub fn episode_steps(&self) -> usize {
         self.episode_steps

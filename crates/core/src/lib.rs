@@ -19,7 +19,10 @@
 //! * [`env`](mod@env) — [`env::DockingEnv`], the [`rl::Environment`] implementation
 //!   with the paper's two bespoke termination rules;
 //! * [`trainer`] — end-to-end training runs producing the **Figure 4**
-//!   series (average max predicted Q per episode) and CSV reports.
+//!   series (average max predicted Q per episode) and CSV reports;
+//! * [`checkpoint`] — crash-safe checkpoint/resume of whole training runs
+//!   (trainer ledger + agent) over the rl crate's atomic checksummed
+//!   container, driven by [`trainer::run_checkpointed`].
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod checkpoint;
 pub mod config;
 pub mod env;
 pub mod policy;
@@ -46,8 +50,9 @@ pub mod state;
 pub mod trainer;
 
 pub use actions::{Action, ActionSet};
-pub use config::{Config, StateLayout};
+pub use checkpoint::CheckpointOptions;
+pub use config::{Config, StateLayout, WatchdogConfig};
 pub use env::DockingEnv;
 pub use policy::{evaluate, rollout, EvalReport, Policy, Trajectory};
 pub use report::training_report;
-pub use trainer::{run, TrainingRun};
+pub use trainer::{run, run_checkpointed, CheckpointedRun, TrainingRun, WatchdogEvent};

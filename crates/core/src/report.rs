@@ -104,6 +104,27 @@ pub fn training_report(config: &Config, run: &TrainingRun) -> String {
             let _ = writeln!(out, "| {ep} | {score:.2} | {rmsd:.2} |");
         }
     }
+
+    if !run.watchdog_events.is_empty() || run.halted {
+        let _ = writeln!(out, "\n## Divergence watchdog\n");
+        if run.halted {
+            let _ = writeln!(
+                out,
+                "**Run halted** before completing all {} configured episodes.\n",
+                config.episodes
+            );
+        }
+        let _ = writeln!(out, "| episode | action | reason |");
+        let _ = writeln!(out, "|---|---|---|");
+        for ev in &run.watchdog_events {
+            let action = if ev.rolled_back {
+                "rolled back"
+            } else {
+                "halted"
+            };
+            let _ = writeln!(out, "| {} | {action} | {} |", ev.episode, ev.reason);
+        }
+    }
     out
 }
 
@@ -143,6 +164,23 @@ mod tests {
         let md = training_report(&c, &run);
         assert!(md.contains(&format!("{:.2}", run.best_score)));
         assert!(md.contains(&format!("{}", run.evaluations)));
+    }
+
+    #[test]
+    fn report_lists_watchdog_events_when_present() {
+        let (c, mut run) = quick_run();
+        // Healthy run: no watchdog section at all.
+        assert!(!training_report(&c, &run).contains("Divergence watchdog"));
+        run.watchdog_events.push(crate::trainer::WatchdogEvent {
+            episode: 2,
+            reason: "non-finite training loss NaN at step 7".into(),
+            rolled_back: false,
+        });
+        run.halted = true;
+        let md = training_report(&c, &run);
+        assert!(md.contains("## Divergence watchdog"));
+        assert!(md.contains("**Run halted**"));
+        assert!(md.contains("| 2 | halted | non-finite training loss NaN at step 7 |"));
     }
 
     #[test]

@@ -1,12 +1,28 @@
 //! End-to-end DQN-Docking training runs (paper Algorithm 2) and their
 //! reports.
 
+use crate::checkpoint::{decode_run_state, encode_run_state, CheckpointOptions, TrainerState};
 use crate::config::Config;
 use crate::env::DockingEnv;
 use neural::MlpSpec;
-use rl::{DqnAgent, Environment, EpisodeStats, MlpQ, TrainOptions};
+use rl::checkpoint::CheckpointManager;
+use rl::{DqnAgent, Environment, EpisodeStats, MlpQ, QFunction, TrainOptions};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::io;
+
+/// One divergence-watchdog trip: where it happened, why, and whether the
+/// run rolled back to a checkpoint or halted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogEvent {
+    /// Episode index (0-based) in which the trip occurred.
+    pub episode: usize,
+    /// Human-readable description of the divergence.
+    pub reason: String,
+    /// `true` if the run rolled back to the last good checkpoint;
+    /// `false` if it halted.
+    pub rolled_back: bool,
+}
 
 /// The result of a training run: per-episode statistics plus summary
 /// docking metrics.
@@ -24,8 +40,29 @@ pub struct TrainingRun {
     /// Final ε.
     pub final_epsilon: f64,
     /// Interleaved greedy-evaluation checkpoints (when `config.eval_every`
-    /// is set): `(after_episode, greedy_best_score, rmsd_at_best)`.
+    /// is set): `(after_episode, greedy_best_score, rmsd_at_best)`, where
+    /// `after_episode` is 1-based — the evaluation gated on
+    /// `(episode + 1) % eval_every == 0` records `episode + 1`, so the
+    /// first entry with `eval_every = 2` is `after_episode = 2`.
     pub eval_points: Vec<(usize, f64, f64)>,
+    /// Divergence-watchdog trips, in order (empty on a healthy run).
+    #[serde(default)]
+    pub watchdog_events: Vec<WatchdogEvent>,
+    /// Whether the watchdog halted the run before `config.episodes`.
+    #[serde(default)]
+    pub halted: bool,
+}
+
+/// CSV rendering of an `f64` metric: finite values print as-is; non-finite
+/// values become an empty field (the same sentinel as an absent
+/// `mean_loss`) so downstream CSV parsers never see bare `inf`/`NaN`
+/// tokens.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        String::new()
+    }
 }
 
 impl TrainingRun {
@@ -39,6 +76,10 @@ impl TrainingRun {
 
     /// Renders the per-episode statistics as CSV (the artifact the
     /// experiment binaries write; plottable against the paper's Figure 4).
+    ///
+    /// Non-finite metrics (a diverged run's `avg_max_q`, for example)
+    /// render as empty fields rather than bare `inf`/`NaN` tokens, which
+    /// most CSV consumers cannot parse.
     pub fn to_csv(&self) -> String {
         let mut out =
             String::from("episode,steps,total_reward,avg_max_q,mean_loss,epsilon,terminated\n");
@@ -48,14 +89,105 @@ impl TrainingRun {
                 "{},{},{},{},{},{},{}",
                 e.episode,
                 e.steps,
-                e.total_reward,
-                e.avg_max_q,
-                e.mean_loss.map_or(String::new(), |l| l.to_string()),
-                e.epsilon,
+                csv_f64(e.total_reward),
+                csv_f64(e.avg_max_q),
+                e.mean_loss.map_or_else(String::new, csv_f64),
+                csv_f64(e.epsilon),
                 e.terminated
             );
         }
         out
+    }
+
+    /// Strict JSON rendering of the run. Unlike serde_json-style writers,
+    /// which silently turn non-finite floats into `null`, this fails
+    /// loudly: any `inf`/`NaN` in a numeric field is an error naming the
+    /// field (an absent `mean_loss` is legitimately `null`).
+    pub fn to_json(&self) -> Result<String, String> {
+        fn num(field: &str, v: f64) -> Result<String, String> {
+            if v.is_finite() {
+                Ok(v.to_string())
+            } else {
+                Err(format!("non-finite value in {field}: {v}"))
+            }
+        }
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"best_score\":{},\"best_rmsd\":{},\"evaluations\":{},\"final_epsilon\":{},\"halted\":{}",
+            num("best_score", self.best_score)?,
+            num("best_rmsd", self.best_rmsd)?,
+            self.evaluations,
+            num("final_epsilon", self.final_epsilon)?,
+            self.halted
+        );
+        s.push_str(",\"episodes\":[");
+        for (i, e) in self.episodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let field = |name: &str| format!("episodes[{i}].{name}");
+            let mean_loss = match e.mean_loss {
+                None => "null".to_string(),
+                Some(l) => num(&field("mean_loss"), l)?,
+            };
+            let _ = write!(
+                s,
+                "{{\"episode\":{},\"steps\":{},\"total_reward\":{},\"avg_max_q\":{},\"mean_loss\":{},\"epsilon\":{},\"terminated\":{}}}",
+                e.episode,
+                e.steps,
+                num(&field("total_reward"), e.total_reward)?,
+                num(&field("avg_max_q"), e.avg_max_q)?,
+                mean_loss,
+                num(&field("epsilon"), e.epsilon)?,
+                e.terminated
+            );
+        }
+        s.push_str("],\"eval_points\":[");
+        for (i, &(episode, score, rmsd)) in self.eval_points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "[{},{},{}]",
+                episode,
+                num(&format!("eval_points[{i}].score"), score)?,
+                num(&format!("eval_points[{i}].rmsd"), rmsd)?
+            );
+        }
+        s.push_str("],\"watchdog_events\":[");
+        for (i, ev) in self.watchdog_events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"episode\":{},\"reason\":\"{}\",\"rolled_back\":{}}}",
+                ev.episode,
+                escape(&ev.reason),
+                ev.rolled_back
+            );
+        }
+        s.push_str("]}");
+        Ok(s)
     }
 }
 
@@ -95,32 +227,111 @@ pub fn run(config: &Config, on_episode: impl FnMut(&EpisodeStats)) -> TrainingRu
 pub fn run_with_env(
     config: &Config,
     env: &mut DockingEnv,
-    mut on_episode: impl FnMut(&EpisodeStats),
+    on_episode: impl FnMut(&EpisodeStats),
 ) -> TrainingRun {
-    let mut agent = build_agent(config, env);
+    run_checkpointed(config, env, &CheckpointOptions::disabled(), on_episode)
+        .expect("checkpointing disabled: no checkpoint I/O can fail")
+        .run
+}
 
-    // Track best score/RMSD through the episode callback: rl::train owns
-    // the loop, so we snoop via a stats wrapper around each episode and
-    // query the env between episodes. For step-resolution bests we wrap
-    // the env... simpler and sufficient: sample at episode ends plus keep
-    // the per-step best inside the env loop below.
-    let mut best_score = f64::NEG_INFINITY;
-    let mut best_rmsd = f64::INFINITY;
-    let mut eval_points: Vec<(usize, f64, f64)> = Vec::new();
+/// A checkpointed run's outcome: the statistics plus the trained agent, so
+/// callers can extract the greedy policy without re-running training.
+#[derive(Debug, Clone)]
+pub struct CheckpointedRun {
+    /// The run statistics.
+    pub run: TrainingRun,
+    /// The agent as it stood at the end of the run.
+    pub agent: DqnAgent<MlpQ>,
+}
+
+/// [`run_with_env`] with crash-safety: periodic atomic checkpoints of the
+/// complete training state, optional resume from the newest valid
+/// snapshot, and the divergence watchdog.
+///
+/// Resuming is bitwise-exact: a run interrupted after episode `k` and
+/// resumed from its checkpoint produces the same `TrainingRun` — episode
+/// statistics, best score/RMSD, eval points, evaluation count, final
+/// weights — as one that was never interrupted, because the snapshot
+/// carries the networks (with optimizer moments), the replay memory, the
+/// step counters, and the exploration RNG stream.
+///
+/// The watchdog (see [`crate::config::WatchdogConfig`]) checks every
+/// step's max-Q and loss. On a trip it rolls back to the last good
+/// checkpoint (when a checkpoint directory is active and the rollback
+/// budget allows) with a reseeded exploration stream — replaying the
+/// original stream would diverge identically — or halts, leaving
+/// [`TrainingRun::halted`] set; either way the event is recorded in
+/// [`TrainingRun::watchdog_events`]. A halted run writes no further
+/// checkpoints, so the last good snapshot survives for post-mortems.
+///
+/// # Panics
+/// If the config fails validation.
+///
+/// # Errors
+/// Propagates checkpoint I/O failures and rejects corrupt/mismatched
+/// snapshots on resume (a missing snapshot is not an error: the run
+/// starts fresh).
+pub fn run_checkpointed(
+    config: &Config,
+    env: &mut DockingEnv,
+    ckpt: &CheckpointOptions,
+    mut on_episode: impl FnMut(&EpisodeStats),
+) -> io::Result<CheckpointedRun> {
+    let problems = config.validate();
+    assert!(problems.is_empty(), "invalid config: {problems:?}");
+
+    let manager = match &ckpt.dir {
+        Some(dir) => Some(CheckpointManager::new(dir.clone(), ckpt.keep_last)?),
+        None => None,
+    };
+
+    // Fresh state, or the newest valid snapshot when resuming.
+    let restored = match (&manager, ckpt.resume) {
+        (Some(m), true) => m.load_latest_valid()?,
+        _ => None,
+    };
+    let (mut ts, mut agent) = match restored {
+        Some((_episode, payload)) => {
+            let mut dqn = config.dqn;
+            dqn.frame_layout = env.frame_layout();
+            let (ts, agent) = decode_run_state(&payload, dqn)?;
+            if agent.q_function().state_dim() != env.state_dim()
+                || agent.q_function().n_actions() != env.n_actions()
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpointed network shape {}→{} does not fit environment {}→{}",
+                        agent.q_function().state_dim(),
+                        agent.q_function().n_actions(),
+                        env.state_dim(),
+                        env.n_actions()
+                    ),
+                ));
+            }
+            env.set_evaluations(ts.evaluations);
+            (ts, agent)
+        }
+        None => (TrainerState::fresh(), build_agent(config, env)),
+    };
 
     let options = TrainOptions {
         episodes: config.episodes,
         max_steps_per_episode: config.max_steps,
     };
+    let wd = config.watchdog;
+    let mut halted = false;
+    let mut last_saved: Option<usize> = None;
 
     // Custom loop (mirrors rl::train) so we can observe docking metrics at
-    // every step without polluting the generic RL crate.
-    let mut episodes = Vec::with_capacity(options.episodes);
-    for episode in 0..options.episodes {
+    // every step without polluting the generic RL crate. A `while` rather
+    // than a `for`: a watchdog rollback moves `episode` backwards.
+    let mut episode = ts.next_episode;
+    while episode < options.episodes {
         let mut state = env.reset();
-        if env.score() > best_score {
-            best_score = env.score();
-            best_rmsd = env.rmsd_to_crystal();
+        if env.score() > ts.best_score {
+            ts.best_score = env.score();
+            ts.best_rmsd = env.rmsd_to_crystal();
         }
         let mut total_reward = 0.0;
         let mut q_sum = 0.0f64;
@@ -128,18 +339,27 @@ pub fn run_with_env(
         let mut loss_count = 0usize;
         let mut steps = 0usize;
         let mut terminated = false;
+        let mut trip: Option<String> = None;
 
         for _ in 0..options.max_steps_per_episode {
             // One forward pass per step: the same Q-row feeds the Figure-4
             // max-Q metric and ε-greedy selection (identical policy and RNG
             // draws to `max_q` + `act`, at half the matmul cost).
             let qs = agent.q_values(&state);
-            q_sum += f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            if wd.enabled && (!max_q.is_finite() || max_q.abs() > wd.max_abs_q) {
+                trip = Some(format!(
+                    "max-Q {max_q:e} at step {steps} exceeds the watchdog bound {:e}",
+                    wd.max_abs_q
+                ));
+                break;
+            }
+            q_sum += max_q;
             let action = agent.act_from_q(&qs);
             let outcome = env.step(action);
-            if env.score() > best_score {
-                best_score = env.score();
-                best_rmsd = env.rmsd_to_crystal();
+            if env.score() > ts.best_score {
+                ts.best_score = env.score();
+                ts.best_rmsd = env.rmsd_to_crystal();
             }
             total_reward += outcome.reward;
             steps += 1;
@@ -153,14 +373,76 @@ pub fn run_with_env(
                 &outcome.state,
                 outcome.terminal,
             ) {
+                if wd.enabled && !loss.is_finite() {
+                    trip = Some(format!("non-finite training loss {loss} at step {steps}"));
+                }
                 loss_sum += f64::from(loss);
                 loss_count += 1;
             }
             let retired = std::mem::replace(&mut state, outcome.state);
             env.recycle_state_buffer(retired);
+            if trip.is_some() {
+                break;
+            }
             if outcome.terminal {
                 terminated = true;
                 break;
+            }
+        }
+        // The episode's final state buffer goes back to the pool too.
+        env.recycle_state_buffer(state);
+
+        if let Some(reason) = trip {
+            // Roll back if the budget and a valid checkpoint allow it;
+            // halt otherwise. The partial episode's stats are discarded —
+            // they describe a diverged trajectory.
+            let rollback = if ts.rollbacks_used < wd.max_rollbacks {
+                match &manager {
+                    Some(m) => m.load_latest_valid()?,
+                    None => None,
+                }
+            } else {
+                None
+            };
+            let mut dqn = config.dqn;
+            dqn.frame_layout = env.frame_layout();
+            match rollback.and_then(|(_e, payload)| decode_run_state(&payload, dqn).ok()) {
+                Some((snapshot, snapshot_agent)) => {
+                    // The ledger accumulated since the snapshot (events,
+                    // rollback count) survives the rewind.
+                    let mut events = std::mem::take(&mut ts.watchdog_events);
+                    events.push(WatchdogEvent {
+                        episode,
+                        reason,
+                        rolled_back: true,
+                    });
+                    let rollbacks_used = ts.rollbacks_used + 1;
+                    ts = snapshot;
+                    ts.watchdog_events = events;
+                    ts.rollbacks_used = rollbacks_used;
+                    agent = snapshot_agent;
+                    env.set_evaluations(ts.evaluations);
+                    // Replaying the checkpoint with the original stream
+                    // would reproduce the diverging trajectory draw for
+                    // draw; give exploration a fresh deterministic stream.
+                    agent.reseed_exploration(
+                        config
+                            .dqn
+                            .seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rollbacks_used as u64)),
+                    );
+                    episode = ts.next_episode;
+                    continue;
+                }
+                None => {
+                    ts.watchdog_events.push(WatchdogEvent {
+                        episode,
+                        reason,
+                        rolled_back: false,
+                    });
+                    halted = true;
+                    break;
+                }
             }
         }
 
@@ -178,7 +460,7 @@ pub fn run_with_env(
             terminated,
         };
         on_episode(&stats);
-        episodes.push(stats);
+        ts.episodes.push(stats);
 
         // Interleaved greedy evaluation (ε = 0, no learning, no replay
         // writes): the standard way to read training progress without
@@ -201,20 +483,53 @@ pub fn run_with_env(
                         break;
                     }
                 }
-                eval_points.push((episode, eval_best, eval_rmsd));
+                // The eval loop's final state buffer goes back to the pool,
+                // keeping it in step with the training loop above.
+                env.recycle_state_buffer(state);
+                ts.eval_points.push((episode + 1, eval_best, eval_rmsd));
+            }
+        }
+
+        // Snapshot after the eval block, so a resumed run replays neither
+        // the episode nor its evaluation.
+        episode += 1;
+        ts.next_episode = episode;
+        ts.evaluations = env.evaluations();
+        if let Some(m) = &manager {
+            if ckpt.every > 0 && episode % ckpt.every == 0 {
+                let payload = encode_run_state(&ts, &agent)?;
+                m.save(episode as u64, &payload)?;
+                last_saved = Some(episode);
+            }
+        }
+    }
+
+    // Terminal snapshot: `--resume` after completion becomes a no-op that
+    // reports the finished run. A halted run deliberately writes nothing —
+    // the last good snapshot survives for post-mortems.
+    if !halted {
+        if let Some(m) = &manager {
+            if last_saved != Some(episode) {
+                ts.next_episode = episode;
+                ts.evaluations = env.evaluations();
+                let payload = encode_run_state(&ts, &agent)?;
+                m.save(episode as u64, &payload)?;
             }
         }
     }
 
     let final_epsilon = agent.epsilon();
-    TrainingRun {
-        episodes,
-        best_score,
-        best_rmsd,
+    let run = TrainingRun {
+        episodes: ts.episodes,
+        best_score: ts.best_score,
+        best_rmsd: ts.best_rmsd,
         evaluations: env.evaluations(),
         final_epsilon,
-        eval_points,
-    }
+        eval_points: ts.eval_points,
+        watchdog_events: ts.watchdog_events,
+        halted,
+    };
+    Ok(CheckpointedRun { run, agent })
 }
 
 #[cfg(test)]
@@ -299,8 +614,11 @@ mod tests {
         c.eval_every = Some(2);
         let run = run(&c, |_| {});
         assert_eq!(run.eval_points.len(), 3);
-        for (ep, score, rmsd) in &run.eval_points {
-            assert!([1usize, 3, 5].contains(ep));
+        // `after_episode` is 1-based: with eval_every = 2 over 6 episodes,
+        // evaluations land after episodes 2, 4, and 6.
+        let after: Vec<usize> = run.eval_points.iter().map(|p| p.0).collect();
+        assert_eq!(after, vec![2, 4, 6]);
+        for (_, score, rmsd) in &run.eval_points {
             assert!(score.is_finite());
             assert!(*rmsd >= 0.0);
         }
@@ -311,6 +629,55 @@ mod tests {
 
     fn run_without_eval() -> TrainingRun {
         run(&quick_config(), |_| {})
+    }
+
+    fn synthetic_run() -> TrainingRun {
+        TrainingRun {
+            episodes: vec![EpisodeStats {
+                episode: 0,
+                steps: 2,
+                total_reward: 1.0,
+                avg_max_q: 0.5,
+                mean_loss: Some(0.25),
+                epsilon: 0.9,
+                terminated: false,
+            }],
+            best_score: -3.5,
+            best_rmsd: 1.25,
+            evaluations: 7,
+            final_epsilon: 0.9,
+            eval_points: vec![(1, -3.5, 1.25)],
+            watchdog_events: Vec::new(),
+            halted: false,
+        }
+    }
+
+    #[test]
+    fn csv_renders_non_finite_metrics_as_empty_fields() {
+        let mut r = synthetic_run();
+        r.episodes[0].avg_max_q = f64::INFINITY;
+        r.episodes[0].mean_loss = Some(f64::NAN);
+        let csv = r.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row, "0,2,1,,,0.9,false");
+        assert!(!csv.contains("inf") && !csv.contains("NaN"));
+    }
+
+    #[test]
+    fn json_round_trips_healthy_run_and_rejects_non_finite() {
+        let r = synthetic_run();
+        let json = r.to_json().expect("finite run serialises");
+        assert!(json.contains("\"best_score\":-3.5"));
+        assert!(json.contains("\"halted\":false"));
+
+        let mut diverged = synthetic_run();
+        diverged.episodes[0].avg_max_q = f64::NAN;
+        let err = diverged.to_json().unwrap_err();
+        assert!(err.contains("episodes[0].avg_max_q"), "got: {err}");
+
+        let mut none_loss = synthetic_run();
+        none_loss.episodes[0].mean_loss = None;
+        assert!(none_loss.to_json().unwrap().contains("\"mean_loss\":null"));
     }
 
     #[test]

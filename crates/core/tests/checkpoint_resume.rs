@@ -1,0 +1,161 @@
+//! End-to-end crash/resume suite for the docking trainer: an interrupted
+//! run resumed from disk must reproduce the uninterrupted run bitwise, a
+//! damaged newest snapshot must fall back to an older one without
+//! panicking, and the divergence watchdog must roll back or halt exactly
+//! per its budget.
+
+use dqn_docking::{trainer, CheckpointOptions, Config, DockingEnv};
+use std::fs;
+use std::path::PathBuf;
+
+fn test_config() -> Config {
+    let mut c = Config::tiny();
+    c.episodes = 6;
+    c.max_steps = 25;
+    c.eval_every = Some(2);
+    c
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dqn-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the reference: all episodes in one go, no checkpointing.
+fn straight_run(config: &Config) -> trainer::CheckpointedRun {
+    let mut env = DockingEnv::from_config(config);
+    trainer::run_checkpointed(config, &mut env, &CheckpointOptions::disabled(), |_| {}).unwrap()
+}
+
+fn assert_runs_identical(a: &trainer::CheckpointedRun, b: &trainer::CheckpointedRun) {
+    assert_eq!(a.run.episodes, b.run.episodes, "episode stats must match bitwise");
+    assert_eq!(a.run.best_score, b.run.best_score);
+    assert_eq!(a.run.best_rmsd, b.run.best_rmsd);
+    assert_eq!(a.run.evaluations, b.run.evaluations);
+    assert_eq!(a.run.final_epsilon, b.run.final_epsilon);
+    assert_eq!(a.run.eval_points, b.run.eval_points);
+    assert_eq!(
+        a.agent.q_function().mlp(),
+        b.agent.q_function().mlp(),
+        "final weights must match bitwise"
+    );
+}
+
+#[test]
+fn resume_reproduces_the_uninterrupted_run_bitwise() {
+    let config = test_config();
+    let reference = straight_run(&config);
+
+    let dir = temp_dir("bitwise");
+    // "Crash" after episode 3: run only half the episodes, checkpointing
+    // after every one.
+    let mut half = config.clone();
+    half.episodes = 3;
+    let mut env = DockingEnv::from_config(&half);
+    let ckpt = CheckpointOptions::in_dir(&dir);
+    trainer::run_checkpointed(&half, &mut env, &ckpt, |_| {}).unwrap();
+
+    // Resume on a FRESH env with the full episode budget.
+    let mut env = DockingEnv::from_config(&config);
+    let resumed =
+        trainer::run_checkpointed(&config, &mut env, &ckpt.clone().resume(true), |_| {}).unwrap();
+
+    assert_runs_identical(&reference, &resumed);
+    assert!(resumed.run.watchdog_events.is_empty());
+    assert!(!resumed.run.halted);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupted_snapshot() {
+    let config = test_config();
+    let reference = straight_run(&config);
+
+    let dir = temp_dir("corrupt");
+    let mut half = config.clone();
+    half.episodes = 3;
+    let mut env = DockingEnv::from_config(&half);
+    let ckpt = CheckpointOptions::in_dir(&dir);
+    trainer::run_checkpointed(&half, &mut env, &ckpt, |_| {}).unwrap();
+
+    // Bit-flip the newest snapshot (episode 3): resume must reject it on
+    // CRC, restart from episode 2's snapshot, and still converge to the
+    // identical final run.
+    let newest = dir.join("ckpt-0000000003.dqck");
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    fs::write(&newest, &bytes).unwrap();
+
+    let mut env = DockingEnv::from_config(&config);
+    let resumed =
+        trainer::run_checkpointed(&config, &mut env, &ckpt.resume(true), |_| {}).unwrap();
+    assert_runs_identical(&reference, &resumed);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_empty_directory_starts_fresh() {
+    let config = test_config();
+    let reference = straight_run(&config);
+    let dir = temp_dir("fresh");
+    let mut env = DockingEnv::from_config(&config);
+    let ckpt = CheckpointOptions::in_dir(&dir).resume(true);
+    let run = trainer::run_checkpointed(&config, &mut env, &ckpt, |_| {}).unwrap();
+    assert_runs_identical(&reference, &run);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watchdog_halts_without_a_checkpoint_to_roll_back_to() {
+    let mut config = test_config();
+    // Any finite Q-value trips this bound at the very first step.
+    config.watchdog.max_abs_q = 1e-12;
+    let mut env = DockingEnv::from_config(&config);
+    let out =
+        trainer::run_checkpointed(&config, &mut env, &CheckpointOptions::disabled(), |_| {})
+            .unwrap();
+    assert!(out.run.halted);
+    assert!(out.run.episodes.is_empty(), "the diverged episode is discarded");
+    assert_eq!(out.run.watchdog_events.len(), 1);
+    let ev = &out.run.watchdog_events[0];
+    assert_eq!(ev.episode, 0);
+    assert!(!ev.rolled_back);
+    assert!(ev.reason.contains("watchdog bound"), "got: {}", ev.reason);
+}
+
+#[test]
+fn watchdog_rolls_back_per_budget_then_halts() {
+    let dir = temp_dir("rollback");
+    // Phase 1: two healthy episodes, checkpointed after each.
+    let mut healthy = test_config();
+    healthy.episodes = 2;
+    let mut env = DockingEnv::from_config(&healthy);
+    let ckpt = CheckpointOptions::in_dir(&dir);
+    trainer::run_checkpointed(&healthy, &mut env, &ckpt, |_| {}).unwrap();
+
+    // Phase 2: resume with a bound every step violates and a budget of 2
+    // rollbacks: episode 2 trips, rolls back twice, then halts.
+    let mut diverging = test_config();
+    diverging.episodes = 4;
+    diverging.watchdog.max_abs_q = 1e-12;
+    diverging.watchdog.max_rollbacks = 2;
+    let mut env = DockingEnv::from_config(&diverging);
+    let out =
+        trainer::run_checkpointed(&diverging, &mut env, &ckpt.resume(true), |_| {}).unwrap();
+
+    assert!(out.run.halted);
+    assert_eq!(out.run.episodes.len(), 2, "only the healthy prefix survives");
+    let rolled: Vec<bool> = out.run.watchdog_events.iter().map(|e| e.rolled_back).collect();
+    assert_eq!(rolled, vec![true, true, false]);
+    assert!(out.run.watchdog_events.iter().all(|e| e.episode == 2));
+    // A halted run must not overwrite the last good snapshot.
+    let snapshots: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".dqck"))
+        .collect();
+    assert!(snapshots.contains(&"ckpt-0000000002.dqck".to_string()), "{snapshots:?}");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -5,6 +5,7 @@
 //! are implemented so the `variants` ablation can compare them.
 
 use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
 
 /// Optimizer family + hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,6 +165,117 @@ impl Optimizer {
             }
         }
     }
+
+    /// Serialises the optimizer (spec, step counter, and all moment slots)
+    /// in the `neural` little-endian binary format (magic `OPT1`).
+    ///
+    /// Companion to [`crate::Mlp::save`]: a Q-network checkpoint needs the
+    /// running moments too, or a resumed run takes different parameter
+    /// updates than an uninterrupted one.
+    pub fn save(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(b"OPT1")?;
+        match self.spec {
+            OptimizerSpec::Sgd { lr, momentum } => {
+                w.write_all(&[0u8])?;
+                w.write_all(&lr.to_le_bytes())?;
+                w.write_all(&momentum.to_le_bytes())?;
+            }
+            OptimizerSpec::RmsProp { lr, decay, epsilon } => {
+                w.write_all(&[1u8])?;
+                w.write_all(&lr.to_le_bytes())?;
+                w.write_all(&decay.to_le_bytes())?;
+                w.write_all(&epsilon.to_le_bytes())?;
+            }
+            OptimizerSpec::Adam { lr, beta1, beta2, epsilon } => {
+                w.write_all(&[2u8])?;
+                w.write_all(&lr.to_le_bytes())?;
+                w.write_all(&beta1.to_le_bytes())?;
+                w.write_all(&beta2.to_le_bytes())?;
+                w.write_all(&epsilon.to_le_bytes())?;
+            }
+        }
+        w.write_all(&self.t.to_le_bytes())?;
+        w.write_all(&(self.slots.len() as u32).to_le_bytes())?;
+        for slot in &self.slots {
+            w.write_all(&(slot.m.len() as u32).to_le_bytes())?;
+            for &x in &slot.m {
+                w.write_all(&x.to_le_bytes())?;
+            }
+            for &x in &slot.v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an optimizer written by [`Optimizer::save`], validating the
+    /// magic and rejecting absurd slot counts/sizes before allocating.
+    pub fn load(mut r: impl Read) -> io::Result<Optimizer> {
+        fn bad(msg: impl Into<String>) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.into())
+        }
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"OPT1" {
+            return Err(bad("not an optimizer checkpoint (bad magic)"));
+        }
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let spec = match tag[0] {
+            0 => OptimizerSpec::Sgd {
+                lr: read_f32(&mut r)?,
+                momentum: read_f32(&mut r)?,
+            },
+            1 => OptimizerSpec::RmsProp {
+                lr: read_f32(&mut r)?,
+                decay: read_f32(&mut r)?,
+                epsilon: read_f32(&mut r)?,
+            },
+            2 => OptimizerSpec::Adam {
+                lr: read_f32(&mut r)?,
+                beta1: read_f32(&mut r)?,
+                beta2: read_f32(&mut r)?,
+                epsilon: read_f32(&mut r)?,
+            },
+            t => return Err(bad(format!("unknown optimizer tag {t}"))),
+        };
+        let mut t_bytes = [0u8; 8];
+        r.read_exact(&mut t_bytes)?;
+        let t = u64::from_le_bytes(t_bytes);
+        let n_slots = read_u32(&mut r)? as usize;
+        if n_slots > 1 << 16 {
+            return Err(bad(format!("implausible slot count {n_slots}")));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let n = read_u32(&mut r)? as usize;
+            if n > 256 << 20 {
+                return Err(bad(format!("implausible tensor size {n}")));
+            }
+            let mut m = vec![0.0f32; n];
+            for x in &mut m {
+                *x = read_f32(&mut r)?;
+            }
+            let mut v = vec![0.0f32; n];
+            for x in &mut v {
+                *x = read_f32(&mut r)?;
+            }
+            slots.push(Slot { m, v });
+        }
+        Ok(Optimizer { spec, slots, t })
+    }
+}
+
+fn read_u32(mut r: impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(mut r: impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -248,5 +360,43 @@ mod tests {
     #[test]
     fn paper_rmsprop_learning_rate() {
         assert!((OptimizerSpec::paper_rmsprop().learning_rate() - 2.5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_roundtrips_moments_bitwise() {
+        let mut opt = Optimizer::new(OptimizerSpec::adam(0.01), &[4, 2]);
+        let mut p = vec![1.0f32, -2.0, 0.5, 3.0];
+        let mut b = vec![0.0f32, 0.0];
+        for step in 0..5 {
+            opt.begin_step();
+            let g: Vec<f32> = p.iter().map(|x| 0.3 * x + step as f32 * 0.01).collect();
+            opt.update(0, &mut p, &g);
+            opt.update(1, &mut b, &[0.1, -0.2]);
+        }
+        let mut bytes = Vec::new();
+        opt.save(&mut bytes).unwrap();
+        let mut restored = Optimizer::load(bytes.as_slice()).unwrap();
+        let mut bytes2 = Vec::new();
+        restored.save(&mut bytes2).unwrap();
+        assert_eq!(bytes, bytes2);
+        // The restored optimizer takes bitwise-identical next steps.
+        let mut pa = p.clone();
+        let mut pb = p;
+        opt.begin_step();
+        restored.begin_step();
+        opt.update(0, &mut pa, &[0.5, -0.5, 0.25, 0.125]);
+        restored.update(0, &mut pb, &[0.5, -0.5, 0.25, 0.125]);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_and_truncation() {
+        let opt = Optimizer::new(OptimizerSpec::sgd(0.1), &[2]);
+        let mut bytes = Vec::new();
+        opt.save(&mut bytes).unwrap();
+        let mut broken = bytes.clone();
+        broken[0] = b'X';
+        assert!(Optimizer::load(broken.as_slice()).is_err());
+        assert!(Optimizer::load(&bytes[..bytes.len() - 1]).is_err());
     }
 }

@@ -1,0 +1,792 @@
+//! Crash-safe training checkpoints: a versioned, checksummed container
+//! written atomically, plus the binary codecs for agent state.
+//!
+//! The paper's headline run (Figure 4) is 1,800 episodes × 1,000 steps —
+//! exactly the regime where a dead process loses hours of docking work.
+//! This module provides the persistence layer:
+//!
+//! * **Wire helpers** — little-endian primitive put/get over byte slices,
+//!   shared by every codec in the workspace's checkpoint path.
+//! * [`RngState`] — captures and restores a `ChaCha8Rng` mid-stream so a
+//!   resumed run draws the exact exploration sequence an uninterrupted run
+//!   would have drawn.
+//! * **Container** — `DQCK` magic, format version, payload length, and a
+//!   CRC-32 over the payload; truncated or bit-flipped files are detected
+//!   before any state is deserialized.
+//! * [`CheckpointManager`] — atomic writes (tmp file + fsync + rename +
+//!   directory fsync), rolling keep-last-K retention, and corruption-aware
+//!   recovery that falls back to the newest *valid* snapshot.
+//! * Replay codecs — binary serialisation of the compact-V2 replay
+//!   snapshots ([`crate::replay::CompactReplay`] /
+//!   [`crate::replay::CompactPrioritized`]) without a self-describing
+//!   serde format.
+
+use crate::replay::{CompactPrioritized, CompactReplay, COMPACT_FORMAT_VERSION};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Container magic: "DQCK" (DQN-docking checkpoint).
+pub const MAGIC: [u8; 4] = *b"DQCK";
+
+/// Container format version. Bump on any layout change; readers refuse
+/// versions they do not know.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Checkpoint filename prefix (`ckpt-0000000042.dqck`).
+const FILE_PREFIX: &str = "ckpt-";
+/// Checkpoint filename extension.
+const FILE_SUFFIX: &str = ".dqck";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE) of `bytes` — the container checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian wire primitives
+// ---------------------------------------------------------------------------
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a little-endian `u64` (portable across word sizes).
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Appends a little-endian `f32`.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Appends a length-prefixed `f32` slice.
+pub fn put_f32_slice(out: &mut Vec<u8>, v: &[f32]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_f32(out, x);
+    }
+}
+
+/// Appends a length-prefixed `f64` slice.
+pub fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_u32(out, x);
+    }
+}
+
+/// Appends a length-prefixed `bool` slice (one byte per flag).
+pub fn put_bool_slice(out: &mut Vec<u8>, v: &[bool]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_bool(out, x);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_usize(out, v.len());
+    out.extend_from_slice(v.as_bytes());
+}
+
+/// Reads a `u8`, advancing the cursor.
+pub fn get_u8(r: &mut &[u8]) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Reads a little-endian `u32`, advancing the cursor.
+pub fn get_u32(r: &mut &[u8]) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads a little-endian `u64`, advancing the cursor.
+pub fn get_u64(r: &mut &[u8]) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a `usize` stored as a little-endian `u64`.
+pub fn get_usize(r: &mut &[u8]) -> io::Result<usize> {
+    let v = get_u64(r)?;
+    usize::try_from(v).map_err(|_| bad(format!("length {v} exceeds this platform's usize")))
+}
+
+/// Reads a little-endian `f32`, advancing the cursor.
+pub fn get_f32(r: &mut &[u8]) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Reads a little-endian `f64`, advancing the cursor.
+pub fn get_f64(r: &mut &[u8]) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Reads a one-byte `bool` (rejecting values other than 0/1).
+pub fn get_bool(r: &mut &[u8]) -> io::Result<bool> {
+    match get_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        v => Err(bad(format!("invalid bool byte {v}"))),
+    }
+}
+
+/// Validates a length prefix against the bytes actually remaining, so a
+/// corrupt length cannot trigger a huge allocation.
+fn get_len(r: &mut &[u8], elem_size: usize) -> io::Result<usize> {
+    let len = get_usize(r)?;
+    if len.checked_mul(elem_size).is_none_or(|n| n > r.len()) {
+        return Err(bad(format!(
+            "length prefix {len} exceeds the {} bytes remaining",
+            r.len()
+        )));
+    }
+    Ok(len)
+}
+
+/// Reads a length-prefixed `f32` vector.
+pub fn get_f32_vec(r: &mut &[u8]) -> io::Result<Vec<f32>> {
+    let len = get_len(r, 4)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(get_f32(r)?);
+    }
+    Ok(v)
+}
+
+/// Reads a length-prefixed `f64` vector.
+pub fn get_f64_vec(r: &mut &[u8]) -> io::Result<Vec<f64>> {
+    let len = get_len(r, 8)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(get_f64(r)?);
+    }
+    Ok(v)
+}
+
+/// Reads a length-prefixed `u32` vector.
+pub fn get_u32_vec(r: &mut &[u8]) -> io::Result<Vec<u32>> {
+    let len = get_len(r, 4)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(get_u32(r)?);
+    }
+    Ok(v)
+}
+
+/// Reads a length-prefixed `bool` vector.
+pub fn get_bool_vec(r: &mut &[u8]) -> io::Result<Vec<bool>> {
+    let len = get_len(r, 1)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(get_bool(r)?);
+    }
+    Ok(v)
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(r: &mut &[u8]) -> io::Result<String> {
+    let len = get_len(r, 1)?;
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| bad("string field is not valid UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// RNG state
+// ---------------------------------------------------------------------------
+
+/// The complete observable state of a [`ChaCha8Rng`] stream: seed, stream
+/// id, and the 128-bit word position. Restoring all three resumes the
+/// generator mid-sequence, which is what makes a resumed run draw the same
+/// exploration actions as an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RngState {
+    /// The 256-bit seed the generator was created from.
+    pub seed: [u8; 32],
+    /// The stream id (`ChaCha8Rng::get_stream`).
+    pub stream: u64,
+    /// The word position within the stream (`ChaCha8Rng::get_word_pos`).
+    pub word_pos: u128,
+}
+
+impl RngState {
+    /// Captures the generator's current position.
+    pub fn capture(rng: &ChaCha8Rng) -> Self {
+        RngState {
+            seed: rng.get_seed(),
+            stream: rng.get_stream(),
+            word_pos: rng.get_word_pos(),
+        }
+    }
+
+    /// Rebuilds a generator at the captured position.
+    pub fn restore(&self) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::from_seed(self.seed);
+        rng.set_stream(self.stream);
+        rng.set_word_pos(self.word_pos);
+        rng
+    }
+
+    /// Appends the state to a byte buffer.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed);
+        put_u64(out, self.stream);
+        put_u64(out, self.word_pos as u64);
+        put_u64(out, (self.word_pos >> 64) as u64);
+    }
+
+    /// Reads a state written by [`RngState::encode`].
+    pub fn decode(r: &mut &[u8]) -> io::Result<Self> {
+        let mut seed = [0u8; 32];
+        r.read_exact(&mut seed)?;
+        let stream = get_u64(r)?;
+        let lo = get_u64(r)?;
+        let hi = get_u64(r)?;
+        Ok(RngState {
+            seed,
+            stream,
+            word_pos: (hi as u128) << 64 | lo as u128,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container
+// ---------------------------------------------------------------------------
+
+/// Header size: magic (4) + version (4) + payload length (8) + CRC (4).
+const HEADER_LEN: usize = 20;
+
+/// Wraps `payload` in the checkpoint container: `DQCK` magic, format
+/// version, payload length, CRC-32 of the payload, then the payload.
+pub fn encode_container(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u64(&mut out, payload.len() as u64);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a container and returns its payload.
+///
+/// Rejects wrong magic, unknown versions, truncated or over-long files,
+/// and checksum mismatches — i.e. every corruption mode short of a
+/// collision — without deserializing any state.
+pub fn decode_container(bytes: &[u8]) -> io::Result<&[u8]> {
+    if bytes.len() < HEADER_LEN {
+        return Err(bad("checkpoint truncated before the header"));
+    }
+    let mut r = bytes;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not a checkpoint container (bad magic)"));
+    }
+    let version = get_u32(&mut r)?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported checkpoint version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let len = get_u64(&mut r)? as usize;
+    let crc = get_u32(&mut r)?;
+    if r.len() != len {
+        return Err(bad(format!(
+            "payload length mismatch: header says {len}, file has {}",
+            r.len()
+        )));
+    }
+    if crc32(r) != crc {
+        return Err(bad("checkpoint checksum mismatch"));
+    }
+    Ok(r)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint manager: atomic writes, retention, corruption-aware recovery
+// ---------------------------------------------------------------------------
+
+/// Writes and recovers checkpoint files in a directory.
+///
+/// Atomicity protocol: the container is written to `<name>.tmp`, fsynced,
+/// renamed over the final name, and the directory is fsynced — a crash at
+/// any point leaves either the old set of checkpoints or the old set plus
+/// a complete new one, never a half-written file under the final name.
+/// Retention keeps the newest `keep_last` snapshots so recovery has a
+/// fallback when the newest file is damaged after the fact (the rename
+/// protocol itself cannot produce a torn file).
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+impl CheckpointManager {
+    /// Opens (creating if needed) a checkpoint directory, retaining the
+    /// newest `keep_last` snapshots (clamped to at least 1).
+    pub fn new(dir: impl Into<PathBuf>, keep_last: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointManager {
+            dir,
+            keep_last: keep_last.max(1),
+        })
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(episode: u64) -> String {
+        format!("{FILE_PREFIX}{episode:010}{FILE_SUFFIX}")
+    }
+
+    /// Atomically writes `payload` (wrapped in the container) as the
+    /// snapshot for `episode`, then prunes snapshots beyond the retention
+    /// window. Returns the final path.
+    pub fn save(&self, episode: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        let final_path = self.dir.join(Self::file_name(episode));
+        let tmp_path = self.dir.join(format!("{}.tmp", Self::file_name(episode)));
+        let bytes = encode_container(payload);
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename itself. Directory fsync is not supported on
+        // every platform; failure to open the directory is non-fatal.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// All retained snapshots as `(episode, path)`, oldest first.
+    pub fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(FILE_PREFIX)
+                .and_then(|s| s.strip_suffix(FILE_SUFFIX))
+            else {
+                continue;
+            };
+            if let Ok(episode) = stem.parse::<u64>() {
+                found.push((episode, entry.path()));
+            }
+        }
+        found.sort();
+        Ok(found)
+    }
+
+    /// Loads the newest snapshot whose container validates, skipping (and
+    /// reporting) corrupt ones. Returns `(episode, payload)`, or `None` if
+    /// no valid snapshot exists.
+    pub fn load_latest_valid(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        for (episode, path) in self.list()?.into_iter().rev() {
+            let Ok(bytes) = fs::read(&path) else { continue };
+            match decode_container(&bytes) {
+                Ok(payload) => return Ok(Some((episode, payload.to_vec()))),
+                Err(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let files = self.list()?;
+        if files.len() > self.keep_last {
+            let excess = files.len() - self.keep_last;
+            for (_, path) in files.into_iter().take(excess) {
+                // Best-effort: a vanished file is not an error.
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay codecs (compact V2, binary)
+// ---------------------------------------------------------------------------
+
+/// Appends a [`CompactReplay`] snapshot in the binary wire format.
+pub fn encode_replay(out: &mut Vec<u8>, c: &CompactReplay) {
+    put_u32(out, c.version);
+    put_usize(out, c.capacity);
+    put_usize(out, c.head);
+    put_u64(out, c.pushed);
+    put_usize(out, c.prefix_len);
+    put_usize(out, c.suffix_len);
+    put_usize(out, c.dim);
+    put_f32_slice(out, &c.prefix);
+    put_f32_slice(out, &c.suffix);
+    put_f32_slice(out, &c.arena);
+    put_u32_slice(out, &c.refs);
+    put_u32_slice(out, &c.free);
+    put_u32_slice(out, &c.state_idx);
+    put_u32_slice(out, &c.actions);
+    put_f64_slice(out, &c.rewards);
+    put_u32_slice(out, &c.next_idx);
+    put_bool_slice(out, &c.terminals);
+}
+
+/// Reads a [`CompactReplay`] snapshot written by [`encode_replay`].
+///
+/// Only the wire layout is validated here; structural consistency is the
+/// job of the `TryFrom<CompactReplay>` conversion.
+pub fn decode_replay(r: &mut &[u8]) -> io::Result<CompactReplay> {
+    let version = get_u32(r)?;
+    if version != COMPACT_FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported replay snapshot version {version} (expected {COMPACT_FORMAT_VERSION})"
+        )));
+    }
+    Ok(CompactReplay {
+        version,
+        capacity: get_usize(r)?,
+        head: get_usize(r)?,
+        pushed: get_u64(r)?,
+        prefix_len: get_usize(r)?,
+        suffix_len: get_usize(r)?,
+        dim: get_usize(r)?,
+        prefix: get_f32_vec(r)?,
+        suffix: get_f32_vec(r)?,
+        arena: get_f32_vec(r)?,
+        refs: get_u32_vec(r)?,
+        free: get_u32_vec(r)?,
+        state_idx: get_u32_vec(r)?,
+        actions: get_u32_vec(r)?,
+        rewards: get_f64_vec(r)?,
+        next_idx: get_u32_vec(r)?,
+        terminals: get_bool_vec(r)?,
+    })
+}
+
+/// Appends a [`CompactPrioritized`] snapshot in the binary wire format.
+pub fn encode_prioritized(out: &mut Vec<u8>, c: &CompactPrioritized) {
+    put_u32(out, c.version);
+    put_usize(out, c.capacity);
+    put_f64(out, c.alpha);
+    put_f64(out, c.epsilon);
+    put_usize(out, c.head);
+    put_f64(out, c.max_priority);
+    put_f64_slice(out, &c.tree);
+    put_usize(out, c.prefix_len);
+    put_usize(out, c.suffix_len);
+    put_usize(out, c.dim);
+    put_f32_slice(out, &c.prefix);
+    put_f32_slice(out, &c.suffix);
+    put_f32_slice(out, &c.arena);
+    put_u32_slice(out, &c.refs);
+    put_u32_slice(out, &c.free);
+    put_u32_slice(out, &c.state_idx);
+    put_u32_slice(out, &c.actions);
+    put_f64_slice(out, &c.rewards);
+    put_u32_slice(out, &c.next_idx);
+    put_bool_slice(out, &c.terminals);
+}
+
+/// Reads a [`CompactPrioritized`] snapshot written by
+/// [`encode_prioritized`].
+pub fn decode_prioritized(r: &mut &[u8]) -> io::Result<CompactPrioritized> {
+    let version = get_u32(r)?;
+    if version != COMPACT_FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported replay snapshot version {version} (expected {COMPACT_FORMAT_VERSION})"
+        )));
+    }
+    Ok(CompactPrioritized {
+        version,
+        capacity: get_usize(r)?,
+        alpha: get_f64(r)?,
+        epsilon: get_f64(r)?,
+        head: get_usize(r)?,
+        max_priority: get_f64(r)?,
+        tree: get_f64_vec(r)?,
+        prefix_len: get_usize(r)?,
+        suffix_len: get_usize(r)?,
+        dim: get_usize(r)?,
+        prefix: get_f32_vec(r)?,
+        suffix: get_f32_vec(r)?,
+        arena: get_f32_vec(r)?,
+        refs: get_u32_vec(r)?,
+        free: get_u32_vec(r)?,
+        state_idx: get_u32_vec(r)?,
+        actions: get_u32_vec(r)?,
+        rewards: get_f64_vec(r)?,
+        next_idx: get_u32_vec(r)?,
+        terminals: get_bool_vec(r)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_f32(&mut out, -1.5);
+        put_f64(&mut out, std::f64::consts::PI);
+        put_bool(&mut out, true);
+        put_str(&mut out, "résumé");
+        put_f32_slice(&mut out, &[1.0, 2.0]);
+        put_bool_slice(&mut out, &[true, false, true]);
+        let mut r = out.as_slice();
+        assert_eq!(get_u8(&mut r).unwrap(), 7);
+        assert_eq!(get_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut r).unwrap(), u64::MAX - 1);
+        assert_eq!(get_f32(&mut r).unwrap(), -1.5);
+        assert_eq!(get_f64(&mut r).unwrap(), std::f64::consts::PI);
+        assert!(get_bool(&mut r).unwrap());
+        assert_eq!(get_str(&mut r).unwrap(), "résumé");
+        assert_eq!(get_f32_vec(&mut r).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(get_bool_vec(&mut r).unwrap(), vec![true, false, true]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_not_allocated() {
+        let mut out = Vec::new();
+        put_usize(&mut out, usize::MAX / 8);
+        let mut r = out.as_slice();
+        assert!(get_f64_vec(&mut r).is_err());
+    }
+
+    #[test]
+    fn rng_state_resumes_the_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let state = RngState::capture(&rng);
+        let mut encoded = Vec::new();
+        state.encode(&mut encoded);
+        let mut r = encoded.as_slice();
+        let mut restored = RngState::decode(&mut r).unwrap().restore();
+        assert!(r.is_empty());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let payload = b"some training state".to_vec();
+        let bytes = encode_container(&payload);
+        assert_eq!(decode_container(&bytes).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn container_rejects_every_corruption_mode() {
+        let bytes = encode_container(b"payload bytes here");
+        // Truncation (header and payload).
+        assert!(decode_container(&bytes[..10]).is_err());
+        assert!(decode_container(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_container(&long).is_err());
+        // Bad magic.
+        let mut magic = bytes.clone();
+        magic[0] ^= 0xFF;
+        assert!(decode_container(&magic).is_err());
+        // Unknown version.
+        let mut ver = bytes.clone();
+        ver[4] = 0xFE;
+        assert!(decode_container(&ver).is_err());
+        // A single flipped payload bit.
+        let mut flip = bytes.clone();
+        *flip.last_mut().unwrap() ^= 0x01;
+        assert!(decode_container(&flip).is_err());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dqck-mgr-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manager_saves_atomically_and_prunes() {
+        let dir = temp_dir("prune");
+        let mgr = CheckpointManager::new(&dir, 2).unwrap();
+        for ep in 1..=4u64 {
+            mgr.save(ep, &[ep as u8; 8]).unwrap();
+        }
+        let files = mgr.list().unwrap();
+        assert_eq!(
+            files.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // No tmp litter.
+        assert!(fs::read_dir(&dir)
+            .unwrap()
+            .all(|e| !e.unwrap().file_name().to_string_lossy().ends_with(".tmp")));
+        let (ep, payload) = mgr.load_latest_valid().unwrap().unwrap();
+        assert_eq!(ep, 4);
+        assert_eq!(payload, vec![4u8; 8]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_past_corrupt_snapshots() {
+        let dir = temp_dir("fallback");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        mgr.save(1, b"first").unwrap();
+        mgr.save(2, b"second").unwrap();
+        let latest = mgr.save(3, b"third").unwrap();
+        // Truncate the newest file (simulated torn write from a hostile fs).
+        let bytes = fs::read(&latest).unwrap();
+        fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+        let (ep, payload) = mgr.load_latest_valid().unwrap().unwrap();
+        assert_eq!(ep, 2);
+        assert_eq!(payload, b"second");
+        // All corrupt → None, not a panic.
+        for (_, path) in mgr.list().unwrap() {
+            fs::write(path, b"garbage").unwrap();
+        }
+        assert!(mgr.load_latest_valid().unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_codec_roundtrips_through_the_buffer() {
+        use crate::replay::ReplayBuffer;
+        let mut rb = ReplayBuffer::new(8);
+        for i in 0..12usize {
+            let s = vec![i as f32, 0.5];
+            let n = vec![i as f32 + 1.0, 0.5];
+            rb.push_parts(&s, i % 3, i as f64 * 0.25, &n, i % 4 == 0);
+        }
+        let compact = CompactReplay::from(rb.clone());
+        let mut bytes = Vec::new();
+        encode_replay(&mut bytes, &compact);
+        let mut r = bytes.as_slice();
+        let decoded = decode_replay(&mut r).unwrap();
+        assert!(r.is_empty());
+        let back = ReplayBuffer::try_from(decoded).unwrap();
+        // Same bytes when re-encoded → bitwise-identical state.
+        let mut bytes2 = Vec::new();
+        encode_replay(&mut bytes2, &CompactReplay::from(back));
+        assert_eq!(bytes, bytes2);
+    }
+
+    #[test]
+    fn prioritized_codec_roundtrips() {
+        use crate::replay::PrioritizedReplay;
+        let mut rb = PrioritizedReplay::new(8, 0.6);
+        for i in 0..10usize {
+            let s = vec![i as f32];
+            let n = vec![i as f32 + 1.0];
+            rb.push_parts(&s, i % 2, -(i as f64), &n, false);
+        }
+        let compact = CompactPrioritized::from(rb);
+        let mut bytes = Vec::new();
+        encode_prioritized(&mut bytes, &compact);
+        let mut r = bytes.as_slice();
+        let decoded = decode_prioritized(&mut r).unwrap();
+        assert!(r.is_empty());
+        let back = PrioritizedReplay::try_from(decoded).unwrap();
+        let mut bytes2 = Vec::new();
+        encode_prioritized(&mut bytes2, &CompactPrioritized::from(back));
+        assert_eq!(bytes, bytes2);
+    }
+}

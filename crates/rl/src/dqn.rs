@@ -10,13 +10,17 @@
 //! double-DQN rule (paper future-work #4): the online network chooses the
 //! argmax action, the target network evaluates it.
 
-use crate::qfunc::QFunction;
-use crate::replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
+use crate::checkpoint;
+use crate::qfunc::{MlpQ, QFunction};
+use crate::replay::{
+    CompactPrioritized, CompactReplay, FrameLayout, PrioritizedReplay, ReplayBuffer, Transition,
+};
 use crate::schedule::EpsilonSchedule;
 use neural::Matrix;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::io;
 
 /// How the TD target `y` is computed for non-terminal transitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -486,6 +490,111 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// Forces a target-network sync (tests / checkpoint restore).
     pub fn sync_target(&mut self) {
         self.target.sync_from(&self.q);
+    }
+}
+
+impl DqnAgent<MlpQ> {
+    /// Serialises the complete agent — online and target networks (with
+    /// their optimizer moments), replay memory, step counters, last loss,
+    /// and the exploration RNG stream — so [`DqnAgent::read_checkpoint`]
+    /// rebuilds an agent whose every future action, sample, and gradient
+    /// step is bitwise-identical to this one's.
+    pub fn write_checkpoint(&self, out: &mut Vec<u8>) -> io::Result<()> {
+        self.q.write_snapshot(out)?;
+        self.target.write_snapshot(out)?;
+        match &self.replay {
+            Buffer::Uniform(b) => {
+                checkpoint::put_u8(out, 0);
+                checkpoint::encode_replay(out, &CompactReplay::from(b.clone()));
+            }
+            Buffer::Prioritized(b) => {
+                checkpoint::put_u8(out, 1);
+                checkpoint::encode_prioritized(out, &CompactPrioritized::from(b.clone()));
+            }
+        }
+        checkpoint::put_u64(out, self.steps);
+        checkpoint::put_u64(out, self.learn_steps);
+        match self.last_loss {
+            None => checkpoint::put_u8(out, 0),
+            Some(l) => {
+                checkpoint::put_u8(out, 1);
+                checkpoint::put_f32(out, l);
+            }
+        }
+        checkpoint::RngState::capture(&self.rng).encode(out);
+        Ok(())
+    }
+
+    /// Rebuilds an agent from [`DqnAgent::write_checkpoint`] bytes under
+    /// the caller-supplied `config` (hyper-parameters are the run
+    /// configuration's source of truth and are not persisted).
+    ///
+    /// Construction goes through [`DqnAgent::new`] for its invariant
+    /// checks; the freshly-synced target it builds is then replaced with
+    /// the stored one — parameters *and* optimizer moments — so a restore
+    /// in the middle of a target-update period keeps the exact frozen
+    /// network, and a decode → re-encode round trip is the identity.
+    pub fn read_checkpoint(r: &mut &[u8], config: DqnConfig) -> io::Result<Self> {
+        fn bad(msg: impl Into<String>) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.into())
+        }
+        let q = MlpQ::read_snapshot(r)?;
+        let target = MlpQ::read_snapshot(r)?;
+        let tag = checkpoint::get_u8(r)?;
+        let replay = match (tag, config.prioritized_alpha) {
+            (0, None) => {
+                let c = checkpoint::decode_replay(r)?;
+                if c.capacity != config.replay_capacity {
+                    return Err(bad(format!(
+                        "replay capacity {} in checkpoint disagrees with the config's {}",
+                        c.capacity, config.replay_capacity
+                    )));
+                }
+                Buffer::Uniform(ReplayBuffer::try_from(c).map_err(bad)?)
+            }
+            (1, Some(_)) => {
+                let c = checkpoint::decode_prioritized(r)?;
+                if c.capacity != config.replay_capacity {
+                    return Err(bad(format!(
+                        "replay capacity {} in checkpoint disagrees with the config's {}",
+                        c.capacity, config.replay_capacity
+                    )));
+                }
+                Buffer::Prioritized(PrioritizedReplay::try_from(c).map_err(bad)?)
+            }
+            (0 | 1, _) => {
+                return Err(bad(
+                    "replay kind in checkpoint disagrees with the config's prioritized_alpha",
+                ))
+            }
+            (t, _) => return Err(bad(format!("unknown replay kind tag {t}"))),
+        };
+        let steps = checkpoint::get_u64(r)?;
+        let learn_steps = checkpoint::get_u64(r)?;
+        let last_loss = match checkpoint::get_u8(r)? {
+            0 => None,
+            1 => Some(checkpoint::get_f32(r)?),
+            t => return Err(bad(format!("unknown last-loss tag {t}"))),
+        };
+        let rng = checkpoint::RngState::decode(r)?.restore();
+        if target.state_dim() != q.state_dim() || target.n_actions() != q.n_actions() {
+            return Err(bad("target network shape disagrees with the online network"));
+        }
+        let mut agent = DqnAgent::new(q, config);
+        agent.target = target;
+        agent.replay = replay;
+        agent.steps = steps;
+        agent.learn_steps = learn_steps;
+        agent.last_loss = last_loss;
+        agent.rng = rng;
+        Ok(agent)
+    }
+
+    /// Replaces the exploration RNG stream. Divergence-watchdog rollbacks
+    /// need this: replaying the checkpoint with the original stream would
+    /// deterministically reproduce the exact trajectory that diverged.
+    pub fn reseed_exploration(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
     }
 }
 

@@ -18,12 +18,17 @@
 //!   rule as a switch (future work #4).
 //! * [`training`] — a generic episode loop emitting per-episode statistics,
 //!   including the paper's Figure 4 metric (average max predicted Q).
+//! * [`checkpoint`] — crash-safe snapshots of the complete training state:
+//!   a checksummed container written atomically, RNG-stream capture, and
+//!   binary codecs for the replay memory, with keep-last-K retention and
+//!   corruption-aware recovery.
 //! * [`toy`] — small deterministic MDPs used to validate learning
 //!   end-to-end in tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dqn;
 pub mod env;
 pub mod nstep;
@@ -35,6 +40,7 @@ pub mod toy;
 pub mod training;
 pub mod vecenv;
 
+pub use checkpoint::{CheckpointManager, RngState};
 pub use dqn::{DqnAgent, DqnConfig, TargetRule};
 pub use env::{clip_reward, Environment, StepOutcome};
 pub use nstep::NStepAccumulator;
@@ -42,5 +48,5 @@ pub use qfunc::{DuelingQ, MlpQ, QFunction};
 pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
 pub use tabular::TabularQ;
-pub use training::{train, EpisodeStats, TrainOptions};
+pub use training::{train, train_from, EpisodeStats, TrainOptions};
 pub use vecenv::{act_batch, collect_vectorized, VecEnv, VecTrainReport};

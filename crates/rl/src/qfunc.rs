@@ -13,6 +13,7 @@ use neural::{Activation, Dense, Loss, Matrix, Mlp, MlpSpec, Optimizer, Optimizer
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::io::{self, Read, Write};
 
 /// A trainable action-value function `Q(s, ·)`.
 pub trait QFunction: Clone + Send {
@@ -139,6 +140,70 @@ impl MlpQ {
     /// The underlying network (e.g. for checkpointing).
     pub fn mlp(&self) -> &Mlp {
         &self.mlp
+    }
+
+    /// Serialises the full trainable state — weights, optimizer moments,
+    /// loss, and clip setting — so a restored network takes bitwise-identical
+    /// training steps. Binary, little-endian, built on [`Mlp::save`] and
+    /// [`Optimizer::save`].
+    pub fn write_snapshot(&self, w: &mut impl Write) -> io::Result<()> {
+        self.mlp.save(&mut *w)?;
+        self.optimizer.save(&mut *w)?;
+        match self.loss {
+            Loss::Mse => w.write_all(&[0u8])?,
+            Loss::Huber { delta } => {
+                w.write_all(&[1u8])?;
+                w.write_all(&delta.to_le_bytes())?;
+            }
+        }
+        match self.grad_clip_norm {
+            None => w.write_all(&[0u8])?,
+            Some(n) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&n.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`MlpQ::write_snapshot`].
+    pub fn read_snapshot(r: &mut impl Read) -> io::Result<MlpQ> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg)
+        }
+        fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            Ok(f32::from_le_bytes(b))
+        }
+        let mlp = Mlp::load(&mut *r)?;
+        let optimizer = Optimizer::load(&mut *r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let loss = match tag[0] {
+            0 => Loss::Mse,
+            1 => Loss::Huber { delta: read_f32(r)? },
+            _ => return Err(bad("unknown loss tag in Q-network snapshot")),
+        };
+        r.read_exact(&mut tag)?;
+        let grad_clip_norm = match tag[0] {
+            0 => None,
+            1 => {
+                let n = read_f32(r)?;
+                if n.is_nan() || n <= 0.0 {
+                    return Err(bad("grad-clip norm must be positive"));
+                }
+                Some(n)
+            }
+            _ => return Err(bad("unknown grad-clip tag in Q-network snapshot")),
+        };
+        Ok(MlpQ {
+            mlp,
+            optimizer,
+            loss,
+            grad_clip_norm,
+            scratch: RefCell::new(ActScratch::default()),
+        })
     }
 }
 

@@ -60,6 +60,20 @@ pub fn train<E: Environment, Q: QFunction>(
     env: &mut E,
     agent: &mut DqnAgent<Q>,
     options: TrainOptions,
+    on_episode: impl FnMut(&EpisodeStats),
+) -> Vec<EpisodeStats> {
+    train_from(env, agent, options, 0, on_episode)
+}
+
+/// [`train`] starting at episode index `start_episode` — the resume path:
+/// a run restored from a checkpoint taken after episode `k` continues with
+/// `train_from(…, k, …)` and produces exactly the episodes `k..episodes`
+/// an uninterrupted run would have produced.
+pub fn train_from<E: Environment, Q: QFunction>(
+    env: &mut E,
+    agent: &mut DqnAgent<Q>,
+    options: TrainOptions,
+    start_episode: usize,
     mut on_episode: impl FnMut(&EpisodeStats),
 ) -> Vec<EpisodeStats> {
     assert_eq!(
@@ -73,8 +87,8 @@ pub fn train<E: Environment, Q: QFunction>(
         "environment/agent action-count mismatch"
     );
 
-    let mut all = Vec::with_capacity(options.episodes);
-    for episode in 0..options.episodes {
+    let mut all = Vec::with_capacity(options.episodes.saturating_sub(start_episode));
+    for episode in start_episode..options.episodes {
         let mut state = env.reset();
         let mut total_reward = 0.0;
         let mut q_sum = 0.0f64;
