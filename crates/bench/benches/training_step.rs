@@ -1,11 +1,80 @@
 //! **Algorithm 2 bench** — the cost of the DQN-Docking inner loop:
 //! environment steps, minibatch gradient steps, and whole short episodes,
-//! on the scaled configuration.
+//! on the scaled configuration — plus scratch-vs-reference comparisons of
+//! the gradient step itself (the allocating `train_step` baseline against
+//! the zero-allocation `train_step_reusing` pipeline; results recorded in
+//! `BENCH_train_step.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dqn_docking::{trainer, Config, DockingEnv};
+use neural::{Loss, Matrix, Mlp, MlpSpec, OptimizerSpec, TrainScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rl::{Environment, Transition};
 use std::hint::black_box;
+
+/// The paper-shape fixture for the scratch-vs-reference groups:
+/// 16,599 → 135 → 135 → 12 with a 32-row minibatch.
+fn paper_fixture() -> (Mlp, Matrix, Matrix) {
+    let spec = MlpSpec::q_network(16_599, &[135, 135], 12);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mlp = Mlp::new(&spec, &mut rng);
+    let x = Matrix::from_fn(32, spec.input, |r, c| ((r * 131 + c) as f32 * 0.0007).sin());
+    let y = Matrix::from_fn(32, spec.output, |r, c| ((r + 3 * c) as f32 * 0.09).cos());
+    (mlp, x, y)
+}
+
+fn train_step_reference_vs_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step/paper_shape_b32");
+    {
+        let (mut mlp, x, y) = paper_fixture();
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        group.bench_function("allocating_reference", |b| {
+            b.iter(|| black_box(mlp.train_step(&x, &y, Loss::Mse, &mut opt)))
+        });
+    }
+    {
+        let (mut mlp, x, y) = paper_fixture();
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        let mut scratch = TrainScratch::new();
+        group.bench_function("scratch_reusing", |b| {
+            b.iter(|| black_box(mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+fn backward_reference_vs_scratch(c: &mut Criterion) {
+    // Isolates the gradient computation (forward + backward, no optimizer).
+    let mut group = c.benchmark_group("loss_and_grads/paper_shape_b32");
+    let (mlp, x, y) = paper_fixture();
+    group.bench_function("allocating_reference", |b| {
+        b.iter(|| black_box(mlp.loss_and_grads(&x, &y, Loss::Mse)))
+    });
+    let mut scratch = TrainScratch::new();
+    group.bench_function("scratch_reusing", |b| {
+        b.iter(|| black_box(mlp.loss_and_grads_reusing(&x, &y, Loss::Mse, &mut scratch)))
+    });
+    group.finish();
+}
+
+fn predict_reference_vs_scratch(c: &mut Criterion) {
+    // The act-path single-state Q-value read used every environment step.
+    let mut group = c.benchmark_group("predict/paper_shape_single_state");
+    let (mlp, x, _) = paper_fixture();
+    let state: Vec<f32> = x.data()[..16_599].to_vec();
+    group.bench_function("allocating_predict", |b| {
+        b.iter(|| black_box(mlp.predict(black_box(&state))))
+    });
+    let mut out = Vec::new();
+    group.bench_function("predict_into", |b| {
+        b.iter(|| {
+            mlp.predict_into(black_box(&state), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
 
 fn env_step(c: &mut Criterion) {
     let config = Config::scaled();
@@ -59,6 +128,8 @@ fn short_episode(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = env_step, minibatch_gradient_step, short_episode
+    targets = env_step, minibatch_gradient_step, short_episode,
+        train_step_reference_vs_scratch, backward_reference_vs_scratch,
+        predict_reference_vs_scratch
 }
 criterion_main!(benches);

@@ -54,7 +54,18 @@ impl Policy {
     /// # Panics
     /// If the state width does not match the network input.
     pub fn action_and_max_q(&self, state: &[f32]) -> (usize, f32) {
-        let qs = self.mlp.predict(state);
+        let mut qs = Vec::new();
+        self.action_and_max_q_into(state, &mut qs)
+    }
+
+    /// [`Policy::action_and_max_q`] with the Q-row landing in a
+    /// caller-owned buffer, so rollout loops reuse one hoisted `Vec`
+    /// instead of allocating per step. Same argmax, same values.
+    ///
+    /// # Panics
+    /// If the state width does not match the network input.
+    pub fn action_and_max_q_into(&self, state: &[f32], qs: &mut Vec<f32>) -> (usize, f32) {
+        self.mlp.predict_into(state, qs);
         qs.iter()
             .copied()
             .enumerate()
@@ -156,8 +167,9 @@ pub fn rollout(env: &mut DockingEnv, policy: &Policy, max_steps: usize) -> Traje
     let mut state = env.reset();
     let mut steps = Vec::new();
     let mut terminated = false;
+    let mut qs: Vec<f32> = Vec::new();
     for t in 0..max_steps {
-        let action = policy.action(&state);
+        let (action, _) = policy.action_and_max_q_into(&state, &mut qs);
         let out = env.step(action);
         steps.push(TrajectoryStep {
             t,
@@ -277,7 +289,15 @@ mod tests {
         let (config, policy) = setup();
         let mut env = DockingEnv::from_config(&config);
         let tr = rollout(&mut env, &policy, 10);
-        assert!(tr.best_score() >= tr.steps.iter().map(|s| s.score).fold(f64::NEG_INFINITY, f64::max) - 1e-12);
+        assert!(
+            tr.best_score()
+                >= tr
+                    .steps
+                    .iter()
+                    .map(|s| s.score)
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    - 1e-12
+        );
         let csv = tr.to_csv();
         assert_eq!(csv.lines().count(), tr.steps.len() + 1);
         assert!(csv.starts_with("t,action,"));

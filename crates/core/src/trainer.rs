@@ -326,6 +326,8 @@ pub fn run_checkpointed(
     // Custom loop (mirrors rl::train) so we can observe docking metrics at
     // every step without polluting the generic RL crate. A `while` rather
     // than a `for`: a watchdog rollback moves `episode` backwards.
+    // One Q-value buffer for the whole run, refilled in place each step.
+    let mut qs: Vec<f32> = Vec::new();
     let mut episode = ts.next_episode;
     while episode < options.episodes {
         let mut state = env.reset();
@@ -345,7 +347,7 @@ pub fn run_checkpointed(
             // One forward pass per step: the same Q-row feeds the Figure-4
             // max-Q metric and ε-greedy selection (identical policy and RNG
             // draws to `max_q` + `act`, at half the matmul cost).
-            let qs = agent.q_values(&state);
+            agent.q_values_into(&state, &mut qs);
             let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
             if wd.enabled && (!max_q.is_finite() || max_q.abs() > wd.max_abs_q) {
                 trip = Some(format!(
@@ -425,12 +427,9 @@ pub fn run_checkpointed(
                     // Replaying the checkpoint with the original stream
                     // would reproduce the diverging trajectory draw for
                     // draw; give exploration a fresh deterministic stream.
-                    agent.reseed_exploration(
-                        config
-                            .dqn
-                            .seed
-                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rollbacks_used as u64)),
-                    );
+                    agent.reseed_exploration(config.dqn.seed.wrapping_add(
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rollbacks_used as u64),
+                    ));
                     episode = ts.next_episode;
                     continue;
                 }
@@ -471,7 +470,8 @@ pub fn run_checkpointed(
                 let mut eval_best = env.score();
                 let mut eval_rmsd = env.rmsd_to_crystal();
                 for _ in 0..config.max_steps {
-                    let action = agent.greedy_action(&state);
+                    agent.q_values_into(&state, &mut qs);
+                    let action = agent.greedy_from_q(&qs);
                     let out = env.step(action);
                     if env.score() > eval_best {
                         eval_best = env.score();

@@ -31,8 +31,16 @@ pub(crate) mod core;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
+
+std::thread_local! {
+    /// Per-thread KC×NC B-panel pack reused by the serial `A·B` paths, so a
+    /// steady-state training step performs no heap allocation (the panel is
+    /// grown once and kept warm). The parallel path keeps its per-task pack.
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Which implementation computes the matrix products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -103,18 +111,73 @@ pub fn set_default_kernel(kernel: MatmulKernel) {
     KERNEL_OVERRIDE.store(tag, Ordering::Relaxed);
 }
 
+/// Process-wide parallelism switch set by [`set_parallel`]:
+/// 0 = unset (fall back to the environment), 1 = off, 2 = on.
+static PARALLEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Parallelism resolved from `NEURAL_PARALLEL` once, on first use.
+static ENV_PARALLEL: OnceLock<bool> = OnceLock::new();
+
+/// Whether the blocked kernels (and the chunked optimizer) may fan work out
+/// to the rayon pool. Resolution order: [`set_parallel`] override, then the
+/// `NEURAL_PARALLEL` environment variable (`0`/`off`/`false` disable; read
+/// once), then on. Results are bitwise identical either way — this is a
+/// scheduling switch, not a numerics switch; the zero-allocation test uses
+/// it to keep every kernel on the calling thread where its counting
+/// allocator can see (and prove the absence of) allocations.
+pub fn parallel_enabled() -> bool {
+    match PARALLEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENV_PARALLEL.get_or_init(|| {
+            !std::env::var("NEURAL_PARALLEL")
+                .map(|v| {
+                    matches!(
+                        v.to_ascii_lowercase().as_str(),
+                        "0" | "off" | "false" | "no"
+                    )
+                })
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Overrides the process-wide parallelism switch (tests, single-thread
+/// benchmarking).
+pub fn set_parallel(enabled: bool) {
+    PARALLEL_OVERRIDE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
 /// Whether a `(m, k, n)` multiply is large enough to fan out.
 #[inline]
 fn parallel_worthwhile(m: usize, k: usize, n: usize, rows_per_chunk: usize) -> bool {
     let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
-    m > rows_per_chunk && flops >= PAR_FLOP_THRESHOLD
+    m > rows_per_chunk && flops >= PAR_FLOP_THRESHOLD && parallel_enabled()
 }
 
 /// Blocked `A·B`: `(m,k)·(k,n) → (m,n)`.
 pub(crate) fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
+    let mut out = Vec::new();
+    matmul_blocked_into(a, b, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_blocked`] writing into a caller-owned buffer (resized to
+/// `m·n`). Bitwise identical to the allocating form; the serial path packs
+/// B panels into the thread-local [`PACK`] scratch so warm calls allocate
+/// nothing.
+pub(crate) fn matmul_blocked_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.resize(m * n, 0.0);
     if m == 0 || n == 0 || k == 0 {
-        return out;
+        return;
     }
     if parallel_worthwhile(m, k, n, core::MC) {
         out.par_chunks_mut(core::MC * n)
@@ -123,12 +186,13 @@ pub(crate) fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize)
                 core::matmul_block(a, k, n, b, c * core::MC, rows, pack);
             });
     } else {
-        let mut pack = Vec::new();
-        for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
-            core::matmul_block(a, k, n, b, c * core::MC, rows, &mut pack);
-        }
+        PACK.with(|cell| {
+            let pack = &mut *cell.borrow_mut();
+            for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
+                core::matmul_block(a, k, n, b, c * core::MC, rows, pack);
+            }
+        });
     }
-    out
 }
 
 /// Blocked `A·Bᵀ`: `(m,k)·(n,k)ᵀ → (m,n)`. Four rows per parallel chunk:
@@ -151,8 +215,13 @@ pub(crate) fn matmul_tb_blocked_into(
     n: usize,
     out: &mut Vec<f32>,
 ) {
-    out.clear();
-    out.resize(m * n, 0.0);
+    // No zero-fill on the reuse path: the kernel assigns every output
+    // element (including `k == 0`, where each dot product is an empty sum
+    // and assigns 0.0), so stale contents never survive.
+    if out.len() != m * n {
+        out.clear();
+        out.resize(m * n, 0.0);
+    }
     if m == 0 || n == 0 {
         return;
     }
@@ -162,9 +231,11 @@ pub(crate) fn matmul_tb_blocked_into(
             .enumerate()
             .for_each(|(c, rows)| core::matmul_tb_block(a, k, b, n, c * ROWS, rows));
     } else {
-        for (c, rows) in out.chunks_mut(ROWS * n).enumerate() {
-            core::matmul_tb_block(a, k, b, n, c * ROWS, rows);
-        }
+        // One block spanning every row: each KC-deep B panel is read once
+        // for the whole output instead of once per 4-row chunk. Chunking is
+        // a scheduling choice only — the per-element accumulation order is
+        // identical either way.
+        core::matmul_tb_block(a, k, b, n, 0, out);
     }
 }
 
@@ -176,9 +247,36 @@ pub(crate) fn transpose_matmul_blocked(
     m: usize,
     n: usize,
 ) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    if m == 0 || n == 0 || kdim == 0 {
-        return out;
+    let mut out = Vec::new();
+    transpose_matmul_blocked_into(a, b, kdim, m, n, &mut out);
+    out
+}
+
+/// [`transpose_matmul_blocked`] writing into a caller-owned buffer (resized
+/// to `m·n`), so the backward pass's `dW = dZᵀ·X` lands in persistent
+/// gradient storage. Bitwise identical to the allocating form.
+pub(crate) fn transpose_matmul_blocked_into(
+    a: &[f32],
+    b: &[f32],
+    kdim: usize,
+    m: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    // No zero-fill on the reuse path: the kernel's `p = 0` pass assigns
+    // (bitwise-equivalently to zero-init + accumulate, see
+    // `transpose_matmul_block`), so stale contents never survive. At the
+    // paper's `dW` shape this spares an 8.9 MB memset per training step.
+    if out.len() != m * n {
+        out.clear();
+        out.resize(m * n, 0.0);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if kdim == 0 {
+        out.fill(0.0);
+        return;
     }
     if parallel_worthwhile(m, kdim, n, core::MC) {
         out.par_chunks_mut(core::MC * n)
@@ -191,7 +289,6 @@ pub(crate) fn transpose_matmul_blocked(
             core::transpose_matmul_block(a, kdim, m, b, n, c * core::MC, rows);
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -43,7 +43,10 @@ impl Dense {
         init: WeightInit,
         rng: &mut R,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "degenerate layer shape");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "degenerate layer shape"
+        );
         Dense {
             weights: init.sample(out_features, in_features, rng),
             bias: vec![0.0; out_features],
@@ -108,6 +111,37 @@ impl Dense {
         let d_input = d_z.matmul(&self.weights);
         (DenseGrads { d_weights, d_bias }, d_input)
     }
+
+    /// [`Dense::backward`] without the cache struct or any allocation:
+    /// the activation derivative is fused in place into `d_output`
+    /// (`dZ = dY ⊙ f'(y)`, clobbering `dY`), and the three products land
+    /// in caller-owned storage. `d_input` is `None` for the first layer,
+    /// whose input gradient nobody consumes.
+    ///
+    /// The fused epilogue performs exactly the multiply `zip_map` would
+    /// (`g * f'(y)` per element, same order), so gradients are bitwise
+    /// identical to [`Dense::backward`].
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        d_output: &mut Matrix,
+        grads: &mut DenseGrads,
+        d_input: Option<&mut Matrix>,
+    ) {
+        debug_assert_eq!(d_output.rows(), output.rows());
+        debug_assert_eq!(d_output.cols(), output.cols());
+        let act = self.activation;
+        for (g, &y) in d_output.data_mut().iter_mut().zip(output.data()) {
+            *g *= act.derivative_from_output(y);
+        }
+        // dW = dZᵀ · X ; db = colsum(dZ) ; dX = dZ · W.
+        d_output.transpose_matmul_into(input, &mut grads.d_weights);
+        d_output.column_sums_into(&mut grads.d_bias);
+        if let Some(d_in) = d_input {
+            d_output.matmul_into(&self.weights, d_in);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +200,34 @@ mod tests {
         let (grads, _) = l.backward(&cache, &d_out);
         assert_eq!(grads.d_weights.data(), &[5.0, 7.0, 9.0, 5.0, 7.0, 9.0]);
         assert_eq!(grads.d_bias, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_into_is_bitwise_identical_to_backward() {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Linear] {
+            let l = layer(act);
+            let x = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f32 * 0.37).sin()).collect());
+            let cache = l.forward_cached(&x);
+            let d_out = Matrix::from_vec(4, 2, (0..8).map(|i| (i as f32 * 0.7).cos()).collect());
+            let (grads_ref, d_in_ref) = l.backward(&cache, &d_out);
+
+            let mut d = d_out.clone();
+            let mut grads = DenseGrads {
+                d_weights: Matrix::zeros(1, 1),
+                d_bias: Vec::new(),
+            };
+            let mut d_in = Matrix::zeros(1, 1);
+            l.backward_into(
+                &cache.input,
+                &cache.output,
+                &mut d,
+                &mut grads,
+                Some(&mut d_in),
+            );
+            assert_eq!(grads.d_weights, grads_ref.d_weights, "{act:?}");
+            assert_eq!(grads.d_bias, grads_ref.d_bias, "{act:?}");
+            assert_eq!(d_in, d_in_ref, "{act:?}");
+        }
     }
 
     #[test]

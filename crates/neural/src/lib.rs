@@ -18,7 +18,9 @@
 //! * [`loss`] — MSE and Huber losses;
 //! * [`optimizer`] — SGD (+momentum), RMSprop (the paper's choice) and Adam;
 //! * [`network`] — the [`network::Mlp`] tying it together, with binary
-//!   save/load for checkpointing trained agents.
+//!   save/load for checkpointing trained agents;
+//! * [`scratch`] — the persistent [`scratch::TrainScratch`] buffers behind
+//!   the zero-allocation training step (`Mlp::train_step_reusing`).
 //!
 //! Everything is `f32` (the DL convention; also halves the memory of the
 //! paper-scale 16,599-input network) and deterministic given a seeded RNG.
@@ -36,13 +38,15 @@ pub mod loss;
 pub mod matrix;
 pub mod network;
 pub mod optimizer;
+pub mod scratch;
 
 pub use activation::Activation;
 pub use clip::{clip_by_global_norm, global_norm};
-pub use gemm::{default_kernel, set_default_kernel, MatmulKernel};
+pub use gemm::{default_kernel, parallel_enabled, set_default_kernel, set_parallel, MatmulKernel};
 pub use init::WeightInit;
 pub use layer::Dense;
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use network::{Mlp, MlpSpec};
 pub use optimizer::{Optimizer, OptimizerSpec};
+pub use scratch::TrainScratch;

@@ -44,6 +44,39 @@ impl Loss {
         prediction.zip_map(target, |p, t| self.pointwise_grad(p - t) / n)
     }
 
+    /// [`Loss::gradient`] writing into a caller-owned matrix (reshaped,
+    /// buffer reused). Same elementwise traversal order as the allocating
+    /// form, so results are bitwise identical.
+    pub fn gradient_into(&self, prediction: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(prediction.rows(), target.rows(), "loss shape mismatch");
+        assert_eq!(prediction.cols(), target.cols(), "loss shape mismatch");
+        let n = (prediction.rows() * prediction.cols()).max(1) as f32;
+        out.reshape_fill(prediction.rows(), prediction.cols(), 0.0);
+        for ((o, &p), &t) in out
+            .data_mut()
+            .iter_mut()
+            .zip(prediction.data())
+            .zip(target.data())
+        {
+            *o = self.pointwise_grad(p - t) / n;
+        }
+    }
+
+    /// The pointwise loss term for a single error `err = p − t`, before
+    /// the mean. Exposed so the masked TD loss (gradient only on taken
+    /// actions) can reuse exactly the same arithmetic as [`Loss::value`].
+    #[inline]
+    pub fn pointwise_value(&self, err: f32) -> f32 {
+        self.pointwise(err)
+    }
+
+    /// The pointwise gradient term for a single error `err`, before the
+    /// `1/n` mean factor. Companion of [`Loss::pointwise_value`].
+    #[inline]
+    pub fn pointwise_gradient(&self, err: f32) -> f32 {
+        self.pointwise_grad(err)
+    }
+
     #[inline]
     fn pointwise(&self, err: f32) -> f32 {
         match *self {
@@ -138,5 +171,16 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn shape_mismatch_panics() {
         let _ = Loss::Mse.value(&m(&[1.0]), &m(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn gradient_into_is_bitwise_identical_to_allocating() {
+        for loss in [Loss::Mse, Loss::Huber { delta: 0.7 }] {
+            let p = m(&[0.3, -1.5, 2.0, 0.0]);
+            let t = m(&[0.0, 0.25, 0.5, -4.0]);
+            let mut out = Matrix::zeros(7, 2); // mis-shaped: must reshape
+            loss.gradient_into(&p, &t, &mut out);
+            assert_eq!(out, loss.gradient(&p, &t), "{loss:?}");
+        }
     }
 }

@@ -130,8 +130,17 @@ impl Matrix {
     /// lives only here in the naive kernel; the blocked kernel is
     /// branchless.
     fn matmul_naive(&self, other: &Matrix) -> Matrix {
-        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let (m, n) = (self.rows, other.cols);
         let mut out = Matrix::zeros(m, n);
+        self.matmul_naive_into(other, &mut out);
+        out
+    }
+
+    /// The naive `A·B` loop writing into a pre-shaped, pre-zeroed `out` —
+    /// the shared body of the allocating and buffer-reusing entry points,
+    /// so both are bitwise identical by construction.
+    fn matmul_naive_into(&self, other: &Matrix, out: &mut Matrix) {
+        let (m, k) = (self.rows, self.cols);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -145,7 +154,33 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned matrix, which is
+    /// reshaped to `(m, n)` reusing its heap buffer. The backward pass's
+    /// `dX = dZ·W` lands in persistent ping/pong scratch through this, so
+    /// no per-layer matrix is allocated per training step. Results are
+    /// bitwise identical to the allocating form for both kernels.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(other, out, gemm::default_kernel());
+    }
+
+    /// [`Matrix::matmul_into`] with an explicit kernel choice.
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, kernel: MatmulKernel) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.rows = m;
+        out.cols = n;
+        match kernel {
+            MatmulKernel::Naive => {
+                out.data.clear();
+                out.data.resize(m * n, 0.0);
+                self.matmul_naive_into(other, out);
+            }
+            MatmulKernel::Blocked => {
+                gemm::matmul_blocked_into(&self.data, &other.data, m, k, n, &mut out.data);
+            }
+        }
     }
 
     /// `self · otherᵀ` — shapes `(m,k)·(n,k)ᵀ → (m,n)`, computed with the
@@ -254,9 +289,31 @@ impl Matrix {
 
     /// The scalar reference `Aᵀ·B` with the same ReLU zero-skip as
     /// [`Matrix::matmul_naive`] (and the same dense-input caveat).
+    ///
+    /// Caveat: in backprop this shape computes `dW = dZᵀ·X`, where A = dZ
+    /// is a *gradient* matrix. Gradients are only sparse behind a ReLU (or
+    /// for the masked TD loss); behind sigmoid/tanh/linear layers dZ is
+    /// dense and the `a == 0.0` branch is pure overhead — every element is
+    /// tested, none is skipped. The skip is still *correct* on dense
+    /// inputs (skipping a zero contribution never changes the in-order
+    /// accumulation: `acc + 0.0 * b == acc` exactly in IEEE-754 for the
+    /// finite values produced here), it is just slower; the branchless
+    /// blocked kernel is the production path. The
+    /// `naive_and_blocked_agree_bitwise_on_relu_sparse_gradients` test in
+    /// `tests/gemm_parity.rs` pins the Naive/Blocked agreement on exactly
+    /// this ReLU-sparse `dW` shape at the paper architecture.
     fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
-        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let (m, n) = (self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
+        self.transpose_matmul_naive_into(other, &mut out);
+        out
+    }
+
+    /// The naive `Aᵀ·B` loop writing into a pre-shaped, pre-zeroed `out` —
+    /// the shared body of the allocating and buffer-reusing entry points,
+    /// so both are bitwise identical by construction.
+    fn transpose_matmul_naive_into(&self, other: &Matrix, out: &mut Matrix) {
+        let (k, m) = (self.rows, self.cols);
         for p in 0..k {
             let a_row = self.row(p);
             let b_row = other.row(p);
@@ -270,7 +327,45 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// [`Matrix::transpose_matmul`] writing into a caller-owned matrix,
+    /// which is reshaped to `(m, n)` reusing its heap buffer. The backward
+    /// pass's `dW = dZᵀ·X` lands in persistent gradient storage through
+    /// this. Results are bitwise identical to the allocating form for both
+    /// kernels.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.transpose_matmul_into_with(other, out, gemm::default_kernel());
+    }
+
+    /// [`Matrix::transpose_matmul_into`] with an explicit kernel choice.
+    pub fn transpose_matmul_into_with(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        kernel: MatmulKernel,
+    ) {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        out.rows = m;
+        out.cols = n;
+        match kernel {
+            MatmulKernel::Naive => {
+                out.data.clear();
+                out.data.resize(m * n, 0.0);
+                self.transpose_matmul_naive_into(other, out);
+            }
+            MatmulKernel::Blocked => {
+                gemm::transpose_matmul_blocked_into(
+                    &self.data,
+                    &other.data,
+                    k,
+                    m,
+                    n,
+                    &mut out.data,
+                );
+            }
+        }
     }
 
     /// Adds a row vector to every row (bias broadcast).
@@ -285,13 +380,42 @@ impl Matrix {
 
     /// Column sums (the bias gradient shape).
     pub fn column_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = Vec::new();
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::column_sums`] writing into a caller-owned buffer (resized
+    /// to `cols`), so the backward pass's `db = colsum(dZ)` lands in
+    /// persistent gradient storage. Bitwise identical to the allocating
+    /// form: same row-major accumulation order.
+    pub fn column_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
+    }
+
+    /// Reshapes to `(rows, cols)` and fills with `value`, reusing the heap
+    /// buffer. Scratch staging for in-place TD-target / masked-gradient
+    /// builds.
+    pub fn reshape_fill(&mut self, rows: usize, cols: usize, value: f32) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, value);
+    }
+
+    /// Becomes an element-for-element copy of `other`, reusing the heap
+    /// buffer (no allocation once capacity suffices).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Elementwise map into a new matrix.
@@ -348,7 +472,10 @@ impl Matrix {
 
     /// Maximum element of row `r`.
     pub fn max_row(&self, r: usize) -> f32 {
-        self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.row(r)
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Whether all entries are finite.
@@ -402,7 +529,11 @@ mod tests {
     #[test]
     fn matmul_transpose_b_matches_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 0.0, -1.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 2.0],
+        );
         let fast = a.matmul_transpose_b(&b);
         let slow = a.matmul(&b.transpose());
         assert_eq!(fast, slow);
@@ -410,8 +541,16 @@ mod tests {
 
     #[test]
     fn matmul_transpose_b_into_matches_allocating_for_both_kernels() {
-        let a = m(3, 5, &(0..15).map(|i| (i as f32 * 0.7).sin()).collect::<Vec<_>>());
-        let b = m(4, 5, &(0..20).map(|i| (i as f32 * 0.3).cos()).collect::<Vec<_>>());
+        let a = m(
+            3,
+            5,
+            &(0..15).map(|i| (i as f32 * 0.7).sin()).collect::<Vec<_>>(),
+        );
+        let b = m(
+            4,
+            5,
+            &(0..20).map(|i| (i as f32 * 0.3).cos()).collect::<Vec<_>>(),
+        );
         // Deliberately mis-shaped scratch: `_into` must reshape it.
         let mut out = Matrix::zeros(1, 1);
         for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
@@ -419,6 +558,67 @@ mod tests {
             let expected = a.matmul_transpose_b_with(&b, kernel);
             assert_eq!(out, expected, "{kernel:?}");
         }
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_for_both_kernels() {
+        let a = m(
+            3,
+            5,
+            &(0..15).map(|i| (i as f32 * 0.9).sin()).collect::<Vec<_>>(),
+        );
+        let b = m(
+            5,
+            4,
+            &(0..20).map(|i| (i as f32 * 0.4).cos()).collect::<Vec<_>>(),
+        );
+        let mut out = Matrix::zeros(2, 7); // mis-shaped: `_into` must reshape
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            a.matmul_into_with(&b, &mut out, kernel);
+            assert_eq!(out, a.matmul_with(&b, kernel), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_into_matches_allocating_for_both_kernels() {
+        let a = m(
+            5,
+            3,
+            &(0..15).map(|i| (i as f32 * 1.1).sin()).collect::<Vec<_>>(),
+        );
+        let b = m(
+            5,
+            4,
+            &(0..20).map(|i| (i as f32 * 0.6).cos()).collect::<Vec<_>>(),
+        );
+        let mut out = Matrix::zeros(9, 1);
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            a.transpose_matmul_into_with(&b, &mut out, kernel);
+            assert_eq!(out, a.transpose_matmul_with(&b, kernel), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn column_sums_into_matches_allocating() {
+        let a = m(
+            3,
+            4,
+            &(0..12).map(|i| (i as f32 * 0.31).tan()).collect::<Vec<_>>(),
+        );
+        let mut out = vec![9.0f32; 17]; // stale contents and length
+        a.column_sums_into(&mut out);
+        assert_eq!(out, a.column_sums());
+    }
+
+    #[test]
+    fn reshape_fill_and_copy_from_reuse_buffers() {
+        let mut s = Matrix::zeros(4, 4);
+        s.reshape_fill(2, 3, 1.5);
+        assert_eq!((s.rows(), s.cols()), (2, 3));
+        assert_eq!(s.data(), &[1.5; 6]);
+        let src = m(1, 2, &[7.0, -3.0]);
+        s.copy_from(&src);
+        assert_eq!(s, src);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::layer::{DenseCache, DenseGrads};
 use crate::{Activation, Dense, Loss, Matrix, Optimizer, OptimizerSpec, WeightInit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -54,9 +55,47 @@ impl MlpSpec {
 /// let last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
 /// assert!(last < first);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    /// Per-network inference scratch for [`Mlp::predict_into`]: the row
+    /// vector the input is staged into plus the hidden-activation ping-pong
+    /// pair. Interior-mutable so `predict` can stay `&self`; `Mlp` is
+    /// deliberately not `Sync` (one network per actor thread — see the
+    /// `QFunction` docs in the `rl` crate), so the `RefCell` is never
+    /// contended. Skipped by serde: scratch is shape-derived, not state.
+    #[serde(skip)]
+    predict_scratch: RefCell<PredictScratch>,
+}
+
+/// Scratch buffers behind [`Mlp::predict_into`].
+#[derive(Debug, Clone)]
+struct PredictScratch {
+    /// `(1, input)` staging row for the caller's feature slice.
+    input: Matrix,
+    /// Hidden-activation ping buffer.
+    ping: Matrix,
+    /// Hidden-activation pong buffer.
+    pong: Matrix,
+}
+
+impl Default for PredictScratch {
+    fn default() -> Self {
+        PredictScratch {
+            input: Matrix::zeros(0, 0),
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+/// Equality is parameter equality: the inference scratch is a cache and
+/// must not participate (a freshly loaded network equals the one saved,
+/// warm scratch or not).
+impl PartialEq for Mlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.layers == other.layers
+    }
 }
 
 impl Mlp {
@@ -82,7 +121,10 @@ impl Mlp {
             spec.init,
             rng,
         ));
-        Mlp { layers }
+        Mlp {
+            layers,
+            predict_scratch: RefCell::default(),
+        }
     }
 
     /// The layers (read-only).
@@ -112,7 +154,10 @@ impl Mlp {
 
     /// Inference on a batch `(batch, input)` → `(batch, output)`.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let (first, rest) = self.layers.split_first().expect("MLP has at least one layer");
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("MLP has at least one layer");
         let mut x = first.forward(input);
         for layer in rest {
             x = layer.forward(&x);
@@ -126,7 +171,10 @@ impl Mlp {
     /// the scratch pair per network so the training hot loop performs no
     /// activation allocations.
     pub fn forward_reusing(&self, input: &Matrix, ping: &mut Matrix, pong: &mut Matrix) -> Matrix {
-        let (last, hidden) = self.layers.split_last().expect("MLP has at least one layer");
+        let (last, hidden) = self
+            .layers
+            .split_last()
+            .expect("MLP has at least one layer");
         if hidden.is_empty() {
             return last.forward(input);
         }
@@ -147,10 +195,101 @@ impl Mlp {
         }
     }
 
+    /// [`Mlp::forward_reusing`] with the final result also landing in a
+    /// caller-owned matrix — a fully allocation-free batch forward pass on
+    /// warm buffers. Bitwise identical to [`Mlp::forward`]; the DQN target
+    /// and online networks route `predict_batch` through this.
+    pub fn forward_reusing_into(
+        &self,
+        input: &Matrix,
+        ping: &mut Matrix,
+        pong: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let (last, hidden) = self
+            .layers
+            .split_last()
+            .expect("MLP has at least one layer");
+        if hidden.is_empty() {
+            last.forward_into(input, out);
+            return;
+        }
+        hidden[0].forward_into(input, ping);
+        let mut in_ping = true;
+        for layer in &hidden[1..] {
+            if in_ping {
+                layer.forward_into(&*ping, pong);
+            } else {
+                layer.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            last.forward_into(&*ping, out);
+        } else {
+            last.forward_into(&*pong, out);
+        }
+    }
+
+    /// All layers through caller-owned ping/pong scratch; the result lives
+    /// in whichever buffer the last layer landed in.
+    fn forward_all_into<'a>(
+        &self,
+        input: &Matrix,
+        ping: &'a mut Matrix,
+        pong: &'a mut Matrix,
+    ) -> &'a Matrix {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("MLP has at least one layer");
+        first.forward_into(input, ping);
+        let mut in_ping = true;
+        for layer in rest {
+            if in_ping {
+                layer.forward_into(&*ping, pong);
+            } else {
+                layer.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            &*ping
+        } else {
+            &*pong
+        }
+    }
+
     /// Inference on a single feature vector.
+    ///
+    /// Allocates one `Vec` for the result; the per-call rollout path uses
+    /// [`Mlp::predict_into`] with a hoisted buffer instead.
     pub fn predict(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.predict_into(input, &mut out);
+        out
+    }
+
+    /// [`Mlp::predict`] into a caller-owned buffer (cleared and refilled).
+    /// All intermediates live in the network's internal scratch, so warm
+    /// calls perform no heap allocation. Bitwise identical to
+    /// [`Mlp::predict`].
+    ///
+    /// # Panics
+    /// If `input` does not match the network's input width.
+    pub fn predict_into(&self, input: &[f32], out: &mut Vec<f32>) {
         assert_eq!(input.len(), self.input_size(), "input width mismatch");
-        self.forward(&Matrix::row_vector(input)).data().to_vec()
+        let mut scratch = self.predict_scratch.borrow_mut();
+        let PredictScratch {
+            input: staged,
+            ping,
+            pong,
+        } = &mut *scratch;
+        staged.reshape_fill(1, input.len(), 0.0);
+        staged.data_mut().copy_from_slice(input);
+        let y = self.forward_all_into(staged, ping, pong);
+        out.clear();
+        out.extend_from_slice(y.data());
     }
 
     /// Forward keeping per-layer caches — the advanced API used by custom
@@ -250,17 +389,32 @@ impl Mlp {
     }
 
     /// Copies all parameters from `other` (the DQN target-network sync
-    /// `θ⁻ ← θ`).
+    /// `θ⁻ ← θ`). Destination buffers are reused — the sync is a pure
+    /// `memcpy` into existing storage, never an allocation, so periodic
+    /// target refreshes cost nothing beyond the copy itself.
     ///
     /// # Panics
     /// If architectures differ.
     pub fn copy_weights_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
-            assert_eq!(dst.weights.rows(), src.weights.rows(), "architecture mismatch");
-            assert_eq!(dst.weights.cols(), src.weights.cols(), "architecture mismatch");
-            dst.weights = src.weights.clone();
-            dst.bias = src.bias.clone();
+            assert_eq!(
+                dst.weights.rows(),
+                src.weights.rows(),
+                "architecture mismatch"
+            );
+            assert_eq!(
+                dst.weights.cols(),
+                src.weights.cols(),
+                "architecture mismatch"
+            );
+            assert_eq!(dst.bias.len(), src.bias.len(), "architecture mismatch");
+            dst.weights.data_mut().copy_from_slice(src.weights.data());
+            dst.bias.copy_from_slice(&src.bias);
             dst.activation = src.activation;
         }
     }
@@ -301,14 +455,20 @@ impl Mlp {
         }
         let n_layers = read_u32(&mut r)? as usize;
         if n_layers == 0 || n_layers > 1024 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible layer count",
+            ));
         }
         let mut layers = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
             let out = read_u32(&mut r)? as usize;
             let inp = read_u32(&mut r)? as usize;
             if out == 0 || inp == 0 || out.saturating_mul(inp) > 256 << 20 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer shape"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "implausible layer shape",
+                ));
             }
             let mut tag = [0u8; 1];
             r.read_exact(&mut tag)?;
@@ -328,7 +488,10 @@ impl Mlp {
                 activation,
             });
         }
-        Ok(Mlp { layers })
+        Ok(Mlp {
+            layers,
+            predict_scratch: RefCell::default(),
+        })
     }
 
     /// Saves to a file.
@@ -428,9 +591,17 @@ mod tests {
             last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
         }
         assert!(last < 0.01, "XOR loss after training: {last}");
-        for (input, expect) in [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)] {
+        for (input, expect) in [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ] {
             let out = mlp.predict(&input)[0];
-            assert!((out - expect).abs() < 0.25, "{input:?} -> {out}, want {expect}");
+            assert!(
+                (out - expect).abs() < 0.25,
+                "{input:?} -> {out}, want {expect}"
+            );
         }
     }
 
@@ -462,6 +633,40 @@ mod tests {
             assert_eq!(reused, mlp.forward(&x), "hidden = {hidden:?}");
             // Second call with warm scratch stays identical.
             assert_eq!(mlp.forward_reusing(&x, &mut ping, &mut pong), reused);
+        }
+    }
+
+    #[test]
+    fn forward_reusing_into_matches_forward_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for hidden in [&[][..], &[9][..], &[9, 6][..], &[9, 6, 5][..]] {
+            let mlp = Mlp::new(&MlpSpec::q_network(4, hidden, 3), &mut rng);
+            let x = Matrix::from_fn(6, 4, |r, c| ((r * 5 + c) as f32 * 0.41).sin());
+            let mut ping = Matrix::zeros(0, 0);
+            let mut pong = Matrix::zeros(0, 0);
+            let mut out = Matrix::zeros(3, 3); // mis-shaped: must reshape
+            mlp.forward_reusing_into(&x, &mut ping, &mut pong, &mut out);
+            assert_eq!(out, mlp.forward(&x), "hidden = {hidden:?}");
+            // Second call with warm scratch stays identical.
+            mlp.forward_reusing_into(&x, &mut ping, &mut pong, &mut out);
+            assert_eq!(out, mlp.forward(&x), "hidden = {hidden:?} (warm)");
+        }
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for hidden in [&[][..], &[8][..], &[8, 5][..]] {
+            let mlp = Mlp::new(&MlpSpec::q_network(4, hidden, 3), &mut rng);
+            let input = [0.3f32, -1.2, 0.0, 0.7];
+            let reference = mlp.forward(&Matrix::row_vector(&input)).data().to_vec();
+            let mut out = vec![99.0; 17]; // stale garbage: must be cleared
+            mlp.predict_into(&input, &mut out);
+            assert_eq!(out, reference, "hidden = {hidden:?}");
+            assert_eq!(mlp.predict(&input), reference, "hidden = {hidden:?}");
+            // Warm second call through the internal scratch stays identical.
+            mlp.predict_into(&input, &mut out);
+            assert_eq!(out, reference, "hidden = {hidden:?} (warm)");
         }
     }
 

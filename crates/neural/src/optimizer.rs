@@ -4,8 +4,70 @@
 //! 2.5e-4 (Table 1) and notes Adam as the obvious alternative; all three
 //! are implemented so the `variants` ablation can compare them.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
+
+/// Elements per parallel optimizer chunk. The split is **fixed**, never
+/// derived from thread count or runtime load: chunk `c` always covers
+/// elements `[c·PAR_CHUNK, (c+1)·PAR_CHUNK)`. Every update rule below is
+/// purely elementwise (element `i` reads and writes only index `i` of
+/// `params`/`grads`/`m`/`v`), so *any* partition of the index space
+/// produces bitwise-identical results — parallelism changes scheduling,
+/// not arithmetic. 64 Ki elements ≈ 256 KiB of parameters per task: big
+/// enough to amortise rayon overhead, small enough that the paper's first
+/// layer (16 599 × 135 ≈ 2.24 M parameters) splits into ~35 tasks.
+const PAR_CHUNK: usize = 1 << 16;
+
+/// One optimizer rule applied to one contiguous chunk of a tensor.
+/// `m`/`v` are the moment slices corresponding to the same index range as
+/// `params`/`grads`; `t` is the global step (Adam bias correction).
+fn update_chunk(
+    spec: OptimizerSpec,
+    t: u64,
+    params: &mut [f32],
+    grads: &[f32],
+    m_state: &mut [f32],
+    v_state: &mut [f32],
+) {
+    match spec {
+        OptimizerSpec::Sgd { lr, momentum } => {
+            if momentum == 0.0 {
+                for (p, &g) in params.iter_mut().zip(grads) {
+                    *p -= lr * g;
+                }
+            } else {
+                for ((p, &g), m) in params.iter_mut().zip(grads).zip(m_state) {
+                    *m = momentum * *m + g;
+                    *p -= lr * *m;
+                }
+            }
+        }
+        OptimizerSpec::RmsProp { lr, decay, epsilon } => {
+            for ((p, &g), v) in params.iter_mut().zip(grads).zip(v_state) {
+                *v = decay * *v + (1.0 - decay) * g * g;
+                *p -= lr * g / (v.sqrt() + epsilon);
+            }
+        }
+        OptimizerSpec::Adam {
+            lr,
+            beta1,
+            beta2,
+            epsilon,
+        } => {
+            let t = t.max(1) as i32;
+            let bias1 = 1.0 - beta1.powi(t);
+            let bias2 = 1.0 - beta2.powi(t);
+            for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(m_state).zip(v_state) {
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                let m_hat = *m / bias1;
+                let v_hat = *v / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + epsilon);
+            }
+        }
+    }
+}
 
 /// Optimizer family + hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,48 +183,32 @@ impl Optimizer {
 
     /// Applies one update to parameter tensor `slot` given its gradient.
     ///
+    /// Large tensors (at least two [`PAR_CHUNK`] chunks) fan out over the
+    /// rayon pool when [`crate::parallel_enabled`] allows; the chunk
+    /// boundaries are fixed by `PAR_CHUNK` alone, and every rule is
+    /// elementwise, so serial and parallel updates are bitwise identical
+    /// (pinned by the `chunked_update_is_bitwise_identical_*` tests).
+    ///
     /// # Panics
     /// If `slot` is out of range or sizes mismatch the registration.
     pub fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         let state = &mut self.slots[slot];
-        assert_eq!(params.len(), state.m.len(), "tensor size changed since registration");
-        match self.spec {
-            OptimizerSpec::Sgd { lr, momentum } => {
-                if momentum == 0.0 {
-                    for (p, &g) in params.iter_mut().zip(grads) {
-                        *p -= lr * g;
-                    }
-                } else {
-                    for ((p, &g), m) in params.iter_mut().zip(grads).zip(&mut state.m) {
-                        *m = momentum * *m + g;
-                        *p -= lr * *m;
-                    }
-                }
-            }
-            OptimizerSpec::RmsProp { lr, decay, epsilon } => {
-                for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut state.v) {
-                    *v = decay * *v + (1.0 - decay) * g * g;
-                    *p -= lr * g / (v.sqrt() + epsilon);
-                }
-            }
-            OptimizerSpec::Adam { lr, beta1, beta2, epsilon } => {
-                let t = self.t.max(1) as i32;
-                let bias1 = 1.0 - beta1.powi(t);
-                let bias2 = 1.0 - beta2.powi(t);
-                for (((p, &g), m), v) in params
-                    .iter_mut()
-                    .zip(grads)
-                    .zip(&mut state.m)
-                    .zip(&mut state.v)
-                {
-                    *m = beta1 * *m + (1.0 - beta1) * g;
-                    *v = beta2 * *v + (1.0 - beta2) * g * g;
-                    let m_hat = *m / bias1;
-                    let v_hat = *v / bias2;
-                    *p -= lr * m_hat / (v_hat.sqrt() + epsilon);
-                }
-            }
+        assert_eq!(
+            params.len(),
+            state.m.len(),
+            "tensor size changed since registration"
+        );
+        let (spec, t) = (self.spec, self.t);
+        if params.len() >= 2 * PAR_CHUNK && crate::gemm::parallel_enabled() {
+            params
+                .par_chunks_mut(PAR_CHUNK)
+                .zip_eq(grads.par_chunks(PAR_CHUNK))
+                .zip_eq(state.m.par_chunks_mut(PAR_CHUNK))
+                .zip_eq(state.v.par_chunks_mut(PAR_CHUNK))
+                .for_each(|(((p, g), m), v)| update_chunk(spec, t, p, g, m, v));
+        } else {
+            update_chunk(spec, t, params, grads, &mut state.m, &mut state.v);
         }
     }
 
@@ -186,7 +232,12 @@ impl Optimizer {
                 w.write_all(&decay.to_le_bytes())?;
                 w.write_all(&epsilon.to_le_bytes())?;
             }
-            OptimizerSpec::Adam { lr, beta1, beta2, epsilon } => {
+            OptimizerSpec::Adam {
+                lr,
+                beta1,
+                beta2,
+                epsilon,
+            } => {
                 w.write_all(&[2u8])?;
                 w.write_all(&lr.to_le_bytes())?;
                 w.write_all(&beta1.to_le_bytes())?;
@@ -304,7 +355,10 @@ mod tests {
     #[test]
     fn sgd_momentum_converges() {
         let x = minimise(
-            OptimizerSpec::Sgd { lr: 0.05, momentum: 0.9 },
+            OptimizerSpec::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+            },
             400,
         );
         assert!((x - 3.0).abs() < 1e-2, "{x}");
@@ -313,7 +367,11 @@ mod tests {
     #[test]
     fn rmsprop_converges() {
         let x = minimise(
-            OptimizerSpec::RmsProp { lr: 0.05, decay: 0.9, epsilon: 1e-8 },
+            OptimizerSpec::RmsProp {
+                lr: 0.05,
+                decay: 0.9,
+                epsilon: 1e-8,
+            },
             2000,
         );
         assert!((x - 3.0).abs() < 0.05, "{x}");
@@ -339,7 +397,11 @@ mod tests {
         // With equal signs but wildly different magnitudes, RMSprop steps
         // are nearly equal — that's its point.
         let mut opt = Optimizer::new(
-            OptimizerSpec::RmsProp { lr: 0.01, decay: 0.0, epsilon: 1e-10 },
+            OptimizerSpec::RmsProp {
+                lr: 0.01,
+                decay: 0.0,
+                epsilon: 1e-10,
+            },
             &[2],
         );
         let mut p = vec![0.0f32, 0.0];
@@ -387,6 +449,45 @@ mod tests {
         opt.update(0, &mut pa, &[0.5, -0.5, 0.25, 0.125]);
         restored.update(0, &mut pb, &[0.5, -0.5, 0.25, 0.125]);
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn chunked_update_is_bitwise_identical_to_serial() {
+        // Large enough that `update` takes the parallel path whenever the
+        // process allows it (≥ 2 chunks); the reference applies the rule
+        // serially over the whole tensor in one call. Elementwise rules
+        // make any chunking bitwise-equal — this pins that claim.
+        let n = 2 * PAR_CHUNK + 1234;
+        for spec in [
+            OptimizerSpec::sgd(0.01),
+            OptimizerSpec::Sgd {
+                lr: 0.01,
+                momentum: 0.9,
+            },
+            OptimizerSpec::paper_rmsprop(),
+            OptimizerSpec::adam(0.001),
+        ] {
+            let mut opt = Optimizer::new(spec, &[n]);
+            let mut params: Vec<f32> = (0..n).map(|i| ((i % 997) as f32) * 1e-3 - 0.5).collect();
+            let mut ref_params = params.clone();
+            let mut ref_m = vec![0.0f32; n];
+            let mut ref_v = vec![0.0f32; n];
+            for step in 1..=3u64 {
+                let grads: Vec<f32> = (0..n)
+                    .map(|i| ((i % 31) as f32 - 15.0) * 1e-2 + step as f32 * 1e-3)
+                    .collect();
+                opt.begin_step();
+                opt.update(0, &mut params, &grads);
+                update_chunk(spec, step, &mut ref_params, &grads, &mut ref_m, &mut ref_v);
+                assert!(
+                    params
+                        .iter()
+                        .zip(&ref_params)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{spec:?} diverged at step {step}"
+                );
+            }
+        }
     }
 
     #[test]

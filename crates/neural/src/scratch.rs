@@ -1,0 +1,320 @@
+//! Persistent training scratch: the zero-allocation gradient-step path.
+//!
+//! [`Mlp::train_step`](crate::Mlp::train_step) allocates on every call —
+//! per-layer input clones in `forward_cached`, a fresh `d_z` matrix per
+//! layer in `backward`, fresh [`DenseGrads`] storage, and the loss-gradient
+//! matrix. None of that is necessary: the shapes are identical on every
+//! step of DQN training, so one [`TrainScratch`] owned by the caller can
+//! hold every intermediate buffer and be reused forever.
+//!
+//! The reusing entry points are bitwise identical to the allocating ones
+//! (pinned by `tests/train_scratch_parity.rs`): every kernel they call is
+//! an `_into` variant of the same accumulation loop, and the fused
+//! activation epilogue performs exactly the multiply `zip_map` performs.
+//! The allocating API stays as the reference implementation.
+//!
+//! Ownership layout (one scratch per trained network):
+//!
+//! ```text
+//! TrainScratch
+//! ├── acts[i]    — output of layer i, (batch, out_i); acts[n-1] is the
+//! │                prediction. Layer i's backward reads acts[i-1] as its
+//! │                input (layer 0 reads the caller's borrowed batch), so
+//! │                no per-layer input clone is ever taken.
+//! ├── d_ping ┐
+//! ├── d_pong ┘   — the backward pass's dY/dZ ping-pong pair. The caller
+//! │                (or `Loss::gradient_into`) writes ∂L/∂prediction into
+//! │                d_ping; layer i consumes one buffer in place
+//! │                (dZ = dY ⊙ f'(y)) and emits dX into the other.
+//! └── grads[i]   — persistent DenseGrads per layer; `_into` matmuls land
+//!                  dW/db here, and `apply_grads` reads them back out.
+//! ```
+//!
+//! Steady-state heap traffic is zero (pinned by `tests/zero_alloc.rs`
+//! under a counting allocator): buffers grow once on the first step and
+//! every later `clear()`/`resize()` stays within capacity.
+
+use crate::layer::DenseGrads;
+use crate::{Loss, Matrix, Mlp, Optimizer};
+
+/// Reusable buffers for [`Mlp::train_step_reusing`]: forward activations,
+/// the backward ping-pong pair, and persistent gradient storage. Create one
+/// per network (any batch shape works; buffers reshape on use) and reuse it
+/// for every step. See the [module docs](self) for the ownership diagram.
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    /// Per-layer activations; `acts[i]` is layer `i`'s output.
+    acts: Vec<Matrix>,
+    /// Backward ping buffer; holds ∂L/∂prediction on entry to
+    /// [`Mlp::backward_reusing`].
+    d_ping: Matrix,
+    /// Backward pong buffer.
+    d_pong: Matrix,
+    /// Persistent per-layer parameter gradients.
+    grads: Vec<DenseGrads>,
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        TrainScratch::new()
+    }
+}
+
+impl TrainScratch {
+    /// An empty scratch; buffers take shape lazily on first use.
+    pub fn new() -> Self {
+        TrainScratch {
+            acts: Vec::new(),
+            d_ping: Matrix::zeros(0, 0),
+            d_pong: Matrix::zeros(0, 0),
+            grads: Vec::new(),
+        }
+    }
+
+    /// Grows (or shrinks) the per-layer vectors to `n` layers. Only ever
+    /// allocates when the layer count grows — i.e. once per network.
+    fn ensure_layers(&mut self, n: usize) {
+        while self.acts.len() < n {
+            self.acts.push(Matrix::zeros(0, 0));
+        }
+        self.acts.truncate(n);
+        while self.grads.len() < n {
+            self.grads.push(DenseGrads {
+                d_weights: Matrix::zeros(0, 0),
+                d_bias: Vec::new(),
+            });
+        }
+        self.grads.truncate(n);
+    }
+
+    /// The last forward pass's prediction (`acts[n-1]`).
+    ///
+    /// # Panics
+    /// If no forward pass has populated this scratch yet.
+    pub fn prediction(&self) -> &Matrix {
+        self.acts
+            .last()
+            .expect("empty TrainScratch: run forward_cached_reusing first")
+    }
+
+    /// The buffer [`Mlp::backward_reusing`] expects ∂L/∂prediction in.
+    pub fn d_output_mut(&mut self) -> &mut Matrix {
+        &mut self.d_ping
+    }
+
+    /// Split borrow of the prediction and the ∂L/∂prediction buffer, for
+    /// callers (like the masked TD loss) that compute the output gradient
+    /// from the prediction in one pass.
+    ///
+    /// # Panics
+    /// If no forward pass has populated this scratch yet.
+    pub fn prediction_and_d_output_mut(&mut self) -> (&Matrix, &mut Matrix) {
+        (
+            self.acts
+                .last()
+                .expect("empty TrainScratch: run forward_cached_reusing first"),
+            &mut self.d_ping,
+        )
+    }
+
+    /// The gradients computed by the last [`Mlp::backward_reusing`], in
+    /// layer order.
+    pub fn grads(&self) -> &[DenseGrads] {
+        &self.grads
+    }
+
+    /// Mutable access to the gradients (gradient clipping).
+    pub fn grads_mut(&mut self) -> &mut [DenseGrads] {
+        &mut self.grads
+    }
+}
+
+impl Mlp {
+    /// [`Mlp::forward_cached`] without the per-layer input clones: every
+    /// activation lands in `scratch.acts`, layer `i` reads layer `i-1`'s
+    /// buffer in place, and layer 0 reads the caller's borrowed `inputs`.
+    /// Returns the prediction (a borrow of the scratch). Bitwise identical
+    /// to the allocating form.
+    pub fn forward_cached_reusing<'s>(
+        &self,
+        inputs: &Matrix,
+        scratch: &'s mut TrainScratch,
+    ) -> &'s Matrix {
+        let n = self.layers().len();
+        scratch.ensure_layers(n);
+        for (i, layer) in self.layers().iter().enumerate() {
+            if i == 0 {
+                layer.forward_into(inputs, &mut scratch.acts[0]);
+            } else {
+                let (prev, rest) = scratch.acts.split_at_mut(i);
+                layer.forward_into(&prev[i - 1], &mut rest[0]);
+            }
+        }
+        scratch.prediction()
+    }
+
+    /// [`Mlp::backward`] into persistent storage: consumes the ∂L/∂output
+    /// the caller wrote via [`TrainScratch::d_output_mut`], ping-pongs the
+    /// layer gradients between the two `d` buffers (the activation
+    /// derivative is fused in place — no `d_z` temporary), and lands each
+    /// layer's `dW`/`db` in `scratch.grads`. `inputs` must be the batch the
+    /// preceding [`Mlp::forward_cached_reusing`] saw. Bitwise identical to
+    /// the allocating form.
+    ///
+    /// # Panics
+    /// If the scratch was not populated by `forward_cached_reusing` on a
+    /// network with this layer count.
+    pub fn backward_reusing(&self, inputs: &Matrix, scratch: &mut TrainScratch) {
+        let n = self.layers().len();
+        assert_eq!(
+            scratch.acts.len(),
+            n,
+            "TrainScratch does not match this network: run forward_cached_reusing first"
+        );
+        let TrainScratch {
+            acts,
+            d_ping,
+            d_pong,
+            grads,
+        } = scratch;
+        let mut in_ping = true;
+        for i in (0..n).rev() {
+            let layer = &self.layers()[i];
+            let (d_cur, d_next) = if in_ping {
+                (&mut *d_ping, &mut *d_pong)
+            } else {
+                (&mut *d_pong, &mut *d_ping)
+            };
+            let input = if i == 0 { inputs } else { &acts[i - 1] };
+            let d_in = if i > 0 { Some(d_next) } else { None };
+            layer.backward_into(input, &acts[i], d_cur, &mut grads[i], d_in);
+            in_ping = !in_ping;
+        }
+    }
+
+    /// [`Mlp::loss_and_grads`] through the scratch path: forward, loss,
+    /// backward, no allocation in steady state. The gradients are left in
+    /// `scratch.grads()`; the loss value is returned. Bitwise identical to
+    /// the allocating form.
+    pub fn loss_and_grads_reusing(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        scratch: &mut TrainScratch,
+    ) -> f32 {
+        self.forward_cached_reusing(inputs, scratch);
+        let (prediction, d_out) = scratch.prediction_and_d_output_mut();
+        let loss_value = loss.value(prediction, targets);
+        loss.gradient_into(prediction, targets, d_out);
+        self.backward_reusing(inputs, scratch);
+        loss_value
+    }
+
+    /// [`Mlp::train_step`] through the scratch path: one supervised step
+    /// with **zero heap allocations** once the scratch is warm (pinned by
+    /// `tests/zero_alloc.rs`). Losses, gradients, and post-update
+    /// parameters are bitwise identical to the allocating form (pinned by
+    /// `tests/train_scratch_parity.rs`).
+    ///
+    /// # Panics
+    /// On any shape mismatch between inputs, targets and the architecture.
+    pub fn train_step_reusing(
+        &mut self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut Optimizer,
+        scratch: &mut TrainScratch,
+    ) -> f32 {
+        assert_eq!(inputs.cols(), self.input_size(), "input width mismatch");
+        assert_eq!(targets.cols(), self.output_size(), "target width mismatch");
+        assert_eq!(inputs.rows(), targets.rows(), "batch size mismatch");
+        let loss_value = self.loss_and_grads_reusing(inputs, targets, loss, scratch);
+        self.apply_grads(scratch.grads(), optimizer);
+        loss_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MlpSpec, OptimizerSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(hidden: &[usize]) -> Mlp {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        Mlp::new(&MlpSpec::q_network(5, hidden, 3), &mut rng)
+    }
+
+    fn batch() -> (Matrix, Matrix) {
+        let x = Matrix::from_fn(6, 5, |r, c| ((r * 5 + c) as f32 * 0.23).sin());
+        let y = Matrix::from_fn(6, 3, |r, c| ((r + 2 * c) as f32 * 0.31).cos());
+        (x, y)
+    }
+
+    #[test]
+    fn forward_cached_reusing_matches_forward_cached() {
+        for hidden in [&[][..], &[8][..], &[8, 6][..]] {
+            let mlp = net(hidden);
+            let (x, _) = batch();
+            let (pred_ref, _) = mlp.forward_cached(&x);
+            let mut scratch = TrainScratch::new();
+            let pred = mlp.forward_cached_reusing(&x, &mut scratch);
+            assert_eq!(pred, &pred_ref, "hidden = {hidden:?}");
+            // Warm second pass stays identical.
+            assert_eq!(mlp.forward_cached_reusing(&x, &mut scratch), &pred_ref);
+        }
+    }
+
+    #[test]
+    fn loss_and_grads_reusing_is_bitwise_identical() {
+        for hidden in [&[][..], &[8][..], &[8, 6][..]] {
+            let mlp = net(hidden);
+            let (x, y) = batch();
+            let (loss_ref, grads_ref) = mlp.loss_and_grads(&x, &y, Loss::Mse);
+            let mut scratch = TrainScratch::new();
+            for round in 0..3 {
+                let loss = mlp.loss_and_grads_reusing(&x, &y, Loss::Mse, &mut scratch);
+                assert_eq!(loss.to_bits(), loss_ref.to_bits(), "round {round}");
+                assert_eq!(scratch.grads(), &grads_ref[..], "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn train_step_reusing_matches_train_step_bitwise() {
+        let mut reference = net(&[8, 6]);
+        let mut reusing = reference.clone();
+        let mut opt_ref = reference.optimizer(OptimizerSpec::paper_rmsprop());
+        let mut opt_new = reusing.optimizer(OptimizerSpec::paper_rmsprop());
+        let (x, y) = batch();
+        let mut scratch = TrainScratch::new();
+        for step in 0..10 {
+            let a = reference.train_step(&x, &y, Loss::Mse, &mut opt_ref);
+            let b = reusing.train_step_reusing(&x, &y, Loss::Mse, &mut opt_new, &mut scratch);
+            assert_eq!(a.to_bits(), b.to_bits(), "loss diverged at step {step}");
+        }
+        assert_eq!(reference, reusing);
+    }
+
+    #[test]
+    fn scratch_adapts_to_batch_shape_changes() {
+        let mut mlp = net(&[8]);
+        let mut opt = mlp.optimizer(OptimizerSpec::sgd(0.01));
+        let mut scratch = TrainScratch::new();
+        for rows in [6usize, 2, 9, 1] {
+            let x = Matrix::from_fn(rows, 5, |r, c| ((r * 5 + c) as f32 * 0.3).sin());
+            let y = Matrix::from_fn(rows, 3, |r, c| ((r + c) as f32 * 0.2).cos());
+            let loss = mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+            assert!(loss.is_finite(), "rows = {rows}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty TrainScratch")]
+    fn prediction_before_forward_panics() {
+        let _ = TrainScratch::new().prediction();
+    }
+}

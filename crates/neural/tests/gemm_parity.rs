@@ -8,7 +8,7 @@
 //! is independent of the process-wide default and safe to run in parallel
 //! with other tests.
 
-use neural::{Matrix, MatmulKernel};
+use neural::{MatmulKernel, Matrix};
 use proptest::prelude::*;
 
 const REL_TOL: f32 = 1e-4;
@@ -119,6 +119,35 @@ fn kernels_agree_across_block_boundaries() {
         let at = Matrix::from_fn(k, m, |r, c| ((r + 7 * c) as f32 * 0.017).cos());
         check_all_shapes(&a, &b, &bt, &at);
     }
+}
+
+#[test]
+fn naive_and_blocked_agree_bitwise_on_relu_sparse_gradients() {
+    // The backward pass's `dW = dZᵀ·X` at the paper shape: dZ `(32, 135)`
+    // is ReLU-sparse (the activation derivative zeroes every entry whose
+    // unit was inactive), X `(32, 16599)` is dense. The naive kernel skips
+    // `a == 0.0` terms; the blocked kernel adds them. Both accumulate over
+    // k in increasing order, and `acc + 0.0·b == acc` exactly in IEEE-754
+    // (the skipped products are ±0.0 and the accumulator is never −0.0
+    // here), so the two kernels must agree **bitwise** — not just within
+    // tolerance — on this workload. Pins the caveat documented on
+    // `Matrix::transpose_matmul`'s naive path.
+    let dz = Matrix::from_fn(32, 135, |r, c| {
+        let h = (r * 135 + c).wrapping_mul(2654435761);
+        if h % 2 == 0 {
+            0.0 // inactive ReLU unit
+        } else {
+            ((h >> 8) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0
+        }
+    });
+    assert!(
+        dz.data().iter().filter(|&&v| v == 0.0).count() > 1000,
+        "fixture must actually be sparse"
+    );
+    let x = Matrix::from_fn(32, 16_599, |r, c| ((r * 131 + c) as f32 * 0.0003).sin());
+    let naive = dz.transpose_matmul_with(&x, MatmulKernel::Naive);
+    let blocked = dz.transpose_matmul_with(&x, MatmulKernel::Blocked);
+    assert_eq!(naive, blocked, "zero-skip must be bit-transparent");
 }
 
 #[test]

@@ -1,25 +1,74 @@
 //! End-to-end `train_step` determinism per kernel: for a fixed seed, a
 //! training run must produce bit-identical losses and weights run-to-run
-//! under each [`MatmulKernel`].
+//! under each [`MatmulKernel`] — through the allocating path, through the
+//! scratch ([`TrainScratch`]) path, and across a checkpoint/resume split.
 //!
 //! This file holds exactly one test because it flips the process-wide
 //! default kernel (`set_default_kernel`); integration-test binaries run
 //! their tests on parallel threads, so the flip must not race a sibling.
 
-use neural::{set_default_kernel, Loss, MatmulKernel, Matrix, Mlp, MlpSpec, OptimizerSpec};
+use neural::{
+    set_default_kernel, Loss, MatmulKernel, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec,
+    TrainScratch,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn training_run() -> (Vec<u32>, Mlp) {
+fn fixture() -> (Mlp, Optimizer, Matrix, Matrix) {
     let spec = MlpSpec::q_network(48, &[32, 32], 4);
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let mut mlp = Mlp::new(&spec, &mut rng);
-    let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+    let mlp = Mlp::new(&spec, &mut rng);
+    let opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
     let x = Matrix::from_fn(16, spec.input, |r, c| ((r * 31 + c) as f32 * 0.01).sin());
     let y = Matrix::from_fn(16, spec.output, |r, c| ((r + c) as f32 * 0.1).cos());
+    (mlp, opt, x, y)
+}
+
+fn training_run() -> (Vec<u32>, Mlp) {
+    let (mut mlp, mut opt, x, y) = fixture();
     let losses = (0..25)
         .map(|_| mlp.train_step(&x, &y, Loss::Mse, &mut opt).to_bits())
         .collect();
+    (losses, mlp)
+}
+
+fn training_run_reusing() -> (Vec<u32>, Mlp) {
+    let (mut mlp, mut opt, x, y) = fixture();
+    let mut scratch = TrainScratch::new();
+    let losses = (0..25)
+        .map(|_| {
+            mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)
+                .to_bits()
+        })
+        .collect();
+    (losses, mlp)
+}
+
+/// 25 scratch-path steps, interrupted after `split` steps by a full
+/// save → load of network and optimizer (fresh cold scratch after resume).
+fn training_run_reusing_with_resume(split: usize) -> (Vec<u32>, Mlp) {
+    let (mut mlp, mut opt, x, y) = fixture();
+    let mut scratch = TrainScratch::new();
+    let mut losses = Vec::with_capacity(25);
+    for _ in 0..split {
+        losses.push(
+            mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)
+                .to_bits(),
+        );
+    }
+    let mut mlp_bytes = Vec::new();
+    mlp.save(&mut mlp_bytes).unwrap();
+    let mut opt_bytes = Vec::new();
+    opt.save(&mut opt_bytes).unwrap();
+    let mut mlp = Mlp::load(&mlp_bytes[..]).unwrap();
+    let mut opt = Optimizer::load(&opt_bytes[..]).unwrap();
+    let mut scratch = TrainScratch::new();
+    for _ in split..25 {
+        losses.push(
+            mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)
+                .to_bits(),
+        );
+    }
     (losses, mlp)
 }
 
@@ -33,6 +82,23 @@ fn train_step_is_bitwise_deterministic_per_kernel() {
         assert_eq!(mlp_a, mlp_b, "{kernel:?}: weights diverged");
         // The run must actually learn something, not just repeat itself.
         assert_ne!(losses_a.first(), losses_a.last(), "{kernel:?}: loss froze");
+
+        // The scratch path is bitwise-identical to the allocating path
+        // under both kernels…
+        let (losses_s, mlp_s) = training_run_reusing();
+        assert_eq!(losses_a, losses_s, "{kernel:?}: scratch losses diverged");
+        assert_eq!(mlp_a, mlp_s, "{kernel:?}: scratch weights diverged");
+
+        // …and survives a mid-run checkpoint/resume (cold scratch, warm
+        // optimizer moments) without a single bit of drift.
+        for split in [1, 12, 24] {
+            let (losses_r, mlp_r) = training_run_reusing_with_resume(split);
+            assert_eq!(losses_a, losses_r, "{kernel:?}: resume at {split} diverged");
+            assert_eq!(
+                mlp_a, mlp_r,
+                "{kernel:?}: resume at {split} weights diverged"
+            );
+        }
     }
     // Cross-kernel: both converge to close (not necessarily bitwise equal —
     // the A·Bᵀ lane reduction re-associates) losses.

@@ -1,0 +1,113 @@
+//! The tentpole guarantee, proven: a steady-state `train_step_reusing`
+//! performs **zero heap allocations** at the paper's network shape.
+//!
+//! A counting global allocator wraps `System`; after three warm-up steps
+//! (which grow every scratch buffer, resolve the lazy kernel/env config,
+//! and fill the thread-local GEMM pack), five further steps must not touch
+//! the allocator at all — no allocs, no reallocs, no frees.
+//!
+//! Parallel dispatch is switched off via [`neural::set_parallel`] first:
+//! rayon's pool allocates task queues on its own worker threads, which a
+//! process-global counter would (correctly) see. The switch is pure
+//! scheduling — results are bitwise identical either way — so the serial
+//! path proven allocation-free here is arithmetic-identical to the
+//! parallel path used in production.
+//!
+//! This file holds exactly one test so no sibling test's allocations can
+//! race the counters, and the CI zero-alloc step runs it single-threaded.
+
+use neural::{Loss, Matrix, Mlp, MlpSpec, OptimizerSpec, TrainScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every heap operation while `TRACKING` is on; defers to `System`.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACKING.load(Ordering::Relaxed) {
+            FREES.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_train_step_reusing_allocates_nothing_at_paper_shape() {
+    // Keep every kernel and the chunked optimizer on this thread, where the
+    // counters can prove the absence of allocations.
+    neural::set_parallel(false);
+
+    // The paper's network (16,599 → 135 → 135 → 12) and minibatch (32).
+    let spec = MlpSpec::q_network(16_599, &[135, 135], 12);
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mut mlp = Mlp::new(&spec, &mut rng);
+    let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+    let x = Matrix::from_fn(32, spec.input, |r, c| ((r * 131 + c) as f32 * 0.0007).sin());
+    let y = Matrix::from_fn(32, spec.output, |r, c| ((r + 3 * c) as f32 * 0.09).cos());
+    let mut scratch = TrainScratch::new();
+
+    // Warm-up: grows the scratch, the optimizer has its slots already, the
+    // GEMM thread-local pack fills, lazy env/config reads resolve.
+    let mut warm_losses = Vec::new();
+    for _ in 0..3 {
+        warm_losses.push(mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch));
+    }
+
+    TRACKING.store(true, Ordering::SeqCst);
+    let mut steady_losses = [0.0f32; 5];
+    for loss in &mut steady_losses {
+        *loss = mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+
+    let (allocs, reallocs, frees) = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    assert_eq!(
+        (allocs, reallocs, frees),
+        (0, 0, 0),
+        "steady-state train_step_reusing must not touch the heap \
+         (allocs {allocs}, reallocs {reallocs}, frees {frees})"
+    );
+
+    // The steps counted above were real training steps, not no-ops.
+    assert!(steady_losses.iter().all(|l| l.is_finite()));
+    assert!(
+        steady_losses[4] < warm_losses[0],
+        "loss must keep descending: warm {warm_losses:?}, steady {steady_losses:?}"
+    );
+}

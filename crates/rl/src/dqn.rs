@@ -66,9 +66,9 @@ pub struct DqnConfig {
     /// Constant-block layout of the states pushed into the replay memory
     /// ([`FrameLayout::default`] = no shared blocks). The environment side
     /// knows which slice of the feature vector is constant (receptor block
-    /// + bond table for the paper's full layout), so trainers set this from
-    /// the featurizer; it only affects storage compactness, never sampled
-    /// values.
+    /// plus bond table for the paper's full layout), so trainers set this
+    /// from the featurizer; it only affects storage compactness, never
+    /// sampled values.
     #[serde(default)]
     pub frame_layout: FrameLayout,
 }
@@ -159,6 +159,13 @@ struct BatchScratch {
     terminals: Vec<bool>,
     indices: Vec<usize>,
     targets: Vec<f32>,
+    /// `Q̂(s'|θ⁻)` of the sampled batch — the TD-target evaluations land
+    /// here via `predict_batch_into` instead of a fresh matrix per step.
+    q_next_target: Matrix,
+    /// `Q(s'|θ)` (double-DQN action selection only).
+    q_next_online: Matrix,
+    /// `Q(s|θ)` (prioritized replay's TD-error refresh only).
+    q_now: Matrix,
 }
 
 impl BatchScratch {
@@ -171,6 +178,9 @@ impl BatchScratch {
             terminals: Vec::with_capacity(k),
             indices: Vec::with_capacity(k),
             targets: Vec::with_capacity(k),
+            q_next_target: Matrix::zeros(0, 0),
+            q_next_online: Matrix::zeros(0, 0),
+            q_now: Matrix::zeros(0, 0),
         }
     }
 }
@@ -208,7 +218,10 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// (Algorithm 2: "initialize `θ⁻ = θ`").
     pub fn new(q: Q, config: DqnConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
-        assert!((0.0..=1.0).contains(&config.gamma), "gamma must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&config.gamma),
+            "gamma must be in [0, 1]"
+        );
         let mut target = q.clone();
         target.sync_from(&q);
         let replay = match config.prioritized_alpha {
@@ -292,6 +305,21 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// of the two separate forwards `act` + `max_q` would cost.
     pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
         self.q.predict(state)
+    }
+
+    /// [`DqnAgent::q_values`] into a caller-owned buffer (cleared and
+    /// refilled), so per-step action selection in the training loops reuses
+    /// one hoisted `Vec` instead of allocating each step. Bitwise identical
+    /// values.
+    pub fn q_values_into(&self, state: &[f32], out: &mut Vec<f32>) {
+        self.q.predict_into(state, out);
+    }
+
+    /// Greedy action from precomputed Q-values — exactly the argmax
+    /// [`DqnAgent::greedy_action`] takes, for callers that already hold the
+    /// result of [`DqnAgent::q_values_into`].
+    pub fn greedy_from_q(&self, qs: &[f32]) -> usize {
+        argmax(qs)
     }
 
     /// Action selection from precomputed Q-values ([`DqnAgent::q_values`]).
@@ -396,13 +424,12 @@ impl<Q: QFunction> DqnAgent<Q> {
         next_state: &[f32],
         terminal: bool,
     ) -> Option<f32> {
-        self.replay.push_parts(state, action, reward, next_state, terminal);
+        self.replay
+            .push_parts(state, action, reward, next_state, terminal);
         self.steps += 1;
 
         let mut loss = None;
-        if self.steps >= self.config.learning_start
-            && self.replay.len() >= self.config.batch_size
-        {
+        if self.steps >= self.config.learning_start && self.replay.len() >= self.config.batch_size {
             loss = Some(self.learn_minibatch());
         }
         if self.steps.is_multiple_of(self.config.target_update_every) {
@@ -443,12 +470,15 @@ impl<Q: QFunction> DqnAgent<Q> {
             ),
         }
 
-        // TD targets.
-        let q_next_target = self.target.predict_batch(&scratch.next_states);
-        let q_next_online = match self.config.target_rule {
-            TargetRule::Standard => None,
-            TargetRule::Double => Some(self.q.predict_batch(&scratch.next_states)),
-        };
+        // TD targets, built fully in place: the Q-evaluations land in the
+        // scratch's persistent matrices and the target column is refilled
+        // in the reused `targets` buffer — no allocations on a warm step.
+        self.target
+            .predict_batch_into(&scratch.next_states, &mut scratch.q_next_target);
+        if self.config.target_rule == TargetRule::Double {
+            self.q
+                .predict_batch_into(&scratch.next_states, &mut scratch.q_next_online);
+        }
         let gamma = self.config.gamma as f32;
         scratch.targets.clear();
         for i in 0..k {
@@ -457,10 +487,10 @@ impl<Q: QFunction> DqnAgent<Q> {
                 r
             } else {
                 let future = match self.config.target_rule {
-                    TargetRule::Standard => q_next_target.max_row(i),
+                    TargetRule::Standard => scratch.q_next_target.max_row(i),
                     TargetRule::Double => {
-                        let a_star = q_next_online.as_ref().expect("double rule").argmax_row(i);
-                        q_next_target.get(i, a_star)
+                        let a_star = scratch.q_next_online.argmax_row(i);
+                        scratch.q_next_target.get(i, a_star)
                     }
                 };
                 r + gamma * future
@@ -471,10 +501,11 @@ impl<Q: QFunction> DqnAgent<Q> {
         // Prioritized replay: report fresh TD errors back as priorities
         // before the gradient step mutates the network.
         if let Buffer::Prioritized(b) = &mut self.replay {
-            let q_now = self.q.predict_batch(&scratch.states);
+            self.q
+                .predict_batch_into(&scratch.states, &mut scratch.q_now);
             for (row, &idx) in scratch.indices.iter().enumerate() {
                 let td_error =
-                    f64::from(scratch.targets[row] - q_now.get(row, scratch.actions[row]));
+                    f64::from(scratch.targets[row] - scratch.q_now.get(row, scratch.actions[row]));
                 b.update_priority(idx, td_error);
             }
         }
@@ -578,7 +609,9 @@ impl DqnAgent<MlpQ> {
         };
         let rng = checkpoint::RngState::decode(r)?.restore();
         if target.state_dim() != q.state_dim() || target.n_actions() != q.n_actions() {
-            return Err(bad("target network shape disagrees with the online network"));
+            return Err(bad(
+                "target network shape disagrees with the online network",
+            ));
         }
         let mut agent = DqnAgent::new(q, config);
         agent.target = target;
@@ -794,7 +827,10 @@ mod tests {
         let a = agent(DqnConfig::default());
         let s = [0.3f32, -0.1, 0.9];
         let qs = a.q_function().predict(&s);
-        assert_eq!(a.max_q(&s), qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        assert_eq!(
+            a.max_q(&s),
+            qs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        );
     }
 
     #[test]
@@ -826,7 +862,10 @@ mod tests {
         for _ in 0..2000 {
             counts[a.act(&state)] += 1;
         }
-        assert!(counts[0] > 0 && counts[1] > 0, "both actions sampled: {counts:?}");
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "both actions sampled: {counts:?}"
+        );
         assert!(
             counts[better] > counts[1 - better],
             "higher-Q action preferred: {counts:?} (better = {better})"

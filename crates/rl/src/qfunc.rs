@@ -9,7 +9,10 @@
 //! `A(s, a)` heads, recombined as `Q = V + A − mean(A)`.
 
 use neural::layer::{DenseCache, DenseGrads};
-use neural::{Activation, Dense, Loss, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec, WeightInit};
+use neural::{
+    Activation, Dense, Loss, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec, TrainScratch,
+    WeightInit,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -25,7 +28,23 @@ pub trait QFunction: Clone + Send {
     fn predict_batch(&self, states: &Matrix) -> Matrix;
     /// Q-values of one state.
     fn predict(&self, state: &[f32]) -> Vec<f32> {
-        self.predict_batch(&Matrix::row_vector(state)).data().to_vec()
+        self.predict_batch(&Matrix::row_vector(state))
+            .data()
+            .to_vec()
+    }
+    /// [`QFunction::predict_batch`] into a caller-owned matrix, so the DQN
+    /// gradient step can land target-network outputs in persistent scratch.
+    /// The default delegates (and allocates); implementations with a
+    /// non-allocating forward path should override.
+    fn predict_batch_into(&self, states: &Matrix, out: &mut Matrix) {
+        out.copy_from(&self.predict_batch(states));
+    }
+    /// [`QFunction::predict`] into a caller-owned buffer (cleared and
+    /// refilled) for per-step action selection without a fresh `Vec`.
+    fn predict_into(&self, state: &[f32], out: &mut Vec<f32>) {
+        let qs = self.predict(state);
+        out.clear();
+        out.extend_from_slice(&qs);
     }
     /// One TD-regression step: for each batch row `i`, move
     /// `Q(states[i], actions[i])` toward `targets[i]`, leaving the other
@@ -92,6 +111,36 @@ fn masked_loss_and_grad(
     (loss_value, d_output)
 }
 
+/// [`masked_loss_and_grad`] into a caller-owned gradient matrix, with no
+/// `sel`/`tgt` staging allocations: the loss sum and the per-row gradient
+/// come straight from [`Loss::pointwise_value`]/[`Loss::pointwise_gradient`]
+/// on the same `(prediction[i, aᵢ] − targetᵢ)` errors in the same row
+/// order, so the returned loss and the gradient are bitwise identical to
+/// the allocating form (pinned by `train_td_is_bitwise_identical_to_
+/// allocating_reference`). `d_output` is reshaped to the prediction's shape
+/// and zero-filled outside the taken-action entries.
+fn masked_loss_and_grad_into(
+    prediction: &Matrix,
+    actions: &[usize],
+    targets: &[f32],
+    loss: Loss,
+    d_output: &mut Matrix,
+) -> f32 {
+    let batch = prediction.rows();
+    assert_eq!(actions.len(), batch, "one action per batch row required");
+    assert_eq!(targets.len(), batch, "one target per batch row required");
+    let n = batch.max(1) as f32;
+    d_output.reshape_fill(batch, prediction.cols(), 0.0);
+    let mut sum = 0.0f32;
+    for (i, (&a, &t)) in actions.iter().zip(targets).enumerate() {
+        assert!(a < prediction.cols(), "action index {a} out of range");
+        let err = prediction.get(i, a) - t;
+        sum += loss.pointwise_value(err);
+        d_output.set(i, a, loss.pointwise_gradient(err) / n);
+    }
+    sum / n
+}
+
 // ---------------------------------------------------------------------------
 // Plain MLP head (the paper's architecture)
 // ---------------------------------------------------------------------------
@@ -106,6 +155,12 @@ pub struct MlpQ {
     grad_clip_norm: Option<f32>,
     #[serde(skip)]
     scratch: RefCell<ActScratch>,
+    /// Persistent forward/backward buffers for [`MlpQ::train_td`]: with
+    /// these, a steady-state gradient step performs zero heap allocations
+    /// (see `neural::TrainScratch`). Pure cache — skipped by serde; no
+    /// `RefCell` needed since `train_td` takes `&mut self`.
+    #[serde(skip)]
+    train_scratch: TrainScratch,
 }
 
 impl MlpQ {
@@ -124,6 +179,7 @@ impl MlpQ {
             loss,
             grad_clip_norm: None,
             scratch: RefCell::new(ActScratch::default()),
+            train_scratch: TrainScratch::new(),
         }
     }
 
@@ -182,7 +238,9 @@ impl MlpQ {
         r.read_exact(&mut tag)?;
         let loss = match tag[0] {
             0 => Loss::Mse,
-            1 => Loss::Huber { delta: read_f32(r)? },
+            1 => Loss::Huber {
+                delta: read_f32(r)?,
+            },
             _ => return Err(bad("unknown loss tag in Q-network snapshot")),
         };
         r.read_exact(&mut tag)?;
@@ -203,6 +261,7 @@ impl MlpQ {
             loss,
             grad_clip_norm,
             scratch: RefCell::new(ActScratch::default()),
+            train_scratch: TrainScratch::new(),
         })
     }
 }
@@ -222,15 +281,37 @@ impl QFunction for MlpQ {
         self.mlp.forward_reusing(states, ping, pong)
     }
 
+    fn predict_batch_into(&self, states: &Matrix, out: &mut Matrix) {
+        let mut scratch = self.scratch.borrow_mut();
+        let ActScratch { ping, pong } = &mut *scratch;
+        self.mlp.forward_reusing_into(states, ping, pong, out);
+    }
+
+    fn predict_into(&self, state: &[f32], out: &mut Vec<f32>) {
+        self.mlp.predict_into(state, out);
+    }
+
     fn train_td(&mut self, states: &Matrix, actions: &[usize], targets: &[f32]) -> f32 {
-        let (prediction, caches) = self.mlp.forward_cached(states);
-        let (loss_value, d_output) =
-            masked_loss_and_grad(&prediction, actions, targets, self.loss);
-        let mut grads = self.mlp.backward(&caches, d_output);
-        if let Some(max_norm) = self.grad_clip_norm {
-            neural::clip_by_global_norm(&mut grads, max_norm);
+        // The whole step runs through the persistent scratch: activations,
+        // masked output gradient, parameter gradients. Zero steady-state
+        // allocations, bitwise identical to the allocating reference path
+        // (pinned by `train_td_is_bitwise_identical_to_allocating_reference`).
+        let MlpQ {
+            mlp,
+            optimizer,
+            loss,
+            grad_clip_norm,
+            train_scratch,
+            ..
+        } = self;
+        mlp.forward_cached_reusing(states, train_scratch);
+        let (prediction, d_output) = train_scratch.prediction_and_d_output_mut();
+        let loss_value = masked_loss_and_grad_into(prediction, actions, targets, *loss, d_output);
+        mlp.backward_reusing(states, train_scratch);
+        if let Some(max_norm) = *grad_clip_norm {
+            neural::clip_by_global_norm(train_scratch.grads_mut(), max_norm);
         }
-        self.mlp.apply_grads(&grads, &mut self.optimizer);
+        mlp.apply_grads(train_scratch.grads(), optimizer);
         loss_value
     }
 
@@ -271,16 +352,30 @@ impl DuelingQ {
         loss: Loss,
         rng: &mut R,
     ) -> Self {
-        assert!(!hidden.is_empty(), "dueling trunk needs at least one hidden layer");
+        assert!(
+            !hidden.is_empty(),
+            "dueling trunk needs at least one hidden layer"
+        );
         let mut trunk = Vec::with_capacity(hidden.len());
         let mut in_f = state_dim;
         for &w in hidden {
-            trunk.push(Dense::new(in_f, w, Activation::Relu, WeightInit::HeUniform, rng));
+            trunk.push(Dense::new(
+                in_f,
+                w,
+                Activation::Relu,
+                WeightInit::HeUniform,
+                rng,
+            ));
             in_f = w;
         }
         let value_head = Dense::new(in_f, 1, Activation::Linear, WeightInit::HeUniform, rng);
-        let advantage_head =
-            Dense::new(in_f, n_actions, Activation::Linear, WeightInit::HeUniform, rng);
+        let advantage_head = Dense::new(
+            in_f,
+            n_actions,
+            Activation::Linear,
+            WeightInit::HeUniform,
+            rng,
+        );
 
         // Parameter-tensor registration order: trunk (w, b)*, value (w, b),
         // advantage (w, b).
@@ -314,7 +409,10 @@ impl DuelingQ {
         ping: &'a mut Matrix,
         pong: &'a mut Matrix,
     ) -> &'a Matrix {
-        let (first, rest) = self.trunk.split_first().expect("dueling trunk is non-empty");
+        let (first, rest) = self
+            .trunk
+            .split_first()
+            .expect("dueling trunk is non-empty");
         first.forward_into(states, ping);
         let mut in_ping = true;
         for l in rest {
@@ -371,7 +469,10 @@ impl QFunction for DuelingQ {
             };
             trunk_caches.push(c);
         }
-        let h = &trunk_caches.last().expect("dueling trunk is non-empty").output;
+        let h = &trunk_caches
+            .last()
+            .expect("dueling trunk is non-empty")
+            .output;
         let v_cache = self.value_head.forward_cached(h);
         let a_cache = self.advantage_head.forward_cached(h);
         let q = Self::combine(&v_cache.output, &a_cache.output);
@@ -407,13 +508,18 @@ impl QFunction for DuelingQ {
         self.optimizer.begin_step();
         let mut slot = 0;
         for (l, g) in self.trunk.iter_mut().zip(&trunk_grads) {
-            self.optimizer.update(slot, l.weights.data_mut(), g.d_weights.data());
+            self.optimizer
+                .update(slot, l.weights.data_mut(), g.d_weights.data());
             self.optimizer.update(slot + 1, &mut l.bias, &g.d_bias);
             slot += 2;
         }
+        self.optimizer.update(
+            slot,
+            self.value_head.weights.data_mut(),
+            v_grads.d_weights.data(),
+        );
         self.optimizer
-            .update(slot, self.value_head.weights.data_mut(), v_grads.d_weights.data());
-        self.optimizer.update(slot + 1, &mut self.value_head.bias, &v_grads.d_bias);
+            .update(slot + 1, &mut self.value_head.bias, &v_grads.d_bias);
         self.optimizer.update(
             slot + 2,
             self.advantage_head.weights.data_mut(),
@@ -491,10 +597,18 @@ mod tests {
         }
         // ...while the mean movement of other actions is far smaller.
         let moved_other: f32 = (0..8)
-            .map(|r| (after.get(r, 0) - before.get(r, 0)).abs() + (after.get(r, 2) - before.get(r, 2)).abs())
+            .map(|r| {
+                (after.get(r, 0) - before.get(r, 0)).abs()
+                    + (after.get(r, 2) - before.get(r, 2)).abs()
+            })
             .sum();
-        let moved_taken: f32 = (0..8).map(|r| (after.get(r, 1) - before.get(r, 1)).abs()).sum();
-        assert!(moved_taken > moved_other, "taken {moved_taken} vs other {moved_other}");
+        let moved_taken: f32 = (0..8)
+            .map(|r| (after.get(r, 1) - before.get(r, 1)).abs())
+            .sum();
+        assert!(
+            moved_taken > moved_other,
+            "taken {moved_taken} vs other {moved_other}"
+        );
     }
 
     #[test]
@@ -606,6 +720,60 @@ mod tests {
         assert_eq!(q.n_params(), 4 * 16 + 16 + 16 * 3 + 3);
         let d = dueling_q(0);
         assert_eq!(d.n_params(), (4 * 16 + 16) + (16 + 1) + (16 * 3 + 3));
+    }
+
+    #[test]
+    fn train_td_is_bitwise_identical_to_allocating_reference() {
+        // The scratch-based train_td must take exactly the steps the old
+        // allocating pipeline (forward_cached → masked_loss_and_grad →
+        // backward → clip → apply_grads) took, bit for bit — with and
+        // without gradient clipping.
+        for clip in [None, Some(0.75f32)] {
+            let mut q = match clip {
+                Some(n) => mlp_q(20).with_grad_clip(n),
+                None => mlp_q(20),
+            };
+            let mut reference = q.clone();
+            let states = batch(21);
+            let actions: Vec<usize> = (0..8).map(|i| (i * 5) % 3).collect();
+            let targets: Vec<f32> = (0..8).map(|i| (i as f32 * 0.9).sin()).collect();
+            for step in 0..5 {
+                let a = q.train_td(&states, &actions, &targets);
+                let (prediction, caches) = reference.mlp.forward_cached(&states);
+                let (b, d_output) =
+                    masked_loss_and_grad(&prediction, &actions, &targets, reference.loss);
+                let mut grads = reference.mlp.backward(&caches, d_output);
+                if let Some(max_norm) = reference.grad_clip_norm {
+                    neural::clip_by_global_norm(&mut grads, max_norm);
+                }
+                reference.mlp.apply_grads(&grads, &mut reference.optimizer);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "loss diverged at step {step} (clip {clip:?})"
+                );
+            }
+            assert_eq!(q.mlp, reference.mlp, "parameters diverged (clip {clip:?})");
+        }
+    }
+
+    #[test]
+    fn predict_into_variants_match_allocating() {
+        let q = mlp_q(22);
+        let d = dueling_q(23);
+        let states = batch(24);
+        let probe = [0.1f32, -0.2, 0.3, 0.4];
+        let mut out_m = Matrix::zeros(1, 1);
+        let mut out_v = vec![7.0f32; 9];
+        q.predict_batch_into(&states, &mut out_m);
+        assert_eq!(out_m, q.predict_batch(&states));
+        q.predict_into(&probe, &mut out_v);
+        assert_eq!(out_v, q.predict(&probe));
+        // DuelingQ exercises the allocating trait defaults.
+        d.predict_batch_into(&states, &mut out_m);
+        assert_eq!(out_m, d.predict_batch(&states));
+        d.predict_into(&probe, &mut out_v);
+        assert_eq!(out_v, d.predict(&probe));
     }
 
     #[test]

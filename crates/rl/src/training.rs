@@ -88,6 +88,9 @@ pub fn train_from<E: Environment, Q: QFunction>(
     );
 
     let mut all = Vec::with_capacity(options.episodes.saturating_sub(start_episode));
+    // One Q-value buffer for the whole run: refilled in place each step
+    // instead of a fresh `Vec` per forward pass.
+    let mut qs: Vec<f32> = Vec::new();
     for episode in start_episode..options.episodes {
         let mut state = env.reset();
         let mut total_reward = 0.0;
@@ -100,7 +103,7 @@ pub fn train_from<E: Environment, Q: QFunction>(
         for _ in 0..options.max_steps_per_episode {
             // One forward pass feeds both the Figure-4 max-Q metric and
             // action selection (same policy and RNG draws as `act`).
-            let qs = agent.q_values(&state);
+            agent.q_values_into(&state, &mut qs);
             q_sum += f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
             let action = agent.act_from_q(&qs);
             let outcome = env.step(action);
@@ -108,9 +111,13 @@ pub fn train_from<E: Environment, Q: QFunction>(
             steps += 1;
             // Borrowed handover: the replay memory interns both states
             // without the loop cloning either vector.
-            if let Some(loss) =
-                agent.observe_parts(&state, action, outcome.reward, &outcome.state, outcome.terminal)
-            {
+            if let Some(loss) = agent.observe_parts(
+                &state,
+                action,
+                outcome.reward,
+                &outcome.state,
+                outcome.terminal,
+            ) {
                 loss_sum += f64::from(loss);
                 loss_count += 1;
             }
@@ -149,8 +156,10 @@ pub fn evaluate_greedy<E: Environment, Q: QFunction>(
 ) -> (f64, usize, bool) {
     let mut state = env.reset();
     let mut total = 0.0;
+    let mut qs: Vec<f32> = Vec::new();
     for step in 1..=max_steps {
-        let action = agent.greedy_action(&state);
+        agent.q_values_into(&state, &mut qs);
+        let action = agent.greedy_from_q(&qs);
         let outcome = env.step(action);
         total += outcome.reward;
         state = outcome.state;
