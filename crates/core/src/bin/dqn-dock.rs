@@ -6,6 +6,8 @@
 //!                 [--policy FILE] [--csv FILE] [--report FILE]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                 [--keep-last K] [--resume]
+//!                 [--transport direct|ram|file] [--transport-retries N]
+//!                 [--transport-timeout-ms MS] [--fault-rate P] [--fault-seed S]
 //! dqn-dock eval   --policy FILE [--episodes N] [--trace FILE]
 //! dqn-dock dock   [--method mc|sa|ga|random] [--budget N] [--seed S] [--flexible]
 //! dqn-dock blind  [--budget N] [--spot-radius R]
@@ -15,6 +17,7 @@
 //! Everything runs on the laptop-scale synthetic complex unless `--paper`
 //! selects the 2BSM-sized preset.
 
+use dqn_docking::config::TransportMode;
 use dqn_docking::{policy, trainer, CheckpointOptions, Config, DockingEnv, Policy};
 use metadock::{blind_dock, DockingEngine, Metaheuristic};
 use molkit::LibrarySpec;
@@ -62,6 +65,21 @@ fn base_config(args: &Args) -> Config {
         config.flexible = true;
     }
     config.dqn.seed = args.parse("--seed", config.dqn.seed);
+    if let Some(mode) = args.value("--transport") {
+        config.transport.mode = match mode {
+            "direct" => TransportMode::Direct,
+            "ram" => TransportMode::Ram,
+            "file" => TransportMode::File,
+            other => {
+                eprintln!("unknown transport {other:?} (direct|ram|file)");
+                std::process::exit(1);
+            }
+        };
+    }
+    config.transport.retries = args.parse("--transport-retries", config.transport.retries);
+    config.transport.timeout_ms = args.parse("--transport-timeout-ms", config.transport.timeout_ms);
+    config.transport.fault_rate = args.parse("--fault-rate", config.transport.fault_rate);
+    config.transport.fault_seed = args.parse("--fault-seed", config.transport.fault_seed);
     config
 }
 
@@ -154,6 +172,13 @@ fn cmd_train(args: &Args) {
     }
     if run.halted {
         eprintln!("run halted by the divergence watchdog");
+    }
+    if !run.fault_events.is_empty() {
+        let recovered = run.fault_events.iter().filter(|f| f.recovered).count();
+        println!(
+            "transport faults: {} total, {recovered} recovered transparently",
+            run.fault_events.len()
+        );
     }
     println!(
         "done: best score {:.2} (RMSD {:.2} Å), {} env evaluations",

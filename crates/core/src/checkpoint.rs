@@ -7,7 +7,7 @@
 //! and the watchdog ledger — so a resumed run reassembles the *entire*
 //! [`crate::trainer::TrainingRun`] bitwise, not just the network.
 
-use crate::trainer::WatchdogEvent;
+use crate::trainer::{FaultEvent, WatchdogEvent};
 use rl::checkpoint as wire;
 use rl::{DqnAgent, DqnConfig, EpisodeStats, MlpQ};
 use std::io;
@@ -93,6 +93,8 @@ pub struct TrainerState {
     pub episodes: Vec<EpisodeStats>,
     /// Watchdog trips recorded so far.
     pub watchdog_events: Vec<WatchdogEvent>,
+    /// Transport/environment fault events recorded so far.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl TrainerState {
@@ -107,13 +109,17 @@ impl TrainerState {
             eval_points: Vec::new(),
             episodes: Vec::new(),
             watchdog_events: Vec::new(),
+            fault_events: Vec::new(),
         }
     }
 }
 
 /// Trainer payload magic (the agent blob follows it inside the outer
-/// `DQCK` container, which owns versioning and the checksum).
-const TRAINER_MAGIC: [u8; 4] = *b"TRN1";
+/// `DQCK` container, which owns versioning and the checksum). `TRN2` added
+/// the transport-fault ledger; `TRN1` payloads are still read (their fault
+/// ledger is empty by definition).
+const TRAINER_MAGIC: [u8; 4] = *b"TRN2";
+const TRAINER_MAGIC_V1: [u8; 4] = *b"TRN1";
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -178,6 +184,13 @@ pub fn encode_run_state(state: &TrainerState, agent: &DqnAgent<MlpQ>) -> io::Res
         wire::put_str(&mut out, &ev.reason);
         wire::put_bool(&mut out, ev.rolled_back);
     }
+    wire::put_usize(&mut out, state.fault_events.len());
+    for ev in &state.fault_events {
+        wire::put_usize(&mut out, ev.episode);
+        wire::put_str(&mut out, &ev.kind);
+        wire::put_str(&mut out, &ev.detail);
+        wire::put_bool(&mut out, ev.recovered);
+    }
     agent.write_checkpoint(&mut out)?;
     Ok(out)
 }
@@ -191,7 +204,8 @@ pub fn decode_run_state(
     let mut r = payload;
     let mut magic = [0u8; 4];
     io::Read::read_exact(&mut r, &mut magic)?;
-    if magic != TRAINER_MAGIC {
+    let v1 = magic == TRAINER_MAGIC_V1;
+    if magic != TRAINER_MAGIC && !v1 {
         return Err(bad("not a trainer checkpoint payload (bad magic)"));
     }
     let next_episode = wire::get_usize(&mut r)?;
@@ -221,6 +235,19 @@ pub fn decode_run_state(
             rolled_back: wire::get_bool(&mut r)?,
         });
     }
+    let mut fault_events = Vec::new();
+    if !v1 {
+        let n_faults = wire::get_usize(&mut r)?;
+        fault_events.reserve(n_faults.min(1 << 20));
+        for _ in 0..n_faults {
+            fault_events.push(FaultEvent {
+                episode: wire::get_usize(&mut r)?,
+                kind: wire::get_str(&mut r)?,
+                detail: wire::get_str(&mut r)?,
+                recovered: wire::get_bool(&mut r)?,
+            });
+        }
+    }
     let agent = DqnAgent::read_checkpoint(&mut r, dqn)?;
     if !r.is_empty() {
         return Err(bad(format!(
@@ -237,6 +264,7 @@ pub fn decode_run_state(
         eval_points,
         episodes,
         watchdog_events,
+        fault_events,
     };
     Ok((state, agent))
 }

@@ -54,6 +54,56 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Which transport carries environment evaluations to the docking engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// In-process calls (no IPC at all) — the fastest path and the default.
+    #[default]
+    Direct,
+    /// The channel-backed server thread ([`metadock::ipc::RamTransport`]).
+    Ram,
+    /// The file-exchange protocol ([`metadock::ipc::FileTransport`]),
+    /// mimicking the paper's on-disk METADOCK coupling.
+    File,
+}
+
+/// Fault-tolerant transport settings for the environment boundary.
+///
+/// With the defaults (Direct mode, zero fault rate) the environment calls
+/// the engine in-process and nothing here has any effect. Selecting `Ram`
+/// or `File` routes evaluations through a
+/// [`metadock::ipc::SupervisedTransport`] with this retry budget and
+/// per-call deadline, degrading to an in-process fallback once the budget
+/// is exhausted. A non-zero `fault_rate` additionally wraps the raw
+/// transport in a seeded [`metadock::ipc::FaultInjectingTransport`] —
+/// the chaos-testing configuration used by the CI soak job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Transport selection.
+    pub mode: TransportMode,
+    /// Supervised retry budget per evaluation.
+    pub retries: u32,
+    /// Per-call deadline in milliseconds (0 = no deadline).
+    pub timeout_ms: u64,
+    /// Deterministic fault-injection probability in `[0, 1]`; 0 disables
+    /// injection entirely.
+    pub fault_rate: f64,
+    /// Seed for the fault injector's RNG stream.
+    pub fault_seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mode: TransportMode::Direct,
+            retries: 3,
+            timeout_ms: 1_000,
+            fault_rate: 0.0,
+            fault_seed: 0xfa_017,
+        }
+    }
+}
+
 /// The full experiment configuration. `Config::paper_2bsm()` reproduces
 /// Table 1 value-for-value; `Config::scaled()` shrinks the complex and the
 /// run length to laptop scale while keeping every mechanism identical.
@@ -115,6 +165,10 @@ pub struct Config {
     /// Divergence watchdog (defaults on; absent in old serialized configs).
     #[serde(default)]
     pub watchdog: WatchdogConfig,
+    /// Environment transport (defaults to in-process; absent in old
+    /// serialized configs).
+    #[serde(default)]
+    pub transport: TransportConfig,
 
     // --- RL hyper-parameters (Table 1, top block) ---------------------------
     /// DQN agent configuration (γ, minibatch, replay, ε, target period, …).
@@ -149,6 +203,7 @@ impl Config {
             grad_clip_norm: Some(10.0),
             eval_every: None,
             watchdog: WatchdogConfig::default(),
+            transport: TransportConfig::default(),
             dqn: DqnConfig {
                 gamma: 0.99,
                 batch_size: 32,
@@ -200,6 +255,7 @@ impl Config {
             grad_clip_norm: None, // the paper does not clip gradients
             eval_every: None,
             watchdog: WatchdogConfig::default(),
+            transport: TransportConfig::default(),
             dqn: DqnConfig::paper(),
         }
     }
@@ -254,6 +310,9 @@ impl Config {
         }
         if self.watchdog.max_abs_q.is_nan() || self.watchdog.max_abs_q <= 0.0 {
             problems.push("watchdog max_abs_q must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.transport.fault_rate) {
+            problems.push("transport fault_rate must be in [0, 1]".into());
         }
         problems
     }
@@ -399,6 +458,8 @@ mod tests {
             ("coord_scale", Box::new(|c| c.coord_scale = 0.0)),
             ("gamma", Box::new(|c| c.dqn.gamma = 1.5)),
             ("watchdog", Box::new(|c| c.watchdog.max_abs_q = -1.0)),
+            ("fault_rate", Box::new(|c| c.transport.fault_rate = 1.5)),
+            ("fault_rate nan", Box::new(|c| c.transport.fault_rate = f64::NAN)),
         ];
         for (tag, breaker) in breakers {
             let mut c = Config::scaled();

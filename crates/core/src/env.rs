@@ -16,13 +16,81 @@
 //! thread, or the paper's file-exchange protocol (for the IPC ablation).
 
 use crate::actions::ActionSet;
-use crate::config::Config;
+use crate::config::{Config, TransportConfig, TransportMode};
 use crate::state::StateFeaturizer;
-use metadock::ipc::Transport;
+use metadock::ipc::{
+    DirectTransport, FaultConfig, FaultInjectingTransport, FileTransport, RamTransport, Recovery,
+    SupervisedTransport, SupervisionPolicy, Transport, TransportError,
+};
 use metadock::{DockingEngine, Pose};
 use molkit::measure;
-use rl::{clip_reward, Environment, StepOutcome};
+use rl::{clip_reward, EnvError, Environment, StepOutcome};
 use vecmath::Vec3;
+
+/// One transport/evaluation fault observed at the environment boundary.
+///
+/// `recovered == true` means the fault was absorbed (supervised retry,
+/// respawn, or degradation to the in-process engine) and training saw the
+/// true evaluation; `false` means the episode had to be aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFaultRecord {
+    /// Machine-readable kind (`"timeout"`, `"decode"`, `"server-dead"`,
+    /// `"non-finite-score"`, `"io"`, `"degraded"`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Whether the fault was recovered transparently.
+    pub recovered: bool,
+}
+
+/// Builds the transport stack described by a [`TransportConfig`]: the raw
+/// transport for the selected mode, optionally wrapped in a seeded
+/// [`FaultInjectingTransport`] (when `fault_rate > 0`), always wrapped in a
+/// [`SupervisedTransport`] with an in-process fallback engine so retry-budget
+/// exhaustion degrades instead of erroring. Returns `None` for the plain
+/// in-process configuration (Direct mode, zero fault rate), which skips the
+/// transport layer entirely.
+fn build_transport_stack(
+    engine: &DockingEngine,
+    tc: &TransportConfig,
+) -> Option<Box<dyn Transport>> {
+    if tc.mode == TransportMode::Direct && tc.fault_rate <= 0.0 {
+        return None;
+    }
+    let policy = SupervisionPolicy {
+        max_retries: tc.retries,
+        timeout: (tc.timeout_ms > 0).then(|| std::time::Duration::from_millis(tc.timeout_ms)),
+        ..SupervisionPolicy::default()
+    };
+    fn supervise<T: Transport + 'static>(
+        raw: T,
+        engine: &DockingEngine,
+        tc: &TransportConfig,
+        policy: SupervisionPolicy,
+    ) -> Box<dyn Transport> {
+        if tc.fault_rate > 0.0 {
+            let fc = FaultConfig::with_rate_and_seed(tc.fault_rate, tc.fault_seed);
+            let injected = FaultInjectingTransport::new(raw, fc);
+            Box::new(SupervisedTransport::new(injected, policy).with_fallback(engine.clone()))
+        } else {
+            Box::new(SupervisedTransport::new(raw, policy).with_fallback(engine.clone()))
+        }
+    }
+    Some(match tc.mode {
+        TransportMode::Direct => supervise(DirectTransport::new(engine.clone()), engine, tc, policy),
+        TransportMode::Ram => supervise(RamTransport::new(engine.clone()), engine, tc, policy),
+        TransportMode::File => {
+            let dir = std::env::temp_dir().join(format!("dqn-dock-ipc-{}", std::process::id()));
+            match FileTransport::new(engine.clone(), dir) {
+                Ok(t) => supervise(t, engine, tc, policy),
+                // The exchange directory could not be created: stay
+                // functional on the in-process path rather than dying
+                // before the first episode.
+                Err(_) => supervise(DirectTransport::new(engine.clone()), engine, tc, policy),
+            }
+        }
+    })
+}
 
 /// The DQN-Docking environment.
 pub struct DockingEnv {
@@ -51,6 +119,8 @@ pub struct DockingEnv {
     /// in place) and [`DockingEnv::recycle_state_buffer`] takes it back, so
     /// the training loop's state vectors cycle through one allocation.
     obs_scratch: Vec<f32>,
+    /// Faults observed at this boundary since the last drain.
+    fault_log: Vec<EnvFaultRecord>,
 }
 
 impl DockingEnv {
@@ -59,7 +129,12 @@ impl DockingEnv {
     pub fn from_config(config: &Config) -> Self {
         let complex = config.complex.generate();
         let engine = DockingEngine::new(complex, config.scoring, config.kernel);
-        DockingEnv::with_engine(engine, config)
+        let transport = build_transport_stack(&engine, &config.transport);
+        let env = DockingEnv::with_engine(engine, config);
+        match transport {
+            Some(t) => env.with_transport(t),
+            None => env,
+        }
     }
 
     /// Builds the environment around an existing engine (lets experiments
@@ -105,8 +180,9 @@ impl DockingEnv {
             episode_steps: 0,
             evaluations: 0,
             obs_scratch: Vec::new(),
+            fault_log: Vec::new(),
         };
-        let (coords, score) = env.evaluate_current();
+        let (coords, score) = env.evaluate_or_recover();
         env.last_coords = coords;
         env.last_score = score;
         env
@@ -120,18 +196,83 @@ impl DockingEnv {
         self
     }
 
-    fn evaluate_current(&mut self) -> (Vec<Vec3>, f64) {
+    /// One evaluation through the configured path. Pulls the transport's
+    /// own fault log into the environment's, sanitizes non-finite scores
+    /// into [`TransportError::NonFiniteScore`] *before* they can reach
+    /// reward clipping or the burrow-rule counter, and surfaces every
+    /// failure as data — this is the fallible replacement for the old
+    /// `.expect("environment transport failed")` panic.
+    fn evaluate_current(&mut self) -> Result<(Vec<Vec3>, f64), TransportError> {
         self.evaluations += 1;
-        match &mut self.transport {
+        let result = match &mut self.transport {
             Some(t) => {
-                let eval = t
-                    .evaluate(&self.pose)
-                    .expect("environment transport failed");
-                (eval.ligand_coords, eval.score)
+                let result = t.evaluate(&self.pose);
+                // Recovered faults (retry/respawn/fallback) are logged but
+                // invisible to training; a surfaced error is logged below
+                // with the error itself.
+                for f in t.drain_faults() {
+                    if !matches!(f.recovery, Recovery::Surfaced) {
+                        self.fault_log.push(EnvFaultRecord {
+                            kind: f.error.kind().to_string(),
+                            detail: format!("{} ({:?})", f.error, f.recovery),
+                            recovered: true,
+                        });
+                    }
+                }
+                result.map(|e| (e.ligand_coords, e.score))
             }
             None => {
                 let coords = self.engine.ligand_coords(&self.pose);
                 let score = self.engine.scorer().score(&coords, self.engine.kernel());
+                Ok((coords, score))
+            }
+        };
+        match result {
+            Ok((_, score)) if !score.is_finite() => {
+                let err = TransportError::NonFiniteScore(score);
+                self.fault_log.push(EnvFaultRecord {
+                    kind: err.kind().to_string(),
+                    detail: err.to_string(),
+                    recovered: false,
+                });
+                Err(err)
+            }
+            Ok(ok) => Ok(ok),
+            Err(err) => {
+                self.fault_log.push(EnvFaultRecord {
+                    kind: err.kind().to_string(),
+                    detail: err.to_string(),
+                    recovered: false,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Infallible evaluation for the paths that cannot surface an error
+    /// (`reset`, the legacy `step`): on a fatal transport error the
+    /// transport is detached for good and the evaluation redone on the
+    /// in-process engine — the same engine, so scores are unchanged. A
+    /// non-finite score from the engine itself (no transport left to blame)
+    /// is clamped to `f64::MIN` so the burrow rule terminates the episode
+    /// instead of NaN poisoning the reward stream.
+    fn evaluate_or_recover(&mut self) -> (Vec<Vec3>, f64) {
+        match self.evaluate_current() {
+            Ok(v) => v,
+            Err(err) => {
+                if self.transport.is_some() {
+                    self.transport = None;
+                    self.fault_log.push(EnvFaultRecord {
+                        kind: "degraded".to_string(),
+                        detail: format!("transport detached after fatal fault: {err}"),
+                        recovered: true,
+                    });
+                }
+                let coords = self.engine.ligand_coords(&self.pose);
+                let mut score = self.engine.scorer().score(&coords, self.engine.kernel());
+                if !score.is_finite() {
+                    score = f64::MIN;
+                }
                 (coords, score)
             }
         }
@@ -226,6 +367,18 @@ impl DockingEnv {
         self.episode_steps
     }
 
+    /// Takes the faults observed at this boundary since the last drain
+    /// (the trainer pulls this per episode and logs fault events).
+    pub fn drain_faults(&mut self) -> Vec<EnvFaultRecord> {
+        std::mem::take(&mut self.fault_log)
+    }
+
+    /// Whether evaluations still go through an attached transport (`false`
+    /// after fatal-fault degradation detached it).
+    pub fn has_transport(&self) -> bool {
+        self.transport.is_some()
+    }
+
     /// Whether the flexible action set is active.
     pub fn is_flexible(&self) -> bool {
         self.flexible
@@ -249,18 +402,42 @@ impl Environment for DockingEnv {
         };
         self.below_count = 0;
         self.episode_steps = 0;
-        let (coords, score) = self.evaluate_current();
+        // Reset must not fail: a fatal transport fault here degrades to the
+        // in-process engine instead (same complex, same scores).
+        let (coords, score) = self.evaluate_or_recover();
         self.last_coords = coords;
         self.last_score = score;
         self.observe()
     }
 
     fn step(&mut self, action: usize) -> StepOutcome {
+        // Legacy infallible path (ablations, benchmarks): a fatal fault
+        // degrades to the in-process engine rather than panicking.
+        match self.try_step(action) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                let (coords, score) = self.evaluate_or_recover();
+                self.finish_step(coords, score)
+            }
+        }
+    }
+
+    fn try_step(&mut self, action: usize) -> Result<StepOutcome, EnvError> {
         assert!(action < self.actions.len(), "action {action} out of range");
         self.pose = self.actions.apply(action, &self.pose);
         self.episode_steps += 1;
 
-        let (coords, score) = self.evaluate_current();
+        let (coords, score) = self
+            .evaluate_current()
+            .map_err(|e| EnvError::new(e.kind(), e.to_string()))?;
+        Ok(self.finish_step(coords, score))
+    }
+}
+
+impl DockingEnv {
+    /// Applies the paper's reward clipping and the two termination rules to
+    /// a fresh evaluation — shared by the fallible and recovery step paths.
+    fn finish_step(&mut self, coords: Vec<Vec3>, score: f64) -> StepOutcome {
         // Reward: the *change* in score, clipped to {−1, 0, +1} (§3).
         let reward = clip_reward(score - self.last_score);
         self.last_coords = coords;
@@ -464,6 +641,148 @@ mod tests {
             e.step(a);
         }
         assert_eq!(e.evaluations(), start + 5);
+    }
+
+    /// Transport stub that serves scripted evaluations (for boundary
+    /// sanitation tests) and can be switched to hard failure.
+    struct ScriptedTransport {
+        engine: DockingEngine,
+        nan_on_call: u64,
+        dead_from_call: u64,
+        calls: u64,
+    }
+
+    impl Transport for ScriptedTransport {
+        fn evaluate(
+            &mut self,
+            pose: &Pose,
+        ) -> Result<metadock::ipc::Evaluation, TransportError> {
+            self.calls += 1;
+            if self.calls >= self.dead_from_call {
+                return Err(TransportError::ServerDead("scripted death".into()));
+            }
+            let ligand_coords = self.engine.ligand_coords(pose);
+            let score = if self.calls == self.nan_on_call {
+                f64::NAN
+            } else {
+                self.engine
+                    .scorer()
+                    .score(&ligand_coords, self.engine.kernel())
+            };
+            Ok(metadock::ipc::Evaluation { ligand_coords, score })
+        }
+
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    #[test]
+    fn nan_score_is_trapped_as_fault_not_reward() {
+        let config = Config::tiny();
+        let direct = DockingEnv::from_config(&config);
+        let engine = direct.engine().clone();
+        let mut e = DockingEnv::with_engine(engine.clone(), &config).with_transport(Box::new(
+            ScriptedTransport {
+                engine,
+                nan_on_call: 2, // reset consumes call 1
+                dead_from_call: u64::MAX,
+                calls: 0,
+            },
+        ));
+        e.reset();
+        e.drain_faults();
+        let err = rl::Environment::try_step(&mut e, 0).unwrap_err();
+        assert_eq!(err.kind, "non-finite-score");
+        let faults = e.drain_faults();
+        assert_eq!(faults.len(), 1);
+        assert!(!faults[0].recovered);
+        // The NaN never reached the score state: a later step still clips
+        // rewards off the last *finite* score.
+        let out = rl::Environment::try_step(&mut e, 0).unwrap();
+        assert!(out.reward == 1.0 || out.reward == -1.0 || out.reward == 0.0);
+        assert!(e.score().is_finite());
+    }
+
+    #[test]
+    fn fatal_fault_on_infallible_path_degrades_to_engine() {
+        let config = Config::tiny();
+        let mut direct = DockingEnv::from_config(&config);
+        let engine = direct.engine().clone();
+        let mut e = DockingEnv::with_engine(engine.clone(), &config).with_transport(Box::new(
+            ScriptedTransport {
+                engine,
+                nan_on_call: u64::MAX,
+                dead_from_call: 3,
+                calls: 0,
+            },
+        ));
+        let s_d = direct.reset();
+        let s_e = e.reset();
+        assert_eq!(s_d, s_e);
+        assert_eq!(direct.step(4).reward, e.step(4).reward);
+        assert!(e.has_transport());
+        // Next evaluation hits the scripted death; the legacy step path
+        // must degrade (detach + in-process evaluation), not panic.
+        let x = direct.step(1);
+        let y = e.step(1);
+        assert_eq!(x.reward, y.reward);
+        assert_eq!(x.state, y.state);
+        assert!(!e.has_transport(), "transport detached after fatal fault");
+        let faults = e.drain_faults();
+        assert!(faults.iter().any(|f| f.kind == "server-dead"));
+        assert!(faults.iter().any(|f| f.kind == "degraded" && f.recovered));
+        // Trajectories remain identical afterwards (same engine).
+        for a in [0, 5, 9] {
+            assert_eq!(direct.step(a).reward, e.step(a).reward);
+        }
+    }
+
+    #[test]
+    fn supervised_transport_recovers_and_logs_at_env_level() {
+        use metadock::ipc::{
+            FaultClass, FaultConfig, FaultInjectingTransport, RamTransport,
+            SupervisedTransport, SupervisionPolicy,
+        };
+        let config = Config::tiny();
+        let mut direct = DockingEnv::from_config(&config);
+        let engine = direct.engine().clone();
+        let injector = FaultInjectingTransport::new(
+            RamTransport::new(engine.clone()),
+            FaultConfig {
+                fault_rate: 0.4,
+                seed: 21,
+                classes: vec![
+                    FaultClass::DroppedReply,
+                    FaultClass::CorruptPayload,
+                    FaultClass::NanScore,
+                    FaultClass::ServerDeath,
+                ],
+                delay: std::time::Duration::from_millis(1),
+            },
+        );
+        let policy = SupervisionPolicy {
+            max_retries: 6,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..SupervisionPolicy::default()
+        };
+        let supervised =
+            SupervisedTransport::new(injector, policy).with_fallback(engine.clone());
+        let mut e =
+            DockingEnv::with_engine(engine, &config).with_transport(Box::new(supervised));
+        let s_d = direct.reset();
+        let s_e = e.reset();
+        assert_eq!(s_d, s_e, "recovery must be invisible to the state");
+        let mut faults = 0;
+        for a in [0, 5, 9, 2, 7, 11, 1, 4, 6, 10, 3, 8] {
+            let x = direct.step(a);
+            let y = e.step(a);
+            assert_eq!(x.reward, y.reward, "recovered step must match direct");
+            assert_eq!(x.state, y.state);
+            faults += e.drain_faults().len();
+        }
+        assert!(faults > 0, "the injector should have fired at 40% rate");
     }
 
     #[test]

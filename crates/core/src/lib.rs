@@ -52,7 +52,7 @@ pub mod trainer;
 pub use actions::{Action, ActionSet};
 pub use checkpoint::CheckpointOptions;
 pub use config::{Config, StateLayout, WatchdogConfig};
-pub use env::DockingEnv;
+pub use env::{DockingEnv, EnvFaultRecord};
 pub use policy::{evaluate, rollout, EvalReport, Policy, Trajectory};
 pub use report::training_report;
-pub use trainer::{run, run_checkpointed, CheckpointedRun, TrainingRun, WatchdogEvent};
+pub use trainer::{run, run_checkpointed, CheckpointedRun, FaultEvent, TrainingRun, WatchdogEvent};

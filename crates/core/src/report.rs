@@ -125,6 +125,34 @@ pub fn training_report(config: &Config, run: &TrainingRun) -> String {
             let _ = writeln!(out, "| {} | {action} | {} |", ev.episode, ev.reason);
         }
     }
+
+    if !run.fault_events.is_empty() {
+        let recovered = run.fault_events.iter().filter(|f| f.recovered).count();
+        let _ = writeln!(out, "\n## Transport faults\n");
+        let _ = writeln!(
+            out,
+            "{recovered} of {} faults recovered transparently (retry, respawn, \
+             or degradation to the in-process engine); the rest aborted their \
+             episode.\n",
+            run.fault_events.len()
+        );
+        let _ = writeln!(out, "| episode | kind | outcome | detail |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for ev in &run.fault_events {
+            let outcome = if ev.recovered {
+                "recovered"
+            } else {
+                "episode aborted"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {outcome} | {} |",
+                ev.episode,
+                ev.kind,
+                ev.detail.replace('|', "\\|")
+            );
+        }
+    }
     out
 }
 
@@ -181,6 +209,30 @@ mod tests {
         assert!(md.contains("## Divergence watchdog"));
         assert!(md.contains("**Run halted**"));
         assert!(md.contains("| 2 | halted | non-finite training loss NaN at step 7 |"));
+    }
+
+    #[test]
+    fn report_lists_transport_faults_when_present() {
+        let (c, mut run) = quick_run();
+        // Fault-free run: no transport-fault section at all.
+        assert!(!training_report(&c, &run).contains("Transport faults"));
+        run.fault_events.push(crate::trainer::FaultEvent {
+            episode: 1,
+            kind: "timeout".into(),
+            detail: "deadline of 250 ms elapsed (Retried(2))".into(),
+            recovered: true,
+        });
+        run.fault_events.push(crate::trainer::FaultEvent {
+            episode: 3,
+            kind: "server-dead".into(),
+            detail: "evaluation server thread is gone".into(),
+            recovered: false,
+        });
+        let md = training_report(&c, &run);
+        assert!(md.contains("## Transport faults"));
+        assert!(md.contains("1 of 2 faults recovered transparently"));
+        assert!(md.contains("| 1 | timeout | recovered |"));
+        assert!(md.contains("| 3 | server-dead | episode aborted |"));
     }
 
     #[test]

@@ -24,6 +24,23 @@ pub struct WatchdogEvent {
     pub rolled_back: bool,
 }
 
+/// One transport/environment fault observed during training: which episode
+/// it hit, what went wrong, and whether recovery was transparent
+/// (supervised retry/respawn/degradation) or the episode was aborted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Episode index (0-based) in which the fault occurred.
+    pub episode: usize,
+    /// Machine-readable kind (`"timeout"`, `"decode"`, `"server-dead"`,
+    /// `"non-finite-score"`, `"io"`, `"degraded"`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// `true` if training saw the true evaluation anyway; `false` if the
+    /// episode was aborted.
+    pub recovered: bool,
+}
+
 /// The result of a training run: per-episode statistics plus summary
 /// docking metrics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,6 +68,9 @@ pub struct TrainingRun {
     /// Whether the watchdog halted the run before `config.episodes`.
     #[serde(default)]
     pub halted: bool,
+    /// Transport/environment faults, in order (empty on a healthy run).
+    #[serde(default)]
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// CSV rendering of an `f64` metric: finite values print as-is; non-finite
@@ -184,6 +204,20 @@ impl TrainingRun {
                 ev.episode,
                 escape(&ev.reason),
                 ev.rolled_back
+            );
+        }
+        s.push_str("],\"fault_events\":[");
+        for (i, ev) in self.fault_events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"episode\":{},\"kind\":\"{}\",\"detail\":\"{}\",\"recovered\":{}}}",
+                ev.episode,
+                escape(&ev.kind),
+                escape(&ev.detail),
+                ev.recovered
             );
         }
         s.push_str("]}");
@@ -323,6 +357,19 @@ pub fn run_checkpointed(
     let mut halted = false;
     let mut last_saved: Option<usize> = None;
 
+    // Pulls the env-boundary fault log into the trainer's ledger, tagging
+    // each record with the episode it hit.
+    fn drain_env_faults(env: &mut DockingEnv, ts: &mut TrainerState, episode: usize) {
+        for f in env.drain_faults() {
+            ts.fault_events.push(FaultEvent {
+                episode,
+                kind: f.kind,
+                detail: f.detail,
+                recovered: f.recovered,
+            });
+        }
+    }
+
     // Custom loop (mirrors rl::train) so we can observe docking metrics at
     // every step without polluting the generic RL crate. A `while` rather
     // than a `for`: a watchdog rollback moves `episode` backwards.
@@ -356,9 +403,15 @@ pub fn run_checkpointed(
                 ));
                 break;
             }
-            q_sum += max_q;
             let action = agent.act_from_q(&qs);
-            let outcome = env.step(action);
+            let outcome = match env.try_step(action) {
+                Ok(o) => o,
+                // Unrecovered transport fault: abort the *episode* (the
+                // fault lands in the ledger via the post-loop drain), keep
+                // the process and the run alive.
+                Err(_) => break,
+            };
+            q_sum += max_q;
             if env.score() > ts.best_score {
                 ts.best_score = env.score();
                 ts.best_rmsd = env.rmsd_to_crystal();
@@ -393,6 +446,7 @@ pub fn run_checkpointed(
         }
         // The episode's final state buffer goes back to the pool too.
         env.recycle_state_buffer(state);
+        drain_env_faults(env, &mut ts, episode);
 
         if let Some(reason) = trip {
             // Roll back if the budget and a valid checkpoint allow it;
@@ -411,16 +465,18 @@ pub fn run_checkpointed(
             match rollback.and_then(|(_e, payload)| decode_run_state(&payload, dqn).ok()) {
                 Some((snapshot, snapshot_agent)) => {
                     // The ledger accumulated since the snapshot (events,
-                    // rollback count) survives the rewind.
+                    // faults, rollback count) survives the rewind.
                     let mut events = std::mem::take(&mut ts.watchdog_events);
                     events.push(WatchdogEvent {
                         episode,
                         reason,
                         rolled_back: true,
                     });
+                    let fault_events = std::mem::take(&mut ts.fault_events);
                     let rollbacks_used = ts.rollbacks_used + 1;
                     ts = snapshot;
                     ts.watchdog_events = events;
+                    ts.fault_events = fault_events;
                     ts.rollbacks_used = rollbacks_used;
                     agent = snapshot_agent;
                     env.set_evaluations(ts.evaluations);
@@ -487,6 +543,7 @@ pub fn run_checkpointed(
                 // keeping it in step with the training loop above.
                 env.recycle_state_buffer(state);
                 ts.eval_points.push((episode + 1, eval_best, eval_rmsd));
+                drain_env_faults(env, &mut ts, episode);
             }
         }
 
@@ -528,6 +585,7 @@ pub fn run_checkpointed(
         eval_points: ts.eval_points,
         watchdog_events: ts.watchdog_events,
         halted,
+        fault_events: ts.fault_events,
     };
     Ok(CheckpointedRun { run, agent })
 }
@@ -649,6 +707,7 @@ mod tests {
             eval_points: vec![(1, -3.5, 1.25)],
             watchdog_events: Vec::new(),
             halted: false,
+            fault_events: Vec::new(),
         }
     }
 

@@ -15,15 +15,40 @@
 //!   writes the request to disk, the "server" reads it, evaluates, writes a
 //!   *state file* and a *score file*, and the client parses both back.
 //!
-//! The `env_comm` benchmark measures all three; the expected shape is
-//! Direct ≥ RAM ≫ File by orders of magnitude.
+//! On top of the raw transports sit the fault-tolerance layers:
+//!
+//! * [`TransportError`] — a typed taxonomy of everything that can go wrong
+//!   at the boundary (timeout, decode failure, dead server, non-finite
+//!   score, I/O);
+//! * [`SupervisedTransport`] — a wrapper adding per-call deadlines, bounded
+//!   retries with seeded exponential backoff + jitter, health checks,
+//!   automatic server respawn, and graceful degradation to an in-process
+//!   [`DirectTransport`] once the retry budget is spent;
+//! * [`FaultInjectingTransport`] — a deterministic (seeded ChaCha8) chaos
+//!   layer injecting dropped replies, delays, corrupt payloads, NaN scores,
+//!   server death, and mid-write truncation, used to prove the supervisor
+//!   actually recovers.
+//!
+//! Every injected fault class is *detectable*: corrupt payloads fail the
+//! decode check, drops and delays miss the deadline, NaN scores fail the
+//! finite check, and a dead server errors on contact. A supervised retry
+//! therefore always converges back to the true evaluation, which is why
+//! training through `SupervisedTransport<FaultInjectingTransport<RamTransport>>`
+//! is bitwise identical to fault-free training (see DESIGN.md §11).
+//!
+//! The `env_comm` benchmark measures the three raw transports; the expected
+//! shape is Direct ≥ RAM ≫ File by orders of magnitude.
 
 use crate::engine::DockingEngine;
 use crate::pose::Pose;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use vecmath::{Quat, Transform, Vec3};
 
 /// One environment evaluation: the posed ligand coordinates (the raw state
@@ -36,12 +61,127 @@ pub struct Evaluation {
     pub score: f64,
 }
 
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong at the DQN ↔ METADOCK boundary.
+///
+/// Cloneable and comparable so fault events can be logged, asserted on in
+/// tests, and carried through `TrainingRun` without lifetime gymnastics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// The server did not answer within the per-call deadline (covers both
+    /// dropped replies and replies that arrive too late).
+    Timeout {
+        /// Deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The payload came back but could not be decoded (truncated file,
+    /// bit-flipped text, wrong arity, …).
+    Decode(String),
+    /// The server thread/process is gone and cannot take requests.
+    ServerDead(String),
+    /// The transport delivered a NaN or ±inf score; propagating it would
+    /// poison reward clipping and the termination counter, so it is trapped
+    /// here at the boundary.
+    NonFiniteScore(f64),
+    /// Underlying filesystem / OS error.
+    Io(String),
+}
+
+impl TransportError {
+    /// Stable short label for reports and metrics (one per variant).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TransportError::Timeout { .. } => "timeout",
+            TransportError::Decode(_) => "decode",
+            TransportError::ServerDead(_) => "server-dead",
+            TransportError::NonFiniteScore(_) => "non-finite-score",
+            TransportError::Io(_) => "io",
+        }
+    }
+
+    /// Whether a retry of the same request can plausibly succeed.
+    ///
+    /// Everything in the taxonomy is retryable — even `ServerDead`, after a
+    /// respawn — which is what makes supervised recovery deterministic: the
+    /// retry re-evaluates the same pose on the same engine.
+    pub fn is_retryable(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout { deadline_ms } => {
+                write!(f, "no reply within {deadline_ms} ms")
+            }
+            TransportError::Decode(msg) => write!(f, "payload decode failed: {msg}"),
+            TransportError::ServerDead(msg) => write!(f, "engine server dead: {msg}"),
+            TransportError::NonFiniteScore(v) => write!(f, "non-finite score {v}"),
+            TransportError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// Result alias used throughout the transport layer.
+pub type TransportResult = Result<Evaluation, TransportError>;
+
+// ---------------------------------------------------------------------------
+// Transport trait
+// ---------------------------------------------------------------------------
+
 /// A bidirectional channel to a METADOCK evaluation server.
 pub trait Transport: Send {
     /// Evaluates a pose, returning the resulting state and score.
-    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation>;
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult;
+
+    /// Evaluates with a per-call deadline. Transports that cannot enforce a
+    /// deadline (direct call, synchronous file I/O) fall back to the plain
+    /// path; only the deadline-aware ones (RAM server) override this.
+    fn evaluate_deadline(&mut self, pose: &Pose, deadline: Option<Duration>) -> TransportResult {
+        let _ = deadline;
+        self.evaluate(pose)
+    }
+
+    /// Cheap liveness probe. `true` means the next `evaluate` has a chance;
+    /// `false` means the server is known dead and needs a respawn first.
+    fn is_healthy(&mut self) -> bool {
+        true
+    }
+
+    /// Attempts to bring a dead server back (e.g. spawn a fresh RAM-server
+    /// thread). Returns `true` if the transport believes it is usable again.
+    fn respawn(&mut self) -> bool {
+        false
+    }
+
+    /// Drains fault records accumulated since the last drain. Only
+    /// supervising wrappers produce these; raw transports return nothing.
+    fn drain_faults(&mut self) -> Vec<FaultRecord> {
+        Vec::new()
+    }
+
     /// Short transport name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Evaluates a pose on an engine in-process — the single source of truth all
+/// transports (and the supervisor's degradation path) funnel through.
+fn engine_evaluate(engine: &DockingEngine, pose: &Pose) -> Evaluation {
+    let ligand_coords = engine.ligand_coords(pose);
+    let score = engine.scorer().score(&ligand_coords, engine.kernel());
+    Evaluation { ligand_coords, score }
 }
 
 // ---------------------------------------------------------------------------
@@ -63,13 +203,8 @@ impl DirectTransport {
 }
 
 impl Transport for DirectTransport {
-    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
-        let ligand_coords = self.engine.ligand_coords(pose);
-        let score = self
-            .engine
-            .scorer()
-            .score(&ligand_coords, self.engine.kernel());
-        Ok(Evaluation { ligand_coords, score })
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult {
+        Ok(engine_evaluate(&self.engine, pose))
     }
 
     fn name(&self) -> &'static str {
@@ -82,55 +217,131 @@ impl Transport for DirectTransport {
 // ---------------------------------------------------------------------------
 
 enum ServerMsg {
-    Evaluate(Pose),
+    Evaluate(u64, Pose),
     Shutdown,
 }
 
 /// Channel-based transport: a dedicated server thread owns the engine and
 /// answers evaluation requests over crossbeam channels — the "RAM-based
 /// communication" the paper proposes to replace its file protocol with.
+///
+/// Requests carry a sequence number which the server echoes back, so a reply
+/// that arrives *after* its deadline expired is recognised as stale and
+/// discarded instead of being matched to the wrong request.
 pub struct RamTransport {
+    engine: DockingEngine,
     tx: Sender<ServerMsg>,
-    rx: Receiver<Evaluation>,
+    rx: Receiver<(u64, Evaluation)>,
     handle: Option<JoinHandle<()>>,
+    seq: u64,
+}
+
+fn spawn_ram_server(
+    engine: DockingEngine,
+) -> (Sender<ServerMsg>, Receiver<(u64, Evaluation)>, JoinHandle<()>) {
+    let (tx, server_rx) = channel::unbounded::<ServerMsg>();
+    let (server_tx, rx) = channel::unbounded::<(u64, Evaluation)>();
+    let handle = std::thread::spawn(move || {
+        while let Ok(msg) = server_rx.recv() {
+            match msg {
+                ServerMsg::Evaluate(seq, pose) => {
+                    let eval = engine_evaluate(&engine, &pose);
+                    if server_tx.send((seq, eval)).is_err() {
+                        break;
+                    }
+                }
+                ServerMsg::Shutdown => break,
+            }
+        }
+    });
+    (tx, rx, handle)
 }
 
 impl RamTransport {
     /// Spawns the server thread.
     pub fn new(engine: DockingEngine) -> Self {
-        let (tx, server_rx) = channel::unbounded::<ServerMsg>();
-        let (server_tx, rx) = channel::unbounded::<Evaluation>();
-        let handle = std::thread::spawn(move || {
-            while let Ok(msg) = server_rx.recv() {
-                match msg {
-                    ServerMsg::Evaluate(pose) => {
-                        let ligand_coords = engine.ligand_coords(&pose);
-                        let score =
-                            engine.scorer().score(&ligand_coords, engine.kernel());
-                        if server_tx.send(Evaluation { ligand_coords, score }).is_err() {
-                            break;
-                        }
-                    }
-                    ServerMsg::Shutdown => break,
-                }
-            }
-        });
+        let (tx, rx, handle) = spawn_ram_server(engine.clone());
         RamTransport {
+            engine,
             tx,
             rx,
             handle: Some(handle),
+            seq: 0,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.tx.send(ServerMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 }
 
 impl Transport for RamTransport {
-    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult {
+        self.evaluate_deadline(pose, None)
+    }
+
+    fn evaluate_deadline(&mut self, pose: &Pose, deadline: Option<Duration>) -> TransportResult {
+        self.seq += 1;
+        let seq = self.seq;
         self.tx
-            .send(ServerMsg::Evaluate(pose.clone()))
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine server gone"))?;
-        self.rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine server gone"))
+            .send(ServerMsg::Evaluate(seq, pose.clone()))
+            .map_err(|_| TransportError::ServerDead("request channel closed".into()))?;
+        let start = std::time::Instant::now();
+        loop {
+            let reply = match deadline {
+                // The channel crate in this workspace exposes only
+                // `try_recv`, so the deadline is enforced by polling with a
+                // short sleep — coarse, but the deadline is for fault
+                // detection, not latency measurement.
+                Some(d) => loop {
+                    match self.rx.try_recv() {
+                        Ok(r) => break r,
+                        Err(TryRecvError::Empty) => {
+                            if start.elapsed() >= d {
+                                return Err(TransportError::Timeout {
+                                    deadline_ms: d.as_millis() as u64,
+                                });
+                            }
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(TransportError::ServerDead(
+                                "reply channel closed".into(),
+                            ))
+                        }
+                    }
+                },
+                None => self
+                    .rx
+                    .recv()
+                    .map_err(|_| TransportError::ServerDead("reply channel closed".into()))?,
+            };
+            match reply {
+                // Stale answer to a request whose deadline already expired:
+                // drop it and keep waiting for ours.
+                (s, _) if s < seq => continue,
+                (_, eval) => return Ok(eval),
+            }
+        }
+    }
+
+    fn is_healthy(&mut self) -> bool {
+        self.handle
+            .as_ref()
+            .map(|h| !h.is_finished())
+            .unwrap_or(false)
+    }
+
+    fn respawn(&mut self) -> bool {
+        self.shutdown();
+        let (tx, rx, handle) = spawn_ram_server(self.engine.clone());
+        self.tx = tx;
+        self.rx = rx;
+        self.handle = Some(handle);
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -140,10 +351,7 @@ impl Transport for RamTransport {
 
 impl Drop for RamTransport {
     fn drop(&mut self) {
-        let _ = self.tx.send(ServerMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -158,6 +366,10 @@ impl Drop for RamTransport {
 /// Every byte genuinely goes through the filesystem; nothing is cached in
 /// memory between the write and the read, so benchmarks measure the real
 /// serialisation + syscall cost the paper complains about.
+///
+/// Writes are atomic: each file is written to a `.tmp` sibling first and
+/// renamed into place, so a reader can never observe a half-written payload
+/// under the final name, and in-flight `.tmp` files are never read.
 pub struct FileTransport {
     engine: DockingEngine,
     dir: PathBuf,
@@ -203,34 +415,28 @@ impl FileTransport {
 }
 
 impl Transport for FileTransport {
-    fn evaluate(&mut self, pose: &Pose) -> io::Result<Evaluation> {
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult {
         let request_path = self.dir.join("request.txt");
         let state_path = self.dir.join("state.txt");
         let score_path = self.dir.join("score.txt");
 
         // 1. Client writes the action/pose request.
-        write_all(&request_path, &serialize_pose(pose))?;
+        write_atomic(&request_path, &serialize_pose(pose))?;
 
         // 2. "Server" reads the request from disk and evaluates it.
-        let request_text = read_all(&request_path)?;
-        let server_pose = parse_pose(&request_text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let coords = self.engine.ligand_coords(&server_pose);
-        let score = self.engine.scorer().score(&coords, self.engine.kernel());
+        let request_text = read_payload(&request_path)?;
+        let server_pose = parse_pose(&request_text).map_err(TransportError::Decode)?;
+        let eval = engine_evaluate(&self.engine, &server_pose);
 
         // 3. Server writes the two files the paper describes.
-        write_all(&state_path, &serialize_coords(&coords))?;
-        write_all(&score_path, &format!("{score:.17e}\n"))?;
+        write_atomic(&state_path, &serialize_coords(&eval.ligand_coords))?;
+        write_atomic(&score_path, &format!("{:.17e}\n", eval.score))?;
 
         // 4. Client reads them back.
-        let state_text = read_all(&state_path)?;
-        let ligand_coords = parse_coords(&state_text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let score_text = read_all(&score_path)?;
-        let score: f64 = score_text
-            .trim()
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad score: {e}")))?;
+        let state_text = read_payload(&state_path)?;
+        let ligand_coords = parse_coords(&state_text).map_err(TransportError::Decode)?;
+        let score_text = read_payload(&score_path)?;
+        let score = parse_score(&score_text).map_err(TransportError::Decode)?;
 
         self.round_trips += 1;
         Ok(Evaluation { ligand_coords, score })
@@ -241,16 +447,490 @@ impl Transport for FileTransport {
     }
 }
 
-fn write_all(path: &std::path::Path, text: &str) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(text.as_bytes())?;
-    f.sync_data().or(Ok(()))
+/// Writes `text` atomically: the payload goes to a `.tmp` sibling first and
+/// is renamed over the final path, so readers never see a partial file.
+fn write_atomic(path: &std::path::Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        let _ = f.sync_data();
+    }
+    std::fs::rename(&tmp, path)
 }
 
-fn read_all(path: &std::path::Path) -> io::Result<String> {
+/// Reads an exchange file, refusing in-flight `.tmp` paths: a `.tmp` file is
+/// by definition mid-write and must never be parsed.
+fn read_payload(path: &std::path::Path) -> Result<String, TransportError> {
+    if path.extension().map(|e| e == "tmp").unwrap_or(false) {
+        return Err(TransportError::Io(format!(
+            "refusing to read in-flight temp file {}",
+            path.display()
+        )));
+    }
     let mut s = String::new();
     std::fs::File::open(path)?.read_to_string(&mut s)?;
     Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: retries, backoff, respawn, degradation
+// ---------------------------------------------------------------------------
+
+/// How a fault was handled by the supervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recovery {
+    /// The request was retried (attempt number, 1-based).
+    Retried(u32),
+    /// The server was respawned before retrying.
+    Respawned,
+    /// The retry budget ran out; the supervisor degraded to an in-process
+    /// direct evaluation for this and all future requests.
+    Fallback,
+    /// No recovery possible; the error was surfaced to the caller.
+    Surfaced,
+}
+
+/// One observed fault and what the supervisor did about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// The error that was observed.
+    pub error: TransportError,
+    /// How it was handled.
+    pub recovery: Recovery,
+}
+
+/// Retry/backoff policy for [`SupervisedTransport`].
+#[derive(Debug, Clone)]
+pub struct SupervisionPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` means up to 4
+    /// tries total before degradation kicks in).
+    pub max_retries: u32,
+    /// Per-call deadline handed to deadline-aware transports.
+    pub timeout: Option<Duration>,
+    /// First backoff delay, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Multiplier applied per failed attempt (exponential backoff).
+    pub backoff_factor: f64,
+    /// Backoff cap, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]` using the seeded RNG.
+    pub jitter: f64,
+    /// Seed for the jitter RNG. A separate, seeded stream keeps retry timing
+    /// deterministic and fully decoupled from the agent's RNG.
+    pub jitter_seed: u64,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy {
+            max_retries: 3,
+            timeout: Some(Duration::from_millis(1000)),
+            backoff_base_ms: 1,
+            backoff_factor: 2.0,
+            backoff_max_ms: 50,
+            jitter: 0.5,
+            jitter_seed: 0x5eed_f417,
+        }
+    }
+}
+
+/// Fault-tolerant wrapper around any [`Transport`].
+///
+/// Per call: enforce the policy deadline, retry on any [`TransportError`]
+/// with exponential backoff + seeded jitter, respawn the server if it died,
+/// sanitize non-finite scores into [`TransportError::NonFiniteScore`], and —
+/// once the retry budget is exhausted — degrade gracefully to an in-process
+/// [`DirectTransport`] on the fallback engine (if one was provided) so long
+/// training runs finish instead of dying at step 9 million.
+///
+/// Every fault and its resolution is recorded as a [`FaultRecord`] and can
+/// be drained by the environment for episode-level logging.
+pub struct SupervisedTransport<T: Transport> {
+    inner: T,
+    policy: SupervisionPolicy,
+    jitter_rng: ChaCha8Rng,
+    fallback: Option<DirectTransport>,
+    degraded: bool,
+    faults: Vec<FaultRecord>,
+}
+
+impl<T: Transport> SupervisedTransport<T> {
+    /// Wraps `inner` with the given supervision policy.
+    pub fn new(inner: T, policy: SupervisionPolicy) -> Self {
+        let jitter_rng = ChaCha8Rng::seed_from_u64(policy.jitter_seed);
+        SupervisedTransport {
+            inner,
+            policy,
+            jitter_rng,
+            fallback: None,
+            degraded: false,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Provides an engine for graceful degradation: once the retry budget is
+    /// spent the supervisor evaluates directly on this engine instead of
+    /// surfacing the error.
+    pub fn with_fallback(mut self, engine: DockingEngine) -> Self {
+        self.fallback = Some(DirectTransport::new(engine));
+        self
+    }
+
+    /// Whether the supervisor has permanently degraded to direct evaluation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Immutable view of the fault log (drained by [`Transport::drain_faults`]).
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// Access to the wrapped transport (used by tests and telemetry).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.backoff_base_ms as f64;
+        let raw = base * self.policy.backoff_factor.powi(attempt as i32);
+        let capped = raw.min(self.policy.backoff_max_ms as f64);
+        let jitter = self.policy.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 + jitter * (self.jitter_rng.gen::<f64>() * 2.0 - 1.0);
+        Duration::from_micros((capped * scale * 1000.0).max(0.0) as u64)
+    }
+
+    /// Post-success sanitation shared by all paths: a non-finite score is a
+    /// fault, never a value.
+    fn sanitize(eval: Evaluation) -> TransportResult {
+        if eval.score.is_finite() {
+            Ok(eval)
+        } else {
+            Err(TransportError::NonFiniteScore(eval.score))
+        }
+    }
+}
+
+impl<T: Transport> Transport for SupervisedTransport<T> {
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult {
+        if self.degraded {
+            // Already degraded: evaluate in-process, no retry theatre.
+            let fb = self.fallback.as_mut().expect("degraded without fallback");
+            return Self::sanitize(fb.evaluate(pose)?);
+        }
+
+        let mut last_err = None;
+        for attempt in 0..=self.policy.max_retries {
+            // Health check first: a known-dead server gets a respawn before
+            // we waste a deadline on it.
+            if !self.inner.is_healthy() && self.inner.respawn() {
+                self.faults.push(FaultRecord {
+                    error: TransportError::ServerDead("failed health check".into()),
+                    recovery: Recovery::Respawned,
+                });
+            }
+
+            let result = self
+                .inner
+                .evaluate_deadline(pose, self.policy.timeout)
+                .and_then(Self::sanitize);
+            match result {
+                Ok(eval) => return Ok(eval),
+                Err(err) => {
+                    let retrying = attempt < self.policy.max_retries && err.is_retryable();
+                    if let TransportError::ServerDead(_) = &err {
+                        if retrying && self.inner.respawn() {
+                            self.faults.push(FaultRecord {
+                                error: err.clone(),
+                                recovery: Recovery::Respawned,
+                            });
+                            last_err = Some(err);
+                            std::thread::sleep(self.backoff_delay(attempt));
+                            continue;
+                        }
+                    }
+                    if retrying {
+                        self.faults.push(FaultRecord {
+                            error: err.clone(),
+                            recovery: Recovery::Retried(attempt + 1),
+                        });
+                        last_err = Some(err);
+                        std::thread::sleep(self.backoff_delay(attempt));
+                    } else {
+                        last_err = Some(err);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let err = last_err.unwrap_or_else(|| TransportError::Io("retry loop empty".into()));
+        if let Some(fb) = self.fallback.as_mut() {
+            // Budget spent: degrade to in-process evaluation permanently.
+            self.degraded = true;
+            self.faults.push(FaultRecord {
+                error: err,
+                recovery: Recovery::Fallback,
+            });
+            return Self::sanitize(fb.evaluate(pose)?);
+        }
+        self.faults.push(FaultRecord {
+            error: err.clone(),
+            recovery: Recovery::Surfaced,
+        });
+        Err(err)
+    }
+
+    fn is_healthy(&mut self) -> bool {
+        self.degraded || self.inner.is_healthy()
+    }
+
+    fn respawn(&mut self) -> bool {
+        self.inner.respawn()
+    }
+
+    fn drain_faults(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.faults)
+    }
+
+    fn name(&self) -> &'static str {
+        "supervised"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// The injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Reply never arrives → deadline miss.
+    DroppedReply,
+    /// Reply arrives, but only after the deadline → stale, discarded.
+    Delay,
+    /// A bit is flipped in the serialised payload → decode failure.
+    CorruptPayload,
+    /// The score comes back NaN.
+    NanScore,
+    /// The server thread dies; stays dead until respawned.
+    ServerDeath,
+    /// The payload is cut off mid-write → decode failure.
+    Truncation,
+}
+
+impl FaultClass {
+    /// All classes, in injection-matrix order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::DroppedReply,
+        FaultClass::Delay,
+        FaultClass::CorruptPayload,
+        FaultClass::NanScore,
+        FaultClass::ServerDeath,
+        FaultClass::Truncation,
+    ];
+
+    /// Stable label for logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::DroppedReply => "dropped-reply",
+            FaultClass::Delay => "delay",
+            FaultClass::CorruptPayload => "corrupt-payload",
+            FaultClass::NanScore => "nan-score",
+            FaultClass::ServerDeath => "server-death",
+            FaultClass::Truncation => "truncation",
+        }
+    }
+}
+
+/// Configuration for [`FaultInjectingTransport`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that any given call is faulted.
+    pub fault_rate: f64,
+    /// Seed for the injection RNG (independent of agent and jitter RNGs).
+    pub seed: u64,
+    /// Fault classes eligible for injection (uniformly chosen among these).
+    pub classes: Vec<FaultClass>,
+    /// How long an injected `Delay` stalls before giving up, so tests stay
+    /// fast while still exercising the late-reply path.
+    pub delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            fault_rate: 0.1,
+            seed: 0xfa_017,
+            classes: FaultClass::ALL.to_vec(),
+            delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Convenience: default matrix at `rate` with `seed`.
+    pub fn with_rate_and_seed(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            fault_rate: rate,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Deterministic chaos layer: before each call a seeded ChaCha8 stream
+/// decides whether (and which) fault to inject. All faults are *detected*
+/// faults — a corrupt payload fails decode, a drop misses the deadline, a
+/// NaN fails the finite check — so a supervised retry always recovers the
+/// true evaluation and seeded runs stay bitwise reproducible.
+pub struct FaultInjectingTransport<T: Transport> {
+    inner: T,
+    rng: ChaCha8Rng,
+    config: FaultConfig,
+    dead: bool,
+    injected: Vec<(FaultClass, u64)>,
+    calls: u64,
+}
+
+impl<T: Transport> FaultInjectingTransport<T> {
+    /// Wraps `inner`, injecting faults per `config`.
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        FaultInjectingTransport {
+            inner,
+            rng,
+            config,
+            dead: false,
+            injected: Vec::new(),
+            calls: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_count(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// The injection log: which class fired on which call number.
+    pub fn injected(&self) -> &[(FaultClass, u64)] {
+        &self.injected
+    }
+
+    /// Total calls seen.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    fn draw_fault(&mut self) -> Option<FaultClass> {
+        // Two draws per call, unconditionally, so the RNG stream position
+        // depends only on the call count — not on which branch was taken.
+        let roll: f64 = self.rng.gen();
+        let pick = self.rng.gen_range(0..self.config.classes.len().max(1));
+        if self.config.classes.is_empty() || roll >= self.config.fault_rate {
+            None
+        } else {
+            Some(self.config.classes[pick])
+        }
+    }
+
+    /// Corrupts a serialised payload the way a torn write would: flip one
+    /// bit (CorruptPayload) or cut the text mid-line (Truncation), then
+    /// demand it still parses. It never does — and if a flip ever produced a
+    /// parseable-but-different payload, the mismatch guard below still
+    /// refuses to deliver it, so injected corruption can never leak a wrong
+    /// value into training.
+    fn corrupted_decode_error(&mut self, eval: &Evaluation, truncate: bool) -> TransportError {
+        let clean = serialize_coords(&eval.ligand_coords);
+        let mutated = if truncate {
+            let cut = 1 + self.rng.gen_range(0..clean.len().max(2) - 1);
+            clean[..cut].to_string()
+        } else {
+            let mut bytes = clean.clone().into_bytes();
+            let idx = self.rng.gen_range(0..bytes.len().max(1));
+            bytes[idx] ^= 1u8 << self.rng.gen_range(0..7usize);
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        match parse_coords(&mutated) {
+            Err(msg) => TransportError::Decode(msg),
+            Ok(coords) if coords != eval.ligand_coords => {
+                TransportError::Decode("payload checksum mismatch".into())
+            }
+            // The mutation landed in insignificant text (e.g. trailing
+            // newline): payload round-trips identically, nothing corrupt to
+            // report — but we already committed to a fault, so report the
+            // torn write.
+            Ok(_) => TransportError::Decode("torn write detected".into()),
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultInjectingTransport<T> {
+    fn evaluate(&mut self, pose: &Pose) -> TransportResult {
+        self.evaluate_deadline(pose, None)
+    }
+
+    fn evaluate_deadline(&mut self, pose: &Pose, deadline: Option<Duration>) -> TransportResult {
+        self.calls += 1;
+        if self.dead {
+            return Err(TransportError::ServerDead("injected server death".into()));
+        }
+        let fault = self.draw_fault();
+        let Some(class) = fault else {
+            return self.inner.evaluate_deadline(pose, deadline);
+        };
+        self.injected.push((class, self.calls));
+        match class {
+            FaultClass::DroppedReply => Err(TransportError::Timeout {
+                deadline_ms: deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+            }),
+            FaultClass::Delay => {
+                // The reply exists but shows up after the deadline; the
+                // caller sees a timeout (the RAM transport's sequence
+                // numbers make the late reply harmlessly stale).
+                std::thread::sleep(self.config.delay.min(deadline.unwrap_or(self.config.delay)));
+                Err(TransportError::Timeout {
+                    deadline_ms: deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+                })
+            }
+            FaultClass::CorruptPayload => {
+                let eval = self.inner.evaluate_deadline(pose, deadline)?;
+                Err(self.corrupted_decode_error(&eval, false))
+            }
+            FaultClass::Truncation => {
+                let eval = self.inner.evaluate_deadline(pose, deadline)?;
+                Err(self.corrupted_decode_error(&eval, true))
+            }
+            FaultClass::NanScore => {
+                let eval = self.inner.evaluate_deadline(pose, deadline)?;
+                Ok(Evaluation {
+                    ligand_coords: eval.ligand_coords,
+                    score: f64::NAN,
+                })
+            }
+            FaultClass::ServerDeath => {
+                self.dead = true;
+                Err(TransportError::ServerDead("injected server death".into()))
+            }
+        }
+    }
+
+    fn is_healthy(&mut self) -> bool {
+        !self.dead && self.inner.is_healthy()
+    }
+
+    fn respawn(&mut self) -> bool {
+        self.dead = false;
+        // Respawn the real server too if it supports it; a transport that
+        // does not (Direct, File) is healthy by construction.
+        self.inner.respawn() || self.inner.is_healthy()
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injecting"
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -273,12 +953,10 @@ pub fn serialize_pose(pose: &Pose) -> String {
     s
 }
 
-/// Parses the pose wire format.
+/// Parses the pose wire format. Rejects truncated payloads (fewer than the
+/// 7 rigid-body numbers), garbage tokens, and non-finite values.
 pub fn parse_pose(text: &str) -> Result<Pose, String> {
-    let vals: Vec<f64> = text
-        .split_whitespace()
-        .map(|t| t.parse().map_err(|e| format!("bad number {t:?}: {e}")))
-        .collect::<Result<_, _>>()?;
+    let vals = parse_finite_numbers(text)?;
     if vals.len() < 7 {
         return Err(format!("pose needs ≥7 numbers, got {}", vals.len()));
     }
@@ -300,15 +978,14 @@ pub fn serialize_coords(coords: &[Vec3]) -> String {
     s
 }
 
-/// Parses the coordinate wire format.
+/// Parses the coordinate wire format: one `x y z` line per atom. A line
+/// with the wrong arity, an unparseable token, or a non-finite value is an
+/// error — a partially-written state file must never be accepted.
 pub fn parse_coords(text: &str) -> Result<Vec<Vec3>, String> {
     text.lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| {
-            let nums: Vec<f64> = l
-                .split_whitespace()
-                .map(|t| t.parse().map_err(|e| format!("bad coord {t:?}: {e}")))
-                .collect::<Result<_, _>>()?;
+            let nums = parse_finite_numbers(l)?;
             if nums.len() != 3 {
                 return Err(format!("expected 3 numbers per line, got {}", nums.len()));
             }
@@ -317,12 +994,34 @@ pub fn parse_coords(text: &str) -> Result<Vec<Vec3>, String> {
         .collect()
 }
 
+/// Parses a score file: exactly one finite number.
+pub fn parse_score(text: &str) -> Result<f64, String> {
+    let nums = parse_finite_numbers(text)?;
+    match nums.as_slice() {
+        [v] => Ok(*v),
+        other => Err(format!("score file must hold 1 number, got {}", other.len())),
+    }
+}
+
+/// Splits on whitespace and parses every token as a finite f64. `NaN`/`inf`
+/// text is rejected here so it cannot masquerade as a valid wire value.
+fn parse_finite_numbers(text: &str) -> Result<Vec<f64>, String> {
+    text.split_whitespace()
+        .map(|t| {
+            let v: f64 = t.parse().map_err(|e| format!("bad number {t:?}: {e}"))?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("non-finite number {t:?} on the wire"))
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use molkit::SyntheticComplexSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn engine() -> DockingEngine {
         DockingEngine::with_defaults(SyntheticComplexSpec::tiny().generate())
@@ -333,6 +1032,17 @@ mod tests {
         (0..n)
             .map(|_| Pose::random_in_sphere(&mut rng, Vec3::ZERO, 20.0, 2))
             .collect()
+    }
+
+    /// Fast supervision policy for tests: no real waiting.
+    fn test_policy() -> SupervisionPolicy {
+        SupervisionPolicy {
+            max_retries: 3,
+            timeout: Some(Duration::from_millis(250)),
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..SupervisionPolicy::default()
+        }
     }
 
     #[test]
@@ -369,9 +1079,15 @@ mod tests {
     fn malformed_wire_data_is_rejected() {
         assert!(parse_pose("1 2 3").is_err());
         assert!(parse_pose("a b c d e f g").is_err());
+        assert!(parse_pose("1 2 3 NaN 5 6 7").is_err());
         assert!(parse_coords("1 2\n").is_err());
         assert!(parse_coords("x y z\n").is_err());
+        assert!(parse_coords("1 2 inf\n").is_err());
         assert!(parse_coords("").unwrap().is_empty());
+        assert!(parse_score("").is_err());
+        assert!(parse_score("1 2").is_err());
+        assert!(parse_score("NaN").is_err());
+        assert_eq!(parse_score(" -3.5 \n").unwrap(), -3.5);
     }
 
     #[test]
@@ -404,7 +1120,15 @@ mod tests {
         let e = engine();
         assert_eq!(DirectTransport::new(e.clone()).name(), "direct");
         assert_eq!(RamTransport::new(e.clone()).name(), "ram");
-        assert_eq!(FileTransport::in_temp_dir(e).unwrap().name(), "file");
+        assert_eq!(FileTransport::in_temp_dir(e.clone()).unwrap().name(), "file");
+        assert_eq!(
+            SupervisedTransport::new(DirectTransport::new(e.clone()), test_policy()).name(),
+            "supervised"
+        );
+        assert_eq!(
+            FaultInjectingTransport::new(DirectTransport::new(e), FaultConfig::default()).name(),
+            "fault-injecting"
+        );
     }
 
     #[test]
@@ -415,5 +1139,190 @@ mod tests {
         for p in &poses {
             assert!(ram.evaluate(p).unwrap().score.is_finite());
         }
+    }
+
+    #[test]
+    fn ram_transport_respawns_after_death() {
+        let e = engine();
+        let mut ram = RamTransport::new(e.clone());
+        let pose = &sample_poses(1)[0];
+        let clean = ram.evaluate(pose).unwrap();
+
+        // Kill the server thread out from under the client.
+        let _ = ram.tx.send(ServerMsg::Shutdown);
+        if let Some(h) = ram.handle.take() {
+            h.join().unwrap();
+        }
+        assert!(!ram.is_healthy());
+        assert!(matches!(
+            ram.evaluate(pose),
+            Err(TransportError::ServerDead(_))
+        ));
+
+        assert!(ram.respawn());
+        assert!(ram.is_healthy());
+        assert_eq!(ram.evaluate(pose).unwrap(), clean);
+    }
+
+    #[test]
+    fn supervised_recovers_every_injected_fault_class() {
+        let e = engine();
+        let poses = sample_poses(40);
+        let mut clean = DirectTransport::new(e.clone());
+
+        for class in FaultClass::ALL {
+            let config = FaultConfig {
+                fault_rate: 0.5,
+                seed: 7,
+                classes: vec![class],
+                delay: Duration::from_millis(1),
+            };
+            let injector = FaultInjectingTransport::new(RamTransport::new(e.clone()), config);
+            // Fallback engine: even if a burst of faults exhausts the retry
+            // budget, degradation must deliver the same evaluation.
+            let mut sup =
+                SupervisedTransport::new(injector, test_policy()).with_fallback(e.clone());
+            for pose in &poses {
+                let got = sup.evaluate(pose).unwrap();
+                let want = clean.evaluate(pose).unwrap();
+                assert_eq!(got, want, "fault class {:?} corrupted a value", class);
+            }
+            assert!(
+                sup.inner().injected_count() > 0,
+                "fault class {class:?} never fired"
+            );
+            assert!(!sup.drain_faults().is_empty());
+        }
+    }
+
+    #[test]
+    fn supervised_degrades_to_direct_after_budget() {
+        let e = engine();
+        let pose = &sample_poses(1)[0];
+        // 100% drop rate: the inner transport never answers.
+        let config = FaultConfig {
+            fault_rate: 1.0,
+            seed: 3,
+            classes: vec![FaultClass::DroppedReply],
+            delay: Duration::from_millis(1),
+        };
+        let injector = FaultInjectingTransport::new(DirectTransport::new(e.clone()), config);
+        let mut sup =
+            SupervisedTransport::new(injector, test_policy()).with_fallback(e.clone());
+        let eval = sup.evaluate(pose).unwrap();
+        assert!(sup.is_degraded());
+        assert_eq!(eval, DirectTransport::new(e).evaluate(pose).unwrap());
+        let faults = sup.drain_faults();
+        assert!(matches!(
+            faults.last().unwrap().recovery,
+            Recovery::Fallback
+        ));
+    }
+
+    #[test]
+    fn supervised_surfaces_error_without_fallback() {
+        let e = engine();
+        let pose = &sample_poses(1)[0];
+        let config = FaultConfig {
+            fault_rate: 1.0,
+            seed: 3,
+            classes: vec![FaultClass::DroppedReply],
+            delay: Duration::from_millis(1),
+        };
+        let injector = FaultInjectingTransport::new(DirectTransport::new(e), config);
+        let mut sup = SupervisedTransport::new(injector, test_policy());
+        assert!(matches!(
+            sup.evaluate(pose),
+            Err(TransportError::Timeout { .. })
+        ));
+        let faults = sup.drain_faults();
+        assert!(matches!(
+            faults.last().unwrap().recovery,
+            Recovery::Surfaced
+        ));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let e = engine();
+        let poses = sample_poses(30);
+        let run = |seed: u64| {
+            let config = FaultConfig::with_rate_and_seed(0.3, seed);
+            let mut t = FaultInjectingTransport::new(DirectTransport::new(e.clone()), config);
+            let mut outcomes = Vec::new();
+            for p in &poses {
+                outcomes.push(match t.evaluate_deadline(p, Some(Duration::from_millis(5))) {
+                    Ok(ev) => format!("ok:{:.6}", ev.score),
+                    Err(err) => format!("err:{}", err.kind()),
+                });
+                // A dead injector stays dead until respawned, like a real
+                // crashed server; revive so later draws still exercise.
+                if !t.is_healthy() {
+                    t.respawn();
+                }
+            }
+            (outcomes, t.injected().to_vec())
+        };
+        let (a_out, a_log) = run(11);
+        let (b_out, b_log) = run(11);
+        let (c_out, _) = run(12);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_log, b_log);
+        assert_ne!(a_out, c_out, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn nonfinite_scores_are_trapped_not_delivered() {
+        let e = engine();
+        let pose = &sample_poses(1)[0];
+        let config = FaultConfig {
+            fault_rate: 1.0,
+            seed: 1,
+            classes: vec![FaultClass::NanScore],
+            delay: Duration::from_millis(1),
+        };
+        let injector = FaultInjectingTransport::new(DirectTransport::new(e), config);
+        let mut sup = SupervisedTransport::new(injector, test_policy());
+        match sup.evaluate(pose) {
+            Err(TransportError::NonFiniteScore(v)) => assert!(v.is_nan()),
+            other => panic!("expected NonFiniteScore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_transport_writes_are_atomic_and_tmp_is_rejected() {
+        let e = engine();
+        let mut file = FileTransport::in_temp_dir(e).unwrap();
+        let pose = &sample_poses(1)[0];
+        file.evaluate(pose).unwrap();
+        let dir = file.dir().clone();
+        // No .tmp residue after a completed round trip.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            assert_ne!(p.extension().and_then(|e| e.to_str()), Some("tmp"));
+        }
+        // The reader refuses in-flight temp files outright.
+        let tmp = dir.join("state.tmp");
+        std::fs::write(&tmp, "1 2 3\n").unwrap();
+        assert!(matches!(read_payload(&tmp), Err(TransportError::Io(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn supervised_file_transport_recovers_corrupt_state_file() {
+        let e = engine();
+        let pose = &sample_poses(1)[0];
+        let mut clean = DirectTransport::new(e.clone());
+        let want = clean.evaluate(pose).unwrap();
+        let file = FileTransport::in_temp_dir(e).unwrap();
+        let dir = file.dir().clone();
+        // Pre-poison the exchange dir; the transport must overwrite
+        // atomically and still deliver the true evaluation.
+        std::fs::write(dir.join("state.txt"), "garbage").unwrap();
+        std::fs::write(dir.join("score.txt"), "NaN").unwrap();
+        let mut sup = SupervisedTransport::new(file, test_policy());
+        let got = sup.evaluate(pose).unwrap();
+        assert_eq!(got.score, want.score);
+        std::fs::remove_dir_all(dir).ok();
     }
 }

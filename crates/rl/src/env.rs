@@ -1,5 +1,36 @@
 //! The environment interface and the paper's reward-clipping rule.
 
+use std::fmt;
+
+/// Why an environment step could not produce a transition (e.g. the
+/// DQN↔METADOCK transport failed beyond recovery). Carrying this as data —
+/// not a panic — lets the trainer abort the *episode* and keep training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvError {
+    /// Short machine-readable kind (`"timeout"`, `"decode"`, …).
+    pub kind: String,
+    /// Human-readable detail for logs and reports.
+    pub detail: String,
+}
+
+impl EnvError {
+    /// Builds an error from its parts.
+    pub fn new(kind: impl Into<String>, detail: impl Into<String>) -> Self {
+        EnvError {
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "environment fault [{}]: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
 /// Result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepOutcome {
@@ -23,6 +54,13 @@ pub trait Environment {
     fn reset(&mut self) -> Vec<f32>;
     /// Applies action `a` (must be `< n_actions()`).
     fn step(&mut self, action: usize) -> StepOutcome;
+    /// Fallible step: environments backed by an external evaluator override
+    /// this to surface transport faults as [`EnvError`] instead of
+    /// panicking. The default wraps the infallible [`Environment::step`],
+    /// so toy environments need no changes.
+    fn try_step(&mut self, action: usize) -> Result<StepOutcome, EnvError> {
+        Ok(self.step(action))
+    }
 }
 
 /// The paper's reward shaping (§3): the raw signal is the *change* in the

@@ -42,11 +42,11 @@ pub mod vecenv;
 
 pub use checkpoint::{CheckpointManager, RngState};
 pub use dqn::{DqnAgent, DqnConfig, TargetRule};
-pub use env::{clip_reward, Environment, StepOutcome};
+pub use env::{clip_reward, EnvError, Environment, StepOutcome};
 pub use nstep::NStepAccumulator;
 pub use qfunc::{DuelingQ, MlpQ, QFunction};
 pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
 pub use tabular::TabularQ;
 pub use training::{train, train_from, EpisodeStats, TrainOptions};
-pub use vecenv::{act_batch, collect_vectorized, VecEnv, VecTrainReport};
+pub use vecenv::{act_batch, collect_vectorized, SlotFault, VecEnv, VecTrainReport};

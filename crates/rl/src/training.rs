@@ -104,9 +104,15 @@ pub fn train_from<E: Environment, Q: QFunction>(
             // One forward pass feeds both the Figure-4 max-Q metric and
             // action selection (same policy and RNG draws as `act`).
             agent.q_values_into(&state, &mut qs);
-            q_sum += f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+            let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
             let action = agent.act_from_q(&qs);
-            let outcome = env.step(action);
+            let outcome = match env.try_step(action) {
+                Ok(o) => o,
+                // Environment fault: abort this episode (its stats so far
+                // stand, `terminated` stays false) and keep training.
+                Err(_) => break,
+            };
+            q_sum += max_q;
             total_reward += outcome.reward;
             steps += 1;
             // Borrowed handover: the replay memory interns both states
@@ -160,7 +166,11 @@ pub fn evaluate_greedy<E: Environment, Q: QFunction>(
     for step in 1..=max_steps {
         agent.q_values_into(&state, &mut qs);
         let action = agent.greedy_from_q(&qs);
-        let outcome = env.step(action);
+        let outcome = match env.try_step(action) {
+            Ok(o) => o,
+            // Evaluation episodes abort on fault like training ones do.
+            Err(_) => return (total, step, false),
+        };
         total += outcome.reward;
         state = outcome.state;
         if outcome.terminal {

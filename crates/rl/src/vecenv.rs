@@ -16,12 +16,49 @@ use crate::env::{Environment, StepOutcome};
 use crate::qfunc::QFunction;
 use neural::Matrix;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A fault isolated to one environment slot during a vectorised step: the
+/// worker either returned an [`crate::env::EnvError`] or panicked outright.
+/// Either way the slot was reset and the rest of the batch was unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotFault {
+    /// Index of the faulted environment slot.
+    pub slot: usize,
+    /// Machine-readable fault kind (`"panic"` or the `EnvError` kind).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Per-slot result of one parallel step, computed inside the rayon pool.
+enum SlotStep {
+    Stepped(StepOutcome, Option<Vec<f32>>),
+    Faulted {
+        kind: String,
+        detail: String,
+        fresh: Option<Vec<f32>>,
+    },
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A set of environments stepped together.
 pub struct VecEnv<E: Environment + Send> {
     envs: Vec<E>,
     states: Vec<Vec<f32>>,
     episodes_completed: usize,
+    faults: Vec<SlotFault>,
+    last_faulted: Vec<bool>,
 }
 
 impl<E: Environment + Send> VecEnv<E> {
@@ -38,10 +75,13 @@ impl<E: Environment + Send> VecEnv<E> {
             assert_eq!(e.n_actions(), actions, "action-count mismatch across envs");
         }
         let states = envs.iter_mut().map(|e| e.reset()).collect();
+        let n = envs.len();
         VecEnv {
             envs,
             states,
             episodes_completed: 0,
+            faults: Vec::new(),
+            last_faulted: vec![false; n],
         }
     }
 
@@ -60,9 +100,22 @@ impl<E: Environment + Send> VecEnv<E> {
         &self.states
     }
 
-    /// Episodes finished (terminal signals seen) so far.
+    /// Episodes finished (terminal signals seen) so far. Episodes aborted
+    /// by a fault are *not* counted here — see [`VecEnv::drain_faults`].
     pub fn episodes_completed(&self) -> usize {
         self.episodes_completed
+    }
+
+    /// Which slots faulted during the most recent [`VecEnv::step`] call.
+    /// Their returned outcome is a placeholder (zero reward, terminal) and
+    /// must not be learned from.
+    pub fn last_faulted(&self) -> &[bool] {
+        &self.last_faulted
+    }
+
+    /// Takes the accumulated slot-fault log.
+    pub fn drain_faults(&mut self) -> Vec<SlotFault> {
+        std::mem::take(&mut self.faults)
     }
 
     /// Steps every environment with its action, **in parallel**, returning
@@ -70,30 +123,82 @@ impl<E: Environment + Send> VecEnv<E> {
     /// state becomes the fresh initial state while the returned outcome
     /// still carries the terminal next-state.
     ///
+    /// A worker that returns an [`crate::env::EnvError`] or **panics**
+    /// mid-step is isolated: the panic is caught (it never poisons the
+    /// rayon pool or aborts the batch), the slot is reset, the fault is
+    /// recorded (see [`VecEnv::drain_faults`]), and the slot's returned
+    /// outcome is a placeholder terminal with zero reward that callers
+    /// collecting experience must skip (see [`VecEnv::last_faulted`]).
+    ///
     /// # Panics
     /// If `actions.len() != self.len()`.
     pub fn step(&mut self, actions: &[usize]) -> Vec<StepOutcome> {
         assert_eq!(actions.len(), self.envs.len(), "one action per environment");
-        let results: Vec<(StepOutcome, Option<Vec<f32>>)> = self
+        let results: Vec<SlotStep> = self
             .envs
             .par_iter_mut()
             .zip(actions.par_iter())
             .map(|(env, &a)| {
-                let outcome = env.step(a);
-                let reset_state = if outcome.terminal { Some(env.reset()) } else { None };
-                (outcome, reset_state)
+                match catch_unwind(AssertUnwindSafe(|| env.try_step(a))) {
+                    Ok(Ok(outcome)) => {
+                        let reset_state = if outcome.terminal { Some(env.reset()) } else { None };
+                        SlotStep::Stepped(outcome, reset_state)
+                    }
+                    Ok(Err(e)) => {
+                        // Fault surfaced as data: abort this episode only.
+                        let fresh = catch_unwind(AssertUnwindSafe(|| env.reset())).ok();
+                        SlotStep::Faulted {
+                            kind: e.kind,
+                            detail: e.detail,
+                            fresh,
+                        }
+                    }
+                    Err(payload) => {
+                        // Worker panicked mid-step; try to reset the slot.
+                        // If even reset panics the slot keeps its stale
+                        // state and will fault again next step — noisy, but
+                        // never fatal to the batch.
+                        let fresh = catch_unwind(AssertUnwindSafe(|| env.reset())).ok();
+                        SlotStep::Faulted {
+                            kind: "panic".to_string(),
+                            detail: panic_message(payload),
+                            fresh,
+                        }
+                    }
+                }
             })
             .collect();
         let mut outcomes = Vec::with_capacity(results.len());
-        for (i, (outcome, reset_state)) in results.into_iter().enumerate() {
-            match reset_state {
-                Some(fresh) => {
-                    self.episodes_completed += 1;
-                    self.states[i] = fresh;
+        for (i, slot) in results.into_iter().enumerate() {
+            self.last_faulted[i] = false;
+            match slot {
+                SlotStep::Stepped(outcome, reset_state) => {
+                    match reset_state {
+                        Some(fresh) => {
+                            self.episodes_completed += 1;
+                            self.states[i] = fresh;
+                        }
+                        None => self.states[i] = outcome.state.clone(),
+                    }
+                    outcomes.push(outcome);
                 }
-                None => self.states[i] = outcome.state.clone(),
+                SlotStep::Faulted { kind, detail, fresh } => {
+                    self.last_faulted[i] = true;
+                    self.faults.push(SlotFault {
+                        slot: i,
+                        kind,
+                        detail,
+                    });
+                    if let Some(fresh) = fresh {
+                        self.states[i] = fresh;
+                    }
+                    outcomes.push(StepOutcome {
+                        state: self.states[i].clone(),
+                        reward: 0.0,
+                        terminal: true,
+                    });
+                }
             }
-            outcomes.push(outcome);
         }
         outcomes
     }
@@ -110,6 +215,9 @@ pub struct VecTrainReport {
     pub total_reward: f64,
     /// Gradient steps performed.
     pub learn_steps: u64,
+    /// Slot faults (worker errors/panics) isolated during collection; the
+    /// corresponding pseudo-transitions were discarded, not learned from.
+    pub faults: usize,
 }
 
 /// Collects `steps` lockstep iterations of experience from `vec_env` into
@@ -129,6 +237,7 @@ pub fn collect_vectorized<E: Environment + Send, Q: QFunction>(
     let episodes_start = vec_env.episodes_completed();
     let mut total_reward = 0.0;
     let mut transitions = 0usize;
+    let mut faults = 0usize;
 
     // Double-buffered slot states: swapping instead of `to_vec` keeps the
     // pre-step states without cloning k vectors per iteration (`step`
@@ -138,7 +247,15 @@ pub fn collect_vectorized<E: Environment + Send, Q: QFunction>(
         let actions = act_batch(agent, vec_env.states());
         std::mem::swap(&mut prev_states, &mut vec_env.states);
         let outcomes = vec_env.step(&actions);
-        for ((state, &action), outcome) in prev_states.iter().zip(&actions).zip(&outcomes) {
+        for (i, ((state, &action), outcome)) in
+            prev_states.iter().zip(&actions).zip(&outcomes).enumerate()
+        {
+            // A faulted slot produced a placeholder outcome, not a real
+            // transition: count the fault and learn nothing from it.
+            if vec_env.last_faulted()[i] {
+                faults += 1;
+                continue;
+            }
             total_reward += outcome.reward;
             transitions += 1;
             agent.observe_parts(state, action, outcome.reward, &outcome.state, outcome.terminal);
@@ -150,6 +267,7 @@ pub fn collect_vectorized<E: Environment + Send, Q: QFunction>(
         episodes_completed: vec_env.episodes_completed() - episodes_start,
         total_reward,
         learn_steps: agent.learn_steps() - learn_start,
+        faults,
     }
 }
 
@@ -268,6 +386,102 @@ mod tests {
             collect_vectorized(&mut ve, &mut a, 40)
         };
         assert_eq!(run(), run());
+    }
+
+    /// A corridor that fails (panics or errors) on one scripted step call.
+    struct FaultyCorridor {
+        inner: Corridor,
+        fail_on_call: usize,
+        calls: usize,
+        panics: bool,
+    }
+
+    impl FaultyCorridor {
+        fn new(fail_on_call: usize, panics: bool) -> Self {
+            FaultyCorridor {
+                inner: Corridor::new(7),
+                fail_on_call,
+                calls: 0,
+                panics,
+            }
+        }
+    }
+
+    impl Environment for FaultyCorridor {
+        fn state_dim(&self) -> usize {
+            self.inner.state_dim()
+        }
+        fn n_actions(&self) -> usize {
+            self.inner.n_actions()
+        }
+        fn reset(&mut self) -> Vec<f32> {
+            self.inner.reset()
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            self.try_step(action).expect("scripted fault")
+        }
+        fn try_step(&mut self, action: usize) -> Result<StepOutcome, crate::env::EnvError> {
+            self.calls += 1;
+            if self.calls == self.fail_on_call {
+                if self.panics {
+                    panic!("scripted worker panic");
+                }
+                return Err(crate::env::EnvError::new("timeout", "scripted fault"));
+            }
+            Ok(self.inner.step(action))
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_to_its_slot() {
+        let mut ve = VecEnv::new(vec![
+            FaultyCorridor::new(2, true),
+            FaultyCorridor::new(usize::MAX, true),
+        ]);
+        ve.step(&[1, 0]); // both fine
+        let outcomes = ve.step(&[1, 1]); // slot 0 panics; slot 1 oscillates
+        assert!(outcomes[0].terminal, "faulted slot looks terminal");
+        assert_eq!(outcomes[0].reward, 0.0);
+        assert_eq!(ve.last_faulted(), &[true, false]);
+        // Slot 0 was reset; slot 1 kept stepping normally.
+        assert_eq!(ve.states()[0][3], 1.0, "slot reset to the middle");
+        let faults = ve.drain_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].slot, 0);
+        assert_eq!(faults[0].kind, "panic");
+        assert!(faults[0].detail.contains("scripted worker panic"));
+        assert!(ve.drain_faults().is_empty(), "drain empties the log");
+        // The pool is not poisoned: stepping continues.
+        let outcomes = ve.step(&[1, 0]);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(ve.last_faulted(), &[false, false]);
+        assert_eq!(ve.episodes_completed(), 0, "aborts are not completions");
+    }
+
+    #[test]
+    fn worker_env_error_is_surfaced_not_thrown() {
+        let mut ve = VecEnv::new(vec![
+            FaultyCorridor::new(usize::MAX, false),
+            FaultyCorridor::new(1, false),
+        ]);
+        ve.step(&[1, 1]);
+        let faults = ve.drain_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].slot, 1);
+        assert_eq!(faults[0].kind, "timeout");
+    }
+
+    #[test]
+    fn collection_skips_faulted_transitions() {
+        let mut ve = VecEnv::new(vec![
+            FaultyCorridor::new(3, true),
+            FaultyCorridor::new(usize::MAX, false),
+        ]);
+        let mut a = agent(1.0);
+        let report = collect_vectorized(&mut ve, &mut a, 10);
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.transitions, 19, "the faulted slot-step is dropped");
+        assert_eq!(a.replay_len(), 19);
     }
 
     #[test]

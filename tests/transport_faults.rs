@@ -1,0 +1,171 @@
+//! Fault-tolerance integration tests for the environment transport stack.
+//!
+//! Two contracts, end to end through the real trainer:
+//!
+//! 1. **Determinism under recovery** — a seeded training run whose
+//!    evaluations go through `SupervisedTransport<FaultInjectingTransport<
+//!    RamTransport>>` with retryable faults injected produces *bitwise* the
+//!    same run (episode statistics, best score, evaluation count, final
+//!    network weights) as the fault-free in-process run, because every
+//!    recovered retry converges to the same evaluation and the injector's
+//!    RNG is decoupled from the agent's.
+//! 2. **No fault class can panic the trainer** — each class in turn at a
+//!    high rate, plus the surfaced-error path (no retries, no fallback),
+//!    completes training and lands in the fault ledger instead of aborting
+//!    the process.
+
+use dqn_docking::config::{TransportMode, TransportConfig};
+use dqn_docking::{trainer, CheckpointOptions, Config, DockingEnv};
+use metadock::ipc::{
+    FaultClass, FaultConfig, FaultInjectingTransport, RamTransport, SupervisedTransport,
+    SupervisionPolicy,
+};
+use metadock::DockingEngine;
+use std::time::Duration;
+
+fn test_config() -> Config {
+    let mut c = Config::tiny();
+    c.episodes = 3;
+    c.max_steps = 20;
+    c
+}
+
+#[test]
+fn recovered_chaos_run_is_bitwise_identical_to_fault_free_run() {
+    let fault_free = {
+        let config = test_config();
+        let mut env = DockingEnv::from_config(&config);
+        trainer::run_checkpointed(&config, &mut env, &CheckpointOptions::disabled(), |_| {})
+            .unwrap()
+    };
+
+    let chaos = {
+        let mut config = test_config();
+        config.transport = TransportConfig {
+            mode: TransportMode::Ram,
+            retries: 8,
+            timeout_ms: 50,
+            fault_rate: 0.25,
+            fault_seed: 77,
+        };
+        let mut env = DockingEnv::from_config(&config);
+        trainer::run_checkpointed(&config, &mut env, &CheckpointOptions::disabled(), |_| {})
+            .unwrap()
+    };
+
+    // The chaos run must actually have been exercised by faults, every one
+    // of them recovered (retry, respawn, or degradation — all of which
+    // deliver the true evaluation).
+    assert!(
+        !chaos.run.fault_events.is_empty(),
+        "fault injector at 25% produced no faults — the test exercises nothing"
+    );
+    assert!(chaos.run.fault_events.iter().all(|f| f.recovered));
+
+    // Bitwise-identical training trajectory.
+    let (a, b) = (&fault_free.run, &chaos.run);
+    assert_eq!(a.episodes.len(), b.episodes.len());
+    for (ea, eb) in a.episodes.iter().zip(&b.episodes) {
+        assert_eq!(ea.episode, eb.episode);
+        assert_eq!(ea.steps, eb.steps, "episode {} diverged", ea.episode);
+        assert_eq!(ea.total_reward.to_bits(), eb.total_reward.to_bits());
+        assert_eq!(ea.avg_max_q.to_bits(), eb.avg_max_q.to_bits());
+        assert_eq!(
+            ea.mean_loss.map(f64::to_bits),
+            eb.mean_loss.map(f64::to_bits)
+        );
+        assert_eq!(ea.epsilon.to_bits(), eb.epsilon.to_bits());
+        assert_eq!(ea.terminated, eb.terminated);
+    }
+    assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+    assert_eq!(a.best_rmsd.to_bits(), b.best_rmsd.to_bits());
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.final_epsilon.to_bits(), b.final_epsilon.to_bits());
+
+    // Bitwise-identical final agents (weights, optimizer moments, replay
+    // memory, RNG streams — the checkpoint blob captures all of it).
+    let mut blob_a = Vec::new();
+    let mut blob_b = Vec::new();
+    fault_free.agent.write_checkpoint(&mut blob_a).unwrap();
+    chaos.agent.write_checkpoint(&mut blob_b).unwrap();
+    assert_eq!(blob_a, blob_b, "final agent state diverged under recovery");
+}
+
+/// Fast supervision policy so dropped replies don't stall the suite.
+fn quick_policy(retries: u32) -> SupervisionPolicy {
+    SupervisionPolicy {
+        max_retries: retries,
+        timeout: Some(Duration::from_millis(50)),
+        backoff_base_ms: 0,
+        ..SupervisionPolicy::default()
+    }
+}
+
+#[test]
+fn no_fault_class_panics_the_trainer() {
+    let mut config = test_config();
+    config.episodes = 2;
+    config.max_steps = 12;
+    let complex = config.complex.generate();
+    let engine = DockingEngine::new(complex, config.scoring, config.kernel);
+
+    for class in FaultClass::ALL {
+        let fc = FaultConfig {
+            fault_rate: 0.5,
+            seed: 0xc1a55 ^ class as u64,
+            classes: vec![class],
+            delay: Duration::from_millis(1),
+        };
+        let injected = FaultInjectingTransport::new(RamTransport::new(engine.clone()), fc);
+        let supervised =
+            SupervisedTransport::new(injected, quick_policy(5)).with_fallback(engine.clone());
+        let mut env =
+            DockingEnv::with_engine(engine.clone(), &config).with_transport(Box::new(supervised));
+        let outcome =
+            trainer::run_checkpointed(&config, &mut env, &CheckpointOptions::disabled(), |_| {})
+                .unwrap_or_else(|e| panic!("{class:?}: training errored: {e}"));
+        assert_eq!(
+            outcome.run.episodes.len(),
+            config.episodes,
+            "{class:?}: run did not complete"
+        );
+    }
+}
+
+#[test]
+fn surfaced_errors_abort_episodes_not_the_process() {
+    let mut config = test_config();
+    config.episodes = 3;
+    config.max_steps = 15;
+    let complex = config.complex.generate();
+    let engine = DockingEngine::new(complex, config.scoring, config.kernel);
+
+    // No retries, no fallback: every injected NaN score surfaces to the
+    // environment as a hard TransportError.
+    let fc = FaultConfig {
+        fault_rate: 0.5,
+        seed: 99,
+        classes: vec![FaultClass::NanScore],
+        delay: Duration::from_millis(1),
+    };
+    let injected = FaultInjectingTransport::new(RamTransport::new(engine.clone()), fc);
+    let supervised = SupervisedTransport::new(injected, quick_policy(0));
+    let mut env =
+        DockingEnv::with_engine(engine.clone(), &config).with_transport(Box::new(supervised));
+
+    let outcome =
+        trainer::run_checkpointed(&config, &mut env, &CheckpointOptions::disabled(), |_| {})
+            .expect("training must survive surfaced faults");
+    assert_eq!(outcome.run.episodes.len(), config.episodes);
+    assert!(
+        outcome.run.fault_events.iter().any(|f| !f.recovered),
+        "expected at least one surfaced (unrecovered) fault in the ledger: {:?}",
+        outcome.run.fault_events
+    );
+    // Scores stayed finite end to end: NaN never leaked into the metrics.
+    assert!(outcome.run.best_score.is_finite());
+    for e in &outcome.run.episodes {
+        assert!(e.total_reward.is_finite());
+        assert!(e.avg_max_q.is_finite());
+    }
+}
