@@ -1,0 +1,119 @@
+//! **Static-prefix factorization bench** — the factored Q-network forward
+//! (receptor prefix pre-multiplied once per complex into a
+//! [`neural::PrefixCache`], only the ligand/torsion remainder multiplied
+//! per call) against the full unfactored forward, at the paper's network
+//! shape 16,599 → 135 → 135 → 12 with the 2BSM receptor block (9,792
+//! reals) as the cached prefix. Results recorded in
+//! `BENCH_prefix_forward.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::{Matrix, Mlp, MlpSpec, PrefixCache, TrainScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const INPUT: usize = 16_599;
+const PREFIX: usize = 9_792; // 3,264 receptor atoms × 3 coordinates
+
+fn paper_mlp() -> Mlp {
+    let spec = MlpSpec::q_network(INPUT, &[135, 135], 12);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    Mlp::new(&spec, &mut rng)
+}
+
+fn paper_state() -> Vec<f32> {
+    (0..INPUT).map(|c| ((c * 131) as f32 * 0.0007).sin()).collect()
+}
+
+/// A 32-row minibatch whose rows share the receptor prefix, as every
+/// same-complex replay sample does.
+fn paper_batch() -> Matrix {
+    let shared = paper_state();
+    Matrix::from_fn(32, INPUT, |r, c| {
+        if c < PREFIX {
+            shared[c]
+        } else {
+            ((r * 131 + c) as f32 * 0.0007).sin()
+        }
+    })
+}
+
+fn act_path_predict(c: &mut Criterion) {
+    // The act path: one greedy Q evaluation per environment step.
+    let mut group = c.benchmark_group("prefix_forward/act_path_predict");
+    let mlp = paper_mlp();
+    let state = paper_state();
+    let mut out = Vec::new();
+    group.bench_function("full_forward", |b| {
+        b.iter(|| {
+            mlp.predict_into(black_box(&state), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    let mut cache = PrefixCache::new();
+    group.bench_function("factored_warm_cache", |b| {
+        b.iter(|| {
+            mlp.predict_factored_into(
+                black_box(&state[..PREFIX]),
+                black_box(&state[PREFIX..]),
+                &mut cache,
+                &mut out,
+            );
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+fn learn_path_batched_forward(c: &mut Criterion) {
+    // The learn path: the caching forward over a 32-row minibatch whose
+    // rows share the receptor prefix.
+    let mut group = c.benchmark_group("prefix_forward/learn_path_b32");
+    let mlp = paper_mlp();
+    let x = paper_batch();
+    {
+        let mut scratch = TrainScratch::new();
+        group.bench_function("full_forward", |b| {
+            b.iter(|| black_box(mlp.forward_cached_reusing(black_box(&x), &mut scratch).data()[0]))
+        });
+    }
+    {
+        let mut scratch = TrainScratch::new();
+        let mut cache = PrefixCache::new();
+        group.bench_function("factored_warm_cache", |b| {
+            b.iter(|| {
+                black_box(
+                    mlp.forward_cached_factored(black_box(&x), PREFIX, &mut cache, &mut scratch)
+                        .data()[0],
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cache_rebuild(c: &mut Criterion) {
+    // The once-per-update cost the factored path pays: rebuilding the
+    // cached prefix partials after a weight change.
+    let mut group = c.benchmark_group("prefix_forward/cache_rebuild");
+    let mlp = paper_mlp();
+    let state = paper_state();
+    let mut out = Vec::new();
+    group.bench_function("invalidate_then_predict", |b| {
+        let mut cache = PrefixCache::new();
+        b.iter(|| {
+            cache.invalidate();
+            mlp.predict_factored_into(&state[..PREFIX], &state[PREFIX..], &mut cache, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    act_path_predict,
+    learn_path_batched_forward,
+    cache_rebuild
+);
+criterion_main!(benches);

@@ -302,10 +302,9 @@ impl DockingEnv {
     /// receptor block is a constant prefix and the bond table a constant
     /// suffix of every state vector, so the buffer stores each only once.
     pub fn frame_layout(&self) -> rl::FrameLayout {
-        rl::FrameLayout::new(
-            self.featurizer.constant_prefix_len(),
-            self.featurizer.constant_suffix_len(),
-        )
+        // `rl::FrameLayout` *is* `neural::InputSplit`, so the featurizer's
+        // split doubles as the replay layout with no translation.
+        self.featurizer.input_split()
     }
 
     /// Current docking score.

@@ -7,30 +7,63 @@
 
 use crate::config::Config;
 use crate::env::DockingEnv;
-use neural::Mlp;
-use rl::Environment;
+use neural::{InputSplit, Mlp, PrefixCache};
+use rl::{Environment, QFunction};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// A frozen greedy policy: the Q-network with no exploration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Policy {
     mlp: Mlp,
+    /// Constant-block split of the states this policy evaluates. A
+    /// non-trivial prefix routes prediction through the factored layer-0
+    /// path (bitwise identical; the receptor block is multiplied once per
+    /// complex instead of once per step).
+    split: InputSplit,
+    /// Cached layer-0 prefix partials — pure cache, excluded from
+    /// equality; `RefCell` because prediction takes `&self`.
+    cache: RefCell<PrefixCache>,
+}
+
+impl PartialEq for Policy {
+    fn eq(&self, other: &Self) -> bool {
+        self.mlp == other.mlp && self.split == other.split
+    }
 }
 
 impl Policy {
-    /// Wraps a trained Q-network.
+    /// Wraps a trained Q-network (whole state treated as dynamic; see
+    /// [`Policy::with_input_split`]).
     pub fn new(mlp: Mlp) -> Self {
-        Policy { mlp }
+        Policy {
+            mlp,
+            split: InputSplit::default(),
+            cache: RefCell::new(PrefixCache::new()),
+        }
     }
 
-    /// Extracts the policy from a trained agent.
+    /// Declares the constant-block split of the states this policy will
+    /// see, enabling the factored forward. Purely a performance hint:
+    /// actions and Q-values never depend on it.
+    pub fn with_input_split(mut self, split: InputSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// The declared input split.
+    pub fn input_split(&self) -> InputSplit {
+        self.split
+    }
+
+    /// Extracts the policy from a trained agent, inheriting the agent's
+    /// input split.
     pub fn from_agent(agent: &rl::DqnAgent<rl::MlpQ>) -> Self {
-        Policy {
-            mlp: agent.q_function().mlp().clone(),
-        }
+        Policy::new(agent.q_function().mlp().clone())
+            .with_input_split(agent.q_function().input_split())
     }
 
     /// The greedy action for a state.
@@ -65,7 +98,14 @@ impl Policy {
     /// # Panics
     /// If the state width does not match the network input.
     pub fn action_and_max_q_into(&self, state: &[f32], qs: &mut Vec<f32>) -> (usize, f32) {
-        self.mlp.predict_into(state, qs);
+        let p = self.split.prefix_len;
+        if p > 0 && p <= state.len() {
+            let mut cache = self.cache.borrow_mut();
+            self.mlp
+                .predict_factored_into(&state[..p], &state[p..], &mut cache, qs);
+        } else {
+            self.mlp.predict_into(state, qs);
+        }
         qs.iter()
             .copied()
             .enumerate()
@@ -84,6 +124,8 @@ impl Policy {
     }
 
     /// Loads a checkpointed policy, verifying it fits `env`'s dimensions.
+    /// The policy inherits the environment's constant-block layout, so
+    /// greedy replay runs through the factored forward.
     pub fn load(path: impl AsRef<Path>, env: &DockingEnv) -> io::Result<Policy> {
         let mlp = Mlp::load_file(path)?;
         if mlp.input_size() != env.state_dim() || mlp.output_size() != env.n_actions() {
@@ -98,7 +140,7 @@ impl Policy {
                 ),
             ));
         }
-        Ok(Policy { mlp })
+        Ok(Policy::new(mlp).with_input_split(env.frame_layout()))
     }
 }
 

@@ -95,6 +95,14 @@ impl StateFeaturizer {
         self.constant_suffix.len()
     }
 
+    /// The constant-block split of each state vector as the shared
+    /// [`neural::InputSplit`] — the single definition the replay frame
+    /// store, the factored Q-network forward, and this featurizer all
+    /// agree on.
+    pub fn input_split(&self) -> neural::InputSplit {
+        neural::InputSplit::new(self.constant_prefix_len(), self.constant_suffix_len())
+    }
+
     /// Builds the state vector for the given posed ligand coordinates (and
     /// torsion angles in flexible mode; pass `&[]` when rigid).
     ///

@@ -1,0 +1,110 @@
+//! Satellite pin: the receptor-prefix/bond-suffix split has exactly ONE
+//! definition — [`neural::InputSplit`] — and the featurizer, the replay
+//! frame layout, the agent's factored Q-network forward, and the frozen
+//! greedy [`Policy`] all consume that same value. A second test proves the
+//! factorization is bitwise-invisible to a full docking training run.
+
+use dqn_docking::{trainer, Config, DockingEnv, Policy, StateLayout};
+use rl::{train, Environment, QFunction, TrainOptions};
+
+fn paper_full_config() -> Config {
+    let mut c = Config::tiny();
+    c.state_layout = StateLayout::PaperFull;
+    c
+}
+
+#[test]
+fn featurizer_replay_and_qnetwork_share_one_split_definition() {
+    let config = paper_full_config();
+    let env = DockingEnv::from_config(&config);
+    let layout = env.frame_layout();
+
+    // `rl::FrameLayout` IS `neural::InputSplit`: this binding only compiles
+    // while the alias holds, pinning the "single shared definition".
+    let split: neural::InputSplit = layout;
+
+    // The split describes the actual state structure the featurizer emits.
+    let complex = config.complex.generate();
+    assert_eq!(split.prefix_len, complex.receptor.len() * 3);
+    assert_eq!(
+        split.suffix_len,
+        2 * (complex.receptor.bonds().len() + complex.ligand.bonds().len())
+    );
+    assert!(split.prefix_len > 0 && split.suffix_len > 0);
+    assert_eq!(
+        split.prefix_len + complex.ligand.len() * 3 + split.suffix_len,
+        env.state_dim(),
+        "prefix + dynamic + suffix must tile the state vector exactly"
+    );
+
+    // The agent construction path hands the same value to the online
+    // network, the target network, and (via `from_agent`) the frozen policy.
+    let agent = trainer::build_agent(&config, &env);
+    assert_eq!(agent.q_function().input_split(), layout);
+    assert_eq!(agent.target_function().input_split(), layout);
+    assert_eq!(Policy::from_agent(&agent).input_split(), layout);
+
+    // The compact layout has no constant blocks and must stay unfactored.
+    let compact = Config::tiny();
+    let compact_env = DockingEnv::from_config(&compact);
+    assert_eq!(compact_env.frame_layout(), rl::FrameLayout::default());
+    let compact_agent = trainer::build_agent(&compact, &compact_env);
+    assert!(compact_agent.q_function().input_split().is_trivial());
+}
+
+/// The factored act/learn path changes *where* layer-0 work happens, never
+/// its result: a full-state docking run built the normal way (factored)
+/// must match, bitwise, the same run with the factorization disabled.
+#[test]
+fn paper_full_training_is_bitwise_unaffected_by_factorization() {
+    let config = paper_full_config();
+    let options = TrainOptions {
+        episodes: 3,
+        max_steps_per_episode: config.max_steps,
+    };
+
+    // Factored: the standard construction path (layout from the env).
+    let mut env_f = DockingEnv::from_config(&config);
+    let mut factored = trainer::build_agent(&config, &env_f);
+    let stats_f = train(&mut env_f, &mut factored, options, |_| {});
+
+    // Control: identical network and RNG seeds, but a trivial frame layout
+    // so every forward runs the plain unfactored path. (Replicates
+    // `trainer::build_agent` except for the layout.)
+    use rand::SeedableRng;
+    let mut env_p = DockingEnv::from_config(&config);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.dqn.seed ^ 0xD0C4);
+    let spec =
+        neural::MlpSpec::q_network(env_p.state_dim(), &config.hidden_layers, env_p.n_actions());
+    let mut q = rl::MlpQ::new(&spec, config.optimizer, config.loss, &mut rng);
+    if let Some(max_norm) = config.grad_clip_norm {
+        q = q.with_grad_clip(max_norm);
+    }
+    let mut plain = rl::DqnAgent::new(q, config.dqn); // frame_layout stays trivial
+    let stats_p = train(&mut env_p, &mut plain, options, |_| {});
+
+    assert_eq!(stats_f, stats_p, "episode statistics diverged");
+    assert_eq!(
+        factored.q_function().mlp(),
+        plain.q_function().mlp(),
+        "final weights diverged"
+    );
+    let probe = DockingEnv::from_config(&config).reset();
+    assert_eq!(
+        factored
+            .q_function()
+            .predict(&probe)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        plain
+            .q_function()
+            .predict(&probe)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "final predictions diverged"
+    );
+    let (rebuilds, _) = factored.q_function().prefix_cache_stats();
+    assert!(rebuilds > 0, "the factored path must actually have run");
+}

@@ -1,5 +1,7 @@
 //! Fully-connected layers with explicit forward/backward passes.
 
+use crate::network::WeightsToken;
+use crate::prefix::PrefixCache;
 use crate::{Activation, Matrix, WeightInit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -85,6 +87,24 @@ impl Dense {
         input.matmul_transpose_b_into(&self.weights, out);
         out.add_row_broadcast(&self.bias);
         self.activation.apply_matrix_in_place(out);
+    }
+
+    /// [`Dense::forward_into`] through a [`PrefixCache`]: the first
+    /// `prefix_len` columns of every row are assumed constant and their
+    /// contribution comes from the cache's partial pre-activations instead
+    /// of being re-multiplied. `token` identifies the parameters the cache
+    /// must match (see [`Mlp::weights_token`](crate::Mlp::weights_token));
+    /// stale caches rebuild, heterogeneous batches fall back to the full
+    /// multiply. Bitwise identical to [`Dense::forward_into`] either way.
+    pub fn forward_factored_into(
+        &self,
+        input: &Matrix,
+        prefix_len: usize,
+        cache: &mut PrefixCache,
+        token: WeightsToken,
+        out: &mut Matrix,
+    ) {
+        cache.layer0_batch_into(self, input, prefix_len, token, out);
     }
 
     /// Forward pass keeping the cache needed by [`Dense::backward`].

@@ -38,6 +38,7 @@ pub mod loss;
 pub mod matrix;
 pub mod network;
 pub mod optimizer;
+pub mod prefix;
 pub mod scratch;
 
 pub use activation::Activation;
@@ -47,6 +48,7 @@ pub use init::WeightInit;
 pub use layer::Dense;
 pub use loss::Loss;
 pub use matrix::Matrix;
-pub use network::{Mlp, MlpSpec};
+pub use network::{Mlp, MlpSpec, WeightsToken};
 pub use optimizer::{Optimizer, OptimizerSpec};
+pub use prefix::{InputSplit, PrefixCache};
 pub use scratch::TrainScratch;

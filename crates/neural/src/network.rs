@@ -1,12 +1,45 @@
 //! The multilayer perceptron: layers + backprop + checkpointing.
 
 use crate::layer::{DenseCache, DenseGrads};
+use crate::prefix::PrefixCache;
 use crate::{Activation, Dense, Loss, Matrix, Optimizer, OptimizerSpec, WeightInit};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global counter behind [`next_weights_id`]: every network ever
+/// constructed (new, clone, load, deserialize) gets a distinct id, so a
+/// [`PrefixCache`] built against one network can never validate against
+/// another that merely shares a version number.
+static WEIGHTS_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique weights identity.
+fn next_weights_id() -> u64 {
+    WEIGHTS_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Opaque identity of one network's current parameters: a process-unique
+/// network id plus a version bumped by every parameter mutation
+/// ([`Mlp::apply_grads`], [`Mlp::copy_weights_from`], raw layer access).
+/// [`PrefixCache`] compares tokens to decide whether its cached partial
+/// products are still valid — see the [`prefix`](crate::prefix) module
+/// docs for the invalidation rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightsToken {
+    id: u64,
+    version: u64,
+}
+
+impl WeightsToken {
+    /// A distinct token per `n` for cache-invalidation unit tests.
+    #[cfg(test)]
+    pub(crate) fn for_tests(n: u64) -> Self {
+        WeightsToken { id: n, version: 0 }
+    }
+}
 
 /// Architecture description of an [`Mlp`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,7 +88,7 @@ impl MlpSpec {
 /// let last = mlp.train_step(&x, &y, Loss::Mse, &mut opt);
 /// assert!(last < first);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
     /// Per-network inference scratch for [`Mlp::predict_into`]: the row
@@ -66,6 +99,30 @@ pub struct Mlp {
     /// contended. Skipped by serde: scratch is shape-derived, not state.
     #[serde(skip)]
     predict_scratch: RefCell<PredictScratch>,
+    /// Process-unique identity of this network's parameter storage; fresh
+    /// on every construction path (new, clone, load, deserialize) so a
+    /// [`PrefixCache`] can never confuse two networks.
+    #[serde(skip, default = "next_weights_id")]
+    weights_id: u64,
+    /// Bumped by every parameter mutation; `(weights_id, weights_version)`
+    /// is the [`WeightsToken`] prefix caches validate against.
+    #[serde(skip)]
+    weights_version: u64,
+}
+
+/// Cloning assigns a **fresh** weights identity: the clone's parameters may
+/// diverge from the original's immediately (e.g. online vs. target network
+/// in DQN), and version counters alone cannot distinguish two histories
+/// that happen to make the same number of updates.
+impl Clone for Mlp {
+    fn clone(&self) -> Self {
+        Mlp {
+            layers: self.layers.clone(),
+            predict_scratch: RefCell::new(self.predict_scratch.borrow().clone()),
+            weights_id: next_weights_id(),
+            weights_version: 0,
+        }
+    }
 }
 
 /// Scratch buffers behind [`Mlp::predict_into`].
@@ -124,6 +181,8 @@ impl Mlp {
         Mlp {
             layers,
             predict_scratch: RefCell::default(),
+            weights_id: next_weights_id(),
+            weights_version: 0,
         }
     }
 
@@ -132,9 +191,25 @@ impl Mlp {
         &self.layers
     }
 
-    /// Mutable layer access (gradient checking and tests).
+    /// Mutable layer access (gradient checking and tests). Conservatively
+    /// counts as a parameter mutation: the caller may write weights.
     pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        self.note_weights_changed();
         &mut self.layers
+    }
+
+    /// The current [`WeightsToken`]; changes whenever parameters may have.
+    pub fn weights_token(&self) -> WeightsToken {
+        WeightsToken {
+            id: self.weights_id,
+            version: self.weights_version,
+        }
+    }
+
+    /// Records that parameters (may) have changed, invalidating every
+    /// outstanding [`PrefixCache`] built against this network.
+    fn note_weights_changed(&mut self) {
+        self.weights_version = self.weights_version.wrapping_add(1);
     }
 
     /// Input feature count.
@@ -292,6 +367,95 @@ impl Mlp {
         out.extend_from_slice(y.data());
     }
 
+    /// [`Mlp::predict_into`] through the static-prefix factored layer-0
+    /// forward: the input arrives pre-split as `(prefix, dynamic)` and the
+    /// prefix's contribution to layer 0 comes from `cache` instead of being
+    /// re-multiplied. Bitwise identical to [`Mlp::predict_into`] on the
+    /// concatenated slice (pinned by `tests/prefix_parity.rs`); warm calls
+    /// perform no heap allocation (pinned by `tests/zero_alloc_predict.rs`).
+    /// Staleness is handled inside the cache — see
+    /// [`prefix`](crate::prefix).
+    ///
+    /// # Panics
+    /// If `prefix.len() + dynamic.len()` does not match the input width, or
+    /// if `prefix` is wider than layer 0.
+    pub fn predict_factored_into(
+        &self,
+        prefix: &[f32],
+        dynamic: &[f32],
+        cache: &mut PrefixCache,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            prefix.len() + dynamic.len(),
+            self.input_size(),
+            "input width mismatch"
+        );
+        let mut scratch = self.predict_scratch.borrow_mut();
+        let PredictScratch {
+            input: _, ping, pong, ..
+        } = &mut *scratch;
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("MLP has at least one layer");
+        cache.layer0_row_into(first, prefix, dynamic, self.weights_token(), ping);
+        let mut in_ping = true;
+        for layer in rest {
+            if in_ping {
+                layer.forward_into(&*ping, pong);
+            } else {
+                layer.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        let y = if in_ping { &*ping } else { &*pong };
+        out.clear();
+        out.extend_from_slice(y.data());
+    }
+
+    /// Batched inference through the static-prefix factored layer 0: every
+    /// row of `input` must carry the same constant prefix in its first
+    /// `prefix_len` columns (the replay buffer guarantees this — all
+    /// transitions of one run share the receptor block). Rows that do not
+    /// fall back to the unfactored forward. Bitwise identical to
+    /// [`Mlp::forward_reusing_into`] either way.
+    pub fn forward_factored_into(
+        &self,
+        input: &Matrix,
+        prefix_len: usize,
+        cache: &mut PrefixCache,
+        ping: &mut Matrix,
+        pong: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(input.cols(), self.input_size(), "input width mismatch");
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("MLP has at least one layer");
+        if rest.is_empty() {
+            cache.layer0_batch_into(first, input, prefix_len, self.weights_token(), out);
+            return;
+        }
+        cache.layer0_batch_into(first, input, prefix_len, self.weights_token(), ping);
+        let (last, mid) = rest.split_last().expect("rest is non-empty");
+        let mut in_ping = true;
+        for layer in mid {
+            if in_ping {
+                layer.forward_into(&*ping, pong);
+            } else {
+                layer.forward_into(&*pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            last.forward_into(&*ping, out);
+        } else {
+            last.forward_into(&*pong, out);
+        }
+    }
+
     /// Forward keeping per-layer caches — the advanced API used by custom
     /// heads (e.g. the dueling Q-network) that splice extra computation
     /// between the trunk and the loss.
@@ -367,6 +531,7 @@ impl Mlp {
     /// pairs with [`Mlp::backward`]). Calls `optimizer.begin_step()`.
     pub fn apply_grads(&mut self, grads: &[DenseGrads], optimizer: &mut Optimizer) {
         assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        self.note_weights_changed();
         optimizer.begin_step();
         for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
             optimizer.update(2 * i, layer.weights.data_mut(), g.d_weights.data());
@@ -396,6 +561,7 @@ impl Mlp {
     /// # Panics
     /// If architectures differ.
     pub fn copy_weights_from(&mut self, other: &Mlp) {
+        self.note_weights_changed();
         assert_eq!(
             self.layers.len(),
             other.layers.len(),
@@ -491,6 +657,8 @@ impl Mlp {
         Ok(Mlp {
             layers,
             predict_scratch: RefCell::default(),
+            weights_id: next_weights_id(),
+            weights_version: 0,
         })
     }
 

@@ -1,0 +1,638 @@
+//! Static-prefix factorization of the layer-0 forward pass.
+//!
+//! The paper's 16,599-wide state is `receptor coords (9,792, constant per
+//! complex) | ligand coords + torsions (dynamic) | bond table (constant)`.
+//! Layer 0 of the Q-network multiplies that whole vector on **every**
+//! predict, yet ~60% of the dot product — the receptor prefix — is the same
+//! on every step of an episode. This module caches that prefix product once
+//! per (complex, weights) pair and lets the forward pass resume each output
+//! neuron's accumulation from the cached partial state, multiplying only
+//! the dynamic remainder.
+//!
+//! # Bitwise identity
+//!
+//! The factored forward must be **bit-identical** to the unfactored
+//! reference, which pins the design to each GEMM kernel's exact
+//! accumulation order (f32 addition is not associative):
+//!
+//! * [`MatmulKernel::Naive`] accumulates each output strictly in increasing
+//!   `k` order, so the cache holds one scalar partial per output neuron and
+//!   the resume simply continues the same loop from index `prefix_len`.
+//! * [`MatmulKernel::Blocked`] accumulates through [`LANES`] independent
+//!   lane partials over `main = k - k % LANES` elements (element `c` lands
+//!   in lane `c % LANES`, in increasing chunk order), then a scalar tail
+//!   over `[main, k)`, then an in-order lane reduction plus the tail. The
+//!   cache therefore holds, per output neuron, the full `[f32; LANES]` lane
+//!   state after all prefix elements in `[0, main)` (including the prefix
+//!   lanes of a chunk the split straddles) plus the tail partial for any
+//!   prefix elements past `main`. The resume folds the dynamic elements
+//!   into the same lanes (`c % LANES`, increasing `c`), continues the tail,
+//!   and reduces in the identical fixed order.
+//!
+//! Only the *prefix* is cacheable: the constant bond-table suffix comes
+//! **after** the dynamic block in accumulation order, so caching it would
+//! change the order of additions and break bitwise identity.
+//!
+//! The bias is deliberately **not** baked into the cache: the reference
+//! path adds it after the full dot product (`add_row_broadcast`), so the
+//! factored path must too.
+//!
+//! # Cache invalidation
+//!
+//! A cached partial is only valid for one (weights, prefix, kernel) triple.
+//! [`PrefixCache::ensure`] revalidates all three on every call:
+//!
+//! * weights — via the owning [`Mlp`](crate::Mlp)'s [`WeightsToken`]
+//!   (a unique network id plus a version bumped by every parameter
+//!   mutation: optimizer updates, target-network syncs, raw layer access,
+//!   checkpoint loads and clones all change the token);
+//! * prefix — by bitwise comparison against the cached copy (a new complex
+//!   rebuilds the cache; ~1/135th of the work the cache saves);
+//! * kernel — the process-default kernel is re-read per call.
+//!
+//! On any mismatch the cache silently rebuilds; a heterogeneous batch
+//! (rows with differing prefixes) falls back to the unfactored forward for
+//! that call. Either way the result is bit-identical to the reference, so
+//! callers never need to reason about staleness.
+
+use crate::gemm::{self, core::LANES, MatmulKernel};
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use crate::network::WeightsToken;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How a feature vector decomposes into
+/// `constant prefix | dynamic block | constant suffix`.
+///
+/// This is the **single shared definition** of the paper's state split:
+/// replay frame deduplication (`rl::replay`), state featurization
+/// (`core::state`) and the factored forward in this module all consume the
+/// same two lengths, so they can never disagree about where the receptor
+/// block ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputSplit {
+    /// Leading constant block length (the receptor coordinates: 9,792
+    /// values at the paper shape).
+    pub prefix_len: usize,
+    /// Trailing constant block length (the covalent-bond table).
+    pub suffix_len: usize,
+}
+
+impl InputSplit {
+    /// A split with the given constant prefix and suffix lengths.
+    pub fn new(prefix_len: usize, suffix_len: usize) -> Self {
+        InputSplit {
+            prefix_len,
+            suffix_len,
+        }
+    }
+
+    /// The dynamic (per-step) block length of a `total`-wide vector.
+    ///
+    /// # Panics
+    /// If the constant blocks do not fit in `total`.
+    pub fn dynamic_len(&self, total: usize) -> usize {
+        total
+            .checked_sub(self.prefix_len + self.suffix_len)
+            .expect("InputSplit larger than the vector it describes")
+    }
+
+    /// Whether the split carries no constant prefix (nothing to factor).
+    pub fn is_trivial(&self) -> bool {
+        self.prefix_len == 0
+    }
+}
+
+/// Cached layer-0 partial pre-activations for one constant input prefix.
+///
+/// Create one per network that predicts repeatedly over the same complex
+/// (`PrefixCache::new()` is empty; the first forward through it builds the
+/// partials) and pass it to
+/// [`Mlp::predict_factored_into`](crate::Mlp::predict_factored_into),
+/// [`Mlp::forward_factored_into`](crate::Mlp::forward_factored_into) or
+/// [`Mlp::forward_cached_factored`](crate::Mlp::forward_cached_factored).
+/// Staleness is handled internally — see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixCache {
+    /// Identity of the weights the partials were computed against.
+    token: Option<WeightsToken>,
+    /// Kernel whose accumulation order the partials follow.
+    kernel: MatmulKernel,
+    /// The cached prefix values (bitwise-compared on every use).
+    prefix: Vec<f32>,
+    /// Layer-0 input width the cache was built for.
+    k: usize,
+    /// Layer-0 output width the cache was built for.
+    n_out: usize,
+    /// Blocked kernel: `n_out × LANES` lane partials (row-major per neuron).
+    lanes: Vec<f32>,
+    /// Blocked kernel: per-neuron tail partial (prefix elements past
+    /// `main`). Naive kernel: per-neuron in-order scalar partial.
+    partials: Vec<f32>,
+    /// How many times the partials have been (re)built — an observability
+    /// hook for tests pinning that warm calls do not rebuild.
+    rebuilds: u64,
+    /// How many batched calls fell back to the unfactored forward.
+    fallbacks: u64,
+}
+
+impl PrefixCache {
+    /// An empty cache; partials are built lazily on first use.
+    pub fn new() -> Self {
+        PrefixCache::default()
+    }
+
+    /// Drops the cached partials; the next use rebuilds them.
+    pub fn invalidate(&mut self) {
+        self.token = None;
+    }
+
+    /// Whether the cache currently holds valid partials for some input.
+    pub fn is_warm(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// The prefix length the current partials cover (0 when cold).
+    pub fn prefix_len(&self) -> usize {
+        if self.is_warm() {
+            self.prefix.len()
+        } else {
+            0
+        }
+    }
+
+    /// How many times the partials have been (re)built since creation.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// How many batched calls fell back to the unfactored forward (rows
+    /// with differing prefixes, or a split that does not fit the layer).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Revalidates the partials for `(layer, prefix, kernel, token)`,
+    /// rebuilding them if any of the four changed. Warm calls cost a token
+    /// compare plus one bitwise sweep of the prefix.
+    fn ensure(&mut self, layer: &Dense, prefix: &[f32], kernel: MatmulKernel, token: WeightsToken) {
+        if self.token == Some(token)
+            && self.kernel == kernel
+            && self.k == layer.in_features()
+            && self.n_out == layer.out_features()
+            && bits_eq(&self.prefix, prefix)
+        {
+            return;
+        }
+        self.rebuild(layer, prefix, kernel, token);
+    }
+
+    /// Recomputes every per-neuron partial over the prefix, in the exact
+    /// accumulation order of `kernel` (see the [module docs](self)).
+    fn rebuild(
+        &mut self,
+        layer: &Dense,
+        prefix: &[f32],
+        kernel: MatmulKernel,
+        token: WeightsToken,
+    ) {
+        let k = layer.in_features();
+        let n_out = layer.out_features();
+        let p = prefix.len();
+        assert!(p <= k, "prefix longer than the layer input");
+        self.prefix.clear();
+        self.prefix.extend_from_slice(prefix);
+        self.k = k;
+        self.n_out = n_out;
+        self.kernel = kernel;
+        self.partials.clear();
+        self.partials.resize(n_out, 0.0);
+        match kernel {
+            MatmulKernel::Naive => {
+                self.lanes.clear();
+                for (j, partial) in self.partials.iter_mut().enumerate() {
+                    let w = layer.weights.row(j);
+                    let mut acc = 0.0f32;
+                    for (&x, &wv) in prefix.iter().zip(w) {
+                        acc += x * wv;
+                    }
+                    *partial = acc;
+                }
+            }
+            MatmulKernel::Blocked => {
+                let main = k - k % LANES;
+                self.lanes.clear();
+                self.lanes.resize(n_out * LANES, 0.0);
+                for j in 0..n_out {
+                    let w = layer.weights.row(j);
+                    let lanes = &mut self.lanes[j * LANES..(j + 1) * LANES];
+                    // Lane state after every prefix element in [0, main):
+                    // element c lands in lane c % LANES, in increasing c
+                    // order — exactly the order `dot1`/`dot4` visit them.
+                    for c in 0..p.min(main) {
+                        lanes[c % LANES] += prefix[c] * w[c];
+                    }
+                    // Prefix elements past `main` belong to the scalar tail.
+                    let mut tail = 0.0f32;
+                    for c in main..p.max(main) {
+                        tail += prefix[c] * w[c];
+                    }
+                    self.partials[j] = tail;
+                }
+            }
+        }
+        self.token = Some(token);
+        self.rebuilds += 1;
+    }
+
+    /// Factored layer-0 forward for one `(prefix, dynamic)` input row:
+    /// `out = f(x·Wᵀ + b)` with `x = prefix ⊕ dynamic`, bit-identical to
+    /// [`Dense::forward_into`] on the concatenated row.
+    pub(crate) fn layer0_row_into(
+        &mut self,
+        layer: &Dense,
+        prefix: &[f32],
+        dynamic: &[f32],
+        token: WeightsToken,
+        out: &mut Matrix,
+    ) {
+        let kernel = gemm::default_kernel();
+        self.ensure(layer, prefix, kernel, token);
+        out.reshape_fill(1, layer.out_features(), 0.0);
+        self.continue_row(layer, dynamic, out.row_mut(0));
+        out.add_row_broadcast(&layer.bias);
+        layer.activation.apply_matrix_in_place(out);
+    }
+
+    /// Factored layer-0 forward for a whole batch whose rows all carry the
+    /// same constant prefix in their first `prefix_len` columns. Rows with
+    /// differing prefixes (or a split that does not fit the layer) fall
+    /// back to the unfactored [`Dense::forward_into`]; results are
+    /// bit-identical either way.
+    pub(crate) fn layer0_batch_into(
+        &mut self,
+        layer: &Dense,
+        input: &Matrix,
+        prefix_len: usize,
+        token: WeightsToken,
+        out: &mut Matrix,
+    ) {
+        let p = prefix_len;
+        let k = layer.in_features();
+        let rows = input.rows();
+        let usable = p > 0 && p <= k && input.cols() == k && rows > 0;
+        let uniform = usable && {
+            let first = &input.row(0)[..p];
+            (1..rows).all(|r| bits_eq(&input.row(r)[..p], first))
+        };
+        if !uniform {
+            self.fallbacks += 1;
+            layer.forward_into(input, out);
+            return;
+        }
+        let kernel = gemm::default_kernel();
+        self.ensure(layer, &input.row(0)[..p], kernel, token);
+        let n_out = layer.out_features();
+        out.reshape_fill(rows, n_out, 0.0);
+        // Rows are independent (each output element's accumulation order is
+        // fixed per neuron), so fanning rows out over the rayon pool is a
+        // scheduling choice only — bitwise identical to the serial sweep.
+        const ROWS_PER_CHUNK: usize = 4;
+        let flops = 2usize
+            .saturating_mul(rows)
+            .saturating_mul(k - p)
+            .saturating_mul(n_out);
+        let cache = &*self;
+        if rows > ROWS_PER_CHUNK && flops >= gemm::PAR_FLOP_THRESHOLD && gemm::parallel_enabled() {
+            out.data_mut()
+                .par_chunks_mut(ROWS_PER_CHUNK * n_out)
+                .enumerate()
+                .for_each(|(c, chunk)| {
+                    for (r, out_row) in chunk.chunks_mut(n_out).enumerate() {
+                        let row = input.row(c * ROWS_PER_CHUNK + r);
+                        cache.continue_row(layer, &row[p..], out_row);
+                    }
+                });
+        } else {
+            for r in 0..rows {
+                let (head, tail) = (input.row(r), out.row_mut(r));
+                cache.continue_row(layer, &head[p..], tail);
+            }
+        }
+        out.add_row_broadcast(&layer.bias);
+        layer.activation.apply_matrix_in_place(out);
+    }
+
+    /// Resumes every output neuron's dot product from the cached partial
+    /// state, writing the full pre-activations (no bias, no activation)
+    /// into `out_row`.
+    fn continue_row(&self, layer: &Dense, dynamic: &[f32], out_row: &mut [f32]) {
+        let p = self.prefix.len();
+        let k = self.k;
+        debug_assert_eq!(dynamic.len(), k - p, "dynamic block width mismatch");
+        debug_assert_eq!(out_row.len(), self.n_out);
+        match self.kernel {
+            MatmulKernel::Naive => {
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let w = layer.weights.row(j);
+                    let mut acc = self.partials[j];
+                    for (&x, &wv) in dynamic.iter().zip(&w[p..]) {
+                        acc += x * wv;
+                    }
+                    *o = acc;
+                }
+            }
+            MatmulKernel::Blocked => {
+                // Mirror `matmul_tb_block`'s neuron loop: groups of four
+                // share the dynamic-input stream (one load, four FMAs),
+                // with a single-neuron remainder. Per-neuron arithmetic is
+                // identical in both shapes.
+                let weights = &layer.weights;
+                let mut j = 0;
+                while j + 4 <= self.n_out {
+                    let d = resume4(
+                        dynamic,
+                        p,
+                        k,
+                        [
+                            weights.row(j),
+                            weights.row(j + 1),
+                            weights.row(j + 2),
+                            weights.row(j + 3),
+                        ],
+                        [
+                            &self.lanes[j * LANES..(j + 1) * LANES],
+                            &self.lanes[(j + 1) * LANES..(j + 2) * LANES],
+                            &self.lanes[(j + 2) * LANES..(j + 3) * LANES],
+                            &self.lanes[(j + 3) * LANES..(j + 4) * LANES],
+                        ],
+                        [
+                            self.partials[j],
+                            self.partials[j + 1],
+                            self.partials[j + 2],
+                            self.partials[j + 3],
+                        ],
+                    );
+                    out_row[j..j + 4].copy_from_slice(&d);
+                    j += 4;
+                }
+                while j < self.n_out {
+                    out_row[j] = resume1(
+                        dynamic,
+                        p,
+                        k,
+                        weights.row(j),
+                        &self.lanes[j * LANES..(j + 1) * LANES],
+                        self.partials[j],
+                    );
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Bitwise slice equality (`to_bits`, so NaNs compare by payload and
+/// `0.0 != -0.0` — "same input" means same bits, exactly like the replay
+/// deduplication in `rl::replay`).
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Resumes four blocked-kernel dot products from cached lane/tail state —
+/// the factored counterpart of `dot4`: same `[4×LANES]` accumulator tile,
+/// same lane assignment (`c % LANES`), same in-order reduction.
+fn resume4(
+    x: &[f32],
+    p: usize,
+    k: usize,
+    w: [&[f32]; 4],
+    lanes0: [&[f32]; 4],
+    tail0: [f32; 4],
+) -> [f32; 4] {
+    let main = k - k % LANES;
+    let mut acc = [[0.0f32; LANES]; 4];
+    for t in 0..4 {
+        acc[t].copy_from_slice(lanes0[t]);
+    }
+    let mut c = p.min(main);
+    // Finish the chunk the split straddles (lanes c % LANES .. LANES).
+    let head_end = c.div_ceil(LANES).saturating_mul(LANES).min(main);
+    while c < head_end {
+        let xv = x[c - p];
+        for t in 0..4 {
+            acc[t][c % LANES] += xv * w[t][c];
+        }
+        c += 1;
+    }
+    // Whole chunks of the dynamic block, in lane order.
+    if c < main {
+        let xm = &x[c - p..main - p];
+        let w0 = &w[0][c..main];
+        let w1 = &w[1][c..main];
+        let w2 = &w[2][c..main];
+        let w3 = &w[3][c..main];
+        for ((((cx, c0), c1), c2), c3) in xm
+            .chunks_exact(LANES)
+            .zip(w0.chunks_exact(LANES))
+            .zip(w1.chunks_exact(LANES))
+            .zip(w2.chunks_exact(LANES))
+            .zip(w3.chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                let xv = cx[l];
+                acc[0][l] += xv * c0[l];
+                acc[1][l] += xv * c1[l];
+                acc[2][l] += xv * c2[l];
+                acc[3][l] += xv * c3[l];
+            }
+        }
+    }
+    // Scalar tail over [max(p, main), k), continuing the cached tail.
+    let mut tail = tail0;
+    for c2 in p.max(main)..k {
+        let xv = x[c2 - p];
+        for t in 0..4 {
+            tail[t] += xv * w[t][c2];
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for t in 0..4 {
+        let mut s = 0.0f32;
+        for &lane in &acc[t] {
+            s += lane;
+        }
+        out[t] = s + tail[t];
+    }
+    out
+}
+
+/// Resumes one blocked-kernel dot product from cached lane/tail state —
+/// the factored counterpart of `dot1` (the `n_out % 4` remainder path).
+fn resume1(x: &[f32], p: usize, k: usize, w: &[f32], lanes0: &[f32], tail0: f32) -> f32 {
+    let main = k - k % LANES;
+    let mut acc = [0.0f32; LANES];
+    acc.copy_from_slice(lanes0);
+    let mut c = p.min(main);
+    let head_end = c.div_ceil(LANES).saturating_mul(LANES).min(main);
+    while c < head_end {
+        acc[c % LANES] += x[c - p] * w[c];
+        c += 1;
+    }
+    if c < main {
+        let xm = &x[c - p..main - p];
+        let wm = &w[c..main];
+        for (cx, cw) in xm.chunks_exact(LANES).zip(wm.chunks_exact(LANES)) {
+            for l in 0..LANES {
+                acc[l] += cx[l] * cw[l];
+            }
+        }
+    }
+    let mut tail = tail0;
+    for c2 in p.max(main)..k {
+        tail += x[c2 - p] * w[c2];
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    s + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, WeightInit};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dense(k: usize, n: usize) -> Dense {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        Dense::new(k, n, Activation::Relu, WeightInit::HeUniform, &mut rng)
+    }
+
+    fn batch(rows: usize, k: usize, p: usize) -> Matrix {
+        // Shared constant prefix, per-row dynamic remainder.
+        Matrix::from_fn(rows, k, |r, c| {
+            if c < p {
+                (c as f32 * 0.37).sin()
+            } else {
+                ((r * 131 + c) as f32 * 0.23).cos()
+            }
+        })
+    }
+
+    fn token(n: u64) -> WeightsToken {
+        WeightsToken::for_tests(n)
+    }
+
+    #[test]
+    fn input_split_accessors() {
+        let s = InputSplit::new(5, 3);
+        assert_eq!(s.dynamic_len(10), 2);
+        assert!(!s.is_trivial());
+        assert!(InputSplit::default().is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the vector")]
+    fn oversized_split_panics() {
+        let _ = InputSplit::new(8, 3).dynamic_len(10);
+    }
+
+    #[test]
+    fn factored_layer0_matches_reference_both_kernels() {
+        // Ragged widths around the LANES boundary: aligned, straddling,
+        // prefix past `main`, empty prefix region of the chunk, etc.
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            for (k, p) in [
+                (48, 16),
+                (48, 17),
+                (48, 0),
+                (48, 48),
+                (50, 49), // prefix extends past main = 48
+                (50, 16),
+                (7, 3), // k < LANES: everything is tail
+                (33, 20),
+            ] {
+                let layer = dense(k, 6);
+                let x = batch(5, k, p);
+                let mut reference = Matrix::zeros(0, 0);
+                crate::gemm::set_default_kernel(kernel);
+                layer.forward_into(&x, &mut reference);
+                let mut cache = PrefixCache::new();
+                let mut out = Matrix::zeros(0, 0);
+                cache.layer0_batch_into(&layer, &x, p, token(1), &mut out);
+                assert_eq!(out, reference, "kernel {kernel:?}, k {k}, p {p}");
+                // Warm second call: no rebuild, still identical.
+                let builds = cache.rebuilds();
+                cache.layer0_batch_into(&layer, &x, p, token(1), &mut out);
+                assert_eq!(out, reference, "warm: kernel {kernel:?}, k {k}, p {p}");
+                if p > 0 {
+                    assert_eq!(cache.rebuilds(), builds);
+                }
+            }
+        }
+        crate::gemm::set_default_kernel(MatmulKernel::default());
+    }
+
+    #[test]
+    fn token_change_rebuilds_prefix_change_rebuilds() {
+        let layer = dense(40, 5);
+        let x = batch(3, 40, 18);
+        let mut cache = PrefixCache::new();
+        let mut out = Matrix::zeros(0, 0);
+        cache.layer0_batch_into(&layer, &x, 18, token(1), &mut out);
+        assert_eq!(cache.rebuilds(), 1);
+        cache.layer0_batch_into(&layer, &x, 18, token(1), &mut out);
+        assert_eq!(cache.rebuilds(), 1);
+        // New weights identity → rebuild.
+        cache.layer0_batch_into(&layer, &x, 18, token(2), &mut out);
+        assert_eq!(cache.rebuilds(), 2);
+        // New prefix (different complex), still uniform across rows → rebuild.
+        let mut x2 = x.clone();
+        let cols = x2.cols();
+        for r in 0..x2.rows() {
+            x2.data_mut()[r * cols] += 1.0;
+        }
+        cache.layer0_batch_into(&layer, &x2, 18, token(2), &mut out);
+        assert_eq!(cache.rebuilds(), 3);
+    }
+
+    #[test]
+    fn heterogeneous_batch_falls_back_bitwise() {
+        let layer = dense(40, 5);
+        let mut x = batch(4, 40, 18);
+        // Break row 2's prefix: the batch is no longer uniform.
+        let cols = x.cols();
+        x.data_mut()[2 * cols + 3] += 0.5;
+        let mut reference = Matrix::zeros(0, 0);
+        layer.forward_into(&x, &mut reference);
+        let mut cache = PrefixCache::new();
+        let mut out = Matrix::zeros(0, 0);
+        cache.layer0_batch_into(&layer, &x, 18, token(1), &mut out);
+        assert_eq!(out, reference);
+        assert_eq!(cache.fallbacks(), 1);
+        assert_eq!(cache.rebuilds(), 0);
+    }
+
+    #[test]
+    fn invalidate_forces_rebuild() {
+        let layer = dense(32, 4);
+        let x = batch(2, 32, 16);
+        let mut cache = PrefixCache::new();
+        let mut out = Matrix::zeros(0, 0);
+        cache.layer0_batch_into(&layer, &x, 16, token(7), &mut out);
+        assert!(cache.is_warm());
+        assert_eq!(cache.prefix_len(), 16);
+        cache.invalidate();
+        assert!(!cache.is_warm());
+        assert_eq!(cache.prefix_len(), 0);
+        cache.layer0_batch_into(&layer, &x, 16, token(7), &mut out);
+        assert_eq!(cache.rebuilds(), 2);
+    }
+}

@@ -35,6 +35,7 @@
 //! every later `clear()`/`resize()` stays within capacity.
 
 use crate::layer::DenseGrads;
+use crate::prefix::PrefixCache;
 use crate::{Loss, Matrix, Mlp, Optimizer};
 
 /// Reusable buffers for [`Mlp::train_step_reusing`]: forward activations,
@@ -145,6 +146,41 @@ impl Mlp {
         for (i, layer) in self.layers().iter().enumerate() {
             if i == 0 {
                 layer.forward_into(inputs, &mut scratch.acts[0]);
+            } else {
+                let (prev, rest) = scratch.acts.split_at_mut(i);
+                layer.forward_into(&prev[i - 1], &mut rest[0]);
+            }
+        }
+        scratch.prediction()
+    }
+
+    /// [`Mlp::forward_cached_reusing`] through the static-prefix factored
+    /// layer 0 (see [`prefix`](crate::prefix)): layer 0's receptor-prefix
+    /// contribution comes from `cache`, every activation still lands in
+    /// `scratch.acts` exactly where [`Mlp::backward_reusing`] expects it,
+    /// so the backward pass (which re-reads the caller's full `inputs`
+    /// batch) is unchanged. Rows whose first `prefix_len` columns differ
+    /// fall back to the unfactored layer-0 forward. Bitwise identical to
+    /// [`Mlp::forward_cached_reusing`] either way (pinned by
+    /// `tests/prefix_parity.rs`).
+    pub fn forward_cached_factored<'s>(
+        &self,
+        inputs: &Matrix,
+        prefix_len: usize,
+        cache: &mut PrefixCache,
+        scratch: &'s mut TrainScratch,
+    ) -> &'s Matrix {
+        let n = self.layers().len();
+        scratch.ensure_layers(n);
+        for (i, layer) in self.layers().iter().enumerate() {
+            if i == 0 {
+                cache.layer0_batch_into(
+                    layer,
+                    inputs,
+                    prefix_len,
+                    self.weights_token(),
+                    &mut scratch.acts[0],
+                );
             } else {
                 let (prev, rest) = scratch.acts.split_at_mut(i);
                 layer.forward_into(&prev[i - 1], &mut rest[0]);

@@ -1,0 +1,265 @@
+//! Property-based parity for the static-prefix factored forward: every
+//! factored entry point ([`Mlp::predict_factored_into`],
+//! [`Mlp::forward_factored_into`], [`Mlp::forward_cached_factored`]) must be
+//! **bitwise** identical to its unfactored reference on arbitrary ragged
+//! architectures, activations, batch sizes and prefix lengths — under both
+//! GEMM kernels, through cache rebuilds (weight updates, target-style
+//! weight copies) and through the heterogeneous-batch fallback.
+//!
+//! The tests flip the process-wide default kernel, so every test body runs
+//! under `KERNEL_LOCK` to serialize against its siblings in this binary.
+
+use neural::{
+    set_default_kernel, Activation, Loss, Matrix, MatmulKernel, Mlp, MlpSpec, OptimizerSpec,
+    PrefixCache, TrainScratch, WeightInit,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global default kernel.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+const ACTIVATIONS: [Activation; 5] = [
+    Activation::Linear,
+    Activation::Relu,
+    Activation::LeakyRelu,
+    Activation::Sigmoid,
+    Activation::Tanh,
+];
+
+/// Deterministic batch contents derived from a seed — avoids nesting
+/// proptest strategies over runtime-dependent matrix sizes.
+fn fill(rows: usize, cols: usize, seed: u64, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(c as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(seed ^ salt);
+        ((h >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    })
+}
+
+/// Like [`fill`], but every row shares row 0's first `prefix_len` columns —
+/// the shape the factored path caches.
+fn fill_shared_prefix(rows: usize, cols: usize, prefix_len: usize, seed: u64, salt: u64) -> Matrix {
+    let mut m = fill(rows, cols, seed, salt);
+    let first = m.row(0)[..prefix_len].to_vec();
+    for r in 1..rows {
+        m.row_mut(r)[..prefix_len].copy_from_slice(&first);
+    }
+    m
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn factored_forward_is_bitwise_identical_to_reference(
+        input in 2usize..48,
+        hidden in proptest::collection::vec(1usize..24, 0..3),
+        output in 1usize..8,
+        batch in 1usize..17,
+        prefix_frac in 0u32..=100,
+        hidden_act_idx in 0usize..5,
+        output_act_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prefix_len = (input as u64 * prefix_frac as u64 / 100) as usize;
+        let spec = MlpSpec {
+            input,
+            hidden,
+            output,
+            hidden_activation: ACTIVATIONS[hidden_act_idx],
+            output_activation: ACTIVATIONS[output_act_idx],
+            init: WeightInit::HeUniform,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mlp = Mlp::new(&spec, &mut rng);
+        let x = fill_shared_prefix(batch, input, prefix_len, seed, 3);
+
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+            set_default_kernel(kernel);
+            let mut cache = PrefixCache::new();
+
+            // Batched inference: factored vs plain, cold cache then warm.
+            let (mut ping, mut pong) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+            let mut expected = Matrix::zeros(0, 0);
+            mlp.forward_reusing_into(&x, &mut ping, &mut pong, &mut expected);
+            let mut got = Matrix::zeros(0, 0);
+            mlp.forward_factored_into(&x, prefix_len, &mut cache, &mut ping, &mut pong, &mut got);
+            prop_assert_eq!(bits(&expected), bits(&got), "{:?}: cold batched", kernel);
+            let rebuilds = cache.rebuilds();
+            mlp.forward_factored_into(&x, prefix_len, &mut cache, &mut ping, &mut pong, &mut got);
+            prop_assert_eq!(bits(&expected), bits(&got), "{:?}: warm batched", kernel);
+            prop_assert_eq!(cache.rebuilds(), rebuilds, "{:?}: warm call rebuilt", kernel);
+
+            // Per-row act path: predict_factored_into vs predict_into.
+            let (mut want, mut have) = (Vec::new(), Vec::new());
+            for r in 0..batch {
+                let row = x.row(r);
+                mlp.predict_into(row, &mut want);
+                mlp.predict_factored_into(&row[..prefix_len], &row[prefix_len..], &mut cache, &mut have);
+                prop_assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    have.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{:?}: row {}", kernel, r
+                );
+            }
+
+            // Training-side forward: forward_cached_factored vs reference.
+            let mut ref_scratch = TrainScratch::new();
+            let mut fac_scratch = TrainScratch::new();
+            let expected = bits(mlp.forward_cached_reusing(&x, &mut ref_scratch));
+            let got = bits(mlp.forward_cached_factored(&x, prefix_len, &mut cache, &mut fac_scratch));
+            prop_assert_eq!(expected, got, "{:?}: cached forward", kernel);
+
+            // Heterogeneous batch (rows disagree on the prefix): the factored
+            // path must detect it, fall back, and stay bitwise identical.
+            if batch > 1 && prefix_len > 0 {
+                let fallbacks = cache.fallbacks();
+                let mixed = fill(batch, input, seed, 9);
+                let mut expected = Matrix::zeros(0, 0);
+                mlp.forward_reusing_into(&mixed, &mut ping, &mut pong, &mut expected);
+                let mut got = Matrix::zeros(0, 0);
+                mlp.forward_factored_into(&mixed, prefix_len, &mut cache, &mut ping, &mut pong, &mut got);
+                prop_assert_eq!(bits(&expected), bits(&got), "{:?}: mixed batch", kernel);
+                prop_assert!(
+                    cache.fallbacks() > fallbacks || prefix_len < 2,
+                    "{:?}: heterogeneous batch did not fall back", kernel
+                );
+            }
+        }
+        set_default_kernel(MatmulKernel::default());
+    }
+
+    #[test]
+    fn factored_cache_survives_weight_updates_and_copies(
+        input in 4usize..40,
+        width in 2usize..16,
+        output in 1usize..6,
+        prefix_frac in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prefix_len = (input as u64 * prefix_frac as u64 / 100) as usize;
+        let spec = MlpSpec::q_network(input, &[width], output);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        let mut scratch = TrainScratch::new();
+        let mut cache = PrefixCache::new();
+        let state: Vec<f32> = (0..input).map(|i| ((i * 37) as f32 * 0.013).sin()).collect();
+        let (mut want, mut have) = (Vec::new(), Vec::new());
+
+        // A stale cache must never leak old weights: after every update the
+        // token bump forces a rebuild and parity must hold.
+        for step in 0..3u64 {
+            let x = fill(8, input, seed, step * 2 + 1);
+            let y = fill(8, output, seed, step * 2 + 2);
+            mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+            mlp.predict_into(&state, &mut want);
+            mlp.predict_factored_into(&state[..prefix_len], &state[prefix_len..], &mut cache, &mut have);
+            prop_assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                have.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "after update {}", step
+            );
+        }
+
+        // Target-style weight copy: a cache warmed on the *target* clone must
+        // rebuild when copy_weights_from advances the token.
+        let mut target = mlp.clone();
+        let mut target_cache = PrefixCache::new();
+        target.predict_factored_into(&state[..prefix_len], &state[prefix_len..], &mut target_cache, &mut have);
+        let x = fill(8, input, seed, 31);
+        let y = fill(8, output, seed, 32);
+        mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+        target.copy_weights_from(&mlp);
+        let warm_rebuilds = target_cache.rebuilds();
+        target.predict_into(&state, &mut want);
+        target.predict_factored_into(&state[..prefix_len], &state[prefix_len..], &mut target_cache, &mut have);
+        prop_assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            have.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "after copy_weights_from"
+        );
+        if prefix_len > 0 {
+            prop_assert_eq!(target_cache.rebuilds(), warm_rebuilds + 1, "copy did not invalidate");
+        }
+    }
+}
+
+/// End-to-end: a training loop whose greedy act path runs through the
+/// factored forward must be bitwise identical — losses, chosen actions and
+/// final weights — to the same loop acting through the plain forward.
+#[test]
+fn training_through_factored_act_path_is_bitwise_identical() {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+        set_default_kernel(kernel);
+        let spec = MlpSpec::q_network(48, &[32, 32], 4);
+        let prefix_len = 29; // ragged on purpose: not a multiple of the lane width
+
+        let run = |factored: bool| -> (Vec<u32>, Vec<usize>, Mlp) {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut mlp = Mlp::new(&spec, &mut rng);
+            let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+            let mut scratch = TrainScratch::new();
+            let mut cache = PrefixCache::new();
+            let mut qs = Vec::new();
+            let (mut losses, mut actions) = (Vec::new(), Vec::new());
+            for step in 0..20u64 {
+                // Greedy action over a state with the episode-constant prefix.
+                let state: Vec<f32> = (0..48)
+                    .map(|i| {
+                        if i < prefix_len {
+                            (i as f32 * 0.11).sin() // constant across the run
+                        } else {
+                            ((i as u64 * 7 + step * 13) as f32 * 0.05).cos()
+                        }
+                    })
+                    .collect();
+                if factored {
+                    mlp.predict_factored_into(
+                        &state[..prefix_len],
+                        &state[prefix_len..],
+                        &mut cache,
+                        &mut qs,
+                    );
+                } else {
+                    mlp.predict_into(&state, &mut qs);
+                }
+                let action = qs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                actions.push(action);
+                let x = fill(16, 48, 11, step * 2 + 1);
+                let y = fill(16, 4, 11, step * 2 + 2);
+                losses.push(
+                    mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)
+                        .to_bits(),
+                );
+            }
+            (losses, actions, mlp)
+        };
+
+        let (losses_ref, actions_ref, mlp_ref) = run(false);
+        let (losses_fac, actions_fac, mlp_fac) = run(true);
+        assert_eq!(losses_ref, losses_fac, "{kernel:?}: losses diverged");
+        assert_eq!(actions_ref, actions_fac, "{kernel:?}: actions diverged");
+        assert_eq!(mlp_ref, mlp_fac, "{kernel:?}: weights diverged");
+        assert_ne!(losses_ref.first(), losses_ref.last(), "{kernel:?}: loss froze");
+    }
+    set_default_kernel(MatmulKernel::default());
+}

@@ -1,0 +1,121 @@
+//! The factored act path, proven allocation-free: a steady-state
+//! [`Mlp::predict_factored_into`] with a warm [`neural::PrefixCache`]
+//! performs **zero heap allocations** at the paper's network shape
+//! (16,599-dim state, 9,792-element receptor prefix).
+//!
+//! A counting global allocator wraps `System`; three warm-up predictions
+//! build the prefix cache and grow the internal predict scratch, after
+//! which five tracked predictions must not touch the allocator at all.
+//! The plain `predict_into` path is tracked in the same window — both act
+//! paths must hold the guarantee.
+//!
+//! Parallel dispatch is switched off via [`neural::set_parallel`] first
+//! (rayon workers allocate on their own threads, which a process-global
+//! counter would correctly see; the switch is pure scheduling and results
+//! are bitwise identical). This file holds exactly one test so no sibling
+//! test's allocations can race the counters; the CI zero-alloc step runs
+//! it single-threaded.
+
+use neural::{Matrix, Mlp, MlpSpec, PrefixCache};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every heap operation while `TRACKING` is on; defers to `System`.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACKING.load(Ordering::Relaxed) {
+            FREES.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_factored_predict_allocates_nothing_at_paper_shape() {
+    neural::set_parallel(false);
+
+    // The paper's network (16,599 → 135 → 135 → 12) with the 2BSM receptor
+    // block (3,264 atoms × 3 = 9,792 reals) as the cached prefix.
+    let spec = MlpSpec::q_network(16_599, &[135, 135], 12);
+    let prefix_len = 9_792;
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mlp = Mlp::new(&spec, &mut rng);
+
+    let state = Matrix::from_fn(1, spec.input, |_, c| ((c * 131) as f32 * 0.0007).sin());
+    let state = state.row(0).to_vec();
+    let (prefix, dynamic) = state.split_at(prefix_len);
+    let mut cache = PrefixCache::new();
+    let mut qs = Vec::new();
+    let mut qs_ref = Vec::new();
+
+    // Warm-up: builds the prefix cache, grows the output buffer and the
+    // network's internal predict scratch, resolves lazy kernel config.
+    for _ in 0..3 {
+        mlp.predict_factored_into(prefix, dynamic, &mut cache, &mut qs);
+        mlp.predict_into(&state, &mut qs_ref);
+    }
+    assert!(cache.is_warm(), "warm-up must have built the prefix cache");
+    let rebuilds = cache.rebuilds();
+
+    TRACKING.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        mlp.predict_factored_into(prefix, dynamic, &mut cache, &mut qs);
+    }
+    mlp.predict_into(&state, &mut qs_ref);
+    TRACKING.store(false, Ordering::SeqCst);
+
+    let (allocs, reallocs, frees) = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    assert_eq!(
+        (allocs, reallocs, frees),
+        (0, 0, 0),
+        "steady-state factored predict must not touch the heap \
+         (allocs {allocs}, reallocs {reallocs}, frees {frees})"
+    );
+    assert_eq!(cache.rebuilds(), rebuilds, "tracked calls must stay warm");
+
+    // The counted predictions were the real thing: bitwise equal to the
+    // unfactored reference and finite.
+    assert_eq!(
+        qs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        qs_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "factored and plain act paths diverged"
+    );
+    assert!(qs.iter().all(|v| v.is_finite()));
+}

@@ -216,12 +216,17 @@ pub struct DqnAgent<Q: QFunction> {
 impl<Q: QFunction> DqnAgent<Q> {
     /// Creates an agent; the target network starts as an exact copy of `q`
     /// (Algorithm 2: "initialize `θ⁻ = θ`").
-    pub fn new(q: Q, config: DqnConfig) -> Self {
+    ///
+    /// The config's [`FrameLayout`] is declared to both networks, so a
+    /// non-trivial constant prefix enables the factored layer-0 forward in
+    /// addition to the compact replay storage.
+    pub fn new(mut q: Q, config: DqnConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(
             (0.0..=1.0).contains(&config.gamma),
             "gamma must be in [0, 1]"
         );
+        q.set_input_split(config.frame_layout);
         let mut target = q.clone();
         target.sync_from(&q);
         let replay = match config.prioritized_alpha {
@@ -615,6 +620,12 @@ impl DqnAgent<MlpQ> {
         }
         let mut agent = DqnAgent::new(q, config);
         agent.target = target;
+        // The restored target bypassed `DqnAgent::new`, so re-declare the
+        // input split on it too; its prefix cache starts cold either way
+        // (snapshots never carry cached partials), so resumed predictions
+        // rebuild against the restored weights and stay bitwise identical
+        // to an uninterrupted run.
+        agent.target.set_input_split(config.frame_layout);
         agent.replay = replay;
         agent.steps = steps;
         agent.learn_steps = learn_steps;

@@ -10,8 +10,8 @@
 
 use neural::layer::{DenseCache, DenseGrads};
 use neural::{
-    Activation, Dense, Loss, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec, TrainScratch,
-    WeightInit,
+    Activation, Dense, InputSplit, Loss, Matrix, Mlp, MlpSpec, Optimizer, OptimizerSpec,
+    PrefixCache, TrainScratch, WeightInit,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,17 @@ pub trait QFunction: Clone + Send {
     fn sync_from(&mut self, other: &Self);
     /// Trainable parameter count.
     fn n_params(&self) -> usize;
+    /// Declares the constant-block split of the states this function will
+    /// be asked to evaluate, enabling forward paths that cache the
+    /// constant-prefix work (see [`neural::PrefixCache`]). Purely a
+    /// performance hint: predicted values never depend on it. The default
+    /// ignores it.
+    fn set_input_split(&mut self, _split: InputSplit) {}
+    /// The split last declared via [`QFunction::set_input_split`]
+    /// (trivial by default).
+    fn input_split(&self) -> InputSplit {
+        InputSplit::default()
+    }
 }
 
 /// Per-network forward-pass scratch: the hidden-activation ping-pong
@@ -161,6 +172,19 @@ pub struct MlpQ {
     /// `RefCell` needed since `train_td` takes `&mut self`.
     #[serde(skip)]
     train_scratch: TrainScratch,
+    /// Constant-block split of the input states. A non-trivial prefix
+    /// routes every forward pass through the factored layer-0 path
+    /// (bitwise identical, but the constant receptor block is multiplied
+    /// once per complex instead of once per step). Not persisted by
+    /// [`MlpQ::write_snapshot`] — the agent configuration is the source of
+    /// truth and re-declares it on restore.
+    #[serde(default)]
+    input_split: InputSplit,
+    /// Cached layer-0 prefix partials for the factored forward. Pure
+    /// cache — skipped by serde, rebuilt lazily; `RefCell` for the same
+    /// reason as `scratch` (prediction takes `&self`, never contended).
+    #[serde(skip)]
+    prefix_cache: RefCell<PrefixCache>,
 }
 
 impl MlpQ {
@@ -180,6 +204,8 @@ impl MlpQ {
             grad_clip_norm: None,
             scratch: RefCell::new(ActScratch::default()),
             train_scratch: TrainScratch::new(),
+            input_split: InputSplit::default(),
+            prefix_cache: RefCell::new(PrefixCache::new()),
         }
     }
 
@@ -262,7 +288,16 @@ impl MlpQ {
             grad_clip_norm,
             scratch: RefCell::new(ActScratch::default()),
             train_scratch: TrainScratch::new(),
+            input_split: InputSplit::default(),
+            prefix_cache: RefCell::new(PrefixCache::new()),
         })
+    }
+
+    /// Diagnostic view of the factored-forward cache: `(rebuilds,
+    /// fallbacks)` counters (see [`neural::PrefixCache`]).
+    pub fn prefix_cache_stats(&self) -> (u64, u64) {
+        let cache = self.prefix_cache.borrow();
+        (cache.rebuilds(), cache.fallbacks())
     }
 }
 
@@ -284,11 +319,25 @@ impl QFunction for MlpQ {
     fn predict_batch_into(&self, states: &Matrix, out: &mut Matrix) {
         let mut scratch = self.scratch.borrow_mut();
         let ActScratch { ping, pong } = &mut *scratch;
-        self.mlp.forward_reusing_into(states, ping, pong, out);
+        let p = self.input_split.prefix_len;
+        if p > 0 {
+            let mut cache = self.prefix_cache.borrow_mut();
+            self.mlp
+                .forward_factored_into(states, p, &mut cache, ping, pong, out);
+        } else {
+            self.mlp.forward_reusing_into(states, ping, pong, out);
+        }
     }
 
     fn predict_into(&self, state: &[f32], out: &mut Vec<f32>) {
-        self.mlp.predict_into(state, out);
+        let p = self.input_split.prefix_len;
+        if p > 0 && p <= state.len() {
+            let mut cache = self.prefix_cache.borrow_mut();
+            self.mlp
+                .predict_factored_into(&state[..p], &state[p..], &mut cache, out);
+        } else {
+            self.mlp.predict_into(state, out);
+        }
     }
 
     fn train_td(&mut self, states: &Matrix, actions: &[usize], targets: &[f32]) -> f32 {
@@ -302,9 +351,16 @@ impl QFunction for MlpQ {
             loss,
             grad_clip_norm,
             train_scratch,
+            input_split,
+            prefix_cache,
             ..
         } = self;
-        mlp.forward_cached_reusing(states, train_scratch);
+        let p = input_split.prefix_len;
+        if p > 0 {
+            mlp.forward_cached_factored(states, p, prefix_cache.get_mut(), train_scratch);
+        } else {
+            mlp.forward_cached_reusing(states, train_scratch);
+        }
         let (prediction, d_output) = train_scratch.prediction_and_d_output_mut();
         let loss_value = masked_loss_and_grad_into(prediction, actions, targets, *loss, d_output);
         mlp.backward_reusing(states, train_scratch);
@@ -316,11 +372,22 @@ impl QFunction for MlpQ {
     }
 
     fn sync_from(&mut self, other: &Self) {
+        // `copy_weights_from` advances the network's weights token, so the
+        // prefix cache self-invalidates on its next use — no explicit
+        // bookkeeping here.
         self.mlp.copy_weights_from(&other.mlp);
     }
 
     fn n_params(&self) -> usize {
         self.mlp.n_params()
+    }
+
+    fn set_input_split(&mut self, split: InputSplit) {
+        self.input_split = split;
+    }
+
+    fn input_split(&self) -> InputSplit {
+        self.input_split
     }
 }
 

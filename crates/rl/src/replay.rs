@@ -60,23 +60,13 @@ pub struct Transition {
 /// leaving only the ligand coordinates + torsions (135–~180 reals) as the
 /// per-step frame. The default layout treats the whole state as dynamic,
 /// which is always correct (just less compact).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FrameLayout {
-    /// Leading reals identical across every state pushed into the buffer.
-    pub prefix_len: usize,
-    /// Trailing reals identical across every state pushed into the buffer.
-    pub suffix_len: usize,
-}
-
-impl FrameLayout {
-    /// A layout with the given constant block widths.
-    pub fn new(prefix_len: usize, suffix_len: usize) -> Self {
-        FrameLayout {
-            prefix_len,
-            suffix_len,
-        }
-    }
-}
+///
+/// This is [`neural::InputSplit`] under a replay-flavoured name: the replay
+/// frame store, the featurizer on the environment side, and the factored
+/// layer-0 forward (`neural::PrefixCache`) all consume the **same**
+/// definition, so the three can never disagree about where the receptor
+/// block ends.
+pub use neural::InputSplit as FrameLayout;
 
 /// Bitwise f32-slice equality (`to_bits`, not `==`): `NaN` payloads and
 /// signed zeros must round-trip exactly for the reassembled states to stay
