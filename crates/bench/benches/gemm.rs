@@ -1,6 +1,8 @@
-//! **GEMM backend bench** — Naive vs. Blocked kernels on the paper-scale
-//! shapes that dominate `train_step` (Sec. 3 / Fig. 4: 16,599-dim METADOCK
-//! state, 135-unit hidden layers, minibatch 32, 12 actions).
+//! **GEMM backend bench** — Naive vs. Blocked vs. Simd kernels on the
+//! paper-scale shapes that dominate `train_step` (Sec. 3 / Fig. 4:
+//! 16,599-dim METADOCK state, 135-unit hidden layers, minibatch 32, 12
+//! actions). The `simd+fma` rows additionally enable the contracted
+//! multiply-add mode via `neural::set_simd_fma`.
 //!
 //! Three shapes cover the hot path:
 //! * forward `A·Bᵀ`: `(32×16,599)·(135×16,599)ᵀ` — `Dense::forward` of the
@@ -26,8 +28,14 @@ fn filled(rows: usize, cols: usize, phase: f32) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c) as f32 * 0.01 + phase).sin())
 }
 
-fn kernels() -> [MatmulKernel; 2] {
-    [MatmulKernel::Naive, MatmulKernel::Blocked]
+/// (row label, kernel, FMA contraction) — each group benches all four.
+fn kernels() -> [(&'static str, MatmulKernel, bool); 4] {
+    [
+        ("naive", MatmulKernel::Naive, false),
+        ("blocked", MatmulKernel::Blocked, false),
+        ("simd", MatmulKernel::Simd, false),
+        ("simd+fma", MatmulKernel::Simd, true),
+    ]
 }
 
 fn forward_shape(c: &mut Criterion) {
@@ -35,10 +43,12 @@ fn forward_shape(c: &mut Criterion) {
     group.sample_size(10);
     let x = filled(BATCH, STATE, 0.0);
     let w = filled(HIDDEN, STATE, 0.5);
-    for kernel in kernels() {
-        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+    for (label, kernel, fma) in kernels() {
+        neural::set_simd_fma(fma);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| black_box(x.matmul_transpose_b_with(&w, kernel)))
         });
+        neural::set_simd_fma(false);
     }
     group.finish();
 }
@@ -48,10 +58,12 @@ fn backward_dx_shape(c: &mut Criterion) {
     group.sample_size(10);
     let dz = filled(BATCH, HIDDEN, 0.0);
     let w = filled(HIDDEN, STATE, 0.5);
-    for kernel in kernels() {
-        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+    for (label, kernel, fma) in kernels() {
+        neural::set_simd_fma(fma);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| black_box(dz.matmul_with(&w, kernel)))
         });
+        neural::set_simd_fma(false);
     }
     group.finish();
 }
@@ -61,10 +73,12 @@ fn backward_dw_shape(c: &mut Criterion) {
     group.sample_size(10);
     let dz = filled(BATCH, HIDDEN, 0.0);
     let x = filled(BATCH, STATE, 0.5);
-    for kernel in kernels() {
-        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+    for (label, kernel, fma) in kernels() {
+        neural::set_simd_fma(fma);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| black_box(dz.transpose_matmul_with(&x, kernel)))
         });
+        neural::set_simd_fma(false);
     }
     group.finish();
 }
@@ -76,10 +90,12 @@ fn batched_predict_shape(c: &mut Criterion) {
     group.sample_size(10);
     let x = filled(ACTIONS, STATE, 0.0);
     let w = filled(HIDDEN, STATE, 0.5);
-    for kernel in kernels() {
-        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+    for (label, kernel, fma) in kernels() {
+        neural::set_simd_fma(fma);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| black_box(x.matmul_transpose_b_with(&w, kernel)))
         });
+        neural::set_simd_fma(false);
     }
     group.finish();
 }

@@ -62,6 +62,28 @@ fn act_path_predict(c: &mut Criterion) {
             black_box(out.last().copied())
         })
     });
+    // The same two paths on the AVX2 SIMD kernel (bitwise-identical
+    // results; the cache resumes the shared lane layout).
+    neural::set_default_kernel(neural::MatmulKernel::Simd);
+    group.bench_function("full_forward_simd", |b| {
+        b.iter(|| {
+            mlp.predict_into(black_box(&state), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    let mut simd_cache = PrefixCache::new();
+    group.bench_function("factored_warm_cache_simd", |b| {
+        b.iter(|| {
+            mlp.predict_factored_into(
+                black_box(&state[..PREFIX]),
+                black_box(&state[PREFIX..]),
+                &mut simd_cache,
+                &mut out,
+            );
+            black_box(out.last().copied())
+        })
+    });
+    neural::set_default_kernel(neural::MatmulKernel::Blocked);
     group.finish();
 }
 

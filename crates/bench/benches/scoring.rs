@@ -1,10 +1,10 @@
 //! **Algorithm 1 / Equation 1 bench** — the scoring-function kernels.
 //!
 //! Rows: the paper's sequential baseline (Algorithm 1), the rayon-parallel
-//! kernel (the CPU stand-in for METADOCK's GPU path), and the cell-list
-//! kernel with a 12 Å cutoff — on both the scaled (400-atom) and
-//! paper-scale (3,264-atom) receptors, plus the `N_CONFORMATION` batch
-//! sweep of Algorithm 1's outer loop.
+//! kernel (the CPU stand-in for METADOCK's GPU path), the AVX2 SoA SIMD
+//! kernel, and the cell-list kernel with a 12 Å cutoff — on both the
+//! scaled (400-atom) and paper-scale (3,264-atom) receptors, plus the
+//! `N_CONFORMATION` batch sweep of Algorithm 1's outer loop.
 //!
 //! Expected shape: sequential slowest; parallel wins and its advantage
 //! grows with receptor size and batch size; grid wins once the cutoff
@@ -37,6 +37,11 @@ fn single_pose_kernels(c: &mut Criterion) {
         let par = seq.with_kernel(Kernel::Parallel);
         group.bench_with_input(BenchmarkId::new("parallel", label), &pose, |b, p| {
             b.iter(|| black_box(par.score(p)))
+        });
+
+        let simd = seq.with_kernel(Kernel::Simd);
+        group.bench_with_input(BenchmarkId::new("simd", label), &pose, |b, p| {
+            b.iter(|| black_box(simd.score(p)))
         });
 
         let grid = DockingEngine::new(complex, ScoringParams::with_cutoff(12.0), Kernel::Grid);

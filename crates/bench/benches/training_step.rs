@@ -41,6 +41,18 @@ fn train_step_reference_vs_scratch(c: &mut Criterion) {
             b.iter(|| black_box(mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)))
         });
     }
+    {
+        // The zero-alloc step on the AVX2 SIMD kernel (bitwise-identical
+        // arithmetic in its default non-FMA mode).
+        let (mut mlp, x, y) = paper_fixture();
+        let mut opt = mlp.optimizer(OptimizerSpec::paper_rmsprop());
+        let mut scratch = TrainScratch::new();
+        neural::set_default_kernel(neural::MatmulKernel::Simd);
+        group.bench_function("scratch_reusing_simd", |b| {
+            b.iter(|| black_box(mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch)))
+        });
+        neural::set_default_kernel(neural::MatmulKernel::Blocked);
+    }
     group.finish();
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! dqn-dock info                         # show the configuration & complex
 //! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
+//!                 [--scoring-kernel sequential|parallel|grid|simd|auto]
 //!                 [--policy FILE] [--csv FILE] [--report FILE]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                 [--keep-last K] [--resume]
@@ -76,11 +77,31 @@ fn base_config(args: &Args) -> Config {
             }
         };
     }
+    if let Some(name) = args.value("--scoring-kernel") {
+        config.kernel = metadock::Kernel::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown scoring kernel {name:?} (sequential|parallel|grid|simd|auto)");
+            std::process::exit(1);
+        });
+    }
     config.transport.retries = args.parse("--transport-retries", config.transport.retries);
     config.transport.timeout_ms = args.parse("--transport-timeout-ms", config.transport.timeout_ms);
     config.transport.fault_rate = args.parse("--fault-rate", config.transport.fault_rate);
     config.transport.fault_seed = args.parse("--fault-seed", config.transport.fault_seed);
     config
+}
+
+/// One line of compute provenance: which GEMM kernel the Q-network resolved
+/// to (honouring `NEURAL_GEMM_KERNEL` / `NEURAL_SIMD_FMA`), which CPU vector
+/// features were detected, and which Eq. 1 scoring kernel the run uses.
+fn kernel_provenance(kernel: metadock::Kernel) -> String {
+    let feats = neural::cpu_features();
+    format!(
+        "kernels: gemm={} scoring={} (cpu: avx2={} fma={})",
+        neural::resolved_kernel_description(),
+        kernel.name(),
+        feats.avx2,
+        feats.fma
+    )
 }
 
 fn main() -> ExitCode {
@@ -107,6 +128,7 @@ fn main() -> ExitCode {
 fn cmd_info(args: &Args) {
     let config = base_config(args);
     println!("{}", config.table1());
+    println!("{}", kernel_provenance(config.kernel));
     let env = DockingEnv::from_config(&config);
     let complex = env.engine().complex();
     println!("complex:");
@@ -128,6 +150,7 @@ fn cmd_train(args: &Args) {
     let mut config = base_config(args);
     config.episodes = args.parse("--episodes", config.episodes.min(60));
     let mut env = DockingEnv::from_config(&config);
+    println!("{}", kernel_provenance(config.kernel));
     println!(
         "training {} episodes on {} actions / state dim {}...",
         config.episodes,

@@ -55,6 +55,15 @@ pub fn training_report(config: &Config, run: &TrainingRun) -> String {
         config.n_actions(),
         config.hidden_layers
     );
+    let feats = neural::cpu_features();
+    let _ = writeln!(
+        out,
+        "- kernels: gemm {}; scoring {}; cpu avx2={} fma={}",
+        neural::resolved_kernel_description(),
+        config.kernel.name(),
+        feats.avx2,
+        feats.fma
+    );
     let _ = writeln!(
         out,
         "- γ = {}, batch = {}, replay = {}, target C = {}, ε {} → {}",
@@ -177,6 +186,7 @@ mod tests {
         for needle in [
             "# DQN-Docking training report",
             "## Configuration",
+            "- kernels: gemm ",
             "## Summary",
             "best docking score",
             "## Figure 4 curve",

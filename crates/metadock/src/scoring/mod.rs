@@ -22,18 +22,23 @@
 //! hundreds and steric clashes crash to astronomically negative values
 //! (the r⁻¹² wall; the paper quotes −4.5e21).
 //!
-//! Three kernels compute the identical sum:
+//! Four kernels compute the identical sum:
 //!
 //! * [`Kernel::Sequential`] — the paper's Algorithm 1 reference loop;
 //! * [`Kernel::Parallel`] — rayon map-reduce over receptor atoms (the
 //!   stand-in for METADOCK's GPU path);
 //! * [`Kernel::Grid`] — cell-list traversal honouring the configured
-//!   cutoff (requires `params.cutoff`).
+//!   cutoff (requires `params.cutoff`);
+//! * [`Kernel::Simd`] — runtime-dispatched AVX2 `f64×4` lanes over
+//!   structure-of-arrays receptor tables (electrostatics + LJ) with a
+//!   scalar pass over precomputed donor–acceptor pairs; falls back to the
+//!   sequential loop on hosts without AVX2.
 
 mod grid;
 pub mod gridmap;
 mod par;
 mod seq;
+mod simd;
 
 pub use grid::CellGrid;
 pub use gridmap::GridMapScorer;
@@ -53,6 +58,40 @@ pub enum Kernel {
     Parallel,
     /// Cell-list accelerated traversal; requires a finite cutoff.
     Grid,
+    /// Runtime-dispatched AVX2 lane kernel (sequential fallback without
+    /// AVX2, so always safe to select).
+    Simd,
+}
+
+impl Kernel {
+    /// Parses a kernel name as used by `--scoring-kernel` / config files:
+    /// `sequential` (or `seq`), `parallel` (or `par`), `grid`, `simd`, or
+    /// `auto` (the best kernel the CPU supports: `simd` with AVX2, else
+    /// `parallel`).
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Some(Kernel::Sequential),
+            "parallel" | "par" => Some(Kernel::Parallel),
+            "grid" => Some(Kernel::Grid),
+            "simd" => Some(Kernel::Simd),
+            "auto" => Some(if simd::simd_available() {
+                Kernel::Simd
+            } else {
+                Kernel::Parallel
+            }),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (`from_name` round-trips it).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Sequential => "sequential",
+            Kernel::Parallel => "parallel",
+            Kernel::Grid => "grid",
+            Kernel::Simd => "simd",
+        }
+    }
 }
 
 /// Tunables of the scoring function.
@@ -155,6 +194,9 @@ pub struct Scorer {
     /// Parameters.
     pub params: ScoringParams,
     pub(crate) grid: Option<CellGrid>,
+    /// Structure-of-arrays receptor tables + donor–acceptor pair list for
+    /// the SIMD kernel (cheap to build, always present).
+    pub(crate) soa: simd::SoaTables,
 }
 
 impl Scorer {
@@ -170,12 +212,14 @@ impl Scorer {
         let grid = params
             .cutoff
             .map(|rc| CellGrid::build(complex.receptor.atoms().iter().map(|a| a.position), rc));
+        let soa = simd::SoaTables::build(&receptor, &ligand);
         Scorer {
             receptor,
             ligand,
             ligand_neighbors,
             params,
             grid,
+            soa,
         }
     }
 
@@ -220,6 +264,7 @@ impl Scorer {
             Kernel::Sequential => seq::energy(self, coords, dirs),
             Kernel::Parallel => par::energy(self, coords, dirs),
             Kernel::Grid => grid::energy(self, coords, dirs),
+            Kernel::Simd => simd::energy(self, coords, dirs),
         }
     }
 
@@ -377,6 +422,72 @@ mod tests {
         assert!((seq.electrostatic - par.electrostatic).abs() / scale < 1e-10);
         assert!((seq.lennard_jones - par.lennard_jones).abs() / scale < 1e-10);
         assert!((seq.hbond - par.hbond).abs() / scale < 1e-10);
+    }
+
+    #[test]
+    fn simd_matches_sequential_without_cutoff() {
+        let (s, c) = scorer(ScoringParams::default());
+        for pose in [&c.crystal_pose, &c.initial_pose] {
+            let coords = c.ligand_coords(pose);
+            let seq = s.energy(&coords, Kernel::Sequential);
+            let simd = s.energy(&coords, Kernel::Simd);
+            let scale = seq.total().abs().max(1.0);
+            assert!(
+                (seq.total() - simd.total()).abs() / scale < 1e-10,
+                "seq {} vs simd {}",
+                seq.total(),
+                simd.total()
+            );
+            assert!((seq.electrostatic - simd.electrostatic).abs() / scale < 1e-10);
+            assert!((seq.lennard_jones - simd.lennard_jones).abs() / scale < 1e-10);
+            // The H-bond pass reuses pair_energy verbatim over the same
+            // pairs in the same order: identical bits, not just close.
+            assert_eq!(seq.hbond.to_bits(), simd.hbond.to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_matches_sequential_with_cutoff() {
+        let (s, c) = scorer(ScoringParams::with_cutoff(10.0));
+        for pose in [&c.crystal_pose, &c.initial_pose] {
+            let coords = c.ligand_coords(pose);
+            let seq = s.energy(&coords, Kernel::Sequential);
+            let simd = s.energy(&coords, Kernel::Simd);
+            let scale = seq.total().abs().max(1.0);
+            assert!(
+                (seq.total() - simd.total()).abs() / scale < 1e-10,
+                "seq {} vs simd {}",
+                seq.total(),
+                simd.total()
+            );
+        }
+    }
+
+    #[test]
+    fn simd_is_deterministic_run_to_run() {
+        let (s, c) = scorer(ScoringParams::default());
+        let coords = c.ligand_coords(&c.crystal_pose);
+        let a = s.energy(&coords, Kernel::Simd);
+        let b = s.energy(&coords, Kernel::Simd);
+        assert_eq!(a.total().to_bits(), b.total().to_bits());
+        assert_eq!(a.electrostatic.to_bits(), b.electrostatic.to_bits());
+        assert_eq!(a.lennard_jones.to_bits(), b.lennard_jones.to_bits());
+        assert_eq!(a.hbond.to_bits(), b.hbond.to_bits());
+    }
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in [
+            Kernel::Sequential,
+            Kernel::Parallel,
+            Kernel::Grid,
+            Kernel::Simd,
+        ] {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        let auto = Kernel::from_name("auto").unwrap();
+        assert!(matches!(auto, Kernel::Simd | Kernel::Parallel));
+        assert_eq!(Kernel::from_name("gpu"), None);
     }
 
     #[test]

@@ -8,12 +8,20 @@
 //!   bit-exact as the parity baseline;
 //! * [`MatmulKernel::Blocked`] — cache-blocked, register-tiled,
 //!   autovectorizer-friendly kernels (see [`core`]) parallelised over row
-//!   blocks with rayon.
+//!   blocks with rayon;
+//! * [`MatmulKernel::Simd`] — explicit AVX2 microkernels (see [`simd`])
+//!   dispatched at runtime via `is_x86_feature_detected!`, bitwise
+//!   identical to `Blocked` (same 16-lane accumulator split, no
+//!   contraction) and falling back to the `Blocked` core on hosts without
+//!   AVX2. An opt-in FMA-contracted variant (`NEURAL_SIMD_FMA=1` /
+//!   [`set_simd_fma`]) trades bitwise-vs-Blocked equality for single
+//!   roundings; it stays run-to-run deterministic (see [`simd`]).
 //!
 //! The default is `Blocked`; it can be changed process-wide with
 //! [`set_default_kernel`] or the `NEURAL_GEMM_KERNEL` environment variable
-//! (`naive` / `blocked`), and per call with the `*_with` methods on
-//! [`Matrix`](crate::Matrix).
+//! (`naive` / `blocked` / `simd` / `auto` — `auto` picks `Simd` when AVX2
+//! is detected, `Blocked` otherwise), and per call with the `*_with`
+//! methods on [`Matrix`](crate::Matrix).
 //!
 //! # Threading
 //!
@@ -28,6 +36,9 @@
 //! one task).
 
 pub(crate) mod core;
+pub mod simd;
+
+pub use simd::{cpu_features, CpuFeatures};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -52,14 +63,27 @@ pub enum MatmulKernel {
     /// blocks.
     #[default]
     Blocked,
+    /// Explicit AVX2 microkernels with runtime feature detection, bitwise
+    /// identical to `Blocked` (falls back to the `Blocked` core on hosts
+    /// without AVX2, so selecting it is always safe).
+    Simd,
 }
 
 impl MatmulKernel {
-    /// Parses a kernel name (`"naive"` / `"blocked"`, case-insensitive).
+    /// Parses a kernel name (`"naive"` / `"blocked"` / `"simd"` /
+    /// `"auto"`, case-insensitive). `"auto"` resolves immediately to the
+    /// best kernel for the detected CPU: `Simd` when AVX2 is present,
+    /// `Blocked` otherwise.
     pub fn from_name(name: &str) -> Option<MatmulKernel> {
         match name.to_ascii_lowercase().as_str() {
             "naive" => Some(MatmulKernel::Naive),
             "blocked" => Some(MatmulKernel::Blocked),
+            "simd" => Some(MatmulKernel::Simd),
+            "auto" => Some(if cpu_features().avx2 {
+                MatmulKernel::Simd
+            } else {
+                MatmulKernel::Blocked
+            }),
             _ => None,
         }
     }
@@ -69,6 +93,7 @@ impl MatmulKernel {
         match self {
             MatmulKernel::Naive => "naive",
             MatmulKernel::Blocked => "blocked",
+            MatmulKernel::Simd => "simd",
         }
     }
 }
@@ -78,7 +103,8 @@ impl MatmulKernel {
 pub const PAR_FLOP_THRESHOLD: usize = 1 << 20;
 
 /// Process-wide override set by [`set_default_kernel`]:
-/// 0 = unset (fall back to the environment), 1 = naive, 2 = blocked.
+/// 0 = unset (fall back to the environment), 1 = naive, 2 = blocked,
+/// 3 = simd.
 static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 /// Kernel resolved from `NEURAL_GEMM_KERNEL` once, on first use.
@@ -93,6 +119,7 @@ pub fn default_kernel() -> MatmulKernel {
     match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
         1 => MatmulKernel::Naive,
         2 => MatmulKernel::Blocked,
+        3 => MatmulKernel::Simd,
         _ => *ENV_KERNEL.get_or_init(|| {
             std::env::var("NEURAL_GEMM_KERNEL")
                 .ok()
@@ -107,8 +134,59 @@ pub fn set_default_kernel(kernel: MatmulKernel) {
     let tag = match kernel {
         MatmulKernel::Naive => 1,
         MatmulKernel::Blocked => 2,
+        MatmulKernel::Simd => 3,
     };
     KERNEL_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// Process-wide FMA switch set by [`set_simd_fma`]:
+/// 0 = unset (fall back to the environment), 1 = off, 2 = on.
+static SIMD_FMA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// FMA preference resolved from `NEURAL_SIMD_FMA` once, on first use.
+static ENV_SIMD_FMA: OnceLock<bool> = OnceLock::new();
+
+/// Whether the `Simd` kernel contracts multiply-adds (single-rounding FMA).
+///
+/// Off by default: the non-contracted path is bitwise identical to
+/// `Blocked`, which every parity test and the `PrefixCache` bitwise
+/// contract lean on. Turning it on (resolution order: [`set_simd_fma`]
+/// override, then `NEURAL_SIMD_FMA` = `1`/`on`/`true`/`yes`, read once)
+/// switches to single-rounding fused multiply-adds — still run-to-run
+/// deterministic and identical between the AVX2-FMA hardware path and the
+/// scalar `f32::mul_add` fallback, but no longer bit-equal to `Blocked`
+/// (see [`simd`] for the contract). Ignored by `Naive` and `Blocked`.
+pub fn simd_fma_enabled() -> bool {
+    match SIMD_FMA_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENV_SIMD_FMA.get_or_init(|| {
+            std::env::var("NEURAL_SIMD_FMA")
+                .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "on" | "true" | "yes"))
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Overrides the process-wide FMA contraction switch (benchmarks, tests).
+pub fn set_simd_fma(enabled: bool) {
+    SIMD_FMA_OVERRIDE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Human-readable description of what the process-default kernel actually
+/// resolves to on this host — startup/report provenance (e.g.
+/// `"simd (avx2)"`, `"simd (no avx2: blocked fallback)"`).
+pub fn resolved_kernel_description() -> String {
+    let kernel = default_kernel();
+    match kernel {
+        MatmulKernel::Naive | MatmulKernel::Blocked => kernel.name().to_string(),
+        MatmulKernel::Simd => match simd::resolve_mode(simd_fma_enabled()) {
+            simd::Mode::Avx2 => "simd (avx2)".to_string(),
+            simd::Mode::Avx2Fma => "simd (avx2+fma, contracted)".to_string(),
+            simd::Mode::ScalarFma => "simd (no fma: scalar mul_add, contracted)".to_string(),
+            simd::Mode::Fallback => "simd (no avx2: blocked fallback)".to_string(),
+        },
+    }
 }
 
 /// Process-wide parallelism switch set by [`set_parallel`]:
@@ -291,13 +369,151 @@ pub(crate) fn transpose_matmul_blocked_into(
     }
 }
 
+/// Simd `A·B`: identical structure to [`matmul_blocked`], with the
+/// microkernel resolved at runtime (hosts without AVX2 delegate to the
+/// Blocked core, which the non-contracted SIMD path is bitwise equal to).
+pub(crate) fn matmul_simd(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    matmul_simd_into(a, b, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_simd`] writing into a caller-owned buffer (resized to `m·n`).
+pub(crate) fn matmul_simd_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    let mode = simd::resolve_mode(simd_fma_enabled());
+    if mode == simd::Mode::Fallback {
+        return matmul_blocked_into(a, b, m, k, n, out);
+    }
+    out.clear();
+    out.resize(m * n, 0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if parallel_worthwhile(m, k, n, core::MC) {
+        out.par_chunks_mut(core::MC * n)
+            .enumerate()
+            .for_each_init(Vec::new, |pack, (c, rows)| {
+                simd::matmul_block_simd(a, k, n, b, c * core::MC, rows, pack, mode);
+            });
+    } else {
+        PACK.with(|cell| {
+            let pack = &mut *cell.borrow_mut();
+            for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
+                simd::matmul_block_simd(a, k, n, b, c * core::MC, rows, pack, mode);
+            }
+        });
+    }
+}
+
+/// Simd `A·Bᵀ`: identical structure to [`matmul_tb_blocked`].
+pub(crate) fn matmul_tb_simd(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    matmul_tb_simd_into(a, b, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_tb_simd`] writing into a caller-owned buffer (resized to
+/// `m·n`; same reuse-path memset elision as the Blocked driver — the
+/// kernel assigns every element).
+pub(crate) fn matmul_tb_simd_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    let mode = simd::resolve_mode(simd_fma_enabled());
+    if mode == simd::Mode::Fallback {
+        return matmul_tb_blocked_into(a, b, m, k, n, out);
+    }
+    if out.len() != m * n {
+        out.clear();
+        out.resize(m * n, 0.0);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    const ROWS: usize = 4;
+    if parallel_worthwhile(m, k, n, ROWS) {
+        out.par_chunks_mut(ROWS * n)
+            .enumerate()
+            .for_each(|(c, rows)| simd::matmul_tb_block_simd(a, k, b, n, c * ROWS, rows, mode));
+    } else {
+        simd::matmul_tb_block_simd(a, k, b, n, 0, out, mode);
+    }
+}
+
+/// Simd `Aᵀ·B`: identical structure to [`transpose_matmul_blocked`].
+pub(crate) fn transpose_matmul_simd(
+    a: &[f32],
+    b: &[f32],
+    kdim: usize,
+    m: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = Vec::new();
+    transpose_matmul_simd_into(a, b, kdim, m, n, &mut out);
+    out
+}
+
+/// [`transpose_matmul_simd`] writing into a caller-owned buffer (resized
+/// to `m·n`; same reuse-path memset elision as the Blocked driver — the
+/// kernel's `p == 0` pass assigns).
+pub(crate) fn transpose_matmul_simd_into(
+    a: &[f32],
+    b: &[f32],
+    kdim: usize,
+    m: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    let mode = simd::resolve_mode(simd_fma_enabled());
+    if mode == simd::Mode::Fallback {
+        return transpose_matmul_blocked_into(a, b, kdim, m, n, out);
+    }
+    if out.len() != m * n {
+        out.clear();
+        out.resize(m * n, 0.0);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if kdim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if parallel_worthwhile(m, kdim, n, core::MC) {
+        out.par_chunks_mut(core::MC * n)
+            .enumerate()
+            .for_each(|(c, rows)| {
+                simd::transpose_matmul_block_simd(a, kdim, m, b, n, c * core::MC, rows, mode);
+            });
+    } else {
+        for (c, rows) in out.chunks_mut(core::MC * n).enumerate() {
+            simd::transpose_matmul_block_simd(a, kdim, m, b, n, c * core::MC, rows, mode);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn kernel_names_roundtrip() {
-        for k in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+        for k in [
+            MatmulKernel::Naive,
+            MatmulKernel::Blocked,
+            MatmulKernel::Simd,
+        ] {
             assert_eq!(MatmulKernel::from_name(k.name()), Some(k));
         }
         assert_eq!(
@@ -305,6 +521,32 @@ mod tests {
             Some(MatmulKernel::Blocked)
         );
         assert_eq!(MatmulKernel::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_kernel() {
+        let auto = MatmulKernel::from_name("auto").expect("auto must parse");
+        if cpu_features().avx2 {
+            assert_eq!(auto, MatmulKernel::Simd);
+        } else {
+            assert_eq!(auto, MatmulKernel::Blocked);
+        }
+    }
+
+    #[test]
+    fn resolved_description_names_the_kernel() {
+        // Whatever the host, the description must mention the kernel name.
+        let desc = resolved_kernel_description();
+        assert!(desc.contains(default_kernel().name()), "{desc}");
+    }
+
+    #[test]
+    fn simd_degenerate_shapes_match_blocked() {
+        assert!(matmul_simd(&[], &[], 0, 3, 4).is_empty());
+        assert_eq!(matmul_simd(&[], &[], 2, 0, 2), vec![0.0; 4]);
+        assert!(matmul_tb_simd(&[], &[], 0, 5, 3).is_empty());
+        assert_eq!(matmul_tb_simd(&[], &[], 2, 0, 2), vec![0.0; 4]);
+        assert_eq!(transpose_matmul_simd(&[], &[], 0, 2, 2), vec![0.0; 4]);
     }
 
     #[test]

@@ -1,0 +1,1288 @@
+//! Runtime-dispatched AVX2/FMA microkernels for the three BLAS-3 shapes.
+//!
+//! This module is the arithmetic core of [`MatmulKernel::Simd`]: explicit
+//! `std::arch` intrinsics behind `is_x86_feature_detected!`, so one binary
+//! runs the vector kernels on AVX2 hosts and falls back to the `Blocked`
+//! core everywhere else — there is **no compile-time AVX2 requirement**.
+//! It is the crate's only sanctioned `unsafe` island (see the crate-root
+//! lint note); every `unsafe` block here is either an intrinsic call gated
+//! by runtime detection or pointer arithmetic bounded by slice lengths
+//! asserted at entry.
+//!
+//! # Determinism contract
+//!
+//! The non-FMA path ([`Mode::Avx2`]) is **bitwise identical to
+//! [`MatmulKernel::Blocked`]** by construction:
+//!
+//! * `A·Bᵀ` keeps the Blocked kernel's fixed 16-lane accumulator split
+//!   (two `__m256` vectors per B row = the same `[f32; LANES]` partials,
+//!   element `c` in lane `c % LANES`), updates each lane with a separate
+//!   multiply and add (`_mm256_add_ps(acc, _mm256_mul_ps(..))` — no
+//!   contraction), runs the identical scalar tail over `[main, k)` and
+//!   reduces the lanes in the same fixed order.
+//! * `A·B` and `Aᵀ·B` accumulate each output element strictly in
+//!   increasing `k` order, vectorized **across output columns** (eight
+//!   independent output elements per vector), so the per-element operation
+//!   sequence is exactly the Blocked kernel's.
+//!
+//! The FMA path ([`Mode::Avx2Fma`], opt-in via `NEURAL_SIMD_FMA` /
+//! [`set_simd_fma`](super::set_simd_fma)) contracts every multiply-add in
+//! the same fixed accumulation order. It is *not* bitwise equal to Blocked
+//! (one rounding per FMA instead of two), but it is deterministic:
+//! `_mm256_fmadd_ps` and `f32::mul_add` are both IEEE-754
+//! correctly-rounded fused operations, so the hardware path and the
+//! [`Mode::ScalarFma`] software fallback produce identical bits, run to
+//! run and across hosts, and differ from Blocked by a bounded rounding
+//! perturbation per accumulation step (ULP-bounded on well-conditioned
+//! sums; pinned in `tests/simd_parity.rs`).
+
+#![allow(unsafe_code)]
+
+use super::core::{KC, LANES, NC};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// k-panel width for the blocked `A·Bᵀ` path: paper-scale dot products
+/// (k = 16,599 ≈ 65 KB per row) are split into panels this long so the
+/// inner working set — one 4-row B panel (32 KB) plus the matching A row
+/// slice (8 KB) — fits comfortably in a 48 KB L1d while B streams from
+/// memory once per output-row block. Must be a multiple of [`LANES`] so
+/// panel boundaries preserve the global `c % LANES` lane mapping.
+pub(crate) const TB_KC: usize = 1024;
+
+std::thread_local! {
+    /// Per-thread 16-lane accumulator spill for the panelled `A·Bᵀ` path
+    /// (`rows × nb × LANES` f32 states). f32 store/reload is exact, so
+    /// parking lane states here between k-panels is bitwise-neutral; the
+    /// buffer is grown once and kept warm, preserving the zero-allocation
+    /// steady state of `train_step` / `predict_into`.
+    static TB_LANES: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runtime-detected CPU SIMD capabilities (detected once per process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// 256-bit integer/float vectors (`avx2`).
+    pub avx2: bool,
+    /// Fused multiply-add (`fma`, only reported together with `avx2`).
+    pub fma: bool,
+}
+
+/// Detects CPU features once; subsequent calls are a static load.
+pub fn cpu_features() -> CpuFeatures {
+    static DETECTED: OnceLock<CpuFeatures> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let avx2 = std::arch::is_x86_feature_detected!("avx2");
+            CpuFeatures {
+                avx2,
+                fma: avx2 && std::arch::is_x86_feature_detected!("fma"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuFeatures::default()
+        }
+    })
+}
+
+/// The concrete implementation the `Simd` kernel resolves to at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// AVX2 vectors, separate multiply and add — bitwise equal to Blocked.
+    Avx2,
+    /// AVX2 with contracted multiply-adds (the opt-in FMA path).
+    Avx2Fma,
+    /// Scalar `f32::mul_add` — bitwise equal to `Avx2Fma` (both are
+    /// correctly-rounded fused ops), used when FMA is requested but the
+    /// host lacks the instructions.
+    ScalarFma,
+    /// No AVX2 and no FMA requested: the caller delegates to the Blocked
+    /// core, which the `Avx2` path is bitwise-identical to anyway.
+    Fallback,
+}
+
+impl Mode {
+    /// Whether multiply-adds are contracted (single rounding) in this mode.
+    #[inline]
+    pub(crate) fn contracted(self) -> bool {
+        matches!(self, Mode::Avx2Fma | Mode::ScalarFma)
+    }
+}
+
+/// Resolves the implementation for the current host and FMA preference.
+pub(crate) fn resolve_mode(fma: bool) -> Mode {
+    let f = cpu_features();
+    if fma {
+        if f.fma {
+            Mode::Avx2Fma
+        } else {
+            Mode::ScalarFma
+        }
+    } else if f.avx2 {
+        Mode::Avx2
+    } else {
+        Mode::Fallback
+    }
+}
+
+/// Plain scalar multiply-add step, `acc + x·y` (two roundings — the
+/// Blocked kernel's accumulation op).
+#[inline]
+fn smadd_mul(acc: f32, x: f32, y: f32) -> f32 {
+    acc + x * y
+}
+
+/// Contracted scalar multiply-add step (single rounding).
+#[inline]
+fn smadd_fma(acc: f32, x: f32, y: f32) -> f32 {
+    x.mul_add(y, acc)
+}
+
+/// Mode-dispatched scalar multiply-add (head/tail loops shared between the
+/// vector modes and their scalar fallback).
+#[inline]
+fn smadd(acc: f32, x: f32, y: f32, contracted: bool) -> f32 {
+    if contracted {
+        smadd_fma(acc, x, y)
+    } else {
+        smadd_mul(acc, x, y)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A·Bᵀ — four simultaneous dot products, 16-lane accumulator split.
+// ---------------------------------------------------------------------------
+
+/// `out_rows = A[i0.., :]·Bᵀ` for one block of output rows — the SIMD
+/// counterpart of `core::matmul_tb_block` (same row loop, same 4-column
+/// groups, same remainder path). `mode` must not be [`Mode::Fallback`].
+pub(crate) fn matmul_tb_block_simd(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    nb: usize,
+    i0: usize,
+    out_rows: &mut [f32],
+    mode: Mode,
+) {
+    let rows = out_rows.len().checked_div(nb).unwrap_or(0);
+    // The k-panelled schedule pays off by keeping several A-row slices
+    // L1-resident while a B panel is revisited — with a single output row
+    // there is nothing to revisit, and the per-panel lane spill/reload is
+    // pure overhead (measured ~10% on the 1×16,599 act-path predict), so
+    // single-row blocks take the direct dot path at any k. Both schedules
+    // produce identical per-element op sequences, so the routing choice is
+    // bitwise-invisible.
+    if k > TB_KC && rows > 1 {
+        return matmul_tb_block_paneled(a, k, b, nb, i0, out_rows, mode);
+    }
+    // B-row groups form the OUTER loop (the transpose of `core`'s nest, which
+    // walks all of B once per output row). Each 4-row B group is revisited by
+    // every A row while still cache-hot, so B streams from memory once per
+    // `rows` block instead of `rows` times — the paper-scale forward multiply
+    // (32×16,599)·(135×16,599)ᵀ is bandwidth-bound and this is where the AVX2
+    // win actually comes from. Per-element accumulation order is untouched
+    // (each dot product still runs k in increasing order with the 16-lane
+    // split), so the interchange is bitwise-neutral.
+    let mut j = 0;
+    while j + 4 <= nb {
+        let b0 = &b[j * k..(j + 1) * k];
+        let b1 = &b[(j + 1) * k..(j + 2) * k];
+        let b2 = &b[(j + 2) * k..(j + 3) * k];
+        let b3 = &b[(j + 3) * k..(j + 4) * k];
+        for r in 0..rows {
+            let i = i0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            let d = match mode {
+                Mode::Avx2 => x86::dot4_avx2(a_row, b0, b1, b2, b3),
+                Mode::Avx2Fma => x86::dot4_fma(a_row, b0, b1, b2, b3),
+                Mode::ScalarFma => dot4_scalar_fma(a_row, b0, b1, b2, b3),
+                Mode::Fallback => unreachable!("Fallback handled by the driver"),
+            };
+            out_rows[r * nb + j..r * nb + j + 4].copy_from_slice(&d);
+        }
+        j += 4;
+    }
+    while j < nb {
+        let bj = &b[j * k..(j + 1) * k];
+        for r in 0..rows {
+            let i = i0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            out_rows[r * nb + j] = match mode {
+                Mode::Avx2 => x86::dot1_avx2(a_row, bj),
+                Mode::Avx2Fma => x86::dot1_fma(a_row, bj),
+                Mode::ScalarFma => dot1_scalar_fma(a_row, bj),
+                Mode::Fallback => unreachable!("Fallback handled by the driver"),
+            };
+        }
+        j += 1;
+    }
+}
+
+/// The `k > TB_KC` arm of [`matmul_tb_block_simd`]: splits `k` into
+/// [`TB_KC`]-long panels and parks each output's 16-lane accumulator state
+/// in [`TB_LANES`] between panels, so the per-panel working set (one 4-row
+/// B panel plus the matching A panel slice) is cache-resident and B streams
+/// from memory once per block of output rows.
+///
+/// Bitwise identical to the single-pass kernels: panel lengths are a
+/// multiple of [`LANES`], so lane `c % LANES` receives exactly the same
+/// in-order sequence of madd updates it would in one continuous sweep, the
+/// f32 spill/reload between panels is exact, and the final in-order lane
+/// reduce plus scalar tail matches `core::dot4`.
+fn matmul_tb_block_paneled(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    nb: usize,
+    i0: usize,
+    out_rows: &mut [f32],
+    mode: Mode,
+) {
+    let rows = out_rows.len().checked_div(nb).unwrap_or(0);
+    let main = k - k % LANES;
+    // Row tile: with TB_KC-float A slices (4 KB), an 8-row tile keeps
+    // 32 KB of A plus the 16 KB 4-row B panel L1-resident, so A slices are
+    // re-read from L1 (not L2) on every B-group revisit.
+    const RT: usize = 8;
+    TB_LANES.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.resize(rows * nb * LANES, 0.0);
+        let mut start = 0;
+        while start < main {
+            let plen = TB_KC.min(main - start);
+            let mut r0 = 0;
+            while r0 < rows {
+            let r1 = (r0 + RT).min(rows);
+            let mut j = 0;
+            while j + 4 <= nb {
+                let b0 = &b[j * k + start..j * k + start + plen];
+                let b1 = &b[(j + 1) * k + start..(j + 1) * k + start + plen];
+                let b2 = &b[(j + 2) * k + start..(j + 2) * k + start + plen];
+                let b3 = &b[(j + 3) * k + start..(j + 3) * k + start + plen];
+                for r in r0..r1 {
+                    let i = i0 + r;
+                    let ap = &a[i * k + start..i * k + start + plen];
+                    let lanes = &mut buf[(r * nb + j) * LANES..(r * nb + j + 4) * LANES];
+                    match mode {
+                        Mode::Avx2 => x86::dot4_panel_avx2(ap, b0, b1, b2, b3, lanes),
+                        Mode::Avx2Fma => x86::dot4_panel_fma(ap, b0, b1, b2, b3, lanes),
+                        Mode::ScalarFma => dot4_panel_scalar_fma(ap, b0, b1, b2, b3, lanes),
+                        Mode::Fallback => unreachable!("Fallback handled by the driver"),
+                    }
+                }
+                j += 4;
+            }
+            while j < nb {
+                let bj = &b[j * k + start..j * k + start + plen];
+                for r in r0..r1 {
+                    let i = i0 + r;
+                    let ap = &a[i * k + start..i * k + start + plen];
+                    let lanes = &mut buf[(r * nb + j) * LANES..(r * nb + j + 1) * LANES];
+                    match mode {
+                        Mode::Avx2 => x86::dot1_panel_avx2(ap, bj, lanes),
+                        Mode::Avx2Fma => x86::dot1_panel_fma(ap, bj, lanes),
+                        Mode::ScalarFma => dot1_panel_scalar_fma(ap, bj, lanes),
+                        Mode::Fallback => unreachable!("Fallback handled by the driver"),
+                    }
+                }
+                j += 1;
+            }
+            r0 = r1;
+            }
+            start += plen;
+        }
+        let contracted = mode.contracted();
+        for r in 0..rows {
+            let i = i0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..nb {
+                let lanes = &buf[(r * nb + j) * LANES..(r * nb + j + 1) * LANES];
+                let mut s = 0.0f32;
+                for &lane in lanes {
+                    s += lane;
+                }
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut tail = 0.0f32;
+                for p in main..k {
+                    tail = smadd(tail, a_row[p], b_row[p], contracted);
+                }
+                out_rows[r * nb + j] = s + tail;
+            }
+        }
+    });
+}
+
+/// One k-panel of [`dot4_scalar_fma`]: contracted lane updates resumed from
+/// and spilled back to `lanes` (`4 × LANES`, output-major). The panel length
+/// must be a multiple of [`LANES`].
+fn dot4_panel_scalar_fma(
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    lanes: &mut [f32],
+) {
+    debug_assert_eq!(a.len() % LANES, 0);
+    for (c, &av) in a.iter().enumerate() {
+        let l = c % LANES;
+        lanes[l] = av.mul_add(b0[c], lanes[l]);
+        lanes[LANES + l] = av.mul_add(b1[c], lanes[LANES + l]);
+        lanes[2 * LANES + l] = av.mul_add(b2[c], lanes[2 * LANES + l]);
+        lanes[3 * LANES + l] = av.mul_add(b3[c], lanes[3 * LANES + l]);
+    }
+}
+
+/// One k-panel of the contracted single-dot path (the `nb % 4` remainder).
+fn dot1_panel_scalar_fma(a: &[f32], b: &[f32], lanes: &mut [f32]) {
+    debug_assert_eq!(a.len() % LANES, 0);
+    for (c, &av) in a.iter().enumerate() {
+        let l = c % LANES;
+        lanes[l] = av.mul_add(b[c], lanes[l]);
+    }
+}
+
+/// `core::dot4` with every lane and tail update contracted — the scalar
+/// reference for the FMA path (bitwise equal to `dot4_fma`: `mul_add` and
+/// `vfmadd` are both single-rounding IEEE fused ops).
+fn dot4_scalar_fma(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let k = a.len();
+    let main = k - k % LANES;
+    let mut acc = [[0.0f32; LANES]; 4];
+    let (am, at) = a.split_at(main);
+    let (b0m, b0t) = b0.split_at(main);
+    let (b1m, b1t) = b1.split_at(main);
+    let (b2m, b2t) = b2.split_at(main);
+    let (b3m, b3t) = b3.split_at(main);
+    for ((((ca, c0), c1), c2), c3) in am
+        .chunks_exact(LANES)
+        .zip(b0m.chunks_exact(LANES))
+        .zip(b1m.chunks_exact(LANES))
+        .zip(b2m.chunks_exact(LANES))
+        .zip(b3m.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            let av = ca[l];
+            acc[0][l] = av.mul_add(c0[l], acc[0][l]);
+            acc[1][l] = av.mul_add(c1[l], acc[1][l]);
+            acc[2][l] = av.mul_add(c2[l], acc[2][l]);
+            acc[3][l] = av.mul_add(c3[l], acc[3][l]);
+        }
+    }
+    let mut tail = [0.0f32; 4];
+    for (p, &av) in at.iter().enumerate() {
+        tail[0] = av.mul_add(b0t[p], tail[0]);
+        tail[1] = av.mul_add(b1t[p], tail[1]);
+        tail[2] = av.mul_add(b2t[p], tail[2]);
+        tail[3] = av.mul_add(b3t[p], tail[3]);
+    }
+    let mut out = [0.0f32; 4];
+    for t in 0..4 {
+        let mut s = 0.0f32;
+        for &lane in &acc[t] {
+            s += lane;
+        }
+        out[t] = s + tail[t];
+    }
+    out
+}
+
+/// `core::dot1` with contracted multiply-adds (the `nb % 4` remainder).
+fn dot1_scalar_fma(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    let main = k - k % LANES;
+    let mut acc = [0.0f32; LANES];
+    let (am, at) = a.split_at(main);
+    let (bm, bt) = b.split_at(main);
+    for (ca, cb) in am.chunks_exact(LANES).zip(bm.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] = ca[l].mul_add(cb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (p, &av) in at.iter().enumerate() {
+        tail = av.mul_add(bt[p], tail);
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    s + tail
+}
+
+// ---------------------------------------------------------------------------
+// A·B — packed-panel axpy, vectorized across output columns.
+// ---------------------------------------------------------------------------
+
+/// `out_rows += A[i0.., :]·B` for one block of output rows — the SIMD
+/// counterpart of `core::matmul_block` (identical packing; the microkernel
+/// accumulates each output element in the same increasing-`k` order, eight
+/// output columns per vector). `mode` must not be [`Mode::Fallback`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_block_simd(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    b: &[f32],
+    i0: usize,
+    out_rows: &mut [f32],
+    pack: &mut Vec<f32>,
+    mode: Mode,
+) {
+    debug_assert_eq!(out_rows.len() % n.max(1), 0);
+    let mut kc = 0;
+    while kc < k {
+        let kcl = KC.min(k - kc);
+        let mut jc = 0;
+        while jc < n {
+            let ncl = NC.min(n - jc);
+            pack.clear();
+            pack.reserve(kcl * ncl);
+            for p in kc..kc + kcl {
+                pack.extend_from_slice(&b[p * n + jc..p * n + jc + ncl]);
+            }
+            for (g, group) in out_rows.chunks_mut(4 * n).enumerate() {
+                axpy_group_simd(a, k, n, i0 + 4 * g, kc, kcl, jc, ncl, pack, group, mode);
+            }
+            jc += ncl;
+        }
+        kc += kcl;
+    }
+}
+
+/// The 4-row packed-panel axpy microkernel, mode-dispatched.
+#[allow(clippy::too_many_arguments)]
+fn axpy_group_simd(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    kc: usize,
+    kcl: usize,
+    jc: usize,
+    ncl: usize,
+    pack: &[f32],
+    group: &mut [f32],
+    mode: Mode,
+) {
+    let rows = group.len() / n;
+    if rows == 4 {
+        let (r0, rest) = group.split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        let s0 = &mut r0[jc..jc + ncl];
+        let s1 = &mut r1[jc..jc + ncl];
+        let s2 = &mut r2[jc..jc + ncl];
+        let s3 = &mut r3[jc..jc + ncl];
+        match mode {
+            Mode::Avx2 => x86::axpy4_avx2(a, k, i, kc, kcl, pack, ncl, s0, s1, s2, s3),
+            Mode::Avx2Fma => x86::axpy4_fma(a, k, i, kc, kcl, pack, ncl, s0, s1, s2, s3),
+            Mode::ScalarFma => {
+                for (pp, bp) in pack.chunks_exact(ncl).take(kcl).enumerate() {
+                    let p = kc + pp;
+                    let a0 = a[i * k + p];
+                    let a1 = a[(i + 1) * k + p];
+                    let a2 = a[(i + 2) * k + p];
+                    let a3 = a[(i + 3) * k + p];
+                    for j in 0..ncl {
+                        let bv = bp[j];
+                        s0[j] = a0.mul_add(bv, s0[j]);
+                        s1[j] = a1.mul_add(bv, s1[j]);
+                        s2[j] = a2.mul_add(bv, s2[j]);
+                        s3[j] = a3.mul_add(bv, s3[j]);
+                    }
+                }
+            }
+            Mode::Fallback => unreachable!("Fallback handled by the driver"),
+        }
+    } else {
+        // Remainder rows (`m % 4`): scalar, in the Blocked kernel's exact
+        // per-element order (plain ops non-contracted, `mul_add` contracted).
+        let contracted = mode.contracted();
+        for (r, row) in group.chunks_mut(n).enumerate() {
+            let s = &mut row[jc..jc + ncl];
+            for (pp, bp) in pack.chunks_exact(ncl).take(kcl).enumerate() {
+                let av = a[(i + r) * k + kc + pp];
+                for j in 0..ncl {
+                    s[j] = smadd(s[j], av, bp[j], contracted);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aᵀ·B — column-blocked axpy with the p == 0 assigning pass.
+// ---------------------------------------------------------------------------
+
+/// `out_rows = (Aᵀ·B)[i0.., :]` for one block of output rows — the SIMD
+/// counterpart of `core::transpose_matmul_block` (same column-block-outer
+/// nesting, same assigning `p == 0` pass: `0 + a·b` is bitwise equal to
+/// the Blocked kernel's `a·b + 0.0`, and `fma(a, b, 0)` rounds the same
+/// sum once). `mode` must not be [`Mode::Fallback`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transpose_matmul_block_simd(
+    a: &[f32],
+    kdim: usize,
+    m: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    out_rows: &mut [f32],
+    mode: Mode,
+) {
+    let mut jc = 0;
+    while jc < n {
+        let ncl = NC.min(n - jc);
+        for (g, group) in out_rows.chunks_mut(4 * n).enumerate() {
+            let i = i0 + 4 * g;
+            let rows = group.len() / n;
+            if rows == 4 {
+                let (r0, rest) = group.split_at_mut(n);
+                let (r1, rest) = rest.split_at_mut(n);
+                let (r2, r3) = rest.split_at_mut(n);
+                let s0 = &mut r0[jc..jc + ncl];
+                let s1 = &mut r1[jc..jc + ncl];
+                let s2 = &mut r2[jc..jc + ncl];
+                let s3 = &mut r3[jc..jc + ncl];
+                match mode {
+                    Mode::Avx2 => x86::tmm4_avx2(a, kdim, m, i, b, n, jc, ncl, s0, s1, s2, s3),
+                    Mode::Avx2Fma => x86::tmm4_fma(a, kdim, m, i, b, n, jc, ncl, s0, s1, s2, s3),
+                    Mode::ScalarFma => {
+                        for p in 0..kdim {
+                            let arow = &a[p * m..(p + 1) * m];
+                            let a0 = arow[i];
+                            let a1 = arow[i + 1];
+                            let a2 = arow[i + 2];
+                            let a3 = arow[i + 3];
+                            let bp = &b[p * n + jc..p * n + jc + ncl];
+                            if p == 0 {
+                                for j in 0..ncl {
+                                    let bv = bp[j];
+                                    s0[j] = a0.mul_add(bv, 0.0);
+                                    s1[j] = a1.mul_add(bv, 0.0);
+                                    s2[j] = a2.mul_add(bv, 0.0);
+                                    s3[j] = a3.mul_add(bv, 0.0);
+                                }
+                            } else {
+                                for j in 0..ncl {
+                                    let bv = bp[j];
+                                    s0[j] = a0.mul_add(bv, s0[j]);
+                                    s1[j] = a1.mul_add(bv, s1[j]);
+                                    s2[j] = a2.mul_add(bv, s2[j]);
+                                    s3[j] = a3.mul_add(bv, s3[j]);
+                                }
+                            }
+                        }
+                    }
+                    Mode::Fallback => unreachable!("Fallback handled by the driver"),
+                }
+            } else {
+                // Remainder rows (`m % 4`): scalar, same p == 0 assign.
+                let contracted = mode.contracted();
+                for (r, row) in group.chunks_mut(n).enumerate() {
+                    let s = &mut row[jc..jc + ncl];
+                    for p in 0..kdim {
+                        let av = a[p * m + i + r];
+                        let bp = &b[p * n + jc..p * n + jc + ncl];
+                        if p == 0 {
+                            for j in 0..ncl {
+                                s[j] = smadd(0.0, av, bp[j], contracted);
+                            }
+                        } else {
+                            for j in 0..ncl {
+                                s[j] = smadd(s[j], av, bp[j], contracted);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        jc += ncl;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PrefixCache resume — the factored-forward counterpart of dot4/dot1.
+// ---------------------------------------------------------------------------
+
+/// Resumes four dot products from cached lane/tail state in the Simd
+/// kernel's exact order — the SIMD counterpart of `prefix::resume4` (same
+/// scalar straddled-chunk head, vectorized whole chunks, same scalar tail
+/// and in-order reduction). `mode` must not be [`Mode::Fallback`].
+pub(crate) fn resume4_simd(
+    x: &[f32],
+    p: usize,
+    k: usize,
+    w: [&[f32]; 4],
+    lanes0: [&[f32]; 4],
+    tail0: [f32; 4],
+    mode: Mode,
+) -> [f32; 4] {
+    let contracted = mode.contracted();
+    let main = k - k % LANES;
+    let mut acc = [[0.0f32; LANES]; 4];
+    for t in 0..4 {
+        acc[t].copy_from_slice(lanes0[t]);
+    }
+    let mut c = p.min(main);
+    // Finish the chunk the split straddles (lanes c % LANES .. LANES).
+    let head_end = c.div_ceil(LANES).saturating_mul(LANES).min(main);
+    while c < head_end {
+        let xv = x[c - p];
+        for t in 0..4 {
+            acc[t][c % LANES] = smadd(acc[t][c % LANES], xv, w[t][c], contracted);
+        }
+        c += 1;
+    }
+    // Whole chunks of the dynamic block, in lane order.
+    if c < main {
+        let xm = &x[c - p..main - p];
+        let w0 = &w[0][c..main];
+        let w1 = &w[1][c..main];
+        let w2 = &w[2][c..main];
+        let w3 = &w[3][c..main];
+        match mode {
+            Mode::Avx2 => x86::resume_chunks4_avx2(xm, w0, w1, w2, w3, &mut acc),
+            Mode::Avx2Fma => x86::resume_chunks4_fma(xm, w0, w1, w2, w3, &mut acc),
+            Mode::ScalarFma => {
+                for ((((cx, c0), c1), c2), c3) in xm
+                    .chunks_exact(LANES)
+                    .zip(w0.chunks_exact(LANES))
+                    .zip(w1.chunks_exact(LANES))
+                    .zip(w2.chunks_exact(LANES))
+                    .zip(w3.chunks_exact(LANES))
+                {
+                    for l in 0..LANES {
+                        let xv = cx[l];
+                        acc[0][l] = xv.mul_add(c0[l], acc[0][l]);
+                        acc[1][l] = xv.mul_add(c1[l], acc[1][l]);
+                        acc[2][l] = xv.mul_add(c2[l], acc[2][l]);
+                        acc[3][l] = xv.mul_add(c3[l], acc[3][l]);
+                    }
+                }
+            }
+            Mode::Fallback => unreachable!("Fallback handled by the caller"),
+        }
+    }
+    // Scalar tail over [max(p, main), k), continuing the cached tail.
+    let mut tail = tail0;
+    for c2 in p.max(main)..k {
+        let xv = x[c2 - p];
+        for t in 0..4 {
+            tail[t] = smadd(tail[t], xv, w[t][c2], contracted);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for t in 0..4 {
+        let mut s = 0.0f32;
+        for &lane in &acc[t] {
+            s += lane;
+        }
+        out[t] = s + tail[t];
+    }
+    out
+}
+
+/// Resumes one dot product from cached lane/tail state (the `n_out % 4`
+/// remainder path). `mode` must not be [`Mode::Fallback`].
+pub(crate) fn resume1_simd(
+    x: &[f32],
+    p: usize,
+    k: usize,
+    w: &[f32],
+    lanes0: &[f32],
+    tail0: f32,
+    mode: Mode,
+) -> f32 {
+    let contracted = mode.contracted();
+    let main = k - k % LANES;
+    let mut acc = [0.0f32; LANES];
+    acc.copy_from_slice(lanes0);
+    let mut c = p.min(main);
+    let head_end = c.div_ceil(LANES).saturating_mul(LANES).min(main);
+    while c < head_end {
+        acc[c % LANES] = smadd(acc[c % LANES], x[c - p], w[c], contracted);
+        c += 1;
+    }
+    if c < main {
+        let xm = &x[c - p..main - p];
+        let wm = &w[c..main];
+        match mode {
+            Mode::Avx2 => x86::resume_chunks1_avx2(xm, wm, &mut acc),
+            Mode::Avx2Fma => x86::resume_chunks1_fma(xm, wm, &mut acc),
+            Mode::ScalarFma => {
+                for (cx, cw) in xm.chunks_exact(LANES).zip(wm.chunks_exact(LANES)) {
+                    for l in 0..LANES {
+                        acc[l] = cx[l].mul_add(cw[l], acc[l]);
+                    }
+                }
+            }
+            Mode::Fallback => unreachable!("Fallback handled by the caller"),
+        }
+    }
+    let mut tail = tail0;
+    for c2 in p.max(main)..k {
+        tail = smadd(tail, x[c2 - p], w[c2], contracted);
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    s + tail
+}
+
+// ---------------------------------------------------------------------------
+// The x86_64 intrinsic kernels (stubbed out on other architectures, where
+// `resolve_mode` never selects a vector mode).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::super::core::LANES;
+    use std::arch::x86_64::*;
+
+    /// Separate multiply and add (two roundings) — the Blocked op.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn vmadd_mul(acc: __m256, x: __m256, y: __m256) -> __m256 {
+        _mm256_add_ps(acc, _mm256_mul_ps(x, y))
+    }
+
+    /// Contracted multiply-add (single rounding).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn vmadd_fma(acc: __m256, x: __m256, y: __m256) -> __m256 {
+        _mm256_fmadd_ps(x, y, acc)
+    }
+
+    macro_rules! dot_kernels {
+        ($dot4:ident, $dot1:ident, $feat:literal, $vmadd:ident, $smadd:path) => {
+            /// Four dot products through the 16-lane accumulator split
+            /// (`__m256` pair per B row), reduced in `core::dot4`'s order.
+            pub(in super::super) fn $dot4(
+                a: &[f32],
+                b0: &[f32],
+                b1: &[f32],
+                b2: &[f32],
+                b3: &[f32],
+            ) -> [f32; 4] {
+                let k = a.len();
+                assert!(b0.len() >= k && b1.len() >= k && b2.len() >= k && b3.len() >= k);
+                // SAFETY: mode resolution checked the target features; all
+                // pointer offsets stay below `k`, asserted above.
+                return unsafe { inner(a, b0, b1, b2, b3) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(
+                    a: &[f32],
+                    b0: &[f32],
+                    b1: &[f32],
+                    b2: &[f32],
+                    b3: &[f32],
+                ) -> [f32; 4] {
+                    let k = a.len();
+                    let main = k - k % LANES;
+                    let mut lo = [_mm256_setzero_ps(); 4];
+                    let mut hi = [_mm256_setzero_ps(); 4];
+                    let ap = a.as_ptr();
+                    let bp = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+                    let mut c = 0;
+                    while c < main {
+                        let alo = _mm256_loadu_ps(ap.add(c));
+                        let ahi = _mm256_loadu_ps(ap.add(c + 8));
+                        for t in 0..4 {
+                            lo[t] = $vmadd(lo[t], alo, _mm256_loadu_ps(bp[t].add(c)));
+                            hi[t] = $vmadd(hi[t], ahi, _mm256_loadu_ps(bp[t].add(c + 8)));
+                        }
+                        c += LANES;
+                    }
+                    let mut tail = [0.0f32; 4];
+                    for p in main..k {
+                        let av = *ap.add(p);
+                        for t in 0..4 {
+                            tail[t] = $smadd(tail[t], av, *bp[t].add(p));
+                        }
+                    }
+                    let mut out = [0.0f32; 4];
+                    for t in 0..4 {
+                        let mut lanes = [0.0f32; LANES];
+                        _mm256_storeu_ps(lanes.as_mut_ptr(), lo[t]);
+                        _mm256_storeu_ps(lanes.as_mut_ptr().add(8), hi[t]);
+                        let mut s = 0.0f32;
+                        for &lane in &lanes {
+                            s += lane;
+                        }
+                        out[t] = s + tail[t];
+                    }
+                    out
+                }
+            }
+
+            /// One dot product (the `nb % 4` remainder path).
+            pub(in super::super) fn $dot1(a: &[f32], b: &[f32]) -> f32 {
+                let k = a.len();
+                assert!(b.len() >= k);
+                // SAFETY: as above.
+                return unsafe { inner(a, b) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(a: &[f32], b: &[f32]) -> f32 {
+                    let k = a.len();
+                    let main = k - k % LANES;
+                    let mut lo = _mm256_setzero_ps();
+                    let mut hi = _mm256_setzero_ps();
+                    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+                    let mut c = 0;
+                    while c < main {
+                        lo = $vmadd(lo, _mm256_loadu_ps(ap.add(c)), _mm256_loadu_ps(bp.add(c)));
+                        hi = $vmadd(
+                            hi,
+                            _mm256_loadu_ps(ap.add(c + 8)),
+                            _mm256_loadu_ps(bp.add(c + 8)),
+                        );
+                        c += LANES;
+                    }
+                    let mut tail = 0.0f32;
+                    for p in main..k {
+                        tail = $smadd(tail, *ap.add(p), *bp.add(p));
+                    }
+                    let mut lanes = [0.0f32; LANES];
+                    _mm256_storeu_ps(lanes.as_mut_ptr(), lo);
+                    _mm256_storeu_ps(lanes.as_mut_ptr().add(8), hi);
+                    let mut s = 0.0f32;
+                    for &lane in &lanes {
+                        s += lane;
+                    }
+                    s + tail
+                }
+            }
+        };
+    }
+
+    dot_kernels!(dot4_avx2, dot1_avx2, "avx2", vmadd_mul, super::smadd_mul);
+    dot_kernels!(dot4_fma, dot1_fma, "avx2,fma", vmadd_fma, super::smadd_fma);
+
+    macro_rules! dot_panel_kernels {
+        ($dot4:ident, $dot1:ident, $feat:literal, $vmadd:ident) => {
+            /// One k-panel of four dot products: resumes the 16-lane
+            /// accumulator state from `lanes` (`4 × LANES`, output-major),
+            /// accumulates the panel (length a multiple of `LANES`) and
+            /// spills the state back bit-exactly.
+            pub(in super::super) fn $dot4(
+                a: &[f32],
+                b0: &[f32],
+                b1: &[f32],
+                b2: &[f32],
+                b3: &[f32],
+                lanes: &mut [f32],
+            ) {
+                let k = a.len();
+                assert_eq!(k % LANES, 0);
+                assert!(b0.len() >= k && b1.len() >= k && b2.len() >= k && b3.len() >= k);
+                assert!(lanes.len() >= 4 * LANES);
+                // SAFETY: mode resolution checked the target features; all
+                // pointer offsets stay below the lengths asserted above.
+                return unsafe { inner(a, b0, b1, b2, b3, lanes) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(
+                    a: &[f32],
+                    b0: &[f32],
+                    b1: &[f32],
+                    b2: &[f32],
+                    b3: &[f32],
+                    lanes: &mut [f32],
+                ) {
+                    let k = a.len();
+                    let lp = lanes.as_mut_ptr();
+                    let mut lo = [_mm256_setzero_ps(); 4];
+                    let mut hi = [_mm256_setzero_ps(); 4];
+                    for t in 0..4 {
+                        lo[t] = _mm256_loadu_ps(lp.add(t * LANES));
+                        hi[t] = _mm256_loadu_ps(lp.add(t * LANES + 8));
+                    }
+                    let ap = a.as_ptr();
+                    let bp = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+                    let mut c = 0;
+                    while c < k {
+                        let alo = _mm256_loadu_ps(ap.add(c));
+                        let ahi = _mm256_loadu_ps(ap.add(c + 8));
+                        for t in 0..4 {
+                            lo[t] = $vmadd(lo[t], alo, _mm256_loadu_ps(bp[t].add(c)));
+                            hi[t] = $vmadd(hi[t], ahi, _mm256_loadu_ps(bp[t].add(c + 8)));
+                        }
+                        c += LANES;
+                    }
+                    for t in 0..4 {
+                        _mm256_storeu_ps(lp.add(t * LANES), lo[t]);
+                        _mm256_storeu_ps(lp.add(t * LANES + 8), hi[t]);
+                    }
+                }
+            }
+
+            /// One k-panel of a single dot product (the `nb % 4` remainder).
+            pub(in super::super) fn $dot1(a: &[f32], b: &[f32], lanes: &mut [f32]) {
+                let k = a.len();
+                assert_eq!(k % LANES, 0);
+                assert!(b.len() >= k);
+                assert!(lanes.len() >= LANES);
+                // SAFETY: as above.
+                return unsafe { inner(a, b, lanes) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(a: &[f32], b: &[f32], lanes: &mut [f32]) {
+                    let k = a.len();
+                    let lp = lanes.as_mut_ptr();
+                    let mut lo = _mm256_loadu_ps(lp);
+                    let mut hi = _mm256_loadu_ps(lp.add(8));
+                    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+                    let mut c = 0;
+                    while c < k {
+                        lo = $vmadd(lo, _mm256_loadu_ps(ap.add(c)), _mm256_loadu_ps(bp.add(c)));
+                        hi = $vmadd(
+                            hi,
+                            _mm256_loadu_ps(ap.add(c + 8)),
+                            _mm256_loadu_ps(bp.add(c + 8)),
+                        );
+                        c += LANES;
+                    }
+                    _mm256_storeu_ps(lp, lo);
+                    _mm256_storeu_ps(lp.add(8), hi);
+                }
+            }
+        };
+    }
+
+    dot_panel_kernels!(dot4_panel_avx2, dot1_panel_avx2, "avx2", vmadd_mul);
+    dot_panel_kernels!(dot4_panel_fma, dot1_panel_fma, "avx2,fma", vmadd_fma);
+
+    macro_rules! axpy_kernel {
+        ($name:ident, $feat:literal, $vmadd:ident, $smadd:path) => {
+            /// The 4-row packed-panel axpy: one packed B lane feeds four
+            /// accumulating rows, eight output columns per vector, strictly
+            /// increasing `k` order per output element.
+            #[allow(clippy::too_many_arguments)]
+            pub(in super::super) fn $name(
+                a: &[f32],
+                k: usize,
+                i: usize,
+                kc: usize,
+                kcl: usize,
+                pack: &[f32],
+                ncl: usize,
+                s0: &mut [f32],
+                s1: &mut [f32],
+                s2: &mut [f32],
+                s3: &mut [f32],
+            ) {
+                assert!(pack.len() >= kcl * ncl);
+                assert!(a.len() >= (i + 3) * k + kc + kcl);
+                assert!(
+                    s0.len() >= ncl && s1.len() >= ncl && s2.len() >= ncl && s3.len() >= ncl
+                );
+                // SAFETY: mode resolution checked the target features; the
+                // asserts above bound every pointer offset below.
+                return unsafe { inner(a, k, i, kc, kcl, pack, ncl, s0, s1, s2, s3) };
+
+                #[allow(clippy::too_many_arguments)]
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(
+                    a: &[f32],
+                    k: usize,
+                    i: usize,
+                    kc: usize,
+                    kcl: usize,
+                    pack: &[f32],
+                    ncl: usize,
+                    s0: &mut [f32],
+                    s1: &mut [f32],
+                    s2: &mut [f32],
+                    s3: &mut [f32],
+                ) {
+                    for pp in 0..kcl {
+                        let p = kc + pp;
+                        let a0 = *a.get_unchecked(i * k + p);
+                        let a1 = *a.get_unchecked((i + 1) * k + p);
+                        let a2 = *a.get_unchecked((i + 2) * k + p);
+                        let a3 = *a.get_unchecked((i + 3) * k + p);
+                        let bp = pack.as_ptr().add(pp * ncl);
+                        let v0 = _mm256_set1_ps(a0);
+                        let v1 = _mm256_set1_ps(a1);
+                        let v2 = _mm256_set1_ps(a2);
+                        let v3 = _mm256_set1_ps(a3);
+                        let mut j = 0;
+                        while j + 8 <= ncl {
+                            let bv = _mm256_loadu_ps(bp.add(j));
+                            let p0 = s0.as_mut_ptr().add(j);
+                            let p1 = s1.as_mut_ptr().add(j);
+                            let p2 = s2.as_mut_ptr().add(j);
+                            let p3 = s3.as_mut_ptr().add(j);
+                            _mm256_storeu_ps(p0, $vmadd(_mm256_loadu_ps(p0), v0, bv));
+                            _mm256_storeu_ps(p1, $vmadd(_mm256_loadu_ps(p1), v1, bv));
+                            _mm256_storeu_ps(p2, $vmadd(_mm256_loadu_ps(p2), v2, bv));
+                            _mm256_storeu_ps(p3, $vmadd(_mm256_loadu_ps(p3), v3, bv));
+                            j += 8;
+                        }
+                        while j < ncl {
+                            let bv = *bp.add(j);
+                            *s0.get_unchecked_mut(j) = $smadd(*s0.get_unchecked(j), a0, bv);
+                            *s1.get_unchecked_mut(j) = $smadd(*s1.get_unchecked(j), a1, bv);
+                            *s2.get_unchecked_mut(j) = $smadd(*s2.get_unchecked(j), a2, bv);
+                            *s3.get_unchecked_mut(j) = $smadd(*s3.get_unchecked(j), a3, bv);
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    axpy_kernel!(axpy4_avx2, "avx2", vmadd_mul, super::smadd_mul);
+    axpy_kernel!(axpy4_fma, "avx2,fma", vmadd_fma, super::smadd_fma);
+
+    macro_rules! tmm_kernel {
+        ($name:ident, $feat:literal, $vmadd:ident, $smadd:path) => {
+            /// The 4-row Aᵀ·B axpy with the assigning `p == 0` pass
+            /// (`0 + a·b`, bitwise equal to Blocked's `a·b + 0.0`).
+            #[allow(clippy::too_many_arguments)]
+            pub(in super::super) fn $name(
+                a: &[f32],
+                kdim: usize,
+                m: usize,
+                i: usize,
+                b: &[f32],
+                n: usize,
+                jc: usize,
+                ncl: usize,
+                s0: &mut [f32],
+                s1: &mut [f32],
+                s2: &mut [f32],
+                s3: &mut [f32],
+            ) {
+                assert!(kdim == 0 || a.len() >= (kdim - 1) * m + i + 4);
+                assert!(kdim == 0 || b.len() >= (kdim - 1) * n + jc + ncl);
+                assert!(
+                    s0.len() >= ncl && s1.len() >= ncl && s2.len() >= ncl && s3.len() >= ncl
+                );
+                // SAFETY: mode resolution checked the target features; the
+                // asserts above bound every pointer offset below.
+                return unsafe { inner(a, kdim, m, i, b, n, jc, ncl, s0, s1, s2, s3) };
+
+                #[allow(clippy::too_many_arguments)]
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(
+                    a: &[f32],
+                    kdim: usize,
+                    m: usize,
+                    i: usize,
+                    b: &[f32],
+                    n: usize,
+                    jc: usize,
+                    ncl: usize,
+                    s0: &mut [f32],
+                    s1: &mut [f32],
+                    s2: &mut [f32],
+                    s3: &mut [f32],
+                ) {
+                    let zero = _mm256_setzero_ps();
+                    for p in 0..kdim {
+                        let arow = a.as_ptr().add(p * m);
+                        let a0 = *arow.add(i);
+                        let a1 = *arow.add(i + 1);
+                        let a2 = *arow.add(i + 2);
+                        let a3 = *arow.add(i + 3);
+                        let bp = b.as_ptr().add(p * n + jc);
+                        let v0 = _mm256_set1_ps(a0);
+                        let v1 = _mm256_set1_ps(a1);
+                        let v2 = _mm256_set1_ps(a2);
+                        let v3 = _mm256_set1_ps(a3);
+                        let mut j = 0;
+                        if p == 0 {
+                            while j + 8 <= ncl {
+                                let bv = _mm256_loadu_ps(bp.add(j));
+                                _mm256_storeu_ps(s0.as_mut_ptr().add(j), $vmadd(zero, v0, bv));
+                                _mm256_storeu_ps(s1.as_mut_ptr().add(j), $vmadd(zero, v1, bv));
+                                _mm256_storeu_ps(s2.as_mut_ptr().add(j), $vmadd(zero, v2, bv));
+                                _mm256_storeu_ps(s3.as_mut_ptr().add(j), $vmadd(zero, v3, bv));
+                                j += 8;
+                            }
+                            while j < ncl {
+                                let bv = *bp.add(j);
+                                *s0.get_unchecked_mut(j) = $smadd(0.0, a0, bv);
+                                *s1.get_unchecked_mut(j) = $smadd(0.0, a1, bv);
+                                *s2.get_unchecked_mut(j) = $smadd(0.0, a2, bv);
+                                *s3.get_unchecked_mut(j) = $smadd(0.0, a3, bv);
+                                j += 1;
+                            }
+                        } else {
+                            while j + 8 <= ncl {
+                                let bv = _mm256_loadu_ps(bp.add(j));
+                                let p0 = s0.as_mut_ptr().add(j);
+                                let p1 = s1.as_mut_ptr().add(j);
+                                let p2 = s2.as_mut_ptr().add(j);
+                                let p3 = s3.as_mut_ptr().add(j);
+                                _mm256_storeu_ps(p0, $vmadd(_mm256_loadu_ps(p0), v0, bv));
+                                _mm256_storeu_ps(p1, $vmadd(_mm256_loadu_ps(p1), v1, bv));
+                                _mm256_storeu_ps(p2, $vmadd(_mm256_loadu_ps(p2), v2, bv));
+                                _mm256_storeu_ps(p3, $vmadd(_mm256_loadu_ps(p3), v3, bv));
+                                j += 8;
+                            }
+                            while j < ncl {
+                                let bv = *bp.add(j);
+                                *s0.get_unchecked_mut(j) = $smadd(*s0.get_unchecked(j), a0, bv);
+                                *s1.get_unchecked_mut(j) = $smadd(*s1.get_unchecked(j), a1, bv);
+                                *s2.get_unchecked_mut(j) = $smadd(*s2.get_unchecked(j), a2, bv);
+                                *s3.get_unchecked_mut(j) = $smadd(*s3.get_unchecked(j), a3, bv);
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    tmm_kernel!(tmm4_avx2, "avx2", vmadd_mul, super::smadd_mul);
+    tmm_kernel!(tmm4_fma, "avx2,fma", vmadd_fma, super::smadd_fma);
+
+    macro_rules! resume_kernels {
+        ($res4:ident, $res1:ident, $feat:literal, $vmadd:ident) => {
+            /// Whole-chunk lane updates for four resumed dot products: the
+            /// cached `[f32; LANES]` states round-trip through `__m256`
+            /// pairs (bit-preserving), lanes update in chunk order.
+            pub(in super::super) fn $res4(
+                x: &[f32],
+                w0: &[f32],
+                w1: &[f32],
+                w2: &[f32],
+                w3: &[f32],
+                acc: &mut [[f32; LANES]; 4],
+            ) {
+                let n = x.len();
+                assert_eq!(n % LANES, 0);
+                assert!(w0.len() >= n && w1.len() >= n && w2.len() >= n && w3.len() >= n);
+                // SAFETY: mode resolution checked the target features; the
+                // asserts above bound every pointer offset below.
+                return unsafe { inner(x, w0, w1, w2, w3, acc) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(
+                    x: &[f32],
+                    w0: &[f32],
+                    w1: &[f32],
+                    w2: &[f32],
+                    w3: &[f32],
+                    acc: &mut [[f32; LANES]; 4],
+                ) {
+                    let mut lo = [_mm256_setzero_ps(); 4];
+                    let mut hi = [_mm256_setzero_ps(); 4];
+                    for t in 0..4 {
+                        lo[t] = _mm256_loadu_ps(acc[t].as_ptr());
+                        hi[t] = _mm256_loadu_ps(acc[t].as_ptr().add(8));
+                    }
+                    let n = x.len();
+                    let xp = x.as_ptr();
+                    let wp = [w0.as_ptr(), w1.as_ptr(), w2.as_ptr(), w3.as_ptr()];
+                    let mut c = 0;
+                    while c < n {
+                        let xlo = _mm256_loadu_ps(xp.add(c));
+                        let xhi = _mm256_loadu_ps(xp.add(c + 8));
+                        for t in 0..4 {
+                            lo[t] = $vmadd(lo[t], xlo, _mm256_loadu_ps(wp[t].add(c)));
+                            hi[t] = $vmadd(hi[t], xhi, _mm256_loadu_ps(wp[t].add(c + 8)));
+                        }
+                        c += LANES;
+                    }
+                    for t in 0..4 {
+                        _mm256_storeu_ps(acc[t].as_mut_ptr(), lo[t]);
+                        _mm256_storeu_ps(acc[t].as_mut_ptr().add(8), hi[t]);
+                    }
+                }
+            }
+
+            /// Whole-chunk lane updates for one resumed dot product.
+            pub(in super::super) fn $res1(x: &[f32], w: &[f32], acc: &mut [f32; LANES]) {
+                let n = x.len();
+                assert_eq!(n % LANES, 0);
+                assert!(w.len() >= n);
+                // SAFETY: as above.
+                return unsafe { inner(x, w, acc) };
+
+                #[target_feature(enable = $feat)]
+                unsafe fn inner(x: &[f32], w: &[f32], acc: &mut [f32; LANES]) {
+                    let mut lo = _mm256_loadu_ps(acc.as_ptr());
+                    let mut hi = _mm256_loadu_ps(acc.as_ptr().add(8));
+                    let n = x.len();
+                    let (xp, wp) = (x.as_ptr(), w.as_ptr());
+                    let mut c = 0;
+                    while c < n {
+                        lo = $vmadd(lo, _mm256_loadu_ps(xp.add(c)), _mm256_loadu_ps(wp.add(c)));
+                        hi = $vmadd(
+                            hi,
+                            _mm256_loadu_ps(xp.add(c + 8)),
+                            _mm256_loadu_ps(wp.add(c + 8)),
+                        );
+                        c += LANES;
+                    }
+                    _mm256_storeu_ps(acc.as_mut_ptr(), lo);
+                    _mm256_storeu_ps(acc.as_mut_ptr().add(8), hi);
+                }
+            }
+        };
+    }
+
+    resume_kernels!(resume_chunks4_avx2, resume_chunks1_avx2, "avx2", vmadd_mul);
+    resume_kernels!(resume_chunks4_fma, resume_chunks1_fma, "avx2,fma", vmadd_fma);
+}
+
+/// Stubs for non-x86_64 targets: `resolve_mode` never selects a vector
+/// mode there (detection reports no features), so these are unreachable.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+mod x86 {
+    use super::super::core::LANES;
+
+    macro_rules! unreachable_stub {
+        ($($name:ident($($arg:ident: $ty:ty),*) -> $ret:ty;)*) => {
+            $(
+                pub(in super::super) fn $name($(_: $ty),*) -> $ret {
+                    unreachable!("AVX2 mode resolved on a non-x86_64 host")
+                }
+            )*
+        };
+    }
+
+    unreachable_stub! {
+        dot4_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4];
+        dot4_fma(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4];
+        dot1_avx2(a: &[f32], b: &[f32]) -> f32;
+        dot1_fma(a: &[f32], b: &[f32]) -> f32;
+        dot4_panel_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32],
+            lanes: &mut [f32]) -> ();
+        dot4_panel_fma(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32],
+            lanes: &mut [f32]) -> ();
+        dot1_panel_avx2(a: &[f32], b: &[f32], lanes: &mut [f32]) -> ();
+        dot1_panel_fma(a: &[f32], b: &[f32], lanes: &mut [f32]) -> ();
+        axpy4_avx2(a: &[f32], k: usize, i: usize, kc: usize, kcl: usize, pack: &[f32],
+            ncl: usize, s0: &mut [f32], s1: &mut [f32], s2: &mut [f32], s3: &mut [f32]) -> ();
+        axpy4_fma(a: &[f32], k: usize, i: usize, kc: usize, kcl: usize, pack: &[f32],
+            ncl: usize, s0: &mut [f32], s1: &mut [f32], s2: &mut [f32], s3: &mut [f32]) -> ();
+        tmm4_avx2(a: &[f32], kdim: usize, m: usize, i: usize, b: &[f32], n: usize,
+            jc: usize, ncl: usize, s0: &mut [f32], s1: &mut [f32], s2: &mut [f32],
+            s3: &mut [f32]) -> ();
+        tmm4_fma(a: &[f32], kdim: usize, m: usize, i: usize, b: &[f32], n: usize,
+            jc: usize, ncl: usize, s0: &mut [f32], s1: &mut [f32], s2: &mut [f32],
+            s3: &mut [f32]) -> ();
+        resume_chunks4_avx2(x: &[f32], w0: &[f32], w1: &[f32], w2: &[f32], w3: &[f32],
+            acc: &mut [[f32; LANES]; 4]) -> ();
+        resume_chunks4_fma(x: &[f32], w0: &[f32], w1: &[f32], w2: &[f32], w3: &[f32],
+            acc: &mut [[f32; LANES]; 4]) -> ();
+        resume_chunks1_avx2(x: &[f32], w: &[f32], acc: &mut [f32; LANES]) -> ();
+        resume_chunks1_fma(x: &[f32], w: &[f32], acc: &mut [f32; LANES]) -> ();
+    }
+}

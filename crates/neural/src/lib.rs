@@ -25,7 +25,10 @@
 //! Everything is `f32` (the DL convention; also halves the memory of the
 //! paper-scale 16,599-input network) and deterministic given a seeded RNG.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the runtime-dispatched AVX2/FMA kernels in
+// `gemm::simd` are the one sanctioned `unsafe` island (intrinsics behind
+// `is_x86_feature_detected!`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
@@ -43,7 +46,10 @@ pub mod scratch;
 
 pub use activation::Activation;
 pub use clip::{clip_by_global_norm, global_norm};
-pub use gemm::{default_kernel, parallel_enabled, set_default_kernel, set_parallel, MatmulKernel};
+pub use gemm::{
+    cpu_features, default_kernel, parallel_enabled, resolved_kernel_description,
+    set_default_kernel, set_parallel, set_simd_fma, simd_fma_enabled, CpuFeatures, MatmulKernel,
+};
 pub use init::WeightInit;
 pub use layer::Dense;
 pub use loss::Loss;

@@ -118,6 +118,11 @@ impl Matrix {
                 cols: n,
                 data: gemm::matmul_blocked(&self.data, &other.data, m, k, n),
             },
+            MatmulKernel::Simd => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::matmul_simd(&self.data, &other.data, m, k, n),
+            },
         }
     }
 
@@ -180,6 +185,9 @@ impl Matrix {
             MatmulKernel::Blocked => {
                 gemm::matmul_blocked_into(&self.data, &other.data, m, k, n, &mut out.data);
             }
+            MatmulKernel::Simd => {
+                gemm::matmul_simd_into(&self.data, &other.data, m, k, n, &mut out.data);
+            }
         }
     }
 
@@ -201,6 +209,11 @@ impl Matrix {
                 rows: m,
                 cols: n,
                 data: gemm::matmul_tb_blocked(&self.data, &other.data, m, k, n),
+            },
+            MatmulKernel::Simd => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::matmul_tb_simd(&self.data, &other.data, m, k, n),
             },
         }
     }
@@ -263,6 +276,11 @@ impl Matrix {
                 out.cols = n;
                 gemm::matmul_tb_blocked_into(&self.data, &other.data, m, k, n, &mut out.data);
             }
+            MatmulKernel::Simd => {
+                out.rows = m;
+                out.cols = n;
+                gemm::matmul_tb_simd_into(&self.data, &other.data, m, k, n, &mut out.data);
+            }
         }
     }
 
@@ -284,24 +302,29 @@ impl Matrix {
                 cols: n,
                 data: gemm::transpose_matmul_blocked(&self.data, &other.data, k, m, n),
             },
+            MatmulKernel::Simd => Matrix {
+                rows: m,
+                cols: n,
+                data: gemm::transpose_matmul_simd(&self.data, &other.data, k, m, n),
+            },
         }
     }
 
-    /// The scalar reference `Aᵀ·B` with the same ReLU zero-skip as
-    /// [`Matrix::matmul_naive`] (and the same dense-input caveat).
+    /// The scalar reference `Aᵀ·B`: strict in-order accumulation over `k`,
+    /// branchless.
     ///
-    /// Caveat: in backprop this shape computes `dW = dZᵀ·X`, where A = dZ
-    /// is a *gradient* matrix. Gradients are only sparse behind a ReLU (or
-    /// for the masked TD loss); behind sigmoid/tanh/linear layers dZ is
-    /// dense and the `a == 0.0` branch is pure overhead — every element is
-    /// tested, none is skipped. The skip is still *correct* on dense
-    /// inputs (skipping a zero contribution never changes the in-order
-    /// accumulation: `acc + 0.0 * b == acc` exactly in IEEE-754 for the
-    /// finite values produced here), it is just slower; the branchless
-    /// blocked kernel is the production path. The
-    /// `naive_and_blocked_agree_bitwise_on_relu_sparse_gradients` test in
-    /// `tests/gemm_parity.rs` pins the Naive/Blocked agreement on exactly
-    /// this ReLU-sparse `dW` shape at the paper architecture.
+    /// Unlike [`Matrix::matmul_naive`], this shape carries **no**
+    /// `a == 0.0` skip. In backprop it computes `dW = dZᵀ·X`, where A = dZ
+    /// is a gradient matrix — only sparse behind ReLU (or the masked TD
+    /// loss); behind sigmoid/tanh/linear layers dZ is dense and the branch
+    /// was pure overhead. The skip was bit-transparent anyway
+    /// (`acc + 0.0 * b == acc` exactly in IEEE-754 for the finite values
+    /// produced here), so removing it changes no result; it simply makes
+    /// every kernel's zero semantics identical on this shape. The
+    /// `all_kernels_agree_bitwise_on_dense_gradients` and
+    /// `naive_and_blocked_agree_bitwise_on_relu_sparse_gradients` tests in
+    /// `tests/gemm_parity.rs` pin the cross-kernel agreement on both the
+    /// dense and the ReLU-sparse `dW` shape.
     fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
         let (m, n) = (self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
@@ -318,9 +341,6 @@ impl Matrix {
             let a_row = self.row(p);
             let b_row = other.row(p);
             for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = out.row_mut(i);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -364,6 +384,9 @@ impl Matrix {
                     n,
                     &mut out.data,
                 );
+            }
+            MatmulKernel::Simd => {
+                gemm::transpose_matmul_simd_into(&self.data, &other.data, k, m, n, &mut out.data);
             }
         }
     }

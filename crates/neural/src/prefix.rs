@@ -28,6 +28,13 @@
 //!   prefix elements past `main`. The resume folds the dynamic elements
 //!   into the same lanes (`c % LANES`, increasing `c`), continues the tail,
 //!   and reduces in the identical fixed order.
+//! * [`MatmulKernel::Simd`] shares the Blocked kernel's state layout —
+//!   its non-contracted vector path is bitwise identical to Blocked by
+//!   construction — and the resume replays the suffix through the AVX2
+//!   resume kernels in `gemm::simd` (scalar on fallback hosts, which *is*
+//!   the Blocked resume). With the opt-in FMA contraction the same layout
+//!   is built and resumed through fused multiply-adds, and the FMA flag
+//!   joins the cache validation key: toggling it rebuilds.
 //!
 //! Only the *prefix* is cacheable: the constant bond-table suffix comes
 //! **after** the dynamic block in accumulation order, so caching it would
@@ -119,6 +126,11 @@ pub struct PrefixCache {
     token: Option<WeightsToken>,
     /// Kernel whose accumulation order the partials follow.
     kernel: MatmulKernel,
+    /// Whether the partials were accumulated with contracted (FMA)
+    /// multiply-adds — part of the validation key: toggling
+    /// [`gemm::set_simd_fma`] changes every accumulation's rounding, so a
+    /// cache built under the other setting must rebuild.
+    fma: bool,
     /// The cached prefix values (bitwise-compared on every use).
     prefix: Vec<f32>,
     /// Layer-0 input width the cache was built for.
@@ -177,15 +189,17 @@ impl PrefixCache {
     /// rebuilding them if any of the four changed. Warm calls cost a token
     /// compare plus one bitwise sweep of the prefix.
     fn ensure(&mut self, layer: &Dense, prefix: &[f32], kernel: MatmulKernel, token: WeightsToken) {
+        let fma = kernel == MatmulKernel::Simd && gemm::simd_fma_enabled();
         if self.token == Some(token)
             && self.kernel == kernel
+            && self.fma == fma
             && self.k == layer.in_features()
             && self.n_out == layer.out_features()
             && bits_eq(&self.prefix, prefix)
         {
             return;
         }
-        self.rebuild(layer, prefix, kernel, token);
+        self.rebuild(layer, prefix, kernel, fma, token);
     }
 
     /// Recomputes every per-neuron partial over the prefix, in the exact
@@ -195,6 +209,7 @@ impl PrefixCache {
         layer: &Dense,
         prefix: &[f32],
         kernel: MatmulKernel,
+        fma: bool,
         token: WeightsToken,
     ) {
         let k = layer.in_features();
@@ -206,6 +221,7 @@ impl PrefixCache {
         self.k = k;
         self.n_out = n_out;
         self.kernel = kernel;
+        self.fma = fma;
         self.partials.clear();
         self.partials.resize(n_out, 0.0);
         match kernel {
@@ -220,7 +236,12 @@ impl PrefixCache {
                     *partial = acc;
                 }
             }
-            MatmulKernel::Blocked => {
+            // The Simd kernel's non-contracted path shares the Blocked
+            // kernel's exact state layout and accumulation order (that is
+            // the bitwise contract); with FMA on, the same layout is
+            // accumulated through `mul_add` — bit-identical to the
+            // hardware `vfmadd` lane updates of the full forward.
+            MatmulKernel::Blocked | MatmulKernel::Simd => {
                 let main = k - k % LANES;
                 self.lanes.clear();
                 self.lanes.resize(n_out * LANES, 0.0);
@@ -231,12 +252,21 @@ impl PrefixCache {
                     // element c lands in lane c % LANES, in increasing c
                     // order — exactly the order `dot1`/`dot4` visit them.
                     for c in 0..p.min(main) {
-                        lanes[c % LANES] += prefix[c] * w[c];
+                        let l = &mut lanes[c % LANES];
+                        *l = if fma {
+                            prefix[c].mul_add(w[c], *l)
+                        } else {
+                            *l + prefix[c] * w[c]
+                        };
                     }
                     // Prefix elements past `main` belong to the scalar tail.
                     let mut tail = 0.0f32;
                     for c in main..p.max(main) {
-                        tail += prefix[c] * w[c];
+                        tail = if fma {
+                            prefix[c].mul_add(w[c], tail)
+                        } else {
+                            tail + prefix[c] * w[c]
+                        };
                     }
                     self.partials[j] = tail;
                 }
@@ -343,52 +373,70 @@ impl PrefixCache {
                     *o = acc;
                 }
             }
-            MatmulKernel::Blocked => {
-                // Mirror `matmul_tb_block`'s neuron loop: groups of four
-                // share the dynamic-input stream (one load, four FMAs),
-                // with a single-neuron remainder. Per-neuron arithmetic is
-                // identical in both shapes.
-                let weights = &layer.weights;
-                let mut j = 0;
-                while j + 4 <= self.n_out {
-                    let d = resume4(
-                        dynamic,
-                        p,
-                        k,
-                        [
-                            weights.row(j),
-                            weights.row(j + 1),
-                            weights.row(j + 2),
-                            weights.row(j + 3),
-                        ],
-                        [
-                            &self.lanes[j * LANES..(j + 1) * LANES],
-                            &self.lanes[(j + 1) * LANES..(j + 2) * LANES],
-                            &self.lanes[(j + 2) * LANES..(j + 3) * LANES],
-                            &self.lanes[(j + 3) * LANES..(j + 4) * LANES],
-                        ],
-                        [
-                            self.partials[j],
-                            self.partials[j + 1],
-                            self.partials[j + 2],
-                            self.partials[j + 3],
-                        ],
-                    );
-                    out_row[j..j + 4].copy_from_slice(&d);
-                    j += 4;
-                }
-                while j < self.n_out {
-                    out_row[j] = resume1(
-                        dynamic,
-                        p,
-                        k,
-                        weights.row(j),
-                        &self.lanes[j * LANES..(j + 1) * LANES],
-                        self.partials[j],
-                    );
-                    j += 1;
-                }
+            MatmulKernel::Blocked => self.resume_lane_state(layer, dynamic, out_row, None),
+            MatmulKernel::Simd => {
+                // Replay the suffix in the vector kernel's order. On hosts
+                // where the Simd kernel fell back to the Blocked core the
+                // scalar resume is the bitwise-equal implementation.
+                let mode = gemm::simd::resolve_mode(self.fma);
+                let mode = (mode != gemm::simd::Mode::Fallback).then_some(mode);
+                self.resume_lane_state(layer, dynamic, out_row, mode);
             }
+        }
+    }
+
+    /// The lane-state resume shared by the Blocked kernel (`mode == None`,
+    /// scalar) and the Simd kernel (vectorized; bitwise equal to the
+    /// scalar resume when not contracted). Mirrors `matmul_tb_block`'s
+    /// neuron loop: groups of four share the dynamic-input stream (one
+    /// load, four FMAs), with a single-neuron remainder. Per-neuron
+    /// arithmetic is identical in both shapes.
+    fn resume_lane_state(
+        &self,
+        layer: &Dense,
+        dynamic: &[f32],
+        out_row: &mut [f32],
+        mode: Option<gemm::simd::Mode>,
+    ) {
+        let p = self.prefix.len();
+        let k = self.k;
+        let weights = &layer.weights;
+        let mut j = 0;
+        while j + 4 <= self.n_out {
+            let w = [
+                weights.row(j),
+                weights.row(j + 1),
+                weights.row(j + 2),
+                weights.row(j + 3),
+            ];
+            let lanes = [
+                &self.lanes[j * LANES..(j + 1) * LANES],
+                &self.lanes[(j + 1) * LANES..(j + 2) * LANES],
+                &self.lanes[(j + 2) * LANES..(j + 3) * LANES],
+                &self.lanes[(j + 3) * LANES..(j + 4) * LANES],
+            ];
+            let tails = [
+                self.partials[j],
+                self.partials[j + 1],
+                self.partials[j + 2],
+                self.partials[j + 3],
+            ];
+            let d = match mode {
+                None => resume4(dynamic, p, k, w, lanes, tails),
+                Some(m) => gemm::simd::resume4_simd(dynamic, p, k, w, lanes, tails, m),
+            };
+            out_row[j..j + 4].copy_from_slice(&d);
+            j += 4;
+        }
+        while j < self.n_out {
+            let w = weights.row(j);
+            let lanes = &self.lanes[j * LANES..(j + 1) * LANES];
+            let tail = self.partials[j];
+            out_row[j] = match mode {
+                None => resume1(dynamic, p, k, w, lanes, tail),
+                Some(m) => gemm::simd::resume1_simd(dynamic, p, k, w, lanes, tail, m),
+            };
+            j += 1;
         }
     }
 }
@@ -548,7 +596,11 @@ mod tests {
     fn factored_layer0_matches_reference_both_kernels() {
         // Ragged widths around the LANES boundary: aligned, straddling,
         // prefix past `main`, empty prefix region of the chunk, etc.
-        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+        for kernel in [
+            MatmulKernel::Naive,
+            MatmulKernel::Blocked,
+            MatmulKernel::Simd,
+        ] {
             for (k, p) in [
                 (48, 16),
                 (48, 17),

@@ -2,9 +2,11 @@
 //! factored entry point ([`Mlp::predict_factored_into`],
 //! [`Mlp::forward_factored_into`], [`Mlp::forward_cached_factored`]) must be
 //! **bitwise** identical to its unfactored reference on arbitrary ragged
-//! architectures, activations, batch sizes and prefix lengths — under both
-//! GEMM kernels, through cache rebuilds (weight updates, target-style
-//! weight copies) and through the heterogeneous-batch fallback.
+//! architectures, activations, batch sizes and prefix lengths — under all
+//! three GEMM kernels (the Simd backend shares the Blocked lane layout, so
+//! its cached prefix state resumes bitwise-identically), through cache
+//! rebuilds (weight updates, target-style weight copies) and through the
+//! heterogeneous-batch fallback.
 //!
 //! The tests flip the process-wide default kernel, so every test body runs
 //! under `KERNEL_LOCK` to serialize against its siblings in this binary.
@@ -85,7 +87,7 @@ proptest! {
         let mlp = Mlp::new(&spec, &mut rng);
         let x = fill_shared_prefix(batch, input, prefix_len, seed, 3);
 
-        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+        for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked, MatmulKernel::Simd] {
             set_default_kernel(kernel);
             let mut cache = PrefixCache::new();
 
@@ -203,7 +205,7 @@ proptest! {
 #[test]
 fn training_through_factored_act_path_is_bitwise_identical() {
     let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked] {
+    for kernel in [MatmulKernel::Naive, MatmulKernel::Blocked, MatmulKernel::Simd] {
         set_default_kernel(kernel);
         let spec = MlpSpec::q_network(48, &[32, 32], 4);
         let prefix_len = 29; // ragged on purpose: not a multiple of the lane width

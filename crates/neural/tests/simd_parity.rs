@@ -1,0 +1,254 @@
+//! The SIMD backend's determinism contract, pinned as tests.
+//!
+//! * **Non-FMA mode (default)**: `MatmulKernel::Simd` must be **bitwise
+//!   identical** to `Blocked` on every shape, including the full
+//!   paper-scale forward and backward shapes. This is what makes
+//!   `NEURAL_GEMM_KERNEL=simd` a pure speed knob: training curves,
+//!   checkpoints and reports reproduce a Blocked run bit for bit.
+//! * **FMA mode (opt-in via `NEURAL_SIMD_FMA` / `set_simd_fma`)**:
+//!   contracted multiply-adds round once instead of twice, so results are
+//!   only ULP-close to Blocked — but they must be (a) run-to-run
+//!   deterministic on a given host and (b) bitwise equal to the portable
+//!   `f32::mul_add` reference that mirrors the 16-lane accumulator split,
+//!   which is exactly what the SSE2-only scalar fallback computes.
+//!
+//! The FMA toggle and the default-kernel selector are process-global, so
+//! every test here serialises on one mutex and restores both globals before
+//! releasing it; the suite stays safe under the default parallel test
+//! runner.
+
+use neural::{
+    set_default_kernel, set_simd_fma, Activation, Loss, Matrix, MatmulKernel, Mlp, MlpSpec,
+    OptimizerSpec, WeightInit,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+
+/// Serialises access to the process-global FMA flag and default kernel.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the FMA flag set to `fma`, then restores the defaults
+/// (FMA off, Blocked) before releasing the lock.
+fn with_globals(fma: bool, f: impl FnOnce()) {
+    let _guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_simd_fma(fma);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    set_simd_fma(false);
+    set_default_kernel(MatmulKernel::Blocked);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn fill(rows: usize, cols: usize, seed: u64, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(c as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(seed ^ salt);
+        ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    })
+}
+
+/// All three BLAS-3 shapes, Simd vs Blocked, asserted bitwise.
+fn assert_simd_bitwise(m: usize, k: usize, n: usize, seed: u64) {
+    let a = fill(m, k, seed, 1);
+    let b = fill(k, n, seed, 2);
+    let bt = fill(n, k, seed, 3);
+    let at = fill(k, m, seed, 4);
+    assert_eq!(
+        a.matmul_with(&b, MatmulKernel::Blocked),
+        a.matmul_with(&b, MatmulKernel::Simd),
+        "matmul {m}x{k}·{k}x{n}"
+    );
+    assert_eq!(
+        a.matmul_transpose_b_with(&bt, MatmulKernel::Blocked),
+        a.matmul_transpose_b_with(&bt, MatmulKernel::Simd),
+        "matmul_transpose_b {m}x{k}·({n}x{k})ᵀ"
+    );
+    assert_eq!(
+        at.transpose_matmul_with(&b, MatmulKernel::Blocked),
+        at.transpose_matmul_with(&b, MatmulKernel::Simd),
+        "transpose_matmul ({k}x{m})ᵀ·{k}x{n}"
+    );
+}
+
+#[test]
+fn simd_is_bitwise_identical_to_blocked_on_paper_shapes() {
+    with_globals(false, || {
+        // The forward shape (batch 32 × state 16,599 against the 135-unit
+        // first layer), the Q-target shape (batch × 135 hidden), and the
+        // single-state predict shape.
+        assert_simd_bitwise(32, 16_599, 135, 7);
+        assert_simd_bitwise(32, 135, 135, 8);
+        assert_simd_bitwise(1, 16_599, 135, 9);
+        assert_simd_bitwise(12, 135, 12, 10);
+    });
+}
+
+#[test]
+fn simd_is_bitwise_identical_to_blocked_on_ragged_shapes() {
+    with_globals(false, || {
+        // Around the 16-lane width, the 4-row dot groups, the 8-row panel
+        // tiles and the 1024-float k-panel boundary.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 15, 5),
+            (5, 16, 4),
+            (7, 17, 9),
+            (9, 31, 3),
+            (8, 1023, 7),
+            (9, 1024, 6),
+            (17, 1025, 5),
+            (2, 2048, 3),
+            (33, 1100, 13),
+            (0, 4, 4),
+            (4, 0, 4),
+        ] {
+            assert_simd_bitwise(m, k, n, 0xC0FFEE ^ (m * 31 + k * 7 + n) as u64);
+        }
+    });
+}
+
+#[test]
+fn fma_mode_is_run_to_run_deterministic_and_ulp_bounded() {
+    with_globals(true, || {
+        let a = fill(16, 2000, 42, 1);
+        let bt = fill(40, 2000, 42, 2);
+        let b = fill(16, 24, 42, 3); // Aᵀ·B needs B's rows to match A's
+        // Run to run: contracted results must reproduce bitwise within a
+        // host (dispatch is deterministic; no runtime autotuning).
+        let f1 = a.matmul_transpose_b_with(&bt, MatmulKernel::Simd);
+        let f2 = a.matmul_transpose_b_with(&bt, MatmulKernel::Simd);
+        assert_eq!(f1, f2, "FMA A·Bᵀ must be run-to-run deterministic");
+        let g1 = a.transpose_matmul_with(&b, MatmulKernel::Simd);
+        let g2 = a.transpose_matmul_with(&b, MatmulKernel::Simd);
+        assert_eq!(g1, g2, "FMA Aᵀ·B must be run-to-run deterministic");
+
+        // ULP-bounded against Blocked: contraction removes one rounding per
+        // multiply-add, so on these well-conditioned inputs (|x| ≤ 1, k =
+        // 2000) the results stay within a tight relative band of the
+        // twice-rounded reference.
+        // The error scales with the accumulated magnitude (Σ|aᵢ·bᵢ| ≈ k/4
+        // here), not with the possibly-cancelled output, so the bound has
+        // an absolute floor of 1 like the Naive/Blocked parity suite.
+        let reference = a.matmul_transpose_b_with(&bt, MatmulKernel::Blocked);
+        for (&x, &y) in f1.data().iter().zip(reference.data()) {
+            let denom = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() / denom < 1e-5,
+                "FMA drifted beyond the contract: {x} vs blocked {y}"
+            );
+        }
+    });
+}
+
+/// The portable contracted dot product the SSE2-only fallback computes:
+/// 16 `f32::mul_add` accumulator lanes filled in `p % 16` order, reduced in
+/// lane order, contracted tail last. `_mm256_fmadd_ps` and `f32::mul_add`
+/// are both correctly-rounded IEEE fused multiply-adds, so the AVX2+FMA
+/// kernel must reproduce this bit for bit — one contract across ISAs.
+fn dot_fma_reference(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = 16;
+    let main = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..main].chunks_exact(LANES).zip(b[..main].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] = ca[l].mul_add(cb[l], acc[l]);
+        }
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    let mut tail = 0.0f32;
+    for p in main..a.len() {
+        tail = a[p].mul_add(b[p], tail);
+    }
+    s + tail
+}
+
+#[test]
+fn fma_matches_the_portable_mul_add_reference_bitwise() {
+    with_globals(true, || {
+        // k = 259 exercises the direct dot path, k = 1300 the k-panelled
+        // path (both must produce the same per-element op sequence).
+        for &(m, k, n) in &[(5, 259, 9), (3, 1300, 6)] {
+            let a = fill(m, k, 99, 1);
+            let bt = fill(n, k, 99, 2);
+            let simd = a.matmul_transpose_b_with(&bt, MatmulKernel::Simd);
+            for i in 0..m {
+                for j in 0..n {
+                    let want = dot_fma_reference(a.row(i), bt.row(j));
+                    let got = simd.data()[i * n + j];
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "({i},{j}) at {m}x{k}·({n}x{k})ᵀ: {got} vs reference {want}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whole-network parity across every activation: an `Mlp` running on
+    /// the process-default Simd kernel (non-FMA) must predict and train
+    /// bitwise identically to the same network on Blocked.
+    #[test]
+    fn mlp_on_simd_matches_blocked_bitwise(
+        input in 1usize..40,
+        hidden in proptest::collection::vec(1usize..48, 1..3),
+        output in 1usize..10,
+        batch in 1usize..9,
+        hidden_act_idx in 0usize..5,
+        output_act_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        const ACTIVATIONS: [Activation; 5] = [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
+        let spec = MlpSpec {
+            input,
+            hidden: hidden.clone(),
+            output,
+            hidden_activation: ACTIVATIONS[hidden_act_idx],
+            output_activation: ACTIVATIONS[output_act_idx],
+            init: WeightInit::HeUniform,
+        };
+        let inputs = fill(batch, input, seed, 5);
+        let targets = fill(batch, output, seed, 6);
+        let probe: Vec<f32> = fill(1, input, seed, 7).data().to_vec();
+
+        // (losses per step, probe prediction) under one kernel.
+        let run = |kernel: MatmulKernel| {
+            set_default_kernel(kernel);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut net = Mlp::new(&spec, &mut rng);
+            let mut opt = net.optimizer(OptimizerSpec::paper_rmsprop());
+            let losses: Vec<u32> = (0..3)
+                .map(|_| net.train_step(&inputs, &targets, Loss::Mse, &mut opt).to_bits())
+                .collect();
+            (losses, net.predict(&probe))
+        };
+
+        with_globals(false, || {
+            let (loss_b, pred_b) = run(MatmulKernel::Blocked);
+            let (loss_s, pred_s) = run(MatmulKernel::Simd);
+            assert_eq!(loss_b, loss_s, "training losses diverged");
+            let pb: Vec<u32> = pred_b.iter().map(|v| v.to_bits()).collect();
+            let ps: Vec<u32> = pred_s.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, ps, "predictions diverged: {pred_b:?} vs {pred_s:?}");
+        });
+    }
+}

@@ -110,4 +110,35 @@ fn steady_state_train_step_reusing_allocates_nothing_at_paper_shape() {
         steady_losses[4] < warm_losses[0],
         "loss must keep descending: warm {warm_losses:?}, steady {steady_losses:?}"
     );
+
+    // Phase 2: the Simd kernel must hold the same guarantee. Its only
+    // extra state — the thread-local lane-spill buffer behind the k-panel
+    // schedule — is grown once by the warm-up, after which steady-state
+    // steps are as heap-silent as the Blocked kernel's.
+    neural::set_default_kernel(neural::MatmulKernel::Simd);
+    for _ in 0..3 {
+        mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+    }
+    let before = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    TRACKING.store(true, Ordering::SeqCst);
+    let mut simd_losses = [0.0f32; 5];
+    for loss in &mut simd_losses {
+        *loss = mlp.train_step_reusing(&x, &y, Loss::Mse, &mut opt, &mut scratch);
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+    let after = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    neural::set_default_kernel(neural::MatmulKernel::default());
+    assert_eq!(
+        before, after,
+        "steady-state train_step_reusing on the Simd kernel must not touch the heap"
+    );
+    assert!(simd_losses.iter().all(|l| l.is_finite()));
 }

@@ -118,4 +118,39 @@ fn steady_state_factored_predict_allocates_nothing_at_paper_shape() {
         "factored and plain act paths diverged"
     );
     assert!(qs.iter().all(|v| v.is_finite()));
+
+    // Phase 2: the same guarantee on the Simd kernel. The cache carries
+    // per-kernel identity in its validation key, so switching kernels
+    // rebuilds once during warm-up and then stays warm and heap-silent.
+    neural::set_default_kernel(neural::MatmulKernel::Simd);
+    for _ in 0..3 {
+        mlp.predict_factored_into(prefix, dynamic, &mut cache, &mut qs);
+        mlp.predict_into(&state, &mut qs_ref);
+    }
+    let before = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    TRACKING.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        mlp.predict_factored_into(prefix, dynamic, &mut cache, &mut qs);
+    }
+    mlp.predict_into(&state, &mut qs_ref);
+    TRACKING.store(false, Ordering::SeqCst);
+    let after = (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    );
+    neural::set_default_kernel(neural::MatmulKernel::default());
+    assert_eq!(
+        before, after,
+        "steady-state factored predict on the Simd kernel must not touch the heap"
+    );
+    assert_eq!(
+        qs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        qs_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "factored and plain act paths diverged under Simd"
+    );
 }
