@@ -1,0 +1,57 @@
+//! **Fleet-throughput bench** — transitions per second for the single-loop
+//! trainer vs the actor–learner fleet ([`trainer::run_fleet`]) at 1, 2,
+//! and 4 actors on the laptop-scale docking environment.
+//!
+//! The fleet's throughput lever on a small machine is the Ape-X learning
+//! ratio, not parallel CPU time: `FleetOptions::throughput(n)` takes one
+//! gradient step per `n` merged transitions (and broadcasts snapshots
+//! every 32 sweeps instead of every sweep), so at 4 actors the learner
+//! spends a quarter of the single-loop's optimisation work per unit of
+//! experience while the actors keep the environments busy. The acceptance
+//! number (≥2× transitions/sec at 4 actors over the single loop) is
+//! recorded in `BENCH_fleet.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dqn_docking::{trainer, Config};
+use std::hint::black_box;
+
+/// Laptop-scale config trimmed to a bench-sized run — long enough that
+/// learning is active for most of it (`learning_start` is 500 of the
+/// 2,400 transitions). The transition count per run is deterministic for
+/// a fixed schedule, so per-iteration time maps directly to
+/// transitions/sec.
+fn bench_config() -> Config {
+    let mut c = Config::scaled();
+    c.episodes = 16;
+    c.max_steps = 150;
+    c
+}
+
+fn transitions(config: &Config, opts: &trainer::FleetOptions) -> u64 {
+    trainer::run_fleet(config, opts, |_| {}).fleet.transitions
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+
+    let single = trainer::run(&config, |_| {});
+    let single_transitions: u64 = single.episodes.iter().map(|e| e.steps as u64).sum();
+    group.throughput(Throughput::Elements(single_transitions));
+    group.bench_function("single_loop", |b| {
+        b.iter(|| black_box(trainer::run(&config, |_| {})))
+    });
+
+    for actors in [1usize, 2, 4] {
+        let opts = trainer::FleetOptions::throughput(actors);
+        group.throughput(Throughput::Elements(transitions(&config, &opts)));
+        group.bench_with_input(BenchmarkId::new("fleet", actors), &actors, |b, _| {
+            b.iter(|| black_box(trainer::run_fleet(&config, &opts, |_| {})))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

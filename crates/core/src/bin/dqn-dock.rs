@@ -3,6 +3,7 @@
 //! ```text
 //! dqn-dock info                         # show the configuration & complex
 //! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
+//!                 [--actors N] [--sync-every N] [--learn-every N]
 //!                 [--scoring-kernel sequential|parallel|grid|simd|auto]
 //!                 [--policy FILE] [--csv FILE] [--report FILE]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -16,25 +17,175 @@
 //! ```
 //!
 //! Everything runs on the laptop-scale synthetic complex unless `--paper`
-//! selects the 2BSM-sized preset.
+//! selects the 2BSM-sized preset. Flags are validated strictly against the
+//! active command's table: a misspelled flag, a flag missing its value, or
+//! an unparseable value is a usage error (exit code 2), never a silent
+//! fallback to a default.
 
 use dqn_docking::config::TransportMode;
 use dqn_docking::{policy, trainer, CheckpointOptions, Config, DockingEnv, Policy};
 use metadock::{blind_dock, DockingEngine, Metaheuristic};
 use molkit::LibrarySpec;
-use rl::Environment;
+use rl::{DqnAgent, Environment, EpisodeStats, MlpQ};
 use std::process::ExitCode;
 
-/// Minimal flag parser: `--name value` pairs plus bare switches.
+/// Config-building flags shared by every command that calls [`base_config`].
+const CONFIG_SWITCHES: &[&str] = &["--paper", "--flexible"];
+const CONFIG_VALUED: &[&str] = &[
+    "--seed",
+    "--transport",
+    "--scoring-kernel",
+    "--transport-retries",
+    "--transport-timeout-ms",
+    "--fault-rate",
+    "--fault-seed",
+];
+
+/// Per-command flag table plus the usage line printed on any flag error.
+struct CommandSpec {
+    switches: &'static [&'static str],
+    valued: &'static [&'static str],
+    usage: &'static str,
+}
+
+fn command_spec(command: &str) -> Option<CommandSpec> {
+    match command {
+        "info" => Some(CommandSpec {
+            switches: CONFIG_SWITCHES,
+            valued: CONFIG_VALUED,
+            usage: "usage: dqn-dock info [--paper] [--flexible] [--seed S] \
+                    [--scoring-kernel K] [--transport direct|ram|file]",
+        }),
+        "train" => Some(CommandSpec {
+            switches: &["--paper", "--flexible", "--resume"],
+            valued: &[
+                "--seed",
+                "--transport",
+                "--scoring-kernel",
+                "--transport-retries",
+                "--transport-timeout-ms",
+                "--fault-rate",
+                "--fault-seed",
+                "--episodes",
+                "--actors",
+                "--sync-every",
+                "--learn-every",
+                "--policy",
+                "--csv",
+                "--report",
+                "--checkpoint-dir",
+                "--checkpoint-every",
+                "--keep-last",
+            ],
+            usage: "usage: dqn-dock train [--episodes N] [--paper] [--flexible] [--seed S] \
+                    [--actors N] [--sync-every N] [--learn-every N] [--scoring-kernel K] \
+                    [--policy FILE] [--csv FILE] [--report FILE] [--checkpoint-dir DIR] \
+                    [--checkpoint-every N] [--keep-last K] [--resume] \
+                    [--transport direct|ram|file] [--transport-retries N] \
+                    [--transport-timeout-ms MS] [--fault-rate P] [--fault-seed S]",
+        }),
+        "eval" => Some(CommandSpec {
+            switches: CONFIG_SWITCHES,
+            valued: &[
+                "--seed",
+                "--transport",
+                "--scoring-kernel",
+                "--transport-retries",
+                "--transport-timeout-ms",
+                "--fault-rate",
+                "--fault-seed",
+                "--policy",
+                "--episodes",
+                "--trace",
+            ],
+            usage: "usage: dqn-dock eval --policy FILE [--episodes N] [--trace FILE] \
+                    [--paper] [--flexible] [--seed S]",
+        }),
+        "dock" => Some(CommandSpec {
+            switches: &["--paper", "--flexible", "--refine"],
+            valued: &[
+                "--seed",
+                "--transport",
+                "--scoring-kernel",
+                "--transport-retries",
+                "--transport-timeout-ms",
+                "--fault-rate",
+                "--fault-seed",
+                "--method",
+                "--budget",
+            ],
+            usage: "usage: dqn-dock dock [--method mc|sa|ga|random] [--budget N] [--seed S] \
+                    [--flexible] [--refine] [--paper] [--scoring-kernel K]",
+        }),
+        "blind" => Some(CommandSpec {
+            switches: CONFIG_SWITCHES,
+            valued: &[
+                "--seed",
+                "--transport",
+                "--scoring-kernel",
+                "--transport-retries",
+                "--transport-timeout-ms",
+                "--fault-rate",
+                "--fault-seed",
+                "--budget",
+                "--spot-radius",
+            ],
+            usage: "usage: dqn-dock blind [--budget N] [--spot-radius R] [--seed S] \
+                    [--paper] [--scoring-kernel K]",
+        }),
+        "screen" => Some(CommandSpec {
+            switches: &["--refine"],
+            valued: &["--decoys", "--budget", "--method", "--seed"],
+            usage: "usage: dqn-dock screen [--decoys N] [--budget B] \
+                    [--method mc|sa|ga|random] [--seed S] [--refine]",
+        }),
+        _ => None,
+    }
+}
+
+/// Minimal strict flag parser: `--name value` pairs plus bare switches.
+/// Unknown flags, flags missing their value, stray positional arguments,
+/// and unparseable values are all usage errors — exit code 2 plus the
+/// command's usage line — rather than silently ignored defaults.
 struct Args {
     raw: Vec<String>,
+    usage: &'static str,
 }
 
 impl Args {
-    fn new() -> Self {
+    fn new(usage: &'static str) -> Self {
         Args {
             raw: std::env::args().skip(2).collect(),
+            usage,
         }
+    }
+
+    /// Checks every argument against the command's flag table. Returns a
+    /// human-readable complaint about the first offending argument.
+    fn validate(&self, switches: &[&str], valued: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.raw.len() {
+            let a = self.raw[i].as_str();
+            if valued.contains(&a) {
+                match self.raw.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 2,
+                    _ => return Err(format!("flag {a} is missing its value")),
+                }
+            } else if switches.contains(&a) {
+                i += 1;
+            } else if a.starts_with("--") {
+                return Err(format!("unknown flag {a}"));
+            } else {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Prints a complaint plus the usage line and exits with code 2.
+    fn die(&self, msg: &str) -> ! {
+        eprintln!("{msg}\n{}", self.usage);
+        std::process::exit(2);
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -50,9 +201,12 @@ impl Args {
     }
 
     fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.value(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        match self.value(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| self.die(&format!("invalid value {v:?} for {name}"))),
+        }
     }
 }
 
@@ -71,16 +225,14 @@ fn base_config(args: &Args) -> Config {
             "direct" => TransportMode::Direct,
             "ram" => TransportMode::Ram,
             "file" => TransportMode::File,
-            other => {
-                eprintln!("unknown transport {other:?} (direct|ram|file)");
-                std::process::exit(1);
-            }
+            other => args.die(&format!("unknown transport {other:?} (direct|ram|file)")),
         };
     }
     if let Some(name) = args.value("--scoring-kernel") {
         config.kernel = metadock::Kernel::from_name(name).unwrap_or_else(|| {
-            eprintln!("unknown scoring kernel {name:?} (sequential|parallel|grid|simd|auto)");
-            std::process::exit(1);
+            args.die(&format!(
+                "unknown scoring kernel {name:?} (sequential|parallel|grid|simd|auto)"
+            ))
         });
     }
     config.transport.retries = args.parse("--transport-retries", config.transport.retries);
@@ -106,7 +258,18 @@ fn kernel_provenance(kernel: metadock::Kernel) -> String {
 
 fn main() -> ExitCode {
     let command = std::env::args().nth(1).unwrap_or_default();
-    let args = Args::new();
+    let Some(spec) = command_spec(&command) else {
+        eprintln!(
+            "usage: dqn-dock <info|train|eval|dock|blind|screen> [flags]\n\
+             see the module docs (`cargo doc`) or README.md for flags"
+        );
+        return ExitCode::FAILURE;
+    };
+    let args = Args::new(spec.usage);
+    if let Err(msg) = args.validate(spec.switches, spec.valued) {
+        eprintln!("{msg}\n{}", spec.usage);
+        return ExitCode::from(2);
+    }
     match command.as_str() {
         "info" => cmd_info(&args),
         "train" => cmd_train(&args),
@@ -114,13 +277,7 @@ fn main() -> ExitCode {
         "dock" => cmd_dock(&args),
         "blind" => cmd_blind(&args),
         "screen" => cmd_screen(&args),
-        _ => {
-            eprintln!(
-                "usage: dqn-dock <info|train|eval|dock|blind|screen> [flags]\n\
-                 see the module docs (`cargo doc`) or README.md for flags"
-            );
-            return ExitCode::FAILURE;
-        }
+        _ => unreachable!("command_spec gated the dispatch"),
     }
     ExitCode::SUCCESS
 }
@@ -146,9 +303,101 @@ fn cmd_info(args: &Args) {
     println!("  crystal score:         {:.2}", env.engine().crystal_score());
 }
 
+/// Resolves `config.episodes` for `train`: the 60-episode cap keeps ad-hoc
+/// laptop-preset runs quick, but `--paper` must train at the paper's full
+/// scale — the cap used to clamp it too, silently. `--episodes` always
+/// wins; the resolved count and where it came from are printed.
+fn resolve_episodes(args: &Args, config: &mut Config) {
+    let default_episodes = if args.flag("--paper") {
+        config.episodes
+    } else {
+        config.episodes.min(60)
+    };
+    let capped = default_episodes < config.episodes;
+    config.episodes = args.parse("--episodes", default_episodes);
+    let source = if args.value("--episodes").is_some() {
+        "--episodes"
+    } else if args.flag("--paper") {
+        "paper preset, full scale"
+    } else if capped {
+        "laptop preset, capped at 60"
+    } else {
+        "laptop preset"
+    };
+    println!("episodes: {} ({source})", config.episodes);
+}
+
+fn print_episode(ep: &EpisodeStats, episodes: usize) {
+    if ep.episode % 10 == 0 || ep.episode + 1 == episodes {
+        println!(
+            "episode {:>4}: steps {:>4}  reward {:>7.1}  eps {:.3}",
+            ep.episode, ep.steps, ep.total_reward, ep.epsilon
+        );
+    }
+}
+
+/// Prints the common post-run summary: watchdog trips, transport faults,
+/// and the best-pose headline.
+fn print_run_summary(run: &trainer::TrainingRun) {
+    for ev in &run.watchdog_events {
+        let action = if ev.rolled_back { "rolled back" } else { "halted" };
+        eprintln!("watchdog: episode {} {action}: {}", ev.episode, ev.reason);
+    }
+    if run.halted {
+        eprintln!("run halted by the divergence watchdog");
+    }
+    if !run.fault_events.is_empty() {
+        let recovered = run.fault_events.iter().filter(|f| f.recovered).count();
+        println!(
+            "transport faults: {} total, {recovered} recovered transparently",
+            run.fault_events.len()
+        );
+    }
+    println!(
+        "done: best score {:.2} (RMSD {:.2} Å), {} env evaluations",
+        run.best_score, run.best_rmsd, run.evaluations
+    );
+}
+
+/// Writes the `--policy` / `--csv` / `--report` artefacts. Fleet runs get
+/// the fleet-augmented report.
+fn save_artifacts(
+    args: &Args,
+    config: &Config,
+    run: &trainer::TrainingRun,
+    agent: &DqnAgent<MlpQ>,
+    fleet: Option<&trainer::FleetRun>,
+) {
+    if let Some(path) = args.value("--policy") {
+        Policy::from_agent(agent).save(path).expect("save policy");
+        println!("saved policy to {path}");
+    }
+    if let Some(path) = args.value("--csv") {
+        std::fs::write(path, run.to_csv()).expect("write CSV");
+        println!("wrote training curve to {path}");
+    }
+    if let Some(path) = args.value("--report") {
+        let md = match fleet {
+            Some(f) => dqn_docking::fleet_report(config, f),
+            None => dqn_docking::training_report(config, run),
+        };
+        std::fs::write(path, md).expect("write report");
+        println!("wrote markdown report to {path}");
+    }
+}
+
 fn cmd_train(args: &Args) {
     let mut config = base_config(args);
-    config.episodes = args.parse("--episodes", config.episodes.min(60));
+    resolve_episodes(args, &mut config);
+
+    if args.value("--actors").is_some() {
+        cmd_train_fleet(args, &config);
+        return;
+    }
+    if args.value("--sync-every").is_some() || args.value("--learn-every").is_some() {
+        args.die("--sync-every/--learn-every are fleet schedule knobs; they require --actors N");
+    }
+
     let mut env = DockingEnv::from_config(&config);
     println!("{}", kernel_provenance(config.kernel));
     println!(
@@ -168,20 +417,14 @@ fn cmd_train(args: &Args) {
         .keep_last(args.parse("--keep-last", default_keep))
         .resume(args.flag("--resume"));
     if ckpt.resume && ckpt.dir.is_none() {
-        eprintln!("--resume requires --checkpoint-dir DIR");
-        std::process::exit(1);
+        args.die("--resume requires --checkpoint-dir DIR");
     }
 
     // One checkpointed run produces everything: progress lines, the curve
     // for --csv/--report, and the trained agent for --policy.
     let episodes = config.episodes;
     let outcome = trainer::run_checkpointed(&config, &mut env, &ckpt, |ep| {
-        if ep.episode % 10 == 0 || ep.episode + 1 == episodes {
-            println!(
-                "episode {:>4}: steps {:>4}  reward {:>7.1}  eps {:.3}",
-                ep.episode, ep.steps, ep.total_reward, ep.epsilon
-            );
-        }
+        print_episode(ep, episodes);
     })
     .unwrap_or_else(|e| {
         eprintln!("training failed: {e}");
@@ -189,39 +432,55 @@ fn cmd_train(args: &Args) {
     });
     let run = &outcome.run;
 
-    for ev in &run.watchdog_events {
-        let action = if ev.rolled_back { "rolled back" } else { "halted" };
-        eprintln!("watchdog: episode {} {action}: {}", ev.episode, ev.reason);
-    }
+    print_run_summary(run);
+    save_artifacts(args, &config, run, &outcome.agent, None);
     if run.halted {
-        eprintln!("run halted by the divergence watchdog");
+        std::process::exit(2);
     }
-    if !run.fault_events.is_empty() {
-        let recovered = run.fault_events.iter().filter(|f| f.recovered).count();
-        println!(
-            "transport faults: {} total, {recovered} recovered transparently",
-            run.fault_events.len()
+}
+
+/// The `--actors N` path: actor–learner fleet training. Defaults to the
+/// Ape-X throughput schedule (`learn_every = actors`), overridable with
+/// `--sync-every` / `--learn-every`. Fleet runs do not checkpoint — each
+/// actor owns a live environment, and mid-run resume would need all of
+/// them re-wound — so `--checkpoint-dir` / `--resume` are rejected.
+fn cmd_train_fleet(args: &Args, config: &Config) {
+    let actors = args.parse("--actors", 1usize);
+    if actors == 0 {
+        args.die("--actors needs at least one actor");
+    }
+    if args.value("--checkpoint-dir").is_some() || args.flag("--resume") {
+        args.die(
+            "--actors is incompatible with --checkpoint-dir/--resume: \
+             fleet runs do not checkpoint",
         );
     }
+    let mut opts = trainer::FleetOptions::throughput(actors);
+    opts.sync_every = args.parse("--sync-every", opts.sync_every);
+    opts.learn_every = args.parse("--learn-every", opts.learn_every);
+    if opts.sync_every == 0 || opts.learn_every == 0 {
+        args.die("--sync-every/--learn-every must be at least 1");
+    }
+
+    println!("{}", kernel_provenance(config.kernel));
     println!(
-        "done: best score {:.2} (RMSD {:.2} Å), {} env evaluations",
-        run.best_score, run.best_rmsd, run.evaluations
+        "training {} episodes across {actors} actor(s) \
+         (snapshot broadcast every {} sweep(s), gradient step per {} merged transition(s))...",
+        config.episodes, opts.sync_every, opts.learn_every
     );
 
-    if let Some(path) = args.value("--policy") {
-        Policy::from_agent(&outcome.agent)
-            .save(path)
-            .expect("save policy");
-        println!("saved policy to {path}");
-    }
-    if let Some(path) = args.value("--csv") {
-        std::fs::write(path, run.to_csv()).expect("write CSV");
-        println!("wrote training curve to {path}");
-    }
-    if let Some(path) = args.value("--report") {
-        std::fs::write(path, dqn_docking::training_report(&config, run)).expect("write report");
-        println!("wrote markdown report to {path}");
-    }
+    let episodes = config.episodes;
+    let fleet = trainer::run_fleet(config, &opts, |ep| print_episode(ep, episodes));
+    let run = &fleet.run;
+    print_run_summary(run);
+    let s = &fleet.fleet;
+    println!(
+        "fleet: {} transitions over {} merge sweeps; {} snapshot broadcasts, \
+         {} CRC rejects, {} messages discarded at shutdown",
+        s.transitions, s.merge_sweeps, s.snapshot_broadcasts, s.snapshot_rejects,
+        s.discarded_messages
+    );
+    save_artifacts(args, config, run, &fleet.agent, Some(&fleet));
     if run.halted {
         std::process::exit(2);
     }
@@ -230,8 +489,7 @@ fn cmd_train(args: &Args) {
 fn cmd_eval(args: &Args) {
     let config = base_config(args);
     let Some(path) = args.value("--policy") else {
-        eprintln!("eval requires --policy FILE");
-        return;
+        args.die("eval requires --policy FILE");
     };
     let mut env = DockingEnv::from_config(&config);
     let policy = Policy::load(path, &env).expect("load policy");
@@ -262,10 +520,7 @@ fn cmd_dock(args: &Args) {
         "sa" => Metaheuristic::simulated_annealing(budget, seed),
         "ga" => Metaheuristic::genetic(budget, seed),
         "random" => Metaheuristic::random_search(budget, seed),
-        other => {
-            eprintln!("unknown method {other:?} (mc|sa|ga|random)");
-            return;
-        }
+        other => args.die(&format!("unknown method {other:?} (mc|sa|ga|random)")),
     };
     if config.flexible {
         mh = mh.flexible();

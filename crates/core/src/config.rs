@@ -220,6 +220,7 @@ impl Config {
                 prioritized_alpha: None,
                 boltzmann_temperature: None,
                 seed: 0,
+                exploration_stream: None,
                 // Overwritten with the featurizer's actual constant-block
                 // widths by `trainer::build_agent`.
                 frame_layout: Default::default(),

@@ -54,5 +54,8 @@ pub use checkpoint::CheckpointOptions;
 pub use config::{Config, StateLayout, WatchdogConfig};
 pub use env::{DockingEnv, EnvFaultRecord};
 pub use policy::{evaluate, rollout, EvalReport, Policy, Trajectory};
-pub use report::training_report;
-pub use trainer::{run, run_checkpointed, CheckpointedRun, FaultEvent, TrainingRun, WatchdogEvent};
+pub use report::{fleet_report, training_report};
+pub use trainer::{
+    run, run_checkpointed, run_fleet, CheckpointedRun, FaultEvent, FleetOptions, FleetRun,
+    TrainingRun, WatchdogEvent,
+};

@@ -6,7 +6,7 @@
 //! and the interleaved greedy-evaluation checkpoints when present.
 
 use crate::config::Config;
-use crate::trainer::TrainingRun;
+use crate::trainer::{FleetRun, TrainingRun};
 use std::fmt::Write as _;
 
 /// Characters used for the curve rendering, in increasing magnitude.
@@ -165,6 +165,38 @@ pub fn training_report(config: &Config, run: &TrainingRun) -> String {
     out
 }
 
+/// Renders the markdown report for a fleet run: the standard training
+/// report plus a fleet section (topology, merge/broadcast counters, and
+/// the per-actor work split).
+pub fn fleet_report(config: &Config, fleet: &FleetRun) -> String {
+    let mut out = training_report(config, &fleet.run);
+    let s = &fleet.fleet;
+    let _ = writeln!(out, "\n## Fleet\n");
+    let _ = writeln!(
+        out,
+        "{} actors streamed {} transitions over {} merge sweeps; {} weight \
+         snapshots broadcast, {} rejected by actors (CRC) and re-read, {} \
+         in-flight messages discarded at shutdown.\n",
+        s.per_actor_transitions.len(),
+        s.transitions,
+        s.merge_sweeps,
+        s.snapshot_broadcasts,
+        s.snapshot_rejects,
+        s.discarded_messages
+    );
+    let _ = writeln!(out, "| actor | episodes | transitions |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (i, (eps, trans)) in s
+        .per_actor_episodes
+        .iter()
+        .zip(&s.per_actor_transitions)
+        .enumerate()
+    {
+        let _ = writeln!(out, "| {i} | {eps} | {trans} |");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +275,25 @@ mod tests {
         assert!(md.contains("1 of 2 faults recovered transparently"));
         assert!(md.contains("| 1 | timeout | recovered |"));
         assert!(md.contains("| 3 | server-dead | episode aborted |"));
+    }
+
+    #[test]
+    fn fleet_report_adds_the_fleet_section() {
+        let mut c = Config::tiny();
+        c.episodes = 4;
+        c.max_steps = 15;
+        let fleet = trainer::run_fleet(&c, &trainer::FleetOptions::throughput(2), |_| {});
+        let md = fleet_report(&c, &fleet);
+        for needle in [
+            "# DQN-Docking training report",
+            "## Fleet",
+            "2 actors streamed",
+            "| actor | episodes | transitions |",
+            "| 0 | ",
+            "| 1 | ",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?}:\n{md}");
+        }
     }
 
     #[test]

@@ -590,6 +590,192 @@ pub fn run_checkpointed(
     Ok(CheckpointedRun { run, agent })
 }
 
+/// Fleet topology options (the schedule knobs `dqn-dock train --actors`
+/// exposes; see [`rl::FleetConfig`] for their semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetOptions {
+    /// Number of actor workers.
+    pub actors: usize,
+    /// Weight-snapshot broadcast period in merge sweeps.
+    pub sync_every: u64,
+    /// One gradient step per this many merged transitions.
+    pub learn_every: u64,
+    /// Bounded per-actor channel depth.
+    pub channel_capacity: usize,
+}
+
+impl FleetOptions {
+    /// The single-loop-equivalent schedule: snapshots every sweep, one
+    /// gradient step per merged transition. With `actors = 1` this
+    /// reproduces [`run`] bitwise (learning state, episode statistics,
+    /// best score/RMSD, evaluation count) when the config splits
+    /// exploration onto [`rl::EXPLORATION_STREAM_BASE`].
+    pub fn lockstep(actors: usize) -> Self {
+        FleetOptions {
+            actors,
+            sync_every: 1,
+            learn_every: 1,
+            channel_capacity: 4,
+        }
+    }
+
+    /// The Ape-X throughput schedule: one gradient step per merge sweep
+    /// (`learn_every = actors`) and a coarse snapshot broadcast (every 32
+    /// sweeps), decoupling the acting rate from both the learning rate and
+    /// the snapshot codec. This is what `--actors N` defaults to. With a
+    /// single actor there is nothing to decouple, so `throughput(1)`
+    /// collapses to [`FleetOptions::lockstep`] — and therefore to the
+    /// single-loop trainer, bitwise.
+    pub fn throughput(actors: usize) -> Self {
+        if actors <= 1 {
+            return FleetOptions::lockstep(actors);
+        }
+        FleetOptions {
+            sync_every: 32,
+            learn_every: actors as u64,
+            ..FleetOptions::lockstep(actors)
+        }
+    }
+}
+
+/// A fleet run's outcome: the standard statistics, the fleet's own
+/// counters, and the trained agent.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The run statistics (fleet watchdog trips map to halt-only
+    /// [`WatchdogEvent`]s; `eval_points` is always empty — the fleet does
+    /// not interleave greedy evaluations).
+    pub run: TrainingRun,
+    /// Fleet throughput and health counters.
+    pub fleet: rl::FleetStats,
+    /// The learner agent as it stood at the end of the run.
+    pub agent: DqnAgent<MlpQ>,
+}
+
+/// Domain hooks bridging [`DockingEnv`] metrics into the generic fleet:
+/// per-observation `(score, RMSD)` pairs folded learner-side in merge
+/// order, per-episode fault drains, and the evaluation counter.
+struct DockingFleetHooks;
+
+impl rl::FleetHooks<DockingEnv> for DockingFleetHooks {
+    type Info = (f64, f64);
+
+    fn info(&self, env: &DockingEnv) -> (f64, f64) {
+        (env.score(), env.rmsd_to_crystal())
+    }
+
+    fn drain_faults(&self, env: &mut DockingEnv) -> Vec<rl::FleetEnvFault> {
+        env.drain_faults()
+            .into_iter()
+            .map(|f| rl::FleetEnvFault {
+                kind: f.kind,
+                detail: f.detail,
+                recovered: f.recovered,
+            })
+            .collect()
+    }
+
+    fn evaluations(&self, env: &DockingEnv) -> u64 {
+        env.evaluations()
+    }
+}
+
+/// Runs training on the actor–learner fleet: `opts.actors` workers each
+/// owning a full environment — and therefore a private transport stack end
+/// to end — merged deterministically into one learner (see [`rl::fleet`]).
+///
+/// Per-actor transports get decorrelated fault-injection seeds
+/// (`fault_seed + actor index`), so chaos configurations fault
+/// independently rather than in lockstep. `config.eval_every` is ignored:
+/// the fleet does not interleave greedy evaluations. After a watchdog halt
+/// the evaluation count only covers actors that finished cleanly.
+///
+/// # Panics
+/// If the config fails validation, or `opts.actors == 0`.
+pub fn run_fleet(
+    config: &Config,
+    opts: &FleetOptions,
+    on_episode: impl FnMut(&EpisodeStats),
+) -> FleetRun {
+    let problems = config.validate();
+    assert!(problems.is_empty(), "invalid config: {problems:?}");
+    assert!(opts.actors >= 1, "fleet needs at least one actor");
+
+    let envs: Vec<DockingEnv> = (0..opts.actors)
+        .map(|i| {
+            let mut c = config.clone();
+            c.transport.fault_seed = config.transport.fault_seed.wrapping_add(i as u64);
+            DockingEnv::from_config(&c)
+        })
+        .collect();
+    let mut agent = build_agent(config, &envs[0]);
+
+    let fleet_cfg = rl::FleetConfig {
+        actors: opts.actors,
+        episodes: config.episodes,
+        max_steps_per_episode: config.max_steps,
+        sync_every: opts.sync_every,
+        learn_every: opts.learn_every,
+        channel_capacity: opts.channel_capacity,
+        watchdog_max_abs_q: config.watchdog.enabled.then_some(config.watchdog.max_abs_q),
+        snapshot_corrupt_rate: 0.0,
+        snapshot_fault_seed: 0,
+    };
+
+    // Best-pose fold, replayed in deterministic merge order — the same
+    // strict-improvement rule the single loop applies at each reset and
+    // successful step.
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_rmsd = f64::INFINITY;
+    let outcome = rl::run_fleet(
+        &mut agent,
+        &fleet_cfg,
+        envs,
+        &DockingFleetHooks,
+        |&(score, rmsd)| {
+            if score > best_score {
+                best_score = score;
+                best_rmsd = rmsd;
+            }
+        },
+        on_episode,
+    );
+
+    let run = TrainingRun {
+        episodes: outcome.episodes,
+        best_score,
+        best_rmsd,
+        evaluations: outcome.evaluations,
+        final_epsilon: agent.epsilon(),
+        eval_points: Vec::new(),
+        watchdog_events: outcome
+            .watchdog
+            .into_iter()
+            .map(|w| WatchdogEvent {
+                episode: w.episode,
+                reason: w.reason,
+                rolled_back: false,
+            })
+            .collect(),
+        halted: outcome.halted,
+        fault_events: outcome
+            .faults
+            .into_iter()
+            .map(|f| FaultEvent {
+                episode: f.episode,
+                kind: f.kind,
+                detail: f.detail,
+                recovered: f.recovered,
+            })
+            .collect(),
+    };
+    FleetRun {
+        run,
+        fleet: outcome.stats,
+        agent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

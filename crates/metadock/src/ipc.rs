@@ -593,6 +593,14 @@ impl<T: Transport> SupervisedTransport<T> {
         &self.inner
     }
 
+    /// Forces the supervisor into its degraded state immediately, as if the
+    /// retry budget had just been spent — operational kill-switch for a
+    /// transport known to be bad, and the test hook for the
+    /// degraded-without-fallback path.
+    pub fn force_degrade(&mut self) {
+        self.degraded = true;
+    }
+
     fn backoff_delay(&mut self, attempt: u32) -> Duration {
         let base = self.policy.backoff_base_ms as f64;
         let raw = base * self.policy.backoff_factor.powi(attempt as i32);
@@ -616,9 +624,16 @@ impl<T: Transport> SupervisedTransport<T> {
 impl<T: Transport> Transport for SupervisedTransport<T> {
     fn evaluate(&mut self, pose: &Pose) -> TransportResult {
         if self.degraded {
-            // Already degraded: evaluate in-process, no retry theatre.
-            let fb = self.fallback.as_mut().expect("degraded without fallback");
-            return Self::sanitize(fb.evaluate(pose)?);
+            // Already degraded: evaluate in-process, no retry theatre. A
+            // missing fallback is a typed error, not a panic — the
+            // supervisor's panic-free contract holds even if degradation
+            // was entered without one configured.
+            return match self.fallback.as_mut() {
+                Some(fb) => Self::sanitize(fb.evaluate(pose)?),
+                None => Err(TransportError::ServerDead(
+                    "transport degraded with no fallback engine configured".into(),
+                )),
+            };
         }
 
         let mut last_err = None;
@@ -1240,6 +1255,23 @@ mod tests {
             faults.last().unwrap().recovery,
             Recovery::Surfaced
         ));
+    }
+
+    #[test]
+    fn degraded_without_fallback_errors_instead_of_panicking() {
+        let e = engine();
+        let pose = &sample_poses(1)[0];
+        let mut sup = SupervisedTransport::new(DirectTransport::new(e), test_policy());
+        sup.force_degrade();
+        assert!(sup.is_degraded());
+        // Degraded with no fallback configured: a typed error, never the
+        // old `expect("degraded without fallback")` panic.
+        match sup.evaluate(pose) {
+            Err(TransportError::ServerDead(detail)) => {
+                assert!(detail.contains("no fallback"), "got: {detail}");
+            }
+            other => panic!("expected ServerDead, got {other:?}"),
+        }
     }
 
     #[test]

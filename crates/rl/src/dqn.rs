@@ -63,6 +63,16 @@ pub struct DqnConfig {
     pub boltzmann_temperature: Option<f64>,
     /// RNG seed for exploration and sampling.
     pub seed: u64,
+    /// `Some(stream)` moves every exploration draw (the ε coin flip, random
+    /// action picks, Boltzmann sampling) onto a dedicated ChaCha8 stream of
+    /// the same seed, leaving the main RNG to minibatch sampling only. The
+    /// actor–learner fleet depends on this split — each actor explores on
+    /// its own stream while the learner samples on the agent's — and the
+    /// single-loop trainer accepts it so fleet-vs-loop equivalence can be
+    /// checked draw for draw. `None` (the default) keeps the classic single
+    /// interleaved stream, bitwise identical to every earlier release.
+    #[serde(default)]
+    pub exploration_stream: Option<u64>,
     /// Constant-block layout of the states pushed into the replay memory
     /// ([`FrameLayout::default`] = no shared blocks). The environment side
     /// knows which slice of the feature vector is constant (receptor block
@@ -91,6 +101,7 @@ impl Default for DqnConfig {
             prioritized_alpha: None,
             boltzmann_temperature: None,
             seed: 0,
+            exploration_stream: None,
             frame_layout: FrameLayout::default(),
         }
     }
@@ -111,6 +122,7 @@ impl DqnConfig {
             prioritized_alpha: None,
             boltzmann_temperature: None,
             seed: 0,
+            exploration_stream: None,
             frame_layout: FrameLayout::default(),
         }
     }
@@ -207,6 +219,10 @@ pub struct DqnAgent<Q: QFunction> {
     replay: Buffer,
     config: DqnConfig,
     rng: ChaCha8Rng,
+    /// Dedicated exploration stream when [`DqnConfig::exploration_stream`]
+    /// is set; `None` routes exploration draws through `rng` (the classic
+    /// interleaved discipline).
+    explore_rng: Option<ChaCha8Rng>,
     steps: u64,
     learn_steps: u64,
     last_loss: Option<f32>,
@@ -241,6 +257,11 @@ impl<Q: QFunction> DqnAgent<Q> {
             )),
         };
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let explore_rng = config.exploration_stream.map(|stream| {
+            let mut r = ChaCha8Rng::seed_from_u64(config.seed);
+            r.set_stream(stream);
+            r
+        });
         let scratch = BatchScratch::new(config.batch_size, q.state_dim());
         DqnAgent {
             q,
@@ -248,6 +269,7 @@ impl<Q: QFunction> DqnAgent<Q> {
             replay,
             config,
             rng,
+            explore_rng,
             steps: 0,
             learn_steps: 0,
             last_loss: None,
@@ -299,7 +321,8 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// initial-exploration phase all actions are random.
     pub fn act(&mut self, state: &[f32]) -> usize {
         if self.steps < self.config.initial_exploration {
-            return self.rng.gen_range(0..self.q.n_actions());
+            let n = self.q.n_actions();
+            return self.exploration_rng().gen_range(0..n);
         }
         let qs = self.q.predict(state);
         self.act_from_q(&qs)
@@ -335,13 +358,15 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// training trajectories bitwise identical.
     pub fn act_from_q(&mut self, qs: &[f32]) -> usize {
         if self.steps < self.config.initial_exploration {
-            return self.rng.gen_range(0..self.q.n_actions());
+            let n = self.q.n_actions();
+            return self.exploration_rng().gen_range(0..n);
         }
         if let Some(temperature) = self.config.boltzmann_temperature {
             return self.boltzmann_from(qs, temperature);
         }
         if self.draw_explore() {
-            self.rng.gen_range(0..self.q.n_actions())
+            let n = self.q.n_actions();
+            self.exploration_rng().gen_range(0..n)
         } else {
             argmax(qs)
         }
@@ -358,7 +383,7 @@ impl<Q: QFunction> DqnAgent<Q> {
             .map(|&q| (f64::from(q - max) / temperature).exp())
             .collect();
         let total: f64 = weights.iter().sum();
-        let mut target = self.rng.gen::<f64>() * total;
+        let mut target = self.exploration_rng().gen::<f64>() * total;
         for (i, w) in weights.iter().enumerate() {
             if target <= *w {
                 return i;
@@ -373,7 +398,8 @@ impl<Q: QFunction> DqnAgent<Q> {
     /// otherwise the caller-provided greedy action.
     pub fn explore_or(&mut self, greedy: usize) -> usize {
         if self.draw_explore() {
-            self.rng.gen_range(0..self.q.n_actions())
+            let n = self.q.n_actions();
+            self.exploration_rng().gen_range(0..n)
         } else {
             greedy
         }
@@ -381,7 +407,20 @@ impl<Q: QFunction> DqnAgent<Q> {
 
     /// One exploration coin flip at the current schedule position.
     fn draw_explore(&mut self) -> bool {
-        self.steps < self.config.initial_exploration || self.rng.gen::<f64>() < self.epsilon()
+        if self.steps < self.config.initial_exploration {
+            return true;
+        }
+        let eps = self.epsilon();
+        self.exploration_rng().gen::<f64>() < eps
+    }
+
+    /// The stream exploration draws come from: the dedicated split stream
+    /// when configured, the shared main RNG otherwise.
+    fn exploration_rng(&mut self) -> &mut ChaCha8Rng {
+        match self.explore_rng.as_mut() {
+            Some(r) => r,
+            None => &mut self.rng,
+        }
     }
 
     /// Purely greedy action (evaluation mode).
@@ -429,12 +468,35 @@ impl<Q: QFunction> DqnAgent<Q> {
         next_state: &[f32],
         terminal: bool,
     ) -> Option<f32> {
+        self.observe_parts_throttled(state, action, reward, next_state, terminal, true)
+    }
+
+    /// [`DqnAgent::observe_parts`] with an explicit learning gate: the
+    /// transition is stored, the step counter advances, and the target
+    /// network refreshes on its usual schedule, but the gradient step only
+    /// happens when `allow_learn` is set (and the usual learning-start and
+    /// batch-occupancy conditions hold). The actor–learner fleet uses this
+    /// to decouple the acting rate from the learning rate (Ape-X style: one
+    /// gradient step per merge round instead of per transition);
+    /// `allow_learn = true` is exactly [`DqnAgent::observe_parts`].
+    pub fn observe_parts_throttled(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f64,
+        next_state: &[f32],
+        terminal: bool,
+        allow_learn: bool,
+    ) -> Option<f32> {
         self.replay
             .push_parts(state, action, reward, next_state, terminal);
         self.steps += 1;
 
         let mut loss = None;
-        if self.steps >= self.config.learning_start && self.replay.len() >= self.config.batch_size {
+        if allow_learn
+            && self.steps >= self.config.learning_start
+            && self.replay.len() >= self.config.batch_size
+        {
             loss = Some(self.learn_minibatch());
         }
         if self.steps.is_multiple_of(self.config.target_update_every) {
@@ -536,6 +598,26 @@ impl DqnAgent<MlpQ> {
     /// rebuilds an agent whose every future action, sample, and gradient
     /// step is bitwise-identical to this one's.
     pub fn write_checkpoint(&self, out: &mut Vec<u8>) -> io::Result<()> {
+        self.write_learning_state(out)?;
+        checkpoint::RngState::capture(&self.rng).encode(out);
+        // Keyed on the config, not a tag byte: a split-stream agent always
+        // writes its exploration stream, a classic agent never does, and
+        // `read_checkpoint` decides which layout to expect from the same
+        // config — so pre-split checkpoints decode unchanged.
+        if let Some(r) = &self.explore_rng {
+            checkpoint::RngState::capture(r).encode(out);
+        }
+        Ok(())
+    }
+
+    /// Serialises the learning state — both networks with their optimizer
+    /// moments, the replay memory, the step counters, and the last loss —
+    /// *without* the RNG streams. Two agents whose learning-state bytes are
+    /// equal hold bitwise-identical weights and replay contents; the
+    /// fleet-vs-single-loop equivalence suite compares exactly this digest,
+    /// because the fleet keeps its exploration streams in the actors rather
+    /// than in the learner's agent.
+    pub fn write_learning_state(&self, out: &mut Vec<u8>) -> io::Result<()> {
         self.q.write_snapshot(out)?;
         self.target.write_snapshot(out)?;
         match &self.replay {
@@ -557,7 +639,6 @@ impl DqnAgent<MlpQ> {
                 checkpoint::put_f32(out, l);
             }
         }
-        checkpoint::RngState::capture(&self.rng).encode(out);
         Ok(())
     }
 
@@ -613,6 +694,13 @@ impl DqnAgent<MlpQ> {
             t => return Err(bad(format!("unknown last-loss tag {t}"))),
         };
         let rng = checkpoint::RngState::decode(r)?.restore();
+        // Present exactly when the config splits exploration onto its own
+        // stream (see `write_checkpoint`): the config is the source of
+        // truth for the layout, so classic checkpoints stay decodable.
+        let explore_rng = match config.exploration_stream {
+            Some(_) => Some(checkpoint::RngState::decode(r)?.restore()),
+            None => None,
+        };
         if target.state_dim() != q.state_dim() || target.n_actions() != q.n_actions() {
             return Err(bad(
                 "target network shape disagrees with the online network",
@@ -631,6 +719,7 @@ impl DqnAgent<MlpQ> {
         agent.learn_steps = learn_steps;
         agent.last_loss = last_loss;
         agent.rng = rng;
+        agent.explore_rng = explore_rng;
         Ok(agent)
     }
 
@@ -638,11 +727,20 @@ impl DqnAgent<MlpQ> {
     /// need this: replaying the checkpoint with the original stream would
     /// deterministically reproduce the exact trajectory that diverged.
     pub fn reseed_exploration(&mut self, seed: u64) {
-        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        match self.config.exploration_stream {
+            // Split discipline: only the exploration stream is replaced;
+            // the sampling stream keeps its position.
+            Some(stream) => {
+                let mut r = ChaCha8Rng::seed_from_u64(seed);
+                r.set_stream(stream);
+                self.explore_rng = Some(r);
+            }
+            None => self.rng = ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
-fn argmax(xs: &[f32]) -> usize {
+pub(crate) fn argmax(xs: &[f32]) -> usize {
     let mut best = 0;
     for (i, &v) in xs.iter().enumerate() {
         if v > xs[best] {

@@ -1,0 +1,995 @@
+//! Actor–learner fleet: parallel experience generation with a single
+//! deterministic learner (Ape-X topology, Horgan et al. 2018).
+//!
+//! N actor threads each own an environment and a read-only copy of the
+//! Q-network. They run ε-greedy episodes autonomously and stream one
+//! message per acting round over a bounded channel. The learner merges
+//! those streams in fixed round-robin order into the frame-deduplicated
+//! replay memory, performs (optionally throttled) minibatch gradient
+//! steps via [`DqnAgent::observe_parts_throttled`], and every
+//! `sync_every` merge sweeps broadcasts a fresh weight snapshot through
+//! the CRC-framed checkpoint container. Actors validate each snapshot
+//! before applying it: a torn or corrupt read fails the CRC, is counted,
+//! skipped, and re-read — never half-applied.
+//!
+//! # Determinism
+//!
+//! Every run with the same seeds replays bitwise-identically, because no
+//! quantity anywhere in the pipeline depends on thread timing:
+//!
+//! * each actor explores on its own ChaCha8 stream
+//!   ([`EXPLORATION_STREAM_BASE`]` + actor_id`) of the agent seed, so the
+//!   draw sequences of different actors never interleave;
+//! * the learner merges strictly round-robin — one blocking receive per
+//!   still-active actor per sweep — so replay insertion order, minibatch
+//!   sampling (on the learner agent's own RNG), gradient steps, and
+//!   target-network syncs are a pure function of message *contents*;
+//! * actors synchronise with the learner at fixed round boundaries: at
+//!   local round `r` with `r % sync_every == 0` an actor blocks until
+//!   snapshot version `r / sync_every` is published, which the learner
+//!   emits after merge sweep `r − 1`. Weight staleness is therefore
+//!   exactly reproducible, not a race.
+//!
+//! With `actors = 1`, `sync_every = 1`, `learn_every = 1` the pipeline
+//! degenerates to the single training loop: the sole actor's round `r`
+//! policy is the learner's network after `r` merged observations —
+//! precisely the weights the inline loop would have used — so fleet and
+//! loop agree draw for draw and gradient for gradient (the equivalence
+//! suites assert this bitwise).
+//!
+//! # Deadlock freedom
+//!
+//! An actor blocked on snapshot version `v` has already sent its messages
+//! for every round below `v·sync_every`; the learner needs nothing *from*
+//! that actor to finish those sweeps and publish `v`. Channel capacity
+//! only bounds how far an actor runs ahead, never behind. On a halt the
+//! learner publishes a poisoned (stopped) cell state that wakes every
+//! waiter, then drops its receivers, which unblocks any sender.
+
+use crate::checkpoint;
+use crate::dqn::{argmax, DqnAgent, DqnConfig};
+use crate::env::Environment;
+use crate::qfunc::{MlpQ, QFunction};
+use crate::training::EpisodeStats;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Base ChaCha8 stream id for actor exploration: actor `i` draws on
+/// stream `EXPLORATION_STREAM_BASE + i` of the agent seed. A single-loop
+/// run configured with [`DqnConfig::exploration_stream`]` =
+/// Some(EXPLORATION_STREAM_BASE)` consumes the identical draw sequence to
+/// a one-actor fleet, which is what the equivalence suite checks.
+pub const EXPLORATION_STREAM_BASE: u64 = 0xF1EE;
+
+/// Fleet topology and schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of actor workers (≥ 1). Episodes are pre-assigned
+    /// round-robin: actor `i` runs episodes `i, i + actors, …`.
+    pub actors: usize,
+    /// Total episodes across the fleet.
+    pub episodes: usize,
+    /// Per-episode step cap (≥ 1).
+    pub max_steps_per_episode: usize,
+    /// Weight-snapshot broadcast period in merge sweeps (≥ 1). `1` means
+    /// actors see every gradient step (the single-loop discipline);
+    /// larger values trade staleness for pipeline depth.
+    pub sync_every: u64,
+    /// Gradient-step throttle: one learning step per `learn_every` merged
+    /// transitions (≥ 1). `1` learns on every transition exactly like the
+    /// single loop; `actors` recovers the classic Ape-X "one update per
+    /// acting round" ratio.
+    pub learn_every: u64,
+    /// Bounded per-actor channel depth (≥ 1): how many rounds an actor
+    /// may run ahead of the learner.
+    pub channel_capacity: usize,
+    /// `Some(bound)` arms the divergence watchdog: actors trip on a
+    /// non-finite or out-of-bound max-Q before acting, the learner trips
+    /// on a non-finite loss; either halts the fleet (halt-only — rollback
+    /// stays a single-loop feature). `None` disables both checks.
+    pub watchdog_max_abs_q: Option<f64>,
+    /// Test hook: probability (must stay `< 1`) that an actor's local
+    /// copy of a received snapshot gets one bit flipped before decoding,
+    /// drawn on a dedicated per-actor stream. Exercises the CRC
+    /// detect → skip → re-read path deterministically. `0.0` in
+    /// production.
+    pub snapshot_corrupt_rate: f64,
+    /// Seed for the corruption streams (only read when
+    /// `snapshot_corrupt_rate > 0`).
+    pub snapshot_fault_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            actors: 2,
+            episodes: 10,
+            max_steps_per_episode: 50,
+            sync_every: 1,
+            learn_every: 1,
+            channel_capacity: 4,
+            watchdog_max_abs_q: None,
+            snapshot_corrupt_rate: 0.0,
+            snapshot_fault_seed: 0,
+        }
+    }
+}
+
+/// One environment fault surfaced by the domain hooks (mirrors the
+/// docking env's fault records without depending on them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEnvFault {
+    /// Machine-readable kind (`"timeout"`, `"decode"`, …).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Whether the evaluation was recovered transparently.
+    pub recovered: bool,
+}
+
+/// A fault in the fleet ledger: which global episode index was in flight
+/// when it was merged, and which actor's environment raised it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFault {
+    /// Global episode index current at merge time. Exact with one actor;
+    /// with several, faults of an unfinished episode carry the index the
+    /// *next* completed episode will take.
+    pub episode: usize,
+    /// The actor whose environment raised the fault.
+    pub actor: usize,
+    /// Machine-readable kind.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Whether the evaluation was recovered transparently.
+    pub recovered: bool,
+}
+
+/// One divergence-watchdog trip in the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetWatchdogEvent {
+    /// Global episode index current at the trip.
+    pub episode: usize,
+    /// Tripping actor (`None` for the learner's loss check).
+    pub actor: Option<usize>,
+    /// Human-readable reason, same format as the single-loop watchdog.
+    pub reason: String,
+}
+
+/// Fleet throughput and health counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Transitions merged into the replay memory.
+    pub transitions: u64,
+    /// Completed round-robin merge sweeps.
+    pub merge_sweeps: u64,
+    /// Weight snapshots broadcast (excluding the initial version 0).
+    pub snapshot_broadcasts: u64,
+    /// Snapshot reads rejected by actors (CRC or framing failure) and
+    /// retried.
+    pub snapshot_rejects: u64,
+    /// Messages drained unmerged during a halt.
+    pub discarded_messages: u64,
+    /// Transitions merged per actor.
+    pub per_actor_transitions: Vec<u64>,
+    /// Episodes completed per actor.
+    pub per_actor_episodes: Vec<usize>,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-episode statistics in merge-completion order; `episode` is the
+    /// global completion index.
+    pub episodes: Vec<EpisodeStats>,
+    /// Throughput and health counters.
+    pub stats: FleetStats,
+    /// Whether the watchdog halted the fleet early.
+    pub halted: bool,
+    /// Watchdog trips (at most one: the fleet is halt-only).
+    pub watchdog: Vec<FleetWatchdogEvent>,
+    /// Environment faults, in merge order.
+    pub faults: Vec<FleetFault>,
+    /// Environment evaluations summed over actors that finished cleanly
+    /// (a lower bound after a halt, since halted actors never report).
+    pub evaluations: u64,
+}
+
+/// Domain hooks the fleet calls at the environment boundary, so the
+/// generic RL crate stays ignorant of docking scores. Implementations
+/// must be cheap: `info` runs on the actor's hot path.
+pub trait FleetHooks<E: Environment>: Sync {
+    /// Per-observation payload captured actor-side after each reset and
+    /// each successful step, replayed learner-side in merge order through
+    /// [`run_fleet`]'s `on_info` (the docking trainer folds best
+    /// score/RMSD here).
+    type Info: Send;
+    /// Captures the payload for the environment's current state.
+    fn info(&self, env: &E) -> Self::Info;
+    /// Drains accumulated environment faults (called at episode
+    /// boundaries, mirroring the single loop's per-episode drain).
+    fn drain_faults(&self, env: &mut E) -> Vec<FleetEnvFault> {
+        let _ = env;
+        Vec::new()
+    }
+    /// Total environment evaluations consumed (reported once per actor at
+    /// clean exit).
+    fn evaluations(&self, env: &E) -> u64 {
+        let _ = env;
+        0
+    }
+}
+
+/// No-op hooks for environments without domain metrics (toy MDPs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl<E: Environment> FleetHooks<E> for NoHooks {
+    type Info = ();
+    fn info(&self, _env: &E) -> Self::Info {}
+}
+
+/// An owned transition as shipped from actor to learner.
+#[derive(Debug, Clone)]
+struct TransitionMsg {
+    state: Vec<f32>,
+    action: usize,
+    reward: f64,
+    next_state: Vec<f32>,
+    terminal: bool,
+}
+
+/// One acting round's worth of observation, in the exact order the
+/// single loop would have produced the same data.
+struct StepMsg<I> {
+    /// Present on an episode's first round: the post-reset payload
+    /// (folded before anything else, like the single loop's reset fold).
+    reset_info: Option<I>,
+    /// The transition, absent when the step faulted or the watchdog
+    /// tripped.
+    transition: Option<TransitionMsg>,
+    /// Max predicted Q of the pre-step state (Figure 4 numerator;
+    /// accumulated only when the step succeeded).
+    max_q: f64,
+    /// Post-step payload for a successful step.
+    step_info: Option<I>,
+    /// Whether this round ended the actor's current episode.
+    episode_end: bool,
+    /// Whether the episode ended by environment rules (vs step cap or
+    /// fault).
+    terminated: bool,
+    /// Environment faults drained at an episode boundary (empty
+    /// mid-episode).
+    faults: Vec<FleetEnvFault>,
+    /// Actor-side watchdog trip reason.
+    trip: Option<String>,
+}
+
+/// Final per-actor accounting, sent once after the last assigned episode.
+struct ActorSummary {
+    evaluations: u64,
+    snapshot_rejects: u64,
+}
+
+enum ActorMsg<I> {
+    Step(Box<StepMsg<I>>),
+    Done(ActorSummary),
+}
+
+/// The snapshot broadcast cell: latest version wins, readers block until
+/// the version they need exists. `Arc<Vec<u8>>` so N actors share one
+/// encoded container without copying.
+struct SnapshotCell {
+    state: Mutex<SnapshotState>,
+    ready: Condvar,
+}
+
+struct SnapshotState {
+    version: u64,
+    bytes: Arc<Vec<u8>>,
+    stopped: bool,
+}
+
+impl SnapshotCell {
+    fn new(bytes: Vec<u8>) -> Self {
+        SnapshotCell {
+            state: Mutex::new(SnapshotState {
+                version: 0,
+                bytes: Arc::new(bytes),
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SnapshotState> {
+        // A poisoned mutex only means another thread panicked mid-publish;
+        // the state itself is a plain swap, so recover rather than cascade.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn publish(&self, version: u64, bytes: Vec<u8>) {
+        let mut s = self.lock();
+        s.version = version;
+        s.bytes = Arc::new(bytes);
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    fn stop(&self) {
+        self.lock().stopped = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until at least `want` is published; `None` means the fleet
+    /// stopped.
+    fn wait_at_least(&self, want: u64) -> Option<Arc<Vec<u8>>> {
+        let mut s = self.lock();
+        loop {
+            if s.stopped {
+                return None;
+            }
+            if s.version >= want {
+                return Some(Arc::clone(&s.bytes));
+            }
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Frames `version ‖ weights` in the CRC-checked checkpoint container.
+fn encode_weight_snapshot(version: u64, q: &MlpQ) -> Vec<u8> {
+    let mut payload = Vec::new();
+    checkpoint::put_u64(&mut payload, version);
+    q.write_snapshot(&mut payload)
+        .expect("writing a snapshot to a Vec cannot fail");
+    checkpoint::encode_container(&payload)
+}
+
+/// Validates and decodes a snapshot: container CRC first (this is what
+/// catches a torn or corrupt read), then the version stamp, then the
+/// weights.
+fn decode_weight_snapshot(bytes: &[u8], want: u64) -> io::Result<MlpQ> {
+    let mut payload = checkpoint::decode_container(bytes)?;
+    let version = checkpoint::get_u64(&mut payload)?;
+    if version < want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("stale snapshot: version {version}, need {want}"),
+        ));
+    }
+    MlpQ::read_snapshot(&mut payload)
+}
+
+/// The actor worker: runs its assigned episodes, one message per round.
+#[allow(clippy::too_many_arguments)]
+fn actor_loop<E, H>(
+    actor_id: usize,
+    n_actors: usize,
+    quota: usize,
+    cfg: &FleetConfig,
+    dqn: &DqnConfig,
+    mut env: E,
+    hooks: &H,
+    cell: &SnapshotCell,
+    tx: crossbeam::channel::Sender<ActorMsg<H::Info>>,
+) where
+    E: Environment,
+    H: FleetHooks<E>,
+{
+    let n_actions = env.n_actions();
+    // The dedicated exploration stream: same seed as the learner agent,
+    // stream offset by actor id (see EXPLORATION_STREAM_BASE).
+    let mut explore = ChaCha8Rng::seed_from_u64(dqn.seed);
+    explore.set_stream(EXPLORATION_STREAM_BASE + actor_id as u64);
+    // Deterministic per-actor corruption stream for the CRC-path test
+    // hook, far from the exploration streams.
+    let mut corrupt = (cfg.snapshot_corrupt_rate > 0.0).then(|| {
+        let mut r = ChaCha8Rng::seed_from_u64(cfg.snapshot_fault_seed);
+        r.set_stream(0xBAD0_0000 + actor_id as u64);
+        r
+    });
+
+    let mut policy: Option<MlpQ> = None;
+    let mut qs: Vec<f32> = Vec::new();
+    let mut state: Option<Vec<f32>> = None;
+    let mut episodes_done = 0usize;
+    let mut episode_steps = 0usize;
+    let mut produced = 0u64;
+    let mut round = 0u64;
+    let mut snapshot_rejects = 0u64;
+
+    loop {
+        if state.is_none() && episodes_done == quota {
+            let _ = tx.send(ActorMsg::Done(ActorSummary {
+                evaluations: hooks.evaluations(&env),
+                snapshot_rejects,
+            }));
+            return;
+        }
+
+        // Fixed synchronisation boundary: round r needs snapshot version
+        // r / sync_every. The learner publishes it after sweep r − 1, so
+        // the wait only depends on messages this actor already sent.
+        if round % cfg.sync_every == 0 {
+            let want = round / cfg.sync_every;
+            loop {
+                let Some(bytes) = cell.wait_at_least(want) else {
+                    return; // fleet stopped
+                };
+                // Torn-read simulation: flip one bit in a private copy.
+                let corrupt_now = corrupt
+                    .as_mut()
+                    .is_some_and(|r| r.gen::<f64>() < cfg.snapshot_corrupt_rate);
+                let mut flipped;
+                let view: &[u8] = if corrupt_now && !bytes.is_empty() {
+                    let r = corrupt.as_mut().expect("corrupt rng drew the coin");
+                    flipped = bytes.to_vec();
+                    let bit = r.gen_range(0..flipped.len() * 8);
+                    flipped[bit / 8] ^= 1 << (bit % 8);
+                    &flipped
+                } else {
+                    &bytes
+                };
+                match decode_weight_snapshot(view, want) {
+                    Ok(mut q) => {
+                        q.set_input_split(dqn.frame_layout);
+                        policy = Some(q);
+                        break;
+                    }
+                    // CRC/framing failure: count, skip, re-read. The
+                    // shared cell still holds the good bytes, so the
+                    // retry converges.
+                    Err(_) => snapshot_rejects += 1,
+                }
+            }
+        }
+        let policy = policy.as_ref().expect("snapshot applied at round 0");
+
+        // Lazy reset: only when another episode is actually owed, so the
+        // evaluation count matches the single loop exactly.
+        let mut reset_info = None;
+        if state.is_none() {
+            let s = env.reset();
+            reset_info = Some(hooks.info(&env));
+            state = Some(s);
+            episode_steps = 0;
+        }
+        let s = state.as_ref().expect("state present after reset");
+
+        // One forward per round feeds both the Figure 4 metric and the
+        // ε-greedy pick, exactly like the single loop.
+        policy.predict_into(s, &mut qs);
+        let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        if let Some(bound) = cfg.watchdog_max_abs_q {
+            if !max_q.is_finite() || max_q.abs() > bound {
+                let reason = format!(
+                    "max-Q {max_q:e} at step {episode_steps} exceeds the watchdog bound {bound:e}"
+                );
+                let _ = tx.send(ActorMsg::Step(Box::new(StepMsg {
+                    reset_info,
+                    transition: None,
+                    max_q,
+                    step_info: None,
+                    episode_end: false,
+                    terminated: false,
+                    faults: hooks.drain_faults(&mut env),
+                    trip: Some(reason),
+                })));
+                return;
+            }
+        }
+
+        // ε-schedule position: the merged-stream estimate of the global
+        // step this transition will land at (exact when actors = 1).
+        let step_estimate = produced * n_actors as u64 + actor_id as u64;
+        let action = if step_estimate < dqn.initial_exploration {
+            explore.gen_range(0..n_actions)
+        } else if explore.gen::<f64>() < dqn.epsilon.value(step_estimate) {
+            explore.gen_range(0..n_actions)
+        } else {
+            argmax(&qs)
+        };
+
+        let msg = match env.try_step(action) {
+            // Unrecovered fault: the episode aborts (single-loop rule);
+            // the round's message carries the drained fault ledger and no
+            // transition.
+            Err(_) => {
+                episodes_done += 1;
+                state = None;
+                StepMsg {
+                    reset_info,
+                    transition: None,
+                    max_q,
+                    step_info: None,
+                    episode_end: true,
+                    terminated: false,
+                    faults: hooks.drain_faults(&mut env),
+                    trip: None,
+                }
+            }
+            Ok(out) => {
+                produced += 1;
+                episode_steps += 1;
+                let terminated = out.terminal;
+                let end = terminated || episode_steps >= cfg.max_steps_per_episode;
+                let step_info = Some(hooks.info(&env));
+                let prev = state.take().expect("state present during step");
+                let next_state = if end {
+                    state = None;
+                    episodes_done += 1;
+                    out.state
+                } else {
+                    let next = out.state.clone();
+                    state = Some(out.state);
+                    next
+                };
+                StepMsg {
+                    reset_info,
+                    transition: Some(TransitionMsg {
+                        state: prev,
+                        action,
+                        reward: out.reward,
+                        next_state,
+                        terminal: terminated,
+                    }),
+                    max_q,
+                    step_info,
+                    episode_end: end,
+                    terminated,
+                    faults: if end {
+                        hooks.drain_faults(&mut env)
+                    } else {
+                        Vec::new()
+                    },
+                    trip: None,
+                }
+            }
+        };
+        if tx.send(ActorMsg::Step(Box::new(msg))).is_err() {
+            return; // learner gone (halt)
+        }
+        round += 1;
+    }
+}
+
+/// Learner-side accumulator for one actor's in-flight episode.
+#[derive(Default)]
+struct EpisodeAccum {
+    total_reward: f64,
+    q_sum: f64,
+    loss_sum: f64,
+    loss_count: usize,
+    steps: usize,
+}
+
+/// Runs the actor–learner fleet to completion (or watchdog halt) and
+/// returns the merged outcome. `agent` is the learner: it must hold the
+/// network the actors should start from; on return it holds the trained
+/// networks and the full replay memory.
+///
+/// `envs` supplies one environment per actor (so each actor owns its own
+/// transport end to end); `hooks` bridges domain metrics and fault drains;
+/// `on_info` sees every [`FleetHooks::info`] payload in deterministic
+/// merge order; `on_episode` fires per completed episode.
+///
+/// # Panics
+/// On an empty or inconsistent configuration (zero actors, zero step cap,
+/// `envs.len() != actors`, a corruption rate ≥ 1, or a Boltzmann agent —
+/// actors mirror ε-greedy selection only).
+pub fn run_fleet<E, H>(
+    agent: &mut DqnAgent<MlpQ>,
+    cfg: &FleetConfig,
+    envs: Vec<E>,
+    hooks: &H,
+    mut on_info: impl FnMut(&H::Info),
+    mut on_episode: impl FnMut(&EpisodeStats),
+) -> FleetOutcome
+where
+    E: Environment + Send,
+    H: FleetHooks<E>,
+{
+    let n = cfg.actors;
+    assert!(n >= 1, "fleet needs at least one actor");
+    assert_eq!(envs.len(), n, "one environment per actor");
+    assert!(cfg.max_steps_per_episode >= 1, "step cap must be positive");
+    assert!(cfg.sync_every >= 1, "sync_every must be positive");
+    assert!(cfg.learn_every >= 1, "learn_every must be positive");
+    assert!(cfg.channel_capacity >= 1, "channel capacity must be positive");
+    assert!(
+        cfg.snapshot_corrupt_rate < 1.0,
+        "a corruption rate of 1 would retry forever"
+    );
+    assert!(
+        agent.config().boltzmann_temperature.is_none(),
+        "fleet actors mirror ε-greedy selection only"
+    );
+
+    // Round-robin episode pre-assignment: actor i owns episodes
+    // i, i + n, … — a pure function of the config.
+    let quota = |i: usize| cfg.episodes / n + usize::from(i < cfg.episodes % n);
+    let dqn = *agent.config();
+
+    let cell = SnapshotCell::new(encode_weight_snapshot(0, agent.q_function()));
+    let mut channels: Vec<(
+        Option<crossbeam::channel::Sender<ActorMsg<H::Info>>>,
+        crossbeam::channel::Receiver<ActorMsg<H::Info>>,
+    )> = (0..n)
+        .map(|_| {
+            let (tx, rx) = crossbeam::channel::bounded(cfg.channel_capacity);
+            (Some(tx), rx)
+        })
+        .collect();
+
+    let mut episodes: Vec<EpisodeStats> = Vec::new();
+    let mut watchdog: Vec<FleetWatchdogEvent> = Vec::new();
+    let mut faults: Vec<FleetFault> = Vec::new();
+    let mut stats = FleetStats {
+        per_actor_transitions: vec![0; n],
+        per_actor_episodes: vec![0; n],
+        ..FleetStats::default()
+    };
+    let mut evaluations = 0u64;
+    let mut halted = false;
+
+    std::thread::scope(|scope| {
+        for (i, env) in envs.into_iter().enumerate() {
+            let tx = channels[i].0.take().expect("sender taken once");
+            let cell = &cell;
+            let q = quota(i);
+            let dqn = &dqn;
+            scope.spawn(move || actor_loop(i, n, q, cfg, dqn, env, hooks, cell, tx));
+        }
+
+        // The learner: strict round-robin merge, one receive per active
+        // actor per sweep.
+        let mut accum: Vec<EpisodeAccum> = (0..n).map(|_| EpisodeAccum::default()).collect();
+        let mut done = vec![false; n];
+        let mut n_done = 0usize;
+        let mut merged = 0u64;
+        'run: while n_done < n {
+            for a in 0..n {
+                if done[a] {
+                    continue;
+                }
+                let msg = match channels[a].1.recv() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        // An actor can only vanish without a summary when
+                        // the fleet is stopping; treat it as done.
+                        done[a] = true;
+                        n_done += 1;
+                        continue;
+                    }
+                };
+                let StepMsg {
+                    reset_info,
+                    transition,
+                    max_q,
+                    step_info,
+                    episode_end,
+                    terminated,
+                    faults: msg_faults,
+                    trip,
+                } = match msg {
+                    ActorMsg::Done(summary) => {
+                        done[a] = true;
+                        n_done += 1;
+                        evaluations += summary.evaluations;
+                        stats.snapshot_rejects += summary.snapshot_rejects;
+                        continue;
+                    }
+                    ActorMsg::Step(m) => *m,
+                };
+
+                // Merge in the exact order the single loop produces the
+                // same data: reset fold, watchdog, step fold, observe.
+                if let Some(info) = &reset_info {
+                    on_info(info);
+                }
+                let flush_faults = |faults: &mut Vec<FleetFault>, episode: usize| {
+                    for f in msg_faults {
+                        faults.push(FleetFault {
+                            episode,
+                            actor: a,
+                            kind: f.kind,
+                            detail: f.detail,
+                            recovered: f.recovered,
+                        });
+                    }
+                };
+                if let Some(reason) = trip {
+                    // Actor-side watchdog trip: ledger the faults and the
+                    // event, discard the partial episode, halt.
+                    flush_faults(&mut faults, episodes.len());
+                    watchdog.push(FleetWatchdogEvent {
+                        episode: episodes.len(),
+                        actor: Some(a),
+                        reason,
+                    });
+                    halted = true;
+                    break 'run;
+                }
+                let mut loss_trip: Option<String> = None;
+                if let Some(t) = &transition {
+                    let acc = &mut accum[a];
+                    acc.q_sum += max_q;
+                    if let Some(info) = &step_info {
+                        on_info(info);
+                    }
+                    acc.total_reward += t.reward;
+                    acc.steps += 1;
+                    merged += 1;
+                    stats.transitions += 1;
+                    stats.per_actor_transitions[a] += 1;
+                    let allow_learn = merged % cfg.learn_every == 0;
+                    let loss = agent.observe_parts_throttled(
+                        &t.state,
+                        t.action,
+                        t.reward,
+                        &t.next_state,
+                        t.terminal,
+                        allow_learn,
+                    );
+                    if let Some(loss) = loss {
+                        acc.loss_sum += f64::from(loss);
+                        acc.loss_count += 1;
+                        if cfg.watchdog_max_abs_q.is_some() && !loss.is_finite() {
+                            loss_trip = Some(format!(
+                                "non-finite training loss {loss} at step {}",
+                                acc.steps
+                            ));
+                        }
+                    }
+                }
+                flush_faults(&mut faults, episodes.len());
+                if let Some(reason) = loss_trip {
+                    // Learner-side watchdog trip: the diverged partial
+                    // episode is discarded, the fleet halts.
+                    watchdog.push(FleetWatchdogEvent {
+                        episode: episodes.len(),
+                        actor: None,
+                        reason,
+                    });
+                    halted = true;
+                    break 'run;
+                }
+                if episode_end {
+                    let acc = std::mem::take(&mut accum[a]);
+                    let stats_row = EpisodeStats {
+                        episode: episodes.len(),
+                        steps: acc.steps,
+                        total_reward: acc.total_reward,
+                        avg_max_q: if acc.steps > 0 {
+                            acc.q_sum / acc.steps as f64
+                        } else {
+                            0.0
+                        },
+                        mean_loss: if acc.loss_count > 0 {
+                            Some(acc.loss_sum / acc.loss_count as f64)
+                        } else {
+                            None
+                        },
+                        epsilon: agent.epsilon(),
+                        terminated,
+                    };
+                    on_episode(&stats_row);
+                    episodes.push(stats_row);
+                    stats.per_actor_episodes[a] += 1;
+                }
+            }
+            stats.merge_sweeps += 1;
+            if stats.merge_sweeps % cfg.sync_every == 0 {
+                cell.publish(
+                    stats.merge_sweeps / cfg.sync_every,
+                    encode_weight_snapshot(stats.merge_sweeps / cfg.sync_every, agent.q_function()),
+                );
+                stats.snapshot_broadcasts += 1;
+            }
+        }
+
+        // Shutdown: wake snapshot waiters, count and drop whatever the
+        // actors still had in flight (unblocking any full-channel send),
+        // then let the scope join the threads.
+        cell.stop();
+        for (_, rx) in &channels {
+            while let Ok(msg) = rx.try_recv() {
+                if matches!(msg, ActorMsg::Step(_)) {
+                    stats.discarded_messages += 1;
+                }
+            }
+        }
+        drop(channels);
+    });
+
+    FleetOutcome {
+        episodes,
+        stats,
+        halted,
+        watchdog,
+        faults,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::EpsilonSchedule;
+    use crate::toy::Corridor;
+    use crate::training::{train, TrainOptions};
+    use neural::{Loss, MlpSpec, OptimizerSpec};
+
+    fn corridor_config(stream: Option<u64>) -> DqnConfig {
+        DqnConfig {
+            batch_size: 8,
+            replay_capacity: 512,
+            learning_start: 16,
+            initial_exploration: 16,
+            target_update_every: 32,
+            epsilon: EpsilonSchedule {
+                initial: 1.0,
+                final_value: 0.1,
+                decay_per_step: 5e-3,
+            },
+            seed: 7,
+            exploration_stream: stream,
+            ..DqnConfig::default()
+        }
+    }
+
+    fn corridor_agent(stream: Option<u64>) -> DqnAgent<MlpQ> {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let q = MlpQ::new(
+            &MlpSpec::q_network(5, &[16], 2),
+            OptimizerSpec::adam(0.01),
+            Loss::Mse,
+            &mut rng,
+        );
+        DqnAgent::new(q, corridor_config(stream))
+    }
+
+    fn fleet_cfg(actors: usize, episodes: usize) -> FleetConfig {
+        FleetConfig {
+            actors,
+            episodes,
+            max_steps_per_episode: 30,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn run_corridor_fleet(
+        actors: usize,
+        episodes: usize,
+        cfg_tweak: impl FnOnce(&mut FleetConfig),
+    ) -> (FleetOutcome, Vec<u8>) {
+        let mut agent = corridor_agent(None);
+        let mut cfg = fleet_cfg(actors, episodes);
+        cfg_tweak(&mut cfg);
+        let envs: Vec<Corridor> = (0..actors).map(|_| Corridor::new(5)).collect();
+        let out = run_fleet(&mut agent, &cfg, envs, &NoHooks, |_| {}, |_| {});
+        let mut bytes = Vec::new();
+        agent.write_checkpoint(&mut bytes).unwrap();
+        (out, bytes)
+    }
+
+    #[test]
+    fn single_actor_fleet_matches_single_loop_bitwise() {
+        // Reference: the inline loop with exploration split onto the
+        // stream actor 0 would use.
+        let mut ref_agent = corridor_agent(Some(EXPLORATION_STREAM_BASE));
+        let mut env = Corridor::new(5);
+        let ref_stats = train(
+            &mut env,
+            &mut ref_agent,
+            TrainOptions {
+                episodes: 8,
+                max_steps_per_episode: 30,
+            },
+            |_| {},
+        );
+        let mut ref_state = Vec::new();
+        ref_agent.write_learning_state(&mut ref_state).unwrap();
+
+        let mut fleet_agent = corridor_agent(None);
+        let out = run_fleet(
+            &mut fleet_agent,
+            &fleet_cfg(1, 8),
+            vec![Corridor::new(5)],
+            &NoHooks,
+            |_| {},
+            |_| {},
+        );
+        let mut fleet_state = Vec::new();
+        fleet_agent.write_learning_state(&mut fleet_state).unwrap();
+
+        assert_eq!(out.episodes, ref_stats, "episode stats must agree");
+        assert_eq!(ref_state, fleet_state, "learning state must be bitwise equal");
+        assert!(!out.halted);
+    }
+
+    #[test]
+    fn multi_actor_fleet_is_bitwise_reproducible() {
+        for actors in [2, 4] {
+            let (a, a_bytes) = run_corridor_fleet(actors, 8, |_| {});
+            let (b, b_bytes) = run_corridor_fleet(actors, 8, |_| {});
+            assert_eq!(a.episodes, b.episodes, "{actors} actors: stats repeat");
+            assert_eq!(a_bytes, b_bytes, "{actors} actors: checkpoint repeats");
+            assert_eq!(a.stats, b.stats, "{actors} actors: counters repeat");
+            assert_eq!(a.episodes.len(), 8);
+            let merged: u64 = a.stats.per_actor_transitions.iter().sum();
+            assert_eq!(merged, a.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_detected_retried_and_harmless() {
+        let clean = run_corridor_fleet(2, 6, |_| {});
+        let noisy = run_corridor_fleet(2, 6, |c| {
+            c.snapshot_corrupt_rate = 0.5;
+            c.snapshot_fault_seed = 11;
+        });
+        assert!(
+            noisy.0.stats.snapshot_rejects > 0,
+            "the corruption hook must actually fire"
+        );
+        assert_eq!(clean.0.stats.snapshot_rejects, 0);
+        // CRC rejects are retried against the intact cell, so the
+        // trajectory — and therefore the trained agent — is unchanged.
+        assert_eq!(clean.0.episodes, noisy.0.episodes);
+        assert_eq!(clean.1, noisy.1);
+    }
+
+    #[test]
+    fn watchdog_trips_halt_the_fleet_with_the_single_loop_reason_format() {
+        let (out, _) = run_corridor_fleet(2, 8, |c| {
+            c.watchdog_max_abs_q = Some(1e-12);
+        });
+        assert!(out.halted);
+        assert_eq!(out.watchdog.len(), 1);
+        let ev = &out.watchdog[0];
+        assert!(
+            ev.reason.contains("exceeds the watchdog bound"),
+            "got: {}",
+            ev.reason
+        );
+        assert!(ev.actor.is_some());
+        assert!(out.episodes.is_empty(), "tripped partial episodes are discarded");
+    }
+
+    #[test]
+    fn throttled_learning_performs_fewer_gradient_steps() {
+        let run = |learn_every: u64| {
+            let mut agent = corridor_agent(None);
+            let mut cfg = fleet_cfg(2, 24);
+            cfg.learn_every = learn_every;
+            let envs = vec![Corridor::new(5), Corridor::new(5)];
+            let out = run_fleet(&mut agent, &cfg, envs, &NoHooks, |_| {}, |_| {});
+            (out, agent.learn_steps(), agent.steps())
+        };
+        let (full, full_learn, full_steps) = run(1);
+        let (thr, thr_learn, thr_steps) = run(4);
+        assert_eq!(full.episodes.len(), 24);
+        assert_eq!(thr.episodes.len(), 24);
+        assert!(full_learn > 0 && thr_learn > 0, "both modes must learn");
+        assert!(thr_learn < full_learn, "{thr_learn} < {full_learn}");
+        // Every merged transition still lands in the replay memory.
+        assert_eq!(full.stats.transitions, full_steps);
+        assert_eq!(thr.stats.transitions, thr_steps);
+    }
+
+    #[test]
+    fn episode_quota_splits_round_robin() {
+        let (out, _) = run_corridor_fleet(4, 6, |_| {});
+        assert_eq!(out.episodes.len(), 6);
+        let mut per_actor = out.stats.per_actor_episodes.clone();
+        per_actor.sort_unstable();
+        assert_eq!(per_actor, vec![1, 1, 2, 2]);
+    }
+}

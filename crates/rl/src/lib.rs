@@ -24,6 +24,9 @@
 //!   corruption-aware recovery.
 //! * [`toy`] — small deterministic MDPs used to validate learning
 //!   end-to-end in tests.
+//! * [`fleet`] — the Ape-X-style actor–learner split: N actor threads
+//!   generating experience in parallel, merged deterministically into one
+//!   learner with CRC-checked weight-snapshot broadcast.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@
 pub mod checkpoint;
 pub mod dqn;
 pub mod env;
+pub mod fleet;
 pub mod nstep;
 pub mod qfunc;
 pub mod replay;
@@ -43,6 +47,10 @@ pub mod vecenv;
 pub use checkpoint::{CheckpointManager, RngState};
 pub use dqn::{DqnAgent, DqnConfig, TargetRule};
 pub use env::{clip_reward, EnvError, Environment, StepOutcome};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetEnvFault, FleetFault, FleetHooks, FleetOutcome, FleetStats,
+    FleetWatchdogEvent, NoHooks, EXPLORATION_STREAM_BASE,
+};
 pub use nstep::NStepAccumulator;
 pub use qfunc::{DuelingQ, MlpQ, QFunction};
 pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};

@@ -217,6 +217,7 @@ mod tests {
                 prioritized_alpha: None,
                 boltzmann_temperature: None,
                 seed,
+                exploration_stream: None,
                 frame_layout: Default::default(),
             },
         )
