@@ -1,0 +1,126 @@
+//! **Micro-batched inference bench** — per-row act-path latency for
+//! per-actor private forwards vs the cross-actor micro-batched service
+//! path ([`neural::BatchScratch`]) at the paper's network shape
+//! (16,599 → 135 → 135 → 12, 9,792-element receptor prefix) and 1, 2, 4,
+//! and 8 actors.
+//!
+//! The per-actor baseline models what the fleet's actors actually do
+//! without the service: each actor owns a decoded copy of the weights and
+//! a private [`neural::PrefixCache`], and runs one-row factored predicts.
+//! The batched side stacks the same rows into one matrix and runs a
+//! single prefix-factored forward ([`BatchScratch::forward`]) before
+//! scattering the Q-rows back out — exactly the service's serve cycle.
+//! Parity is asserted bitwise before any timing: batching is a pure
+//! throughput lever, never an accuracy trade.
+//!
+//! The win comes from layer-0 weight reuse: the suffix weight panel
+//! (135 × 6,807 floats ≈ 3.7 MB) streams from memory once per *batch*
+//! instead of once per *row*. The acceptance number (≥1.4× aggregate
+//! act-path throughput at 4 actors) is recorded in
+//! `BENCH_infer_batch.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neural::{BatchScratch, Mlp, MlpSpec, PrefixCache};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const DIM: usize = 16_599;
+const PREFIX: usize = 9_792;
+const ACTIONS: usize = 12;
+
+/// One synthetic featurized state: a shared receptor prefix (identical
+/// across rows, as in the real environment) and a per-(row, step) ligand
+/// suffix.
+fn state_row(r: usize, step: usize) -> Vec<f32> {
+    (0..DIM)
+        .map(|c| {
+            if c < PREFIX {
+                (c as f32 * 0.19).sin()
+            } else {
+                ((r * 977 + step * 31 + c) as f32 * 0.41).cos()
+            }
+        })
+        .collect()
+}
+
+fn infer_batch(c: &mut Criterion) {
+    neural::set_parallel(false);
+    neural::set_default_kernel(neural::MatmulKernel::Simd);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mlp = Mlp::new(&MlpSpec::q_network(DIM, &[135, 135], ACTIONS), &mut rng);
+
+    let mut group = c.benchmark_group("infer_batch");
+    group.sample_size(10);
+
+    for actors in [1usize, 2, 4, 8] {
+        // Per-actor: each actor holds its own decoded copy of the weights.
+        let per_actor_nets: Vec<Mlp> = (0..actors).map(|_| mlp.clone()).collect();
+        let mut per_caches: Vec<PrefixCache> = (0..actors).map(|_| PrefixCache::new()).collect();
+        let mut svc_cache = PrefixCache::new();
+        let mut scratch = BatchScratch::new();
+        let mut qs = Vec::new();
+
+        // Parity check (and warmup): batched rows bitwise == per-actor rows.
+        let states: Vec<Vec<f32>> = (0..actors).map(|r| state_row(r, 0)).collect();
+        scratch.begin(actors, DIM);
+        for (r, s) in states.iter().enumerate() {
+            scratch.row_mut(r).copy_from_slice(s);
+        }
+        scratch.forward(&mlp, PREFIX, &mut svc_cache);
+        for (r, s) in states.iter().enumerate() {
+            per_actor_nets[r].predict_factored_into(
+                &s[..PREFIX],
+                &s[PREFIX..],
+                &mut per_caches[r],
+                &mut qs,
+            );
+            for (a, b) in scratch.out_row(r).iter().zip(&qs) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parity failed: actor {r}");
+            }
+        }
+
+        // 8 distinct sweeps so neither side replays one cached activation.
+        let steps: Vec<Vec<Vec<f32>>> = (0..8)
+            .map(|st| (0..actors).map(|r| state_row(r, st)).collect())
+            .collect();
+        group.throughput(Throughput::Elements((8 * actors) as u64));
+
+        group.bench_with_input(BenchmarkId::new("per_actor", actors), &actors, |b, _| {
+            b.iter(|| {
+                for step in &steps {
+                    for (r, s) in step.iter().enumerate() {
+                        per_actor_nets[r].predict_factored_into(
+                            &s[..PREFIX],
+                            &s[PREFIX..],
+                            &mut per_caches[r],
+                            &mut qs,
+                        );
+                        black_box(&qs);
+                    }
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("micro_batched", actors), &actors, |b, _| {
+            b.iter(|| {
+                for step in &steps {
+                    scratch.begin(actors, DIM);
+                    for (r, s) in step.iter().enumerate() {
+                        scratch.row_mut(r).copy_from_slice(s);
+                    }
+                    scratch.forward(&mlp, PREFIX, &mut svc_cache);
+                    for r in 0..actors {
+                        qs.clear();
+                        qs.extend_from_slice(scratch.out_row(r));
+                        black_box(&qs);
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, infer_batch);
+criterion_main!(benches);

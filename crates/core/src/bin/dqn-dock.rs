@@ -4,6 +4,7 @@
 //! dqn-dock info                         # show the configuration & complex
 //! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
 //!                 [--actors N] [--sync-every N] [--learn-every N]
+//!                 [--infer-batch N] [--infer-mode lockstep|throughput]
 //!                 [--scoring-kernel sequential|parallel|grid|simd|auto]
 //!                 [--policy FILE] [--csv FILE] [--report FILE]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -70,6 +71,8 @@ fn command_spec(command: &str) -> Option<CommandSpec> {
                 "--actors",
                 "--sync-every",
                 "--learn-every",
+                "--infer-batch",
+                "--infer-mode",
                 "--policy",
                 "--csv",
                 "--report",
@@ -79,6 +82,7 @@ fn command_spec(command: &str) -> Option<CommandSpec> {
             ],
             usage: "usage: dqn-dock train [--episodes N] [--paper] [--flexible] [--seed S] \
                     [--actors N] [--sync-every N] [--learn-every N] [--scoring-kernel K] \
+                    [--infer-batch N] [--infer-mode lockstep|throughput] \
                     [--policy FILE] [--csv FILE] [--report FILE] [--checkpoint-dir DIR] \
                     [--checkpoint-every N] [--keep-last K] [--resume] \
                     [--transport direct|ram|file] [--transport-retries N] \
@@ -397,6 +401,9 @@ fn cmd_train(args: &Args) {
     if args.value("--sync-every").is_some() || args.value("--learn-every").is_some() {
         args.die("--sync-every/--learn-every are fleet schedule knobs; they require --actors N");
     }
+    if args.value("--infer-batch").is_some() || args.value("--infer-mode").is_some() {
+        args.die("--infer-batch/--infer-mode configure the fleet's inference service; they require --actors N");
+    }
 
     let mut env = DockingEnv::from_config(&config);
     println!("{}", kernel_provenance(config.kernel));
@@ -439,6 +446,48 @@ fn cmd_train(args: &Args) {
     }
 }
 
+/// Resolves `--infer-batch` / `--infer-mode` into the fleet's inference-
+/// service options. `--infer-mode` alone is a usage error (there is no
+/// batch size to apply it to); lockstep mode on a deep snapshot schedule
+/// (`sync_every > 1`) would deadlock the sweep barrier, so it is rejected
+/// here with an actionable message instead of panicking inside the fleet.
+/// With `--infer-batch` alone the mode follows the schedule: lockstep when
+/// `sync_every == 1` (deterministic batching), throughput otherwise.
+fn resolve_infer(args: &Args, sync_every: u64) -> Option<rl::InferOptions> {
+    let batch = match args.value("--infer-batch") {
+        None => {
+            if args.value("--infer-mode").is_some() {
+                args.die("--infer-mode requires --infer-batch N");
+            }
+            return None;
+        }
+        Some(_) => args.parse("--infer-batch", 0usize),
+    };
+    if batch == 0 {
+        args.die("--infer-batch needs at least one state per batch");
+    }
+    let mode = match args.value("--infer-mode") {
+        None => {
+            if sync_every == 1 {
+                rl::InferMode::Lockstep
+            } else {
+                rl::InferMode::Throughput
+            }
+        }
+        Some("lockstep") => rl::InferMode::Lockstep,
+        Some("throughput") => rl::InferMode::Throughput,
+        Some(other) => args.die(&format!("unknown infer mode {other:?} (lockstep|throughput)")),
+    };
+    if mode == rl::InferMode::Lockstep && sync_every != 1 {
+        args.die(
+            "--infer-mode lockstep requires --sync-every 1: the lockstep batcher \
+             waits for every live actor each sweep, which deadlocks against a \
+             deeper snapshot schedule (use --infer-mode throughput instead)",
+        );
+    }
+    Some(rl::InferOptions { max_batch: batch, mode })
+}
+
 /// The `--actors N` path: actor–learner fleet training. Defaults to the
 /// Ape-X throughput schedule (`learn_every = actors`), overridable with
 /// `--sync-every` / `--learn-every`. Fleet runs do not checkpoint — each
@@ -461,6 +510,7 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
     if opts.sync_every == 0 || opts.learn_every == 0 {
         args.die("--sync-every/--learn-every must be at least 1");
     }
+    opts.infer = resolve_infer(args, opts.sync_every);
 
     println!("{}", kernel_provenance(config.kernel));
     println!(
@@ -468,6 +518,16 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
          (snapshot broadcast every {} sweep(s), gradient step per {} merged transition(s))...",
         config.episodes, opts.sync_every, opts.learn_every
     );
+    if let Some(infer) = opts.infer {
+        println!(
+            "inference service: micro-batching up to {} states per forward ({} mode)",
+            infer.max_batch,
+            match infer.mode {
+                rl::InferMode::Lockstep => "lockstep",
+                rl::InferMode::Throughput => "throughput",
+            }
+        );
+    }
 
     let episodes = config.episodes;
     let fleet = trainer::run_fleet(config, &opts, |ep| print_episode(ep, episodes));
@@ -475,11 +535,23 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
     print_run_summary(run);
     let s = &fleet.fleet;
     println!(
-        "fleet: {} transitions over {} merge sweeps; {} snapshot broadcasts, \
-         {} CRC rejects, {} messages discarded at shutdown",
-        s.transitions, s.merge_sweeps, s.snapshot_broadcasts, s.snapshot_rejects,
-        s.discarded_messages
+        "fleet: {} transitions over {} merge sweeps; {} snapshot broadcasts \
+         ({} re-encoded), {} CRC rejects, {} messages discarded at shutdown",
+        s.transitions, s.merge_sweeps, s.snapshot_broadcasts, s.snapshot_encodes,
+        s.snapshot_rejects, s.discarded_messages
     );
+    if let Some(b) = &fleet.infer {
+        println!(
+            "inference service: {} rows in {} batches (mean occupancy {:.2}, \
+             peak {}, {:.0}% of rows coalesced, {} snapshot decodes)",
+            b.rows,
+            b.batches,
+            b.mean_occupancy(),
+            b.peak_batch,
+            b.coalesced_fraction() * 100.0,
+            b.snapshot_decodes
+        );
+    }
     save_artifacts(args, config, run, &fleet.agent, Some(&fleet));
     if run.halted {
         std::process::exit(2);

@@ -53,7 +53,7 @@ pub use actions::{Action, ActionSet};
 pub use checkpoint::CheckpointOptions;
 pub use config::{Config, StateLayout, WatchdogConfig};
 pub use env::{DockingEnv, EnvFaultRecord};
-pub use policy::{evaluate, rollout, EvalReport, Policy, Trajectory};
+pub use policy::{evaluate, evaluate_batched, rollout, EvalReport, Policy, Trajectory};
 pub use report::{fleet_report, training_report};
 pub use trainer::{
     run, run_checkpointed, run_fleet, CheckpointedRun, FaultEvent, FleetOptions, FleetRun,

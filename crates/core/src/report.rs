@@ -175,15 +175,33 @@ pub fn fleet_report(config: &Config, fleet: &FleetRun) -> String {
     let _ = writeln!(
         out,
         "{} actors streamed {} transitions over {} merge sweeps; {} weight \
-         snapshots broadcast, {} rejected by actors (CRC) and re-read, {} \
+         snapshots broadcast ({} freshly encoded, the rest reused a cached \
+         payload), {} rejected by actors (CRC) and re-read, {} \
          in-flight messages discarded at shutdown.\n",
         s.per_actor_transitions.len(),
         s.transitions,
         s.merge_sweeps,
         s.snapshot_broadcasts,
+        s.snapshot_encodes,
         s.snapshot_rejects,
         s.discarded_messages
     );
+    if let Some(b) = &fleet.infer {
+        let _ = writeln!(out, "\n### Micro-batched inference service\n");
+        let _ = writeln!(
+            out,
+            "Actors routed {} Q-evaluations through the shared service in {} \
+             batched forwards — mean occupancy {:.2} states per forward (peak \
+             {}), {:.0}% of rows coalesced with at least one other actor's, \
+             {} weight-snapshot decodes service-side.\n",
+            b.rows,
+            b.batches,
+            b.mean_occupancy(),
+            b.peak_batch,
+            b.coalesced_fraction() * 100.0,
+            b.snapshot_decodes
+        );
+    }
     let _ = writeln!(out, "| actor | episodes | transitions |");
     let _ = writeln!(out, "|---|---|---|");
     for (i, (eps, trans)) in s
@@ -288,12 +306,30 @@ mod tests {
             "# DQN-Docking training report",
             "## Fleet",
             "2 actors streamed",
+            "freshly encoded",
             "| actor | episodes | transitions |",
             "| 0 | ",
             "| 1 | ",
         ] {
             assert!(md.contains(needle), "missing {needle:?}:\n{md}");
         }
+        // No inference service configured → no batcher section.
+        assert!(!md.contains("Micro-batched inference service"));
+    }
+
+    #[test]
+    fn fleet_report_includes_batcher_stats_when_the_service_ran() {
+        let mut c = Config::tiny();
+        c.episodes = 4;
+        c.max_steps = 15;
+        let mut opts = trainer::FleetOptions::lockstep(2);
+        opts.infer = Some(rl::InferOptions::lockstep(8));
+        let fleet = trainer::run_fleet(&c, &opts, |_| {});
+        let md = fleet_report(&c, &fleet);
+        assert!(md.contains("### Micro-batched inference service"));
+        let b = fleet.infer.expect("service stats");
+        assert!(md.contains(&format!("{} Q-evaluations", b.rows)));
+        assert!(md.contains(&format!("{} batched forwards", b.batches)));
     }
 
     #[test]

@@ -602,6 +602,9 @@ pub struct FleetOptions {
     pub learn_every: u64,
     /// Bounded per-actor channel depth.
     pub channel_capacity: usize,
+    /// Cross-actor micro-batched Q-inference service (`--infer-batch`).
+    /// `None` keeps per-actor private forwards.
+    pub infer: Option<rl::InferOptions>,
 }
 
 impl FleetOptions {
@@ -616,6 +619,7 @@ impl FleetOptions {
             sync_every: 1,
             learn_every: 1,
             channel_capacity: 4,
+            infer: None,
         }
     }
 
@@ -648,6 +652,9 @@ pub struct FleetRun {
     pub run: TrainingRun,
     /// Fleet throughput and health counters.
     pub fleet: rl::FleetStats,
+    /// Micro-batched inference-service counters, when `opts.infer` enabled
+    /// the service. Deterministic only under the lockstep batching mode.
+    pub infer: Option<rl::InferStats>,
     /// The learner agent as it stood at the end of the run.
     pub agent: DqnAgent<MlpQ>,
 }
@@ -720,6 +727,7 @@ pub fn run_fleet(
         watchdog_max_abs_q: config.watchdog.enabled.then_some(config.watchdog.max_abs_q),
         snapshot_corrupt_rate: 0.0,
         snapshot_fault_seed: 0,
+        infer: opts.infer,
     };
 
     // Best-pose fold, replayed in deterministic merge order — the same
@@ -772,6 +780,7 @@ pub fn run_fleet(
     FleetRun {
         run,
         fleet: outcome.stats,
+        infer: outcome.infer,
         agent,
     }
 }

@@ -77,6 +77,75 @@ fn two_actor_fleet_is_bitwise_reproducible() {
 }
 
 #[test]
+fn batched_inference_fleet_is_bitwise_identical_to_per_actor_forwards() {
+    let config = test_config();
+    for actors in [1usize, 2, 4] {
+        let plain = trainer::run_fleet(&config, &trainer::FleetOptions::lockstep(actors), |_| {});
+        let mut opts = trainer::FleetOptions::lockstep(actors);
+        opts.infer = Some(rl::InferOptions::lockstep(actors.max(2)));
+        let svc = trainer::run_fleet(&config, &opts, |_| {});
+
+        assert_eq!(
+            svc.run.episodes, plain.run.episodes,
+            "{actors} actors: episode statistics must match bitwise"
+        );
+        assert_eq!(svc.run.best_score, plain.run.best_score, "{actors} actors");
+        assert_eq!(svc.run.best_rmsd, plain.run.best_rmsd, "{actors} actors");
+        assert_eq!(svc.run.evaluations, plain.run.evaluations, "{actors} actors");
+        assert_eq!(
+            svc.run.to_csv(),
+            plain.run.to_csv(),
+            "{actors} actors: training curve must match bitwise"
+        );
+        assert_eq!(
+            learning_state(&svc.agent),
+            learning_state(&plain.agent),
+            "{actors} actors: learner state must match bitwise"
+        );
+        let stats = svc.infer.expect("service stats reported");
+        assert_eq!(stats.rows, svc.fleet.transitions, "one Q-row per merged transition");
+        assert!(plain.infer.is_none());
+    }
+}
+
+#[test]
+fn chaos_soak_with_inference_service_recovers() {
+    let mut config = test_config();
+    config.transport.mode = TransportMode::Ram;
+    config.transport.fault_rate = 0.25;
+    config.transport.fault_seed = 7;
+    config.transport.retries = 5;
+    config.transport.timeout_ms = 250;
+
+    let mut opts = trainer::FleetOptions::throughput(4);
+    opts.infer = Some(rl::InferOptions::throughput(4));
+    let fleet = trainer::run_fleet(&config, &opts, |_| {});
+
+    assert_eq!(
+        fleet.run.episodes.len(),
+        config.episodes,
+        "every episode must finish despite the fault storm"
+    );
+    assert!(!fleet.run.halted);
+    assert!(
+        !fleet.run.fault_events.is_empty(),
+        "a 25% fault rate must surface ledgered faults"
+    );
+    let recovered = fleet.run.fault_events.iter().filter(|f| f.recovered).count();
+    assert!(recovered > 0, "supervision must recover at least some faults");
+    let stats = fleet.infer.expect("service stats reported");
+    // Every merged transition was served a Q-row; rounds whose step faulted
+    // unrecovered still predicted but merged no transition, so rows may
+    // exceed transitions — never the other way around.
+    assert!(
+        stats.rows >= fleet.fleet.transitions,
+        "{} rows served < {} merged transitions",
+        stats.rows,
+        fleet.fleet.transitions
+    );
+}
+
+#[test]
 fn chaos_soak_completes_with_faults_ledgered() {
     let mut config = test_config();
     config.transport.mode = TransportMode::Ram;

@@ -1,0 +1,184 @@
+//! Micro-batch assembly scratch: the zero-allocation batched act path.
+//!
+//! The inference service in the `rl` crate coalesces one-row predict
+//! requests from several actor threads into a single stacked forward.
+//! That path has three phases — **stack** request rows into one matrix,
+//! **forward** the stack through the network once, **scatter** the output
+//! rows back to the requesters — and all three must be allocation-free in
+//! steady state, exactly like the training step's [`TrainScratch`]
+//! (pinned by `tests/zero_alloc_infer.rs` under the counting allocator).
+//!
+//! [`BatchScratch`] owns every buffer those phases touch: the stacked
+//! input matrix plus the ping/pong/output trio the layer loop writes. The
+//! batch height may change on every call (the service closes batches at
+//! whatever occupancy the queue offers); `begin` reshapes within capacity,
+//! so buffers grow to the high-water mark once and are reused forever.
+//!
+//! The forward itself is [`Mlp::forward_factored_into`] when a static
+//! prefix is in play (one shared [`PrefixCache`] resume over the stacked
+//! rows — see [`prefix`](crate::prefix)) and
+//! [`Mlp::forward_reusing_into`] otherwise, so each output row is
+//! bit-identical to the row's one-shot [`Mlp::predict_into`] result: both
+//! paths fix the per-element accumulation order per output neuron, and
+//! rows are independent accumulators.
+
+use crate::matrix::Matrix;
+use crate::network::Mlp;
+use crate::prefix::PrefixCache;
+
+/// Reusable buffers for stacking feature rows and running one batched
+/// (optionally prefix-factored) forward over them — the act-path
+/// counterpart of [`TrainScratch`](crate::TrainScratch). Create one per
+/// serving thread and reuse it for every batch; any batch height works.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    /// The stacked request rows, `(rows, input_width)`.
+    input: Matrix,
+    /// Hidden-layer ping buffer.
+    ping: Matrix,
+    /// Hidden-layer pong buffer.
+    pong: Matrix,
+    /// The batched prediction, `(rows, output_width)`.
+    out: Matrix,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch::new()
+    }
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers take shape lazily on first use.
+    pub fn new() -> Self {
+        BatchScratch {
+            input: Matrix::zeros(0, 0),
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+            out: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Starts a new batch of `rows` feature rows of width `cols`: the
+    /// stacked input is reshaped (within capacity once warm) and zeroed,
+    /// ready for [`row_mut`](Self::row_mut) fills.
+    ///
+    /// # Panics
+    /// If `rows` or `cols` is zero.
+    pub fn begin(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "empty batch");
+        self.input.reshape_fill(rows, cols, 0.0);
+    }
+
+    /// The number of rows staged by the last [`begin`](Self::begin).
+    pub fn rows(&self) -> usize {
+        self.input.rows()
+    }
+
+    /// Mutable view of staged row `r`, for the caller to copy a feature
+    /// vector into.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        self.input.row_mut(r)
+    }
+
+    /// Runs one batched forward over the staged rows. With a non-trivial
+    /// `prefix_len` the stacked rows go through the factored layer-0
+    /// resume (`cache` holds the shared receptor partials; rows whose
+    /// prefixes differ fall back to the unfactored forward inside it);
+    /// with `prefix_len == 0` the plain reusing forward runs. Either way
+    /// each output row is bit-identical to `mlp.predict_into` on that row.
+    ///
+    /// # Panics
+    /// If the staged width does not match the network input width.
+    pub fn forward(&mut self, mlp: &Mlp, prefix_len: usize, cache: &mut PrefixCache) {
+        if prefix_len > 0 && prefix_len <= self.input.cols() {
+            mlp.forward_factored_into(
+                &self.input,
+                prefix_len,
+                cache,
+                &mut self.ping,
+                &mut self.pong,
+                &mut self.out,
+            );
+        } else {
+            mlp.forward_reusing_into(&self.input, &mut self.ping, &mut self.pong, &mut self.out);
+        }
+    }
+
+    /// The batched prediction written by the last
+    /// [`forward`](Self::forward).
+    pub fn out(&self) -> &Matrix {
+        &self.out
+    }
+
+    /// Output row `r` of the last [`forward`](Self::forward) — the
+    /// Q-values to scatter back to requester `r`.
+    pub fn out_row(&self, r: usize) -> &[f32] {
+        self.out.row(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InputSplit, MlpSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(input: usize) -> Mlp {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        Mlp::new(&MlpSpec::q_network(input, &[16, 12], 4), &mut rng)
+    }
+
+    fn feature_row(split: InputSplit, width: usize, r: usize) -> Vec<f32> {
+        (0..width)
+            .map(|c| {
+                if c < split.prefix_len {
+                    (c as f32 * 0.19).sin()
+                } else {
+                    ((r * 97 + c) as f32 * 0.41).cos()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_rows_match_single_row_predicts() {
+        let width = 20;
+        let mlp = net(width);
+        for prefix_len in [0usize, 8] {
+            let split = InputSplit::new(prefix_len, 0);
+            let mut scratch = BatchScratch::new();
+            let mut cache = PrefixCache::new();
+            // Varying heights, including re-use at a smaller height.
+            for rows in [1usize, 5, 3, 8] {
+                scratch.begin(rows, width);
+                let states: Vec<Vec<f32>> =
+                    (0..rows).map(|r| feature_row(split, width, r)).collect();
+                for (r, s) in states.iter().enumerate() {
+                    scratch.row_mut(r).copy_from_slice(s);
+                }
+                scratch.forward(&mlp, prefix_len, &mut cache);
+                let mut reference = Vec::new();
+                for (r, s) in states.iter().enumerate() {
+                    mlp.predict_into(s, &mut reference);
+                    let got = scratch.out_row(r);
+                    assert_eq!(got.len(), reference.len());
+                    for (a, b) in got.iter().zip(&reference) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "prefix {prefix_len}, rows {rows}, row {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn zero_rows_panics() {
+        BatchScratch::new().begin(0, 4);
+    }
+}

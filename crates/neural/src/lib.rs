@@ -20,7 +20,10 @@
 //! * [`network`] — the [`network::Mlp`] tying it together, with binary
 //!   save/load for checkpointing trained agents;
 //! * [`scratch`] — the persistent [`scratch::TrainScratch`] buffers behind
-//!   the zero-allocation training step (`Mlp::train_step_reusing`).
+//!   the zero-allocation training step (`Mlp::train_step_reusing`);
+//! * [`batch`] — the [`batch::BatchScratch`] buffers behind the
+//!   zero-allocation micro-batched act path (stack → one forward →
+//!   scatter), used by the `rl` crate's shared inference service.
 //!
 //! Everything is `f32` (the DL convention; also halves the memory of the
 //! paper-scale 16,599-input network) and deterministic given a seeded RNG.
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod batch;
 pub mod clip;
 pub mod gemm;
 pub mod gradcheck;
@@ -45,6 +49,7 @@ pub mod prefix;
 pub mod scratch;
 
 pub use activation::Activation;
+pub use batch::BatchScratch;
 pub use clip::{clip_by_global_norm, global_norm};
 pub use gemm::{
     cpu_features, default_kernel, parallel_enabled, resolved_kernel_description,

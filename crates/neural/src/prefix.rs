@@ -339,16 +339,10 @@ impl PrefixCache {
                 .par_chunks_mut(ROWS_PER_CHUNK * n_out)
                 .enumerate()
                 .for_each(|(c, chunk)| {
-                    for (r, out_row) in chunk.chunks_mut(n_out).enumerate() {
-                        let row = input.row(c * ROWS_PER_CHUNK + r);
-                        cache.continue_row(layer, &row[p..], out_row);
-                    }
+                    cache.continue_rows(layer, input, p, c * ROWS_PER_CHUNK, chunk);
                 });
         } else {
-            for r in 0..rows {
-                let (head, tail) = (input.row(r), out.row_mut(r));
-                cache.continue_row(layer, &head[p..], tail);
-            }
+            cache.continue_rows(layer, input, p, 0, out.data_mut());
         }
         out.add_row_broadcast(&layer.bias);
         layer.activation.apply_matrix_in_place(out);
@@ -382,6 +376,131 @@ impl PrefixCache {
                 let mode = (mode != gemm::simd::Mode::Fallback).then_some(mode);
                 self.resume_lane_state(layer, dynamic, out_row, mode);
             }
+        }
+    }
+
+    /// Resumes a contiguous block of `input` rows (`first_row` onward;
+    /// the block height comes from `out_chunk.len() / n_out`) with the
+    /// loops interchanged: the neuron sweep is outermost and each weight
+    /// panel is replayed across a small block of rows before moving on.
+    ///
+    /// [`continue_row`](Self::continue_row) streams the **entire** layer-0
+    /// weight suffix — `n_out × (k − p)` floats, ~3.7 MB at the paper
+    /// shape, far beyond L2 — once per row, so a micro-batch of N rows
+    /// reads it N times from DRAM. Here a 4-neuron weight panel (~109 KB
+    /// at the paper shape) stays cache-resident while up to `ROW_BLOCK`
+    /// rows consume it, cutting the weight traffic per batch by the block
+    /// height. Per-(row, neuron) arithmetic is exactly `continue_row`'s
+    /// (rows are independent accumulators), so results are bit-identical;
+    /// only the traversal order over independent outputs changes.
+    fn continue_rows(
+        &self,
+        layer: &Dense,
+        input: &Matrix,
+        p: usize,
+        first_row: usize,
+        out_chunk: &mut [f32],
+    ) {
+        let n_out = self.n_out;
+        let rows = out_chunk.len() / n_out;
+        debug_assert_eq!(out_chunk.len(), rows * n_out);
+        // Rows sharing one sweep of the weight panels: 4 paper-shape rows
+        // of dynamic suffix (~27 KB each) plus a panel fit in L2.
+        const ROW_BLOCK: usize = 4;
+        let mode = match self.kernel {
+            MatmulKernel::Simd => {
+                let m = gemm::simd::resolve_mode(self.fma);
+                (m != gemm::simd::Mode::Fallback).then_some(m)
+            }
+            _ => None,
+        };
+        let mut rb = 0;
+        while rb < rows {
+            let height = ROW_BLOCK.min(rows - rb);
+            let out_block = &mut out_chunk[rb * n_out..(rb + height) * n_out];
+            match self.kernel {
+                MatmulKernel::Naive => {
+                    for j in 0..n_out {
+                        let w = layer.weights.row(j);
+                        for r in 0..height {
+                            let dynamic = &input.row(first_row + rb + r)[p..];
+                            let mut acc = self.partials[j];
+                            for (&x, &wv) in dynamic.iter().zip(&w[p..]) {
+                                acc += x * wv;
+                            }
+                            out_block[r * n_out + j] = acc;
+                        }
+                    }
+                }
+                MatmulKernel::Blocked | MatmulKernel::Simd => {
+                    self.resume_rows_lane_state(layer, input, p, first_row + rb, out_block, mode);
+                }
+            }
+            rb += height;
+        }
+    }
+
+    /// The row-blocked lane-state resume behind
+    /// [`continue_rows`](Self::continue_rows): identical per-row calls
+    /// into `resume4`/`resume1` as [`resume_lane_state`]
+    /// (Self::resume_lane_state), but with the 4-neuron panel loop hoisted
+    /// outside the row loop so the panel's weights are re-read from cache,
+    /// not DRAM, for every row after the first.
+    fn resume_rows_lane_state(
+        &self,
+        layer: &Dense,
+        input: &Matrix,
+        p: usize,
+        first_row: usize,
+        out_block: &mut [f32],
+        mode: Option<gemm::simd::Mode>,
+    ) {
+        let k = self.k;
+        let n_out = self.n_out;
+        let height = out_block.len() / n_out;
+        let weights = &layer.weights;
+        let mut j = 0;
+        while j + 4 <= n_out {
+            let w = [
+                weights.row(j),
+                weights.row(j + 1),
+                weights.row(j + 2),
+                weights.row(j + 3),
+            ];
+            let lanes = [
+                &self.lanes[j * LANES..(j + 1) * LANES],
+                &self.lanes[(j + 1) * LANES..(j + 2) * LANES],
+                &self.lanes[(j + 2) * LANES..(j + 3) * LANES],
+                &self.lanes[(j + 3) * LANES..(j + 4) * LANES],
+            ];
+            let tails = [
+                self.partials[j],
+                self.partials[j + 1],
+                self.partials[j + 2],
+                self.partials[j + 3],
+            ];
+            for r in 0..height {
+                let dynamic = &input.row(first_row + r)[p..];
+                let d = match mode {
+                    None => resume4(dynamic, p, k, w, lanes, tails),
+                    Some(m) => gemm::simd::resume4_simd(dynamic, p, k, w, lanes, tails, m),
+                };
+                out_block[r * n_out + j..r * n_out + j + 4].copy_from_slice(&d);
+            }
+            j += 4;
+        }
+        while j < n_out {
+            let w = weights.row(j);
+            let lanes = &self.lanes[j * LANES..(j + 1) * LANES];
+            let tail = self.partials[j];
+            for r in 0..height {
+                let dynamic = &input.row(first_row + r)[p..];
+                out_block[r * n_out + j] = match mode {
+                    None => resume1(dynamic, p, k, w, lanes, tail),
+                    Some(m) => gemm::simd::resume1_simd(dynamic, p, k, w, lanes, tail, m),
+                };
+            }
+            j += 1;
         }
     }
 

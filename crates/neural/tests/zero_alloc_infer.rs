@@ -1,0 +1,182 @@
+//! The micro-batched inference path, proven allocation-free: a warm
+//! [`neural::BatchScratch`] cycle — stack rows, one factored batched
+//! forward, scatter the Q-rows back out — performs **zero heap
+//! allocations** at the paper's network shape (16,599-dim state,
+//! 9,792-element receptor prefix) for every batch size the fleet's
+//! inference service closes, 1 through 8 states per forward.
+//!
+//! A counting global allocator wraps `System`; three warm-up cycles per
+//! batch size grow the stack/ping-pong/output matrices and build the
+//! prefix cache, after which five tracked cycles per size must not touch
+//! the allocator at all. Shrinking to a smaller batch reuses the larger
+//! batch's capacity (`Matrix::reshape_fill` never frees), so the tracked
+//! sweep deliberately mixes sizes in both directions.
+//!
+//! Parallel dispatch is switched off via [`neural::set_parallel`] first
+//! (pure scheduling; results are bitwise identical), and this file holds
+//! exactly one test so no sibling test's allocations can race the
+//! counters; the CI zero-alloc step runs it single-threaded.
+
+use neural::{BatchScratch, Matrix, Mlp, MlpSpec, PrefixCache};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every heap operation while `TRACKING` is on; defers to `System`.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACKING.load(Ordering::Relaxed) {
+            FREES.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const DIM: usize = 16_599;
+const PREFIX: usize = 9_792;
+const MAX_BATCH: usize = 8;
+
+/// One full service cycle at `rows` states: stack, forward, scatter.
+fn cycle(
+    mlp: &Mlp,
+    scratch: &mut BatchScratch,
+    cache: &mut PrefixCache,
+    states: &[Vec<f32>],
+    qs: &mut Vec<f32>,
+    rows: usize,
+) {
+    scratch.begin(rows, DIM);
+    for r in 0..rows {
+        scratch.row_mut(r).copy_from_slice(&states[r]);
+    }
+    scratch.forward(mlp, PREFIX, cache);
+    for r in 0..rows {
+        qs.clear();
+        qs.extend_from_slice(scratch.out_row(r));
+        std::hint::black_box(&qs);
+    }
+}
+
+fn counters() -> (u64, u64, u64) {
+    (
+        ALLOCS.load(Ordering::SeqCst),
+        REALLOCS.load(Ordering::SeqCst),
+        FREES.load(Ordering::SeqCst),
+    )
+}
+
+#[test]
+fn steady_state_batched_inference_allocates_nothing_at_paper_shape() {
+    neural::set_parallel(false);
+
+    // The paper's network (16,599 → 135 → 135 → 12) with the 2BSM receptor
+    // block (3,264 atoms × 3 = 9,792 reals) as the cached prefix. All rows
+    // share the prefix — exactly what the fleet's service batches.
+    let spec = MlpSpec::q_network(DIM, &[135, 135], 12);
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mlp = Mlp::new(&spec, &mut rng);
+    let states: Vec<Vec<f32>> = (0..MAX_BATCH)
+        .map(|r| {
+            Matrix::from_fn(1, DIM, |_, c| {
+                if c < PREFIX {
+                    ((c * 131) as f32 * 0.0007).sin()
+                } else {
+                    ((r * 977 + c) as f32 * 0.0004).cos()
+                }
+            })
+            .row(0)
+            .to_vec()
+        })
+        .collect();
+
+    let mut scratch = BatchScratch::new();
+    let mut cache = PrefixCache::new();
+    let mut qs = Vec::new();
+
+    // The same sweep runs twice: on the default (Blocked) kernel and on the
+    // runtime-dispatched Simd kernel. The cache rebuilds once per kernel
+    // during warm-up, then both must be heap-silent.
+    for kernel in [neural::MatmulKernel::default(), neural::MatmulKernel::Simd] {
+        neural::set_default_kernel(kernel);
+
+        // Warm-up: grow every matrix to the largest batch, then touch each
+        // smaller size so per-size steady state is established.
+        for rows in 1..=MAX_BATCH {
+            for _ in 0..3 {
+                cycle(&mlp, &mut scratch, &mut cache, &states, &mut qs, rows);
+            }
+        }
+        assert!(cache.is_warm(), "warm-up must have built the prefix cache");
+        let rebuilds = cache.rebuilds();
+
+        // Tracked: five cycles per size, descending then ascending, so both
+        // shrink-reuse and regrow-within-capacity are exercised.
+        let before = counters();
+        TRACKING.store(true, Ordering::SeqCst);
+        for rows in (1..=MAX_BATCH).rev().chain(1..=MAX_BATCH) {
+            for _ in 0..5 {
+                cycle(&mlp, &mut scratch, &mut cache, &states, &mut qs, rows);
+            }
+        }
+        TRACKING.store(false, Ordering::SeqCst);
+        let after = counters();
+        assert_eq!(
+            before, after,
+            "steady-state batched inference must not touch the heap on the \
+             {kernel:?} kernel"
+        );
+        assert_eq!(cache.rebuilds(), rebuilds, "tracked cycles must stay warm");
+    }
+    neural::set_default_kernel(neural::MatmulKernel::default());
+
+    // The counted cycles were the real thing: every row bitwise equal to a
+    // scalar factored predict of the same state.
+    let mut reference = Vec::new();
+    for r in 0..MAX_BATCH {
+        cycle(&mlp, &mut scratch, &mut cache, &states, &mut qs, MAX_BATCH);
+        mlp.predict_factored_into(
+            &states[r][..PREFIX],
+            &states[r][PREFIX..],
+            &mut cache,
+            &mut reference,
+        );
+        assert_eq!(
+            scratch.out_row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "batched row {r} diverged from the scalar act path"
+        );
+        assert!(reference.iter().all(|v| v.is_finite()));
+    }
+}

@@ -49,8 +49,10 @@
 use crate::checkpoint;
 use crate::dqn::{argmax, DqnAgent, DqnConfig};
 use crate::env::Environment;
-use crate::qfunc::{MlpQ, QFunction};
+use crate::infer::{self, InferMode, InferOptions, InferStats, QClient};
+use crate::qfunc::MlpQ;
 use crate::training::EpisodeStats;
+use neural::{InputSplit, Mlp, PrefixCache};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::io;
@@ -99,6 +101,14 @@ pub struct FleetConfig {
     /// Seed for the corruption streams (only read when
     /// `snapshot_corrupt_rate > 0`).
     pub snapshot_fault_seed: u64,
+    /// `Some` routes every actor's act-path forward through the shared
+    /// micro-batched inference service ([`crate::infer`]) instead of a
+    /// private decoded network. [`InferMode::Lockstep`] requires
+    /// `sync_every == 1` (see the deadlock analysis in the module docs
+    /// of [`crate::infer`]); incompatible with `snapshot_corrupt_rate`
+    /// (the service decodes in-process — there is no torn read to
+    /// simulate actor-side).
+    pub infer: Option<InferOptions>,
 }
 
 impl Default for FleetConfig {
@@ -113,6 +123,7 @@ impl Default for FleetConfig {
             watchdog_max_abs_q: None,
             snapshot_corrupt_rate: 0.0,
             snapshot_fault_seed: 0,
+            infer: None,
         }
     }
 }
@@ -167,6 +178,11 @@ pub struct FleetStats {
     pub merge_sweeps: u64,
     /// Weight snapshots broadcast (excluding the initial version 0).
     pub snapshot_broadcasts: u64,
+    /// Snapshot payloads actually re-encoded (excluding the initial
+    /// version 0). A broadcast whose weights are unchanged since the last
+    /// one re-publishes the same encoded bytes — `snapshot_broadcasts −
+    /// snapshot_encodes` counts the codec passes the token gate saved.
+    pub snapshot_encodes: u64,
     /// Snapshot reads rejected by actors (CRC or framing failure) and
     /// retried.
     pub snapshot_rejects: u64,
@@ -195,6 +211,11 @@ pub struct FleetOutcome {
     /// Environment evaluations summed over actors that finished cleanly
     /// (a lower bound after a halt, since halted actors never report).
     pub evaluations: u64,
+    /// Micro-batcher counters when the inference service ran (`None`
+    /// without [`FleetConfig::infer`]). Lives here rather than in
+    /// [`FleetStats`] because throughput-mode occupancy depends on thread
+    /// timing while `FleetStats` is run-deterministic.
+    pub infer: Option<InferStats>,
 }
 
 /// Domain hooks the fleet calls at the environment boundary, so the
@@ -279,25 +300,37 @@ enum ActorMsg<I> {
 }
 
 /// The snapshot broadcast cell: latest version wins, readers block until
-/// the version they need exists. `Arc<Vec<u8>>` so N actors share one
-/// encoded container without copying.
-struct SnapshotCell {
+/// the version they need exists. `Arc<Vec<u8>>` so N actors (and the
+/// inference service) share one encoded container without copying.
+///
+/// Two version counters live here, and keeping them distinct is the
+/// codec-skip fix: `version` is the **barrier** — it advances on every
+/// broadcast and is what [`wait_at_least`](Self::wait_at_least) gates on,
+/// so round synchronisation is unchanged — while `weights_version`
+/// identifies the **payload** and only advances when the learner's
+/// parameters actually changed ([`neural::WeightsToken`] gate). A
+/// broadcast of unchanged weights bumps the barrier but re-publishes the
+/// same `Arc` bytes, and readers that already decoded that
+/// `weights_version` skip the decode entirely.
+pub(crate) struct SnapshotCell {
     state: Mutex<SnapshotState>,
     ready: Condvar,
 }
 
 struct SnapshotState {
     version: u64,
+    weights_version: u64,
     bytes: Arc<Vec<u8>>,
     stopped: bool,
 }
 
 impl SnapshotCell {
-    fn new(bytes: Vec<u8>) -> Self {
+    pub(crate) fn new(bytes: Arc<Vec<u8>>) -> Self {
         SnapshotCell {
             state: Mutex::new(SnapshotState {
                 version: 0,
-                bytes: Arc::new(bytes),
+                weights_version: 0,
+                bytes,
                 stopped: false,
             }),
             ready: Condvar::new(),
@@ -310,29 +343,32 @@ impl SnapshotCell {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn publish(&self, version: u64, bytes: Vec<u8>) {
+    fn publish(&self, version: u64, weights_version: u64, bytes: Arc<Vec<u8>>) {
         let mut s = self.lock();
         s.version = version;
-        s.bytes = Arc::new(bytes);
+        s.weights_version = weights_version;
+        s.bytes = bytes;
         drop(s);
         self.ready.notify_all();
     }
 
-    fn stop(&self) {
+    pub(crate) fn stop(&self) {
         self.lock().stopped = true;
         self.ready.notify_all();
     }
 
-    /// Blocks until at least `want` is published; `None` means the fleet
-    /// stopped.
-    fn wait_at_least(&self, want: u64) -> Option<Arc<Vec<u8>>> {
+    /// Blocks until at least barrier version `want` is published and
+    /// returns `(weights_version, bytes)` — read atomically under one
+    /// lock, so the stamp inside `bytes` always equals the returned
+    /// `weights_version`. `None` means the fleet stopped.
+    pub(crate) fn wait_at_least(&self, want: u64) -> Option<(u64, Arc<Vec<u8>>)> {
         let mut s = self.lock();
         loop {
             if s.stopped {
                 return None;
             }
             if s.version >= want {
-                return Some(Arc::clone(&s.bytes));
+                return Some((s.weights_version, Arc::clone(&s.bytes)));
             }
             s = self
                 .ready
@@ -342,28 +378,64 @@ impl SnapshotCell {
     }
 }
 
-/// Frames `version ‖ weights` in the CRC-checked checkpoint container.
-fn encode_weight_snapshot(version: u64, q: &MlpQ) -> Vec<u8> {
+/// Frames `weights_version ‖ online-network weights` in the CRC-checked
+/// checkpoint container. Weights-only on purpose: actors (and the
+/// inference service) only predict, so shipping the optimizer moments and
+/// target network — roughly 3× the payload — bought nothing. The learner
+/// keeps the full state; only the broadcast slimmed down.
+pub(crate) fn encode_weight_snapshot(weights_version: u64, q: &MlpQ) -> Vec<u8> {
     let mut payload = Vec::new();
-    checkpoint::put_u64(&mut payload, version);
-    q.write_snapshot(&mut payload)
+    checkpoint::put_u64(&mut payload, weights_version);
+    q.mlp()
+        .save(&mut payload)
         .expect("writing a snapshot to a Vec cannot fail");
     checkpoint::encode_container(&payload)
 }
 
 /// Validates and decodes a snapshot: container CRC first (this is what
-/// catches a torn or corrupt read), then the version stamp, then the
-/// weights.
-fn decode_weight_snapshot(bytes: &[u8], want: u64) -> io::Result<MlpQ> {
+/// catches a torn or corrupt read), then the weights-version stamp
+/// (which must equal the version the cell advertised alongside these
+/// bytes), then the weights.
+pub(crate) fn decode_weight_snapshot(bytes: &[u8], want_weights: u64) -> io::Result<Mlp> {
     let mut payload = checkpoint::decode_container(bytes)?;
     let version = checkpoint::get_u64(&mut payload)?;
-    if version < want {
+    if version != want_weights {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("stale snapshot: version {version}, need {want}"),
+            format!("snapshot weights-version {version}, cell advertised {want_weights}"),
         ));
     }
-    MlpQ::read_snapshot(&mut payload)
+    Mlp::load(&mut payload)
+}
+
+/// An actor's read-only policy: the decoded broadcast weights plus the
+/// same factored-predict routing [`MlpQ::predict_into`] uses (factored
+/// iff the prefix is non-trivial and fits the state), so swapping the
+/// full decoded `MlpQ` for this weights-only view is bitwise-neutral.
+struct ActorPolicy {
+    mlp: Mlp,
+    prefix_len: usize,
+    cache: PrefixCache,
+}
+
+impl ActorPolicy {
+    fn new(mlp: Mlp, layout: InputSplit) -> Self {
+        ActorPolicy {
+            mlp,
+            prefix_len: layout.prefix_len,
+            cache: PrefixCache::new(),
+        }
+    }
+
+    fn predict_into(&mut self, state: &[f32], out: &mut Vec<f32>) {
+        let p = self.prefix_len;
+        if p > 0 && p <= state.len() {
+            self.mlp
+                .predict_factored_into(&state[..p], &state[p..], &mut self.cache, out);
+        } else {
+            self.mlp.predict_into(state, out);
+        }
+    }
 }
 
 /// The actor worker: runs its assigned episodes, one message per round.
@@ -378,6 +450,7 @@ fn actor_loop<E, H>(
     hooks: &H,
     cell: &SnapshotCell,
     tx: crossbeam::channel::Sender<ActorMsg<H::Info>>,
+    qclient: Option<QClient>,
 ) where
     E: Environment,
     H: FleetHooks<E>,
@@ -395,7 +468,16 @@ fn actor_loop<E, H>(
         r
     });
 
-    let mut policy: Option<MlpQ> = None;
+    let mut qclient = qclient;
+    let mut policy: Option<ActorPolicy> = None;
+    // Weights version of the currently decoded policy: the decode-skip
+    // gate. A broadcast whose weights are unchanged re-advertises the
+    // same weights version, and this actor keeps its decoded network.
+    let mut applied_weights: Option<u64> = None;
+    // Barrier version this actor is synchronised to — rides along on
+    // service requests so the service evaluates with the same weights a
+    // private decode would have.
+    let mut snap_version = 0u64;
     let mut qs: Vec<f32> = Vec::new();
     let mut state: Option<Vec<f32>> = None;
     let mut episodes_done = 0usize;
@@ -418,38 +500,52 @@ fn actor_loop<E, H>(
         // the wait only depends on messages this actor already sent.
         if round % cfg.sync_every == 0 {
             let want = round / cfg.sync_every;
-            loop {
-                let Some(bytes) = cell.wait_at_least(want) else {
+            if qclient.is_some() {
+                // Service mode: the barrier still paces rounds (and pins
+                // weight staleness), but the decode lives in the service.
+                if cell.wait_at_least(want).is_none() {
                     return; // fleet stopped
-                };
-                // Torn-read simulation: flip one bit in a private copy.
-                let corrupt_now = corrupt
-                    .as_mut()
-                    .is_some_and(|r| r.gen::<f64>() < cfg.snapshot_corrupt_rate);
-                let mut flipped;
-                let view: &[u8] = if corrupt_now && !bytes.is_empty() {
-                    let r = corrupt.as_mut().expect("corrupt rng drew the coin");
-                    flipped = bytes.to_vec();
-                    let bit = r.gen_range(0..flipped.len() * 8);
-                    flipped[bit / 8] ^= 1 << (bit % 8);
-                    &flipped
-                } else {
-                    &bytes
-                };
-                match decode_weight_snapshot(view, want) {
-                    Ok(mut q) => {
-                        q.set_input_split(dqn.frame_layout);
-                        policy = Some(q);
+                }
+            } else {
+                loop {
+                    let Some((weights_version, bytes)) = cell.wait_at_least(want) else {
+                        return; // fleet stopped
+                    };
+                    // Decode skip: a broadcast of unchanged weights
+                    // re-advertises the weights version this actor already
+                    // decoded — the barrier advanced, the payload did not.
+                    if policy.is_some() && applied_weights == Some(weights_version) {
                         break;
                     }
-                    // CRC/framing failure: count, skip, re-read. The
-                    // shared cell still holds the good bytes, so the
-                    // retry converges.
-                    Err(_) => snapshot_rejects += 1,
+                    // Torn-read simulation: flip one bit in a private copy.
+                    let corrupt_now = corrupt
+                        .as_mut()
+                        .is_some_and(|r| r.gen::<f64>() < cfg.snapshot_corrupt_rate);
+                    let mut flipped;
+                    let view: &[u8] = if corrupt_now && !bytes.is_empty() {
+                        let r = corrupt.as_mut().expect("corrupt rng drew the coin");
+                        flipped = bytes.to_vec();
+                        let bit = r.gen_range(0..flipped.len() * 8);
+                        flipped[bit / 8] ^= 1 << (bit % 8);
+                        &flipped
+                    } else {
+                        &bytes
+                    };
+                    match decode_weight_snapshot(view, weights_version) {
+                        Ok(mlp) => {
+                            policy = Some(ActorPolicy::new(mlp, dqn.frame_layout));
+                            applied_weights = Some(weights_version);
+                            break;
+                        }
+                        // CRC/framing failure: count, skip, re-read. The
+                        // shared cell still holds the good bytes, so the
+                        // retry converges.
+                        Err(_) => snapshot_rejects += 1,
+                    }
                 }
             }
+            snap_version = want;
         }
-        let policy = policy.as_ref().expect("snapshot applied at round 0");
 
         // Lazy reset: only when another episode is actually owed, so the
         // evaluation count matches the single loop exactly.
@@ -463,8 +559,18 @@ fn actor_loop<E, H>(
         let s = state.as_ref().expect("state present after reset");
 
         // One forward per round feeds both the Figure 4 metric and the
-        // ε-greedy pick, exactly like the single loop.
-        policy.predict_into(s, &mut qs);
+        // ε-greedy pick, exactly like the single loop — through the shared
+        // micro-batching service when enabled (bitwise-identical per row),
+        // a private decoded network otherwise.
+        match (&mut qclient, &mut policy) {
+            (Some(client), _) => {
+                if client.predict_into(snap_version, s, &mut qs).is_err() {
+                    return; // fleet stopped
+                }
+            }
+            (None, Some(p)) => p.predict_into(s, &mut qs),
+            (None, None) => unreachable!("snapshot applied at round 0"),
+        }
         let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
         if let Some(bound) = cfg.watchdog_max_abs_q {
             if !max_q.is_finite() || max_q.abs() > bound {
@@ -610,13 +716,37 @@ where
         agent.config().boltzmann_temperature.is_none(),
         "fleet actors mirror ε-greedy selection only"
     );
+    if let Some(opts) = cfg.infer {
+        assert!(opts.max_batch >= 1, "infer max_batch must be positive");
+        assert!(
+            cfg.snapshot_corrupt_rate == 0.0,
+            "snapshot corruption models actor-side decode faults; with the inference \
+             service enabled actors never decode"
+        );
+        if opts.mode == InferMode::Lockstep {
+            assert_eq!(
+                cfg.sync_every, 1,
+                "lockstep inference requires sync_every = 1 — with a deeper sync period \
+                 actors drift to different rounds and the fixed batch composition deadlocks \
+                 (see the crate::infer module docs)"
+            );
+        }
+    }
 
     // Round-robin episode pre-assignment: actor i owns episodes
     // i, i + n, … — a pure function of the config.
     let quota = |i: usize| cfg.episodes / n + usize::from(i < cfg.episodes % n);
     let dqn = *agent.config();
 
-    let cell = SnapshotCell::new(encode_weight_snapshot(0, agent.q_function()));
+    // The broadcast codec is token-gated: `weights_version` advances (and
+    // the payload is re-encoded) only when the learner's parameters
+    // actually changed since the last broadcast. Before learning starts —
+    // and on every sweep a throttle skips — the same `Arc` is re-published
+    // and every reader skips its decode.
+    let mut weights_version = 0u64;
+    let mut last_token = agent.q_function().mlp().weights_token();
+    let mut encoded = Arc::new(encode_weight_snapshot(0, agent.q_function()));
+    let cell = SnapshotCell::new(Arc::clone(&encoded));
     let mut channels: Vec<(
         Option<crossbeam::channel::Sender<ActorMsg<H::Info>>>,
         crossbeam::channel::Receiver<ActorMsg<H::Info>>,
@@ -638,13 +768,38 @@ where
     let mut evaluations = 0u64;
     let mut halted = false;
 
-    std::thread::scope(|scope| {
+    // The shared-inference channel fabric (one QClient per actor) exists
+    // only when the service is enabled.
+    let (mut qclients, service_channels): (Vec<Option<QClient>>, _) = match cfg.infer {
+        Some(_) => {
+            let infer::Endpoints {
+                clients,
+                requests,
+                replies,
+            } = infer::endpoints(n);
+            (
+                clients.into_iter().map(Some).collect(),
+                Some((requests, replies)),
+            )
+        }
+        None => ((0..n).map(|_| None).collect(), None),
+    };
+
+    let infer_stats = std::thread::scope(|scope| {
+        let service = service_channels.map(|(requests, replies)| {
+            let opts = cfg.infer.expect("service channels exist only with infer");
+            let cell = &cell;
+            scope.spawn(move || {
+                infer::service_loop(opts, n, dqn.frame_layout, cell, requests, replies)
+            })
+        });
         for (i, env) in envs.into_iter().enumerate() {
             let tx = channels[i].0.take().expect("sender taken once");
             let cell = &cell;
             let q = quota(i);
             let dqn = &dqn;
-            scope.spawn(move || actor_loop(i, n, q, cfg, dqn, env, hooks, cell, tx));
+            let client = qclients[i].take();
+            scope.spawn(move || actor_loop(i, n, q, cfg, dqn, env, hooks, cell, tx, client));
         }
 
         // The learner: strict round-robin merge, one receive per active
@@ -786,9 +941,17 @@ where
             }
             stats.merge_sweeps += 1;
             if stats.merge_sweeps % cfg.sync_every == 0 {
+                let token = agent.q_function().mlp().weights_token();
+                if token != last_token {
+                    weights_version += 1;
+                    encoded = Arc::new(encode_weight_snapshot(weights_version, agent.q_function()));
+                    last_token = token;
+                    stats.snapshot_encodes += 1;
+                }
                 cell.publish(
                     stats.merge_sweeps / cfg.sync_every,
-                    encode_weight_snapshot(stats.merge_sweeps / cfg.sync_every, agent.q_function()),
+                    weights_version,
+                    Arc::clone(&encoded),
                 );
                 stats.snapshot_broadcasts += 1;
             }
@@ -796,7 +959,9 @@ where
 
         // Shutdown: wake snapshot waiters, count and drop whatever the
         // actors still had in flight (unblocking any full-channel send),
-        // then let the scope join the threads.
+        // then let the scope join the threads. The service (if any) is
+        // joined explicitly: it exits once every actor has dropped its
+        // QClient, which the stop/drop above guarantees.
         cell.stop();
         for (_, rx) in &channels {
             while let Ok(msg) = rx.try_recv() {
@@ -806,6 +971,7 @@ where
             }
         }
         drop(channels);
+        service.map(|h| h.join().expect("inference service thread panicked"))
     });
 
     FleetOutcome {
@@ -815,6 +981,7 @@ where
         watchdog,
         faults,
         evaluations,
+        infer: infer_stats,
     }
 }
 
@@ -982,6 +1149,102 @@ mod tests {
         // Every merged transition still lands in the replay memory.
         assert_eq!(full.stats.transitions, full_steps);
         assert_eq!(thr.stats.transitions, thr_steps);
+    }
+
+    #[test]
+    fn inference_service_fleet_is_bitwise_identical() {
+        for actors in [1usize, 2, 4] {
+            let (plain, plain_bytes) = run_corridor_fleet(actors, 8, |_| {});
+            for mode in [InferMode::Lockstep, InferMode::Throughput] {
+                let (svc, svc_bytes) = run_corridor_fleet(actors, 8, |c| {
+                    c.infer = Some(InferOptions { max_batch: 8, mode });
+                });
+                assert_eq!(
+                    plain.episodes, svc.episodes,
+                    "{actors} actors, {mode:?}: episode stats"
+                );
+                assert_eq!(
+                    plain_bytes, svc_bytes,
+                    "{actors} actors, {mode:?}: trained checkpoint"
+                );
+                assert_eq!(
+                    plain.stats, svc.stats,
+                    "{actors} actors, {mode:?}: fleet counters"
+                );
+                // The corridor never faults, so every served row became a
+                // merged transition.
+                let istats = svc.infer.expect("service stats reported");
+                assert_eq!(istats.rows, plain.stats.transitions);
+                if actors > 1 && mode == InferMode::Lockstep {
+                    assert!(
+                        istats.coalesced_rows > 0,
+                        "{actors} actors: lockstep sweeps must coalesce"
+                    );
+                }
+                assert!(plain.infer.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_inference_stats_are_reproducible() {
+        let run = || {
+            run_corridor_fleet(4, 8, |c| {
+                c.infer = Some(InferOptions::lockstep(8));
+            })
+        };
+        let (a, _) = run();
+        let (b, _) = run();
+        assert_eq!(a.infer, b.infer, "lockstep batcher stats must repeat bitwise");
+        let stats = a.infer.expect("service ran");
+        assert!(stats.batches > 0);
+        assert!(stats.mean_occupancy() >= 1.0);
+    }
+
+    #[test]
+    fn unchanged_weights_skip_the_snapshot_codec() {
+        // learning_start = 16: every sweep before transition 16 broadcasts
+        // (sync_every = 1) without a single re-encode, and actors skip the
+        // matching decodes. After that the corridor learns every sweep, so
+        // encodes resume — the gate is a skip, not a freeze.
+        let (out, _) = run_corridor_fleet(1, 8, |_| {});
+        let s = &out.stats;
+        assert!(s.snapshot_encodes > 0, "post-learning sweeps must re-encode");
+        assert!(
+            s.snapshot_encodes < s.snapshot_broadcasts,
+            "pre-learning sweeps must reuse the encoded payload \
+             ({} encodes vs {} broadcasts)",
+            s.snapshot_encodes,
+            s.snapshot_broadcasts
+        );
+    }
+
+    #[test]
+    fn watchdog_trip_halts_cleanly_with_inference_service() {
+        let (out, _) = run_corridor_fleet(2, 8, |c| {
+            c.watchdog_max_abs_q = Some(1e-12);
+            c.infer = Some(InferOptions::lockstep(8));
+        });
+        assert!(out.halted);
+        assert_eq!(out.watchdog.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep inference requires sync_every = 1")]
+    fn lockstep_inference_rejects_deep_sync() {
+        let _ = run_corridor_fleet(2, 4, |c| {
+            c.sync_every = 2;
+            c.infer = Some(InferOptions::lockstep(8));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "actors never decode")]
+    fn inference_rejects_the_corruption_hook() {
+        let _ = run_corridor_fleet(2, 4, |c| {
+            c.snapshot_corrupt_rate = 0.5;
+            c.infer = Some(InferOptions::throughput(8));
+        });
     }
 
     #[test]

@@ -1,0 +1,631 @@
+//! Cross-actor micro-batched Q-inference service.
+//!
+//! PR 8's fleet gave every actor a private decoded copy of the Q-network,
+//! so N actors do N isolated one-row forwards per acting round — N small
+//! GEMMs where one medium GEMM would do. This module coalesces them: one
+//! service thread owns the decoded network, actors submit featurized
+//! states over a bounded channel through a [`QClient`] handle, pending
+//! requests are stacked into one matrix, **one** prefix-factored batched
+//! forward runs ([`neural::BatchScratch`] over the shared
+//! [`neural::PrefixCache`]), and each output row is scattered back through
+//! that actor's private reply slot. The request/reply machinery here is
+//! deliberately free-standing — it is the core a future `serve` daemon
+//! reuses.
+//!
+//! # Batching policy
+//!
+//! [`InferMode::Throughput`] (the default) closes a batch greedily: one
+//! blocking receive, then drain whatever else is already queued, up to
+//! [`InferOptions::max_batch`] rows. No actor ever waits on another, so
+//! the policy is deadlock-free under any schedule; batch *composition*
+//! (and therefore [`InferStats`]) depends on thread timing, but the
+//! Q-values do not — see the determinism contract below.
+//!
+//! [`InferMode::Lockstep`] closes a batch only when every still-active
+//! actor has exactly one request staged, then serves in actor-id order —
+//! a fixed per-sweep composition, so batch counts and occupancy are
+//! bitwise-reproducible run to run. This requires `sync_every == 1`
+//! (enforced by [`run_fleet`](crate::fleet::run_fleet)): with a deeper
+//! sync period actors drift to different rounds, and an actor blocked on
+//! a full learner channel would leave the service waiting for its request
+//! while the learner waits round-robin on a *different* actor whose
+//! reply the service has not sent — a four-party cycle. At
+//! `sync_every == 1` the snapshot barrier keeps all actors on the same
+//! round, so every active actor has a request in flight before any reply
+//! is needed.
+//!
+//! # Determinism contract
+//!
+//! The batched factored forward is bitwise-identical **per row** to the
+//! one-row forward the actor would have run itself, regardless of batch
+//! composition: rows are independent accumulators and every kernel fixes
+//! the per-element accumulation order per output neuron (see
+//! [`neural::prefix`]). So in *both* modes the fleet's episodes, weights
+//! and replay contents are bitwise-identical to the per-actor-forward
+//! fleet; lockstep mode additionally pins the batcher statistics.
+//!
+//! # Staleness
+//!
+//! Requests carry the snapshot version their actor is synchronised to,
+//! and the service upgrades its decoded network through the same
+//! [`SnapshotCell`] barrier the actors use. All concurrently pending
+//! requests necessarily carry the *same* version: version `v + 1` is
+//! published only after the learner has merged every sweep below
+//! `(v + 1) · sync_every`, which requires every predict for those rounds
+//! to have been served already, and an actor first demands `v + 1` only
+//! at round `(v + 1) · sync_every`. The service asserts this invariant
+//! per batch rather than splitting mixed batches.
+
+use crate::fleet::{decode_weight_snapshot, SnapshotCell};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use neural::{BatchScratch, InputSplit, Mlp, PrefixCache};
+
+/// When the service closes a pending batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferMode {
+    /// Fixed per-sweep composition: wait until every still-active actor
+    /// has one request staged, serve in actor-id order. Deterministic
+    /// batcher stats; requires `sync_every == 1` (see the
+    /// [module docs](self)).
+    Lockstep,
+    /// Greedy coalescing: serve whatever is queued, up to `max_batch`
+    /// rows, without waiting for stragglers. Deadlock-free under any
+    /// schedule; stats depend on timing, results do not.
+    Throughput,
+}
+
+/// Micro-batching configuration for the shared inference service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferOptions {
+    /// Maximum rows per batched forward (≥ 1). Larger batches amortise
+    /// the layer-0 weight stream further; the fleet caps useful occupancy
+    /// at the actor count.
+    pub max_batch: usize,
+    /// Batch-closing policy.
+    pub mode: InferMode,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            max_batch: 8,
+            mode: InferMode::Throughput,
+        }
+    }
+}
+
+impl InferOptions {
+    /// Deterministic-stats lockstep batching with the given row cap.
+    pub fn lockstep(max_batch: usize) -> Self {
+        InferOptions {
+            max_batch,
+            mode: InferMode::Lockstep,
+        }
+    }
+
+    /// Greedy throughput batching with the given row cap.
+    pub fn throughput(max_batch: usize) -> Self {
+        InferOptions {
+            max_batch,
+            mode: InferMode::Throughput,
+        }
+    }
+}
+
+/// Batcher observability counters, reported once per fleet run.
+///
+/// Under [`InferMode::Lockstep`] every field is bitwise-reproducible run
+/// to run; under [`InferMode::Throughput`] the counters depend on thread
+/// timing (the Q-values never do), which is why they live on
+/// [`FleetOutcome`](crate::fleet::FleetOutcome) rather than inside the
+/// run-deterministic [`FleetStats`](crate::fleet::FleetStats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Batched forwards run.
+    pub batches: u64,
+    /// Request rows served in total.
+    pub rows: u64,
+    /// Rows that shared their forward with at least one other row.
+    pub coalesced_rows: u64,
+    /// Largest batch served.
+    pub peak_batch: u64,
+    /// Weight-snapshot decodes (the service re-decodes only when the
+    /// broadcast weights version actually changed).
+    pub snapshot_decodes: u64,
+}
+
+impl InferStats {
+    /// Mean rows per batched forward (0 when no batch ran).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of rows that were coalesced with at least one other row
+    /// (0 when no row was served).
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.coalesced_rows as f64 / self.rows as f64
+        }
+    }
+}
+
+/// One actor's predict request: the feature row plus the snapshot version
+/// the actor is synchronised to. Both vectors travel back in the reply so
+/// the client can recycle them — the warm path allocates nothing.
+pub(crate) struct InferRequest {
+    actor: usize,
+    version: u64,
+    state: Vec<f32>,
+    qs: Vec<f32>,
+}
+
+/// Everything an actor can tell the service.
+pub(crate) enum ToService {
+    /// Predict this row; exactly one may be in flight per actor.
+    Request(InferRequest),
+    /// The actor is leaving (sent on [`QClient`] drop, covering every
+    /// exit path: quota done, watchdog trip, send failure, fleet stop).
+    /// Lockstep batches stop waiting for it.
+    Deregister(usize),
+}
+
+/// The service's answer: the Q-row plus the recycled request buffers.
+pub(crate) struct InferReply {
+    state: Vec<f32>,
+    qs: Vec<f32>,
+}
+
+/// The service went away (fleet stopping); the actor should exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ServiceStopped;
+
+/// An actor's handle to the shared inference service: a blocking
+/// request/reply pair that stands in for the actor's private decoded
+/// network. Dropping the handle deregisters the actor.
+#[derive(Debug)]
+pub struct QClient {
+    actor: usize,
+    tx: Sender<ToService>,
+    rx: Receiver<InferReply>,
+    state_buf: Vec<f32>,
+    qs_buf: Vec<f32>,
+}
+
+impl QClient {
+    /// Predicts Q-values for `state` under snapshot `version`, blocking
+    /// until the service's batched forward covers this row. `out` is
+    /// cleared and refilled; warm calls allocate nothing (buffers ride
+    /// along in the request and come back in the reply).
+    pub(crate) fn predict_into(
+        &mut self,
+        version: u64,
+        state: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), ServiceStopped> {
+        let mut state_buf = std::mem::take(&mut self.state_buf);
+        state_buf.clear();
+        state_buf.extend_from_slice(state);
+        let qs_buf = std::mem::take(&mut self.qs_buf);
+        self.tx
+            .send(ToService::Request(InferRequest {
+                actor: self.actor,
+                version,
+                state: state_buf,
+                qs: qs_buf,
+            }))
+            .map_err(|_| ServiceStopped)?;
+        let reply = self.rx.recv().map_err(|_| ServiceStopped)?;
+        self.state_buf = reply.state;
+        self.qs_buf = reply.qs;
+        out.clear();
+        out.extend_from_slice(&self.qs_buf);
+        Ok(())
+    }
+}
+
+impl Drop for QClient {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ToService::Deregister(self.actor));
+    }
+}
+
+/// The channel ends [`run_fleet`](crate::fleet::run_fleet) wires up: one
+/// [`QClient`] per actor, plus the service side of every channel.
+pub(crate) struct Endpoints {
+    /// Per-actor client handles, index = actor id.
+    pub clients: Vec<QClient>,
+    /// The service's fan-in request receiver.
+    pub requests: Receiver<ToService>,
+    /// Per-actor reply senders, index = actor id.
+    pub replies: Vec<Sender<InferReply>>,
+}
+
+/// Builds the client/service channel fabric for `n_actors` actors. The
+/// fan-in request channel holds `2 · n_actors` messages — at most one
+/// request plus one deregistration per actor can ever be in flight, so
+/// no send blocks for long.
+pub(crate) fn endpoints(n_actors: usize) -> Endpoints {
+    let (req_tx, req_rx) = bounded(2 * n_actors.max(1));
+    let mut clients = Vec::with_capacity(n_actors);
+    let mut replies = Vec::with_capacity(n_actors);
+    for actor in 0..n_actors {
+        let (reply_tx, reply_rx) = bounded(1);
+        replies.push(reply_tx);
+        clients.push(QClient {
+            actor,
+            tx: req_tx.clone(),
+            rx: reply_rx,
+            state_buf: Vec::new(),
+            qs_buf: Vec::new(),
+        });
+    }
+    Endpoints {
+        clients,
+        requests: req_rx,
+        replies,
+    }
+}
+
+/// The service thread's owned state: the decoded network, the batched
+/// forward scratch, and the reply fan-out.
+struct Service<'a> {
+    opts: InferOptions,
+    layout: InputSplit,
+    cell: &'a SnapshotCell,
+    replies: Vec<Sender<InferReply>>,
+    net: Option<Mlp>,
+    net_weights_version: u64,
+    cache: PrefixCache,
+    scratch: BatchScratch,
+    stats: InferStats,
+}
+
+impl Service<'_> {
+    /// Ensures the decoded network covers snapshot `version`, decoding
+    /// only when the broadcast weights actually changed (the snapshot
+    /// barrier version moves every sweep; the weights version only on
+    /// gradient steps). Returns `false` when the fleet stopped.
+    fn ensure_network(&mut self, version: u64) -> bool {
+        let Some((weights_version, bytes)) = self.cell.wait_at_least(version) else {
+            return false;
+        };
+        if self.net.is_none() || self.net_weights_version != weights_version {
+            let net = decode_weight_snapshot(&bytes, weights_version)
+                .expect("the service reads published snapshots in-process: CRC cannot fail");
+            // A fresh decode carries a fresh WeightsToken, so the next
+            // batched forward naturally rebuilds the prefix partials —
+            // the broadcast is the cache invalidation.
+            self.net = Some(net);
+            self.net_weights_version = weights_version;
+            self.stats.snapshot_decodes += 1;
+        }
+        true
+    }
+
+    /// Runs one batched forward over `batch` (drained in order) and
+    /// scatters the rows back. Returns `false` when the fleet stopped.
+    fn serve(&mut self, batch: &mut Vec<InferRequest>) -> bool {
+        let Some(first) = batch.first() else {
+            return true;
+        };
+        let version = first.version;
+        assert!(
+            batch.iter().all(|r| r.version == version),
+            "coalesced requests must share a snapshot version (see the staleness contract)"
+        );
+        if !self.ensure_network(version) {
+            return false;
+        }
+        let net = self.net.as_ref().expect("network decoded by ensure_network");
+        let rows = batch.len();
+        self.scratch.begin(rows, first.state.len());
+        for (r, req) in batch.iter().enumerate() {
+            self.scratch.row_mut(r).copy_from_slice(&req.state);
+        }
+        self.scratch.forward(net, self.layout.prefix_len, &mut self.cache);
+        self.stats.batches += 1;
+        self.stats.rows += rows as u64;
+        if rows > 1 {
+            self.stats.coalesced_rows += rows as u64;
+        }
+        self.stats.peak_batch = self.stats.peak_batch.max(rows as u64);
+        for (r, req) in batch.drain(..).enumerate() {
+            let InferRequest {
+                actor,
+                state,
+                mut qs,
+                ..
+            } = req;
+            qs.clear();
+            qs.extend_from_slice(self.scratch.out_row(r));
+            // A failed send means that actor already left; harmless.
+            let _ = self.replies[actor].send(InferReply { state, qs });
+        }
+        true
+    }
+}
+
+/// The inference service body, run on a scoped thread inside
+/// [`run_fleet`](crate::fleet::run_fleet). Exits (returning the batcher
+/// stats) when every client has dropped its sender or the snapshot cell
+/// stops.
+pub(crate) fn service_loop(
+    opts: InferOptions,
+    n_actors: usize,
+    layout: InputSplit,
+    cell: &SnapshotCell,
+    requests: Receiver<ToService>,
+    replies: Vec<Sender<InferReply>>,
+) -> InferStats {
+    assert!(opts.max_batch >= 1, "max_batch must be positive");
+    let mut svc = Service {
+        opts,
+        layout,
+        cell,
+        replies,
+        net: None,
+        net_weights_version: 0,
+        cache: PrefixCache::new(),
+        scratch: BatchScratch::new(),
+        stats: InferStats::default(),
+    };
+    let mut batch: Vec<InferRequest> = Vec::with_capacity(opts.max_batch);
+    match opts.mode {
+        InferMode::Lockstep => {
+            let mut active = vec![true; n_actors];
+            let mut pending: Vec<Option<InferRequest>> =
+                (0..n_actors).map(|_| None).collect();
+            'serve: loop {
+                match requests.recv() {
+                    Err(_) => break,
+                    Ok(ToService::Deregister(a)) => active[a] = false,
+                    Ok(ToService::Request(r)) => {
+                        let slot = &mut pending[r.actor];
+                        debug_assert!(slot.is_none(), "one request in flight per actor");
+                        *slot = Some(r);
+                    }
+                }
+                // The sweep's composition is fixed: close only when every
+                // still-active actor has staged its row, serve in actor-id
+                // order (chunked at max_batch).
+                let staged = pending.iter().filter(|p| p.is_some()).count();
+                let complete = staged > 0
+                    && pending
+                        .iter()
+                        .zip(&active)
+                        .all(|(p, &live)| !live || p.is_some());
+                if complete {
+                    for slot in pending.iter_mut() {
+                        if let Some(r) = slot.take() {
+                            batch.push(r);
+                            if batch.len() == svc.opts.max_batch && !svc.serve(&mut batch) {
+                                break 'serve;
+                            }
+                        }
+                    }
+                    if !svc.serve(&mut batch) {
+                        break 'serve;
+                    }
+                }
+            }
+        }
+        InferMode::Throughput => loop {
+            match requests.recv() {
+                Err(_) => break,
+                Ok(ToService::Deregister(_)) => continue,
+                Ok(ToService::Request(r)) => batch.push(r),
+            }
+            // Greedy drain: coalesce whatever is already queued, up to
+            // max_batch rows; the rest waits for the next batch.
+            while batch.len() < svc.opts.max_batch {
+                match requests.try_recv() {
+                    Ok(ToService::Request(r)) => batch.push(r),
+                    Ok(ToService::Deregister(_)) => {}
+                    Err(_) => break,
+                }
+            }
+            if !svc.serve(&mut batch) {
+                break;
+            }
+        },
+    }
+    svc.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::encode_weight_snapshot;
+    use crate::qfunc::{MlpQ, QFunction};
+    use neural::{Loss, MlpSpec, OptimizerSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn test_q(split: InputSplit) -> MlpQ {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut q = MlpQ::new(
+            &MlpSpec::q_network(10, &[12], 3),
+            OptimizerSpec::adam(0.01),
+            Loss::Mse,
+            &mut rng,
+        );
+        q.set_input_split(split);
+        q
+    }
+
+    fn feature_row(split: InputSplit, r: usize) -> Vec<f32> {
+        (0..10)
+            .map(|c| {
+                if c < split.prefix_len {
+                    (c as f32 * 0.3).sin()
+                } else {
+                    ((r * 53 + c) as f32 * 0.7).cos()
+                }
+            })
+            .collect()
+    }
+
+    fn run_mode(mode: InferMode, n_actors: usize, rounds: usize) -> InferStats {
+        let split = InputSplit::new(4, 0);
+        let q = test_q(split);
+        let cell = SnapshotCell::new(Arc::new(encode_weight_snapshot(0, &q)));
+        let Endpoints {
+            clients,
+            requests,
+            replies,
+        } = endpoints(n_actors);
+        let opts = InferOptions { max_batch: 8, mode };
+        std::thread::scope(|scope| {
+            let service = scope.spawn(|| {
+                service_loop(opts, n_actors, split, &cell, requests, replies)
+            });
+            let mut handles = Vec::new();
+            for (actor, mut client) in clients.into_iter().enumerate() {
+                // Each actor checks its batched rows against a private
+                // decoded copy — exactly what the per-actor fleet holds.
+                let reference_q = q.clone();
+                handles.push(scope.spawn(move || {
+                    let mut qs = Vec::new();
+                    let mut reference = Vec::new();
+                    for round in 0..rounds {
+                        let s = feature_row(split, actor * 100 + round);
+                        client.predict_into(0, &s, &mut qs).expect("service alive");
+                        reference_q.predict_into(&s, &mut reference);
+                        assert_eq!(qs.len(), reference.len());
+                        for (a, b) in qs.iter().zip(&reference) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "actor {actor} round {round}: batched row must equal a \
+                                 private forward"
+                            );
+                        }
+                    }
+                    drop(client); // deregister
+                }));
+            }
+            for h in handles {
+                h.join().expect("actor thread");
+            }
+            service.join().expect("service thread")
+        })
+    }
+
+    #[test]
+    fn lockstep_batches_are_full_and_deterministic() {
+        let a = run_mode(InferMode::Lockstep, 4, 6);
+        let b = run_mode(InferMode::Lockstep, 4, 6);
+        assert_eq!(a, b, "lockstep stats must repeat bitwise");
+        assert_eq!(a.rows, 24);
+        // Every sweep closed at full occupancy until actors started
+        // draining their quotas (all quotas equal here, so always full).
+        assert_eq!(a.batches, 6);
+        assert_eq!(a.peak_batch, 4);
+        assert_eq!(a.coalesced_rows, 24);
+        assert!((a.mean_occupancy() - 4.0).abs() < 1e-12);
+        assert!((a.coalesced_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(a.snapshot_decodes, 1);
+    }
+
+    #[test]
+    fn throughput_mode_serves_every_row() {
+        let s = run_mode(InferMode::Throughput, 3, 5);
+        assert_eq!(s.rows, 15);
+        assert!(s.batches >= 1 && s.batches <= 15);
+        assert!(s.peak_batch >= 1);
+    }
+
+    #[test]
+    fn single_actor_lockstep_runs_unit_batches() {
+        let s = run_mode(InferMode::Lockstep, 1, 4);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.coalesced_rows, 0);
+        assert!((s.coalesced_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lockstep_max_batch_chunks_the_sweep() {
+        let split = InputSplit::new(4, 0);
+        let q = test_q(split);
+        let cell = SnapshotCell::new(Arc::new(encode_weight_snapshot(0, &q)));
+        let n_actors = 4;
+        let Endpoints {
+            clients,
+            requests,
+            replies,
+        } = endpoints(n_actors);
+        let opts = InferOptions {
+            max_batch: 3,
+            mode: InferMode::Lockstep,
+        };
+        let stats = std::thread::scope(|scope| {
+            let service = scope.spawn(|| {
+                service_loop(opts, n_actors, split, &cell, requests, replies)
+            });
+            let mut handles = Vec::new();
+            for (actor, mut client) in clients.into_iter().enumerate() {
+                handles.push(scope.spawn(move || {
+                    let mut qs = Vec::new();
+                    let s = feature_row(split, actor);
+                    client.predict_into(0, &s, &mut qs).expect("service alive");
+                }));
+            }
+            for h in handles {
+                h.join().expect("actor thread");
+            }
+            service.join().expect("service thread")
+        });
+        // One sweep of 4 rows under max_batch 3: a 3-row chunk + a 1-row
+        // remainder.
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.peak_batch, 3);
+        assert_eq!(stats.coalesced_rows, 3);
+    }
+
+    #[test]
+    fn stats_ratios_handle_empty_runs() {
+        let s = InferStats::default();
+        assert_eq!(s.mean_occupancy(), 0.0);
+        assert_eq!(s.coalesced_fraction(), 0.0);
+    }
+
+    #[test]
+    fn client_predict_fails_cleanly_after_stop() {
+        let split = InputSplit::new(0, 0);
+        let q = test_q(split);
+        let cell = SnapshotCell::new(Arc::new(encode_weight_snapshot(0, &q)));
+        let Endpoints {
+            mut clients,
+            requests,
+            replies,
+        } = endpoints(1);
+        cell.stop();
+        let stats = std::thread::scope(|scope| {
+            let service = scope.spawn(|| {
+                service_loop(
+                    InferOptions::lockstep(4),
+                    1,
+                    split,
+                    &cell,
+                    requests,
+                    replies,
+                )
+            });
+            let mut qs = Vec::new();
+            let err = clients[0].predict_into(0, &feature_row(split, 0), &mut qs);
+            assert_eq!(err, Err(ServiceStopped));
+            drop(clients);
+            service.join().expect("service thread")
+        });
+        assert_eq!(stats.rows, 0);
+    }
+}

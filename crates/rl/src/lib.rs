@@ -27,6 +27,11 @@
 //! * [`fleet`] — the Ape-X-style actor–learner split: N actor threads
 //!   generating experience in parallel, merged deterministically into one
 //!   learner with CRC-checked weight-snapshot broadcast.
+//! * [`infer`] — the cross-actor micro-batched Q-inference service: actors
+//!   submit featurized states to one shared evaluation thread that
+//!   coalesces them into a single prefix-factored batched forward and
+//!   scatters the Q-rows back, bitwise-identical per row to private
+//!   forwards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ pub mod checkpoint;
 pub mod dqn;
 pub mod env;
 pub mod fleet;
+pub mod infer;
 pub mod nstep;
 pub mod qfunc;
 pub mod replay;
@@ -51,6 +57,7 @@ pub use fleet::{
     run_fleet, FleetConfig, FleetEnvFault, FleetFault, FleetHooks, FleetOutcome, FleetStats,
     FleetWatchdogEvent, NoHooks, EXPLORATION_STREAM_BASE,
 };
+pub use infer::{InferMode, InferOptions, InferStats, QClient};
 pub use nstep::NStepAccumulator;
 pub use qfunc::{DuelingQ, MlpQ, QFunction};
 pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};
