@@ -4,7 +4,9 @@
 //! dqn-dock info                         # show the configuration & complex
 //! dqn-dock train  [--episodes N] [--paper] [--flexible] [--seed S]
 //!                 [--actors N] [--sync-every N] [--learn-every N]
+//!                 [--actor-respawns N] [--actor-panic-rate P] [--actor-panic-seed S]
 //!                 [--infer-batch N] [--infer-mode lockstep|throughput]
+//!                 [--infer-deadline-ms MS] [--infer-fail-after N]
 //!                 [--scoring-kernel sequential|parallel|grid|simd|auto]
 //!                 [--policy FILE] [--csv FILE] [--report FILE]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -71,8 +73,13 @@ fn command_spec(command: &str) -> Option<CommandSpec> {
                 "--actors",
                 "--sync-every",
                 "--learn-every",
+                "--actor-respawns",
+                "--actor-panic-rate",
+                "--actor-panic-seed",
                 "--infer-batch",
                 "--infer-mode",
+                "--infer-deadline-ms",
+                "--infer-fail-after",
                 "--policy",
                 "--csv",
                 "--report",
@@ -82,7 +89,9 @@ fn command_spec(command: &str) -> Option<CommandSpec> {
             ],
             usage: "usage: dqn-dock train [--episodes N] [--paper] [--flexible] [--seed S] \
                     [--actors N] [--sync-every N] [--learn-every N] [--scoring-kernel K] \
+                    [--actor-respawns N] [--actor-panic-rate P] [--actor-panic-seed S] \
                     [--infer-batch N] [--infer-mode lockstep|throughput] \
+                    [--infer-deadline-ms MS] [--infer-fail-after N] \
                     [--policy FILE] [--csv FILE] [--report FILE] [--checkpoint-dir DIR] \
                     [--checkpoint-every N] [--keep-last K] [--resume] \
                     [--transport direct|ram|file] [--transport-retries N] \
@@ -401,8 +410,24 @@ fn cmd_train(args: &Args) {
     if args.value("--sync-every").is_some() || args.value("--learn-every").is_some() {
         args.die("--sync-every/--learn-every are fleet schedule knobs; they require --actors N");
     }
-    if args.value("--infer-batch").is_some() || args.value("--infer-mode").is_some() {
-        args.die("--infer-batch/--infer-mode configure the fleet's inference service; they require --actors N");
+    if args.value("--infer-batch").is_some()
+        || args.value("--infer-mode").is_some()
+        || args.value("--infer-deadline-ms").is_some()
+        || args.value("--infer-fail-after").is_some()
+    {
+        args.die(
+            "--infer-batch/--infer-mode/--infer-deadline-ms/--infer-fail-after configure \
+             the fleet's inference service; they require --actors N",
+        );
+    }
+    if args.value("--actor-respawns").is_some()
+        || args.value("--actor-panic-rate").is_some()
+        || args.value("--actor-panic-seed").is_some()
+    {
+        args.die(
+            "--actor-respawns/--actor-panic-rate/--actor-panic-seed supervise fleet \
+             actors; they require --actors N",
+        );
     }
 
     let mut env = DockingEnv::from_config(&config);
@@ -459,6 +484,12 @@ fn resolve_infer(args: &Args, sync_every: u64) -> Option<rl::InferOptions> {
             if args.value("--infer-mode").is_some() {
                 args.die("--infer-mode requires --infer-batch N");
             }
+            if args.value("--infer-deadline-ms").is_some() {
+                args.die("--infer-deadline-ms requires --infer-batch N");
+            }
+            if args.value("--infer-fail-after").is_some() {
+                args.die("--infer-fail-after requires --infer-batch N");
+            }
             return None;
         }
         Some(_) => args.parse("--infer-batch", 0usize),
@@ -485,24 +516,42 @@ fn resolve_infer(args: &Args, sync_every: u64) -> Option<rl::InferOptions> {
              deeper snapshot schedule (use --infer-mode throughput instead)",
         );
     }
-    Some(rl::InferOptions { max_batch: batch, mode })
+    // Reply deadline: past it an actor ledgers a failover and degrades to
+    // its locally decoded policy instead of blocking forever.
+    let deadline = match args.value("--infer-deadline-ms") {
+        None => None,
+        Some(_) => {
+            let ms = args.parse("--infer-deadline-ms", 0u64);
+            if ms == 0 {
+                args.die("--infer-deadline-ms must be at least 1 millisecond");
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    // Chaos hook: kill the service thread after N batches to exercise the
+    // failover path end to end.
+    let fail_after_batches = match args.value("--infer-fail-after") {
+        None => None,
+        Some(_) => Some(args.parse("--infer-fail-after", 0u64)),
+    };
+    Some(rl::InferOptions {
+        max_batch: batch,
+        mode,
+        deadline,
+        fail_after_batches,
+    })
 }
 
 /// The `--actors N` path: actor–learner fleet training. Defaults to the
 /// Ape-X throughput schedule (`learn_every = actors`), overridable with
-/// `--sync-every` / `--learn-every`. Fleet runs do not checkpoint — each
-/// actor owns a live environment, and mid-run resume would need all of
-/// them re-wound — so `--checkpoint-dir` / `--resume` are rejected.
+/// `--sync-every` / `--learn-every`. With `--checkpoint-dir` the whole
+/// fleet checkpoints atomically — learner, replay, every actor's
+/// exploration stream and environment cursor — and `--resume` restarts a
+/// killed run bitwise (in-process transport; see DESIGN.md §17).
 fn cmd_train_fleet(args: &Args, config: &Config) {
     let actors = args.parse("--actors", 1usize);
     if actors == 0 {
         args.die("--actors needs at least one actor");
-    }
-    if args.value("--checkpoint-dir").is_some() || args.flag("--resume") {
-        args.die(
-            "--actors is incompatible with --checkpoint-dir/--resume: \
-             fleet runs do not checkpoint",
-        );
     }
     let mut opts = trainer::FleetOptions::throughput(actors);
     opts.sync_every = args.parse("--sync-every", opts.sync_every);
@@ -511,6 +560,28 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
         args.die("--sync-every/--learn-every must be at least 1");
     }
     opts.infer = resolve_infer(args, opts.sync_every);
+    opts.actor_respawns = args.parse("--actor-respawns", opts.actor_respawns);
+    opts.actor_panic_rate = args.parse("--actor-panic-rate", opts.actor_panic_rate);
+    opts.actor_panic_seed = args.parse("--actor-panic-seed", opts.actor_panic_seed);
+    if !(0.0..=1.0).contains(&opts.actor_panic_rate) {
+        args.die("--actor-panic-rate must be a probability in [0, 1]");
+    }
+    if opts.actor_panic_rate >= 1.0 && opts.actor_respawns == u32::MAX {
+        args.die("--actor-panic-rate 1 with an unbounded respawn budget would retry forever");
+    }
+
+    let mut ckpt = match args.value("--checkpoint-dir") {
+        Some(dir) => CheckpointOptions::in_dir(dir),
+        None => CheckpointOptions::disabled(),
+    };
+    let (default_every, default_keep) = (ckpt.every, ckpt.keep_last);
+    ckpt = ckpt
+        .every(args.parse("--checkpoint-every", default_every))
+        .keep_last(args.parse("--keep-last", default_keep))
+        .resume(args.flag("--resume"));
+    if ckpt.resume && ckpt.dir.is_none() {
+        args.die("--resume requires --checkpoint-dir DIR");
+    }
 
     println!("{}", kernel_provenance(config.kernel));
     println!(
@@ -528,10 +599,24 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
             }
         );
     }
+    if opts.actor_panic_rate > 0.0 {
+        println!(
+            "chaos: injecting actor panics at rate {} (seed {}, respawn budget {})",
+            opts.actor_panic_rate, opts.actor_panic_seed, opts.actor_respawns
+        );
+    }
 
     let episodes = config.episodes;
-    let fleet = trainer::run_fleet(config, &opts, |ep| print_episode(ep, episodes));
+    let fleet =
+        trainer::run_fleet_checkpointed(config, &opts, &ckpt, |ep| print_episode(ep, episodes))
+            .unwrap_or_else(|e| {
+                eprintln!("fleet training failed: {e}");
+                std::process::exit(1);
+            });
     let run = &fleet.run;
+    if let Some(from) = run.resumed_from {
+        println!("resumed from the fleet snapshot at {from} completed episode(s)");
+    }
     print_run_summary(run);
     let s = &fleet.fleet;
     println!(
@@ -540,6 +625,12 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
         s.transitions, s.merge_sweeps, s.snapshot_broadcasts, s.snapshot_encodes,
         s.snapshot_rejects, s.discarded_messages
     );
+    if s.respawns > 0 || s.failovers > 0 {
+        println!(
+            "supervision: {} actor respawn(s), {} inference failover(s)",
+            s.respawns, s.failovers
+        );
+    }
     if let Some(b) = &fleet.infer {
         println!(
             "inference service: {} rows in {} batches (mean occupancy {:.2}, \
@@ -551,6 +642,9 @@ fn cmd_train_fleet(args: &Args, config: &Config) {
             b.coalesced_fraction() * 100.0,
             b.snapshot_decodes
         );
+        if let Some(fault) = &b.fault {
+            println!("inference service fault: {fault}");
+        }
     }
     save_artifacts(args, config, run, &fleet.agent, Some(&fleet));
     if run.halted {

@@ -120,6 +120,9 @@ impl TrainerState {
 /// ledger is empty by definition).
 const TRAINER_MAGIC: [u8; 4] = *b"TRN2";
 const TRAINER_MAGIC_V1: [u8; 4] = *b"TRN1";
+/// Fleet-run payload magic: trainer-level fleet metadata, a length-prefixed
+/// [`rl::FleetResumeState`] blob, then the learner agent blob.
+const FLEET_MAGIC: [u8; 4] = *b"TRN3";
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -205,6 +208,11 @@ pub fn decode_run_state(
     let mut magic = [0u8; 4];
     io::Read::read_exact(&mut r, &mut magic)?;
     let v1 = magic == TRAINER_MAGIC_V1;
+    if magic == FLEET_MAGIC {
+        return Err(bad(
+            "this snapshot belongs to a fleet run; resume it with --actors N",
+        ));
+    }
     if magic != TRAINER_MAGIC && !v1 {
         return Err(bad("not a trainer checkpoint payload (bad magic)"));
     }
@@ -267,4 +275,212 @@ pub fn decode_run_state(
         fault_events,
     };
     Ok((state, agent))
+}
+
+/// The trainer-level metadata a fleet checkpoint carries above the
+/// [`rl::FleetResumeState`]: the best-pose fold (which lives in the
+/// trainer, not the fleet) and the watchdog-rollback ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrainerMeta {
+    /// Best docking score observed so far, folded in merge order.
+    pub best_score: f64,
+    /// RMSD at the best-scoring observation.
+    pub best_rmsd: f64,
+    /// Watchdog rollbacks consumed so far.
+    pub rollbacks_used: u32,
+    /// Watchdog trips recorded so far (rolled-back and halting alike).
+    pub watchdog_events: Vec<WatchdogEvent>,
+}
+
+impl FleetTrainerMeta {
+    /// The metadata of a fleet run that has not started.
+    pub fn fresh() -> Self {
+        FleetTrainerMeta {
+            best_score: f64::NEG_INFINITY,
+            best_rmsd: f64::INFINITY,
+            rollbacks_used: 0,
+            watchdog_events: Vec::new(),
+        }
+    }
+}
+
+/// Serialises a fleet checkpoint payload: trainer metadata, the encoded
+/// [`rl::FleetResumeState`] (as handed to the persist sink), and the
+/// learner agent.
+pub fn encode_fleet_state(
+    meta: &FleetTrainerMeta,
+    fleet_blob: &[u8],
+    agent: &DqnAgent<MlpQ>,
+) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&FLEET_MAGIC);
+    wire::put_f64(&mut out, meta.best_score);
+    wire::put_f64(&mut out, meta.best_rmsd);
+    wire::put_u32(&mut out, meta.rollbacks_used);
+    wire::put_usize(&mut out, meta.watchdog_events.len());
+    for ev in &meta.watchdog_events {
+        wire::put_usize(&mut out, ev.episode);
+        wire::put_str(&mut out, &ev.reason);
+        wire::put_bool(&mut out, ev.rolled_back);
+    }
+    wire::put_bytes(&mut out, fleet_blob);
+    agent.write_checkpoint(&mut out)?;
+    Ok(out)
+}
+
+/// Reads a payload written by [`encode_fleet_state`], rebuilding the
+/// metadata, the raw [`rl::FleetResumeState`] blob (decode it with
+/// [`rl::FleetResumeState::decode`]), and the learner agent. Single-loop
+/// payloads (`TRN1`/`TRN2`) are rejected with an actionable message.
+pub fn decode_fleet_state(
+    payload: &[u8],
+    dqn: DqnConfig,
+) -> io::Result<(FleetTrainerMeta, Vec<u8>, DqnAgent<MlpQ>)> {
+    let mut r = payload;
+    let mut magic = [0u8; 4];
+    io::Read::read_exact(&mut r, &mut magic)?;
+    if magic == TRAINER_MAGIC || magic == TRAINER_MAGIC_V1 {
+        return Err(bad(
+            "this snapshot belongs to a single-process run; drop --actors to resume it",
+        ));
+    }
+    if magic != FLEET_MAGIC {
+        return Err(bad("not a fleet checkpoint payload (bad magic)"));
+    }
+    let best_score = wire::get_f64(&mut r)?;
+    let best_rmsd = wire::get_f64(&mut r)?;
+    let rollbacks_used = wire::get_u32(&mut r)?;
+    let n_events = wire::get_usize(&mut r)?;
+    let mut watchdog_events = Vec::with_capacity(n_events.min(1 << 20));
+    for _ in 0..n_events {
+        watchdog_events.push(WatchdogEvent {
+            episode: wire::get_usize(&mut r)?,
+            reason: wire::get_str(&mut r)?,
+            rolled_back: wire::get_bool(&mut r)?,
+        });
+    }
+    let fleet_blob = wire::get_bytes(&mut r)?;
+    let agent = DqnAgent::read_checkpoint(&mut r, dqn)?;
+    if !r.is_empty() {
+        return Err(bad(format!(
+            "{} trailing bytes after the agent blob",
+            r.len()
+        )));
+    }
+    let meta = FleetTrainerMeta {
+        best_score,
+        best_rmsd,
+        rollbacks_used,
+        watchdog_events,
+    };
+    Ok((meta, fleet_blob, agent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::env::DockingEnv;
+    use crate::trainer::build_agent;
+
+    fn tiny_agent() -> (DqnAgent<MlpQ>, DqnConfig) {
+        let config = Config::tiny();
+        let env = DockingEnv::from_config(&config);
+        let agent = build_agent(&config, &env);
+        let mut dqn = config.dqn;
+        dqn.frame_layout = env.frame_layout();
+        (agent, dqn)
+    }
+
+    fn sample_meta() -> FleetTrainerMeta {
+        FleetTrainerMeta {
+            best_score: -7.25,
+            best_rmsd: 2.5,
+            rollbacks_used: 1,
+            watchdog_events: vec![WatchdogEvent {
+                episode: 3,
+                reason: "avg max Q 9.0e9 exceeded watchdog bound".into(),
+                rolled_back: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn fleet_payload_roundtrips() {
+        let (agent, dqn) = tiny_agent();
+        let meta = sample_meta();
+        let fleet_blob = vec![0xA5u8; 97];
+        let payload = encode_fleet_state(&meta, &fleet_blob, &agent).unwrap();
+        let (back_meta, back_blob, back_agent) = decode_fleet_state(&payload, dqn).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(back_blob, fleet_blob);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        agent.write_checkpoint(&mut a).unwrap();
+        back_agent.write_checkpoint(&mut b).unwrap();
+        assert_eq!(a, b, "the agent must roundtrip bitwise");
+    }
+
+    #[test]
+    fn single_loop_payload_still_roundtrips() {
+        // TRN2 compatibility: adding the TRN3 fleet container must not
+        // perturb the single-loop codec.
+        let (agent, dqn) = tiny_agent();
+        let mut state = TrainerState::fresh();
+        state.next_episode = 4;
+        state.best_score = -3.0;
+        state.fault_events.push(FaultEvent {
+            episode: 1,
+            kind: "timeout".into(),
+            detail: "scoring reply late".into(),
+            recovered: true,
+        });
+        let payload = encode_run_state(&state, &agent).unwrap();
+        let (back, _agent) = decode_run_state(&payload, dqn).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn cross_mode_payloads_are_rejected_with_actionable_messages() {
+        let (agent, dqn) = tiny_agent();
+        let fleet = encode_fleet_state(&sample_meta(), b"blob", &agent).unwrap();
+        let err = decode_run_state(&fleet, dqn).unwrap_err();
+        assert!(err.to_string().contains("--actors N"), "got: {err}");
+
+        let single = encode_run_state(&TrainerState::fresh(), &agent).unwrap();
+        let err = decode_fleet_state(&single, dqn).unwrap_err();
+        assert!(err.to_string().contains("drop --actors"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_fleet_payloads_are_rejected() {
+        let (agent, dqn) = tiny_agent();
+        let payload = encode_fleet_state(&sample_meta(), b"fleet-state", &agent).unwrap();
+        // Every strict prefix must fail: the trailing-bytes check means the
+        // agent blob anchors the end, so a cut anywhere leaves a short read.
+        let mut lengths: Vec<usize> = (0..payload.len().min(64)).collect();
+        lengths.extend((64..payload.len()).step_by(131));
+        lengths.push(payload.len() - 1);
+        for n in lengths {
+            assert!(
+                decode_fleet_state(&payload[..n], dqn).is_err(),
+                "a {n}-byte prefix of a {}-byte payload must be rejected",
+                payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_magic_and_trailing_bytes_are_rejected() {
+        let (agent, dqn) = tiny_agent();
+        let mut payload = encode_fleet_state(&sample_meta(), b"blob", &agent).unwrap();
+        let mut flipped = payload.clone();
+        flipped[0] ^= 0x20;
+        let err = decode_fleet_state(&flipped, dqn).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "got: {err}");
+
+        payload.push(0);
+        let err = decode_fleet_state(&payload, dqn).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "got: {err}");
+    }
 }

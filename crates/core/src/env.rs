@@ -366,6 +366,101 @@ impl DockingEnv {
         self.episode_steps
     }
 
+    /// Serialises the per-episode dynamic state — pose, score memory, rule
+    /// counters, and the evaluation budget counter — for the fleet's actor
+    /// cursors. Everything else (engine, featurizer, rules) is rebuilt
+    /// from the run configuration. Ligand coordinates are *not* stored:
+    /// they are a deterministic function of the pose and are recomputed on
+    /// restore, bitwise-identically, without advancing the counter.
+    ///
+    /// An attached transport's internal state (e.g. a fault injector's RNG
+    /// position) is deliberately outside the snapshot, so resume is
+    /// bitwise-faithful only for transports without hidden state (Direct,
+    /// RAM) — see DESIGN.md §17.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use rl::checkpoint as ck;
+        let mut out = Vec::with_capacity(96 + 8 * self.pose.torsions.len());
+        ck::put_u8(&mut out, 1); // layout version
+        let t = &self.pose.transform;
+        for v in [
+            t.rotation.w,
+            t.rotation.x,
+            t.rotation.y,
+            t.rotation.z,
+            t.translation.x,
+            t.translation.y,
+            t.translation.z,
+        ] {
+            ck::put_f64(&mut out, v);
+        }
+        ck::put_f64_slice(&mut out, &self.pose.torsions);
+        ck::put_f64(&mut out, self.last_score);
+        ck::put_usize(&mut out, self.below_count);
+        ck::put_usize(&mut out, self.episode_steps);
+        ck::put_u64(&mut out, self.evaluations);
+        out
+    }
+
+    /// Restores state written by [`DockingEnv::snapshot`] onto an
+    /// environment built from the *same* configuration. The pending fault
+    /// log is cleared: a cursor is captured only after the round's faults
+    /// were drained into its step message, so a restored environment has
+    /// none outstanding.
+    pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        use rl::checkpoint as ck;
+        fn bad(msg: impl Into<String>) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+        }
+        let mut r = bytes;
+        let version = ck::get_u8(&mut r)?;
+        if version != 1 {
+            return Err(bad(format!("unknown docking-env snapshot version {version}")));
+        }
+        let rotation = vecmath::Quat {
+            w: ck::get_f64(&mut r)?,
+            x: ck::get_f64(&mut r)?,
+            y: ck::get_f64(&mut r)?,
+            z: ck::get_f64(&mut r)?,
+        };
+        let translation = Vec3 {
+            x: ck::get_f64(&mut r)?,
+            y: ck::get_f64(&mut r)?,
+            z: ck::get_f64(&mut r)?,
+        };
+        let torsions = ck::get_f64_vec(&mut r)?;
+        if torsions.len() != self.pose.torsions.len() {
+            return Err(bad(format!(
+                "snapshot has {} torsions, this complex has {}",
+                torsions.len(),
+                self.pose.torsions.len()
+            )));
+        }
+        let last_score = ck::get_f64(&mut r)?;
+        let below_count = ck::get_usize(&mut r)?;
+        let episode_steps = ck::get_usize(&mut r)?;
+        let evaluations = ck::get_u64(&mut r)?;
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after the docking-env snapshot"));
+        }
+        self.pose = Pose {
+            transform: vecmath::Transform { rotation, translation },
+            torsions,
+        };
+        self.last_coords = self.engine.ligand_coords(&self.pose);
+        self.last_score = last_score;
+        self.below_count = below_count;
+        self.episode_steps = episode_steps;
+        self.evaluations = evaluations;
+        self.fault_log.clear();
+        Ok(())
+    }
+
+    /// Re-featurizes the current state without stepping or evaluating —
+    /// the restore-side observation for mid-episode fleet resume.
+    pub fn observe_current(&mut self) -> Vec<f32> {
+        self.observe()
+    }
+
     /// Takes the faults observed at this boundary since the last drain
     /// (the trainer pulls this per episode and logs fault events).
     pub fn drain_faults(&mut self) -> Vec<EnvFaultRecord> {

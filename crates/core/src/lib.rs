@@ -56,6 +56,6 @@ pub use env::{DockingEnv, EnvFaultRecord};
 pub use policy::{evaluate, evaluate_batched, rollout, EvalReport, Policy, Trajectory};
 pub use report::{fleet_report, training_report};
 pub use trainer::{
-    run, run_checkpointed, run_fleet, CheckpointedRun, FaultEvent, FleetOptions, FleetRun,
-    TrainingRun, WatchdogEvent,
+    run, run_checkpointed, run_fleet, run_fleet_checkpointed, CheckpointedRun, FaultEvent,
+    FleetOptions, FleetRun, TrainingRun, WatchdogEvent,
 };

@@ -82,6 +82,12 @@ pub fn training_report(config: &Config, run: &TrainingRun) -> String {
     let _ = writeln!(out, "| RMSD at best pose | {:.2} Å |", run.best_rmsd);
     let _ = writeln!(out, "| env evaluations | {} |", run.evaluations);
     let _ = writeln!(out, "| final ε | {:.3} |", run.final_epsilon);
+    if let Some(from) = run.resumed_from {
+        let _ = writeln!(
+            out,
+            "| resumed from | snapshot at {from} completed episode(s) |"
+        );
+    }
     let mean_steps: f64 = run.episodes.iter().map(|e| e.steps as f64).sum::<f64>()
         / run.episodes.len().max(1) as f64;
     let _ = writeln!(out, "| mean episode length | {mean_steps:.1} steps |");
@@ -172,6 +178,16 @@ pub fn fleet_report(config: &Config, fleet: &FleetRun) -> String {
     let mut out = training_report(config, &fleet.run);
     let s = &fleet.fleet;
     let _ = writeln!(out, "\n## Fleet\n");
+    if fleet.run.halted {
+        // A watchdog halt stops the merge loop mid-sweep; the ledgers
+        // below cover everything merged up to that point. Dropping them
+        // entirely would hide exactly the run that needs a post-mortem.
+        let _ = writeln!(
+            out,
+            "_Partial ledgers: the run halted early, so the counters below \
+             cover only the merged prefix._\n"
+        );
+    }
     let _ = writeln!(
         out,
         "{} actors streamed {} transitions over {} merge sweeps; {} weight \
@@ -186,6 +202,15 @@ pub fn fleet_report(config: &Config, fleet: &FleetRun) -> String {
         s.snapshot_rejects,
         s.discarded_messages
     );
+    if s.respawns > 0 || s.failovers > 0 {
+        let _ = writeln!(
+            out,
+            "Supervision absorbed {} actor respawn(s) and {} inference \
+             failover(s); each event is itemised in the transport-fault \
+             ledger above.\n",
+            s.respawns, s.failovers
+        );
+    }
     if let Some(b) = &fleet.infer {
         let _ = writeln!(out, "\n### Micro-batched inference service\n");
         let _ = writeln!(
@@ -201,6 +226,13 @@ pub fn fleet_report(config: &Config, fleet: &FleetRun) -> String {
             b.coalesced_fraction() * 100.0,
             b.snapshot_decodes
         );
+        if let Some(fault) = &b.fault {
+            let _ = writeln!(
+                out,
+                "The service stopped early: {fault}. Actors degraded to \
+                 their locally decoded policies for the remaining steps.\n",
+            );
+        }
     }
     let _ = writeln!(out, "| actor | episodes | transitions |");
     let _ = writeln!(out, "|---|---|---|");
@@ -330,6 +362,50 @@ mod tests {
         let b = fleet.infer.expect("service stats");
         assert!(md.contains(&format!("{} Q-evaluations", b.rows)));
         assert!(md.contains(&format!("{} batched forwards", b.batches)));
+    }
+
+    #[test]
+    fn halted_fleet_report_keeps_partial_ledgers() {
+        let mut c = Config::tiny();
+        c.episodes = 4;
+        c.max_steps = 15;
+        let mut opts = trainer::FleetOptions::lockstep(2);
+        opts.infer = Some(rl::InferOptions::lockstep(8));
+        let mut fleet = trainer::run_fleet(&c, &opts, |_| {});
+        // Simulate an early watchdog halt: the counters and service stats
+        // must still render, flagged as a partial ledger, instead of the
+        // section vanishing exactly when a post-mortem needs it.
+        fleet.run.halted = true;
+        fleet.infer.as_mut().unwrap().fault = Some("injected service death".into());
+        let md = fleet_report(&c, &fleet);
+        assert!(md.contains("_Partial ledgers:"), "missing partial note:\n{md}");
+        assert!(md.contains("merge sweeps"), "counters dropped:\n{md}");
+        assert!(md.contains("### Micro-batched inference service"));
+        assert!(md.contains("The service stopped early: injected service death"));
+        assert!(md.contains("| actor | episodes | transitions |"));
+    }
+
+    #[test]
+    fn fleet_report_renders_supervision_counters() {
+        let mut c = Config::tiny();
+        c.episodes = 4;
+        c.max_steps = 15;
+        let mut fleet = trainer::run_fleet(&c, &trainer::FleetOptions::lockstep(2), |_| {});
+        let md = fleet_report(&c, &fleet);
+        assert!(!md.contains("Supervision absorbed"), "clean run has no supervision line");
+        fleet.fleet.respawns = 3;
+        fleet.fleet.failovers = 1;
+        let md = fleet_report(&c, &fleet);
+        assert!(md.contains("Supervision absorbed 3 actor respawn(s) and 1 inference failover(s)"));
+    }
+
+    #[test]
+    fn report_shows_resume_provenance() {
+        let (c, mut run) = quick_run();
+        assert!(!training_report(&c, &run).contains("resumed from"));
+        run.resumed_from = Some(2);
+        let md = training_report(&c, &run);
+        assert!(md.contains("| resumed from | snapshot at 2 completed episode(s) |"));
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! End-to-end DQN-Docking training runs (paper Algorithm 2) and their
 //! reports.
 
-use crate::checkpoint::{decode_run_state, encode_run_state, CheckpointOptions, TrainerState};
+use crate::checkpoint::{
+    decode_fleet_state, decode_run_state, encode_fleet_state, encode_run_state, CheckpointOptions,
+    FleetTrainerMeta, TrainerState,
+};
 use crate::config::Config;
 use crate::env::DockingEnv;
 use neural::MlpSpec;
 use rl::checkpoint::CheckpointManager;
 use rl::{DqnAgent, Environment, EpisodeStats, MlpQ, QFunction, TrainOptions};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::io;
 
@@ -71,6 +75,11 @@ pub struct TrainingRun {
     /// Transport/environment faults, in order (empty on a healthy run).
     #[serde(default)]
     pub fault_events: Vec<FaultEvent>,
+    /// Completed-episode count of the snapshot this process resumed from
+    /// (`None` when the run started fresh). Provenance only — resuming is
+    /// bitwise-neutral to every other field.
+    #[serde(default)]
+    pub resumed_from: Option<u64>,
 }
 
 /// CSV rendering of an `f64` metric: finite values print as-is; non-finite
@@ -158,6 +167,12 @@ impl TrainingRun {
             num("final_epsilon", self.final_epsilon)?,
             self.halted
         );
+        match self.resumed_from {
+            Some(e) => {
+                let _ = write!(s, ",\"resumed_from\":{e}");
+            }
+            None => s.push_str(",\"resumed_from\":null"),
+        }
         s.push_str(",\"episodes\":[");
         for (i, e) in self.episodes.iter().enumerate() {
             if i > 0 {
@@ -324,6 +339,7 @@ pub fn run_checkpointed(
         (Some(m), true) => m.load_latest_valid()?,
         _ => None,
     };
+    let resumed_from = restored.as_ref().map(|(episode, _)| *episode);
     let (mut ts, mut agent) = match restored {
         Some((_episode, payload)) => {
             let mut dqn = config.dqn;
@@ -586,6 +602,7 @@ pub fn run_checkpointed(
         watchdog_events: ts.watchdog_events,
         halted,
         fault_events: ts.fault_events,
+        resumed_from,
     };
     Ok(CheckpointedRun { run, agent })
 }
@@ -605,6 +622,15 @@ pub struct FleetOptions {
     /// Cross-actor micro-batched Q-inference service (`--infer-batch`).
     /// `None` keeps per-actor private forwards.
     pub infer: Option<rl::InferOptions>,
+    /// Deterministic respawn budget per actor (`--actor-respawns`); a
+    /// panicking actor beyond the budget retires, ledgered, without
+    /// deadlocking the merge loop.
+    pub actor_respawns: u32,
+    /// Chaos hook: per-round actor panic probability
+    /// (`--actor-panic-rate`). `0.0` is bitwise-neutral.
+    pub actor_panic_rate: f64,
+    /// Seed decorrelating the injected panic coins (`--actor-panic-seed`).
+    pub actor_panic_seed: u64,
 }
 
 impl FleetOptions {
@@ -620,6 +646,9 @@ impl FleetOptions {
             learn_every: 1,
             channel_capacity: 4,
             infer: None,
+            actor_respawns: 2,
+            actor_panic_rate: 0.0,
+            actor_panic_seed: 0,
         }
     }
 
@@ -685,6 +714,18 @@ impl rl::FleetHooks<DockingEnv> for DockingFleetHooks {
     fn evaluations(&self, env: &DockingEnv) -> u64 {
         env.evaluations()
     }
+
+    fn snapshot_env(&self, env: &DockingEnv) -> Option<Vec<u8>> {
+        Some(env.snapshot())
+    }
+
+    fn restore_env(&self, env: &mut DockingEnv, bytes: &[u8]) -> io::Result<()> {
+        env.restore(bytes)
+    }
+
+    fn observe(&self, env: &mut DockingEnv) -> Option<Vec<f32>> {
+        Some(env.observe_current())
+    }
 }
 
 /// Runs training on the actor–learner fleet: `opts.actors` workers each
@@ -708,27 +749,9 @@ pub fn run_fleet(
     assert!(problems.is_empty(), "invalid config: {problems:?}");
     assert!(opts.actors >= 1, "fleet needs at least one actor");
 
-    let envs: Vec<DockingEnv> = (0..opts.actors)
-        .map(|i| {
-            let mut c = config.clone();
-            c.transport.fault_seed = config.transport.fault_seed.wrapping_add(i as u64);
-            DockingEnv::from_config(&c)
-        })
-        .collect();
+    let envs = build_fleet_envs(config, opts.actors);
     let mut agent = build_agent(config, &envs[0]);
-
-    let fleet_cfg = rl::FleetConfig {
-        actors: opts.actors,
-        episodes: config.episodes,
-        max_steps_per_episode: config.max_steps,
-        sync_every: opts.sync_every,
-        learn_every: opts.learn_every,
-        channel_capacity: opts.channel_capacity,
-        watchdog_max_abs_q: config.watchdog.enabled.then_some(config.watchdog.max_abs_q),
-        snapshot_corrupt_rate: 0.0,
-        snapshot_fault_seed: 0,
-        infer: opts.infer,
-    };
+    let fleet_cfg = fleet_config(config, opts);
 
     // Best-pose fold, replayed in deterministic merge order — the same
     // strict-improvement rule the single loop applies at each reset and
@@ -749,39 +772,270 @@ pub fn run_fleet(
         on_episode,
     );
 
-    let run = TrainingRun {
-        episodes: outcome.episodes,
+    let halting_events = outcome
+        .watchdog
+        .iter()
+        .map(|w| WatchdogEvent {
+            episode: w.episode,
+            reason: w.reason.clone(),
+            rolled_back: false,
+        })
+        .collect();
+    let run = fleet_training_run(
+        &outcome,
         best_score,
         best_rmsd,
-        evaluations: outcome.evaluations,
-        final_epsilon: agent.epsilon(),
-        eval_points: Vec::new(),
-        watchdog_events: outcome
-            .watchdog
-            .into_iter()
-            .map(|w| WatchdogEvent {
-                episode: w.episode,
-                reason: w.reason,
-                rolled_back: false,
-            })
-            .collect(),
-        halted: outcome.halted,
-        fault_events: outcome
-            .faults
-            .into_iter()
-            .map(|f| FaultEvent {
-                episode: f.episode,
-                kind: f.kind,
-                detail: f.detail,
-                recovered: f.recovered,
-            })
-            .collect(),
-    };
+        agent.epsilon(),
+        halting_events,
+        None,
+    );
     FleetRun {
         run,
         fleet: outcome.stats,
         infer: outcome.infer,
         agent,
+    }
+}
+
+/// One environment per actor, with decorrelated fault-injection seeds.
+fn build_fleet_envs(config: &Config, actors: usize) -> Vec<DockingEnv> {
+    (0..actors)
+        .map(|i| {
+            let mut c = config.clone();
+            c.transport.fault_seed = config.transport.fault_seed.wrapping_add(i as u64);
+            DockingEnv::from_config(&c)
+        })
+        .collect()
+}
+
+/// Maps the trainer-level [`FleetOptions`] onto the rl crate's
+/// [`rl::FleetConfig`].
+fn fleet_config(config: &Config, opts: &FleetOptions) -> rl::FleetConfig {
+    rl::FleetConfig {
+        actors: opts.actors,
+        episodes: config.episodes,
+        max_steps_per_episode: config.max_steps,
+        sync_every: opts.sync_every,
+        learn_every: opts.learn_every,
+        channel_capacity: opts.channel_capacity,
+        watchdog_max_abs_q: config.watchdog.enabled.then_some(config.watchdog.max_abs_q),
+        snapshot_corrupt_rate: 0.0,
+        snapshot_fault_seed: 0,
+        infer: opts.infer,
+        actor_respawns: opts.actor_respawns,
+        actor_panic_rate: opts.actor_panic_rate,
+        actor_panic_seed: opts.actor_panic_seed,
+    }
+}
+
+/// Assembles the fleet's [`TrainingRun`] from a [`rl::FleetOutcome`] (the
+/// caller supplies the watchdog ledger — checkpointed runs carry trips
+/// from before a rollback that the final outcome no longer knows about).
+fn fleet_training_run(
+    outcome: &rl::FleetOutcome,
+    best_score: f64,
+    best_rmsd: f64,
+    final_epsilon: f64,
+    watchdog_events: Vec<WatchdogEvent>,
+    resumed_from: Option<u64>,
+) -> TrainingRun {
+    TrainingRun {
+        episodes: outcome.episodes.clone(),
+        best_score,
+        best_rmsd,
+        evaluations: outcome.evaluations,
+        final_epsilon,
+        eval_points: Vec::new(),
+        watchdog_events,
+        halted: outcome.halted,
+        fault_events: outcome
+            .faults
+            .iter()
+            .map(|f| FaultEvent {
+                episode: f.episode,
+                kind: f.kind.clone(),
+                detail: f.detail.clone(),
+                recovered: f.recovered,
+            })
+            .collect(),
+        resumed_from,
+    }
+}
+
+/// [`run_fleet`] with crash-safety: periodic atomic checkpoints of the
+/// *entire* fleet — learner networks with optimizer moments, replay
+/// memory, per-actor exploration-stream positions and environment
+/// cursors, the merged ledgers — plus optional resume and the divergence
+/// watchdog's rollback path.
+///
+/// Resuming is bitwise-exact for transports without hidden state (the
+/// plain in-process engine): a fleet killed after a checkpoint and
+/// resumed produces the same final weights, episode statistics, and fault
+/// ledger as one that was never interrupted (see DESIGN.md §17). Chaos
+/// transports (`fault_rate > 0`) resume *safely* but not bitwise — the
+/// injector's RNG position is not part of the environment cursor.
+///
+/// On a watchdog trip the run rolls back to the newest valid snapshot
+/// (budget permitting): every actor's exploration stream is re-seeded at
+/// its checkpointed word position — replaying the original streams would
+/// diverge identically — and the trip is ledgered with
+/// `rolled_back: true`. The diverged segment's statistics and faults are
+/// discarded with the trajectory that produced them; the watchdog ledger
+/// itself survives. With the budget exhausted (or no valid snapshot) the
+/// fleet halts, leaving the last good snapshot on disk for post-mortems.
+///
+/// Without a checkpoint directory this is exactly [`run_fleet`].
+///
+/// # Panics
+/// If the config fails validation, or `opts.actors == 0`.
+///
+/// # Errors
+/// Propagates checkpoint I/O failures (a failed periodic save aborts the
+/// run rather than silently dropping durability) and rejects
+/// corrupt/mismatched snapshots on resume — including single-process
+/// (`TRN1`/`TRN2`) snapshots, which need `--actors` dropped.
+pub fn run_fleet_checkpointed(
+    config: &Config,
+    opts: &FleetOptions,
+    ckpt: &CheckpointOptions,
+    mut on_episode: impl FnMut(&EpisodeStats),
+) -> io::Result<FleetRun> {
+    let problems = config.validate();
+    assert!(problems.is_empty(), "invalid config: {problems:?}");
+    assert!(opts.actors >= 1, "fleet needs at least one actor");
+
+    let Some(dir) = &ckpt.dir else {
+        return Ok(run_fleet(config, opts, on_episode));
+    };
+    let manager = CheckpointManager::new(dir.clone(), ckpt.keep_last)?;
+
+    // The agent codec needs the env's frame layout; a probe env also
+    // pins the network shape a resumed checkpoint must match.
+    let probe = DockingEnv::from_config(config);
+    let mut dqn_cfg = config.dqn;
+    dqn_cfg.frame_layout = probe.frame_layout();
+
+    let restored = if ckpt.resume {
+        manager.load_latest_valid()?
+    } else {
+        None
+    };
+    let resumed_from = restored.as_ref().map(|(episode, _)| *episode);
+    let (mut meta, mut agent, mut resume_state) = match restored {
+        Some((_episode, payload)) => {
+            let (meta, fleet_blob, agent) = decode_fleet_state(&payload, dqn_cfg)?;
+            if agent.q_function().state_dim() != probe.state_dim()
+                || agent.q_function().n_actions() != probe.n_actions()
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpointed network shape {}→{} does not fit environment {}→{}",
+                        agent.q_function().state_dim(),
+                        agent.q_function().n_actions(),
+                        probe.state_dim(),
+                        probe.n_actions()
+                    ),
+                ));
+            }
+            let state = rl::FleetResumeState::decode(&fleet_blob)?;
+            (meta, agent, Some(state))
+        }
+        None => (FleetTrainerMeta::fresh(), build_agent(config, &probe), None),
+    };
+    drop(probe);
+
+    let wd = config.watchdog;
+    let fleet_cfg = fleet_config(config, opts);
+    let mut rollbacks_used = meta.rollbacks_used;
+    let mut watchdog_events = meta.watchdog_events.clone();
+    loop {
+        let envs = build_fleet_envs(config, opts.actors);
+        let best_score = Cell::new(meta.best_score);
+        let best_rmsd = Cell::new(meta.best_rmsd);
+        let mut save = |episodes_done: u64, blob: &[u8], agent: &DqnAgent<MlpQ>| {
+            let m = FleetTrainerMeta {
+                best_score: best_score.get(),
+                best_rmsd: best_rmsd.get(),
+                rollbacks_used,
+                watchdog_events: watchdog_events.clone(),
+            };
+            let payload = encode_fleet_state(&m, blob, agent)?;
+            manager.save(episodes_done, &payload).map(|_path| ())
+        };
+        let mut persist = rl::FleetPersist {
+            every_episodes: ckpt.every,
+            save: &mut save,
+            resume: resume_state.take(),
+        };
+        let outcome = rl::run_fleet_checkpointed(
+            &mut agent,
+            &fleet_cfg,
+            envs,
+            &DockingFleetHooks,
+            |&(score, rmsd)| {
+                if score > best_score.get() {
+                    best_score.set(score);
+                    best_rmsd.set(rmsd);
+                }
+            },
+            &mut on_episode,
+            &mut persist,
+        )?;
+        meta.best_score = best_score.get();
+        meta.best_rmsd = best_rmsd.get();
+
+        if outcome.halted && rollbacks_used < wd.max_rollbacks {
+            // Watchdog trip with rollback budget: rewind the whole fleet
+            // to the newest valid snapshot and re-seed every actor's
+            // exploration stream (same stream ids and word positions, a
+            // fresh deterministic seed per rollback).
+            let rollback = manager.load_latest_valid()?.and_then(|(_e, payload)| {
+                let (m, blob, a) = decode_fleet_state(&payload, dqn_cfg).ok()?;
+                let state = rl::FleetResumeState::decode(&blob).ok()?;
+                Some((m, state, a))
+            });
+            if let Some((m, mut state, a)) = rollback {
+                rollbacks_used += 1;
+                for w in &outcome.watchdog {
+                    watchdog_events.push(WatchdogEvent {
+                        episode: w.episode,
+                        reason: w.reason.clone(),
+                        rolled_back: true,
+                    });
+                }
+                meta.best_score = m.best_score;
+                meta.best_rmsd = m.best_rmsd;
+                agent = a;
+                state.reseed_exploration(config.dqn.seed.wrapping_add(
+                    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rollbacks_used as u64),
+                ));
+                resume_state = Some(state);
+                continue;
+            }
+        }
+
+        for w in &outcome.watchdog {
+            watchdog_events.push(WatchdogEvent {
+                episode: w.episode,
+                reason: w.reason.clone(),
+                rolled_back: false,
+            });
+        }
+        let run = fleet_training_run(
+            &outcome,
+            meta.best_score,
+            meta.best_rmsd,
+            agent.epsilon(),
+            watchdog_events,
+            resumed_from,
+        );
+        return Ok(FleetRun {
+            run,
+            fleet: outcome.stats,
+            infer: outcome.infer,
+            agent,
+        });
     }
 }
 
@@ -903,6 +1157,7 @@ mod tests {
             watchdog_events: Vec::new(),
             halted: false,
             fault_events: Vec::new(),
+            resumed_from: None,
         }
     }
 

@@ -108,6 +108,50 @@ fn resume_with_empty_directory_starts_fresh() {
 }
 
 #[test]
+fn single_loop_refuses_to_resume_a_fleet_snapshot() {
+    // A fleet run leaves TRN3 snapshots; pointing the single-loop trainer
+    // at them must fail with a message naming the fix, not misparse them.
+    let config = test_config();
+    let dir = temp_dir("cross-fleet");
+    let ckpt = CheckpointOptions::in_dir(&dir).every(2);
+    trainer::run_fleet_checkpointed(&config, &trainer::FleetOptions::lockstep(2), &ckpt, |_| {})
+        .unwrap();
+
+    let mut env = DockingEnv::from_config(&config);
+    let err = trainer::run_checkpointed(&config, &mut env, &ckpt.resume(true), |_| {})
+        .expect_err("a fleet snapshot must not resume in single-loop mode");
+    assert!(
+        err.to_string().contains("--actors"),
+        "the error must point at --actors, got: {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_refuses_to_resume_a_single_loop_snapshot() {
+    // The mirror image: a single-loop run leaves TRN2 snapshots; a fleet
+    // resume must reject them and tell the operator to drop --actors.
+    let config = test_config();
+    let dir = temp_dir("cross-single");
+    let ckpt = CheckpointOptions::in_dir(&dir);
+    let mut env = DockingEnv::from_config(&config);
+    trainer::run_checkpointed(&config, &mut env, &ckpt, |_| {}).unwrap();
+
+    let err = trainer::run_fleet_checkpointed(
+        &config,
+        &trainer::FleetOptions::lockstep(2),
+        &ckpt.resume(true),
+        |_| {},
+    )
+    .expect_err("a single-loop snapshot must not resume a fleet");
+    assert!(
+        err.to_string().contains("drop --actors"),
+        "the error must point at dropping --actors, got: {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn watchdog_halts_without_a_checkpoint_to_roll_back_to() {
     let mut config = test_config();
     // Any finite Q-value trips this bound at the very first step.

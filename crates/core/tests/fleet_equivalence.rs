@@ -6,6 +6,8 @@
 
 use dqn_docking::config::TransportMode;
 use dqn_docking::{trainer, CheckpointOptions, Config, DockingEnv};
+use std::fs;
+use std::path::{Path, PathBuf};
 
 fn test_config() -> Config {
     let mut c = Config::tiny();
@@ -18,6 +20,42 @@ fn learning_state(agent: &rl::DqnAgent<rl::MlpQ>) -> Vec<u8> {
     let mut bytes = Vec::new();
     agent.write_learning_state(&mut bytes).unwrap();
     bytes
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dqn-fleet-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Snapshot files in `dir`, sorted ascending by name (and therefore by the
+/// zero-padded episode count they were saved at).
+fn snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dqck"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Bitwise equality of two fleet runs, ignoring resume provenance (an
+/// uninterrupted reference has `resumed_from: None` by construction).
+fn assert_fleet_runs_identical(a: &trainer::FleetRun, b: &trainer::FleetRun) {
+    assert_eq!(a.run.episodes, b.run.episodes, "episode stats must match bitwise");
+    assert_eq!(a.run.to_csv(), b.run.to_csv(), "training curve must match bitwise");
+    assert_eq!(a.run.best_score, b.run.best_score);
+    assert_eq!(a.run.best_rmsd, b.run.best_rmsd);
+    assert_eq!(a.run.evaluations, b.run.evaluations);
+    assert_eq!(a.run.final_epsilon, b.run.final_epsilon);
+    assert_eq!(a.run.fault_events, b.run.fault_events, "fault ledger must match");
+    assert_eq!(a.fleet, b.fleet, "fleet counters must match");
+    assert_eq!(
+        learning_state(&a.agent),
+        learning_state(&b.agent),
+        "learner networks, replay, and counters must match bitwise"
+    );
 }
 
 #[test]
@@ -106,6 +144,197 @@ fn batched_inference_fleet_is_bitwise_identical_to_per_actor_forwards() {
         assert_eq!(stats.rows, svc.fleet.transitions, "one Q-row per merged transition");
         assert!(plain.infer.is_none());
     }
+}
+
+#[test]
+fn killed_and_resumed_fleet_is_bitwise_identical() {
+    let config = test_config();
+    for actors in [1usize, 2] {
+        let opts = trainer::FleetOptions::lockstep(actors);
+        let reference = trainer::run_fleet(&config, &opts, |_| {});
+
+        // Checkpointing itself must be bitwise-neutral to the run.
+        let dir = temp_dir(&format!("resume-{actors}"));
+        let ckpt = CheckpointOptions::in_dir(&dir).every(2).keep_last(100);
+        let full = trainer::run_fleet_checkpointed(&config, &opts, &ckpt, |_| {}).unwrap();
+        assert_fleet_runs_identical(&full, &reference);
+        assert_eq!(full.run.resumed_from, None);
+
+        // Simulate a SIGKILL after a mid-run checkpoint: throw away the
+        // newest (terminal) snapshot so resume restarts from a live fleet
+        // state with actors mid-flight.
+        let snaps = snapshots(&dir);
+        assert!(snaps.len() >= 2, "expected a mid-run snapshot, got {snaps:?}");
+        fs::remove_file(snaps.last().unwrap()).unwrap();
+
+        let resumed =
+            trainer::run_fleet_checkpointed(&config, &opts, &ckpt.clone().resume(true), |_| {})
+                .unwrap();
+        let from = resumed.run.resumed_from.expect("resume provenance recorded");
+        assert!(
+            (from as usize) < config.episodes,
+            "must resume mid-run, not from the terminal snapshot"
+        );
+        assert_fleet_runs_identical(&resumed, &reference);
+        assert!(!resumed.run.halted);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn fleet_resume_falls_back_past_a_damaged_snapshot() {
+    let config = test_config();
+    let opts = trainer::FleetOptions::lockstep(2);
+    let reference = trainer::run_fleet(&config, &opts, |_| {});
+
+    let dir = temp_dir("fallback");
+    let ckpt = CheckpointOptions::in_dir(&dir).every(2).keep_last(100);
+    trainer::run_fleet_checkpointed(&config, &opts, &ckpt, |_| {}).unwrap();
+
+    // Kill the terminal snapshot outright and bit-flip the next-newest:
+    // resume must reject the flipped one on CRC, walk back to an older
+    // valid snapshot, and still converge to the identical final run.
+    let snaps = snapshots(&dir);
+    assert!(snaps.len() >= 3, "expected ≥3 snapshots, got {snaps:?}");
+    fs::remove_file(snaps.last().unwrap()).unwrap();
+    let flipped = &snaps[snaps.len() - 2];
+    let mut bytes = fs::read(flipped).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(flipped, &bytes).unwrap();
+
+    let resumed = trainer::run_fleet_checkpointed(&config, &opts, &ckpt.resume(true), |_| {})
+        .unwrap();
+    assert_fleet_runs_identical(&resumed, &reference);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_actor_panics_and_service_death_are_ledgered_and_bitwise() {
+    let config = test_config();
+
+    // Clean reference: lockstep with the inference service, no injection.
+    let mut clean_opts = trainer::FleetOptions::lockstep(2);
+    clean_opts.infer = Some(rl::InferOptions::lockstep(4));
+    let clean = trainer::run_fleet(&config, &clean_opts, |_| {});
+
+    // Chaos run: the same schedule plus injected actor panics and a
+    // scheduled service death. Respawns replay the interrupted round from
+    // its cursor and failover degrades to locally decoded policies, so
+    // the training outcome must not change by a single bit.
+    let mut chaos_opts = clean_opts;
+    chaos_opts.actor_panic_rate = 0.10;
+    chaos_opts.actor_panic_seed = 13;
+    chaos_opts.actor_respawns = 64;
+    chaos_opts.infer = Some(rl::InferOptions {
+        fail_after_batches: Some(5),
+        ..rl::InferOptions::lockstep(4)
+    });
+    let chaos = trainer::run_fleet_checkpointed(
+        &config,
+        &chaos_opts,
+        &CheckpointOptions::disabled(),
+        |_| {},
+    )
+    .unwrap();
+
+    assert!(!chaos.run.halted, "supervision absorbs the chaos");
+    assert_eq!(chaos.run.episodes, clean.run.episodes, "episode stats survive the chaos");
+    assert_eq!(chaos.run.to_csv(), clean.run.to_csv());
+    assert_eq!(
+        learning_state(&chaos.agent),
+        learning_state(&clean.agent),
+        "final weights survive respawns and failover bitwise"
+    );
+
+    // Every respawn and failover is ledgered.
+    assert!(chaos.fleet.respawns > 0, "the 10% coin must land within 6 episodes");
+    let respawn_faults = chaos
+        .run
+        .fault_events
+        .iter()
+        .filter(|f| f.kind == rl::FAULT_ACTOR_RESPAWN)
+        .count();
+    assert_eq!(respawn_faults as u64, chaos.fleet.respawns);
+    assert!(chaos.fleet.failovers > 0, "the dead service must be ledgered");
+    let failover_faults = chaos
+        .run
+        .fault_events
+        .iter()
+        .filter(|f| f.kind == rl::FAULT_INFER_FAILOVER)
+        .count();
+    assert!(failover_faults > 0);
+    let istats = chaos.infer.expect("service stats survive its death");
+    assert_eq!(istats.batches, 5, "the service died on schedule");
+    assert!(istats.fault.is_some(), "the injected death is recorded");
+
+    // Zeroing the supervision counters, the fleet statistics match the
+    // clean run exactly: the chaos layer is additive, never behavioural.
+    let mut neutral = chaos.fleet.clone();
+    neutral.respawns = 0;
+    neutral.failovers = 0;
+    assert_eq!(neutral, clean.fleet);
+}
+
+#[test]
+fn zero_injection_supervision_is_bitwise_neutral() {
+    let config = test_config();
+    let baseline = trainer::run_fleet(&config, &trainer::FleetOptions::throughput(2), |_| {});
+    // Explicit supervision knobs at their defaults / 0% injection: the
+    // supervised fleet must be indistinguishable from the baseline.
+    let mut opts = trainer::FleetOptions::throughput(2);
+    opts.actor_respawns = 8;
+    opts.actor_panic_rate = 0.0;
+    opts.actor_panic_seed = 99;
+    let supervised = trainer::run_fleet(&config, &opts, |_| {});
+    assert_fleet_runs_identical(&supervised, &baseline);
+    assert_eq!(supervised.fleet.respawns, 0);
+    assert_eq!(supervised.fleet.failovers, 0);
+}
+
+#[test]
+fn fleet_watchdog_rolls_back_per_budget_then_halts() {
+    // Phase 1: a healthy checkpointed fleet leaves a mid-run snapshot.
+    let config = test_config();
+    let opts = trainer::FleetOptions::lockstep(2);
+    let dir = temp_dir("rollback");
+    let ckpt = CheckpointOptions::in_dir(&dir).every(2).keep_last(100);
+    trainer::run_fleet_checkpointed(&config, &opts, &ckpt, |_| {}).unwrap();
+    let snaps = snapshots(&dir);
+    assert!(snaps.len() >= 2, "expected a mid-run snapshot, got {snaps:?}");
+    fs::remove_file(snaps.last().unwrap()).unwrap();
+    // `ckpt-%010d.dqck` encodes the episode count the snapshot was saved at.
+    let healthy_episodes: usize = snapshots(&dir)
+        .last()
+        .unwrap()
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .and_then(|s| s.strip_prefix("ckpt-"))
+        .and_then(|s| s.parse().ok())
+        .expect("snapshot name encodes its episode count");
+
+    // Phase 2: resume under a bound every Q-value violates and a budget
+    // of 2 rollbacks. Each rollback rewinds the whole fleet to the
+    // snapshot with a reseeded exploration stream; the reseeded replay
+    // trips again, and with the budget exhausted the fleet halts.
+    let mut diverging = config.clone();
+    diverging.watchdog.max_abs_q = 1e-12;
+    diverging.watchdog.max_rollbacks = 2;
+    let out =
+        trainer::run_fleet_checkpointed(&diverging, &opts, &ckpt.clone().resume(true), |_| {})
+            .unwrap();
+
+    assert!(out.run.halted);
+    assert_eq!(
+        out.run.episodes.len(),
+        healthy_episodes,
+        "only the checkpointed healthy prefix survives"
+    );
+    let rolled: Vec<bool> = out.run.watchdog_events.iter().map(|e| e.rolled_back).collect();
+    assert_eq!(rolled, vec![true, true, false]);
+    // The halted run must leave the last good snapshot for post-mortems.
+    assert!(!snapshots(&dir).is_empty());
+    fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -209,7 +209,7 @@ pub fn get_bool(r: &mut &[u8]) -> io::Result<bool> {
 
 /// Validates a length prefix against the bytes actually remaining, so a
 /// corrupt length cannot trigger a huge allocation.
-fn get_len(r: &mut &[u8], elem_size: usize) -> io::Result<usize> {
+pub(crate) fn get_len(r: &mut &[u8], elem_size: usize) -> io::Result<usize> {
     let len = get_usize(r)?;
     if len.checked_mul(elem_size).is_none_or(|n| n > r.len()) {
         return Err(bad(format!(
@@ -258,6 +258,21 @@ pub fn get_bool_vec(r: &mut &[u8]) -> io::Result<Vec<bool>> {
         v.push(get_bool(r)?);
     }
     Ok(v)
+}
+
+/// Appends a length-prefixed raw byte blob (nested payloads: the fleet
+/// state embeds per-actor environment snapshots this way).
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_usize(out, v.len());
+    out.extend_from_slice(v);
+}
+
+/// Reads a blob written by [`put_bytes`].
+pub fn get_bytes(r: &mut &[u8]) -> io::Result<Vec<u8>> {
+    let len = get_len(r, 1)?;
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes)
 }
 
 /// Reads a length-prefixed UTF-8 string.

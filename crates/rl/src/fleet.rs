@@ -45,8 +45,35 @@
 //! only bounds how far an actor runs ahead, never behind. On a halt the
 //! learner publishes a poisoned (stopped) cell state that wakes every
 //! waiter, then drops its receivers, which unblocks any sender.
+//!
+//! # Durability and supervision
+//!
+//! Three crash-safety layers ride on top of the deterministic core (full
+//! arguments in DESIGN.md §17):
+//!
+//! * **Fleet checkpoint/resume** — at sync-aligned sweep boundaries the
+//!   learner can persist a [`FleetResumeState`]: every actor's cursor
+//!   (ChaCha8 exploration position, serialized environment, episode
+//!   counters, round index), the merged ledgers, and the broadcast
+//!   `weights_version`, alongside the learner agent's own checkpoint.
+//!   Because a sweep boundary is a quiescence point — each live actor's
+//!   latest merged message carries a cursor describing the start of the
+//!   next round — a resumed fleet replays the interrupted run bitwise.
+//! * **Actor respawn** — actor threads run under `catch_unwind`; a panic
+//!   restores the actor from its last cursor (same RNG word position,
+//!   same environment bytes) and retries, up to
+//!   [`FleetConfig::actor_respawns`] times. Each death, respawn, and
+//!   permanent loss is ledgered as a typed [`FleetError`] fault. A
+//!   permanently dead actor reports [`ActorMsg::Dead`] so the learner
+//!   retires it from the round-robin instead of blocking forever.
+//! * **Inference failover** — when the shared inference service dies or
+//!   misses a reply deadline, the actor detaches its client (shrinking
+//!   the service's lockstep quorum via the `Deregister` drop message)
+//!   and degrades to its locally decoded [`ActorPolicy`], ledgered as an
+//!   `infer-failover` fault. At `sync_every = 1` the fallback weights
+//!   are provably the ones the service would have used.
 
-use crate::checkpoint;
+use crate::checkpoint::{self, RngState};
 use crate::dqn::{argmax, DqnAgent, DqnConfig};
 use crate::env::Environment;
 use crate::infer::{self, InferMode, InferOptions, InferStats, QClient};
@@ -55,7 +82,9 @@ use crate::training::EpisodeStats;
 use neural::{InputSplit, Mlp, PrefixCache};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Base ChaCha8 stream id for actor exploration: actor `i` draws on
@@ -64,6 +93,111 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Some(EXPLORATION_STREAM_BASE)` consumes the identical draw sequence to
 /// a one-actor fleet, which is what the equivalence suite checks.
 pub const EXPLORATION_STREAM_BASE: u64 = 0xF1EE;
+
+/// Ledger kind for an actor panic recovered by a respawn.
+pub const FAULT_ACTOR_RESPAWN: &str = "actor-respawn";
+/// Ledger kind for an actor lost permanently (budget exhausted or no
+/// cursor to respawn from).
+pub const FAULT_ACTOR_DEAD: &str = "actor-dead";
+/// Ledger kind for an actor that lost the shared inference service and
+/// fell back to its locally decoded policy.
+pub const FAULT_INFER_FAILOVER: &str = "infer-failover";
+/// Ledger kind for an actor channel that closed without a final summary
+/// (the supervisor itself died).
+pub const FAULT_ACTOR_CHANNEL: &str = "actor-channel";
+
+/// Typed supervision fault. Everything the self-healing layer survives is
+/// ledgered as one of these instead of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// An actor thread panicked and was restored from its last cursor.
+    ActorRespawned {
+        /// The panicking actor.
+        actor: usize,
+        /// The panic payload's message.
+        detail: String,
+    },
+    /// An actor thread was lost permanently: its respawn budget is
+    /// exhausted, it had no cursor to respawn from, or the cursor failed
+    /// to restore.
+    ActorDead {
+        /// The lost actor.
+        actor: usize,
+        /// Why the actor could not be recovered.
+        detail: String,
+    },
+    /// An actor detached from the shared inference service (service death,
+    /// reply deadline, or a respawn that invalidated the in-flight
+    /// request) and degraded to its locally decoded policy.
+    InferFailover {
+        /// The degraded actor.
+        actor: usize,
+        /// What severed the service connection.
+        detail: String,
+    },
+    /// An actor channel closed without a `Done`/`Dead` summary — the
+    /// supervisor itself died. The learner retires the slot.
+    ChannelClosed {
+        /// The vanished actor.
+        actor: usize,
+    },
+}
+
+impl FleetError {
+    /// Machine-readable ledger kind (one of the `FAULT_*` constants).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FleetError::ActorRespawned { .. } => FAULT_ACTOR_RESPAWN,
+            FleetError::ActorDead { .. } => FAULT_ACTOR_DEAD,
+            FleetError::InferFailover { .. } => FAULT_INFER_FAILOVER,
+            FleetError::ChannelClosed { .. } => FAULT_ACTOR_CHANNEL,
+        }
+    }
+
+    /// Whether the fleet kept running after the fault (respawn and
+    /// failover recover; a dead actor or closed channel is a permanent
+    /// capacity loss).
+    pub fn recovered(&self) -> bool {
+        matches!(
+            self,
+            FleetError::ActorRespawned { .. } | FleetError::InferFailover { .. }
+        )
+    }
+
+    /// Converts the error into a ledger record in the same shape domain
+    /// environment faults use, so one fault pipeline carries both.
+    pub fn env_fault(&self) -> FleetEnvFault {
+        FleetEnvFault {
+            kind: self.kind().to_string(),
+            detail: self.to_string(),
+            recovered: self.recovered(),
+        }
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::ActorRespawned { actor, detail } => {
+                write!(f, "actor {actor} panicked and was respawned from its last cursor: {detail}")
+            }
+            FleetError::ActorDead { actor, detail } => {
+                write!(f, "actor {actor} lost permanently: {detail}")
+            }
+            FleetError::InferFailover { actor, detail } => {
+                write!(
+                    f,
+                    "actor {actor} detached from the inference service and fell back to its local policy: {detail}"
+                )
+            }
+            FleetError::ChannelClosed { actor } => {
+                write!(f, "actor {actor} channel closed without a final summary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
 
 /// Fleet topology and schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,8 +223,8 @@ pub struct FleetConfig {
     pub channel_capacity: usize,
     /// `Some(bound)` arms the divergence watchdog: actors trip on a
     /// non-finite or out-of-bound max-Q before acting, the learner trips
-    /// on a non-finite loss; either halts the fleet (halt-only — rollback
-    /// stays a single-loop feature). `None` disables both checks.
+    /// on a non-finite loss; either halts the fleet (rollback is layered
+    /// on top by the checkpointing driver). `None` disables both checks.
     pub watchdog_max_abs_q: Option<f64>,
     /// Test hook: probability (must stay `< 1`) that an actor's local
     /// copy of a received snapshot gets one bit flipped before decoding,
@@ -101,6 +235,21 @@ pub struct FleetConfig {
     /// Seed for the corruption streams (only read when
     /// `snapshot_corrupt_rate > 0`).
     pub snapshot_fault_seed: u64,
+    /// How many times a panicking actor is restored from its last cursor
+    /// before it is declared permanently dead. Respawns are only possible
+    /// when the hooks implement [`FleetHooks::snapshot_env`]; without a
+    /// cursor the first panic is fatal (for that actor — the fleet
+    /// retires the slot and keeps running).
+    pub actor_respawns: u32,
+    /// Chaos hook: per-round probability that an actor panics at the top
+    /// of its round, before anything is mutated — so a respawn replays
+    /// the round bitwise. The coin is a pure function of
+    /// `(seed, actor, round, lives)`: a replayed round draws a fresh coin
+    /// instead of re-panicking forever. `0.0` in production.
+    pub actor_panic_rate: f64,
+    /// Seed for the injected-panic coins (only read when
+    /// `actor_panic_rate > 0`).
+    pub actor_panic_seed: u64,
     /// `Some` routes every actor's act-path forward through the shared
     /// micro-batched inference service ([`crate::infer`]) instead of a
     /// private decoded network. [`InferMode::Lockstep`] requires
@@ -123,16 +272,20 @@ impl Default for FleetConfig {
             watchdog_max_abs_q: None,
             snapshot_corrupt_rate: 0.0,
             snapshot_fault_seed: 0,
+            actor_respawns: 2,
+            actor_panic_rate: 0.0,
+            actor_panic_seed: 0,
             infer: None,
         }
     }
 }
 
 /// One environment fault surfaced by the domain hooks (mirrors the
-/// docking env's fault records without depending on them).
+/// docking env's fault records without depending on them). Supervision
+/// faults ([`FleetError::env_fault`]) travel in the same shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetEnvFault {
-    /// Machine-readable kind (`"timeout"`, `"decode"`, …).
+    /// Machine-readable kind (`"timeout"`, `"decode"`, `"actor-respawn"`, …).
     pub kind: String,
     /// Human-readable detail.
     pub detail: String,
@@ -188,6 +341,11 @@ pub struct FleetStats {
     pub snapshot_rejects: u64,
     /// Messages drained unmerged during a halt.
     pub discarded_messages: u64,
+    /// Actor panics recovered by a cursor respawn.
+    pub respawns: u64,
+    /// Actors that detached from the inference service and degraded to
+    /// their local policy.
+    pub failovers: u64,
     /// Transitions merged per actor.
     pub per_actor_transitions: Vec<u64>,
     /// Episodes completed per actor.
@@ -206,7 +364,7 @@ pub struct FleetOutcome {
     pub halted: bool,
     /// Watchdog trips (at most one: the fleet is halt-only).
     pub watchdog: Vec<FleetWatchdogEvent>,
-    /// Environment faults, in merge order.
+    /// Environment and supervision faults, in merge order.
     pub faults: Vec<FleetFault>,
     /// Environment evaluations summed over actors that finished cleanly
     /// (a lower bound after a halt, since halted actors never report).
@@ -240,6 +398,30 @@ pub trait FleetHooks<E: Environment>: Sync {
     fn evaluations(&self, env: &E) -> u64 {
         let _ = env;
         0
+    }
+    /// Serializes the environment's episode state for an actor cursor.
+    /// `None` (the default) disables cursor capture — and with it both
+    /// fleet checkpointing and panic respawn. Must be all-or-nothing: a
+    /// hook that returns `Some` once must keep doing so.
+    fn snapshot_env(&self, env: &E) -> Option<Vec<u8>> {
+        let _ = env;
+        None
+    }
+    /// Restores state written by [`FleetHooks::snapshot_env`].
+    fn restore_env(&self, env: &mut E, bytes: &[u8]) -> io::Result<()> {
+        let _ = (env, bytes);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "these fleet hooks do not support environment snapshots",
+        ))
+    }
+    /// Re-featurizes the environment's current state without stepping it
+    /// (mid-episode resume re-derives the actor's pending observation).
+    /// Must be bitwise-consistent with the observation the environment
+    /// returned when it originally reached this state.
+    fn observe(&self, env: &mut E) -> Option<Vec<f32>> {
+        let _ = env;
+        None
     }
 }
 
@@ -281,11 +463,16 @@ struct StepMsg<I> {
     /// Whether the episode ended by environment rules (vs step cap or
     /// fault).
     terminated: bool,
-    /// Environment faults drained at an episode boundary (empty
-    /// mid-episode).
+    /// Environment faults drained at an episode boundary, plus any
+    /// pending supervision faults (respawns, failovers) regardless of
+    /// episode position.
     faults: Vec<FleetEnvFault>,
     /// Actor-side watchdog trip reason.
     trip: Option<String>,
+    /// The actor's post-round cursor (attached only when the fleet is
+    /// checkpointing): everything needed to restart this actor at the
+    /// start of its next round.
+    cursor: Option<ActorCursor>,
 }
 
 /// Final per-actor accounting, sent once after the last assigned episode.
@@ -297,6 +484,10 @@ struct ActorSummary {
 enum ActorMsg<I> {
     Step(Box<StepMsg<I>>),
     Done(ActorSummary),
+    /// The actor is permanently lost: final accounting plus the pending
+    /// supervision faults that never made it onto a step message (with a
+    /// panic on the very first round no step is ever sent).
+    Dead(ActorSummary, Vec<FleetEnvFault>),
 }
 
 /// The snapshot broadcast cell: latest version wins, readers block until
@@ -355,6 +546,13 @@ impl SnapshotCell {
     pub(crate) fn stop(&self) {
         self.lock().stopped = true;
         self.ready.notify_all();
+    }
+
+    /// Whether the fleet has been told to stop — the discriminator
+    /// between "the service died" (fail over) and "the run is shutting
+    /// down" (exit quietly).
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.lock().stopped
     }
 
     /// Blocks until at least barrier version `want` is published and
@@ -438,145 +636,381 @@ impl ActorPolicy {
     }
 }
 
-/// The actor worker: runs its assigned episodes, one message per round.
+/// Everything needed to restart an actor at the start of a round:
+/// captured after each round completes (post-send state), restored on
+/// respawn or fleet resume. `round` is the round the actor executes
+/// *next* — at a sweep boundary `S` every live actor's latest merged
+/// cursor reads `round == S`, which is the quiescence invariant the
+/// checkpoint validator enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ActorCursor {
+    /// Exploration stream position (seed, stream id, word position).
+    rng: RngState,
+    /// Serialized environment episode state ([`FleetHooks::snapshot_env`]).
+    env: Vec<u8>,
+    episodes_done: usize,
+    produced: u64,
+    episode_steps: usize,
+    /// Whether an episode is in flight (the pending observation is
+    /// re-derived via [`FleetHooks::observe`] on restore).
+    in_episode: bool,
+    /// The next round this actor will execute.
+    round: u64,
+    snapshot_rejects: u64,
+}
+
+impl ActorCursor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rng.encode(out);
+        checkpoint::put_bytes(out, &self.env);
+        checkpoint::put_usize(out, self.episodes_done);
+        checkpoint::put_u64(out, self.produced);
+        checkpoint::put_usize(out, self.episode_steps);
+        checkpoint::put_bool(out, self.in_episode);
+        checkpoint::put_u64(out, self.round);
+        checkpoint::put_u64(out, self.snapshot_rejects);
+    }
+
+    fn decode(r: &mut &[u8]) -> io::Result<Self> {
+        Ok(ActorCursor {
+            rng: RngState::decode(r)?,
+            env: checkpoint::get_bytes(r)?,
+            episodes_done: checkpoint::get_usize(r)?,
+            produced: checkpoint::get_u64(r)?,
+            episode_steps: checkpoint::get_usize(r)?,
+            in_episode: checkpoint::get_bool(r)?,
+            round: checkpoint::get_u64(r)?,
+            snapshot_rejects: checkpoint::get_u64(r)?,
+        })
+    }
+}
+
+/// Restart material for one actor on fleet resume: its cursor plus the
+/// pending observation (re-featurized main-thread from the restored
+/// environment when the cursor is mid-episode).
+struct ActorBoot {
+    cursor: ActorCursor,
+    state: Option<Vec<f32>>,
+}
+
+/// The actor's full mutable state, factored out of the round loop so the
+/// supervisor can restore it wholesale from a cursor after a panic.
+struct ActorCtx<E> {
+    env: E,
+    explore: ChaCha8Rng,
+    corrupt: Option<ChaCha8Rng>,
+    policy: Option<ActorPolicy>,
+    /// Weights version of the currently decoded policy: the decode-skip
+    /// gate. A broadcast whose weights are unchanged re-advertises the
+    /// same weights version, and this actor keeps its decoded network.
+    applied_weights: Option<u64>,
+    /// Barrier version this actor is synchronised to — rides along on
+    /// service requests so the service evaluates with the same weights a
+    /// private decode would have.
+    snap_version: u64,
+    qs: Vec<f32>,
+    state: Option<Vec<f32>>,
+    episodes_done: usize,
+    episode_steps: usize,
+    produced: u64,
+    round: u64,
+    snapshot_rejects: u64,
+    /// Supervision faults (respawns, failovers) waiting to ride out on
+    /// the next message.
+    pending_faults: Vec<FleetEnvFault>,
+    /// The cursor committed after the last completed round — the respawn
+    /// point.
+    last_cursor: Option<ActorCursor>,
+    /// Whether the hooks support cursor capture at all.
+    track_cursors: bool,
+    /// Whether captured cursors are attached to step messages (only the
+    /// checkpointing learner consumes them).
+    attach_cursors: bool,
+}
+
+impl<E: Environment> ActorCtx<E> {
+    fn new(actor_id: usize, cfg: &FleetConfig, dqn: &DqnConfig, env: E) -> Self {
+        // The dedicated exploration stream: same seed as the learner
+        // agent, stream offset by actor id (see EXPLORATION_STREAM_BASE).
+        let mut explore = ChaCha8Rng::seed_from_u64(dqn.seed);
+        explore.set_stream(EXPLORATION_STREAM_BASE + actor_id as u64);
+        // Deterministic per-actor corruption stream for the CRC-path test
+        // hook, far from the exploration streams.
+        let corrupt = (cfg.snapshot_corrupt_rate > 0.0).then(|| {
+            let mut r = ChaCha8Rng::seed_from_u64(cfg.snapshot_fault_seed);
+            r.set_stream(0xBAD0_0000 + actor_id as u64);
+            r
+        });
+        ActorCtx {
+            env,
+            explore,
+            corrupt,
+            policy: None,
+            applied_weights: None,
+            snap_version: 0,
+            qs: Vec::new(),
+            state: None,
+            episodes_done: 0,
+            episode_steps: 0,
+            produced: 0,
+            round: 0,
+            snapshot_rejects: 0,
+            pending_faults: Vec::new(),
+            last_cursor: None,
+            track_cursors: false,
+            attach_cursors: false,
+        }
+    }
+
+    /// Applies a resume boot: the environment was already restored
+    /// main-thread; everything thread-local comes from the cursor.
+    fn boot(&mut self, boot: ActorBoot, sync_every: u64) {
+        let ActorBoot { cursor, state } = boot;
+        self.explore = cursor.rng.restore();
+        self.state = state;
+        self.episodes_done = cursor.episodes_done;
+        self.produced = cursor.produced;
+        self.episode_steps = cursor.episode_steps;
+        self.round = cursor.round;
+        self.snapshot_rejects = cursor.snapshot_rejects;
+        // Mid-sync-window resume keeps the barrier version of the window
+        // it is inside (the barrier itself only runs at round % sync == 0).
+        self.snap_version = cursor.round / sync_every;
+        self.policy = None;
+        self.applied_weights = None;
+        self.last_cursor = Some(cursor);
+    }
+
+    /// Captures a cursor describing the current state as the start of
+    /// `round` (`None` when the hooks cannot snapshot the environment).
+    /// Round-end capture passes `self.round + 1`; the spawn-time capture
+    /// passes the boot round so even a first-round panic is recoverable.
+    fn capture_cursor<H: FleetHooks<E>>(&self, hooks: &H, round: u64) -> Option<ActorCursor> {
+        let env = hooks.snapshot_env(&self.env)?;
+        Some(ActorCursor {
+            rng: RngState::capture(&self.explore),
+            env,
+            episodes_done: self.episodes_done,
+            produced: self.produced,
+            episode_steps: self.episode_steps,
+            in_episode: self.state.is_some(),
+            round,
+            snapshot_rejects: self.snapshot_rejects,
+        })
+    }
+
+    /// Restores the full actor state from the last committed cursor after
+    /// a caught panic. The interrupted round replays bitwise: its message
+    /// was never sent (the cursor commits only after a successful send),
+    /// so the learner sees exactly one copy.
+    fn respawn<H: FleetHooks<E>>(&mut self, hooks: &H, sync_every: u64) -> io::Result<()> {
+        let cursor = self.last_cursor.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::Unsupported, "no cursor to respawn from")
+        })?;
+        hooks.restore_env(&mut self.env, &cursor.env)?;
+        let state = if cursor.in_episode {
+            Some(hooks.observe(&mut self.env).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "hooks cannot re-observe a restored mid-episode environment",
+                )
+            })?)
+        } else {
+            None
+        };
+        self.boot(ActorBoot { cursor, state }, sync_every);
+        Ok(())
+    }
+}
+
+/// The injected-panic coin: a pure function of `(seed, actor, round,
+/// lives)`, so a respawned actor replaying a round draws a *different*
+/// coin (otherwise a deterministic panic would repeat until the budget
+/// drained), while the run as a whole stays seeded.
+fn panic_coin(seed: u64, actor: usize, round: u64, lives: u32) -> f64 {
+    let mut mix = seed ^ (0x9A1C_0000u64).wrapping_add(actor as u64);
+    mix = mix.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round);
+    mix = mix.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(u64::from(lives));
+    ChaCha8Rng::seed_from_u64(mix).gen::<f64>()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// How one supervised stretch of acting rounds ended.
+enum RoundsExit {
+    /// Quota reached; the supervisor sends the `Done` summary.
+    Finished,
+    /// The fleet is stopping (halt or shutdown); exit without a summary.
+    Stopped,
+}
+
+/// Ensures the actor's local policy matches its barrier version: waits on
+/// the cell, skips the decode when the advertised weights version is
+/// already applied, otherwise decodes (optionally through the torn-read
+/// corruption hook). Returns `false` when the fleet stopped.
+///
+/// Also the failover path: an actor that just detached from the inference
+/// service calls this mid-window. That is still deterministic — the
+/// round-robin learner cannot advance the cell past the version this
+/// actor's unsent messages gate, so the decode yields exactly the weights
+/// the service was serving.
+fn sync_policy<E: Environment>(
+    ctx: &mut ActorCtx<E>,
+    cfg: &FleetConfig,
+    dqn: &DqnConfig,
+    cell: &SnapshotCell,
+) -> bool {
+    loop {
+        let Some((weights_version, bytes)) = cell.wait_at_least(ctx.snap_version) else {
+            return false; // fleet stopped
+        };
+        // Decode skip: a broadcast of unchanged weights re-advertises the
+        // weights version this actor already decoded — the barrier
+        // advanced, the payload did not.
+        if ctx.policy.is_some() && ctx.applied_weights == Some(weights_version) {
+            return true;
+        }
+        // Torn-read simulation: flip one bit in a private copy.
+        let mut flipped;
+        let mut view: &[u8] = &bytes;
+        if let Some(r) = ctx.corrupt.as_mut() {
+            if r.gen::<f64>() < cfg.snapshot_corrupt_rate && !bytes.is_empty() {
+                flipped = bytes.to_vec();
+                let bit = r.gen_range(0..flipped.len() * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                view = &flipped;
+            }
+        }
+        match decode_weight_snapshot(view, weights_version) {
+            Ok(mlp) => {
+                ctx.policy = Some(ActorPolicy::new(mlp, dqn.frame_layout));
+                ctx.applied_weights = Some(weights_version);
+                return true;
+            }
+            // CRC/framing failure: count, skip, re-read. The shared cell
+            // still holds the good bytes, so the retry converges.
+            Err(_) => ctx.snapshot_rejects += 1,
+        }
+    }
+}
+
+/// One supervised stretch of acting rounds: runs until the quota is met,
+/// the fleet stops, or a panic unwinds into the supervisor.
 #[allow(clippy::too_many_arguments)]
-fn actor_loop<E, H>(
+fn actor_rounds<E, H>(
     actor_id: usize,
     n_actors: usize,
     quota: usize,
     cfg: &FleetConfig,
     dqn: &DqnConfig,
-    mut env: E,
     hooks: &H,
     cell: &SnapshotCell,
-    tx: crossbeam::channel::Sender<ActorMsg<H::Info>>,
-    qclient: Option<QClient>,
-) where
+    tx: &crossbeam::channel::Sender<ActorMsg<H::Info>>,
+    qclient: &mut Option<QClient>,
+    ctx: &mut ActorCtx<E>,
+    lives: u32,
+) -> RoundsExit
+where
     E: Environment,
     H: FleetHooks<E>,
 {
-    let n_actions = env.n_actions();
-    // The dedicated exploration stream: same seed as the learner agent,
-    // stream offset by actor id (see EXPLORATION_STREAM_BASE).
-    let mut explore = ChaCha8Rng::seed_from_u64(dqn.seed);
-    explore.set_stream(EXPLORATION_STREAM_BASE + actor_id as u64);
-    // Deterministic per-actor corruption stream for the CRC-path test
-    // hook, far from the exploration streams.
-    let mut corrupt = (cfg.snapshot_corrupt_rate > 0.0).then(|| {
-        let mut r = ChaCha8Rng::seed_from_u64(cfg.snapshot_fault_seed);
-        r.set_stream(0xBAD0_0000 + actor_id as u64);
-        r
-    });
-
-    let mut qclient = qclient;
-    let mut policy: Option<ActorPolicy> = None;
-    // Weights version of the currently decoded policy: the decode-skip
-    // gate. A broadcast whose weights are unchanged re-advertises the
-    // same weights version, and this actor keeps its decoded network.
-    let mut applied_weights: Option<u64> = None;
-    // Barrier version this actor is synchronised to — rides along on
-    // service requests so the service evaluates with the same weights a
-    // private decode would have.
-    let mut snap_version = 0u64;
-    let mut qs: Vec<f32> = Vec::new();
-    let mut state: Option<Vec<f32>> = None;
-    let mut episodes_done = 0usize;
-    let mut episode_steps = 0usize;
-    let mut produced = 0u64;
-    let mut round = 0u64;
-    let mut snapshot_rejects = 0u64;
-
+    let n_actions = ctx.env.n_actions();
+    let deadline = cfg.infer.and_then(|o| o.deadline);
     loop {
-        if state.is_none() && episodes_done == quota {
-            let _ = tx.send(ActorMsg::Done(ActorSummary {
-                evaluations: hooks.evaluations(&env),
-                snapshot_rejects,
-            }));
-            return;
+        if ctx.state.is_none() && ctx.episodes_done == quota {
+            return RoundsExit::Finished;
+        }
+
+        // Chaos hook: the injected panic fires at the very top of the
+        // round, before any state mutates, so the respawned replay of
+        // this round is bitwise-identical to an uninjected execution.
+        if cfg.actor_panic_rate > 0.0
+            && panic_coin(cfg.actor_panic_seed, actor_id, ctx.round, lives) < cfg.actor_panic_rate
+        {
+            panic!("injected actor panic at round {} (life {lives})", ctx.round);
         }
 
         // Fixed synchronisation boundary: round r needs snapshot version
         // r / sync_every. The learner publishes it after sweep r − 1, so
         // the wait only depends on messages this actor already sent.
-        if round % cfg.sync_every == 0 {
-            let want = round / cfg.sync_every;
+        if ctx.round % cfg.sync_every == 0 {
+            ctx.snap_version = ctx.round / cfg.sync_every;
             if qclient.is_some() {
                 // Service mode: the barrier still paces rounds (and pins
                 // weight staleness), but the decode lives in the service.
-                if cell.wait_at_least(want).is_none() {
-                    return; // fleet stopped
+                if cell.wait_at_least(ctx.snap_version).is_none() {
+                    return RoundsExit::Stopped;
                 }
-            } else {
-                loop {
-                    let Some((weights_version, bytes)) = cell.wait_at_least(want) else {
-                        return; // fleet stopped
-                    };
-                    // Decode skip: a broadcast of unchanged weights
-                    // re-advertises the weights version this actor already
-                    // decoded — the barrier advanced, the payload did not.
-                    if policy.is_some() && applied_weights == Some(weights_version) {
-                        break;
-                    }
-                    // Torn-read simulation: flip one bit in a private copy.
-                    let corrupt_now = corrupt
-                        .as_mut()
-                        .is_some_and(|r| r.gen::<f64>() < cfg.snapshot_corrupt_rate);
-                    let mut flipped;
-                    let view: &[u8] = if corrupt_now && !bytes.is_empty() {
-                        let r = corrupt.as_mut().expect("corrupt rng drew the coin");
-                        flipped = bytes.to_vec();
-                        let bit = r.gen_range(0..flipped.len() * 8);
-                        flipped[bit / 8] ^= 1 << (bit % 8);
-                        &flipped
-                    } else {
-                        &bytes
-                    };
-                    match decode_weight_snapshot(view, weights_version) {
-                        Ok(mlp) => {
-                            policy = Some(ActorPolicy::new(mlp, dqn.frame_layout));
-                            applied_weights = Some(weights_version);
-                            break;
-                        }
-                        // CRC/framing failure: count, skip, re-read. The
-                        // shared cell still holds the good bytes, so the
-                        // retry converges.
-                        Err(_) => snapshot_rejects += 1,
-                    }
-                }
+            } else if !sync_policy(ctx, cfg, dqn, cell) {
+                return RoundsExit::Stopped;
             }
-            snap_version = want;
         }
 
         // Lazy reset: only when another episode is actually owed, so the
         // evaluation count matches the single loop exactly.
         let mut reset_info = None;
-        if state.is_none() {
-            let s = env.reset();
-            reset_info = Some(hooks.info(&env));
-            state = Some(s);
-            episode_steps = 0;
+        if ctx.state.is_none() {
+            let s = ctx.env.reset();
+            reset_info = Some(hooks.info(&ctx.env));
+            ctx.state = Some(s);
+            ctx.episode_steps = 0;
         }
-        let s = state.as_ref().expect("state present after reset");
 
         // One forward per round feeds both the Figure 4 metric and the
         // ε-greedy pick, exactly like the single loop — through the shared
         // micro-batching service when enabled (bitwise-identical per row),
-        // a private decoded network otherwise.
-        match (&mut qclient, &mut policy) {
-            (Some(client), _) => {
-                if client.predict_into(snap_version, s, &mut qs).is_err() {
-                    return; // fleet stopped
+        // a private decoded network otherwise. A service error fails over
+        // to the locally decoded policy instead of killing the round.
+        loop {
+            if let Some(client) = qclient.as_mut() {
+                let s = ctx.state.as_ref().expect("state present after reset");
+                match client.predict_into(ctx.snap_version, s, &mut ctx.qs, deadline) {
+                    Ok(()) => break,
+                    Err(err) => {
+                        if cell.is_stopped() {
+                            return RoundsExit::Stopped;
+                        }
+                        ctx.pending_faults.push(
+                            FleetError::InferFailover {
+                                actor: actor_id,
+                                detail: err.to_string(),
+                            }
+                            .env_fault(),
+                        );
+                        *qclient = None;
+                    }
                 }
+            } else {
+                if ctx.policy.is_none() && !sync_policy(ctx, cfg, dqn, cell) {
+                    return RoundsExit::Stopped;
+                }
+                let s = ctx.state.as_ref().expect("state present after reset");
+                if let Some(p) = ctx.policy.as_mut() {
+                    p.predict_into(s, &mut ctx.qs);
+                    break;
+                }
+                // sync_policy returning true guarantees a policy; the
+                // loop re-syncs rather than asserting.
             }
-            (None, Some(p)) => p.predict_into(s, &mut qs),
-            (None, None) => unreachable!("snapshot applied at round 0"),
         }
-        let max_q = f64::from(qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        let max_q = f64::from(ctx.qs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
         if let Some(bound) = cfg.watchdog_max_abs_q {
             if !max_q.is_finite() || max_q.abs() > bound {
                 let reason = format!(
-                    "max-Q {max_q:e} at step {episode_steps} exceeds the watchdog bound {bound:e}"
+                    "max-Q {max_q:e} at step {} exceeds the watchdog bound {bound:e}",
+                    ctx.episode_steps
                 );
+                let mut faults = std::mem::take(&mut ctx.pending_faults);
+                faults.extend(hooks.drain_faults(&mut ctx.env));
                 let _ = tx.send(ActorMsg::Step(Box::new(StepMsg {
                     reset_info,
                     transition: None,
@@ -584,31 +1018,32 @@ fn actor_loop<E, H>(
                     step_info: None,
                     episode_end: false,
                     terminated: false,
-                    faults: hooks.drain_faults(&mut env),
+                    faults,
                     trip: Some(reason),
+                    cursor: None,
                 })));
-                return;
+                return RoundsExit::Stopped;
             }
         }
 
         // ε-schedule position: the merged-stream estimate of the global
         // step this transition will land at (exact when actors = 1).
-        let step_estimate = produced * n_actors as u64 + actor_id as u64;
+        let step_estimate = ctx.produced * n_actors as u64 + actor_id as u64;
         let action = if step_estimate < dqn.initial_exploration {
-            explore.gen_range(0..n_actions)
-        } else if explore.gen::<f64>() < dqn.epsilon.value(step_estimate) {
-            explore.gen_range(0..n_actions)
+            ctx.explore.gen_range(0..n_actions)
+        } else if ctx.explore.gen::<f64>() < dqn.epsilon.value(step_estimate) {
+            ctx.explore.gen_range(0..n_actions)
         } else {
-            argmax(&qs)
+            argmax(&ctx.qs)
         };
 
-        let msg = match env.try_step(action) {
+        let mut msg = match ctx.env.try_step(action) {
             // Unrecovered fault: the episode aborts (single-loop rule);
             // the round's message carries the drained fault ledger and no
             // transition.
             Err(_) => {
-                episodes_done += 1;
-                state = None;
+                ctx.episodes_done += 1;
+                ctx.state = None;
                 StepMsg {
                     reset_info,
                     transition: None,
@@ -616,24 +1051,25 @@ fn actor_loop<E, H>(
                     step_info: None,
                     episode_end: true,
                     terminated: false,
-                    faults: hooks.drain_faults(&mut env),
+                    faults: hooks.drain_faults(&mut ctx.env),
                     trip: None,
+                    cursor: None,
                 }
             }
             Ok(out) => {
-                produced += 1;
-                episode_steps += 1;
+                ctx.produced += 1;
+                ctx.episode_steps += 1;
                 let terminated = out.terminal;
-                let end = terminated || episode_steps >= cfg.max_steps_per_episode;
-                let step_info = Some(hooks.info(&env));
-                let prev = state.take().expect("state present during step");
+                let end = terminated || ctx.episode_steps >= cfg.max_steps_per_episode;
+                let step_info = Some(hooks.info(&ctx.env));
+                let prev = ctx.state.take().expect("state present during step");
                 let next_state = if end {
-                    state = None;
-                    episodes_done += 1;
+                    ctx.state = None;
+                    ctx.episodes_done += 1;
                     out.state
                 } else {
                     let next = out.state.clone();
-                    state = Some(out.state);
+                    ctx.state = Some(out.state);
                     next
                 };
                 StepMsg {
@@ -650,29 +1086,587 @@ fn actor_loop<E, H>(
                     episode_end: end,
                     terminated,
                     faults: if end {
-                        hooks.drain_faults(&mut env)
+                        hooks.drain_faults(&mut ctx.env)
                     } else {
                         Vec::new()
                     },
                     trip: None,
+                    cursor: None,
                 }
             }
         };
-        if tx.send(ActorMsg::Step(Box::new(msg))).is_err() {
-            return; // learner gone (halt)
+        // Supervision faults ride ahead of the environment's own drain.
+        if !ctx.pending_faults.is_empty() {
+            let mut all = std::mem::take(&mut ctx.pending_faults);
+            all.append(&mut msg.faults);
+            msg.faults = all;
         }
-        round += 1;
+        // Cursor discipline: capture *before* the send (so a panic inside
+        // snapshot_env strands no un-cursored message), commit *after*
+        // (so a replay after a pre-send panic re-sends exactly once).
+        let cursor = if ctx.track_cursors {
+            ctx.capture_cursor(hooks, ctx.round + 1)
+        } else {
+            None
+        };
+        if ctx.attach_cursors {
+            msg.cursor = cursor.clone();
+        }
+        if tx.send(ActorMsg::Step(Box::new(msg))).is_err() {
+            return RoundsExit::Stopped; // learner gone (halt)
+        }
+        ctx.round += 1;
+        if ctx.track_cursors {
+            // A sporadic snapshot failure clears the respawn point rather
+            // than risking a stale-round replay.
+            ctx.last_cursor = cursor;
+        }
+    }
+}
+
+/// The actor worker under supervision: catches panics out of the round
+/// loop and respawns from the last cursor within the configured budget.
+#[allow(clippy::too_many_arguments)]
+fn actor_supervisor<E, H>(
+    actor_id: usize,
+    n_actors: usize,
+    quota: usize,
+    cfg: &FleetConfig,
+    dqn: &DqnConfig,
+    env: E,
+    hooks: &H,
+    cell: &SnapshotCell,
+    tx: crossbeam::channel::Sender<ActorMsg<H::Info>>,
+    qclient: Option<QClient>,
+    boot: Option<ActorBoot>,
+    track_cursors: bool,
+    attach_cursors: bool,
+) where
+    E: Environment,
+    H: FleetHooks<E>,
+{
+    let mut qclient = qclient;
+    let mut ctx = ActorCtx::new(actor_id, cfg, dqn, env);
+    match boot {
+        Some(boot) => ctx.boot(boot, cfg.sync_every),
+        None if track_cursors => {
+            // A spawn-time cursor for round 0: a panic on the very first
+            // round respawns like any other instead of killing the actor.
+            ctx.last_cursor = ctx.capture_cursor(hooks, 0);
+        }
+        None => {}
+    }
+    ctx.track_cursors = track_cursors;
+    ctx.attach_cursors = attach_cursors;
+    let mut lives = 0u32;
+    loop {
+        let exit = catch_unwind(AssertUnwindSafe(|| {
+            actor_rounds(
+                actor_id, n_actors, quota, cfg, dqn, hooks, cell, &tx, &mut qclient, &mut ctx,
+                lives,
+            )
+        }));
+        let detail = match exit {
+            Ok(RoundsExit::Finished) => {
+                let _ = tx.send(ActorMsg::Done(ActorSummary {
+                    evaluations: hooks.evaluations(&ctx.env),
+                    snapshot_rejects: ctx.snapshot_rejects,
+                }));
+                return;
+            }
+            Ok(RoundsExit::Stopped) => return,
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        lives += 1;
+        if lives <= cfg.actor_respawns && ctx.last_cursor.is_some() {
+            match ctx.respawn(hooks, cfg.sync_every) {
+                Ok(()) => {
+                    ctx.pending_faults.push(
+                        FleetError::ActorRespawned {
+                            actor: actor_id,
+                            detail,
+                        }
+                        .env_fault(),
+                    );
+                    // A respawn always detaches the inference client: a
+                    // mid-round panic may have consumed this round's
+                    // service reply already, and replaying the request
+                    // would deadlock the lockstep quorum. Dropping the
+                    // client deregisters cleanly; the replay (and the
+                    // rest of this actor's run) predicts locally.
+                    if qclient.take().is_some() {
+                        ctx.pending_faults.push(
+                            FleetError::InferFailover {
+                                actor: actor_id,
+                                detail: "inference client detached across a respawn".to_string(),
+                            }
+                            .env_fault(),
+                        );
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    let mut faults = std::mem::take(&mut ctx.pending_faults);
+                    faults.push(
+                        FleetError::ActorDead {
+                            actor: actor_id,
+                            detail: format!("panicked ({detail}) and the cursor restore failed: {e}"),
+                        }
+                        .env_fault(),
+                    );
+                    let _ = tx.send(ActorMsg::Dead(
+                        ActorSummary {
+                            evaluations: hooks.evaluations(&ctx.env),
+                            snapshot_rejects: ctx.snapshot_rejects,
+                        },
+                        faults,
+                    ));
+                    return;
+                }
+            }
+        }
+        let why = if ctx.last_cursor.is_none() {
+            format!("panicked with no cursor to respawn from: {detail}")
+        } else {
+            format!(
+                "panicked beyond the respawn budget of {}: {detail}",
+                cfg.actor_respawns
+            )
+        };
+        let mut faults = std::mem::take(&mut ctx.pending_faults);
+        faults.push(
+            FleetError::ActorDead {
+                actor: actor_id,
+                detail: why,
+            }
+            .env_fault(),
+        );
+        let _ = tx.send(ActorMsg::Dead(
+            ActorSummary {
+                evaluations: hooks.evaluations(&ctx.env),
+                snapshot_rejects: ctx.snapshot_rejects,
+            },
+            faults,
+        ));
+        return;
     }
 }
 
 /// Learner-side accumulator for one actor's in-flight episode.
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 struct EpisodeAccum {
     total_reward: f64,
     q_sum: f64,
     loss_sum: f64,
     loss_count: usize,
     steps: usize,
+}
+
+impl EpisodeAccum {
+    fn encode(&self, out: &mut Vec<u8>) {
+        checkpoint::put_f64(out, self.total_reward);
+        checkpoint::put_f64(out, self.q_sum);
+        checkpoint::put_f64(out, self.loss_sum);
+        checkpoint::put_usize(out, self.loss_count);
+        checkpoint::put_usize(out, self.steps);
+    }
+
+    fn decode(r: &mut &[u8]) -> io::Result<Self> {
+        Ok(EpisodeAccum {
+            total_reward: checkpoint::get_f64(r)?,
+            q_sum: checkpoint::get_f64(r)?,
+            loss_sum: checkpoint::get_f64(r)?,
+            loss_count: checkpoint::get_usize(r)?,
+            steps: checkpoint::get_usize(r)?,
+        })
+    }
+}
+
+fn encode_episode_stats(out: &mut Vec<u8>, e: &EpisodeStats) {
+    checkpoint::put_usize(out, e.episode);
+    checkpoint::put_usize(out, e.steps);
+    checkpoint::put_f64(out, e.total_reward);
+    checkpoint::put_f64(out, e.avg_max_q);
+    checkpoint::put_bool(out, e.mean_loss.is_some());
+    checkpoint::put_f64(out, e.mean_loss.unwrap_or(0.0));
+    checkpoint::put_f64(out, e.epsilon);
+    checkpoint::put_bool(out, e.terminated);
+}
+
+fn decode_episode_stats(r: &mut &[u8]) -> io::Result<EpisodeStats> {
+    let episode = checkpoint::get_usize(r)?;
+    let steps = checkpoint::get_usize(r)?;
+    let total_reward = checkpoint::get_f64(r)?;
+    let avg_max_q = checkpoint::get_f64(r)?;
+    let has_loss = checkpoint::get_bool(r)?;
+    let loss = checkpoint::get_f64(r)?;
+    Ok(EpisodeStats {
+        episode,
+        steps,
+        total_reward,
+        avg_max_q,
+        mean_loss: has_loss.then_some(loss),
+        epsilon: checkpoint::get_f64(r)?,
+        terminated: checkpoint::get_bool(r)?,
+    })
+}
+
+fn encode_fleet_fault(out: &mut Vec<u8>, f: &FleetFault) {
+    checkpoint::put_usize(out, f.episode);
+    checkpoint::put_usize(out, f.actor);
+    checkpoint::put_str(out, &f.kind);
+    checkpoint::put_str(out, &f.detail);
+    checkpoint::put_bool(out, f.recovered);
+}
+
+fn decode_fleet_fault(r: &mut &[u8]) -> io::Result<FleetFault> {
+    Ok(FleetFault {
+        episode: checkpoint::get_usize(r)?,
+        actor: checkpoint::get_usize(r)?,
+        kind: checkpoint::get_str(r)?,
+        detail: checkpoint::get_str(r)?,
+        recovered: checkpoint::get_bool(r)?,
+    })
+}
+
+fn encode_fleet_stats(out: &mut Vec<u8>, s: &FleetStats) {
+    checkpoint::put_u64(out, s.transitions);
+    checkpoint::put_u64(out, s.merge_sweeps);
+    checkpoint::put_u64(out, s.snapshot_broadcasts);
+    checkpoint::put_u64(out, s.snapshot_encodes);
+    checkpoint::put_u64(out, s.snapshot_rejects);
+    checkpoint::put_u64(out, s.discarded_messages);
+    checkpoint::put_u64(out, s.respawns);
+    checkpoint::put_u64(out, s.failovers);
+    checkpoint::put_usize(out, s.per_actor_transitions.len());
+    for v in &s.per_actor_transitions {
+        checkpoint::put_u64(out, *v);
+    }
+    checkpoint::put_usize(out, s.per_actor_episodes.len());
+    for v in &s.per_actor_episodes {
+        checkpoint::put_usize(out, *v);
+    }
+}
+
+fn decode_fleet_stats(r: &mut &[u8]) -> io::Result<FleetStats> {
+    let mut s = FleetStats {
+        transitions: checkpoint::get_u64(r)?,
+        merge_sweeps: checkpoint::get_u64(r)?,
+        snapshot_broadcasts: checkpoint::get_u64(r)?,
+        snapshot_encodes: checkpoint::get_u64(r)?,
+        snapshot_rejects: checkpoint::get_u64(r)?,
+        discarded_messages: checkpoint::get_u64(r)?,
+        respawns: checkpoint::get_u64(r)?,
+        failovers: checkpoint::get_u64(r)?,
+        ..FleetStats::default()
+    };
+    let n = checkpoint::get_len(r, 8)?;
+    s.per_actor_transitions = (0..n)
+        .map(|_| checkpoint::get_u64(r))
+        .collect::<io::Result<_>>()?;
+    let n = checkpoint::get_len(r, 8)?;
+    s.per_actor_episodes = (0..n)
+        .map(|_| checkpoint::get_usize(r))
+        .collect::<io::Result<_>>()?;
+    Ok(s)
+}
+
+/// Per-actor slot in a fleet checkpoint: retired actors keep only their
+/// flag; live actors carry a cursor and the learner's in-flight episode
+/// accumulator for them.
+#[derive(Debug, Clone)]
+struct ActorSlot {
+    done: bool,
+    cursor: Option<ActorCursor>,
+    accum: EpisodeAccum,
+}
+
+/// Magic header of the fleet resume payload.
+const FLEET_MAGIC: &[u8; 4] = b"FLT1";
+
+/// Everything the learner needs to resume a fleet mid-run, captured at a
+/// sync-aligned sweep boundary: the merged ledgers, the broadcast
+/// version, and one [cursor] per live actor. Serialized as an opaque blob
+/// (magic `FLT1`) that the embedding checkpoint container carries
+/// alongside the learner agent's own state.
+///
+/// [cursor]: FleetHooks::snapshot_env
+#[derive(Debug, Clone)]
+pub struct FleetResumeState {
+    sweep: u64,
+    weights_version: u64,
+    episodes_target: usize,
+    stats: FleetStats,
+    episodes: Vec<EpisodeStats>,
+    faults: Vec<FleetFault>,
+    evaluations: u64,
+    actors: Vec<ActorSlot>,
+}
+
+impl FleetResumeState {
+    /// Serializes the payload (no container framing — the caller embeds
+    /// it in its own CRC-checked checkpoint).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(FLEET_MAGIC);
+        checkpoint::put_u64(&mut out, self.sweep);
+        checkpoint::put_u64(&mut out, self.weights_version);
+        checkpoint::put_usize(&mut out, self.episodes_target);
+        encode_fleet_stats(&mut out, &self.stats);
+        checkpoint::put_usize(&mut out, self.episodes.len());
+        for e in &self.episodes {
+            encode_episode_stats(&mut out, e);
+        }
+        checkpoint::put_usize(&mut out, self.faults.len());
+        for f in &self.faults {
+            encode_fleet_fault(&mut out, f);
+        }
+        checkpoint::put_u64(&mut out, self.evaluations);
+        checkpoint::put_usize(&mut out, self.actors.len());
+        for slot in &self.actors {
+            checkpoint::put_bool(&mut out, slot.done);
+            checkpoint::put_bool(&mut out, slot.cursor.is_some());
+            if let Some(c) = &slot.cursor {
+                c.encode(&mut out);
+            }
+            slot.accum.encode(&mut out);
+        }
+        out
+    }
+
+    /// Parses a payload written by [`encode`](Self::encode), rejecting
+    /// bad magic, truncation, and trailing bytes.
+    pub fn decode(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = bytes;
+        let mut magic = [0u8; 4];
+        io::Read::read_exact(&mut r, &mut magic)?;
+        if &magic != FLEET_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a fleet resume payload (bad FLT1 magic)",
+            ));
+        }
+        let sweep = checkpoint::get_u64(&mut r)?;
+        let weights_version = checkpoint::get_u64(&mut r)?;
+        let episodes_target = checkpoint::get_usize(&mut r)?;
+        let stats = decode_fleet_stats(&mut r)?;
+        let n = checkpoint::get_len(&mut r, 8)?;
+        let episodes = (0..n)
+            .map(|_| decode_episode_stats(&mut r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let n = checkpoint::get_len(&mut r, 8)?;
+        let faults = (0..n)
+            .map(|_| decode_fleet_fault(&mut r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let evaluations = checkpoint::get_u64(&mut r)?;
+        let n = checkpoint::get_len(&mut r, 2)?;
+        let mut actors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let done = checkpoint::get_bool(&mut r)?;
+            let has_cursor = checkpoint::get_bool(&mut r)?;
+            let cursor = if has_cursor {
+                Some(ActorCursor::decode(&mut r)?)
+            } else {
+                None
+            };
+            actors.push(ActorSlot {
+                done,
+                cursor,
+                accum: EpisodeAccum::decode(&mut r)?,
+            });
+        }
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} trailing bytes after the fleet resume payload", r.len()),
+            ));
+        }
+        Ok(FleetResumeState {
+            sweep,
+            weights_version,
+            episodes_target,
+            stats,
+            episodes,
+            faults,
+            evaluations,
+            actors,
+        })
+    }
+
+    /// Number of actors the checkpointed fleet ran.
+    pub fn n_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Episodes completed at the checkpoint.
+    pub fn episodes_completed(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// The sweep boundary this state was captured at.
+    pub fn sweep(&self) -> u64 {
+        self.sweep
+    }
+
+    fn all_done(&self) -> bool {
+        self.actors.iter().all(|s| s.done)
+    }
+
+    /// Re-seeds every live actor's exploration stream in place (same
+    /// stream id and word position, new seed) — the fleet analogue of the
+    /// single-loop watchdog rollback, which must not replay the draw
+    /// sequence that just diverged.
+    pub fn reseed_exploration(&mut self, seed: u64) {
+        for (i, slot) in self.actors.iter_mut().enumerate() {
+            if let Some(c) = &mut slot.cursor {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                rng.set_stream(EXPLORATION_STREAM_BASE + i as u64);
+                rng.set_word_pos(c.rng.word_pos);
+                c.rng = RngState::capture(&rng);
+            }
+        }
+    }
+
+    fn validate(&self, n: usize, episodes: usize, sync_every: u64) -> io::Result<()> {
+        let err = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        if self.actors.len() != n {
+            return err(format!(
+                "fleet checkpoint was written with --actors {}, resuming with --actors {n}",
+                self.actors.len()
+            ));
+        }
+        if self.episodes_target != episodes {
+            return err(format!(
+                "fleet checkpoint was written for --episodes {}, resuming with --episodes {episodes}",
+                self.episodes_target
+            ));
+        }
+        if self.stats.per_actor_transitions.len() != n || self.stats.per_actor_episodes.len() != n {
+            return err("fleet checkpoint per-actor counters disagree with the actor count".into());
+        }
+        if self.stats.merge_sweeps != self.sweep {
+            return err(format!(
+                "fleet checkpoint sweep {} disagrees with its merge counter {}",
+                self.sweep, self.stats.merge_sweeps
+            ));
+        }
+        if self.all_done() {
+            return Ok(());
+        }
+        if self.sweep % sync_every != 0 {
+            return err(format!(
+                "fleet checkpoint sweep {} is not aligned to --sync-every {sync_every}; \
+                 it was written under a different sync period",
+                self.sweep
+            ));
+        }
+        for (i, slot) in self.actors.iter().enumerate() {
+            if slot.done {
+                continue;
+            }
+            match &slot.cursor {
+                None => return err(format!("live actor {i} has no cursor in the fleet checkpoint")),
+                Some(c) if c.round != self.sweep => {
+                    return err(format!(
+                        "actor {i} cursor at round {} but the fleet checkpoint is at sweep {}",
+                        c.round, self.sweep
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn into_outcome(self) -> FleetOutcome {
+        FleetOutcome {
+            episodes: self.episodes,
+            stats: self.stats,
+            halted: false,
+            watchdog: Vec::new(),
+            faults: self.faults,
+            evaluations: self.evaluations,
+            infer: None,
+        }
+    }
+}
+
+/// Checkpoint plumbing for [`run_fleet_checkpointed`]: a save cadence, a
+/// sink that persists `(episodes_completed, fleet_blob, learner_agent)`
+/// atomically, and an optional resume state to restart from.
+pub struct FleetPersist<'a> {
+    /// Save no more often than every this many *newly completed*
+    /// episodes (`0` ⇒ only the final state is saved). Saves additionally
+    /// wait for the next sync-aligned sweep boundary, where the cursor
+    /// quiescence invariant holds.
+    pub every_episodes: usize,
+    /// Persists one checkpoint. Receives the completed-episode count, the
+    /// encoded [`FleetResumeState`], and the learner agent (whose own
+    /// checkpoint must be stored alongside — resuming needs both halves).
+    #[allow(clippy::type_complexity)]
+    pub save: &'a mut dyn FnMut(u64, &[u8], &DqnAgent<MlpQ>) -> io::Result<()>,
+    /// `Some` resumes the fleet from a previously decoded state (the
+    /// caller must already have restored the learner agent from the same
+    /// checkpoint). Taken (and consumed) by the run.
+    pub resume: Option<FleetResumeState>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn save_fleet_state(
+    persist: &mut FleetPersist<'_>,
+    cfg: &FleetConfig,
+    agent: &DqnAgent<MlpQ>,
+    sweep: u64,
+    weights_version: u64,
+    stats: &FleetStats,
+    episodes: &[EpisodeStats],
+    faults: &[FleetFault],
+    evaluations: u64,
+    done: &[bool],
+    accum: &[EpisodeAccum],
+    cursors: &[Option<ActorCursor>],
+) -> io::Result<()> {
+    let mut actors = Vec::with_capacity(done.len());
+    for i in 0..done.len() {
+        let cursor = if done[i] {
+            None
+        } else {
+            match &cursors[i] {
+                Some(c) if c.round == sweep => Some(c.clone()),
+                Some(c) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!(
+                            "actor {i} cursor at round {} but the fleet is at sweep {sweep}",
+                            c.round
+                        ),
+                    ))
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("actor {i} has no cursor at the checkpoint boundary"),
+                    ))
+                }
+            }
+        };
+        actors.push(ActorSlot {
+            done: done[i],
+            cursor,
+            accum: accum[i].clone(),
+        });
+    }
+    let state = FleetResumeState {
+        sweep,
+        weights_version,
+        episodes_target: cfg.episodes,
+        stats: stats.clone(),
+        episodes: episodes.to_vec(),
+        faults: faults.to_vec(),
+        evaluations,
+        actors,
+    };
+    (persist.save)(episodes.len() as u64, &state.encode(), agent)
 }
 
 /// Runs the actor–learner fleet to completion (or watchdog halt) and
@@ -694,9 +1688,57 @@ pub fn run_fleet<E, H>(
     cfg: &FleetConfig,
     envs: Vec<E>,
     hooks: &H,
+    on_info: impl FnMut(&H::Info),
+    on_episode: impl FnMut(&EpisodeStats),
+) -> FleetOutcome
+where
+    E: Environment + Send,
+    H: FleetHooks<E>,
+{
+    run_fleet_inner(agent, cfg, envs, hooks, on_info, on_episode, None)
+        .expect("a fleet without checkpointing performs no I/O")
+}
+
+/// [`run_fleet`] with crash-safe checkpointing: periodically persists a
+/// [`FleetResumeState`] through `persist.save`, and — when
+/// `persist.resume` is set — restarts the interrupted run bitwise (see
+/// the module docs and DESIGN.md §17 for the equivalence argument).
+///
+/// Requires hooks that implement [`FleetHooks::snapshot_env`] /
+/// [`FleetHooks::restore_env`] / [`FleetHooks::observe`]; incompatible
+/// with the snapshot-corruption chaos hook (its RNG positions are not
+/// part of the cursor).
+///
+/// # Errors
+/// Propagates save-sink failures, resume-state mismatches (actor count,
+/// episode target, sync alignment), and environment restore failures. A
+/// failed periodic save aborts the run — silently continuing would leave
+/// the operator believing in durability the run no longer has.
+pub fn run_fleet_checkpointed<E, H>(
+    agent: &mut DqnAgent<MlpQ>,
+    cfg: &FleetConfig,
+    envs: Vec<E>,
+    hooks: &H,
+    on_info: impl FnMut(&H::Info),
+    on_episode: impl FnMut(&EpisodeStats),
+    persist: &mut FleetPersist<'_>,
+) -> io::Result<FleetOutcome>
+where
+    E: Environment + Send,
+    H: FleetHooks<E>,
+{
+    run_fleet_inner(agent, cfg, envs, hooks, on_info, on_episode, Some(persist))
+}
+
+fn run_fleet_inner<E, H>(
+    agent: &mut DqnAgent<MlpQ>,
+    cfg: &FleetConfig,
+    mut envs: Vec<E>,
+    hooks: &H,
     mut on_info: impl FnMut(&H::Info),
     mut on_episode: impl FnMut(&EpisodeStats),
-) -> FleetOutcome
+    mut persist: Option<&mut FleetPersist<'_>>,
+) -> io::Result<FleetOutcome>
 where
     E: Environment + Send,
     H: FleetHooks<E>,
@@ -711,6 +1753,10 @@ where
     assert!(
         cfg.snapshot_corrupt_rate < 1.0,
         "a corruption rate of 1 would retry forever"
+    );
+    assert!(
+        cfg.actor_panic_rate < 1.0 || cfg.actor_respawns < u32::MAX,
+        "a certain panic with an unbounded respawn budget would retry forever"
     );
     assert!(
         agent.config().boltzmann_temperature.is_none(),
@@ -732,94 +1778,238 @@ where
             );
         }
     }
+    let track_cursors = hooks.snapshot_env(&envs[0]).is_some();
+    if persist.is_some() {
+        assert!(
+            cfg.snapshot_corrupt_rate == 0.0,
+            "fleet checkpointing captures actor cursors, not corruption-stream positions; \
+             disable the torn-read hook"
+        );
+        assert!(
+            track_cursors,
+            "fleet checkpointing needs hooks that snapshot the environment"
+        );
+    }
+    let attach_cursors = persist.is_some();
 
     // Round-robin episode pre-assignment: actor i owns episodes
     // i, i + n, … — a pure function of the config.
     let quota = |i: usize| cfg.episodes / n + usize::from(i < cfg.episodes % n);
     let dqn = *agent.config();
 
+    // Resume: validate the restored state against this run's shape, and
+    // short-circuit a checkpoint written after completion (a resumed
+    // finished run is a no-op, not an error).
+    let resume = persist.as_mut().and_then(|p| p.resume.take());
+    if let Some(r) = &resume {
+        r.validate(n, cfg.episodes, cfg.sync_every)?;
+    }
+    let resume = match resume {
+        Some(r) if r.all_done() => return Ok(r.into_outcome()),
+        other => other,
+    };
+
+    let (mut weights_version, mut episodes, mut faults, mut stats, mut evaluations, mut done, mut accum, mut last_cursors) =
+        match resume {
+            Some(r) => {
+                let FleetResumeState {
+                    sweep: _,
+                    weights_version,
+                    episodes_target: _,
+                    stats,
+                    episodes,
+                    faults,
+                    evaluations,
+                    actors,
+                } = r;
+                let mut done = Vec::with_capacity(n);
+                let mut accum = Vec::with_capacity(n);
+                let mut cursors = Vec::with_capacity(n);
+                for slot in actors {
+                    done.push(slot.done);
+                    accum.push(slot.accum);
+                    cursors.push(slot.cursor);
+                }
+                (weights_version, episodes, faults, stats, evaluations, done, accum, cursors)
+            }
+            None => (
+                0,
+                Vec::new(),
+                Vec::new(),
+                FleetStats {
+                    per_actor_transitions: vec![0; n],
+                    per_actor_episodes: vec![0; n],
+                    ..FleetStats::default()
+                },
+                0,
+                vec![false; n],
+                (0..n).map(|_| EpisodeAccum::default()).collect(),
+                (0..n).map(|_| None).collect::<Vec<Option<ActorCursor>>>(),
+            ),
+        };
+
+    // Restart material: restore each live actor's environment main-thread
+    // (I/O errors surface before any thread spawns) and re-derive its
+    // pending observation.
+    let mut boots: Vec<Option<ActorBoot>> = Vec::with_capacity(n);
+    for (i, cursor) in last_cursors.iter().enumerate() {
+        let boot = match cursor {
+            Some(c) if !done[i] => {
+                hooks.restore_env(&mut envs[i], &c.env).map_err(|e| {
+                    io::Error::new(
+                        e.kind(),
+                        format!("actor {i}: restoring the environment snapshot failed: {e}"),
+                    )
+                })?;
+                let state = if c.in_episode {
+                    Some(hooks.observe(&mut envs[i]).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "actor {i}: hooks cannot re-observe a restored mid-episode \
+                                 environment"
+                            ),
+                        )
+                    })?)
+                } else {
+                    None
+                };
+                Some(ActorBoot {
+                    cursor: c.clone(),
+                    state,
+                })
+            }
+            _ => None,
+        };
+        boots.push(boot);
+    }
+
     // The broadcast codec is token-gated: `weights_version` advances (and
     // the payload is re-encoded) only when the learner's parameters
     // actually changed since the last broadcast. Before learning starts —
     // and on every sweep a throttle skips — the same `Arc` is re-published
-    // and every reader skips its decode.
-    let mut weights_version = 0u64;
+    // and every reader skips its decode. On resume the restored agent
+    // re-encodes the same bytes the interrupted run last published, so
+    // the barrier re-publish below is bitwise-faithful.
     let mut last_token = agent.q_function().mlp().weights_token();
-    let mut encoded = Arc::new(encode_weight_snapshot(0, agent.q_function()));
+    let mut encoded = Arc::new(encode_weight_snapshot(weights_version, agent.q_function()));
     let cell = SnapshotCell::new(Arc::clone(&encoded));
-    let mut channels: Vec<(
-        Option<crossbeam::channel::Sender<ActorMsg<H::Info>>>,
-        crossbeam::channel::Receiver<ActorMsg<H::Info>>,
-    )> = (0..n)
-        .map(|_| {
-            let (tx, rx) = crossbeam::channel::bounded(cfg.channel_capacity);
-            (Some(tx), rx)
-        })
-        .collect();
+    if stats.merge_sweeps > 0 {
+        cell.publish(
+            stats.merge_sweeps / cfg.sync_every,
+            weights_version,
+            Arc::clone(&encoded),
+        );
+    }
 
-    let mut episodes: Vec<EpisodeStats> = Vec::new();
+    let mut senders: Vec<crossbeam::channel::Sender<ActorMsg<H::Info>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<crossbeam::channel::Receiver<ActorMsg<H::Info>>> =
+        Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = crossbeam::channel::bounded(cfg.channel_capacity);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
     let mut watchdog: Vec<FleetWatchdogEvent> = Vec::new();
-    let mut faults: Vec<FleetFault> = Vec::new();
-    let mut stats = FleetStats {
-        per_actor_transitions: vec![0; n],
-        per_actor_episodes: vec![0; n],
-        ..FleetStats::default()
-    };
-    let mut evaluations = 0u64;
     let mut halted = false;
+    let mut save_err: Option<io::Error> = None;
+    let mut next_save_at = match persist.as_ref() {
+        Some(p) if p.every_episodes > 0 => episodes.len() + p.every_episodes,
+        _ => usize::MAX,
+    };
 
     // The shared-inference channel fabric (one QClient per actor) exists
     // only when the service is enabled.
-    let (mut qclients, service_channels): (Vec<Option<QClient>>, _) = match cfg.infer {
-        Some(_) => {
+    let (qclients, service_channels) = match cfg.infer {
+        Some(opts) => {
             let infer::Endpoints {
                 clients,
                 requests,
                 replies,
             } = infer::endpoints(n);
             (
-                clients.into_iter().map(Some).collect(),
-                Some((requests, replies)),
+                clients.into_iter().map(Some).collect::<Vec<Option<QClient>>>(),
+                Some((opts, requests, replies)),
             )
         }
         None => ((0..n).map(|_| None).collect(), None),
     };
 
     let infer_stats = std::thread::scope(|scope| {
-        let service = service_channels.map(|(requests, replies)| {
-            let opts = cfg.infer.expect("service channels exist only with infer");
+        let service = service_channels.map(|(opts, requests, replies)| {
             let cell = &cell;
             scope.spawn(move || {
-                infer::service_loop(opts, n, dqn.frame_layout, cell, requests, replies)
+                // A panicking service must not take the fleet down: the
+                // actors fail over, and the fault is reported in place of
+                // the batcher counters the dead thread lost.
+                catch_unwind(AssertUnwindSafe(|| {
+                    infer::service_loop(opts, n, dqn.frame_layout, cell, requests, replies)
+                }))
+                .unwrap_or_else(|payload| InferStats {
+                    fault: Some(format!(
+                        "inference service thread panicked: {}",
+                        panic_message(payload.as_ref())
+                    )),
+                    ..InferStats::default()
+                })
             })
         });
-        for (i, env) in envs.into_iter().enumerate() {
-            let tx = channels[i].0.take().expect("sender taken once");
+        for (i, (((env, tx), client), boot)) in envs
+            .into_iter()
+            .zip(senders)
+            .zip(qclients)
+            .zip(boots)
+            .enumerate()
+        {
+            if done[i] {
+                // A retired actor never respawns: dropping its sender and
+                // client here retires the slot (the client drop shrinks
+                // the service's lockstep quorum via Deregister).
+                continue;
+            }
             let cell = &cell;
             let q = quota(i);
             let dqn = &dqn;
-            let client = qclients[i].take();
-            scope.spawn(move || actor_loop(i, n, q, cfg, dqn, env, hooks, cell, tx, client));
+            scope.spawn(move || {
+                // The supervisor catches round-loop panics itself; this
+                // outer net only stops a supervisor-level bug from
+                // poisoning the scope join (the learner ledgers the
+                // closed channel).
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    actor_supervisor(
+                        i, n, q, cfg, dqn, env, hooks, cell, tx, client, boot, track_cursors,
+                        attach_cursors,
+                    )
+                }));
+            });
         }
 
         // The learner: strict round-robin merge, one receive per active
         // actor per sweep.
-        let mut accum: Vec<EpisodeAccum> = (0..n).map(|_| EpisodeAccum::default()).collect();
-        let mut done = vec![false; n];
-        let mut n_done = 0usize;
-        let mut merged = 0u64;
+        let mut n_done = done.iter().filter(|d| **d).count();
         'run: while n_done < n {
             for a in 0..n {
                 if done[a] {
                     continue;
                 }
-                let msg = match channels[a].1.recv() {
+                let msg = match receivers[a].recv() {
                     Ok(m) => m,
                     Err(_) => {
-                        // An actor can only vanish without a summary when
-                        // the fleet is stopping; treat it as done.
+                        // The supervisor died without a summary: retire
+                        // the slot and ledger the loss (never happens on
+                        // the panic paths — those send `Dead` first).
                         done[a] = true;
                         n_done += 1;
+                        ledger_faults(
+                            &mut faults,
+                            &mut stats,
+                            episodes.len(),
+                            a,
+                            vec![FleetError::ChannelClosed { actor: a }.env_fault()],
+                        );
+                        accum[a] = EpisodeAccum::default();
+                        last_cursors[a] = None;
                         continue;
                     }
                 };
@@ -832,37 +2022,45 @@ where
                     terminated,
                     faults: msg_faults,
                     trip,
+                    cursor,
                 } = match msg {
                     ActorMsg::Done(summary) => {
                         done[a] = true;
                         n_done += 1;
                         evaluations += summary.evaluations;
                         stats.snapshot_rejects += summary.snapshot_rejects;
+                        last_cursors[a] = None;
+                        continue;
+                    }
+                    ActorMsg::Dead(summary, dead_faults) => {
+                        // Permanent capacity loss: absorb the accounting,
+                        // ledger everything the actor was carrying, and
+                        // discard its in-flight episode (the data is
+                        // unrecoverable — its cursor died with it).
+                        done[a] = true;
+                        n_done += 1;
+                        evaluations += summary.evaluations;
+                        stats.snapshot_rejects += summary.snapshot_rejects;
+                        ledger_faults(&mut faults, &mut stats, episodes.len(), a, dead_faults);
+                        accum[a] = EpisodeAccum::default();
+                        last_cursors[a] = None;
                         continue;
                     }
                     ActorMsg::Step(m) => *m,
                 };
+                if let Some(c) = cursor {
+                    last_cursors[a] = Some(c);
+                }
 
                 // Merge in the exact order the single loop produces the
                 // same data: reset fold, watchdog, step fold, observe.
                 if let Some(info) = &reset_info {
                     on_info(info);
                 }
-                let flush_faults = |faults: &mut Vec<FleetFault>, episode: usize| {
-                    for f in msg_faults {
-                        faults.push(FleetFault {
-                            episode,
-                            actor: a,
-                            kind: f.kind,
-                            detail: f.detail,
-                            recovered: f.recovered,
-                        });
-                    }
-                };
                 if let Some(reason) = trip {
                     // Actor-side watchdog trip: ledger the faults and the
                     // event, discard the partial episode, halt.
-                    flush_faults(&mut faults, episodes.len());
+                    ledger_faults(&mut faults, &mut stats, episodes.len(), a, msg_faults);
                     watchdog.push(FleetWatchdogEvent {
                         episode: episodes.len(),
                         actor: Some(a),
@@ -880,10 +2078,9 @@ where
                     }
                     acc.total_reward += t.reward;
                     acc.steps += 1;
-                    merged += 1;
                     stats.transitions += 1;
                     stats.per_actor_transitions[a] += 1;
-                    let allow_learn = merged % cfg.learn_every == 0;
+                    let allow_learn = stats.transitions % cfg.learn_every == 0;
                     let loss = agent.observe_parts_throttled(
                         &t.state,
                         t.action,
@@ -903,7 +2100,7 @@ where
                         }
                     }
                 }
-                flush_faults(&mut faults, episodes.len());
+                ledger_faults(&mut faults, &mut stats, episodes.len(), a, msg_faults);
                 if let Some(reason) = loss_trip {
                     // Learner-side watchdog trip: the diverged partial
                     // episode is discarded, the fleet halts.
@@ -954,6 +2151,58 @@ where
                     Arc::clone(&encoded),
                 );
                 stats.snapshot_broadcasts += 1;
+
+                // Checkpoint at the quiescence point: the publish above
+                // is exactly what the resumed run will re-publish, and
+                // every live actor's stored cursor reads this sweep.
+                if episodes.len() >= next_save_at {
+                    if let Some(p) = persist.as_deref_mut() {
+                        match save_fleet_state(
+                            p,
+                            cfg,
+                            agent,
+                            stats.merge_sweeps,
+                            weights_version,
+                            &stats,
+                            &episodes,
+                            &faults,
+                            evaluations,
+                            &done,
+                            &accum,
+                            &last_cursors,
+                        ) {
+                            Ok(()) => next_save_at = episodes.len() + p.every_episodes,
+                            Err(e) => {
+                                save_err = Some(e);
+                                halted = true;
+                                break 'run;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // The final checkpoint (all actors retired — no cursors needed):
+        // resuming it is a no-op.
+        if !halted && save_err.is_none() {
+            if let Some(p) = persist.as_deref_mut() {
+                if let Err(e) = save_fleet_state(
+                    p,
+                    cfg,
+                    agent,
+                    stats.merge_sweeps,
+                    weights_version,
+                    &stats,
+                    &episodes,
+                    &faults,
+                    evaluations,
+                    &done,
+                    &accum,
+                    &last_cursors,
+                ) {
+                    save_err = Some(e);
+                }
             }
         }
 
@@ -963,18 +2212,26 @@ where
         // joined explicitly: it exits once every actor has dropped its
         // QClient, which the stop/drop above guarantees.
         cell.stop();
-        for (_, rx) in &channels {
+        for rx in &receivers {
             while let Ok(msg) = rx.try_recv() {
                 if matches!(msg, ActorMsg::Step(_)) {
                     stats.discarded_messages += 1;
                 }
             }
         }
-        drop(channels);
-        service.map(|h| h.join().expect("inference service thread panicked"))
+        drop(receivers);
+        service.map(|h| {
+            h.join().unwrap_or_else(|_| InferStats {
+                fault: Some("inference service thread panicked".to_string()),
+                ..InferStats::default()
+            })
+        })
     });
 
-    FleetOutcome {
+    if let Some(e) = save_err {
+        return Err(e);
+    }
+    Ok(FleetOutcome {
         episodes,
         stats,
         halted,
@@ -982,6 +2239,31 @@ where
         faults,
         evaluations,
         infer: infer_stats,
+    })
+}
+
+/// Moves drained fault records into the fleet ledger, counting the
+/// supervision kinds as they pass.
+fn ledger_faults(
+    sink: &mut Vec<FleetFault>,
+    stats: &mut FleetStats,
+    episode: usize,
+    actor: usize,
+    drained: Vec<FleetEnvFault>,
+) {
+    for f in drained {
+        if f.kind == FAULT_ACTOR_RESPAWN {
+            stats.respawns += 1;
+        } else if f.kind == FAULT_INFER_FAILOVER {
+            stats.failovers += 1;
+        }
+        sink.push(FleetFault {
+            episode,
+            actor,
+            kind: f.kind,
+            detail: f.detail,
+            recovered: f.recovered,
+        });
     }
 }
 
@@ -1046,6 +2328,87 @@ mod tests {
         (out, bytes)
     }
 
+    /// Corridor hooks with full durability support: cursors can be
+    /// captured, so respawn and fleet checkpointing are live.
+    struct CorridorHooks;
+
+    impl FleetHooks<Corridor> for CorridorHooks {
+        type Info = ();
+        fn info(&self, _env: &Corridor) -> Self::Info {}
+        fn snapshot_env(&self, env: &Corridor) -> Option<Vec<u8>> {
+            Some(env.snapshot())
+        }
+        fn restore_env(&self, env: &mut Corridor, bytes: &[u8]) -> io::Result<()> {
+            env.restore(bytes)
+        }
+        fn observe(&self, env: &mut Corridor) -> Option<Vec<f32>> {
+            Some(env.observe())
+        }
+    }
+
+    fn run_corridor_fleet_hooked(
+        actors: usize,
+        episodes: usize,
+        cfg_tweak: impl FnOnce(&mut FleetConfig),
+    ) -> (FleetOutcome, Vec<u8>) {
+        let mut agent = corridor_agent(None);
+        let mut cfg = fleet_cfg(actors, episodes);
+        cfg_tweak(&mut cfg);
+        let envs: Vec<Corridor> = (0..actors).map(|_| Corridor::new(5)).collect();
+        let out = run_fleet(&mut agent, &cfg, envs, &CorridorHooks, |_| {}, |_| {});
+        let mut bytes = Vec::new();
+        agent.write_checkpoint(&mut bytes).unwrap();
+        (out, bytes)
+    }
+
+    /// One saved checkpoint: the fleet blob plus the learner agent bytes.
+    type Saved = (u64, Vec<u8>, Vec<u8>);
+
+    /// Runs a checkpointed corridor fleet, recording every save. Returns
+    /// the outcome, the trained agent checkpoint, and the save log.
+    fn run_checkpointed_corridor(
+        actors: usize,
+        episodes: usize,
+        every: usize,
+        resume: Option<FleetResumeState>,
+        resume_agent: Option<&[u8]>,
+    ) -> (FleetOutcome, Vec<u8>, Vec<Saved>) {
+        let mut agent = match resume_agent {
+            Some(bytes) => {
+                let mut r = bytes;
+                DqnAgent::read_checkpoint(&mut r, corridor_config(None)).unwrap()
+            }
+            None => corridor_agent(None),
+        };
+        let cfg = fleet_cfg(actors, episodes);
+        let envs: Vec<Corridor> = (0..actors).map(|_| Corridor::new(5)).collect();
+        let mut saves: Vec<Saved> = Vec::new();
+        let mut save = |eps: u64, blob: &[u8], agent: &DqnAgent<MlpQ>| {
+            let mut ab = Vec::new();
+            agent.write_checkpoint(&mut ab)?;
+            saves.push((eps, blob.to_vec(), ab));
+            Ok(())
+        };
+        let mut persist = FleetPersist {
+            every_episodes: every,
+            save: &mut save,
+            resume,
+        };
+        let out = run_fleet_checkpointed(
+            &mut agent,
+            &cfg,
+            envs,
+            &CorridorHooks,
+            |_| {},
+            |_| {},
+            &mut persist,
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        agent.write_checkpoint(&mut bytes).unwrap();
+        (out, bytes, saves)
+    }
+
     #[test]
     fn single_actor_fleet_matches_single_loop_bitwise() {
         // Reference: the inline loop with exploration split onto the
@@ -1092,6 +2455,21 @@ mod tests {
             assert_eq!(a.episodes.len(), 8);
             let merged: u64 = a.stats.per_actor_transitions.iter().sum();
             assert_eq!(merged, a.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn cursor_tracking_hooks_are_bitwise_neutral() {
+        // The supervision layer at 0% injection: cursor capture on every
+        // round must not perturb the trajectory, the counters, or the
+        // trained weights.
+        for actors in [1, 3] {
+            let (plain, plain_bytes) = run_corridor_fleet(actors, 8, |_| {});
+            let (hooked, hooked_bytes) = run_corridor_fleet_hooked(actors, 8, |_| {});
+            assert_eq!(plain.episodes, hooked.episodes, "{actors} actors: episodes");
+            assert_eq!(plain.stats, hooked.stats, "{actors} actors: counters");
+            assert_eq!(plain_bytes, hooked_bytes, "{actors} actors: weights");
+            assert!(hooked.faults.is_empty(), "no faults without injection");
         }
     }
 
@@ -1157,7 +2535,11 @@ mod tests {
             let (plain, plain_bytes) = run_corridor_fleet(actors, 8, |_| {});
             for mode in [InferMode::Lockstep, InferMode::Throughput] {
                 let (svc, svc_bytes) = run_corridor_fleet(actors, 8, |c| {
-                    c.infer = Some(InferOptions { max_batch: 8, mode });
+                    c.infer = Some(InferOptions {
+                        max_batch: 8,
+                        mode,
+                        ..InferOptions::default()
+                    });
                 });
                 assert_eq!(
                     plain.episodes, svc.episodes,
@@ -1255,4 +2637,305 @@ mod tests {
         per_actor.sort_unstable();
         assert_eq!(per_actor, vec![1, 1, 2, 2]);
     }
+
+    #[test]
+    fn fleet_resume_is_bitwise_identical() {
+        for actors in [1usize, 2] {
+            // Uninterrupted reference, checkpointing every 2 episodes.
+            let (full, full_bytes, saves) = run_checkpointed_corridor(actors, 8, 2, None, None);
+            assert!(!full.halted);
+            assert_eq!(full.episodes.len(), 8);
+            assert!(
+                saves.len() >= 2,
+                "{actors} actors: expected mid-run checkpoints, got {}",
+                saves.len()
+            );
+            // "Kill" the run at its first mid-run checkpoint and resume.
+            let (eps, blob, agent_bytes) = &saves[0];
+            assert!(*eps < 8, "first save must be mid-run");
+            let state = FleetResumeState::decode(blob).unwrap();
+            assert_eq!(state.n_actors(), actors);
+            assert_eq!(state.episodes_completed(), *eps as usize);
+            let (resumed, resumed_bytes, _) =
+                run_checkpointed_corridor(actors, 8, 2, Some(state), Some(agent_bytes));
+            assert_eq!(full.episodes, resumed.episodes, "{actors} actors: episodes");
+            assert_eq!(full.stats, resumed.stats, "{actors} actors: counters");
+            assert_eq!(full.faults, resumed.faults, "{actors} actors: fault ledger");
+            assert_eq!(full.evaluations, resumed.evaluations);
+            assert_eq!(full_bytes, resumed_bytes, "{actors} actors: trained weights");
+        }
+    }
+
+    #[test]
+    fn resume_after_completion_is_a_noop() {
+        let (full, full_bytes, saves) = run_checkpointed_corridor(2, 6, 2, None, None);
+        let (_, blob, agent_bytes) = saves.last().unwrap();
+        let state = FleetResumeState::decode(blob).unwrap();
+        let (resumed, resumed_bytes, new_saves) =
+            run_checkpointed_corridor(2, 6, 2, Some(state), Some(agent_bytes));
+        assert_eq!(full.episodes, resumed.episodes);
+        assert_eq!(full.stats, resumed.stats);
+        assert_eq!(full_bytes, resumed_bytes, "the agent must not train further");
+        assert!(new_saves.is_empty(), "a finished run re-saves nothing");
+    }
+
+    #[test]
+    fn fleet_resume_payload_roundtrips_and_rejects_damage() {
+        let (_, _, saves) = run_checkpointed_corridor(2, 6, 2, None, None);
+        let blob = &saves[0].1;
+        // Bitwise round-trip through the codec.
+        let state = FleetResumeState::decode(blob).unwrap();
+        assert_eq!(&state.encode(), blob);
+        // Truncation and trailing garbage are both rejected.
+        assert!(FleetResumeState::decode(&blob[..blob.len() - 1]).is_err());
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert!(FleetResumeState::decode(&extended).is_err());
+        // Bad magic is rejected.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(FleetResumeState::decode(&bad).is_err());
+        // Shape mismatches are rejected at validation time.
+        assert!(state.validate(3, 6, 1).is_err(), "actor-count mismatch");
+        assert!(state.validate(2, 7, 1).is_err(), "episode-target mismatch");
+        assert!(state.validate(2, 6, 1).is_ok());
+    }
+
+    #[test]
+    fn injected_panics_respawn_bitwise() {
+        // Chaos at 10% per round: every panic lands at the top of a round
+        // and the respawn replays it from the cursor, so the trajectory,
+        // counters, and trained weights match the clean run exactly — the
+        // only traces are the respawn ledger and counter.
+        let (clean, clean_bytes) = run_corridor_fleet_hooked(2, 8, |_| {});
+        let (chaos, chaos_bytes) = run_corridor_fleet_hooked(2, 8, |c| {
+            c.actor_panic_rate = 0.10;
+            c.actor_panic_seed = 13;
+            c.actor_respawns = 64;
+        });
+        assert!(chaos.stats.respawns > 0, "the chaos hook must actually fire");
+        assert_eq!(clean.episodes, chaos.episodes, "episodes survive respawns");
+        assert_eq!(clean_bytes, chaos_bytes, "weights survive respawns");
+        assert_eq!(
+            chaos.faults.len() as u64,
+            chaos.stats.respawns,
+            "each respawn is ledgered exactly once"
+        );
+        for f in &chaos.faults {
+            assert_eq!(f.kind, FAULT_ACTOR_RESPAWN);
+            assert!(f.recovered);
+        }
+        let mut neutral = chaos.stats.clone();
+        neutral.respawns = 0;
+        assert_eq!(clean.stats, neutral, "all other counters are untouched");
+    }
+
+    #[test]
+    fn cursorless_panics_retire_actors_without_deadlocking() {
+        // Panic rate 1 under hooks that cannot snapshot: every actor dies
+        // on round 0 with no cursor to respawn from. The learner must
+        // retire both slots via their Dead messages and return instead of
+        // blocking on the round-robin forever.
+        let (out, _) = run_corridor_fleet(2, 4, |c| {
+            c.actor_panic_rate = 1.0;
+            c.actor_panic_seed = 5;
+            c.actor_respawns = 2;
+        });
+        assert!(out.episodes.is_empty());
+        assert!(!out.halted, "actor death is degradation, not a halt");
+        assert_eq!(out.stats.respawns, 0, "no cursor, no respawn");
+        let dead: Vec<_> = out.faults.iter().filter(|f| f.kind == FAULT_ACTOR_DEAD).collect();
+        assert_eq!(dead.len(), 2, "both actors ledger a permanent death");
+        assert!(dead.iter().all(|f| !f.recovered));
+        assert!(dead.iter().all(|f| f.detail.contains("no cursor to respawn from")));
+    }
+
+    #[test]
+    fn certain_panics_exhaust_the_budget_without_deadlocking() {
+        // Panic rate 1 under snapshotting hooks: the spawn-time cursor
+        // makes round 0 recoverable, so each actor burns its full respawn
+        // budget replaying it (the coin re-draws per life but rate 1 always
+        // fires), then dies. The fleet still terminates cleanly.
+        let (out, _) = run_corridor_fleet_hooked(2, 4, |c| {
+            c.actor_panic_rate = 1.0;
+            c.actor_panic_seed = 5;
+            c.actor_respawns = 2;
+        });
+        assert!(out.episodes.is_empty());
+        assert!(!out.halted, "actor death is degradation, not a halt");
+        assert_eq!(out.stats.respawns, 4, "2 respawns per actor before giving up");
+        let dead: Vec<_> = out.faults.iter().filter(|f| f.kind == FAULT_ACTOR_DEAD).collect();
+        assert_eq!(dead.len(), 2, "both actors ledger a permanent death");
+        assert!(dead.iter().all(|f| !f.recovered));
+        assert!(dead.iter().all(|f| f.detail.contains("beyond the respawn budget of 2")));
+    }
+
+    /// Hooks whose `info` panics from the N-th call on — a deterministic
+    /// "real" (non-injected) actor bug for the budget-exhaustion path.
+    struct PanickingHooks {
+        fail_from: usize,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FleetHooks<Corridor> for PanickingHooks {
+        type Info = ();
+        fn info(&self, _env: &Corridor) -> Self::Info {
+            let i = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= self.fail_from {
+                panic!("synthetic hook failure at call {i}");
+            }
+        }
+        fn snapshot_env(&self, env: &Corridor) -> Option<Vec<u8>> {
+            Some(env.snapshot())
+        }
+        fn restore_env(&self, env: &mut Corridor, bytes: &[u8]) -> io::Result<()> {
+            env.restore(bytes)
+        }
+        fn observe(&self, env: &mut Corridor) -> Option<Vec<f32>> {
+            Some(env.observe())
+        }
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_is_ledgered() {
+        // A single actor whose hooks break permanently mid-run: the
+        // supervisor burns its whole respawn budget replaying the doomed
+        // round, then reports the actor dead with every respawn ledgered.
+        let mut agent = corridor_agent(None);
+        let cfg = FleetConfig {
+            actor_respawns: 2,
+            ..fleet_cfg(1, 6)
+        };
+        let hooks = PanickingHooks {
+            fail_from: 6,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let out = run_fleet(
+            &mut agent,
+            &cfg,
+            vec![Corridor::new(5)],
+            &hooks,
+            |_| {},
+            |_| {},
+        );
+        assert!(!out.halted);
+        assert_eq!(out.stats.respawns, 2, "the full budget is spent");
+        let respawns = out.faults.iter().filter(|f| f.kind == FAULT_ACTOR_RESPAWN).count();
+        let dead: Vec<_> = out.faults.iter().filter(|f| f.kind == FAULT_ACTOR_DEAD).collect();
+        assert_eq!(respawns, 2);
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].detail.contains("beyond the respawn budget of 2"));
+        assert!(
+            out.episodes.len() < 6,
+            "the dead actor's remaining quota is lost capacity"
+        );
+    }
+
+    #[test]
+    fn service_death_fails_over_to_local_policies() {
+        // The service is killed after 3 batches; every actor detaches,
+        // decodes the broadcast locally, and finishes the run. At
+        // sync_every = 1 the fallback weights are the ones the service
+        // would have served, so the run stays bitwise-identical.
+        let (plain, plain_bytes) = run_corridor_fleet(2, 8, |_| {});
+        let (failed, failed_bytes) = run_corridor_fleet(2, 8, |c| {
+            c.infer = Some(InferOptions {
+                fail_after_batches: Some(3),
+                ..InferOptions::lockstep(8)
+            });
+        });
+        assert_eq!(plain.episodes, failed.episodes, "episodes survive failover");
+        assert_eq!(plain_bytes, failed_bytes, "weights survive failover");
+        assert_eq!(failed.stats.failovers, 2, "both actors ledger the failover");
+        let fo: Vec<_> = failed
+            .faults
+            .iter()
+            .filter(|f| f.kind == FAULT_INFER_FAILOVER)
+            .collect();
+        assert_eq!(fo.len(), 2);
+        assert!(fo.iter().all(|f| f.recovered));
+        let istats = failed.infer.expect("service stats reported");
+        assert_eq!(istats.batches, 3, "the service died on schedule");
+        assert!(istats.fault.is_some(), "the service death is reported");
+        let mut neutral = failed.stats.clone();
+        neutral.failovers = 0;
+        assert_eq!(plain.stats, neutral, "all other counters are untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "disable the torn-read hook")]
+    fn checkpointing_rejects_the_corruption_hook() {
+        let mut agent = corridor_agent(None);
+        let cfg = FleetConfig {
+            snapshot_corrupt_rate: 0.5,
+            ..fleet_cfg(1, 2)
+        };
+        let mut save = |_: u64, _: &[u8], _: &DqnAgent<MlpQ>| Ok(());
+        let mut persist = FleetPersist {
+            every_episodes: 1,
+            save: &mut save,
+            resume: None,
+        };
+        let _ = run_fleet_checkpointed(
+            &mut agent,
+            &cfg,
+            vec![Corridor::new(5)],
+            &CorridorHooks,
+            |_| {},
+            |_| {},
+            &mut persist,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot the environment")]
+    fn checkpointing_requires_snapshot_hooks() {
+        let mut agent = corridor_agent(None);
+        let cfg = fleet_cfg(1, 2);
+        let mut save = |_: u64, _: &[u8], _: &DqnAgent<MlpQ>| Ok(());
+        let mut persist = FleetPersist {
+            every_episodes: 1,
+            save: &mut save,
+            resume: None,
+        };
+        let _ = run_fleet_checkpointed(
+            &mut agent,
+            &cfg,
+            vec![Corridor::new(5)],
+            &NoHooks,
+            |_| {},
+            |_| {},
+            &mut persist,
+        );
+    }
+
+    #[test]
+    fn failed_saves_abort_the_run() {
+        let mut agent = corridor_agent(None);
+        let cfg = fleet_cfg(1, 6);
+        let mut save = |_: u64, _: &[u8], _: &DqnAgent<MlpQ>| {
+            Err(io::Error::new(io::ErrorKind::Other, "disk full"))
+        };
+        let mut persist = FleetPersist {
+            every_episodes: 1,
+            save: &mut save,
+            resume: None,
+        };
+        let err = run_fleet_checkpointed(
+            &mut agent,
+            &cfg,
+            vec![Corridor::new(5)],
+            &CorridorHooks,
+            |_| {},
+            |_| {},
+            &mut persist,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("disk full"));
+    }
 }
+
+
+

@@ -53,12 +53,25 @@
 //! published only after the learner has merged every sweep below
 //! `(v + 1) · sync_every`, which requires every predict for those rounds
 //! to have been served already, and an actor first demands `v + 1` only
-//! at round `(v + 1) · sync_every`. The service asserts this invariant
+//! at round `(v + 1) · sync_every`. The service checks this invariant
 //! per batch rather than splitting mixed batches.
+//!
+//! # Failure handling
+//!
+//! The service never aborts the fleet. Any internal failure — a snapshot
+//! that fails to decode, a violated staleness invariant, or the
+//! [`InferOptions::fail_after_batches`] chaos injection — records its
+//! reason in [`InferStats::fault`] and exits the loop, closing every
+//! channel. Clients observe the closure (or an expired
+//! [`InferOptions::deadline`]) as an [`InferError`], and the fleet's
+//! actors respond by detaching and degrading to their locally decoded
+//! policies (see `rl::fleet`'s failover docs).
 
 use crate::fleet::{decode_weight_snapshot, SnapshotCell};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use neural::{BatchScratch, InputSplit, Mlp, PrefixCache};
+use std::fmt;
+use std::time::Duration;
 
 /// When the service closes a pending batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +96,18 @@ pub struct InferOptions {
     pub max_batch: usize,
     /// Batch-closing policy.
     pub mode: InferMode,
+    /// Per-predict reply deadline. `None` (the default) blocks forever —
+    /// correct whenever the service is known to answer eventually. When
+    /// set, a predict that waits longer fails with
+    /// [`InferError::Timeout`] and the actor fails over to its local
+    /// policy. Under lockstep batching the deadline must exceed the
+    /// worst-case *sweep* latency (the slowest actor's environment step),
+    /// or healthy runs will spuriously degrade.
+    pub deadline: Option<Duration>,
+    /// Chaos hook: the service reports an injected fault and exits after
+    /// serving this many batches, exercising the actors' failover path.
+    /// `None` (the default) disables the injection.
+    pub fail_after_batches: Option<u64>,
 }
 
 impl Default for InferOptions {
@@ -90,6 +115,8 @@ impl Default for InferOptions {
         InferOptions {
             max_batch: 8,
             mode: InferMode::Throughput,
+            deadline: None,
+            fail_after_batches: None,
         }
     }
 }
@@ -100,6 +127,7 @@ impl InferOptions {
         InferOptions {
             max_batch,
             mode: InferMode::Lockstep,
+            ..InferOptions::default()
         }
     }
 
@@ -108,6 +136,7 @@ impl InferOptions {
         InferOptions {
             max_batch,
             mode: InferMode::Throughput,
+            ..InferOptions::default()
         }
     }
 }
@@ -132,6 +161,11 @@ pub struct InferStats {
     /// Weight-snapshot decodes (the service re-decodes only when the
     /// broadcast weights version actually changed).
     pub snapshot_decodes: u64,
+    /// Why the service exited early, if it did: an injected death, a
+    /// decode failure, or (filled in by the fleet) a service-thread
+    /// panic. `None` for a clean shutdown. Reported so a degraded run's
+    /// report still explains where the batcher went.
+    pub fault: Option<String>,
 }
 
 impl InferStats {
@@ -181,9 +215,32 @@ pub(crate) struct InferReply {
     qs: Vec<f32>,
 }
 
-/// The service went away (fleet stopping); the actor should exit.
+/// Why a predict against the shared service failed. Either way the actor
+/// should stop using its [`QClient`] — exiting if the fleet stopped,
+/// failing over to its locally decoded policy otherwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ServiceStopped;
+pub enum InferError {
+    /// No reply arrived within [`InferOptions::deadline`]. The request
+    /// may still be served later; the caller must drop the client (the
+    /// `Deregister` on drop tells the service) rather than re-poll.
+    Timeout(Duration),
+    /// The service is gone — fleet shutdown, injected death, or a
+    /// service-thread panic closed the channels.
+    Disconnected,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::Timeout(d) => {
+                write!(f, "no reply from the inference service within {d:?}")
+            }
+            InferError::Disconnected => write!(f, "the inference service is gone"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
 
 /// An actor's handle to the shared inference service: a blocking
 /// request/reply pair that stands in for the actor's private decoded
@@ -199,15 +256,19 @@ pub struct QClient {
 
 impl QClient {
     /// Predicts Q-values for `state` under snapshot `version`, blocking
-    /// until the service's batched forward covers this row. `out` is
-    /// cleared and refilled; warm calls allocate nothing (buffers ride
-    /// along in the request and come back in the reply).
+    /// until the service's batched forward covers this row (at most
+    /// `deadline`, when given). `out` is cleared and refilled; warm calls
+    /// allocate nothing (buffers ride along in the request and come back
+    /// in the reply). On any `Err` the client must be dropped — the
+    /// request may still be in flight, so re-polling would desynchronise
+    /// the reply slot.
     pub(crate) fn predict_into(
         &mut self,
         version: u64,
         state: &[f32],
         out: &mut Vec<f32>,
-    ) -> Result<(), ServiceStopped> {
+        deadline: Option<Duration>,
+    ) -> Result<(), InferError> {
         let mut state_buf = std::mem::take(&mut self.state_buf);
         state_buf.clear();
         state_buf.extend_from_slice(state);
@@ -219,8 +280,14 @@ impl QClient {
                 state: state_buf,
                 qs: qs_buf,
             }))
-            .map_err(|_| ServiceStopped)?;
-        let reply = self.rx.recv().map_err(|_| ServiceStopped)?;
+            .map_err(|_| InferError::Disconnected)?;
+        let reply = match deadline {
+            None => self.rx.recv().map_err(|_| InferError::Disconnected)?,
+            Some(limit) => self.rx.recv_timeout(limit).map_err(|e| match e {
+                RecvTimeoutError::Timeout => InferError::Timeout(limit),
+                RecvTimeoutError::Disconnected => InferError::Disconnected,
+            })?,
+        };
         self.state_buf = reply.state;
         self.qs_buf = reply.qs;
         out.clear();
@@ -296,8 +363,17 @@ impl Service<'_> {
             return false;
         };
         if self.net.is_none() || self.net_weights_version != weights_version {
-            let net = decode_weight_snapshot(&bytes, weights_version)
-                .expect("the service reads published snapshots in-process: CRC cannot fail");
+            // Published snapshots travel in-process, so a CRC failure
+            // here means memory corruption — report it as a service fault
+            // and let the actors fail over rather than aborting the run.
+            let net = match decode_weight_snapshot(&bytes, weights_version) {
+                Ok(net) => net,
+                Err(e) => {
+                    self.stats.fault =
+                        Some(format!("weight snapshot v{weights_version} failed to decode: {e}"));
+                    return false;
+                }
+            };
             // A fresh decode carries a fresh WeightsToken, so the next
             // batched forward naturally rebuilds the prefix partials —
             // the broadcast is the cache invalidation.
@@ -315,14 +391,24 @@ impl Service<'_> {
             return true;
         };
         let version = first.version;
-        assert!(
-            batch.iter().all(|r| r.version == version),
-            "coalesced requests must share a snapshot version (see the staleness contract)"
-        );
+        if !batch.iter().all(|r| r.version == version) {
+            // The staleness contract (module docs) makes this impossible;
+            // if it ever trips, degrade instead of aborting the fleet.
+            self.stats.fault = Some(
+                "coalesced requests carried mixed snapshot versions \
+                 (staleness contract violated)"
+                    .to_string(),
+            );
+            return false;
+        }
         if !self.ensure_network(version) {
             return false;
         }
-        let net = self.net.as_ref().expect("network decoded by ensure_network");
+        let Some(net) = self.net.as_ref() else {
+            self.stats.fault =
+                Some("no decoded network after a successful snapshot wait".to_string());
+            return false;
+        };
         let rows = batch.len();
         self.scratch.begin(rows, first.state.len());
         for (r, req) in batch.iter().enumerate() {
@@ -346,6 +432,16 @@ impl Service<'_> {
             qs.extend_from_slice(self.scratch.out_row(r));
             // A failed send means that actor already left; harmless.
             let _ = self.replies[actor].send(InferReply { state, qs });
+        }
+        // Chaos injection: die only *after* a fully scattered batch, so no
+        // reply is half-delivered and every actor fails over at the same
+        // round — the failover path stays deterministic.
+        if let Some(limit) = self.opts.fail_after_batches {
+            if self.stats.batches >= limit {
+                self.stats.fault =
+                    Some(format!("injected service death after {limit} batches"));
+                return false;
+            }
         }
         true
     }
@@ -481,7 +577,11 @@ mod tests {
             requests,
             replies,
         } = endpoints(n_actors);
-        let opts = InferOptions { max_batch: 8, mode };
+        let opts = InferOptions {
+            max_batch: 8,
+            mode,
+            ..InferOptions::default()
+        };
         std::thread::scope(|scope| {
             let service = scope.spawn(|| {
                 service_loop(opts, n_actors, split, &cell, requests, replies)
@@ -496,7 +596,9 @@ mod tests {
                     let mut reference = Vec::new();
                     for round in 0..rounds {
                         let s = feature_row(split, actor * 100 + round);
-                        client.predict_into(0, &s, &mut qs).expect("service alive");
+                        client
+                            .predict_into(0, &s, &mut qs, None)
+                            .expect("service alive");
                         reference_q.predict_into(&s, &mut reference);
                         assert_eq!(qs.len(), reference.len());
                         for (a, b) in qs.iter().zip(&reference) {
@@ -565,6 +667,7 @@ mod tests {
         let opts = InferOptions {
             max_batch: 3,
             mode: InferMode::Lockstep,
+            ..InferOptions::default()
         };
         let stats = std::thread::scope(|scope| {
             let service = scope.spawn(|| {
@@ -575,7 +678,9 @@ mod tests {
                 handles.push(scope.spawn(move || {
                     let mut qs = Vec::new();
                     let s = feature_row(split, actor);
-                    client.predict_into(0, &s, &mut qs).expect("service alive");
+                    client
+                        .predict_into(0, &s, &mut qs, None)
+                        .expect("service alive");
                 }));
             }
             for h in handles {
@@ -621,11 +726,65 @@ mod tests {
                 )
             });
             let mut qs = Vec::new();
-            let err = clients[0].predict_into(0, &feature_row(split, 0), &mut qs);
-            assert_eq!(err, Err(ServiceStopped));
+            let err = clients[0].predict_into(0, &feature_row(split, 0), &mut qs, None);
+            assert_eq!(err, Err(InferError::Disconnected));
             drop(clients);
             service.join().expect("service thread")
         });
         assert_eq!(stats.rows, 0);
+        assert!(stats.fault.is_none(), "a commanded stop is not a fault");
+    }
+
+    #[test]
+    fn predict_deadline_expires_without_a_service() {
+        // No service thread at all: the request is accepted (bounded
+        // fan-in channel has capacity) but never answered, so the
+        // deadline fires.
+        let split = InputSplit::new(0, 0);
+        let Endpoints {
+            mut clients,
+            requests: _requests,
+            replies: _replies,
+        } = endpoints(1);
+        let mut qs = Vec::new();
+        let limit = Duration::from_millis(20);
+        let err = clients[0].predict_into(0, &feature_row(split, 0), &mut qs, Some(limit));
+        assert_eq!(err, Err(InferError::Timeout(limit)));
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("no reply"), "got: {msg}");
+    }
+
+    #[test]
+    fn injected_death_faults_after_the_scheduled_batch() {
+        let split = InputSplit::new(4, 0);
+        let q = test_q(split);
+        let cell = SnapshotCell::new(Arc::new(encode_weight_snapshot(0, &q)));
+        let Endpoints {
+            mut clients,
+            requests,
+            replies,
+        } = endpoints(1);
+        let opts = InferOptions {
+            fail_after_batches: Some(1),
+            ..InferOptions::lockstep(4)
+        };
+        let stats = std::thread::scope(|scope| {
+            let service =
+                scope.spawn(|| service_loop(opts, 1, split, &cell, requests, replies));
+            let mut qs = Vec::new();
+            // Batch 1 is served in full...
+            clients[0]
+                .predict_into(0, &feature_row(split, 0), &mut qs, None)
+                .expect("the first batch completes before the injected death");
+            // ...then the service dies and later predicts disconnect.
+            let err = clients[0].predict_into(0, &feature_row(split, 1), &mut qs, None);
+            assert_eq!(err, Err(InferError::Disconnected));
+            drop(clients);
+            service.join().expect("service thread")
+        });
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.rows, 1);
+        let fault = stats.fault.expect("the injected death is reported");
+        assert!(fault.contains("injected service death"), "got: {fault}");
     }
 }

@@ -54,10 +54,12 @@ pub use checkpoint::{CheckpointManager, RngState};
 pub use dqn::{DqnAgent, DqnConfig, TargetRule};
 pub use env::{clip_reward, EnvError, Environment, StepOutcome};
 pub use fleet::{
-    run_fleet, FleetConfig, FleetEnvFault, FleetFault, FleetHooks, FleetOutcome, FleetStats,
-    FleetWatchdogEvent, NoHooks, EXPLORATION_STREAM_BASE,
+    run_fleet, run_fleet_checkpointed, FleetConfig, FleetEnvFault, FleetError, FleetFault,
+    FleetHooks, FleetOutcome, FleetPersist, FleetResumeState, FleetStats, FleetWatchdogEvent,
+    NoHooks, EXPLORATION_STREAM_BASE, FAULT_ACTOR_CHANNEL, FAULT_ACTOR_DEAD,
+    FAULT_ACTOR_RESPAWN, FAULT_INFER_FAILOVER,
 };
-pub use infer::{InferMode, InferOptions, InferStats, QClient};
+pub use infer::{InferError, InferMode, InferOptions, InferStats, QClient};
 pub use nstep::NStepAccumulator;
 pub use qfunc::{DuelingQ, MlpQ, QFunction};
 pub use replay::{FrameLayout, PrioritizedReplay, ReplayBuffer, Transition};

@@ -897,6 +897,33 @@ fn entries_from_columns(
         .collect())
 }
 
+/// The most recently pushed entry of a restored ring: the last slot before
+/// `head` once the ring is full, the last appended entry before that.
+fn newest_entry(entries: &[IndexEntry], head: usize, capacity: usize) -> Option<&IndexEntry> {
+    if entries.is_empty() {
+        None
+    } else if entries.len() == capacity {
+        Some(&entries[(head + capacity - 1) % capacity])
+    } else {
+        entries.last()
+    }
+}
+
+impl FrameStore {
+    /// Reinstates the dedup candidates after a checkpoint restore. A live
+    /// store's candidates always point at the last push's two frames (only
+    /// a newer push replaces them, and a release can clear them only as
+    /// part of that push), so deriving them from the newest ring entry
+    /// makes a restored buffer dedup — and therefore re-encode after
+    /// further pushes — exactly like the buffer that was saved.
+    fn reinstate_candidates(&mut self, newest: Option<&IndexEntry>) {
+        if let Some(e) = newest {
+            self.recent_state = Some(e.state);
+            self.recent_next = Some(e.next_state);
+        }
+    }
+}
+
 impl TryFrom<CompactReplay> for ReplayBuffer {
     type Error = String;
 
@@ -933,6 +960,8 @@ impl TryFrom<CompactReplay> for ReplayBuffer {
         if entries.len() > c.capacity {
             return Err("more entries than capacity".into());
         }
+        let mut frames = frames;
+        frames.reinstate_candidates(newest_entry(&entries, c.head, c.capacity));
         Ok(ReplayBuffer {
             capacity: c.capacity,
             frames,
@@ -1093,6 +1122,8 @@ impl TryFrom<CompactPrioritized> for PrioritizedReplay {
         if entries.len() > c.capacity {
             return Err("more entries than capacity".into());
         }
+        let mut frames = frames;
+        frames.reinstate_candidates(newest_entry(&entries, c.head, c.capacity));
         Ok(PrioritizedReplay {
             capacity: c.capacity,
             alpha: c.alpha,

@@ -39,6 +39,38 @@ impl Corridor {
     pub fn position(&self) -> usize {
         self.position
     }
+
+    /// Serializes the per-episode state (position + step count) so the
+    /// fleet checkpoint/respawn suites can exercise cursor capture on a
+    /// toy environment.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        crate::checkpoint::put_usize(&mut out, self.position);
+        crate::checkpoint::put_usize(&mut out, self.steps);
+        out
+    }
+
+    /// Restores state written by [`Corridor::snapshot`].
+    pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut r = bytes;
+        let position = crate::checkpoint::get_usize(&mut r)?;
+        let steps = crate::checkpoint::get_usize(&mut r)?;
+        if position >= self.length {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corridor position {position} out of range"),
+            ));
+        }
+        self.position = position;
+        self.steps = steps;
+        Ok(())
+    }
+
+    /// Re-encodes the current observation without stepping (restore-side
+    /// re-featurization for mid-episode resume).
+    pub fn observe(&self) -> Vec<f32> {
+        self.encode()
+    }
 }
 
 impl Environment for Corridor {
